@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the MapReduce physical layer, including
+//! the cost of failure-driven re-execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quarry_cluster::{run, FaultPlan, JobConfig};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_extract::pipeline::ExtractorSet;
+
+fn bench_wordcount_scaling(c: &mut Criterion) {
+    let inputs: Vec<String> = (0..400)
+        .map(|i| format!("alpha beta gamma token{} token{} shared words", i, i % 17))
+        .collect();
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let mut group = c.benchmark_group("mapreduce/wordcount-400-docs");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = JobConfig { workers: w, partitions: 0, faults: FaultPlan::none() };
+            b.iter(|| {
+                run(
+                    &refs,
+                    |t: &&str| t.split_whitespace().map(|x| (x.to_string(), 1usize)).collect(),
+                    |k: &String, vs: Vec<usize>| vec![(k.clone(), vs.len())],
+                    &cfg,
+                )
+                .0
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_job(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig { seed: 13, ..CorpusConfig::default() });
+    let mut group = c.benchmark_group("mapreduce/ie-job-240-docs");
+    group.sample_size(10);
+    for (label, rate) in [("no-faults", 0.0), ("20pct-faults", 0.2)] {
+        group.bench_function(label, |b| {
+            let cfg = JobConfig { workers: 4, partitions: 4, faults: FaultPlan::rate(rate, 3) };
+            b.iter(|| {
+                run(
+                    &corpus.docs,
+                    |d: &quarry_corpus::Document| {
+                        ExtractorSet::standard()
+                            .extract_doc(d)
+                            .into_iter()
+                            .map(|e| (e.attribute, 1usize))
+                            .collect()
+                    },
+                    |k: &String, vs: Vec<usize>| vec![(k.clone(), vs.len())],
+                    &cfg,
+                )
+                .0
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wordcount_scaling, bench_extraction_job
+}
+criterion_main!(benches);

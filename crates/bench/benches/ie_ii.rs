@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks for IE and II operators: the regex engine,
+//! tokenizer, extractors, similarity measures, and blocking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_extract::dictionary::Gazetteer;
+use quarry_extract::regex::Regex;
+use quarry_extract::rules::standard_rules;
+use quarry_extract::token::tokenize;
+use quarry_extract::{infobox, rules};
+use quarry_integrate::similarity::{jaro_winkler, levenshtein, name_similarity, qgram_jaccard};
+use quarry_integrate::blocking;
+use std::hint::black_box;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig { seed: 99, ..CorpusConfig::default() })
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = Regex::new(r"\| *([a-zA-Z_][a-zA-Z0-9_]*) *= *([^\n]+)").unwrap();
+    let corpus = corpus();
+    let text = &corpus.docs[0].text;
+    c.bench_function("regex/infobox-line-captures", |b| {
+        b.iter(|| re.captures_iter(black_box(text)).len())
+    });
+    let re_num = Regex::new(r"-?\d+ (°F|F|degrees Fahrenheit)").unwrap();
+    c.bench_function("regex/temperature-find-iter", |b| {
+        b.iter(|| re_num.find_iter(black_box(text)).len())
+    });
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let corpus = corpus();
+    let text = &corpus.docs[0].text;
+    c.bench_function("token/tokenize-city-page", |b| {
+        b.iter(|| tokenize(black_box(text)).len())
+    });
+}
+
+fn bench_extractors(c: &mut Criterion) {
+    let corpus = corpus();
+    let doc = &corpus.docs[0];
+    c.bench_function("extract/infobox-per-doc", |b| {
+        b.iter(|| infobox::extract(black_box(doc)).len())
+    });
+    let rls = standard_rules();
+    c.bench_function("extract/prose-rules-per-doc", |b| {
+        b.iter(|| rules::extract(black_box(doc), &rls).len())
+    });
+    let names: Vec<&str> = corpus.truth.cities.iter().map(|x| x.name.as_str()).collect();
+    let g = Gazetteer::from_names("city", names.iter().copied(), false);
+    c.bench_function("extract/gazetteer-50-entries-per-doc", |b| {
+        b.iter(|| g.extract(black_box(doc)).len())
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    c.bench_function("sim/levenshtein-12ch", |b| {
+        b.iter(|| levenshtein(black_box("David Smithe"), black_box("Davod Smith")))
+    });
+    c.bench_function("sim/jaro-winkler-12ch", |b| {
+        b.iter(|| jaro_winkler(black_box("David Smithe"), black_box("Davod Smith")))
+    });
+    c.bench_function("sim/qgram-jaccard-12ch", |b| {
+        b.iter(|| qgram_jaccard(black_box("David Smithe"), black_box("Davod Smith"), 3))
+    });
+    c.bench_function("sim/name-similarity-variant", |b| {
+        b.iter(|| name_similarity(black_box("David Smith"), black_box("Smith, David")))
+    });
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: 7,
+        n_people: 300,
+        duplicate_rate: 0.4,
+        ..CorpusConfig::default()
+    });
+    let titles: Vec<String> = corpus
+        .truth
+        .people
+        .iter()
+        .map(|p| corpus.docs[p.doc.index()].title.clone())
+        .collect();
+    c.bench_function("blocking/key-400-records", |b| {
+        b.iter(|| {
+            blocking::key_blocking(black_box(&titles), |t| {
+                t.rsplit(' ').next().unwrap_or("").to_lowercase()
+            })
+            .len()
+        })
+    });
+    c.bench_function("blocking/sorted-neighborhood-w5", |b| {
+        b.iter(|| blocking::sorted_neighborhood(black_box(&titles), |t| t.to_lowercase(), 5).len())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_regex, bench_tokenize, bench_extractors, bench_similarity, bench_blocking
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks for the user layer: BM25 search, the
+//! structured query engine, and keyword→structured translation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_query::engine::{execute, AggFn, Predicate, Query};
+use quarry_query::{InvertedIndex, Translator};
+use quarry_storage::{Column, Database, DataType, TableSchema, Value};
+use std::hint::black_box;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig { seed: 12, n_cities: 150, ..CorpusConfig::default() })
+}
+
+fn bench_search(c: &mut Criterion) {
+    let corpus = corpus();
+    c.bench_function("search/build-index-400-docs", |b| {
+        b.iter(|| InvertedIndex::build(black_box(corpus.docs.iter())).len())
+    });
+    let ix = InvertedIndex::build(corpus.docs.iter());
+    c.bench_function("search/bm25-3-terms-top10", |b| {
+        b.iter(|| ix.search(black_box("average temperature Madison"), 10).len())
+    });
+}
+
+fn temps_db(corpus: &Corpus) -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        TableSchema::new(
+            "temps",
+            vec![
+                Column::new("city", DataType::Text),
+                Column::new("month", DataType::Int),
+                Column::new("temp", DataType::Int),
+            ],
+            &["city", "month"],
+            &["city"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tx = db.begin();
+    for ct in &corpus.truth.cities {
+        for (m, t) in ct.monthly_temp_f.iter().enumerate() {
+            db.insert(
+                tx,
+                "temps",
+                vec![ct.name.as_str().into(), Value::Int(m as i64 + 1), Value::Int(*t as i64)],
+            )
+            .unwrap();
+        }
+    }
+    db.commit(tx).unwrap();
+    db
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let corpus = corpus();
+    let db = temps_db(&corpus);
+    let name = corpus.truth.cities[0].name.clone();
+    let paper_query = Query::scan("temps")
+        .filter(vec![
+            Predicate::Eq("city".into(), name.as_str().into()),
+            Predicate::Ge("month".into(), Value::Int(3)),
+            Predicate::Le("month".into(), Value::Int(9)),
+        ])
+        .aggregate(None, AggFn::Avg, "temp");
+    c.bench_function("engine/avg-march-september-1800-rows", |b| {
+        b.iter(|| execute(&db, black_box(&paper_query)).unwrap())
+    });
+    let group = Query::scan("temps").aggregate(Some("month"), AggFn::Avg, "temp");
+    c.bench_function("engine/group-by-month", |b| {
+        b.iter(|| execute(&db, black_box(&group)).unwrap().rows.len())
+    });
+    let join = Query::scan("temps")
+        .filter(vec![Predicate::Eq("month".into(), Value::Int(7))])
+        .join(Query::scan("temps").filter(vec![Predicate::Eq("month".into(), Value::Int(1))]), "city", "city")
+        .project(&["city", "temp", "right.temp"]);
+    c.bench_function("engine/self-join-150x150", |b| {
+        b.iter(|| execute(&db, black_box(&join)).unwrap().rows.len())
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let corpus = corpus();
+    let db = temps_db(&corpus);
+    c.bench_function("translate/build-from-db", |b| {
+        b.iter(|| Translator::from_database(black_box(&db)))
+    });
+    let tr = Translator::from_database(&db);
+    let q = format!("average temp {}", corpus.truth.cities[0].name);
+    c.bench_function("translate/keywords-to-candidates", |b| {
+        b.iter(|| tr.translate(black_box(&q), 5).len())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_search, bench_engine, bench_translate
+}
+criterion_main!(benches);

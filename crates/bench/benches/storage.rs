@@ -1,0 +1,148 @@
+//! Criterion microbenchmarks for the storage layer: delta encoding, WAL,
+//! snapshot store, and the structured store's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quarry_storage::{delta, Column, Database, DataType, SnapshotStore, TableSchema, Value, Wal};
+use std::hint::black_box;
+
+fn page(lines: usize, edit: usize) -> String {
+    (0..lines)
+        .map(|i| {
+            if i == edit % lines {
+                format!("edited line {edit} of the page\n")
+            } else {
+                format!("stable line {i} with some content\n")
+            }
+        })
+        .collect()
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let base = page(200, 0);
+    let target = page(200, 57);
+    c.bench_function("delta/diff-200-lines", |b| {
+        b.iter(|| delta::diff(black_box(&base), black_box(&target)))
+    });
+    let d = delta::diff(&base, &target);
+    c.bench_function("delta/apply-200-lines", |b| {
+        b.iter(|| delta::apply(black_box(&d), black_box(&base)).unwrap())
+    });
+}
+
+fn bench_snapshot_store(c: &mut Criterion) {
+    c.bench_function("snapshot/put-30-versions", |b| {
+        b.iter_batched(
+            || SnapshotStore::new(16),
+            |mut s| {
+                for day in 0..30 {
+                    s.put("page", &page(100, day));
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut s = SnapshotStore::new(16);
+    for day in 0..30 {
+        s.put("page", &page(100, day));
+    }
+    c.bench_function("snapshot/get-mid-of-30", |b| {
+        b.iter(|| s.get(black_box("page"), black_box(17)).unwrap())
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let p = std::env::temp_dir().join(format!("quarry-bench-{}.wal", std::process::id()));
+    let payload = vec![0xABu8; 256];
+    c.bench_function("wal/append-256B-unsynced", |b| {
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p).unwrap();
+        b.iter(|| wal.append(black_box(&payload)).unwrap());
+    });
+    let _ = std::fs::remove_file(&p);
+    {
+        let mut wal = Wal::open(&p).unwrap();
+        for _ in 0..10_000 {
+            wal.append(&payload).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    c.bench_function("wal/replay-10k-records", |b| {
+        b.iter(|| Wal::replay(black_box(&p)).unwrap().len())
+    });
+    let _ = std::fs::remove_file(&p);
+}
+
+fn test_db(n: usize) -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Text),
+                Column::new("n", DataType::Int),
+            ],
+            &["k"],
+            &["n"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tx = db.begin();
+    for i in 0..n {
+        db.insert(
+            tx,
+            "t",
+            vec![Value::Int(i as i64), format!("value {i}").into(), Value::Int((i % 100) as i64)],
+        )
+        .unwrap();
+    }
+    db.commit(tx).unwrap();
+    db
+}
+
+fn bench_database(c: &mut Criterion) {
+    let db = test_db(10_000);
+    c.bench_function("db/point-get", |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let r = db.get(tx, "t", &[Value::Int(black_box(4242))]).unwrap();
+            db.commit(tx).unwrap();
+            r
+        })
+    });
+    c.bench_function("db/index-probe-100-rows", |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let rows = db.index_lookup(tx, "t", "n", &Value::Int(black_box(7))).unwrap();
+            db.commit(tx).unwrap();
+            rows.len()
+        })
+    });
+    c.bench_function("db/scan-10k", |b| {
+        b.iter(|| db.scan_autocommit("t").unwrap().len())
+    });
+    // Key source survives criterion re-invoking the setup closure.
+    static NEXT_KEY: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(1_000_000);
+    c.bench_function("db/insert-commit", |b| {
+        b.iter(|| {
+            let k = NEXT_KEY.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            db.insert_autocommit("t", vec![Value::Int(k), "x".into(), Value::Int(1)]).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_delta, bench_snapshot_store, bench_wal, bench_database
+}
+criterion_main!(benches);

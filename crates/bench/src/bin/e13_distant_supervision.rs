@@ -1,0 +1,100 @@
+//! E13 (extension) — structure teaching the system to find more structure.
+//!
+//! The architecture keeps extracted structure and raw text side by side;
+//! their redundancy is free training data. Wherever an infobox value
+//! reappears in the page's prose, that span auto-labels a training example
+//! — distant supervision. The payoff: extraction from pages that have *no
+//! infobox at all*, where the rule library's high-precision operator is
+//! blind.
+//!
+//! Protocol: strip the infobox from a held-out fraction of city pages;
+//! compare population-recall on those bare pages for (a) infobox extractor
+//! (cannot fire), (b) hand-written prose rules, (c) the distantly
+//! supervised classifier trained on the remaining pages.
+
+use quarry_bench::{banner, f3, Table};
+use quarry_corpus::{Corpus, CorpusConfig, Document, NoiseConfig};
+use quarry_extract::distant::DistantExtractor;
+use quarry_extract::rules::{self, standard_rules};
+use quarry_extract::{infobox, Extraction};
+use quarry_storage::Value;
+
+fn strip_infobox(doc: &Document) -> Document {
+    let end = infobox::find_block(&doc.text).map(|b| b.span.end).unwrap_or(0);
+    Document {
+        id: doc.id,
+        title: doc.title.clone(),
+        text: doc.text[end..].trim_start().to_string(),
+        kind: doc.kind,
+    }
+}
+
+fn main() {
+    banner(
+        "E13 distant supervision (extension)",
+        "the blueprint keeps intermediate structure around \"for optimization \
+         purposes\" (§4) — here it bootstraps new extractors with zero human labels",
+    );
+    let corpus = Corpus::generate(&CorpusConfig {
+        seed: 13,
+        n_cities: 300,
+        noise: NoiseConfig::default(),
+        ..CorpusConfig::default()
+    });
+    // Held-out: every 3rd city page loses its infobox.
+    let holdout: Vec<usize> = (0..corpus.truth.cities.len()).step_by(3).collect();
+    let train_docs: Vec<Document> = corpus
+        .docs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !holdout.contains(i))
+        .map(|(_, d)| d.clone())
+        .collect();
+    println!(
+        "training pages: {}   held-out infobox-free pages: {}\n",
+        train_docs.len(),
+        holdout.len()
+    );
+
+    let distant = DistantExtractor::train(&train_docs, "population", 0.8);
+    println!("distant extractor trained from {} auto-labeled pages (no human labels)\n", distant.training_docs);
+    let prose = standard_rules();
+
+    let recall = |extract: &dyn Fn(&Document) -> Vec<Extraction>| -> (f64, f64) {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        for &i in &holdout {
+            let city = &corpus.truth.cities[i];
+            let bare = strip_infobox(&corpus.docs[city.doc.index()]);
+            for e in extract(&bare) {
+                if e.attribute != "population" {
+                    continue;
+                }
+                if e.value == Value::Int(city.population as i64) {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        (
+            tp as f64 / holdout.len() as f64,
+            if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 },
+        )
+    };
+
+    let mut t = Table::new(&["extractor", "recall (bare pages)", "precision"]);
+    let (r, p) = recall(&|d| infobox::extract(d));
+    t.row(&["infobox parser".into(), f3(r), f3(p)]);
+    let (r, p) = recall(&|d| rules::extract(d, &prose));
+    t.row(&["hand-written prose rules".into(), f3(r), f3(p)]);
+    let (r, p) = recall(&|d| distant.extract(d));
+    t.row(&["distant supervision (0 labels)".into(), f3(r), f3(p)]);
+    t.print();
+
+    println!(
+        "\nexpected shape: infobox parser blind on bare pages; the learned extractor\n\
+         matches the hand-written rules' recall at zero labeling cost — structure\n\
+         begetting structure."
+    );
+}

@@ -1,0 +1,96 @@
+//! E5 — §4 processing layer: declarative programs are "parsed, reformulated,
+//! optimized, then executed", and the optimization pays.
+//!
+//! One QDL program, four optimizer configurations (the DESIGN.md ablation):
+//! none, +filter placement, +extractor pruning, +cost ordering; plus the
+//! materialization-reuse case (a second program over the same corpus).
+//! Swept over corpus size. The result table must be identical under every
+//! configuration — optimization may only change cost, never answers.
+
+use quarry_bench::{banner, f1, Table, timed};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_lang::plan::{optimize_with, OptimizerConfig};
+use quarry_lang::{parse, ExecContext, ExtractorRegistry, LogicalPlan};
+use quarry_storage::Database;
+
+const SRC: &str = r#"
+PIPELINE city_population
+FROM corpus
+EXTRACT infobox, rules, rule:monthly-temperature, rule:lead-author, rule:publication-venue-year
+RESOLVE BY name
+WHERE attribute IN ("name", "population", "state")
+STORE INTO cities KEY name
+"#;
+
+fn main() {
+    banner(
+        "E5 optimizer",
+        "declarative IE+II+HI programs can be \"parsed, reformulated ..., optimized, \
+         then executed\" (§4)",
+    );
+    // The written program is naive: WHERE after RESOLVE, expensive
+    // extractors listed, temperature/author rules that the filter makes
+    // useless. Filter placement is required for executability, so it is on
+    // in every configuration; the ablation is over pruning and ordering.
+    let configs: [(&str, OptimizerConfig); 3] = [
+        (
+            "baseline (filters placed only)",
+            OptimizerConfig { filter_placement: true, extractor_pruning: false, cost_ordering: false },
+        ),
+        (
+            "+ extractor pruning",
+            OptimizerConfig { filter_placement: true, extractor_pruning: true, cost_ordering: false },
+        ),
+        (
+            "+ cost ordering (full)",
+            OptimizerConfig { filter_placement: true, extractor_pruning: true, cost_ordering: true },
+        ),
+    ];
+
+    for n_cities in [50usize, 150, 300] {
+        let corpus = Corpus::generate(&CorpusConfig {
+            seed: 5,
+            n_cities,
+            ..CorpusConfig::default()
+        });
+        println!("corpus: {n_cities} cities, {} docs", corpus.docs.len());
+        let registry = ExtractorRegistry::standard();
+        let naive = LogicalPlan::from_pipeline(&parse(SRC).unwrap());
+
+        let mut table = Table::new(&["configuration", "cost units", "wall ms", "rows"]);
+        let mut reference_rows: Option<usize> = None;
+        for (label, cfg) in configs {
+            let plan = optimize_with(&naive, &registry, cfg);
+            let db = Database::in_memory();
+            let mut ctx = ExecContext::new(&corpus.docs, &registry, &db);
+            let (stats, ms) = timed(|| quarry_lang::Executor::run(&plan, &mut ctx).unwrap());
+            let rows = db.row_count("cities").unwrap();
+            match reference_rows {
+                None => reference_rows = Some(rows),
+                Some(r) => assert_eq!(r, rows, "optimization changed the answer!"),
+            }
+            table.row(&[label.into(), f1(stats.cost_units), f1(ms), rows.to_string()]);
+        }
+        // Materialization reuse: run a *second* program over the same context.
+        let registry2 = ExtractorRegistry::standard();
+        let db = Database::in_memory();
+        let mut ctx = ExecContext::new(&corpus.docs, &registry2, &db);
+        let full = optimize_with(&naive, &registry2, configs[2].1);
+        let _ = quarry_lang::Executor::run(&full, &mut ctx).unwrap();
+        let second = parse(
+            "PIPELINE founded FROM corpus\nEXTRACT infobox\nWHERE attribute IN (\"name\", \"founded\")\nRESOLVE BY name\nSTORE INTO founded_at KEY name",
+        )
+        .unwrap();
+        let second = optimize_with(&LogicalPlan::from_pipeline(&second), &registry2, configs[2].1);
+        let (stats, ms) = timed(|| quarry_lang::Executor::run(&second, &mut ctx).unwrap());
+        table.row(&[
+            "2nd pipeline (cache reuse)".into(),
+            f1(stats.cost_units),
+            f1(ms),
+            db.row_count("founded_at").unwrap().to_string(),
+        ]);
+        table.print();
+        println!();
+    }
+    println!("expected shape: pruning cuts cost multiplicatively (the dropped rules cannot\nsatisfy the WHERE clause); a second pipeline over cached extractions is nearly free;\nrow counts identical in every configuration.");
+}

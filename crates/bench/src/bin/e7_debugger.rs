@@ -1,0 +1,88 @@
+//! E7 — §4 Part VI: the semantic debugger learns application semantics and
+//! flags extractions that are "not in sync" with them (the 135 °F example).
+//!
+//! Corruption (out-of-range values, type intruders, swapped values
+//! breaking FDs) is injected into a city-facts table at known rates; the
+//! detector's precision/recall are scored against the injection log.
+
+use quarry_bench::{banner, f3, Table};
+use quarry_corpus::corruption::corrupt_table;
+use quarry_corpus::{Corpus, CorpusConfig, CorruptionConfig};
+use quarry_debugger::{LearnConfig, SemanticDebugger};
+
+fn city_rows(corpus: &Corpus) -> (Vec<String>, Vec<Vec<String>>) {
+    let columns: Vec<String> = vec![
+        "name".into(),
+        "state".into(),
+        "population".into(),
+        "founded".into(),
+        "july_temp".into(),
+    ];
+    let rows = corpus
+        .truth
+        .cities
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.state.clone(),
+                c.population.to_string(),
+                c.founded.to_string(),
+                c.monthly_temp_f[6].to_string(),
+            ]
+        })
+        .collect();
+    (columns, rows)
+}
+
+fn main() {
+    banner(
+        "E7 semantic debugger",
+        "\"if this module has learned that the monthly temperature of a city cannot \
+         exceed 130 degrees, then it can flag an extracted temperature of 135 as \
+         suspicious\" (§4 Part VI)",
+    );
+    // Train on one (clean) corpus, test on corrupted tuples from another.
+    let train = Corpus::generate(&CorpusConfig { seed: 70, n_cities: 300, ..CorpusConfig::default() });
+    let test = Corpus::generate(&CorpusConfig { seed: 71, n_cities: 200, ..CorpusConfig::default() });
+    let (columns, train_rows) = city_rows(&train);
+    let dbg = SemanticDebugger::learn(&columns, &train_rows, &LearnConfig::default());
+    println!("learned {} constraints from {} clean rows\n", dbg.constraints().len(), train_rows.len());
+
+    let col_spec: Vec<(&str, bool)> = vec![
+        ("name", false),
+        ("state", false),
+        ("population", true),
+        ("founded", true),
+        ("july_temp", true),
+    ];
+    let mut table = Table::new(&["corruption rate", "injected", "flagged", "precision", "recall"]);
+    for rate in [0.01, 0.02, 0.05, 0.1] {
+        let (_, mut rows) = city_rows(&test);
+        let log = corrupt_table(&mut rows, &col_spec, CorruptionConfig { seed: 7, rate });
+        let score = dbg.score(&rows, |r, a| log.is_corrupted(r, a), log.len());
+        table.row(&[
+            format!("{:.0}%", rate * 100.0),
+            log.len().to_string(),
+            score.flagged.to_string(),
+            f3(score.precision),
+            f3(score.recall),
+        ]);
+    }
+    table.print();
+
+    // The paper's literal example.
+    let (_, mut one) = city_rows(&test);
+    one.truncate(1);
+    one[0][4] = "135".to_string();
+    let flags = dbg.check(&one);
+    println!(
+        "\nliteral paper example: july_temp = 135 → {}",
+        if flags.iter().any(|f| f.attribute == "july_temp") {
+            "FLAGGED"
+        } else {
+            "missed"
+        }
+    );
+    println!("\nexpected shape: precision stays high at every rate; recall above ~0.5\n(SwappedValue corruptions are in-domain and partly invisible by design).");
+}

@@ -1,0 +1,84 @@
+//! E9 — §4 Part V: uncertainty management and provenance.
+//!
+//! (a) Overhead of building tuple-level lineage (time and graph size).
+//! (b) Explanation completeness: what fraction of stored tuples trace back
+//!     to at least one raw-text span?
+//! (c) Confidence calibration: are the extractors' confidences honest
+//!     probabilities? (reliability bins + Brier/ECE against ground truth)
+
+use quarry_bench::{banner, f3, Table, timed};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_core::{Quarry, QuarryConfig};
+use quarry_extract::{eval, extract_all, ExtractorSet};
+use quarry_uncertainty::prob::CalibrationReport;
+
+const PIPELINE: &str = r#"
+PIPELINE cities FROM corpus
+EXTRACT infobox, rules
+WHERE attribute IN ("name", "state", "population", "founded", "july_temp")
+RESOLVE BY name
+STORE INTO cities KEY name
+"#;
+
+fn main() {
+    banner(
+        "E9 provenance & uncertainty",
+        "Part V \"handles the uncertainty that arise during the IE, II, and HI \
+         processes. It also provides the provenance and explanation for the derived \
+         structured data\" (§4)",
+    );
+    let corpus = Corpus::generate(&CorpusConfig { seed: 9, n_cities: 150, ..CorpusConfig::default() });
+
+    // --- (a) lineage overhead. ---------------------------------------------
+    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    q.ingest(corpus.docs.clone());
+    let (_, ms_pipeline) = timed(|| q.run_pipeline(PIPELINE).unwrap());
+    let (nodes, ms_lineage) = timed(|| q.record_lineage("cities").unwrap());
+    let mut t = Table::new(&["phase", "wall ms", "artifacts"]);
+    t.row(&["pipeline (no lineage)".into(), format!("{ms_pipeline:.1}"), format!("{} rows", nodes.len())]);
+    t.row(&["lineage construction".into(), format!("{ms_lineage:.1}"), format!("{} graph nodes", q.lineage.len())]);
+    t.print();
+
+    // --- (b) explanation completeness. --------------------------------------
+    let traced = nodes
+        .iter()
+        .filter(|(_, n)| !q.lineage.source_spans(*n).is_empty())
+        .count();
+    println!(
+        "\nexplanation completeness: {traced}/{} stored tuples trace to ≥1 source span ({:.1}%)",
+        nodes.len(),
+        100.0 * traced as f64 / nodes.len() as f64
+    );
+    let sample = &nodes[0];
+    println!("\nsample explanation:\n{}", q.explain(sample.1));
+
+    // --- (c) confidence calibration. ----------------------------------------
+    let exts = extract_all(&corpus, &ExtractorSet::standard());
+    let truth_pairs = eval::truth_pairs(&corpus.truth);
+    let predictions: Vec<(f64, bool)> = exts
+        .iter()
+        .filter_map(|e| {
+            let attr = eval::canonical_attribute(&e.attribute);
+            // Score only attributes the truth model covers.
+            if !truth_pairs.iter().any(|(_, a, _)| *a == attr) {
+                return None;
+            }
+            let correct = truth_pairs.contains(&(e.doc.0, attr, e.value.clone()));
+            Some((e.confidence, correct))
+        })
+        .collect();
+    let report = CalibrationReport::from_predictions(&predictions, 10);
+    println!("confidence calibration over {} scored extractions:", predictions.len());
+    let mut t = Table::new(&["confidence bin", "n", "mean conf", "accuracy"]);
+    for b in report.bins.iter().filter(|b| b.count > 0) {
+        t.row(&[
+            format!("[{:.1}, {:.1})", b.lo, b.hi),
+            b.count.to_string(),
+            f3(b.mean_confidence),
+            f3(b.accuracy),
+        ]);
+    }
+    t.print();
+    println!("Brier score: {:.4}   expected calibration error: {:.4}", report.brier, report.ece);
+    println!("\nexpected shape: lineage costs a fraction of extraction time; completeness\nnear 100%; higher-confidence extractors (infobox 0.95) empirically more accurate\nthan prose rules (0.70–0.75).");
+}

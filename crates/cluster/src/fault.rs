@@ -1,0 +1,104 @@
+//! Failure injection for map tasks.
+//!
+//! A [`FaultPlan`] decides, per (task, attempt), whether the worker running
+//! it "dies". Plans are deterministic — either an explicit set of doomed
+//! attempts or a rate-based rule seeded by task id — so experiments and
+//! tests reproduce exactly.
+
+use std::collections::HashSet;
+
+/// When should tasks fail?
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Explicit (task, attempt) pairs that fail. Attempts count from 0.
+    doomed: HashSet<(usize, u32)>,
+    /// Rate-based failures: fail attempt 0 of tasks whose mixed id falls
+    /// below `rate` (never later attempts, so jobs always finish).
+    first_attempt_rate: f64,
+    rate_seed: u64,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fail specific (task, attempt) pairs.
+    pub fn explicit(pairs: impl IntoIterator<Item = (usize, u32)>) -> FaultPlan {
+        FaultPlan { doomed: pairs.into_iter().collect(), ..Default::default() }
+    }
+
+    /// Fail roughly `rate` of all tasks on their first attempt.
+    pub fn rate(rate: f64, seed: u64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range");
+        FaultPlan { first_attempt_rate: rate, rate_seed: seed, ..Default::default() }
+    }
+
+    /// Should this (task, attempt) fail?
+    pub fn should_fail(&self, task: usize, attempt: u32) -> bool {
+        if self.doomed.contains(&(task, attempt)) {
+            return true;
+        }
+        if attempt == 0 && self.first_attempt_rate > 0.0 {
+            let h = mix(task as u64 ^ self.rate_seed);
+            return (h as f64 / u64::MAX as f64) < self.first_attempt_rate;
+        }
+        false
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let p = FaultPlan::none();
+        assert!(!(0..100).any(|t| p.should_fail(t, 0)));
+    }
+
+    #[test]
+    fn explicit_pairs_fail_exactly() {
+        let p = FaultPlan::explicit([(3, 0), (3, 1), (7, 0)]);
+        assert!(p.should_fail(3, 0));
+        assert!(p.should_fail(3, 1));
+        assert!(!p.should_fail(3, 2));
+        assert!(p.should_fail(7, 0));
+        assert!(!p.should_fail(8, 0));
+    }
+
+    #[test]
+    fn rate_hits_roughly_the_fraction_and_only_attempt_zero() {
+        let p = FaultPlan::rate(0.3, 42);
+        let n = 1000;
+        let failures = (0..n).filter(|&t| p.should_fail(t, 0)).count();
+        assert!((250..350).contains(&failures), "{failures}");
+        assert!(!(0..n).any(|t| p.should_fail(t, 1)), "retries always succeed");
+    }
+
+    #[test]
+    fn rate_is_deterministic_per_seed() {
+        let a = FaultPlan::rate(0.5, 1);
+        let b = FaultPlan::rate(0.5, 1);
+        let c = FaultPlan::rate(0.5, 2);
+        let fa: Vec<bool> = (0..100).map(|t| a.should_fail(t, 0)).collect();
+        let fb: Vec<bool> = (0..100).map(|t| b.should_fail(t, 0)).collect();
+        let fc: Vec<bool> = (0..100).map(|t| c.should_fail(t, 0)).collect();
+        assert_eq!(fa, fb);
+        assert_ne!(fa, fc);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate out of range")]
+    fn invalid_rate_rejected() {
+        FaultPlan::rate(1.5, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The physical layer: Map-Reduce-like parallel processing.
+//!
+//! "Given that IE and II are often very computation intensive ... we need
+//! parallel processing in the physical layer. A popular way to achieve this
+//! is to use a computer cluster running Map-Reduce-like processes." The
+//! cluster is simulated with OS threads on one machine (DESIGN.md §2): the
+//! same scheduling, shuffle, and fault-recovery code paths at laptop scale.
+//!
+//! - [`engine`] — the job runner: map tasks over a worker pool, hash
+//!   shuffle, parallel reduce, deterministic output;
+//! - [`fault`] — failure injection: tasks that die on scheduled attempts,
+//!   re-executed by the engine until they succeed.
+
+pub mod engine;
+pub mod fault;
+
+pub use engine::{run, JobConfig, JobStats};
+pub use fault::FaultPlan;

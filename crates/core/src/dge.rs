@@ -1,0 +1,181 @@
+//! The DGE (data generation and exploitation) event log.
+//!
+//! §3 argues the community needs an explicit model of "how the data is
+//! generated inside the system, who the users are, ... and how they
+//! interact with the system". Quarry makes the model concrete as an event
+//! log: every generation step (ingest, extract, integrate, curate) and
+//! every exploitation step (keyword search, form choice, structured query,
+//! feedback) appends an event. Experiments and the semantic debugger read
+//! the log; so can a curious user.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One DGE event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DgeEvent {
+    /// Raw documents entered the system.
+    Ingest {
+        /// Documents ingested.
+        docs: usize,
+        /// Snapshot day / version.
+        day: usize,
+    },
+    /// A QDL pipeline ran.
+    PipelineRun {
+        /// Pipeline name.
+        name: String,
+        /// Extractions produced.
+        extractions: usize,
+        /// Entities stored.
+        entities: usize,
+        /// HI questions asked during curation.
+        questions: usize,
+    },
+    /// A user searched by keyword.
+    KeywordQuery {
+        /// The query text.
+        query: String,
+        /// Hits returned.
+        hits: usize,
+        /// Structured candidates suggested alongside.
+        candidates: usize,
+    },
+    /// A user ran (or accepted a form for) a structured query.
+    StructuredQuery {
+        /// Rendered query.
+        rendered: String,
+        /// Result rows.
+        rows: usize,
+    },
+    /// A user gave feedback (HI outside pipeline curation).
+    Feedback {
+        /// User name.
+        user: String,
+        /// What the feedback concerned.
+        subject: String,
+    },
+    /// The semantic debugger flagged suspicious tuples.
+    DebuggerFlag {
+        /// Table checked.
+        table: String,
+        /// Cells flagged.
+        flags: usize,
+    },
+    /// A standing query's answer changed (monitoring mode).
+    MonitorFired {
+        /// Monitor name.
+        monitor: String,
+        /// Rows in the new answer.
+        rows: usize,
+    },
+    /// Structure for an attribute set was generated on demand (§3.2
+    /// incremental, best-effort generation).
+    IncrementalExtraction {
+        /// Attributes materialized.
+        attributes: Vec<String>,
+        /// Documents processed.
+        docs: usize,
+    },
+}
+
+impl DgeEvent {
+    /// Is this a generation-side event (vs. exploitation-side)?
+    pub fn is_generation(&self) -> bool {
+        matches!(
+            self,
+            DgeEvent::Ingest { .. }
+                | DgeEvent::PipelineRun { .. }
+                | DgeEvent::Feedback { .. }
+                | DgeEvent::DebuggerFlag { .. }
+                | DgeEvent::IncrementalExtraction { .. }
+        )
+    }
+}
+
+impl fmt::Display for DgeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgeEvent::Ingest { docs, day } => write!(f, "ingest day {day}: {docs} docs"),
+            DgeEvent::PipelineRun { name, extractions, entities, questions } => write!(
+                f,
+                "pipeline {name}: {extractions} extractions → {entities} entities ({questions} HI questions)"
+            ),
+            DgeEvent::KeywordQuery { query, hits, candidates } => {
+                write!(f, "keyword \"{query}\": {hits} hits, {candidates} suggested queries")
+            }
+            DgeEvent::StructuredQuery { rendered, rows } => {
+                write!(f, "structured {rendered}: {rows} rows")
+            }
+            DgeEvent::Feedback { user, subject } => write!(f, "feedback from {user} on {subject}"),
+            DgeEvent::DebuggerFlag { table, flags } => {
+                write!(f, "debugger flagged {flags} cells in {table}")
+            }
+            DgeEvent::MonitorFired { monitor, rows } => {
+                write!(f, "monitor {monitor} fired: {rows} rows")
+            }
+            DgeEvent::IncrementalExtraction { attributes, docs } => {
+                write!(f, "incremental extraction of {} over {docs} docs", attributes.join(", "))
+            }
+        }
+    }
+}
+
+/// Append-only DGE event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DgeLog {
+    events: Vec<DgeEvent>,
+}
+
+impl DgeLog {
+    /// Empty log.
+    pub fn new() -> DgeLog {
+        DgeLog::default()
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, e: DgeEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[DgeEvent] {
+        &self.events
+    }
+
+    /// Count of generation-side vs. exploitation-side events.
+    pub fn generation_exploitation_split(&self) -> (usize, usize) {
+        let gen = self.events.iter().filter(|e| e.is_generation()).count();
+        (gen, self.events.len() - gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_in_order_and_splits() {
+        let mut log = DgeLog::new();
+        log.record(DgeEvent::Ingest { docs: 10, day: 0 });
+        log.record(DgeEvent::KeywordQuery { query: "x".into(), hits: 3, candidates: 2 });
+        log.record(DgeEvent::Feedback { user: "u1".into(), subject: "match".into() });
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.generation_exploitation_split(), (2, 1));
+    }
+
+    #[test]
+    fn events_render() {
+        let e = DgeEvent::PipelineRun {
+            name: "cities".into(),
+            extractions: 120,
+            entities: 40,
+            questions: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cities"));
+        assert!(s.contains("120 extractions"));
+        assert!(e.is_generation());
+        assert!(!DgeEvent::StructuredQuery { rendered: "q".into(), rows: 1 }.is_generation());
+    }
+}

@@ -1,0 +1,35 @@
+//! The assembled end-to-end system (Figure 1 of the paper).
+//!
+//! [`Quarry`] wires every layer together behind one façade:
+//!
+//! - **physical layer** — extraction pipelines fan out over the
+//!   [`quarry_cluster`] MapReduce engine;
+//! - **storage layer** — raw pages land in a delta-encoded
+//!   [`quarry_storage::SnapshotStore`], the final structure in the
+//!   transactional [`quarry_storage::Database`];
+//! - **processing layer** — QDL programs ([`quarry_lang`]) run IE
+//!   ([`quarry_extract`]) + II ([`quarry_integrate`]) + HI ([`quarry_hi`]),
+//!   watched by the semantic debugger ([`quarry_debugger`]) and recorded in
+//!   the provenance graph ([`quarry_uncertainty`]);
+//! - **user layer** — keyword search, query translation, forms, and
+//!   sessions ([`quarry_query`]), plus user accounts with reputations and
+//!   incentive points ([`users`]).
+//!
+//! [`incremental`] implements §3.2's "incremental, best-effort" generation:
+//! structure is extracted only when a query first needs it. [`dge`] records
+//! the data-generation-and-exploitation event log that makes the paper's
+//! DGE model an inspectable artifact.
+
+pub mod dge;
+pub mod feedback;
+pub mod incremental;
+pub mod monitor;
+pub mod system;
+pub mod users;
+
+pub use dge::{DgeEvent, DgeLog};
+pub use feedback::{Correction, CorrectionStatus, FeedbackQueue};
+pub use incremental::IncrementalManager;
+pub use monitor::{MonitorFire, MonitorSet};
+pub use system::{Quarry, QuarryConfig, QuarryError};
+pub use users::{UserAccount, UserDirectory};

@@ -1,0 +1,144 @@
+//! Standing queries — the "monitoring" exploitation mode of §3.2.
+//!
+//! §3.2 lists monitoring among the data-exploitation modes ("keyword
+//! search, structured querying, browsing, visualization, monitoring"). A
+//! monitor is a registered structured query; after each generation step the
+//! system re-evaluates it and reports answers that changed — the
+//! "tell me when the data about X moves" interaction.
+
+use quarry_query::engine::{execute, Query, QueryResult};
+use quarry_storage::Database;
+use std::collections::BTreeMap;
+
+/// A fired monitor: its query's answer changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorFire {
+    /// Monitor name.
+    pub name: String,
+    /// Previous result (`None` on the first evaluation).
+    pub previous: Option<QueryResult>,
+    /// Current result.
+    pub current: QueryResult,
+}
+
+/// A registry of standing queries with their last known answers.
+#[derive(Debug, Default)]
+pub struct MonitorSet {
+    monitors: BTreeMap<String, (Query, Option<QueryResult>)>,
+}
+
+impl MonitorSet {
+    /// Empty set.
+    pub fn new() -> MonitorSet {
+        MonitorSet::default()
+    }
+
+    /// Register (or replace) a standing query.
+    pub fn register(&mut self, name: &str, query: Query) {
+        self.monitors.insert(name.to_string(), (query, None));
+    }
+
+    /// Remove a monitor. Returns whether it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        self.monitors.remove(name).is_some()
+    }
+
+    /// Number of registered monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Re-evaluate every monitor against `db`; returns one fire per monitor
+    /// whose answer changed (including the first evaluation). Queries that
+    /// error (e.g. their table does not exist yet) are skipped silently —
+    /// a monitor may be registered before its pipeline first runs.
+    pub fn check(&mut self, db: &Database) -> Vec<MonitorFire> {
+        let mut fires = Vec::new();
+        for (name, (query, last)) in &mut self.monitors {
+            let Ok(current) = execute(db, query) else { continue };
+            if last.as_ref() != Some(&current) {
+                fires.push(MonitorFire {
+                    name: name.clone(),
+                    previous: last.clone(),
+                    current: current.clone(),
+                });
+                *last = Some(current);
+            }
+        }
+        fires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_query::engine::AggFn;
+    use quarry_storage::{Column, DataType, TableSchema, Value};
+
+    fn db() -> Database {
+        let db = Database::in_memory();
+        db.create_table(
+            TableSchema::new(
+                "cities",
+                vec![Column::new("name", DataType::Text), Column::new("population", DataType::Int)],
+                &["name"],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fires_on_first_evaluation_and_on_change() {
+        let db = db();
+        let mut ms = MonitorSet::new();
+        ms.register("total-pop", Query::scan("cities").aggregate(None, AggFn::Sum, "population"));
+
+        db.insert_autocommit("cities", vec!["a".into(), Value::Int(100)]).unwrap();
+        let fires = ms.check(&db);
+        assert_eq!(fires.len(), 1);
+        assert!(fires[0].previous.is_none());
+
+        // No change → no fire.
+        assert!(ms.check(&db).is_empty());
+
+        // Data moves → fire with old and new.
+        db.insert_autocommit("cities", vec!["b".into(), Value::Int(50)]).unwrap();
+        let fires = ms.check(&db);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].previous.as_ref().unwrap().scalar(), Some(&Value::Float(100.0)));
+        assert_eq!(fires[0].current.scalar(), Some(&Value::Float(150.0)));
+    }
+
+    #[test]
+    fn missing_table_is_silent_until_it_appears() {
+        let db = Database::in_memory();
+        let mut ms = MonitorSet::new();
+        ms.register("later", Query::scan("not_yet"));
+        assert!(ms.check(&db).is_empty());
+        db.create_table(
+            TableSchema::new("not_yet", vec![Column::new("x", DataType::Int)], &["x"], &[]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ms.check(&db).len(), 1);
+    }
+
+    #[test]
+    fn unregister_and_replace() {
+        let mut ms = MonitorSet::new();
+        ms.register("m", Query::scan("t"));
+        assert_eq!(ms.len(), 1);
+        ms.register("m", Query::scan("t2")); // replace resets state
+        assert_eq!(ms.len(), 1);
+        assert!(ms.unregister("m"));
+        assert!(!ms.unregister("m"));
+        assert!(ms.is_empty());
+    }
+}

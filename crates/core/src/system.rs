@@ -1,0 +1,714 @@
+//! The [`Quarry`] façade: one object exposing the whole Figure-1 system.
+
+use crate::dge::{DgeEvent, DgeLog};
+use crate::feedback::{Correction, CorrectionStatus, FeedbackQueue};
+use crate::monitor::{MonitorFire, MonitorSet};
+use crate::users::UserDirectory;
+use quarry_corpus::{DocId, Document};
+use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
+use quarry_extract::Extraction;
+use quarry_hi::Crowd;
+use quarry_lang::exec::{ExecError, TruthOracle};
+use quarry_lang::{optimize, parse, ExecContext, ExecStats, Executor, ExtractorRegistry, LogicalPlan};
+use quarry_query::engine::{execute, Query, QueryError, QueryResult};
+use quarry_query::forms::QueryForm;
+use quarry_query::{CandidateQuery, InvertedIndex, SearchHit, Translator};
+use quarry_schema::SchemaRegistry;
+use quarry_storage::{Database, SnapshotStore, StorageError, Value};
+use quarry_uncertainty::{LineageGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Quarry configuration.
+#[derive(Debug, Clone)]
+pub struct QuarryConfig {
+    /// Snapshot-store keyframe interval (see
+    /// [`SnapshotStore::new`]).
+    pub keyframe_interval: usize,
+    /// Path for the structured store's WAL; `None` = in-memory.
+    pub wal_path: Option<std::path::PathBuf>,
+    /// Health-monitor heartbeat timeout in ticks.
+    pub heartbeat_timeout: u64,
+}
+
+impl Default for QuarryConfig {
+    fn default() -> Self {
+        QuarryConfig { keyframe_interval: 16, wal_path: None, heartbeat_timeout: 10 }
+    }
+}
+
+/// Any error the façade can surface.
+#[derive(Debug)]
+pub enum QuarryError {
+    /// QDL parse/plan/execution failure.
+    Pipeline(String),
+    /// Storage failure.
+    Storage(StorageError),
+    /// Structured-query failure.
+    Query(QueryError),
+}
+
+impl fmt::Display for QuarryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarryError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            QuarryError::Storage(e) => write!(f, "storage error: {e}"),
+            QuarryError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuarryError {}
+
+impl From<StorageError> for QuarryError {
+    fn from(e: StorageError) -> Self {
+        QuarryError::Storage(e)
+    }
+}
+
+impl From<QueryError> for QuarryError {
+    fn from(e: QueryError) -> Self {
+        QuarryError::Query(e)
+    }
+}
+
+impl From<ExecError> for QuarryError {
+    fn from(e: ExecError) -> Self {
+        QuarryError::Pipeline(e.to_string())
+    }
+}
+
+/// The end-to-end system.
+pub struct Quarry {
+    /// Versioned raw-page store (storage layer).
+    pub snapshots: SnapshotStore,
+    /// The structured store (storage layer).
+    pub db: Database,
+    /// Operator library (processing layer).
+    pub registry: ExtractorRegistry,
+    /// Schema version registry (processing layer, Part IV).
+    pub schemas: SchemaRegistry,
+    /// Provenance graph (processing layer, Part V).
+    pub lineage: LineageGraph,
+    /// System health (processing layer, Part VI).
+    pub health: HealthMonitor,
+    /// User accounts (user layer).
+    pub users: UserDirectory,
+    /// The DGE event log.
+    pub dge: DgeLog,
+    /// Standing queries (monitoring exploitation mode).
+    pub monitors: MonitorSet,
+    /// User-contributed corrections awaiting support.
+    pub feedback: FeedbackQueue,
+    docs: Vec<Document>,
+    index: Option<InvertedIndex>,
+    translator: Option<Translator>,
+    cache: HashMap<(DocId, String), Vec<Extraction>>,
+    crowd: Option<Crowd>,
+    truth: Option<TruthOracle>,
+    day: usize,
+    tick: u64,
+}
+
+impl Quarry {
+    /// Bring up a system.
+    pub fn new(config: QuarryConfig) -> Result<Quarry, QuarryError> {
+        let db = match &config.wal_path {
+            Some(p) => Database::open(p)?,
+            None => Database::in_memory(),
+        };
+        let mut health = HealthMonitor::new(config.heartbeat_timeout);
+        health.register("ingest", [("docs", 0.0, f64::INFINITY)]);
+        health.register("pipeline", [("extractions_per_doc", 0.0, 1000.0)]);
+        Ok(Quarry {
+            snapshots: SnapshotStore::new(config.keyframe_interval),
+            db,
+            registry: ExtractorRegistry::standard(),
+            schemas: SchemaRegistry::new(),
+            lineage: LineageGraph::new(),
+            health,
+            users: UserDirectory::new(),
+            dge: DgeLog::new(),
+            monitors: MonitorSet::new(),
+            feedback: FeedbackQueue::new(2.0),
+            docs: Vec::new(),
+            index: None,
+            translator: None,
+            cache: HashMap::new(),
+            crowd: None,
+            truth: None,
+            day: 0,
+            tick: 0,
+        })
+    }
+
+    /// Wire human-intervention capability (simulated crowd + truth oracle).
+    pub fn set_hi(&mut self, crowd: Crowd, truth: TruthOracle) {
+        self.crowd = Some(crowd);
+        self.truth = Some(truth);
+    }
+
+    /// The current working document set.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Ingest one crawl snapshot: pages are versioned in the snapshot
+    /// store, the working set replaced, and the keyword index invalidated.
+    pub fn ingest(&mut self, docs: Vec<Document>) {
+        self.tick += 1;
+        self.snapshots
+            .put_snapshot(docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
+        self.dge.record(DgeEvent::Ingest { docs: docs.len(), day: self.day });
+        self.health.heartbeat(self.tick, "ingest", [("docs", docs.len() as f64)]);
+        self.day += 1;
+        self.docs = docs;
+        self.index = None;
+        // Page content changed: cached extractions are stale.
+        self.cache.clear();
+    }
+
+    /// Run a QDL program over the current working set.
+    pub fn run_pipeline(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
+        self.tick += 1;
+        let pipeline = parse(src).map_err(|e| QuarryError::Pipeline(e.to_string()))?;
+        let plan = optimize(&LogicalPlan::from_pipeline(&pipeline), &self.registry);
+        let mut ctx = ExecContext {
+            docs: &self.docs,
+            registry: &self.registry,
+            db: &self.db,
+            crowd: self.crowd.take(),
+            truth: self.truth.clone(),
+            cache: std::mem::take(&mut self.cache),
+        };
+        let result = Executor::run(&plan, &mut ctx);
+        self.crowd = ctx.crowd.take();
+        self.cache = std::mem::take(&mut ctx.cache);
+        let stats = result?;
+        self.dge.record(DgeEvent::PipelineRun {
+            name: pipeline.name.clone(),
+            extractions: stats.extractions,
+            entities: stats.entities,
+            questions: stats.questions_asked,
+        });
+        let per_doc = if self.docs.is_empty() {
+            0.0
+        } else {
+            stats.extractions as f64 / self.docs.len() as f64
+        };
+        self.health
+            .heartbeat(self.tick, "pipeline", [("extractions_per_doc", per_doc)]);
+        // Translator reflects stored structure; rebuild lazily next use.
+        self.translator = None;
+        // Generation moved the data: standing queries may have new answers.
+        for fire in self.check_monitors() {
+            let _ = fire;
+        }
+        Ok(stats)
+    }
+
+    /// Register a standing query; its changes are reported by
+    /// [`Quarry::check_monitors`] and automatically after each pipeline run.
+    pub fn register_monitor(&mut self, name: &str, query: Query) {
+        self.monitors.register(name, query);
+    }
+
+    /// Run every pipeline in a multi-pipeline QDL script, in order.
+    /// Returns per-pipeline stats; stops at the first failure.
+    pub fn run_script(&mut self, src: &str) -> Result<Vec<(String, ExecStats)>, QuarryError> {
+        let mut out = Vec::new();
+        for chunk in split_script(src) {
+            let name = parse(&chunk)
+                .map_err(|e| QuarryError::Pipeline(e.to_string()))?
+                .name;
+            let stats = self.run_pipeline(&chunk)?;
+            out.push((name, stats));
+        }
+        Ok(out)
+    }
+
+    /// A user proposes a correction to a stored cell (ordinary-user data
+    /// generation). Applied once reputation-weighted support suffices.
+    pub fn submit_correction(
+        &mut self,
+        user: &str,
+        correction: Correction,
+    ) -> Result<CorrectionStatus, QuarryError> {
+        let subject = format!("{}.{}", correction.table, correction.column);
+        let status = self
+            .feedback
+            .submit(&mut self.users, &self.db, user, correction)?;
+        self.dge.record(DgeEvent::Feedback { user: user.to_string(), subject });
+        if status == CorrectionStatus::Applied {
+            // The data moved: monitors may fire; translator index is stale.
+            self.translator = None;
+            let _ = self.check_monitors();
+        }
+        Ok(status)
+    }
+
+    /// Re-evaluate standing queries; fires are logged as DGE events.
+    pub fn check_monitors(&mut self) -> Vec<MonitorFire> {
+        let fires = self.monitors.check(&self.db);
+        for f in &fires {
+            self.dge.record(DgeEvent::MonitorFired {
+                monitor: f.name.clone(),
+                rows: f.current.rows.len(),
+            });
+        }
+        fires
+    }
+
+    fn ensure_index(&mut self) {
+        if self.index.is_none() {
+            self.index = Some(InvertedIndex::build(self.docs.iter()));
+        }
+    }
+
+    fn ensure_translator(&mut self) {
+        if self.translator.is_none() {
+            self.translator = Some(Translator::from_database(&self.db));
+        }
+    }
+
+    /// Keyword search: document hits plus suggested structured queries.
+    pub fn keyword(&mut self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
+        self.ensure_index();
+        self.ensure_translator();
+        let hits = self.index.as_ref().expect("built").search(query, k);
+        let candidates = self.translator.as_ref().expect("built").translate(query, k);
+        self.dge.record(DgeEvent::KeywordQuery {
+            query: query.to_string(),
+            hits: hits.len(),
+            candidates: candidates.len(),
+        });
+        (hits, candidates)
+    }
+
+    /// Render the suggested queries for a keyword query as forms.
+    pub fn suggest_forms(&mut self, query: &str, k: usize) -> Vec<QueryForm> {
+        let (_, candidates) = self.keyword(query, k);
+        candidates
+            .iter()
+            .map(|c| quarry_query::forms::render(&c.query))
+            .collect()
+    }
+
+    /// Run a structured query.
+    pub fn structured(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
+        let result = execute(&self.db, q)?;
+        self.dge.record(DgeEvent::StructuredQuery {
+            rendered: q.display(),
+            rows: result.rows.len(),
+        });
+        Ok(result)
+    }
+
+    /// Audit a stored table with the semantic debugger: constraints are
+    /// learned from the table itself, so only minority-violating cells
+    /// (outliers, FD breaks, type intruders) get flagged.
+    pub fn audit_table(&mut self, table: &str) -> Result<Vec<Suspicion>, QuarryError> {
+        let schema = self.db.schema(table)?;
+        let rows = self.db.scan_autocommit(table)?;
+        let columns: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let serialized: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| if v.is_null() { String::new() } else { v.to_string() })
+                    .collect()
+            })
+            .collect();
+        let dbg = SemanticDebugger::learn(&columns, &serialized, &LearnConfig::default());
+        let flags = dbg.check(&serialized);
+        self.dge.record(DgeEvent::DebuggerFlag { table: table.to_string(), flags: flags.len() });
+        Ok(flags)
+    }
+
+    /// Build tuple-level provenance for every row of a stored table by
+    /// re-associating rows with the cached extractions that support them.
+    /// Returns the lineage node per row (row key rendering → node).
+    pub fn record_lineage(&mut self, table: &str) -> Result<Vec<(String, NodeId)>, QuarryError> {
+        let schema = self.db.schema(table)?;
+        let rows = self.db.scan_autocommit(table)?;
+        let mut out = Vec::with_capacity(rows.len());
+        // Index cached extractions by (attribute, value) for fast lookup.
+        let mut support: HashMap<(&str, &Value), Vec<&Extraction>> = HashMap::new();
+        for exts in self.cache.values() {
+            for e in exts {
+                support.entry((e.attribute.as_str(), &e.value)).or_default().push(e);
+            }
+        }
+        for row in &rows {
+            let mut inputs = Vec::new();
+            for (c, v) in schema.columns.iter().zip(row) {
+                if v.is_null() {
+                    continue;
+                }
+                if let Some(witnesses) = support.get(&(c.name.as_str(), v)) {
+                    for e in witnesses.iter().take(2) {
+                        let doc_text = self
+                            .docs
+                            .iter()
+                            .find(|d| d.id == e.doc)
+                            .map(|d| e.span.slice(&d.text))
+                            .unwrap_or(&e.raw);
+                        let src = self.lineage.source(e.doc, e.span, doc_text);
+                        let op = self.lineage.operator(e.extractor, e.confidence, vec![src]);
+                        inputs.push(op);
+                    }
+                }
+            }
+            let display: Vec<String> = row.iter().map(Value::to_string).collect();
+            let node = self.lineage.tuple(table, &display.join(", "), inputs);
+            out.push((display.join(", "), node));
+        }
+        Ok(out)
+    }
+
+    /// Explain one derived tuple (by lineage node).
+    pub fn explain(&self, node: NodeId) -> String {
+        self.lineage.explain(node)
+    }
+
+    /// Browse an entity: render its card — fields, plus rows of *other*
+    /// tables that share one of its text values (cheap value-join links,
+    /// the "browsing" exploitation mode of §3.2).
+    pub fn browse(&self, table: &str, key: &[Value]) -> Result<String, QuarryError> {
+        use std::fmt::Write as _;
+        let schema = self.db.schema(table)?;
+        let tx = self.db.begin();
+        let row = self.db.get(tx, table, key);
+        self.db.commit(tx)?;
+        let row = row?;
+        let mut card = String::new();
+        let _ = writeln!(card, "┌ {table}: {}", key.iter().map(Value::to_string).collect::<Vec<_>>().join(", "));
+        for (c, v) in schema.columns.iter().zip(&row) {
+            if !v.is_null() {
+                let _ = writeln!(card, "│ {} = {v}", c.name);
+            }
+        }
+        // Value links: other tables mentioning any of this row's text values.
+        let texts: Vec<&str> = row.iter().filter_map(Value::as_text).collect();
+        for other in self.db.table_names() {
+            if other == table {
+                continue;
+            }
+            let Ok(other_schema) = self.db.schema(&other) else { continue };
+            let Ok(rows) = self.db.scan_autocommit(&other) else { continue };
+            let mut links = 0usize;
+            for orow in &rows {
+                if orow.iter().filter_map(Value::as_text).any(|t| texts.contains(&t)) {
+                    if links == 0 {
+                        let _ = writeln!(card, "├ related in {other}:");
+                    }
+                    if links < 3 {
+                        let key_render: Vec<String> = other_schema
+                            .key
+                            .iter()
+                            .map(|&i| orow[i].to_string())
+                            .collect();
+                        let _ = writeln!(card, "│   {}", key_render.join(", "));
+                    }
+                    links += 1;
+                }
+            }
+            if links > 3 {
+                let _ = writeln!(card, "│   … and {} more", links - 3);
+            }
+        }
+        card.push('└');
+        Ok(card)
+    }
+
+    /// Advance the health clock and report component statuses.
+    pub fn health_check(&mut self) -> Vec<(String, quarry_debugger::HealthStatus)> {
+        self.tick += 1;
+        ["ingest", "pipeline"]
+            .iter()
+            .filter_map(|c| self.health.status(self.tick, c).map(|s| (c.to_string(), s)))
+            .collect()
+    }
+}
+
+/// Split a multi-pipeline script at each `PIPELINE` keyword (comments
+/// stripped line-wise first so a commented-out pipeline stays dormant).
+fn split_script(src: &str) -> Vec<String> {
+    let cleaned: String = src
+        .lines()
+        .map(|l| l.split("--").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut chunks = Vec::new();
+    let mut current = String::new();
+    for line in cleaned.lines() {
+        if line.trim_start().to_ascii_uppercase().starts_with("PIPELINE") && !current.trim().is_empty()
+        {
+            chunks.push(std::mem::take(&mut current));
+        }
+        current.push_str(line);
+        current.push('\n');
+    }
+    if !current.trim().is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_corpus::{Corpus, CorpusConfig, NoiseConfig};
+
+    fn system_with_corpus() -> (Quarry, Corpus) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            noise: NoiseConfig::none(),
+            ..CorpusConfig::tiny(21)
+        });
+        let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+        q.ingest(corpus.docs.clone());
+        (q, corpus)
+    }
+
+    const CITY_PIPELINE: &str = r#"
+PIPELINE cities FROM corpus
+EXTRACT infobox, rules
+WHERE attribute IN ("name", "state", "population", "founded")
+RESOLVE BY name
+STORE INTO cities KEY name
+"#;
+
+    #[test]
+    fn ingest_then_pipeline_then_query() {
+        let (mut q, corpus) = system_with_corpus();
+        let stats = q.run_pipeline(CITY_PIPELINE).unwrap();
+        assert!(stats.rows_stored >= corpus.truth.cities.len());
+
+        // The paper's exploitation path: keyword → suggested structured query.
+        let city = &corpus.truth.cities[0];
+        let (hits, candidates) = q.keyword(&format!("population {}", city.name), 5);
+        assert!(!hits.is_empty());
+        assert!(!candidates.is_empty());
+        let result = q.structured(&candidates[0].query).unwrap();
+        assert!(
+            result
+                .rows
+                .iter()
+                .flatten()
+                .any(|v| *v == Value::Int(city.population as i64)),
+            "expected population {} in {result:?}",
+            city.population
+        );
+
+        // DGE log saw generation and exploitation.
+        let (gen, exploit) = q.dge.generation_exploitation_split();
+        assert!(gen >= 2);
+        assert!(exploit >= 2);
+    }
+
+    #[test]
+    fn snapshot_store_versions_ingests() {
+        let (mut q, corpus) = system_with_corpus();
+        q.ingest(corpus.docs.clone()); // second identical snapshot
+        let stats = q.snapshots.stats();
+        assert_eq!(stats.versions, corpus.docs.len() * 2);
+        assert!(stats.compression_ratio() > 1.5, "{}", stats.compression_ratio());
+    }
+
+    #[test]
+    fn audit_flags_planted_outlier() {
+        let (mut q, _) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        // Plant an impossible population on one row.
+        let rows = q.db.scan_autocommit("cities").unwrap();
+        let schema = q.db.schema("cities").unwrap();
+        let pi = schema.column_index("population").unwrap();
+        let mut victim = rows[0].clone();
+        victim[pi] = Value::Int(-5_000_000);
+        let key = schema.key_of(&rows[0]);
+        let tx = q.db.begin();
+        q.db.update(tx, "cities", &key, victim).unwrap();
+        q.db.commit(tx).unwrap();
+
+        let flags = q.audit_table("cities").unwrap();
+        assert!(
+            flags.iter().any(|s| s.attribute == "population"),
+            "expected population flag, got {flags:?}"
+        );
+    }
+
+    #[test]
+    fn lineage_traces_rows_to_source_spans() {
+        let (mut q, _) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let nodes = q.record_lineage("cities").unwrap();
+        assert!(!nodes.is_empty());
+        // At least one stored tuple must trace back to raw text.
+        let traced = nodes
+            .iter()
+            .filter(|(_, n)| !q.lineage.source_spans(*n).is_empty())
+            .count();
+        assert!(traced > 0, "no tuple traced to a source span");
+        let text = q.explain(nodes[0].1);
+        assert!(text.contains("tuple in cities"));
+    }
+
+    #[test]
+    fn health_reflects_activity_and_staleness() {
+        let (mut q, _) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let statuses = q.health_check();
+        assert!(statuses
+            .iter()
+            .all(|(_, s)| *s == quarry_debugger::HealthStatus::Healthy));
+        // Let the clock run past the heartbeat timeout.
+        for _ in 0..12 {
+            q.health_check();
+        }
+        let statuses = q.health_check();
+        assert!(statuses
+            .iter()
+            .any(|(_, s)| *s == quarry_debugger::HealthStatus::Unresponsive));
+    }
+
+    #[test]
+    fn monitors_fire_when_generation_moves_the_data() {
+        let (mut q, corpus) = system_with_corpus();
+        q.register_monitor(
+            "city-count",
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name"),
+        );
+        // First pipeline run fires the monitor (first evaluation).
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let fired: Vec<&DgeEvent> = q
+            .dge
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DgeEvent::MonitorFired { .. }))
+            .collect();
+        assert_eq!(fired.len(), 1);
+        // Quiet when nothing changes.
+        assert!(q.check_monitors().is_empty());
+        // Re-ingesting and re-running with the same corpus keeps the same
+        // answer → still quiet.
+        q.ingest(corpus.docs.clone());
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let fired: Vec<&DgeEvent> = q
+            .dge
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DgeEvent::MonitorFired { .. }))
+            .collect();
+        assert_eq!(fired.len(), 1, "unchanged answer must not re-fire");
+    }
+
+    #[test]
+    fn bad_pipeline_is_a_clean_error() {
+        let (mut q, _) = system_with_corpus();
+        assert!(matches!(
+            q.run_pipeline("PIPELINE broken FROM"),
+            Err(QuarryError::Pipeline(_))
+        ));
+        assert!(matches!(
+            q.run_pipeline("PIPELINE p FROM corpus EXTRACT nonexistent RESOLVE BY name STORE INTO t KEY name"),
+            Err(QuarryError::Pipeline(_))
+        ));
+    }
+
+    #[test]
+    fn multi_pipeline_script_runs_in_order() {
+        let (mut q, _) = system_with_corpus();
+        let script = r#"
+-- city facts first
+PIPELINE cities FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("name", "state", "population")
+RESOLVE BY name
+STORE INTO cities KEY name
+
+-- then people
+PIPELINE people FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("name", "birth_year", "employer")
+RESOLVE BY name
+STORE INTO people KEY name
+"#;
+        let results = q.run_script(script).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, "cities");
+        assert_eq!(results[1].0, "people");
+        assert!(q.db.row_count("cities").unwrap() > 0);
+        assert!(q.db.row_count("people").unwrap() > 0);
+        // A broken second pipeline stops the script with an error.
+        assert!(q.run_script("PIPELINE a FROM corpus EXTRACT infobox RESOLVE BY name STORE INTO t1 KEY name\nPIPELINE b FROM").is_err());
+    }
+
+    #[test]
+    fn user_corrections_flow_into_the_store() {
+        let (mut q, corpus) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        q.users.register("editor", false).unwrap();
+        for _ in 0..20 {
+            q.users.record_contribution("editor", true).unwrap(); // trusted
+        }
+        let city = &corpus.truth.cities[0];
+        let status = q
+            .submit_correction(
+                "editor",
+                Correction {
+                    table: "cities".into(),
+                    key: vec![city.name.as_str().into()],
+                    column: "population".into(),
+                    value: Value::Int(123_456),
+                },
+            )
+            .unwrap();
+        assert_eq!(status, CorrectionStatus::Applied);
+        let tx = q.db.begin();
+        let row = q.db.get(tx, "cities", &[city.name.as_str().into()]).unwrap();
+        q.db.commit(tx).unwrap();
+        let schema = q.db.schema("cities").unwrap();
+        assert_eq!(row[schema.column_index("population").unwrap()], Value::Int(123_456));
+        // The DGE log recorded the feedback.
+        assert!(q
+            .dge
+            .events()
+            .iter()
+            .any(|e| matches!(e, DgeEvent::Feedback { .. })));
+    }
+
+    #[test]
+    fn browse_renders_cards_with_links() {
+        let (mut q, corpus) = system_with_corpus();
+        q.run_script(
+            r#"PIPELINE cities FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("name", "state", "population")
+RESOLVE BY name
+STORE INTO cities KEY name
+PIPELINE companies FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("name", "headquarters", "industry")
+RESOLVE BY name
+STORE INTO companies KEY name"#,
+        )
+        .unwrap();
+        // A city that hosts a company headquarters gets a related-link.
+        let hq = &corpus.truth.companies[0].headquarters;
+        let card = q.browse("cities", &[hq.as_str().into()]).unwrap();
+        assert!(card.contains(&format!("cities: {hq}")));
+        assert!(card.contains("population ="));
+        assert!(card.contains("related in companies:"), "{card}");
+        // Missing entities error cleanly.
+        assert!(q.browse("cities", &["Atlantis".into()]).is_err());
+    }
+
+    #[test]
+    fn reingest_invalidates_extraction_cache() {
+        let (mut q, corpus) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        assert!(!q.cache.is_empty());
+        q.ingest(corpus.docs.clone());
+        assert!(q.cache.is_empty());
+    }
+}

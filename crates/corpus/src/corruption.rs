@@ -1,0 +1,214 @@
+//! Error injection for evaluating the semantic debugger.
+//!
+//! The paper's Part-VI example: a module that "has learned that the monthly
+//! temperature of a city cannot exceed 130 degrees ... can flag an extracted
+//! temperature of 135 as suspicious". To measure that detector we corrupt
+//! ground-truth-derived tuples at a known rate and keep a log of exactly
+//! which (row, attribute) pairs were damaged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The kinds of damage injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Numeric value pushed outside its learned plausible range
+    /// (e.g. temperature 135 °F, population −4).
+    OutOfRange,
+    /// Value replaced by one of the wrong type (a word where a number goes).
+    WrongType,
+    /// Value swapped with another row's value for the same attribute,
+    /// breaking functional dependencies without leaving the value domain.
+    SwappedValue,
+}
+
+impl CorruptionKind {
+    /// All kinds in a fixed order.
+    pub const ALL: [CorruptionKind; 3] = [
+        CorruptionKind::OutOfRange,
+        CorruptionKind::WrongType,
+        CorruptionKind::SwappedValue,
+    ];
+}
+
+/// Configuration for one corruption pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of cells to corrupt, in `[0,1]`.
+    pub rate: f64,
+}
+
+/// Record of one injected error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectedError {
+    /// Row index in the corrupted table.
+    pub row: usize,
+    /// Attribute (column) name.
+    pub attribute: String,
+    /// What was done.
+    pub kind: CorruptionKind,
+    /// The original (correct) serialized value.
+    pub original: String,
+    /// The corrupted serialized value now in place.
+    pub corrupted: String,
+}
+
+/// The labels produced by a corruption pass: which cells are bad.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorruptionLog {
+    /// One entry per damaged cell.
+    pub errors: Vec<InjectedError>,
+}
+
+impl CorruptionLog {
+    /// True if the given cell was corrupted.
+    pub fn is_corrupted(&self, row: usize, attribute: &str) -> bool {
+        self.errors
+            .iter()
+            .any(|e| e.row == row && e.attribute == attribute)
+    }
+
+    /// Number of injected errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True when nothing was corrupted.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Corrupt a string-serialized table in place.
+///
+/// `rows` is a mutable table of serialized cell values; `columns` names each
+/// column and says whether it is numeric. Returns the log of injected errors.
+pub fn corrupt_table(
+    rows: &mut [Vec<String>],
+    columns: &[(&str, bool)],
+    config: CorruptionConfig,
+) -> CorruptionLog {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut log = CorruptionLog::default();
+    if rows.is_empty() {
+        return log;
+    }
+    let n_cells = rows.len() * columns.len();
+    let n_corrupt = ((n_cells as f64) * config.rate).round() as usize;
+
+    for _ in 0..n_corrupt {
+        let row = rng.gen_range(0..rows.len());
+        let col = rng.gen_range(0..columns.len());
+        let (attr, numeric) = columns[col];
+        let original = rows[row][col].clone();
+        if log.is_corrupted(row, attr) {
+            continue; // don't double-corrupt one cell; keeps labels crisp
+        }
+        let kind = CorruptionKind::ALL[rng.gen_range(0..CorruptionKind::ALL.len())];
+        let corrupted = match kind {
+            CorruptionKind::OutOfRange if numeric => {
+                let v: f64 = original.parse().unwrap_or(0.0);
+                // Push far outside any plausible learned range.
+                let blown = if rng.gen_bool(0.5) { v * 100.0 + 1000.0 } else { -v * 100.0 - 1000.0 };
+                format!("{blown:.0}")
+            }
+            CorruptionKind::OutOfRange => {
+                // Non-numeric column: fall back to an unseen categorical value.
+                format!("__corrupt_{}", rng.gen_range(0..u32::MAX))
+            }
+            CorruptionKind::WrongType if numeric => "unknown".to_string(),
+            CorruptionKind::WrongType => rng.gen_range(10_000..99_999u32).to_string(),
+            CorruptionKind::SwappedValue => {
+                let other = rng.gen_range(0..rows.len());
+                rows[other][col].clone()
+            }
+        };
+        if corrupted == original {
+            continue; // swap landed on an identical value; not an error
+        }
+        rows[row][col] = corrupted.clone();
+        log.errors.push(InjectedError {
+            row,
+            attribute: attr.to_string(),
+            kind,
+            original,
+            corrupted,
+        });
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (Vec<Vec<String>>, Vec<(&'static str, bool)>) {
+        let rows: Vec<Vec<String>> = (0..50)
+            .map(|i| vec![format!("city{i}"), format!("{}", 20 + i), format!("{}", 1000 * (i + 1))])
+            .collect();
+        (rows, vec![("name", false), ("temp", true), ("population", true)])
+    }
+
+    #[test]
+    fn zero_rate_corrupts_nothing() {
+        let (mut rows, cols) = table();
+        let orig = rows.clone();
+        let log = corrupt_table(&mut rows, &cols, CorruptionConfig { seed: 1, rate: 0.0 });
+        assert!(log.is_empty());
+        assert_eq!(rows, orig);
+    }
+
+    #[test]
+    fn log_matches_actual_damage() {
+        let (mut rows, cols) = table();
+        let orig = table().0;
+        let log = corrupt_table(&mut rows, &cols, CorruptionConfig { seed: 2, rate: 0.1 });
+        assert!(!log.is_empty());
+        for e in &log.errors {
+            let col = cols.iter().position(|(n, _)| *n == e.attribute).unwrap();
+            assert_eq!(rows[e.row][col], e.corrupted);
+            assert_eq!(orig[e.row][col], e.original);
+            assert_ne!(e.corrupted, e.original);
+        }
+        // Every changed cell is in the log.
+        for (r, (now, before)) in rows.iter().zip(&orig).enumerate() {
+            for (c, (nv, bv)) in now.iter().zip(before).enumerate() {
+                if nv != bv {
+                    assert!(log.is_corrupted(r, cols[c].0), "unlogged damage at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_numeric_values_are_extreme() {
+        let (mut rows, cols) = table();
+        let log = corrupt_table(&mut rows, &cols, CorruptionConfig { seed: 3, rate: 0.3 });
+        for e in log.errors.iter().filter(|e| e.kind == CorruptionKind::OutOfRange) {
+            if let Ok(v) = e.corrupted.parse::<f64>() {
+                assert!(v.abs() > 500.0, "not extreme: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut a, cols) = table();
+        let (mut b, _) = table();
+        let cfg = CorruptionConfig { seed: 7, rate: 0.2 };
+        let la = corrupt_table(&mut a, &cols, cfg);
+        let lb = corrupt_table(&mut b, &cols, cfg);
+        assert_eq!(a, b);
+        assert_eq!(la.errors, lb.errors);
+    }
+
+    #[test]
+    fn empty_table_is_noop() {
+        let mut rows: Vec<Vec<String>> = vec![];
+        let log = corrupt_table(&mut rows, &[("x", true)], CorruptionConfig { seed: 1, rate: 0.5 });
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic name pools for the generator.
+//!
+//! Pools are intentionally larger than any realistic corpus configuration so
+//! that entity names rarely collide by accident; *intentional* duplicates
+//! (name variants of the same real-world entity) are produced by
+//! [`crate::noise`], never here.
+
+use rand::Rng;
+
+/// US-style state names used for city pages.
+pub const STATES: &[&str] = &[
+    "Wisconsin",
+    "Minnesota",
+    "Illinois",
+    "Iowa",
+    "Michigan",
+    "Ohio",
+    "Indiana",
+    "Missouri",
+    "Kansas",
+    "Nebraska",
+    "Colorado",
+    "Oregon",
+    "Washington",
+    "Vermont",
+    "Maine",
+    "Georgia",
+    "Texas",
+    "Arizona",
+    "Nevada",
+    "Montana",
+];
+
+/// Month names, January..December.
+pub const MONTHS: &[&str] = &[
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+/// Industry labels for company pages.
+pub const INDUSTRIES: &[&str] = &[
+    "software",
+    "biotechnology",
+    "manufacturing",
+    "publishing",
+    "logistics",
+    "agriculture",
+    "insurance",
+    "energy",
+    "retail",
+    "telecommunications",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "SIGMOD",
+    "VLDB",
+    "CIDR",
+    "ICDE",
+    "EDBT",
+    "PODS",
+    "KDD",
+    "WWW",
+    "SIGIR",
+    "CIKM",
+];
+
+const CITY_PREFIX: &[&str] = &[
+    "Mad", "Spring", "River", "Oak", "Maple", "Stone", "Clear", "Fair", "Green", "North",
+    "South", "East", "West", "Lake", "Cedar", "Pine", "Elm", "Silver", "Golden", "Iron",
+    "Copper", "Bridge", "Mill", "Fox", "Eagle", "Deer", "Bear", "Falcon", "Ash", "Birch",
+];
+
+const CITY_SUFFIX: &[&str] = &[
+    "ison", "field", "ton", "ville", "burg", "port", "wood", "dale", "ford", "haven",
+    "brook", "mont", "view", "crest", "shore", "land", "bury", "stead", "gate", "crossing",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "David", "Sarah", "Michael", "Laura", "James", "Emily", "Robert", "Anna", "William",
+    "Grace", "Thomas", "Julia", "Henry", "Clara", "Samuel", "Alice", "Daniel", "Ruth",
+    "Joseph", "Helen", "Charles", "Margaret", "Edward", "Rose", "George", "Ellen", "Frank",
+    "Lucy", "Walter", "Edith", "Arthur", "Florence", "Albert", "Martha", "Harold", "Irene",
+    "Carl", "Esther", "Paul", "Marion",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Miller", "Anderson", "Wilson", "Taylor", "Thomas", "Moore",
+    "Jackson", "White", "Harris", "Martin", "Thompson", "Walker", "Young", "Allen",
+    "King", "Wright", "Scott", "Hill", "Green", "Adams", "Baker", "Nelson", "Carter",
+    "Mitchell", "Turner", "Phillips", "Campbell", "Parker", "Evans", "Edwards", "Collins",
+    "Stewart", "Morris", "Murphy", "Cook", "Rogers", "Reed", "Morgan",
+];
+
+const COMPANY_STEM: &[&str] = &[
+    "Acme", "Vertex", "Nimbus", "Quanta", "Solstice", "Aurora", "Keystone", "Summit",
+    "Pinnacle", "Horizon", "Beacon", "Cascade", "Meridian", "Zenith", "Atlas", "Polaris",
+    "Vanguard", "Frontier", "Sterling", "Crescent", "Harbor", "Granite", "Sierra",
+    "Redwood", "Juniper", "Willow", "Falcon", "Orion", "Delta", "Vector",
+];
+
+const COMPANY_FORM: &[&str] = &["Systems", "Labs", "Industries", "Group", "Corporation", "Works", "Partners", "Holdings"];
+
+const PAPER_TOPIC: &[&str] = &[
+    "query optimization",
+    "information extraction",
+    "schema matching",
+    "entity resolution",
+    "data provenance",
+    "crowdsourced curation",
+    "keyword search",
+    "data integration",
+    "uncertain data",
+    "declarative pipelines",
+    "incremental view maintenance",
+    "text indexing",
+];
+
+const PAPER_SHAPE: &[&str] = &[
+    "A Survey of {}",
+    "Scalable {}",
+    "Towards Practical {}",
+    "Revisiting {}",
+    "Efficient {} at Web Scale",
+    "{} with Human Feedback",
+    "Principles of {}",
+    "Adaptive {}",
+];
+
+/// Produce the `i`-th city name (deterministic, collision-free for
+/// `i < CITY_PREFIX.len() * CITY_SUFFIX.len()`, i.e. 600 cities).
+pub fn city_name(i: usize) -> String {
+    let p = CITY_PREFIX[i % CITY_PREFIX.len()];
+    let s = CITY_SUFFIX[(i / CITY_PREFIX.len()) % CITY_SUFFIX.len()];
+    let gen = i / (CITY_PREFIX.len() * CITY_SUFFIX.len());
+    if gen == 0 {
+        format!("{p}{s}")
+    } else {
+        // Beyond 600 cities disambiguate with a roman-ish ordinal suffix.
+        format!("{p}{s} {}", gen + 1)
+    }
+}
+
+/// Produce the `i`-th person full name, plus its parts.
+///
+/// The (first, last) pairing is a bijection over the two pools that cycles
+/// *both* names quickly, so a moderate population already spans all
+/// surnames — realistic blocking behaviour (many small surname buckets,
+/// not three giant ones).
+pub fn person_name(i: usize) -> (String, &'static str, &'static str) {
+    let nf = FIRST_NAMES.len();
+    let nl = LAST_NAMES.len();
+    let first = FIRST_NAMES[i % nf];
+    let last = LAST_NAMES[(i % nl + (i / nf) % nl) % nl];
+    let gen = i / (nf * nl);
+    let full = if gen == 0 {
+        format!("{first} {last}")
+    } else {
+        format!("{first} {last} {}", roman(gen + 1))
+    };
+    (full, first, last)
+}
+
+/// Produce the `i`-th company name.
+pub fn company_name(i: usize) -> String {
+    let stem = COMPANY_STEM[i % COMPANY_STEM.len()];
+    let form = COMPANY_FORM[(i / COMPANY_STEM.len()) % COMPANY_FORM.len()];
+    let gen = i / (COMPANY_STEM.len() * COMPANY_FORM.len());
+    if gen == 0 {
+        format!("{stem} {form}")
+    } else {
+        format!("{stem} {form} {}", gen + 1)
+    }
+}
+
+/// Produce the `i`-th publication title.
+pub fn paper_title(i: usize, rng: &mut impl Rng) -> String {
+    let topic = PAPER_TOPIC[i % PAPER_TOPIC.len()];
+    let shape = PAPER_SHAPE[rng.gen_range(0..PAPER_SHAPE.len())];
+    shape.replacen("{}", &title_case(topic), 1)
+}
+
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().chain(c).collect::<String>(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn roman(mut n: usize) -> String {
+    // Only small ordinals are ever needed (generation counter).
+    const PAIRS: &[(usize, &str)] = &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
+    let mut out = String::new();
+    for &(v, s) in PAIRS {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn city_names_unique_in_range() {
+        let mut names: Vec<_> = (0..600).map(city_name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 600);
+    }
+
+    #[test]
+    fn city_names_extend_past_pool() {
+        assert_ne!(city_name(0), city_name(600));
+        assert!(city_name(600).ends_with(" 2"));
+    }
+
+    #[test]
+    fn person_names_unique_in_range() {
+        let mut names: Vec<_> = (0..1600).map(|i| person_name(i).0).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 1600);
+    }
+
+    #[test]
+    fn person_name_parts_compose() {
+        let (full, first, last) = person_name(3);
+        assert_eq!(full, format!("{first} {last}"));
+    }
+
+    #[test]
+    fn company_names_unique_in_range() {
+        let mut names: Vec<_> = (0..240).map(company_name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 240);
+    }
+
+    #[test]
+    fn paper_titles_are_deterministic_per_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(paper_title(5, &mut a), paper_title(5, &mut b));
+    }
+
+    #[test]
+    fn roman_ordinals() {
+        assert_eq!(roman(2), "II");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(9), "IX");
+    }
+
+    #[test]
+    fn title_case_capitalizes_each_word() {
+        assert_eq!(title_case("query optimization"), "Query Optimization");
+    }
+}

@@ -1,0 +1,310 @@
+//! Page renderer: turns ground-truth facts into wiki-like page text.
+//!
+//! Each page is an `{{Infobox ...}}` block of `| key = value` lines followed
+//! by prose paragraphs restating (a subset of) the same facts in sentences,
+//! then filler prose. The noise model decides label variants, name variants,
+//! number formats, and typos, so the same fact surfaces differently across
+//! pages — the raw material for the integration layer.
+
+use crate::names::MONTHS;
+use crate::noise::{self, NoiseConfig};
+use crate::truth::{CityFact, CompanyFact, PersonFact, PublicationFact};
+use rand::Rng;
+
+/// Alternate infobox labels per canonical attribute name.
+///
+/// The paper's own example of semantic heterogeneity is `location` vs
+/// `address` across two Wikipedia infoboxes; this table generalizes it.
+pub const LABEL_VARIANTS: &[(&str, &str)] = &[
+    ("population", "residents"),
+    ("founded", "established"),
+    ("area_sq_mi", "land_area"),
+    ("state", "location"),
+    ("birth_year", "born"),
+    ("employer", "works_for"),
+    ("residence", "address"),
+    ("headquarters", "hq_city"),
+    ("industry", "sector"),
+    ("venue", "published_at"),
+    ("year", "pub_year"),
+];
+
+fn label<'a>(canonical: &'a str, cfg: &NoiseConfig, rng: &mut impl Rng) -> &'a str {
+    if rng.gen_bool(cfg.label_variant) {
+        if let Some(&(_, alt)) = LABEL_VARIANTS.iter().find(|(c, _)| *c == canonical) {
+            return alt;
+        }
+    }
+    canonical
+}
+
+const FILLER: &[&str] = &[
+    "The surrounding region offers numerous recreational opportunities throughout the year.",
+    "Local historians have documented the early settlement period in considerable detail.",
+    "Several annual festivals draw visitors from neighboring communities.",
+    "The area experienced steady growth following the arrival of the railroad.",
+    "Community organizations remain active in civic and cultural affairs.",
+    "Recent years have seen renewed interest in preserving historic architecture.",
+    "A network of trails connects the downtown district with outlying neighborhoods.",
+    "The public library maintains an extensive collection of regional archives.",
+];
+
+fn filler(cfg: &NoiseConfig, rng: &mut impl Rng, out: &mut String) {
+    let n = rng.gen_range(1..=3);
+    for _ in 0..n {
+        let mut s = FILLER[rng.gen_range(0..FILLER.len())].to_string();
+        if rng.gen_bool(cfg.typo) {
+            s = noise::typo(&s, rng);
+        }
+        out.push_str(&s);
+        out.push(' ');
+    }
+}
+
+/// Render a city page.
+pub fn render_city(fact: &CityFact, cfg: &NoiseConfig, rng: &mut impl Rng) -> String {
+    let mut t = String::with_capacity(2048);
+    let sep = rng.gen_bool(cfg.number_format_variant);
+    t.push_str("{{Infobox settlement\n");
+    t.push_str(&format!("| name = {}\n", fact.name));
+    t.push_str(&format!("| {} = {}\n", label("state", cfg, rng), fact.state));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("population", cfg, rng),
+        noise::format_number(fact.population, sep)
+    ));
+    t.push_str(&format!("| {} = {}\n", label("founded", cfg, rng), fact.founded));
+    t.push_str(&format!(
+        "| {} = {:.1}\n",
+        label("area_sq_mi", cfg, rng),
+        fact.area_sq_mi
+    ));
+    for (m, temp) in fact.monthly_temp_f.iter().enumerate() {
+        let unit = if rng.gen_bool(cfg.unit_variant) {
+            rng.gen_range(1..3u8)
+        } else {
+            0
+        };
+        t.push_str(&format!(
+            "| {}_temp = {}\n",
+            MONTHS[m].to_lowercase(),
+            noise::format_temp(*temp, unit)
+        ));
+    }
+    t.push_str("}}\n\n");
+
+    // Prose restating the headline facts plus a random subset of temperatures.
+    t.push_str(&format!(
+        "{} is a city in {}. As of the last census, the population of {} was {}. ",
+        fact.name,
+        fact.state,
+        fact.name,
+        noise::format_number(fact.population, sep)
+    ));
+    t.push_str(&format!(
+        "{} was founded in {} and covers {:.1} square miles. ",
+        fact.name, fact.founded, fact.area_sq_mi
+    ));
+    for (m, temp) in fact.monthly_temp_f.iter().enumerate() {
+        if rng.gen_bool(0.5) {
+            let unit = if rng.gen_bool(cfg.unit_variant) { 2 } else { 0 };
+            t.push_str(&format!(
+                "In {}, the average temperature in {} is {}. ",
+                MONTHS[m],
+                fact.name,
+                noise::format_temp(*temp, unit)
+            ));
+        }
+    }
+    filler(cfg, rng, &mut t);
+    t
+}
+
+/// Render a person page. `surface_name` is what the page calls the person
+/// (possibly an abbreviated variant of the canonical name).
+pub fn render_person(
+    fact: &PersonFact,
+    surface_name: &str,
+    cfg: &NoiseConfig,
+    rng: &mut impl Rng,
+) -> String {
+    let mut t = String::with_capacity(1024);
+    t.push_str("{{Infobox person\n");
+    t.push_str(&format!("| name = {surface_name}\n"));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("birth_year", cfg, rng),
+        fact.birth_year
+    ));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("employer", cfg, rng),
+        fact.employer
+    ));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("residence", cfg, rng),
+        fact.residence
+    ));
+    t.push_str("}}\n\n");
+    t.push_str(&format!(
+        "{surface_name} (born {}) works at {}. ",
+        fact.birth_year, fact.employer
+    ));
+    let last = fact.name.split(' ').next_back().unwrap_or(surface_name);
+    t.push_str(&format!("{last} lives in {}. ", fact.residence));
+    filler(cfg, rng, &mut t);
+    t
+}
+
+/// Render a company page.
+pub fn render_company(fact: &CompanyFact, cfg: &NoiseConfig, rng: &mut impl Rng) -> String {
+    let mut t = String::with_capacity(1024);
+    t.push_str("{{Infobox company\n");
+    t.push_str(&format!("| name = {}\n", fact.name));
+    t.push_str(&format!("| {} = {}\n", label("founded", cfg, rng), fact.founded));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("headquarters", cfg, rng),
+        fact.headquarters
+    ));
+    t.push_str(&format!(
+        "| {} = {}\n",
+        label("industry", cfg, rng),
+        fact.industry
+    ));
+    t.push_str("}}\n\n");
+    t.push_str(&format!(
+        "{} is a {} company headquartered in {}. It was founded in {}. ",
+        fact.name, fact.industry, fact.headquarters, fact.founded
+    ));
+    filler(cfg, rng, &mut t);
+    t
+}
+
+/// Render a publication page. `surface_authors` are the author mentions as
+/// they appear on the page (possibly name variants).
+pub fn render_publication(
+    fact: &PublicationFact,
+    surface_authors: &[String],
+    cfg: &NoiseConfig,
+    rng: &mut impl Rng,
+) -> String {
+    let mut t = String::with_capacity(1024);
+    t.push_str("{{Infobox publication\n");
+    t.push_str(&format!("| title = {}\n", fact.title));
+    t.push_str(&format!("| {} = {}\n", label("year", cfg, rng), fact.year));
+    t.push_str(&format!("| {} = {}\n", label("venue", cfg, rng), fact.venue));
+    t.push_str(&format!("| authors = {}\n", surface_authors.join("; ")));
+    t.push_str("}}\n\n");
+    t.push_str(&format!(
+        "\"{}\" appeared at {} in {}. ",
+        fact.title, fact.venue, fact.year
+    ));
+    if let Some(first) = surface_authors.first() {
+        t.push_str(&format!("The lead author is {first}. "));
+    }
+    filler(cfg, rng, &mut t);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DocId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn city() -> CityFact {
+        CityFact {
+            doc: DocId(0),
+            name: "Madison".into(),
+            state: "Wisconsin".into(),
+            population: 250_000,
+            founded: 1846,
+            monthly_temp_f: vec![20, 24, 35, 47, 58, 68, 72, 70, 62, 50, 37, 25],
+            area_sq_mi: 77.0,
+        }
+    }
+
+    #[test]
+    fn city_page_contains_all_infobox_temps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = render_city(&city(), &NoiseConfig::none(), &mut rng);
+        for m in MONTHS {
+            assert!(
+                text.contains(&format!("{}_temp", m.to_lowercase())),
+                "missing {m}"
+            );
+        }
+        assert!(text.contains("| population = 250000"));
+    }
+
+    #[test]
+    fn zero_noise_uses_canonical_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = render_city(&city(), &NoiseConfig::none(), &mut rng);
+        assert!(text.contains("| state = Wisconsin"));
+        assert!(!text.contains("| location ="));
+        assert!(!text.contains("| residents ="));
+    }
+
+    #[test]
+    fn full_label_noise_uses_alternates() {
+        let cfg = NoiseConfig { label_variant: 1.0, ..NoiseConfig::none() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = render_city(&city(), &cfg, &mut rng);
+        assert!(text.contains("| location = Wisconsin"));
+        assert!(text.contains("| residents ="));
+    }
+
+    #[test]
+    fn person_page_uses_surface_name() {
+        let fact = PersonFact {
+            doc: DocId(1),
+            name: "David Smith".into(),
+            birth_year: 1962,
+            employer: "Acme Systems".into(),
+            residence: "Madison".into(),
+            entity: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let text = render_person(&fact, "D. Smith", &NoiseConfig::none(), &mut rng);
+        assert!(text.contains("| name = D. Smith"));
+        assert!(text.contains("born 1962"));
+        assert!(text.contains("Smith lives in Madison"));
+    }
+
+    #[test]
+    fn company_and_publication_render() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cf = CompanyFact {
+            doc: DocId(2),
+            name: "Acme Systems".into(),
+            founded: 1987,
+            headquarters: "Madison".into(),
+            industry: "software".into(),
+        };
+        let text = render_company(&cf, &NoiseConfig::none(), &mut rng);
+        assert!(text.contains("| headquarters = Madison"));
+
+        let pf = PublicationFact {
+            doc: DocId(3),
+            title: "A Survey of Entity Resolution".into(),
+            year: 2008,
+            venue: "CIDR".into(),
+            authors: vec!["David Smith".into()],
+        };
+        let text = render_publication(&pf, &["D. Smith".into()], &NoiseConfig::none(), &mut rng);
+        assert!(text.contains("| authors = D. Smith"));
+        assert!(text.contains("appeared at CIDR in 2008"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let cfg = NoiseConfig::default();
+        assert_eq!(render_city(&city(), &cfg, &mut a), render_city(&city(), &cfg, &mut b));
+    }
+}

@@ -1,0 +1,21 @@
+//! The semantic debugger (blueprint Part VI).
+//!
+//! "If this module has learned that the monthly temperature of a city
+//! cannot exceed 130 degrees, then it can flag an extracted temperature of
+//! 135 as suspicious." That sentence is this crate's specification:
+//!
+//! - [`constraints`] — constraint kinds (numeric range, categorical domain,
+//!   dominant type, functional dependency) and learning them from data;
+//! - [`monitor`] — the debugger itself: learn on trusted data, check
+//!   incoming tuples, flag suspicious cells, and score against injected
+//!   corruption;
+//! - [`health`] — the system-status side of Part VI: component heartbeats,
+//!   metric bands, and an alert log for the system manager.
+
+pub mod constraints;
+pub mod health;
+pub mod monitor;
+
+pub use constraints::{Constraint, LearnConfig};
+pub use health::{HealthMonitor, HealthStatus};
+pub use monitor::{SemanticDebugger, Suspicion};

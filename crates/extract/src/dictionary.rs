@@ -1,0 +1,184 @@
+//! Gazetteer (dictionary) extraction: longest-match lookup of known entity
+//! names in text.
+//!
+//! Given a dictionary mapping surface forms to canonical entries (cities,
+//! months, venue acronyms...), scan a text's tokens and emit a match for
+//! every maximal dictionary phrase. Matching is case-sensitive by default
+//! (proper names) with an opt-in case-insensitive mode (months, units).
+
+use crate::model::{Extraction, Span};
+use crate::token::{tokenize, Token};
+use quarry_corpus::Document;
+use quarry_storage::Value;
+use std::collections::HashMap;
+
+/// Name this extractor reports in provenance.
+pub const NAME: &str = "dictionary";
+
+/// Confidence for dictionary hits: names are exact, but a surface form can
+/// be ambiguous (a person named "Madison"), so below infobox confidence.
+pub const CONFIDENCE: f64 = 0.85;
+
+/// A compiled gazetteer for one attribute.
+#[derive(Debug, Clone)]
+pub struct Gazetteer {
+    attribute: String,
+    /// token-seq (joined by space, possibly lowercased) → canonical form
+    entries: HashMap<String, String>,
+    /// longest entry length in tokens
+    max_tokens: usize,
+    case_insensitive: bool,
+}
+
+impl Gazetteer {
+    /// Build a gazetteer for `attribute` from `(surface, canonical)` pairs.
+    pub fn new<'a>(
+        attribute: &str,
+        entries: impl IntoIterator<Item = (&'a str, &'a str)>,
+        case_insensitive: bool,
+    ) -> Gazetteer {
+        let mut map = HashMap::new();
+        let mut max_tokens = 1;
+        for (surface, canonical) in entries {
+            let toks = tokenize(surface);
+            max_tokens = max_tokens.max(toks.len());
+            let key = Self::key_of(surface, &toks, case_insensitive);
+            map.insert(key, canonical.to_string());
+        }
+        Gazetteer { attribute: attribute.to_string(), entries: map, max_tokens, case_insensitive }
+    }
+
+    /// Build from canonical names only (surface = canonical).
+    pub fn from_names<'a>(
+        attribute: &str,
+        names: impl IntoIterator<Item = &'a str>,
+        case_insensitive: bool,
+    ) -> Gazetteer {
+        Self::new(attribute, names.into_iter().map(|n| (n, n)), case_insensitive)
+    }
+
+    fn key_of(source: &str, toks: &[Token], ci: bool) -> String {
+        let joined = toks
+            .iter()
+            .map(|t| t.text(source))
+            .collect::<Vec<_>>()
+            .join(" ");
+        if ci {
+            joined.to_lowercase()
+        } else {
+            joined
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the gazetteer has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scan a document and emit one extraction per maximal match.
+    pub fn extract(&self, doc: &Document) -> Vec<Extraction> {
+        let toks = tokenize(&doc.text);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            let mut matched: Option<(usize, &String)> = None;
+            // Longest match first.
+            for n in (1..=self.max_tokens.min(toks.len() - i)).rev() {
+                let window = &toks[i..i + n];
+                let key = Self::key_of(&doc.text, window, self.case_insensitive);
+                if let Some(canonical) = self.entries.get(&key) {
+                    matched = Some((n, canonical));
+                    break;
+                }
+            }
+            match matched {
+                Some((n, canonical)) => {
+                    let span = Span::new(toks[i].span.start, toks[i + n - 1].span.end);
+                    out.push(Extraction {
+                        doc: doc.id,
+                        attribute: self.attribute.clone(),
+                        raw: span.slice(&doc.text).to_string(),
+                        value: Value::Text(canonical.clone()),
+                        span,
+                        confidence: CONFIDENCE,
+                        extractor: NAME,
+                    });
+                    i += n;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_corpus::{DocId, DocKind};
+
+    fn doc(text: &str) -> Document {
+        Document { id: DocId(3), title: "T".into(), text: text.into(), kind: DocKind::City }
+    }
+
+    #[test]
+    fn single_and_multi_token_matches() {
+        let g = Gazetteer::from_names("city", ["Madison", "Green Bay"], false);
+        let d = doc("From Madison drive to Green Bay by noon.");
+        let exts = g.extract(&d);
+        let values: Vec<_> = exts.iter().map(|e| e.value.to_string()).collect();
+        assert_eq!(values, vec!["Madison", "Green Bay"]);
+        assert_eq!(exts[1].raw, "Green Bay");
+        assert_eq!(exts[1].span.slice(&d.text), "Green Bay");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let g = Gazetteer::from_names("city", ["York", "New York"], false);
+        let exts = g.extract(&doc("I flew to New York yesterday"));
+        assert_eq!(exts.len(), 1);
+        assert_eq!(exts[0].value.to_string(), "New York");
+    }
+
+    #[test]
+    fn surface_to_canonical_mapping() {
+        let g = Gazetteer::new("month", [("Sept", "September"), ("September", "September")], true);
+        let exts = g.extract(&doc("Arrived in sept, left in SEPTEMBER."));
+        assert_eq!(exts.len(), 2);
+        assert!(exts.iter().all(|e| e.value.to_string() == "September"));
+    }
+
+    #[test]
+    fn case_sensitivity_respected() {
+        let g = Gazetteer::from_names("city", ["Madison"], false);
+        assert!(g.extract(&doc("madison is lowercase")).is_empty());
+        assert_eq!(g.extract(&doc("Madison is capitalized")).len(), 1);
+    }
+
+    #[test]
+    fn no_matches_in_unrelated_text() {
+        let g = Gazetteer::from_names("city", ["Madison"], false);
+        assert!(g.extract(&doc("Nothing to see here.")).is_empty());
+    }
+
+    #[test]
+    fn punctuation_between_tokens_blocks_match() {
+        let g = Gazetteer::from_names("city", ["Green Bay"], false);
+        // "Green, Bay" tokenizes with an intervening comma token.
+        assert!(g.extract(&doc("Green, Bay")).is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let g = Gazetteer::from_names("x", ["a", "b"], false);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        let e = Gazetteer::from_names("x", [], false);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Extraction scoring against corpus ground truth.
+//!
+//! A predicted extraction is correct when the same document's ground truth
+//! contains the same (canonical attribute, normalized value) pair. Attribute
+//! canonicalization maps label variants (`residents` → `population`) using
+//! the corpus's own variant table, so the score measures extraction quality,
+//! not label-variant luck; full label resolution from data alone is
+//! exercised separately by the integration layer's schema matcher.
+
+use crate::model::Extraction;
+use quarry_corpus::render::LABEL_VARIANTS;
+use quarry_corpus::{CityFact, CompanyFact, GroundTruth, PersonFact, PublicationFact};
+use quarry_storage::Value;
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrF1 {
+    /// Correct predictions / all predictions.
+    pub precision: f64,
+    /// Correct predictions / all true facts.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// Count of correct predictions.
+    pub tp: usize,
+    /// Count of wrong predictions.
+    pub fp: usize,
+    /// Count of missed facts.
+    pub fn_: usize,
+}
+
+/// Compute P/R/F1 from counts.
+pub fn f1_score(tp: usize, fp: usize, fn_: usize) -> PrF1 {
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrF1 { precision, recall, f1, tp, fp, fn_ }
+}
+
+/// Map a surface attribute label to its canonical name.
+pub fn canonical_attribute(label: &str) -> String {
+    for (canon, alt) in LABEL_VARIANTS {
+        if label == *alt {
+            return (*canon).to_string();
+        }
+    }
+    label.to_string()
+}
+
+const MONTHS: [&str; 12] = [
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+fn city_pairs(c: &CityFact, out: &mut HashSet<(u32, String, Value)>) {
+    let d = c.doc.0;
+    out.insert((d, "name".into(), Value::Text(c.name.clone())));
+    out.insert((d, "state".into(), Value::Text(c.state.clone())));
+    out.insert((d, "population".into(), Value::Int(c.population as i64)));
+    out.insert((d, "founded".into(), Value::Int(c.founded as i64)));
+    out.insert((d, "area_sq_mi".into(), Value::Float(c.area_sq_mi)));
+    for (m, t) in c.monthly_temp_f.iter().enumerate() {
+        out.insert((d, format!("{}_temp", MONTHS[m]), Value::Int(*t as i64)));
+    }
+}
+
+fn person_pairs(p: &PersonFact, out: &mut HashSet<(u32, String, Value)>) {
+    let d = p.doc.0;
+    out.insert((d, "name".into(), Value::Text(p.name.clone())));
+    out.insert((d, "birth_year".into(), Value::Int(p.birth_year as i64)));
+    out.insert((d, "employer".into(), Value::Text(p.employer.clone())));
+    out.insert((d, "residence".into(), Value::Text(p.residence.clone())));
+}
+
+fn company_pairs(c: &CompanyFact, out: &mut HashSet<(u32, String, Value)>) {
+    let d = c.doc.0;
+    out.insert((d, "name".into(), Value::Text(c.name.clone())));
+    out.insert((d, "founded".into(), Value::Int(c.founded as i64)));
+    out.insert((d, "headquarters".into(), Value::Text(c.headquarters.clone())));
+    out.insert((d, "industry".into(), Value::Text(c.industry.clone())));
+}
+
+fn publication_pairs(p: &PublicationFact, out: &mut HashSet<(u32, String, Value)>) {
+    let d = p.doc.0;
+    out.insert((d, "title".into(), Value::Text(p.title.clone())));
+    out.insert((d, "year".into(), Value::Int(p.year as i64)));
+    out.insert((d, "venue".into(), Value::Text(p.venue.clone())));
+    for a in &p.authors {
+        out.insert((d, "author".into(), Value::Text(a.clone())));
+    }
+}
+
+/// The full set of true (doc, attribute, value) facts of a corpus.
+pub fn truth_pairs(truth: &GroundTruth) -> HashSet<(u32, String, Value)> {
+    let mut out = HashSet::new();
+    for c in &truth.cities {
+        city_pairs(c, &mut out);
+    }
+    for p in &truth.people {
+        person_pairs(p, &mut out);
+    }
+    for c in &truth.companies {
+        company_pairs(c, &mut out);
+    }
+    for p in &truth.publications {
+        publication_pairs(p, &mut out);
+    }
+    out
+}
+
+/// Score extractions against ground truth.
+///
+/// Only attributes present in the truth model are scored; extractions of
+/// other attributes (e.g. `name` mentions found by a gazetteer in running
+/// prose) are ignored rather than counted as false positives.
+pub fn score(extractions: &[Extraction], truth: &GroundTruth) -> PrF1 {
+    let truth_set = truth_pairs(truth);
+    let scored_attrs: HashSet<&String> = truth_set.iter().map(|(_, a, _)| a).collect();
+    let mut predicted: HashSet<(u32, String, Value)> = HashSet::new();
+    for e in extractions {
+        let attr = canonical_attribute(&e.attribute);
+        if scored_attrs.contains(&attr) {
+            predicted.insert((e.doc.0, attr, e.value.clone()));
+        }
+    }
+    let tp = predicted.intersection(&truth_set).count();
+    let fp = predicted.len() - tp;
+    let fn_ = truth_set.len() - tp;
+    f1_score(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Span;
+    use quarry_corpus::DocId;
+
+    fn truth_one_city() -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        gt.cities.push(CityFact {
+            doc: DocId(0),
+            name: "Madison".into(),
+            state: "Wisconsin".into(),
+            population: 250_000,
+            founded: 1846,
+            monthly_temp_f: vec![20; 12],
+            area_sq_mi: 77.0,
+        });
+        gt
+    }
+
+    fn ext(doc: u32, attr: &str, value: Value) -> Extraction {
+        Extraction {
+            doc: DocId(doc),
+            attribute: attr.into(),
+            raw: value.to_string(),
+            value,
+            span: Span::new(0, 1),
+            confidence: 0.9,
+            extractor: "test",
+        }
+    }
+
+    #[test]
+    fn perfect_subset_has_full_precision() {
+        let gt = truth_one_city();
+        let exts = vec![
+            ext(0, "population", Value::Int(250_000)),
+            ext(0, "founded", Value::Int(1846)),
+        ];
+        let s = score(&exts, &gt);
+        assert_eq!(s.precision, 1.0);
+        assert!(s.recall < 1.0);
+        assert_eq!(s.tp, 2);
+    }
+
+    #[test]
+    fn wrong_value_counts_as_fp() {
+        let gt = truth_one_city();
+        let s = score(&[ext(0, "population", Value::Int(99))], &gt);
+        assert_eq!(s.tp, 0);
+        assert_eq!(s.fp, 1);
+        assert_eq!(s.precision, 0.0);
+    }
+
+    #[test]
+    fn label_variants_canonicalize() {
+        let gt = truth_one_city();
+        let s = score(&[ext(0, "residents", Value::Int(250_000))], &gt);
+        assert_eq!(s.tp, 1);
+        assert_eq!(canonical_attribute("location"), "state");
+        assert_eq!(canonical_attribute("population"), "population");
+    }
+
+    #[test]
+    fn unscored_attributes_are_ignored() {
+        let gt = truth_one_city();
+        let s = score(&[ext(0, "mystery_attr", Value::Int(1))], &gt);
+        assert_eq!(s.fp, 0);
+        assert_eq!(s.tp, 0);
+    }
+
+    #[test]
+    fn f1_math() {
+        let s = f1_score(8, 2, 8);
+        assert!((s.precision - 0.8).abs() < 1e-9);
+        assert!((s.recall - 0.5).abs() < 1e-9);
+        assert!((s.f1 - (2.0 * 0.8 * 0.5 / 1.3)).abs() < 1e-9);
+        let zero = f1_score(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn truth_pairs_cover_all_tables() {
+        let mut gt = truth_one_city();
+        gt.publications.push(PublicationFact {
+            doc: DocId(1),
+            title: "T".into(),
+            year: 2008,
+            venue: "CIDR".into(),
+            authors: vec!["A B".into()],
+        });
+        let pairs = truth_pairs(&gt);
+        assert!(pairs.contains(&(0, "january_temp".into(), Value::Int(20))));
+        assert!(pairs.contains(&(1, "author".into(), Value::Text("A B".into()))));
+    }
+}

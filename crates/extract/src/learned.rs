@@ -1,0 +1,274 @@
+//! A trainable extractor: naive-Bayes token classification.
+//!
+//! Stands in for the CRF-style learned extractors of the 2000s IE
+//! literature (the Rust ecosystem gate the calibration notes call "thin
+//! IE/NLP" — so it is built from scratch). The model classifies each token
+//! as the *value* of a target attribute or not, from local context features
+//! (the token's shape and its neighbors), then merges adjacent positive
+//! tokens into spans. Posterior probabilities become extraction confidences,
+//! which experiment E9 checks for calibration.
+
+use crate::model::{Extraction, Span};
+use crate::normalize;
+use crate::token::{tokenize, Token};
+use quarry_corpus::Document;
+use std::collections::HashMap;
+
+/// Name this extractor reports in provenance.
+pub const NAME: &str = "naive-bayes";
+
+/// A labeled training document: text plus the byte spans of true values.
+#[derive(Debug, Clone)]
+pub struct LabeledDoc {
+    /// The document text.
+    pub text: String,
+    /// Byte spans of tokens that are values of the target attribute.
+    pub positive: Vec<Span>,
+}
+
+fn shape(tok: &str) -> &'static str {
+    let mut has_digit = false;
+    let mut has_alpha = false;
+    let mut has_upper = false;
+    for c in tok.chars() {
+        has_digit |= c.is_ascii_digit();
+        has_alpha |= c.is_alphabetic();
+        has_upper |= c.is_uppercase();
+    }
+    match (has_digit, has_alpha, has_upper) {
+        (true, false, _) => "num",
+        (true, true, _) => "alnum",
+        (false, true, true) => "Cap",
+        (false, true, false) => "low",
+        _ => "sym",
+    }
+}
+
+fn features(source: &str, toks: &[Token], i: usize) -> Vec<String> {
+    let t = toks[i].text(source);
+    let prev = if i > 0 { toks[i - 1].text(source) } else { "<s>" };
+    let prev2 = if i > 1 { toks[i - 2].text(source) } else { "<s>" };
+    let next = toks.get(i + 1).map_or("</s>", |t| t.text(source));
+    vec![
+        format!("shape={}", shape(t)),
+        format!("w={}", t.to_lowercase()),
+        format!("prev={}", prev.to_lowercase()),
+        format!("prev2={}", prev2.to_lowercase()),
+        format!("next={}", next.to_lowercase()),
+        format!("prevshape={}", shape(prev)),
+        format!("nextshape={}", shape(next)),
+    ]
+}
+
+/// Binary naive-Bayes over token context features, with add-one smoothing.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    pos_counts: HashMap<String, f64>,
+    neg_counts: HashMap<String, f64>,
+    pos_total: f64,
+    neg_total: f64,
+    pos_docs: f64,
+    neg_docs: f64,
+    attribute: String,
+}
+
+impl NaiveBayes {
+    /// Train a model for `attribute` from labeled documents.
+    pub fn train(attribute: &str, docs: &[LabeledDoc]) -> NaiveBayes {
+        let mut model = NaiveBayes { attribute: attribute.to_string(), ..Default::default() };
+        for d in docs {
+            let toks = tokenize(&d.text);
+            for (i, tok) in toks.iter().enumerate() {
+                let is_pos = d.positive.iter().any(|s| s.overlaps(&tok.span));
+                let feats = features(&d.text, &toks, i);
+                if is_pos {
+                    model.pos_docs += 1.0;
+                    for f in feats {
+                        *model.pos_counts.entry(f).or_insert(0.0) += 1.0;
+                        model.pos_total += 1.0;
+                    }
+                } else {
+                    model.neg_docs += 1.0;
+                    for f in feats {
+                        *model.neg_counts.entry(f).or_insert(0.0) += 1.0;
+                        model.neg_total += 1.0;
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Vocabulary size for smoothing.
+    fn vocab(&self) -> f64 {
+        let mut keys: std::collections::HashSet<&String> = self.pos_counts.keys().collect();
+        keys.extend(self.neg_counts.keys());
+        keys.len().max(1) as f64
+    }
+
+    /// P(value-token | features) for token `i`.
+    pub fn posterior(&self, source: &str, toks: &[Token], i: usize) -> f64 {
+        if self.pos_docs == 0.0 || self.neg_docs == 0.0 {
+            return 0.0;
+        }
+        let v = self.vocab();
+        let prior_pos = (self.pos_docs / (self.pos_docs + self.neg_docs)).ln();
+        let prior_neg = (self.neg_docs / (self.pos_docs + self.neg_docs)).ln();
+        let mut lp = prior_pos;
+        let mut ln = prior_neg;
+        for f in features(source, toks, i) {
+            let cp = self.pos_counts.get(&f).copied().unwrap_or(0.0);
+            let cn = self.neg_counts.get(&f).copied().unwrap_or(0.0);
+            lp += ((cp + 1.0) / (self.pos_total + v)).ln();
+            ln += ((cn + 1.0) / (self.neg_total + v)).ln();
+        }
+        // Softmax over the two log scores.
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+
+    /// Extract value spans from a document: tokens whose posterior clears
+    /// `threshold`, adjacent positives merged into one span.
+    pub fn extract(&self, doc: &Document, threshold: f64) -> Vec<Extraction> {
+        let toks = tokenize(&doc.text);
+        let mut out: Vec<Extraction> = Vec::new();
+        let mut current: Option<(usize, usize, f64, usize)> = None; // (start tok, end tok, conf sum, n)
+        for i in 0..toks.len() {
+            let p = self.posterior(&doc.text, &toks, i);
+            if p >= threshold {
+                current = match current {
+                    Some((s, _, cs, n)) if toks[i - 1].span.end + 1 >= toks[i].span.start => {
+                        Some((s, i, cs + p, n + 1))
+                    }
+                    Some(prev) => {
+                        self.push(doc, &toks, prev, &mut out);
+                        Some((i, i, p, 1))
+                    }
+                    None => Some((i, i, p, 1)),
+                };
+            } else if let Some(prev) = current.take() {
+                self.push(doc, &toks, prev, &mut out);
+            }
+        }
+        if let Some(prev) = current {
+            self.push(doc, &toks, prev, &mut out);
+        }
+        out
+    }
+
+    fn push(
+        &self,
+        doc: &Document,
+        toks: &[Token],
+        (s, e, conf_sum, n): (usize, usize, f64, usize),
+        out: &mut Vec<Extraction>,
+    ) {
+        let span = Span::new(toks[s].span.start, toks[e].span.end);
+        let raw = span.slice(&doc.text).to_string();
+        let value = normalize::normalize(&self.attribute, &raw);
+        out.push(Extraction {
+            doc: doc.id,
+            attribute: self.attribute.clone(),
+            raw,
+            value,
+            span,
+            confidence: conf_sum / n as f64,
+            extractor: NAME,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_corpus::{DocId, DocKind};
+
+    /// Build training docs where the value is the number after "was".
+    fn training_set() -> Vec<LabeledDoc> {
+        let mut docs = Vec::new();
+        for (city, n) in [("Madison", "250000"), ("Oakton", "9500"), ("Riverdale", "120000"), ("Hillford", "43000")] {
+            let text = format!("the population of {city} was {n} last year");
+            let start = text.find(n).unwrap();
+            docs.push(LabeledDoc {
+                positive: vec![Span::new(start, start + n.len())],
+                text,
+            });
+        }
+        // Negative-only docs teach the model that numbers elsewhere are not values.
+        for y in ["1846", "1901"] {
+            docs.push(LabeledDoc {
+                text: format!("the town was established long ago, in {y} in fact"),
+                positive: vec![],
+            });
+        }
+        docs
+    }
+
+    fn doc(text: &str) -> Document {
+        Document { id: DocId(0), title: "T".into(), text: text.into(), kind: DocKind::City }
+    }
+
+    #[test]
+    fn learns_population_context() {
+        let model = NaiveBayes::train("population", &training_set());
+        let d = doc("the population of Springfield was 88000 at the census");
+        let exts = model.extract(&d, 0.5);
+        assert_eq!(exts.len(), 1, "{exts:?}");
+        assert_eq!(exts[0].raw, "88000");
+        assert_eq!(exts[0].value, quarry_storage::Value::Int(88000));
+        assert!(exts[0].confidence > 0.5);
+    }
+
+    #[test]
+    fn ignores_numbers_in_wrong_context() {
+        let model = NaiveBayes::train("population", &training_set());
+        let d = doc("the town hall was built long ago, in 1907 in fact");
+        let exts = model.extract(&d, 0.5);
+        assert!(exts.is_empty(), "{exts:?}");
+    }
+
+    #[test]
+    fn untrained_model_extracts_nothing() {
+        let model = NaiveBayes::train("population", &[]);
+        let d = doc("the population of X was 1000");
+        assert!(model.extract(&d, 0.5).is_empty());
+    }
+
+    #[test]
+    fn posterior_is_probability() {
+        let model = NaiveBayes::train("population", &training_set());
+        let text = "the population of Yorkvale was 31000 overall";
+        let toks = tokenize(text);
+        for i in 0..toks.len() {
+            let p = model.posterior(text, &toks, i);
+            assert!((0.0..=1.0).contains(&p), "posterior {p} out of range");
+        }
+    }
+
+    #[test]
+    fn adjacent_positive_tokens_merge() {
+        // Train where the value is two adjacent tokens ("New York").
+        let mut docs = Vec::new();
+        for filler in ["first", "second", "third"] {
+            let text = format!("the {filler} office is in New York today");
+            let start = text.find("New York").unwrap();
+            docs.push(LabeledDoc { positive: vec![Span::new(start, start + 8)], text });
+        }
+        let model = NaiveBayes::train("office", &docs);
+        let d = doc("the fourth office is in New York today");
+        let exts = model.extract(&d, 0.5);
+        assert_eq!(exts.len(), 1, "{exts:?}");
+        assert_eq!(exts[0].raw, "New York");
+    }
+
+    #[test]
+    fn shape_feature_buckets() {
+        assert_eq!(shape("1234"), "num");
+        assert_eq!(shape("Madison"), "Cap");
+        assert_eq!(shape("hello"), "low");
+        assert_eq!(shape("a1"), "alnum");
+        assert_eq!(shape("°"), "sym");
+    }
+}

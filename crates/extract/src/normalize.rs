@@ -1,0 +1,160 @@
+//! Value normalization: surface variants → typed values.
+//!
+//! The corpus (like real pages) renders the same fact many ways —
+//! `250,000` vs `250000`, `70 °F` vs `70 F` vs `70 degrees Fahrenheit` —
+//! and extraction must map all of them onto one typed value before
+//! integration can unify anything.
+
+use quarry_storage::Value;
+
+/// Parse an integer that may carry thousands separators.
+pub fn parse_int(s: &str) -> Option<i64> {
+    let cleaned: String = s.trim().chars().filter(|&c| c != ',').collect();
+    if cleaned.is_empty() {
+        return None;
+    }
+    // Reject things like "1,23" that merely contain digits — separators must
+    // group by threes if present at all.
+    if s.contains(',') {
+        let parts: Vec<&str> = s.trim().trim_start_matches('-').split(',').collect();
+        if parts.len() < 2
+            || parts[0].is_empty()
+            || parts[0].len() > 3
+            || parts[1..].iter().any(|p| p.len() != 3)
+        {
+            return None;
+        }
+    }
+    cleaned.parse().ok()
+}
+
+/// Parse a float (no separators expected).
+pub fn parse_float(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    t.parse().ok()
+}
+
+/// Parse a Fahrenheit temperature in any of the unit spellings the corpus
+/// renders: `70 °F`, `70 F`, `70 degrees Fahrenheit`, or a bare number.
+pub fn parse_temp_f(s: &str) -> Option<i64> {
+    let t = s.trim();
+    let number_part = t
+        .trim_end_matches("degrees Fahrenheit")
+        .trim_end_matches("°F")
+        .trim_end_matches('F')
+        .trim();
+    if number_part.is_empty() {
+        return None;
+    }
+    let v: i64 = number_part.parse().ok()?;
+    Some(v)
+}
+
+/// Parse a four-digit year.
+pub fn parse_year(s: &str) -> Option<i64> {
+    let t = s.trim();
+    if t.len() == 4 && t.chars().all(|c| c.is_ascii_digit()) {
+        t.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Attribute-aware normalization: choose the parser by what the attribute
+/// is known to hold, falling back to text.
+pub fn normalize(attribute: &str, raw: &str) -> Value {
+    let a = attribute.to_ascii_lowercase();
+    if a.ends_with("_temp") || a == "temperature" {
+        if let Some(t) = parse_temp_f(raw) {
+            return Value::Int(t);
+        }
+    }
+    if a == "population" || a == "residents" {
+        if let Some(n) = parse_int(raw) {
+            return Value::Int(n);
+        }
+    }
+    if a == "founded" || a == "established" || a == "year" || a == "pub_year" || a == "birth_year" || a == "born" {
+        if let Some(y) = parse_year(raw) {
+            return Value::Int(y);
+        }
+    }
+    if a == "area_sq_mi" || a == "land_area" {
+        if let Some(f) = parse_float(raw) {
+            return Value::Float(f);
+        }
+    }
+    // Generic fallback: most-structured interpretation, but never split
+    // separator-formatted ints wrongly.
+    if let Some(n) = parse_int(raw) {
+        return Value::Int(n);
+    }
+    Value::parse_lossy(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_with_and_without_separators() {
+        assert_eq!(parse_int("250000"), Some(250_000));
+        assert_eq!(parse_int("1,234,567"), Some(1_234_567));
+        assert_eq!(parse_int(" 42 "), Some(42));
+        assert_eq!(parse_int("-5"), Some(-5));
+        assert_eq!(parse_int("1,23"), None);
+        assert_eq!(parse_int("12,34,56"), None);
+        assert_eq!(parse_int("1234,567"), None);
+        assert_eq!(parse_int(""), None);
+        assert_eq!(parse_int("abc"), None);
+    }
+
+    #[test]
+    fn temps_in_all_spellings() {
+        assert_eq!(parse_temp_f("70 °F"), Some(70));
+        assert_eq!(parse_temp_f("70 F"), Some(70));
+        assert_eq!(parse_temp_f("70 degrees Fahrenheit"), Some(70));
+        assert_eq!(parse_temp_f("-5 °F"), Some(-5));
+        assert_eq!(parse_temp_f("70"), Some(70));
+        assert_eq!(parse_temp_f("°F"), None);
+        assert_eq!(parse_temp_f("hot"), None);
+    }
+
+    #[test]
+    fn years() {
+        assert_eq!(parse_year("1846"), Some(1846));
+        assert_eq!(parse_year("184"), None);
+        assert_eq!(parse_year("18467"), None);
+        assert_eq!(parse_year("18a6"), None);
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(parse_float("77.5"), Some(77.5));
+        assert_eq!(parse_float("  -1.25 "), Some(-1.25));
+        assert_eq!(parse_float("x"), None);
+    }
+
+    #[test]
+    fn attribute_aware_normalization() {
+        assert_eq!(normalize("january_temp", "26 degrees Fahrenheit"), Value::Int(26));
+        assert_eq!(normalize("population", "1,234,567"), Value::Int(1_234_567));
+        assert_eq!(normalize("residents", "9,000"), Value::Int(9_000));
+        assert_eq!(normalize("founded", "1846"), Value::Int(1846));
+        assert_eq!(normalize("area_sq_mi", "77.5"), Value::Float(77.5));
+        assert_eq!(normalize("land_area", "77.0"), Value::Float(77.0));
+        assert_eq!(normalize("name", "Madison"), Value::Text("Madison".into()));
+        assert_eq!(normalize("unknown_attr", "123"), Value::Int(123));
+    }
+
+    #[test]
+    fn unparseable_values_stay_text() {
+        assert_eq!(
+            normalize("population", "unknown"),
+            Value::Text("unknown".into())
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Extractor bundles: run a configurable set of IE operators over documents.
+
+use crate::dictionary::Gazetteer;
+use crate::infobox;
+use crate::model::{dedup, Extraction};
+use crate::rules::{self, ProseRule};
+use quarry_corpus::{Corpus, Document};
+
+/// Which operators to run, and with what resources.
+#[derive(Default)]
+pub struct ExtractorSet {
+    /// Run the infobox parser.
+    pub infobox: bool,
+    /// Prose rules to apply (empty = none).
+    pub rules: Vec<ProseRule>,
+    /// Gazetteers to apply (empty = none).
+    pub gazetteers: Vec<Gazetteer>,
+}
+
+impl ExtractorSet {
+    /// The standard full set: infobox + standard prose rules; gazetteers are
+    /// added by the caller because they need name lists.
+    pub fn standard() -> ExtractorSet {
+        ExtractorSet { infobox: true, rules: rules::standard_rules(), gazetteers: Vec::new() }
+    }
+
+    /// Infobox only — the high-precision, low-recall configuration.
+    pub fn infobox_only() -> ExtractorSet {
+        ExtractorSet { infobox: true, rules: Vec::new(), gazetteers: Vec::new() }
+    }
+
+    /// Run every configured operator over one document.
+    pub fn extract_doc(&self, doc: &Document) -> Vec<Extraction> {
+        let mut out = Vec::new();
+        if self.infobox {
+            out.extend(infobox::extract(doc));
+        }
+        if !self.rules.is_empty() {
+            out.extend(rules::extract(doc, &self.rules));
+        }
+        for g in &self.gazetteers {
+            out.extend(g.extract(doc));
+        }
+        out
+    }
+}
+
+/// Run an extractor set over a whole corpus, deduplicating per-identity
+/// (keeping the most confident witness of each (doc, attribute, value)).
+pub fn extract_all(corpus: &Corpus, set: &ExtractorSet) -> Vec<Extraction> {
+    let raw: Vec<Extraction> = corpus.docs.iter().flat_map(|d| set.extract_doc(d)).collect();
+    dedup(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use quarry_corpus::{CorpusConfig, NoiseConfig};
+
+    fn corpus(noise: NoiseConfig) -> Corpus {
+        Corpus::generate(&CorpusConfig { noise, ..CorpusConfig::tiny(42) })
+    }
+
+    #[test]
+    fn clean_corpus_extraction_is_highly_accurate() {
+        let c = corpus(NoiseConfig::none());
+        let exts = extract_all(&c, &ExtractorSet::standard());
+        let s = eval::score(&exts, &c.truth);
+        assert!(s.precision > 0.95, "precision {:.3}", s.precision);
+        assert!(s.recall > 0.8, "recall {:.3}", s.recall);
+    }
+
+    #[test]
+    fn noisy_corpus_extraction_is_imperfect_but_useful() {
+        let c = corpus(NoiseConfig::default());
+        let exts = extract_all(&c, &ExtractorSet::standard());
+        let s = eval::score(&exts, &c.truth);
+        // The paper's premise: automatic IE "will not be 100% accurate".
+        assert!(s.f1 > 0.5, "f1 {:.3}", s.f1);
+        assert!(s.f1 < 1.0, "noise must cost something, f1 {:.3}", s.f1);
+    }
+
+    #[test]
+    fn infobox_only_trades_recall_for_precision() {
+        let c = corpus(NoiseConfig::default());
+        let full = eval::score(&extract_all(&c, &ExtractorSet::standard()), &c.truth);
+        let ibx = eval::score(&extract_all(&c, &ExtractorSet::infobox_only()), &c.truth);
+        assert!(ibx.precision >= full.precision - 0.02, "ibx {:.3} vs full {:.3}", ibx.precision, full.precision);
+        assert!(ibx.recall <= full.recall, "infobox-only cannot out-recall the full set");
+    }
+
+    #[test]
+    fn gazetteers_add_mentions() {
+        let c = corpus(NoiseConfig::none());
+        let mut set = ExtractorSet::infobox_only();
+        let names: Vec<&str> = c.truth.cities.iter().map(|x| x.name.as_str()).collect();
+        set.gazetteers.push(Gazetteer::from_names("city_mention", names.iter().copied(), false));
+        let exts = extract_all(&c, &set);
+        assert!(exts.iter().any(|e| e.attribute == "city_mention"));
+    }
+
+    #[test]
+    fn dedup_keeps_one_witness_per_identity() {
+        let c = corpus(NoiseConfig::none());
+        let exts = extract_all(&c, &ExtractorSet::standard());
+        let mut ids: Vec<_> = exts.iter().map(|e| (e.doc, e.attribute.clone(), e.value.clone())).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

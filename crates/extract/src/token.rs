@@ -1,0 +1,225 @@
+//! Tokenizer and sentence splitter, with exact byte offsets.
+//!
+//! Offsets matter: every downstream extraction carries a [`Span`] pointing
+//! back into the raw page for provenance, so tokens must slice the original
+//! text exactly.
+
+use crate::model::Span;
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Letters (and underscores) run.
+    Word,
+    /// Digit run, optionally with embedded `,` or `.` (e.g. `1,234` `2.5`).
+    Number,
+    /// Anything else that is not whitespace, one char per token.
+    Punct,
+}
+
+/// One token of a text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Location in the source text.
+    pub span: Span,
+    /// Classification.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Slice the source text to the token's characters.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        self.span.slice(source)
+    }
+}
+
+/// Tokenize `text` into words, numbers, and punctuation.
+///
+/// Number tokens absorb internal `,`/`.` only when followed by another
+/// digit, so `1,234,567` and `2.5` are single tokens but the sentence-final
+/// period in `70.` is not.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut iter = text.char_indices().peekable();
+    while let Some((start, c)) = iter.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut end = start + c.len_utf8();
+            while let Some(&(i, n)) = iter.peek() {
+                if n.is_alphabetic() || n == '_' {
+                    end = i + n.len_utf8();
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { span: Span::new(start, end), kind: TokenKind::Word });
+        } else if c.is_ascii_digit() {
+            let mut end = start + 1;
+            while let Some(&(i, n)) = iter.peek() {
+                let separator_in_number = (n == ',' || n == '.')
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if n.is_ascii_digit() || separator_in_number {
+                    end = i + 1;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { span: Span::new(start, end), kind: TokenKind::Number });
+        } else {
+            tokens.push(Token {
+                span: Span::new(start, start + c.len_utf8()),
+                kind: TokenKind::Punct,
+            });
+        }
+    }
+    tokens
+}
+
+/// Split text into sentences (byte spans), breaking on `.`, `!`, `?`, or
+/// blank lines. Decimal points inside numbers do not end sentences.
+pub fn sentences(text: &str) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut last_non_ws = 0usize;
+    let mut chars = text.char_indices().peekable();
+    let mut any = false;
+    while let Some((i, c)) = chars.next() {
+        if !c.is_whitespace() {
+            last_non_ws = i + c.len_utf8();
+            any = true;
+        }
+        let boundary = match c {
+            '.' | '!' | '?' => {
+                // Not a boundary if digits continue (e.g. "2.5").
+                !matches!(chars.peek(), Some(&(_, n)) if n.is_ascii_digit())
+            }
+            '\n' => matches!(chars.peek(), Some(&(_, '\n'))),
+            _ => false,
+        };
+        if boundary && any {
+            out.push(Span::new(start, last_non_ws));
+            // Skip whitespace to the next sentence start.
+            while let Some(&(j, n)) = chars.peek() {
+                if n.is_whitespace() {
+                    chars.next();
+                } else {
+                    start = j;
+                    break;
+                }
+            }
+            if chars.peek().is_none() {
+                start = text.len();
+            }
+            any = false;
+        }
+    }
+    if any && start < text.len() {
+        out.push(Span::new(start, last_non_ws));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn texts(s: &str) -> Vec<String> {
+        tokenize(s).iter().map(|t| t.text(s).to_string()).collect()
+    }
+
+    #[test]
+    fn words_numbers_punct() {
+        assert_eq!(texts("Madison was founded in 1846."), vec![
+            "Madison", "was", "founded", "in", "1846", "."
+        ]);
+    }
+
+    #[test]
+    fn numbers_with_separators_and_decimals() {
+        assert_eq!(texts("population 1,234,567 area 77.5 mi"), vec![
+            "population", "1,234,567", "area", "77.5", "mi"
+        ]);
+        // Trailing period is not absorbed.
+        assert_eq!(texts("it is 70."), vec!["it", "is", "70", "."]);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let s = "température 20 °F";
+        let ts = texts(s);
+        assert_eq!(ts, vec!["température", "20", "°", "F"]);
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let toks = tokenize("ab 12 ,");
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[2].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let s = "First sentence. Second one! Third? Last without period";
+        let spans = sentences(s);
+        let texts: Vec<&str> = spans.iter().map(|sp| sp.slice(s)).collect();
+        assert_eq!(texts, vec![
+            "First sentence.",
+            "Second one!",
+            "Third?",
+            "Last without period"
+        ]);
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split_sentences() {
+        let s = "The area is 77.5 square miles. Next.";
+        let spans = sentences(s);
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].slice(s).contains("77.5"));
+    }
+
+    #[test]
+    fn blank_lines_split() {
+        let s = "para one line\n\npara two";
+        let spans = sentences(s);
+        let texts: Vec<&str> = spans.iter().map(|sp| sp.slice(s)).collect();
+        assert_eq!(texts, vec!["para one line", "para two"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_token_spans_are_exact_and_ordered(s in "\\PC{0,80}") {
+            let toks = tokenize(&s);
+            let mut prev_end = 0;
+            for t in &toks {
+                prop_assert!(t.span.start >= prev_end);
+                prop_assert!(t.span.end <= s.len());
+                prop_assert!(!t.text(&s).is_empty());
+                prop_assert!(!t.text(&s).chars().any(char::is_whitespace));
+                prev_end = t.span.end;
+            }
+        }
+
+        #[test]
+        fn prop_sentences_cover_non_whitespace(s in "[a-z .!?\n]{0,80}") {
+            let spans = sentences(&s);
+            for sp in &spans {
+                prop_assert!(sp.end <= s.len());
+                prop_assert!(!sp.slice(&s).trim().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Blocking: generate candidate pairs without the O(n²) all-pairs compare.
+//!
+//! DESIGN.md calls blocking out for ablation (E2): turning it off means
+//! every pair is scored, which is exact but quadratic; each strategy here
+//! trades a little recall for a large cut in pairs considered.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// A candidate pair of record indexes, always ordered `(lo, hi)`.
+pub type Pair = (usize, usize);
+
+fn ordered(a: usize, b: usize) -> Pair {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// No blocking: all `n·(n−1)/2` pairs (the exact baseline).
+pub fn all_pairs(n: usize) -> Vec<Pair> {
+    let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Key blocking: records sharing a blocking key are candidates.
+///
+/// `key` maps a record to its blocking key (e.g. lowercased last name).
+pub fn key_blocking<T>(records: &[T], key: impl Fn(&T) -> String) -> Vec<Pair> {
+    let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        buckets.entry(key(r)).or_default().push(i);
+    }
+    let mut out = BTreeSet::new();
+    for bucket in buckets.values() {
+        for (x, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[x + 1..] {
+                out.insert(ordered(i, j));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Sorted-neighborhood blocking: sort by a key, slide a window of size `w`;
+/// records within a window are candidates. Catches near-miss keys that pure
+/// key blocking separates.
+pub fn sorted_neighborhood<T>(
+    records: &[T],
+    key: impl Fn(&T) -> String,
+    w: usize,
+) -> Vec<Pair> {
+    assert!(w >= 2, "window must cover at least 2 records");
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| key(&records[i]));
+    let mut out = BTreeSet::new();
+    for start in 0..order.len() {
+        for off in 1..w {
+            let Some(&j) = order.get(start + off) else { break };
+            out.insert(ordered(order[start], j));
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Q-gram blocking: records sharing at least `min_common` q-grams of their
+/// key string are candidates. Robust to typos anywhere in the key.
+pub fn qgram_blocking<T>(
+    records: &[T],
+    key: impl Fn(&T) -> String,
+    q: usize,
+    min_common: usize,
+) -> Vec<Pair> {
+    let mut posting: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        for g in crate::similarity::qgrams(&key(r).to_lowercase(), q) {
+            posting.entry(g).or_default().push(i);
+        }
+    }
+    let mut common: HashMap<Pair, usize> = HashMap::new();
+    for ids in posting.values() {
+        if ids.len() > 50 {
+            continue; // ultra-frequent gram: no discriminative power
+        }
+        for (x, &i) in ids.iter().enumerate() {
+            for &j in &ids[x + 1..] {
+                if i != j {
+                    *common.entry(ordered(i, j)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut out: Vec<Pair> = common
+        .into_iter()
+        .filter(|(_, c)| *c >= min_common)
+        .map(|(p, _)| p)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Blocking quality report: how many candidate pairs were produced, and what
+/// fraction of the true pairs they cover (pairs completeness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingStats {
+    /// Candidate pairs produced.
+    pub candidates: usize,
+    /// All possible pairs.
+    pub possible: usize,
+    /// True matching pairs covered by the candidates.
+    pub true_covered: usize,
+    /// All true matching pairs.
+    pub true_total: usize,
+}
+
+impl BlockingStats {
+    /// Fraction of the pair space avoided (higher = cheaper).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.possible == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidates as f64 / self.possible as f64
+    }
+
+    /// Fraction of true matches still reachable (higher = safer).
+    pub fn pairs_completeness(&self) -> f64 {
+        if self.true_total == 0 {
+            return 1.0;
+        }
+        self.true_covered as f64 / self.true_total as f64
+    }
+}
+
+/// Score a candidate set against the true pair set.
+pub fn evaluate(candidates: &[Pair], true_pairs: &BTreeSet<Pair>, n: usize) -> BlockingStats {
+    let cand: BTreeSet<Pair> = candidates.iter().copied().collect();
+    BlockingStats {
+        candidates: cand.len(),
+        possible: n.saturating_sub(1) * n / 2,
+        true_covered: true_pairs.intersection(&cand).count(),
+        true_total: true_pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec![
+            "David Smith".into(),    // 0
+            "D. Smith".into(),       // 1 (dup of 0)
+            "Laura Johnson".into(),  // 2
+            "Johnson, Laura".into(), // 3 (dup of 2)
+            "Peter Miller".into(),   // 4
+        ]
+    }
+
+    #[allow(clippy::ptr_arg)] // must match Fn(&String) for key_blocking
+    fn last_token_lower(s: &String) -> String {
+        s.trim_end_matches('.')
+            .split([' ', ',']).rfind(|t| !t.is_empty())
+            .unwrap_or("")
+            .to_lowercase()
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        assert_eq!(all_pairs(5).len(), 10);
+        assert!(all_pairs(0).is_empty());
+        assert!(all_pairs(1).is_empty());
+    }
+
+    #[test]
+    fn key_blocking_groups_same_key() {
+        let recs = names();
+        let pairs = key_blocking(&recs, last_token_lower);
+        // "David Smith"/"D. Smith" share key "smith".
+        assert!(pairs.contains(&(0, 1)));
+        // Johnson pair: "Laura Johnson" keys to johnson, "Johnson, Laura" keys to laura — missed.
+        assert!(!pairs.contains(&(2, 3)));
+        assert!(pairs.len() < all_pairs(recs.len()).len());
+    }
+
+    #[test]
+    fn sorted_neighborhood_window() {
+        let recs: Vec<String> = (0..10).map(|i| format!("key{i:02}")).collect();
+        let pairs = sorted_neighborhood(&recs, |s| s.clone(), 3);
+        // Window 3 links each record to its next two neighbors: 9+8 = 17 pairs.
+        assert_eq!(pairs.len(), 17);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(0, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn sorted_neighborhood_rejects_tiny_window() {
+        sorted_neighborhood(&names(), |s| s.clone(), 1);
+    }
+
+    #[test]
+    fn qgram_blocking_tolerates_typos() {
+        let recs = vec!["Jonathan".to_string(), "Jonathon".into(), "Elizabeth".into()];
+        let pairs = qgram_blocking(&recs, |s| s.clone(), 3, 3);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(!pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn evaluate_reports_reduction_and_completeness() {
+        let recs = names();
+        let true_pairs: BTreeSet<Pair> = [(0, 1), (2, 3)].into_iter().collect();
+        let pairs = key_blocking(&recs, last_token_lower);
+        let stats = evaluate(&pairs, &true_pairs, recs.len());
+        assert_eq!(stats.possible, 10);
+        assert_eq!(stats.true_total, 2);
+        assert_eq!(stats.true_covered, 1);
+        assert!(stats.reduction_ratio() > 0.5);
+        assert_eq!(stats.pairs_completeness(), 0.5);
+
+        let exact = evaluate(&all_pairs(recs.len()), &true_pairs, recs.len());
+        assert_eq!(exact.pairs_completeness(), 1.0);
+        assert_eq!(exact.reduction_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Entity clustering: union-find transitive closure over match decisions,
+//! and pairwise scoring against ground-truth clusters.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Disjoint-set forest with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets, elements `0..n`.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`. Returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// A clustering of `0..n` into entity groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Element → cluster id (cluster ids are dense, ordered by first member).
+    pub assignment: Vec<usize>,
+    /// Cluster id → members, each sorted.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Build a clustering from matched pairs over `0..n`.
+    pub fn from_pairs(n: usize, matched: impl IntoIterator<Item = (usize, usize)>) -> Clustering {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in matched {
+            uf.union(a, b);
+        }
+        Self::from_union_find(&mut uf)
+    }
+
+    /// Extract the clustering from a union-find structure.
+    pub fn from_union_find(uf: &mut UnionFind) -> Clustering {
+        let n = uf.len();
+        let mut root_to_cluster: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut assignment = vec![0usize; n];
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for (x, slot) in assignment.iter_mut().enumerate() {
+            let root = uf.find(x);
+            let cid = *root_to_cluster.entry(root).or_insert_with(|| {
+                clusters.push(Vec::new());
+                clusters.len() - 1
+            });
+            *slot = cid;
+            clusters[cid].push(x);
+        }
+        Clustering { assignment, clusters }
+    }
+
+    /// All intra-cluster pairs.
+    pub fn pairs(&self) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for c in &self.clusters {
+            for (i, &a) in c.iter().enumerate() {
+                for &b in &c[i + 1..] {
+                    out.insert((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+/// Pairwise precision/recall/F1 of a predicted clustering against truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairwiseScore {
+    /// Predicted-pair precision.
+    pub precision: f64,
+    /// True-pair recall.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+/// Score predicted clusters against true clusters by their pair sets.
+pub fn pairwise_score(predicted: &Clustering, truth: &Clustering) -> PairwiseScore {
+    let p = predicted.pairs();
+    let t = truth.pairs();
+    let tp = p.intersection(&t).count() as f64;
+    let precision = if p.is_empty() { 1.0 } else { tp / p.len() as f64 };
+    let recall = if t.is_empty() { 1.0 } else { tp / t.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScore { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_find_merges_and_finds() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn clustering_from_pairs() {
+        let c = Clustering::from_pairs(5, [(0, 1), (3, 4)]);
+        assert_eq!(c.clusters.len(), 3);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.pairs().len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let c = Clustering::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(c.clusters.len(), 1);
+        assert_eq!(c.pairs().len(), 6);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let t = Clustering::from_pairs(6, [(0, 1), (2, 3)]);
+        let s = pairwise_score(&t, &t);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn over_and_under_merging_penalized() {
+        let truth = Clustering::from_pairs(4, [(0, 1), (2, 3)]);
+        // Over-merge: everything together → recall 1, precision 2/6.
+        let over = Clustering::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let s = pairwise_score(&over, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-9);
+        // Under-merge: no pairs → precision 1 (vacuous), recall 0.
+        let under = Clustering::from_pairs(4, []);
+        let s = pairwise_score(&under, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn singleton_truth_scores_vacuously_perfect() {
+        let t = Clustering::from_pairs(3, []);
+        let p = Clustering::from_pairs(3, []);
+        let s = pairwise_score(&p, &t);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_find_is_equivalence(
+            n in 2usize..20,
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..30)
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                uf.union(a, b);
+            }
+            // Reflexive, symmetric, transitive (checked exhaustively).
+            for x in 0..n {
+                prop_assert!(uf.same(x, x));
+                for y in 0..n {
+                    prop_assert_eq!(uf.same(x, y), uf.same(y, x));
+                    for z in 0..n {
+                        if uf.same(x, y) && uf.same(y, z) {
+                            prop_assert!(uf.same(x, z));
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_assignment_matches_clusters(
+            n in 1usize..15,
+            edges in proptest::collection::vec((0usize..15, 0usize..15), 0..20)
+        ) {
+            let edges: Vec<_> = edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            let c = Clustering::from_pairs(n, edges);
+            for (cid, members) in c.clusters.iter().enumerate() {
+                for &m in members {
+                    prop_assert_eq!(c.assignment[m], cid);
+                }
+            }
+            let total: usize = c.clusters.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Information-integration (II) operators.
+//!
+//! Extraction yields semantically heterogeneous structure — the paper's own
+//! examples are `"David Smith"` vs `"D. Smith"` (the same person) and
+//! `location` vs `address` (the same attribute). This crate resolves both
+//! kinds of heterogeneity:
+//!
+//! - [`similarity`] — string similarity measures (Levenshtein, Jaro-Winkler,
+//!   q-gram Jaccard, TF-IDF cosine, person-name similarity);
+//! - [`blocking`] — candidate-pair generation that avoids the O(n²) compare
+//!   (key blocking, sorted neighborhood, q-gram index);
+//! - [`matcher`] — pairwise record match scoring over named fields;
+//! - [`cluster`] — union-find transitive clustering of match decisions into
+//!   entities, plus pairwise precision/recall scoring;
+//! - [`schema_match`] — attribute correspondence discovery from label
+//!   similarity and value-distribution overlap, and mediated-schema merging.
+
+pub mod blocking;
+pub mod cluster;
+pub mod matcher;
+pub mod schema_match;
+pub mod similarity;
+
+pub use cluster::{pairwise_score, Clustering, UnionFind};
+pub use matcher::{MatchConfig, MatchDecision, Record};
+pub use schema_match::{Correspondence, SchemaMatcher};

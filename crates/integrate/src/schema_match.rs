@@ -1,0 +1,270 @@
+//! Schema matching: which attributes of two extracted schemas correspond?
+//!
+//! The paper's example: `location` and `address` extracted from two
+//! Wikipedia infoboxes "may in fact match". Evidence combined here:
+//! label string similarity and instance-value distribution overlap
+//! (Jaccard for categorical values, range overlap for numeric ones).
+//! Correspondences feed a mediated-schema merge.
+
+use crate::similarity::jaro_winkler;
+use quarry_storage::Value;
+use std::collections::{BTreeMap, HashSet};
+
+/// An attribute with sample instance values (the matcher's input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeProfile {
+    /// Attribute label as extracted.
+    pub name: String,
+    /// Sample of observed values.
+    pub values: Vec<Value>,
+}
+
+impl AttributeProfile {
+    /// Build from a name and values.
+    pub fn new(name: &str, values: Vec<Value>) -> AttributeProfile {
+        AttributeProfile { name: name.to_string(), values }
+    }
+
+    fn numeric_range(&self) -> Option<(f64, f64)> {
+        let nums: Vec<f64> = self.values.iter().filter_map(Value::as_f64).collect();
+        if nums.len() * 2 < self.values.len().max(1) {
+            return None; // mostly non-numeric
+        }
+        let lo = nums.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    fn text_set(&self) -> HashSet<String> {
+        self.values
+            .iter()
+            .filter_map(Value::as_text)
+            .map(str::to_lowercase)
+            .collect()
+    }
+}
+
+/// A discovered correspondence between two attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correspondence {
+    /// Attribute name on the left schema.
+    pub left: String,
+    /// Attribute name on the right schema.
+    pub right: String,
+    /// Combined evidence score in `[0,1]`.
+    pub score: f64,
+}
+
+/// Configuration of the evidence combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemaMatcher {
+    /// Weight of label similarity.
+    pub name_weight: f64,
+    /// Weight of value-distribution overlap.
+    pub value_weight: f64,
+    /// Minimum combined score to report a correspondence.
+    pub threshold: f64,
+}
+
+impl Default for SchemaMatcher {
+    fn default() -> Self {
+        SchemaMatcher { name_weight: 0.35, value_weight: 0.65, threshold: 0.45 }
+    }
+}
+
+impl SchemaMatcher {
+    /// Value-distribution overlap of two profiles.
+    pub fn value_overlap(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
+        match (a.numeric_range(), b.numeric_range()) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                let inter = (ahi.min(bhi) - alo.max(blo)).max(0.0);
+                let union = (ahi.max(bhi) - alo.min(blo)).max(f64::EPSILON);
+                inter / union
+            }
+            (None, None) => {
+                let sa = a.text_set();
+                let sb = b.text_set();
+                if sa.is_empty() && sb.is_empty() {
+                    return 0.0;
+                }
+                let inter = sa.intersection(&sb).count() as f64;
+                let union = (sa.len() + sb.len()) as f64 - inter;
+                inter / union
+            }
+            // One numeric, one categorical: structurally different.
+            _ => 0.0,
+        }
+    }
+
+    /// Score one attribute pair.
+    pub fn score(&self, a: &AttributeProfile, b: &AttributeProfile) -> f64 {
+        let name = jaro_winkler(&a.name.to_lowercase(), &b.name.to_lowercase());
+        // (Near-)identical labels are decisive on their own: two infoboxes
+        // both calling a field `founded` correspond even when their value
+        // ranges happen not to overlap in the sample.
+        if name >= 0.95 {
+            return name;
+        }
+        let value = Self::value_overlap(a, b);
+        self.name_weight * name + self.value_weight * value
+    }
+
+    /// Find a 1:1 correspondence set between two schemas, greedily by score.
+    pub fn match_schemas(
+        &self,
+        left: &[AttributeProfile],
+        right: &[AttributeProfile],
+    ) -> Vec<Correspondence> {
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+        for (i, a) in left.iter().enumerate() {
+            for (j, b) in right.iter().enumerate() {
+                let s = self.score(a, b);
+                if s >= self.threshold {
+                    scored.push((s, i, j));
+                }
+            }
+        }
+        scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut used_l = HashSet::new();
+        let mut used_r = HashSet::new();
+        let mut out = Vec::new();
+        for (s, i, j) in scored {
+            if used_l.contains(&i) || used_r.contains(&j) {
+                continue;
+            }
+            used_l.insert(i);
+            used_r.insert(j);
+            out.push(Correspondence {
+                left: left[i].name.clone(),
+                right: right[j].name.clone(),
+                score: s,
+            });
+        }
+        out
+    }
+
+    /// Merge two schemas under a correspondence set: corresponding
+    /// attributes unify under the left (preferred) name; the rest pass
+    /// through. Returns merged name → source names.
+    pub fn merge(
+        left: &[AttributeProfile],
+        right: &[AttributeProfile],
+        correspondences: &[Correspondence],
+    ) -> BTreeMap<String, Vec<String>> {
+        let mut merged: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut right_mapped: HashSet<&str> = HashSet::new();
+        for a in left {
+            merged.insert(a.name.clone(), vec![a.name.clone()]);
+        }
+        for c in correspondences {
+            if let Some(sources) = merged.get_mut(&c.left) {
+                sources.push(c.right.clone());
+                right_mapped.insert(c.right.as_str());
+            }
+        }
+        for b in right {
+            if !right_mapped.contains(b.name.as_str()) {
+                merged.entry(b.name.clone()).or_insert_with(|| vec![b.name.clone()]);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|v| Value::Text((*v).into())).collect()
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn location_address_match_via_values() {
+        // Dissimilar labels, shared value domain — the paper's example shape.
+        let a = AttributeProfile::new("location", texts(&["Madison", "Oakton", "Riverdale"]));
+        let b = AttributeProfile::new("address", texts(&["Madison", "Riverdale", "Hillford"]));
+        let m = SchemaMatcher::default();
+        let s = m.score(&a, &b);
+        assert!(s >= m.threshold, "score {s}");
+    }
+
+    #[test]
+    fn numeric_ranges_overlap() {
+        let a = AttributeProfile::new("population", ints(&[5_000, 900_000]));
+        let b = AttributeProfile::new("residents", ints(&[10_000, 800_000]));
+        let overlap = SchemaMatcher::value_overlap(&a, &b);
+        assert!(overlap > 0.8, "{overlap}");
+        // Disjoint ranges do not overlap.
+        let c = AttributeProfile::new("founded", ints(&[1780, 1950]));
+        assert_eq!(SchemaMatcher::value_overlap(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn numeric_vs_text_is_zero() {
+        let a = AttributeProfile::new("population", ints(&[1, 2, 3]));
+        let b = AttributeProfile::new("name", texts(&["x", "y"]));
+        assert_eq!(SchemaMatcher::value_overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn one_to_one_greedy_assignment() {
+        let left = vec![
+            AttributeProfile::new("population", ints(&[5_000, 900_000])),
+            AttributeProfile::new("state", texts(&["Wisconsin", "Iowa", "Ohio"])),
+        ];
+        let right = vec![
+            AttributeProfile::new("residents", ints(&[10_000, 700_000])),
+            AttributeProfile::new("location", texts(&["Wisconsin", "Ohio", "Texas"])),
+            AttributeProfile::new("founded", ints(&[1800, 1950])),
+        ];
+        let m = SchemaMatcher::default();
+        let cs = m.match_schemas(&left, &right);
+        let find = |l: &str| cs.iter().find(|c| c.left == l).map(|c| c.right.clone());
+        assert_eq!(find("population"), Some("residents".into()));
+        assert_eq!(find("state"), Some("location".into()));
+        // 1:1: each right attribute used at most once.
+        let mut rights: Vec<_> = cs.iter().map(|c| &c.right).collect();
+        rights.sort();
+        rights.dedup();
+        assert_eq!(rights.len(), cs.len());
+    }
+
+    #[test]
+    fn identical_labels_match_on_name_alone() {
+        let a = AttributeProfile::new("founded", ints(&[1800, 1900]));
+        let b = AttributeProfile::new("founded", ints(&[1950, 2000]));
+        let m = SchemaMatcher::default();
+        assert!(m.score(&a, &b) >= m.threshold);
+    }
+
+    #[test]
+    fn merge_unifies_and_passes_through() {
+        let left = vec![AttributeProfile::new("population", ints(&[1, 2]))];
+        let right = vec![
+            AttributeProfile::new("residents", ints(&[1, 2])),
+            AttributeProfile::new("mayor", texts(&["a"])),
+        ];
+        let cs = vec![Correspondence { left: "population".into(), right: "residents".into(), score: 0.9 }];
+        let merged = SchemaMatcher::merge(&left, &right, &cs);
+        assert_eq!(merged["population"], vec!["population".to_string(), "residents".to_string()]);
+        assert!(merged.contains_key("mayor"));
+        assert!(!merged.contains_key("residents"));
+    }
+
+    #[test]
+    fn empty_profiles_do_not_spuriously_match() {
+        let a = AttributeProfile::new("alpha", vec![]);
+        let b = AttributeProfile::new("omega", vec![]);
+        let m = SchemaMatcher::default();
+        assert!(m.score(&a, &b) < m.threshold);
+    }
+}

@@ -1,0 +1,362 @@
+//! String similarity measures.
+//!
+//! All measures return values in `[0, 1]`, are symmetric, and give 1.0 for
+//! identical inputs (property-tested below).
+
+use std::collections::{HashMap, HashSet};
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // One-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let val = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                a_matched.push(i);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched characters.
+    let b_matched: Vec<usize> = b_used
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u)
+        .map(|(j, _)| j)
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(&i, &j)| a[i] != b[j])
+        .count();
+    let m = matches as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler: Jaro boosted by the common prefix (up to 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Character q-grams of a string (padded with `#` so short strings work).
+pub fn qgrams(s: &str, q: usize) -> HashSet<String> {
+    assert!(q >= 1);
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(s.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    padded
+        .windows(q)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Jaccard similarity of q-gram sets.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let ga = qgrams(a, q);
+    let gb = qgrams(b, q);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = (ga.len() + gb.len()) as f64 - inter;
+    inter / union
+}
+
+/// A TF-IDF vector space over a corpus of token bags, for cosine similarity
+/// of longer strings (titles, descriptions).
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, usize>,
+    n_docs: usize,
+}
+
+impl TfIdf {
+    /// Fit document frequencies over a corpus of texts.
+    pub fn fit<'a>(texts: impl IntoIterator<Item = &'a str>) -> TfIdf {
+        let mut model = TfIdf::default();
+        for t in texts {
+            model.n_docs += 1;
+            let tokens: HashSet<String> = Self::tokens(t).collect();
+            for tok in tokens {
+                *model.doc_freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        model
+    }
+
+    fn tokens(t: &str) -> impl Iterator<Item = String> + '_ {
+        t.split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(|w| w.to_lowercase())
+    }
+
+    fn vector(&self, text: &str) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for tok in Self::tokens(text) {
+            *tf.entry(tok).or_insert(0.0) += 1.0;
+        }
+        for (tok, w) in tf.iter_mut() {
+            let df = self.doc_freq.get(tok).copied().unwrap_or(0);
+            let idf = ((self.n_docs as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0;
+            *w *= idf;
+        }
+        tf
+    }
+
+    /// Cosine similarity of two texts under the fitted weights.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(t, w)| vb.get(t).map(|w2| w * w2))
+            .sum();
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return if a == b { 1.0 } else { 0.0 };
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Person-name similarity, variant-aware.
+///
+/// Handles the paper's "David Smith" vs "D. Smith" example plus the other
+/// corpus variants ("Smith, David"; middle initials). Strategy: normalize
+/// both names to `(first-ish, middle?, last)` parts, compare last names
+/// strictly and first names leniently (an initial matches any name starting
+/// with it).
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let pa = NameParts::parse(a);
+    let pb = NameParts::parse(b);
+    let last = jaro_winkler(&pa.last, &pb.last);
+    if last < 0.85 {
+        return last * 0.5; // different surnames dominate the decision
+    }
+    let first = first_name_sim(&pa.first, &pb.first);
+    0.6 * last + 0.4 * first
+}
+
+fn first_name_sim(a: &str, b: &str) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.5; // unknown first name: weak evidence either way
+    }
+    let ia = a.len() == 1;
+    let ib = b.len() == 1;
+    if ia || ib {
+        let (init, full) = if ia { (a, b) } else { (b, a) };
+        if full.starts_with(init) {
+            // Compatible but inherently ambiguous: "D." could be any
+            // D-name. Strong enough to match with supporting field
+            // agreement, weak enough to land in the uncertain band without
+            // it — exactly the pairs HI review exists for.
+            return 0.75;
+        }
+        return 0.0;
+    }
+    jaro_winkler(a, b)
+}
+
+#[derive(Debug, PartialEq)]
+struct NameParts {
+    first: String,
+    last: String,
+}
+
+impl NameParts {
+    fn parse(name: &str) -> NameParts {
+        let name = name.trim();
+        // "Smith, David" form.
+        if let Some((last, first)) = name.split_once(',') {
+            let first_tok = first.trim().split(' ').next().unwrap_or("").trim_matches('.');
+            return NameParts {
+                first: first_tok.to_lowercase(),
+                last: last.trim().to_lowercase(),
+            };
+        }
+        let toks: Vec<&str> = name.split(' ').filter(|t| !t.is_empty()).collect();
+        match toks.len() {
+            0 => NameParts { first: String::new(), last: String::new() },
+            1 => NameParts { first: String::new(), last: toks[0].to_lowercase() },
+            _ => NameParts {
+                first: toks[0].trim_matches('.').to_lowercase(),
+                // Skip roman-numeral generation suffixes for the last name.
+                last: toks
+                    .iter()
+                    .rev()
+                    .find(|t| !t.chars().all(|c| matches!(c, 'I' | 'V' | 'X')))
+                    .unwrap_or(&toks[toks.len() - 1])
+                    .trim_matches('.')
+                    .to_lowercase(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        let j = jaro("martha", "marhta");
+        assert!((j - 0.9444).abs() < 0.001, "{j}");
+        let jw = jaro_winkler("martha", "marhta");
+        assert!(jw > j);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn qgram_jaccard_behaviour() {
+        assert_eq!(qgram_jaccard("night", "night", 2), 1.0);
+        let s = qgram_jaccard("night", "nacht", 2);
+        assert!(s > 0.0 && s < 0.5, "{s}");
+        assert_eq!(qgram_jaccard("", "", 2), 1.0);
+    }
+
+    #[test]
+    fn tfidf_cosine_ranks_shared_rare_words() {
+        let model = TfIdf::fit([
+            "a survey of entity resolution",
+            "a survey of query optimization",
+            "scalable entity resolution systems",
+            "the common the words the",
+        ]);
+        let close = model.cosine("entity resolution", "scalable entity resolution systems");
+        let far = model.cosine("entity resolution", "a survey of query optimization");
+        assert!(close > far, "{close} vs {far}");
+        assert!(model.cosine("same text", "same text") > 0.999);
+        assert_eq!(model.cosine("", ""), 1.0);
+    }
+
+    #[test]
+    fn name_similarity_handles_paper_example() {
+        // The paper's motivating pair.
+        assert!(name_similarity("David Smith", "D. Smith") > 0.8);
+        // Inverted form.
+        assert!(name_similarity("David Smith", "Smith, David") > 0.9);
+        // Middle initial variant.
+        assert!(name_similarity("David Smith", "David R. Smith") > 0.8);
+        // Different people.
+        assert!(name_similarity("David Smith", "Laura Johnson") < 0.5);
+        // Same surname, different first name: not a match.
+        assert!(name_similarity("David Smith", "Sarah Smith") < 0.85);
+        // Initial incompatible with first name.
+        assert!(name_similarity("David Smith", "K. Smith") < 0.7);
+    }
+
+    #[test]
+    fn name_parsing_forms() {
+        assert_eq!(
+            NameParts::parse("Smith, David"),
+            NameParts { first: "david".into(), last: "smith".into() }
+        );
+        assert_eq!(
+            NameParts::parse("David Smith II"),
+            NameParts { first: "david".into(), last: "smith".into() }
+        );
+        assert_eq!(
+            NameParts::parse("D. Smith"),
+            NameParts { first: "d".into(), last: "smith".into() }
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_measures_bounded_symmetric(a in "[a-zA-Z .]{0,15}", b in "[a-zA-Z .]{0,15}") {
+            for f in [levenshtein_sim, jaro, jaro_winkler] {
+                let ab = f(&a, &b);
+                let ba = f(&b, &a);
+                prop_assert!((0.0..=1.0).contains(&ab), "{ab}");
+                prop_assert!((ab - ba).abs() < 1e-12);
+            }
+            let q = qgram_jaccard(&a, &b, 2);
+            prop_assert!((0.0..=1.0).contains(&q));
+            prop_assert!((q - qgram_jaccard(&b, &a, 2)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_identity_scores_one(a in "[a-zA-Z]{1,15}") {
+            prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+            prop_assert_eq!(qgram_jaccard(&a, &a, 3), 1.0);
+        }
+
+        #[test]
+        fn prop_levenshtein_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+    }
+}

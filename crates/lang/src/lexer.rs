@@ -1,0 +1,183 @@
+//! QDL lexer.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Tokenize a QDL program. `--` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Ge);
+                i += 2;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { at: i, message: "unterminated string".into() });
+                }
+                out.push(Token::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| LexError { at: start, message: format!("bad number {text}") })?;
+                out.push(Token::Number(n));
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-'
+                        || bytes[i] == b':')
+                {
+                    // Allow '-' inside identifiers (extractor names like
+                    // `prose-rule`) but not a trailing comment starter.
+                    if bytes[i] == b'-' && bytes.get(i + 1) == Some(&b'-') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                return Err(LexError { at: i, message: format!("unexpected character {c:?}") });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_program() {
+        let toks = lex("PIPELINE p\nFROM corpus -- comment\nEXTRACT infobox, prose-rule\nWHERE confidence >= 0.6").unwrap();
+        assert!(toks.contains(&Token::Ident("PIPELINE".into())));
+        assert!(toks.contains(&Token::Ident("prose-rule".into())));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Number(0.6)));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn strings_and_punctuation() {
+        let toks = lex("attribute IN (\"population\", \"state\")").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("attribute".into()),
+                Token::Ident("IN".into()),
+                Token::LParen,
+                Token::Str("population".into()),
+                Token::Comma,
+                Token::Str("state".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("abc \"unterminated").unwrap_err();
+        assert_eq!(err.at, 4);
+        let err = lex("abc @").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn numbers_integer_and_decimal() {
+        let toks = lex("50 0.75").unwrap();
+        assert_eq!(toks, vec![Token::Number(50.0), Token::Number(0.75)]);
+    }
+
+    #[test]
+    fn empty_and_comment_only() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("-- nothing here\n-- more").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! QDL — Quarry's declarative IE+II+HI language (blueprint Parts I–II).
+//!
+//! "At the heart of this layer is a data model, a declarative language
+//! (over this data model) that combines IE, II, and HI, and a library of
+//! basic operators. ... These programs can be parsed, reformulated,
+//! optimized, then executed." A QDL program:
+//!
+//! ```text
+//! PIPELINE city_facts
+//! FROM corpus
+//! EXTRACT infobox, rules
+//! WHERE attribute IN ("population", "state") AND confidence >= 0.6
+//! RESOLVE BY name
+//! CURATE BUDGET 50 VOTES 3
+//! STORE INTO cities KEY name
+//! ```
+//!
+//! - [`ast`] + [`lexer`] + [`parser`] — surface syntax; programs print and
+//!   re-parse losslessly (property-tested);
+//! - [`registry`] — the operator library: named extractors with declared
+//!   output-attribute signatures and per-document costs;
+//! - [`plan`] — logical plans and the rule-based optimizer (extractor
+//!   pruning against WHERE clauses, selection placement, materialization
+//!   reuse), plus `EXPLAIN` rendering;
+//! - [`exec`] — the executor: runs a plan over documents, resolves
+//!   entities, routes uncertain decisions to an HI oracle, and stores the
+//!   result into the structured store, reporting per-step statistics.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod registry;
+
+pub use ast::{Condition, Pipeline, Step};
+pub use exec::{ExecContext, ExecStats, Executor};
+pub use parser::parse;
+pub use plan::{optimize, LogicalPlan, PlanOp};
+pub use registry::ExtractorRegistry;

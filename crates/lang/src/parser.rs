@@ -1,0 +1,304 @@
+//! QDL parser: recursive descent over the token stream.
+
+use crate::ast::{Condition, Pipeline, Step};
+use crate::lexer::{lex, Token};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(ParseError(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(ParseError(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn pipeline(&mut self) -> Result<Pipeline, ParseError> {
+        self.keyword("PIPELINE")?;
+        let name = self.ident()?;
+        self.keyword("FROM")?;
+        let source = self.ident()?;
+        let mut steps = Vec::new();
+        while let Some(tok) = self.peek() {
+            let Token::Ident(kw) = tok else {
+                return Err(ParseError(format!("expected step keyword, found {tok:?}")));
+            };
+            let step = match kw.to_ascii_uppercase().as_str() {
+                "EXTRACT" => {
+                    self.next();
+                    Step::Extract { extractors: self.ident_list()? }
+                }
+                "WHERE" => {
+                    self.next();
+                    Step::Where { conditions: self.conditions()? }
+                }
+                "RESOLVE" => {
+                    self.next();
+                    self.keyword("BY")?;
+                    Step::Resolve { key: self.ident()? }
+                }
+                "CURATE" => {
+                    self.next();
+                    self.keyword("BUDGET")?;
+                    let budget = self.number()? as u32;
+                    self.keyword("VOTES")?;
+                    let votes = self.number()? as u32;
+                    Step::Curate { budget, votes }
+                }
+                "STORE" => {
+                    self.next();
+                    self.keyword("INTO")?;
+                    let table = self.ident()?;
+                    self.keyword("KEY")?;
+                    Step::Store { table, key: self.ident_list()? }
+                }
+                other => return Err(ParseError(format!("unknown step {other}"))),
+            };
+            steps.push(step);
+        }
+        Ok(Pipeline { name, source, steps })
+    }
+
+    fn conditions(&mut self) -> Result<Vec<Condition>, ParseError> {
+        let mut out = vec![self.condition()?];
+        while self.peek_keyword("AND") {
+            self.next();
+            out.push(self.condition()?);
+        }
+        Ok(out)
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let field = self.ident()?;
+        match field.to_ascii_lowercase().as_str() {
+            "attribute" => {
+                if self.peek_keyword("IN") {
+                    self.next();
+                    if self.next() != Some(Token::LParen) {
+                        return Err(ParseError("expected ( after IN".into()));
+                    }
+                    let mut attrs = vec![self.string()?];
+                    while self.peek() == Some(&Token::Comma) {
+                        self.next();
+                        attrs.push(self.string()?);
+                    }
+                    if self.next() != Some(Token::RParen) {
+                        return Err(ParseError("expected ) closing IN list".into()));
+                    }
+                    Ok(Condition::AttributeIn(attrs))
+                } else if self.next() == Some(Token::Eq) {
+                    Ok(Condition::AttributeEq(self.string()?))
+                } else {
+                    Err(ParseError("expected = or IN after attribute".into()))
+                }
+            }
+            "confidence" => {
+                if self.next() != Some(Token::Ge) {
+                    return Err(ParseError("expected >= after confidence".into()));
+                }
+                Ok(Condition::ConfidenceGe(self.number()?))
+            }
+            "extractor" => {
+                if self.next() != Some(Token::Eq) {
+                    return Err(ParseError("expected = after extractor".into()));
+                }
+                Ok(Condition::ExtractorEq(self.string()?))
+            }
+            other => Err(ParseError(format!("unknown condition field {other}"))),
+        }
+    }
+}
+
+/// Parse a QDL program.
+pub fn parse(src: &str) -> Result<Pipeline, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError(format!("{} at byte {}", e.message, e.at)))?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pipeline = p.pipeline()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError(format!("trailing tokens after program: {:?}", p.peek())));
+    }
+    Ok(pipeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PROGRAM: &str = r#"
+PIPELINE city_facts
+FROM corpus
+EXTRACT infobox, prose-rule
+WHERE attribute IN ("population", "state") AND confidence >= 0.6
+RESOLVE BY name
+CURATE BUDGET 50 VOTES 3
+STORE INTO cities KEY name
+"#;
+
+    #[test]
+    fn parses_full_program() {
+        let p = parse(PROGRAM).unwrap();
+        assert_eq!(p.name, "city_facts");
+        assert_eq!(p.source, "corpus");
+        assert_eq!(p.steps.len(), 5);
+        assert_eq!(
+            p.steps[0],
+            Step::Extract { extractors: vec!["infobox".into(), "prose-rule".into()] }
+        );
+        assert_eq!(
+            p.steps[1],
+            Step::Where {
+                conditions: vec![
+                    Condition::AttributeIn(vec!["population".into(), "state".into()]),
+                    Condition::ConfidenceGe(0.6),
+                ]
+            }
+        );
+        assert_eq!(p.steps[3], Step::Curate { budget: 50, votes: 3 });
+        assert_eq!(p.steps[4], Step::Store { table: "cities".into(), key: vec!["name".into()] });
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let p = parse("pipeline p from corpus extract infobox").unwrap();
+        assert_eq!(p.steps.len(), 1);
+    }
+
+    #[test]
+    fn print_reparse_round_trip() {
+        let p = parse(PROGRAM).unwrap();
+        let printed = p.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn attribute_eq_and_extractor_conditions() {
+        let p = parse(
+            "PIPELINE p FROM corpus EXTRACT infobox WHERE attribute = \"population\" AND extractor = \"infobox\"",
+        )
+        .unwrap();
+        assert_eq!(
+            p.steps[1],
+            Step::Where {
+                conditions: vec![
+                    Condition::AttributeEq("population".into()),
+                    Condition::ExtractorEq("infobox".into()),
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn multi_key_store() {
+        let p = parse("PIPELINE p FROM corpus EXTRACT infobox STORE INTO temps KEY city, month").unwrap();
+        assert_eq!(
+            p.steps[1],
+            Step::Store { table: "temps".into(), key: vec!["city".into(), "month".into()] }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (src, needle) in [
+            ("FROM corpus", "PIPELINE"),
+            ("PIPELINE p EXTRACT x", "FROM"),
+            ("PIPELINE p FROM corpus FROBNICATE", "unknown step"),
+            ("PIPELINE p FROM corpus WHERE speed >= 1", "unknown condition"),
+            ("PIPELINE p FROM corpus CURATE BUDGET x", "expected number"),
+            ("PIPELINE p FROM corpus EXTRACT infobox )", "expected step"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.0.contains(needle), "{src}: {err}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_print_reparse_identity(
+            name in "[a-z][a-z_]{0,8}",
+            extractors in proptest::collection::vec("[a-z](-?[a-z]){0,5}", 1..4),
+            attrs in proptest::collection::vec("[a-z_]{1,8}", 1..4),
+            conf in 0.0f64..1.0,
+            budget in 0u32..1000,
+            votes in 1u32..9,
+        ) {
+            let p = Pipeline {
+                name,
+                source: "corpus".into(),
+                steps: vec![
+                    Step::Extract { extractors },
+                    Step::Where { conditions: vec![
+                        Condition::AttributeIn(attrs),
+                        Condition::ConfidenceGe((conf * 100.0).round() / 100.0),
+                    ]},
+                    Step::Curate { budget, votes },
+                ],
+            };
+            let reparsed = parse(&p.to_string()).unwrap();
+            prop_assert_eq!(p, reparsed);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The operator library: named extractors with signatures and costs.
+//!
+//! Developers "write declarative IE+II+HI programs" against a library of
+//! basic operators, and "may have to write domain-specific operators, but
+//! the framework makes it easy to use such operators in the programs".
+//! Registration = a name, a closure, a declared output signature (which
+//! attributes it can produce — the optimizer's pruning input), and a cost
+//! estimate per document (the optimizer's ordering input).
+
+use quarry_corpus::Document;
+use quarry_extract::dictionary::Gazetteer;
+use quarry_extract::rules::{self, ProseRule};
+use quarry_extract::{infobox, Extraction};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What attributes an extractor can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Produces {
+    /// Could produce any attribute (infobox parsing).
+    Any,
+    /// Exactly these attributes.
+    Set(Vec<String>),
+    /// Attributes ending with this suffix (e.g. `_temp`).
+    Suffix(String),
+}
+
+impl Produces {
+    /// Could this extractor produce any of the named attributes?
+    pub fn intersects(&self, attrs: &[&str]) -> bool {
+        match self {
+            Produces::Any => true,
+            Produces::Set(set) => attrs.iter().any(|a| set.iter().any(|s| s == a)),
+            Produces::Suffix(suf) => attrs.iter().any(|a| a.ends_with(suf.as_str())),
+        }
+    }
+}
+
+type ExtractFn = Arc<dyn Fn(&Document) -> Vec<Extraction> + Send + Sync>;
+
+/// One registered operator.
+#[derive(Clone)]
+pub struct RegisteredExtractor {
+    /// Registered name.
+    pub name: String,
+    /// Declared output signature.
+    pub produces: Produces,
+    /// Relative cost per document (arbitrary units; infobox = 1).
+    pub cost: f64,
+    /// The operator itself.
+    pub run: ExtractFn,
+}
+
+/// The registry.
+#[derive(Clone, Default)]
+pub struct ExtractorRegistry {
+    by_name: HashMap<String, RegisteredExtractor>,
+}
+
+impl ExtractorRegistry {
+    /// Empty registry.
+    pub fn new() -> ExtractorRegistry {
+        ExtractorRegistry::default()
+    }
+
+    /// The standard library: `infobox` and `rules` (all standard prose
+    /// rules as one operator, plus each rule individually as
+    /// `rule:<name>`).
+    pub fn standard() -> ExtractorRegistry {
+        let mut r = ExtractorRegistry::new();
+        r.register("infobox", Produces::Any, 1.0, infobox::extract);
+        let all_rules = rules::standard_rules();
+        r.register_owned(
+            "rules".to_string(),
+            Produces::Set(standard_rule_attributes(&all_rules)),
+            5.0,
+            {
+                let all_rules = all_rules.clone();
+                move |d| rules::extract(d, &all_rules)
+            },
+        );
+        for rule in all_rules {
+            let name = format!("rule:{}", rule.name);
+            let produces = Produces::Set(rule_attributes(&rule));
+            r.register_owned(name, produces, 1.0, move |d| rule.extract(d));
+        }
+        r
+    }
+
+    /// Register an operator.
+    pub fn register(
+        &mut self,
+        name: &str,
+        produces: Produces,
+        cost: f64,
+        f: impl Fn(&Document) -> Vec<Extraction> + Send + Sync + 'static,
+    ) {
+        self.register_owned(name.to_string(), produces, cost, f);
+    }
+
+    fn register_owned(
+        &mut self,
+        name: String,
+        produces: Produces,
+        cost: f64,
+        f: impl Fn(&Document) -> Vec<Extraction> + Send + Sync + 'static,
+    ) {
+        self.by_name.insert(
+            name.clone(),
+            RegisteredExtractor { name, produces, cost, run: Arc::new(f) },
+        );
+    }
+
+    /// Register a gazetteer as an operator.
+    pub fn register_gazetteer(&mut self, name: &str, g: Gazetteer, cost: f64) {
+        let produces = Produces::Set(vec![name.to_string()]);
+        let attr_owned = g;
+        self.register(name, produces, cost, move |d| attr_owned.extract(d));
+    }
+
+    /// Look up an operator.
+    pub fn get(&self, name: &str) -> Option<&RegisteredExtractor> {
+        self.by_name.get(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.by_name.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no operators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ExtractorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractorRegistry").field("names", &self.names()).finish()
+    }
+}
+
+/// The attributes a single prose rule can emit (resolving the dynamic
+/// month placeholder to the twelve month attributes).
+fn rule_attributes(rule: &ProseRule) -> Vec<String> {
+    match rule.name {
+        "monthly-temperature" => MONTHS.iter().map(|m| format!("{m}_temp")).collect(),
+        "population-of" => vec!["population".into()],
+        "founded-and-area" => vec!["founded".into(), "area_sq_mi".into()],
+        "person-born-works" => vec!["birth_year".into(), "employer".into()],
+        "lives-in" => vec!["residence".into()],
+        "company-industry-hq" => vec!["industry".into(), "headquarters".into()],
+        "company-founded" => vec!["founded".into()],
+        "publication-venue-year" => vec!["venue".into(), "year".into()],
+        "lead-author" => vec!["author".into()],
+        other => vec![other.to_string()],
+    }
+}
+
+fn standard_rule_attributes(all: &[ProseRule]) -> Vec<String> {
+    let mut out: Vec<String> = all.iter().flat_map(rule_attributes).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+const MONTHS: [&str; 12] = [
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_corpus::{DocId, DocKind};
+
+    fn doc(text: &str) -> Document {
+        Document { id: DocId(0), title: "T".into(), text: text.into(), kind: DocKind::City }
+    }
+
+    #[test]
+    fn standard_registry_has_infobox_and_rules() {
+        let r = ExtractorRegistry::standard();
+        assert!(r.get("infobox").is_some());
+        assert!(r.get("rules").is_some());
+        assert!(r.get("rule:population-of").is_some());
+        assert!(r.len() > 5);
+    }
+
+    #[test]
+    fn operators_run() {
+        let r = ExtractorRegistry::standard();
+        let d = doc("{{Infobox settlement\n| population = 9,000\n}}\n\nthe population of Oakton was 9,000.");
+        let from_infobox = (r.get("infobox").unwrap().run)(&d);
+        assert_eq!(from_infobox.len(), 1);
+        let from_rules = (r.get("rules").unwrap().run)(&d);
+        assert!(from_rules.iter().any(|e| e.attribute == "population"));
+    }
+
+    #[test]
+    fn produces_intersection() {
+        assert!(Produces::Any.intersects(&["anything"]));
+        assert!(Produces::Set(vec!["a".into(), "b".into()]).intersects(&["b"]));
+        assert!(!Produces::Set(vec!["a".into()]).intersects(&["b"]));
+        assert!(Produces::Suffix("_temp".into()).intersects(&["march_temp"]));
+        assert!(!Produces::Suffix("_temp".into()).intersects(&["population"]));
+    }
+
+    #[test]
+    fn rule_signatures_cover_their_outputs() {
+        let r = ExtractorRegistry::standard();
+        let monthly = r.get("rule:monthly-temperature").unwrap();
+        assert!(monthly.produces.intersects(&["march_temp"]));
+        assert!(!monthly.produces.intersects(&["population"]));
+    }
+
+    #[test]
+    fn custom_operator_registration() {
+        let mut r = ExtractorRegistry::new();
+        r.register("noop", Produces::Set(vec!["x".into()]), 2.0, |_| Vec::new());
+        assert_eq!(r.names(), vec!["noop"]);
+        assert_eq!((r.get("noop").unwrap().run)(&doc("text")), Vec::new());
+        assert_eq!(r.get("noop").unwrap().cost, 2.0);
+    }
+
+    #[test]
+    fn gazetteer_registration() {
+        let mut r = ExtractorRegistry::new();
+        let g = Gazetteer::from_names("city_mention", ["Madison"], false);
+        r.register_gazetteer("city_mention", g, 3.0);
+        let exts = (r.get("city_mention").unwrap().run)(&doc("Visit Madison today"));
+        assert_eq!(exts.len(), 1);
+    }
+}

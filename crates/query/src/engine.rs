@@ -1,0 +1,697 @@
+//! A compositional structured query engine over the structured store.
+//!
+//! Queries are algebraic trees — scan, filter, project, join, aggregate —
+//! executed against a [`Database`] under one read transaction. This is the
+//! "structured querying" exploitation mode, the one the paper's motivating
+//! example ("find the average March–September temperature in Madison")
+//! needs and keyword search cannot express.
+
+use quarry_storage::{Database, Row, StorageError, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Query-evaluation error.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Reference to an unknown column.
+    UnknownColumn(String),
+    /// Aggregation over a non-numeric column.
+    NotNumeric(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage: {e}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QueryError::NotNumeric(c) => write!(f, "column {c} is not numeric"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// A row predicate over named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column = value`.
+    Eq(String, Value),
+    /// `column != value`.
+    Ne(String, Value),
+    /// `column < value`.
+    Lt(String, Value),
+    /// `column <= value`.
+    Le(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// `column >= value`.
+    Ge(String, Value),
+    /// Case-insensitive substring match on a text column.
+    Contains(String, String),
+    /// Membership in a value set (`column IN (...)`).
+    In(String, Vec<Value>),
+}
+
+impl Predicate {
+    /// The column the predicate constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            Predicate::Eq(c, _)
+            | Predicate::Ne(c, _)
+            | Predicate::Lt(c, _)
+            | Predicate::Le(c, _)
+            | Predicate::Gt(c, _)
+            | Predicate::Ge(c, _)
+            | Predicate::Contains(c, _)
+            | Predicate::In(c, _) => c,
+        }
+    }
+
+    fn eval(&self, v: &Value) -> bool {
+        match self {
+            Predicate::Eq(_, x) => v == x,
+            Predicate::Ne(_, x) => v != x,
+            Predicate::Lt(_, x) => v < x,
+            Predicate::Le(_, x) => v <= x,
+            Predicate::Gt(_, x) => v > x,
+            Predicate::Ge(_, x) => v >= x,
+            Predicate::Contains(_, needle) => v
+                .as_text()
+                .is_some_and(|t| t.to_lowercase().contains(&needle.to_lowercase())),
+            Predicate::In(_, set) => set.contains(v),
+        }
+    }
+
+    /// Render for forms/explanations.
+    pub fn display(&self) -> String {
+        match self {
+            Predicate::Eq(c, v) => format!("{c} = {v}"),
+            Predicate::Ne(c, v) => format!("{c} != {v}"),
+            Predicate::Lt(c, v) => format!("{c} < {v}"),
+            Predicate::Le(c, v) => format!("{c} <= {v}"),
+            Predicate::Gt(c, v) => format!("{c} > {v}"),
+            Predicate::Ge(c, v) => format!("{c} >= {v}"),
+            Predicate::Contains(c, s) => format!("{c} CONTAINS '{s}'"),
+            Predicate::In(c, vs) => {
+                let items: Vec<String> = vs.iter().map(Value::to_string).collect();
+                format!("{c} IN ({})", items.join(", "))
+            }
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Row count (column ignored for counting, still named for display).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum (any type, total order).
+    Min,
+    /// Maximum (any type, total order).
+    Max,
+}
+
+impl AggFn {
+    /// SQL-ish name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFn::Count => "COUNT",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+        }
+    }
+}
+
+/// A query tree.
+///
+/// ```
+/// use quarry_query::engine::{AggFn, Predicate, Query};
+/// use quarry_storage::Value;
+///
+/// // "find the average March–September temperature in Madison"
+/// let q = Query::scan("temps")
+///     .filter(vec![
+///         Predicate::Eq("city".into(), "Madison".into()),
+///         Predicate::Ge("month".into(), Value::Int(3)),
+///         Predicate::Le("month".into(), Value::Int(9)),
+///     ])
+///     .aggregate(None, AggFn::Avg, "temp");
+/// assert!(q.display().starts_with("SELECT AVG(temp)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Read a whole table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Keep rows satisfying every predicate.
+    Filter {
+        /// Input query.
+        input: Box<Query>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Keep only the named columns, in order.
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Equi-join two inputs on named columns.
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+        /// Join column on the left.
+        left_col: String,
+        /// Join column on the right.
+        right_col: String,
+    },
+    /// Group by an optional column and aggregate another.
+    Aggregate {
+        /// Input query.
+        input: Box<Query>,
+        /// Optional grouping column (`None` = one global group).
+        group_by: Option<String>,
+        /// Aggregate function.
+        agg: AggFn,
+        /// Aggregated column.
+        over: String,
+    },
+    /// Order by a column and optionally keep the first `limit` rows
+    /// (top-k: the "ranking" exploitation mode).
+    Sort {
+        /// Input query.
+        input: Box<Query>,
+        /// Ordering column.
+        by: String,
+        /// Descending when true.
+        desc: bool,
+        /// Optional row cap after sorting.
+        limit: Option<usize>,
+    },
+}
+
+impl Query {
+    /// Convenience: scan a table.
+    pub fn scan(table: &str) -> Query {
+        Query::Scan { table: table.to_string() }
+    }
+
+    /// Convenience: filter this query.
+    pub fn filter(self, predicates: Vec<Predicate>) -> Query {
+        Query::Filter { input: Box::new(self), predicates }
+    }
+
+    /// Convenience: project this query.
+    pub fn project(self, columns: &[&str]) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Convenience: aggregate this query.
+    pub fn aggregate(self, group_by: Option<&str>, agg: AggFn, over: &str) -> Query {
+        Query::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.map(str::to_string),
+            agg,
+            over: over.to_string(),
+        }
+    }
+
+    /// Convenience: sort (and optionally limit) this query.
+    pub fn sort(self, by: &str, desc: bool, limit: Option<usize>) -> Query {
+        Query::Sort { input: Box::new(self), by: by.to_string(), desc, limit }
+    }
+
+    /// Convenience: join with another query.
+    pub fn join(self, right: Query, left_col: &str, right_col: &str) -> Query {
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col: left_col.to_string(),
+            right_col: right_col.to_string(),
+        }
+    }
+
+    /// Render as an SQL-flavored one-liner (forms, explanations, logs).
+    pub fn display(&self) -> String {
+        match self {
+            Query::Scan { table } => format!("SELECT * FROM {table}"),
+            Query::Filter { input, predicates } => {
+                let preds: Vec<String> = predicates.iter().map(Predicate::display).collect();
+                format!("{} WHERE {}", input.display(), preds.join(" AND "))
+            }
+            Query::Project { input, columns } => {
+                format!("SELECT {} FROM ({})", columns.join(", "), input.display())
+            }
+            Query::Join { left, right, left_col, right_col } => format!(
+                "({}) JOIN ({}) ON {left_col} = {right_col}",
+                left.display(),
+                right.display()
+            ),
+            Query::Aggregate { input, group_by, agg, over } => {
+                let g = group_by
+                    .as_ref()
+                    .map(|g| format!(" GROUP BY {g}"))
+                    .unwrap_or_default();
+                format!("SELECT {}({over}) FROM ({}){g}", agg.name(), input.display())
+            }
+            Query::Sort { input, by, desc, limit } => {
+                let dir = if *desc { " DESC" } else { "" };
+                let lim = limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default();
+                format!("{} ORDER BY {by}{dir}{lim}", input.display())
+            }
+        }
+    }
+}
+
+/// A materialized result: named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Position of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The single scalar of a 1×1 result, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (&self.rows[..], self.columns.len()) {
+            ([row], 1) => row.first(),
+            _ => None,
+        }
+    }
+}
+
+/// Execute a query tree against a database.
+pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, QueryError> {
+    let tx = db.begin();
+    let out = exec_inner(db, tx, q);
+    match &out {
+        Ok(_) => db.commit(tx)?,
+        Err(_) => {
+            let _ = db.abort(tx);
+        }
+    }
+    out
+}
+
+fn exec_inner(db: &Database, tx: u64, q: &Query) -> Result<QueryResult, QueryError> {
+    match q {
+        Query::Scan { table } => {
+            let schema = db.schema(table)?;
+            let rows = db.scan(tx, table)?;
+            Ok(QueryResult {
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                rows,
+            })
+        }
+        Query::Filter { input, predicates } => {
+            let mut r = exec_inner(db, tx, input)?;
+            let idx: Vec<usize> = predicates
+                .iter()
+                .map(|p| {
+                    r.column_index(p.column())
+                        .ok_or_else(|| QueryError::UnknownColumn(p.column().to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            r.rows.retain(|row| {
+                predicates
+                    .iter()
+                    .zip(&idx)
+                    .all(|(p, &i)| p.eval(&row[i]))
+            });
+            Ok(r)
+        }
+        Query::Project { input, columns } => {
+            let r = exec_inner(db, tx, input)?;
+            let idx: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    r.column_index(c)
+                        .ok_or_else(|| QueryError::UnknownColumn(c.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(QueryResult {
+                columns: columns.clone(),
+                rows: r
+                    .rows
+                    .iter()
+                    .map(|row| idx.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            })
+        }
+        Query::Join { left, right, left_col, right_col } => {
+            let l = exec_inner(db, tx, left)?;
+            let r = exec_inner(db, tx, right)?;
+            let li = l
+                .column_index(left_col)
+                .ok_or_else(|| QueryError::UnknownColumn(left_col.clone()))?;
+            let ri = r
+                .column_index(right_col)
+                .ok_or_else(|| QueryError::UnknownColumn(right_col.clone()))?;
+            // Hash join on the smaller side.
+            let mut table: std::collections::HashMap<&Value, Vec<&Row>> =
+                std::collections::HashMap::new();
+            for row in &r.rows {
+                table.entry(&row[ri]).or_default().push(row);
+            }
+            let mut rows = Vec::new();
+            for lrow in &l.rows {
+                if let Some(matches) = table.get(&lrow[li]) {
+                    for rrow in matches {
+                        let mut joined = lrow.clone();
+                        joined.extend(rrow.iter().cloned());
+                        rows.push(joined);
+                    }
+                }
+            }
+            let mut columns = l.columns.clone();
+            // Disambiguate collision by prefixing the right side.
+            for c in &r.columns {
+                if l.columns.contains(c) {
+                    columns.push(format!("right.{c}"));
+                } else {
+                    columns.push(c.clone());
+                }
+            }
+            Ok(QueryResult { columns, rows })
+        }
+        Query::Aggregate { input, group_by, agg, over } => {
+            let r = exec_inner(db, tx, input)?;
+            let oi = r
+                .column_index(over)
+                .ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
+            let gi = match group_by {
+                Some(g) => Some(
+                    r.column_index(g)
+                        .ok_or_else(|| QueryError::UnknownColumn(g.clone()))?,
+                ),
+                None => None,
+            };
+            // Group rows (BTreeMap gives deterministic output order).
+            let mut groups: std::collections::BTreeMap<Value, Vec<&Value>> =
+                std::collections::BTreeMap::new();
+            for row in &r.rows {
+                let key = gi.map(|i| row[i].clone()).unwrap_or(Value::Null);
+                groups.entry(key).or_default().push(&row[oi]);
+            }
+            if groups.is_empty() && gi.is_none() {
+                groups.insert(Value::Null, Vec::new());
+            }
+            let mut rows = Vec::new();
+            for (key, vals) in groups {
+                let agg_val = compute_agg(*agg, &vals, over)?;
+                match gi {
+                    Some(_) => rows.push(vec![key, agg_val]),
+                    None => rows.push(vec![agg_val]),
+                }
+            }
+            let out_col = format!("{}({over})", agg.name());
+            let columns = match group_by {
+                Some(g) => vec![g.clone(), out_col],
+                None => vec![out_col],
+            };
+            Ok(QueryResult { columns, rows })
+        }
+        Query::Sort { input, by, desc, limit } => {
+            let mut r = exec_inner(db, tx, input)?;
+            let i = r
+                .column_index(by)
+                .ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
+            // Stable sort: equal keys keep input order.
+            r.rows.sort_by(|a, b| {
+                let ord = a[i].cmp(&b[i]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            if let Some(l) = limit {
+                r.rows.truncate(*l);
+            }
+            Ok(r)
+        }
+    }
+}
+
+fn compute_agg(agg: AggFn, vals: &[&Value], over: &str) -> Result<Value, QueryError> {
+    let non_null: Vec<&&Value> = vals.iter().filter(|v| !v.is_null()).collect();
+    match agg {
+        AggFn::Count => Ok(Value::Int(non_null.len() as i64)),
+        AggFn::Min => Ok(non_null.iter().min().map(|v| (**v).clone()).unwrap_or(Value::Null)),
+        AggFn::Max => Ok(non_null.iter().max().map(|v| (**v).clone()).unwrap_or(Value::Null)),
+        AggFn::Sum | AggFn::Avg => {
+            let nums: Vec<f64> = non_null
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| QueryError::NotNumeric(over.to_string())))
+                .collect::<Result<_, _>>()?;
+            if nums.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = nums.iter().sum();
+            Ok(match agg {
+                AggFn::Sum => Value::Float(sum),
+                _ => Value::Float(sum / nums.len() as f64),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_storage::{Column, DataType, TableSchema};
+
+    fn db() -> Database {
+        let db = Database::in_memory();
+        db.create_table(
+            TableSchema::new(
+                "cities",
+                vec![
+                    Column::new("name", DataType::Text),
+                    Column::new("state", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+                &["name"],
+                &["population"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "temps",
+                vec![
+                    Column::new("city", DataType::Text),
+                    Column::new("month", DataType::Int),
+                    Column::new("temp", DataType::Int),
+                ],
+                &["city", "month"],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for (name, state, pop) in [
+            ("Madison", "Wisconsin", 250_000i64),
+            ("Oakton", "Iowa", 9_500),
+            ("Riverdale", "Wisconsin", 120_000),
+        ] {
+            db.insert_autocommit(
+                "cities",
+                vec![name.into(), state.into(), Value::Int(pop)],
+            )
+            .unwrap();
+        }
+        let temps = [20, 24, 35, 47, 58, 68, 72, 70, 62, 50, 37, 25];
+        for (m, t) in temps.iter().enumerate() {
+            db.insert_autocommit(
+                "temps",
+                vec!["Madison".into(), Value::Int(m as i64 + 1), Value::Int(*t as i64)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let db = db();
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .project(&["name"]);
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.columns, vec!["name"]);
+        let names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Madison", "Riverdale"]);
+    }
+
+    #[test]
+    fn paper_motivating_query_average_march_september_temperature() {
+        let db = db();
+        // "find the average March–September temperature in Madison"
+        let q = Query::scan("temps")
+            .filter(vec![
+                Predicate::Eq("city".into(), "Madison".into()),
+                Predicate::Ge("month".into(), Value::Int(3)),
+                Predicate::Le("month".into(), Value::Int(9)),
+            ])
+            .aggregate(None, AggFn::Avg, "temp");
+        let r = execute(&db, &q).unwrap();
+        let expect = (35 + 47 + 58 + 68 + 72 + 70 + 62) as f64 / 7.0;
+        assert_eq!(r.scalar(), Some(&Value::Float(expect)));
+        assert!(q.display().contains("AVG(temp)"));
+    }
+
+    #[test]
+    fn range_and_contains_predicates() {
+        let db = db();
+        let q = Query::scan("cities").filter(vec![Predicate::Gt(
+            "population".into(),
+            Value::Int(100_000),
+        )]);
+        assert_eq!(execute(&db, &q).unwrap().rows.len(), 2);
+        let q = Query::scan("cities").filter(vec![Predicate::Contains(
+            "name".into(),
+            "dale".into(),
+        )]);
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("Riverdale".into()));
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let db = db();
+        let q = Query::scan("cities").aggregate(Some("state"), AggFn::Sum, "population");
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.columns, vec!["state", "SUM(population)"]);
+        assert_eq!(r.rows.len(), 2);
+        let wi = r.rows.iter().find(|row| row[0] == Value::Text("Wisconsin".into())).unwrap();
+        assert_eq!(wi[1], Value::Float(370_000.0));
+    }
+
+    #[test]
+    fn count_min_max() {
+        let db = db();
+        let q = Query::scan("temps").aggregate(None, AggFn::Count, "temp");
+        assert_eq!(execute(&db, &q).unwrap().scalar(), Some(&Value::Int(12)));
+        let q = Query::scan("temps").aggregate(None, AggFn::Max, "temp");
+        assert_eq!(execute(&db, &q).unwrap().scalar(), Some(&Value::Int(72)));
+        let q = Query::scan("temps").aggregate(None, AggFn::Min, "temp");
+        assert_eq!(execute(&db, &q).unwrap().scalar(), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn join_cities_with_temps() {
+        let db = db();
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .join(Query::scan("temps"), "name", "city")
+            .filter(vec![Predicate::Eq("month".into(), Value::Int(7))])
+            .project(&["name", "temp"]);
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("Madison".into()), Value::Int(72)]]);
+    }
+
+    #[test]
+    fn join_column_name_collision_prefixed() {
+        let db = db();
+        let q = Query::scan("cities").join(Query::scan("cities"), "name", "name");
+        let r = execute(&db, &q).unwrap();
+        assert!(r.columns.contains(&"right.name".to_string()));
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn errors_on_unknown_things() {
+        let db = db();
+        let q = Query::scan("ghost");
+        assert!(matches!(execute(&db, &q), Err(QueryError::Storage(_))));
+        let q = Query::scan("cities").filter(vec![Predicate::Eq("ghost".into(), Value::Null)]);
+        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+        let q = Query::scan("cities").aggregate(None, AggFn::Avg, "name");
+        assert!(matches!(execute(&db, &q), Err(QueryError::NotNumeric(_))));
+    }
+
+    #[test]
+    fn empty_aggregate_is_null_or_zero() {
+        let db = db();
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Atlantis".into())])
+            .aggregate(None, AggFn::Avg, "population");
+        assert_eq!(execute(&db, &q).unwrap().scalar(), Some(&Value::Null));
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Atlantis".into())])
+            .aggregate(None, AggFn::Count, "population");
+        assert_eq!(execute(&db, &q).unwrap().scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = db();
+        let q = Query::scan("cities").sort("population", true, Some(2)).project(&["name"]);
+        let r = execute(&db, &q).unwrap();
+        let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(names, vec!["Madison", "Riverdale"]);
+
+        let q = Query::scan("cities").sort("population", false, None);
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("Oakton".into()));
+        assert_eq!(r.rows.len(), 3);
+
+        // Sorting after aggregation: warmest month first.
+        let q = Query::scan("temps")
+            .aggregate(Some("month"), AggFn::Avg, "temp")
+            .sort("AVG(temp)", true, Some(1));
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(7), "July is warmest");
+
+        let q = Query::scan("cities").sort("ghost", false, None);
+        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn sort_display() {
+        let q = Query::scan("cities").sort("population", true, Some(3));
+        assert!(q.display().ends_with("ORDER BY population DESC LIMIT 3"));
+    }
+
+    #[test]
+    fn display_renders_sql_flavor() {
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .project(&["name"]);
+        let s = q.display();
+        assert!(s.contains("SELECT name FROM"));
+        assert!(s.contains("WHERE state = Wisconsin"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Query forms: rendering candidate queries as fillable forms.
+//!
+//! §3.3's principle: "users are much better at recognizing when a query
+//! form matches their information need than at writing the equivalent SQL
+//! query from scratch". A form is a candidate query with its constants
+//! turned into labeled, editable fields.
+
+use crate::engine::{Predicate, Query};
+use quarry_storage::Value;
+use serde::{Deserialize, Serialize};
+
+/// One editable field of a form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormField {
+    /// Field label (the constrained column).
+    pub label: String,
+    /// Pre-filled value from the candidate query.
+    pub prefill: String,
+    /// The comparison the field feeds ("=", "<=", "IN", ...).
+    pub operator: String,
+}
+
+/// A rendered query form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryForm {
+    /// One-line title describing what the form computes.
+    pub title: String,
+    /// Editable fields.
+    pub fields: Vec<FormField>,
+}
+
+/// Render a query as a form: walk the tree, emit a field per predicate
+/// constant, and title it with the query's display string.
+pub fn render(q: &Query) -> QueryForm {
+    let mut fields = Vec::new();
+    collect_fields(q, &mut fields);
+    QueryForm { title: q.display(), fields }
+}
+
+fn collect_fields(q: &Query, out: &mut Vec<FormField>) {
+    match q {
+        Query::Scan { .. } => {}
+        Query::Filter { input, predicates } => {
+            collect_fields(input, out);
+            for p in predicates {
+                out.push(field_of(p));
+            }
+        }
+        Query::Project { input, .. } | Query::Sort { input, .. } => collect_fields(input, out),
+        Query::Join { left, right, .. } => {
+            collect_fields(left, out);
+            collect_fields(right, out);
+        }
+        Query::Aggregate { input, .. } => collect_fields(input, out),
+    }
+}
+
+fn field_of(p: &Predicate) -> FormField {
+    let (op, prefill) = match p {
+        Predicate::Eq(_, v) => ("=", v.to_string()),
+        Predicate::Ne(_, v) => ("!=", v.to_string()),
+        Predicate::Lt(_, v) => ("<", v.to_string()),
+        Predicate::Le(_, v) => ("<=", v.to_string()),
+        Predicate::Gt(_, v) => (">", v.to_string()),
+        Predicate::Ge(_, v) => (">=", v.to_string()),
+        Predicate::Contains(_, s) => ("CONTAINS", s.clone()),
+        Predicate::In(_, vs) => (
+            "IN",
+            vs.iter().map(Value::to_string).collect::<Vec<_>>().join(", "),
+        ),
+    };
+    FormField { label: p.column().to_string(), prefill, operator: op.to_string() }
+}
+
+/// Replace a form field's value in a query, producing the edited query —
+/// the "user fills in the form" action. The `field_index`-th predicate
+/// constant (in form order) is replaced by `new_value` (for `Eq`-style
+/// predicates only; others keep their operator).
+pub fn fill(q: &Query, field_index: usize, new_value: Value) -> Query {
+    let mut counter = 0usize;
+    rewrite(q, field_index, &new_value, &mut counter)
+}
+
+fn rewrite(q: &Query, target: usize, new_value: &Value, counter: &mut usize) -> Query {
+    match q {
+        Query::Scan { .. } => q.clone(),
+        Query::Filter { input, predicates } => {
+            let input = Box::new(rewrite(input, target, new_value, counter));
+            let predicates = predicates
+                .iter()
+                .map(|p| {
+                    let i = *counter;
+                    *counter += 1;
+                    if i == target {
+                        replace_constant(p, new_value.clone())
+                    } else {
+                        p.clone()
+                    }
+                })
+                .collect();
+            Query::Filter { input, predicates }
+        }
+        Query::Project { input, columns } => Query::Project {
+            input: Box::new(rewrite(input, target, new_value, counter)),
+            columns: columns.clone(),
+        },
+        Query::Join { left, right, left_col, right_col } => Query::Join {
+            left: Box::new(rewrite(left, target, new_value, counter)),
+            right: Box::new(rewrite(right, target, new_value, counter)),
+            left_col: left_col.clone(),
+            right_col: right_col.clone(),
+        },
+        Query::Aggregate { input, group_by, agg, over } => Query::Aggregate {
+            input: Box::new(rewrite(input, target, new_value, counter)),
+            group_by: group_by.clone(),
+            agg: *agg,
+            over: over.clone(),
+        },
+        Query::Sort { input, by, desc, limit } => Query::Sort {
+            input: Box::new(rewrite(input, target, new_value, counter)),
+            by: by.clone(),
+            desc: *desc,
+            limit: *limit,
+        },
+    }
+}
+
+fn replace_constant(p: &Predicate, v: Value) -> Predicate {
+    match p {
+        Predicate::Eq(c, _) => Predicate::Eq(c.clone(), v),
+        Predicate::Ne(c, _) => Predicate::Ne(c.clone(), v),
+        Predicate::Lt(c, _) => Predicate::Lt(c.clone(), v),
+        Predicate::Le(c, _) => Predicate::Le(c.clone(), v),
+        Predicate::Gt(c, _) => Predicate::Gt(c.clone(), v),
+        Predicate::Ge(c, _) => Predicate::Ge(c.clone(), v),
+        Predicate::Contains(c, _) => Predicate::Contains(c.clone(), v.to_string()),
+        Predicate::In(c, _) => Predicate::In(c.clone(), vec![v]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AggFn;
+
+    fn sample() -> Query {
+        Query::scan("temps")
+            .filter(vec![
+                Predicate::Eq("city".into(), "Madison".into()),
+                Predicate::Ge("month".into(), Value::Int(3)),
+            ])
+            .aggregate(None, AggFn::Avg, "temp")
+    }
+
+    #[test]
+    fn render_exposes_constants_as_fields() {
+        let form = render(&sample());
+        assert_eq!(form.fields.len(), 2);
+        assert_eq!(form.fields[0].label, "city");
+        assert_eq!(form.fields[0].prefill, "Madison");
+        assert_eq!(form.fields[0].operator, "=");
+        assert_eq!(form.fields[1].operator, ">=");
+        assert!(form.title.contains("AVG(temp)"));
+    }
+
+    #[test]
+    fn fill_edits_the_right_field() {
+        let q = sample();
+        let edited = fill(&q, 0, "Oakton".into());
+        let form = render(&edited);
+        assert_eq!(form.fields[0].prefill, "Oakton");
+        assert_eq!(form.fields[1].prefill, "3", "other fields untouched");
+        // Structure preserved.
+        assert!(matches!(edited, Query::Aggregate { .. }));
+    }
+
+    #[test]
+    fn fill_second_field() {
+        let edited = fill(&sample(), 1, Value::Int(6));
+        let form = render(&edited);
+        assert_eq!(form.fields[1].prefill, "6");
+        assert_eq!(form.fields[0].prefill, "Madison");
+    }
+
+    #[test]
+    fn out_of_range_index_is_noop() {
+        let q = sample();
+        assert_eq!(fill(&q, 99, Value::Int(0)), q);
+    }
+
+    #[test]
+    fn scan_has_no_fields() {
+        let form = render(&Query::scan("cities"));
+        assert!(form.fields.is_empty());
+        assert_eq!(form.title, "SELECT * FROM cities");
+    }
+
+    #[test]
+    fn join_forms_collect_both_sides() {
+        let q = Query::scan("a")
+            .filter(vec![Predicate::Eq("x".into(), Value::Int(1))])
+            .join(
+                Query::scan("b").filter(vec![Predicate::Eq("y".into(), Value::Int(2))]),
+                "x",
+                "y",
+            );
+        let form = render(&q);
+        assert_eq!(form.fields.len(), 2);
+    }
+}

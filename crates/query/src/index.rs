@@ -1,0 +1,189 @@
+//! Inverted index with BM25 ranking — the keyword-search mode.
+
+use quarry_corpus::{DocId, Document};
+use quarry_extract::token::tokenize;
+use std::collections::HashMap;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Matching document.
+    pub doc: DocId,
+    /// BM25 score (higher is better).
+    pub score: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Posting {
+    /// (doc, term frequency) pairs, in doc-id order.
+    docs: Vec<(DocId, u32)>,
+}
+
+/// An inverted index over a document collection.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Posting>,
+    doc_len: HashMap<DocId, u32>,
+    total_len: u64,
+    k1: f64,
+    b: f64,
+}
+
+impl InvertedIndex {
+    /// Build an index with standard BM25 parameters (k1 = 1.2, b = 0.75).
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a Document>) -> InvertedIndex {
+        let mut ix = InvertedIndex { k1: 1.2, b: 0.75, ..Default::default() };
+        for d in docs {
+            ix.add(d);
+        }
+        ix
+    }
+
+    /// Add one document (ids must be unique; re-adding is not supported).
+    pub fn add(&mut self, doc: &Document) {
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        let text = format!("{} {}", doc.title, doc.text);
+        for t in tokenize(&text) {
+            *tf.entry(t.text(&text).to_lowercase()).or_insert(0) += 1;
+        }
+        let len: u32 = tf.values().sum();
+        debug_assert!(
+            !self.doc_len.contains_key(&doc.id),
+            "document {} indexed twice",
+            doc.id
+        );
+        self.doc_len.insert(doc.id, len);
+        self.total_len += len as u64;
+        for (term, f) in tf {
+            self.postings.entry(term).or_default().docs.push((doc.id, f));
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    /// Documents containing a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings.get(&term.to_lowercase()).map_or(0, |p| p.docs.len())
+    }
+
+    /// BM25 search; returns the top `k` hits, best first.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let n = self.len() as f64;
+        if n == 0.0 {
+            return Vec::new();
+        }
+        let avgdl = self.total_len as f64 / n;
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for qt in tokenize(query) {
+            let term = qt.text(query).to_lowercase();
+            let Some(p) = self.postings.get(&term) else { continue };
+            let df = p.docs.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc, tf) in &p.docs {
+                let dl = self.doc_len[&doc] as f64;
+                let tf = tf as f64;
+                let s = idf * (tf * (self.k1 + 1.0))
+                    / (tf + self.k1 * (1.0 - self.b + self.b * dl / avgdl));
+                *scores.entry(doc).or_insert(0.0) += s;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_corpus::DocKind;
+
+    fn doc(id: u32, title: &str, text: &str) -> Document {
+        Document { id: DocId(id), title: title.into(), text: text.into(), kind: DocKind::City }
+    }
+
+    fn sample() -> InvertedIndex {
+        InvertedIndex::build(&[
+            doc(0, "Madison, Wisconsin", "Madison is a city in Wisconsin. The average temperature in July is 72 F."),
+            doc(1, "Oakton, Iowa", "Oakton is a small town in Iowa with pleasant weather."),
+            doc(2, "Weather", "Weather patterns vary. Temperature temperature temperature."),
+            doc(3, "Acme Systems", "Acme Systems is a software company headquartered in Madison."),
+        ])
+    }
+
+    #[test]
+    fn exact_term_ranks_its_documents() {
+        let ix = sample();
+        let hits = ix.search("Oakton", 10);
+        assert_eq!(hits[0].doc, DocId(1));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn multi_term_queries_accumulate() {
+        let ix = sample();
+        let hits = ix.search("Madison temperature", 10);
+        assert_eq!(hits[0].doc, DocId(0), "doc with both terms wins");
+        assert!(hits.len() >= 3);
+    }
+
+    #[test]
+    fn term_frequency_saturates() {
+        // Doc 2 repeats "temperature" 3×; BM25 saturation keeps doc 0
+        // (which also matches "Madison") competitive on the combined query.
+        let ix = sample();
+        let hits = ix.search("temperature", 10);
+        assert_eq!(hits[0].doc, DocId(2), "tf still matters for single terms");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let ix = sample();
+        assert_eq!(ix.search("MADISON", 10).len(), ix.search("madison", 10).len());
+        assert_eq!(ix.df("Temperature"), ix.df("temperature"));
+    }
+
+    #[test]
+    fn missing_terms_yield_nothing() {
+        let ix = sample();
+        assert!(ix.search("zyzzyva", 10).is_empty());
+        assert!(ix.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let ix = sample();
+        assert_eq!(ix.search("in", 2).len(), 2);
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let ix = InvertedIndex::default();
+        assert!(ix.search("anything", 5).is_empty());
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let ix = sample();
+        assert_eq!(ix.df("temperature"), 2);
+        assert_eq!(ix.df("madison"), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! Schema management and evolution (blueprint Part IV).
+//!
+//! Because structure is "generated in an incremental, best-effort fashion"
+//! (§3.2), "in many cases the schema will evolve over time" — a city table
+//! starts with just temperatures, later gains population, then splits a
+//! combined `location` field. This crate provides:
+//!
+//! - [`evolution`] — declarative evolution operations (add/drop/rename/
+//!   retype/split/merge column) that transform a schema *and* migrate its
+//!   rows, with validity checking (no dropping key columns, retypes must
+//!   widen losslessly);
+//! - [`registry`] — a versioned schema registry: every table's full
+//!   evolution history, forward migration of rows across any version gap,
+//!   and compatibility queries.
+
+pub mod evolution;
+pub mod registry;
+
+pub use evolution::{EvolutionError, EvolutionOp};
+pub use registry::{SchemaRegistry, VersionId};

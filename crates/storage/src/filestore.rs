@@ -1,0 +1,317 @@
+//! Append-only segment store for intermediate structured data.
+//!
+//! The blueprint observes that the system "often executes only sequential
+//! reads and writes over intermediate structured data, in which case such
+//! data can best be kept in the file systems". This store is that device:
+//! records append to a current segment file; segments seal at a size
+//! threshold; reads are whole-store sequential scans. No indexes, no updates
+//! — by design.
+//!
+//! Frames reuse the WAL layout (`len`,`crc32`,`payload`) so torn tails are
+//! detected on scan.
+
+use crate::error::StorageError;
+use crate::wal::crc32;
+use crate::Result;
+use bytes::Bytes;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only, segmented record store rooted at a directory.
+pub struct FileStore {
+    dir: PathBuf,
+    segment_bytes: u64,
+    current: Option<BufWriter<File>>,
+    current_len: u64,
+    current_id: u64,
+    records_written: u64,
+}
+
+impl FileStore {
+    /// Default segment size: 4 MiB.
+    pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+    /// Open a store rooted at `dir`, creating the directory if needed.
+    /// Appending resumes in a fresh segment after the highest existing one.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileStore> {
+        Self::with_segment_bytes(dir, Self::DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Open with a custom segment-seal threshold (useful in tests).
+    pub fn with_segment_bytes(dir: impl AsRef<Path>, segment_bytes: u64) -> Result<FileStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let next_id = Self::segment_ids(&dir)?.last().map(|id| id + 1).unwrap_or(0);
+        Ok(FileStore {
+            dir,
+            segment_bytes: segment_bytes.max(1),
+            current: None,
+            current_len: 0,
+            current_id: next_id,
+            records_written: 0,
+        })
+    }
+
+    fn segment_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("seg-{id:08}.qfs"))
+    }
+
+    fn segment_ids(dir: &Path) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("seg-").and_then(|n| n.strip_suffix(".qfs")) {
+                if let Ok(id) = rest.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Append one record. Seals the current segment first if it is full.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        if self.current.is_none() || self.current_len >= self.segment_bytes {
+            self.roll()?;
+        }
+        let w = self.current.as_mut().expect("rolled above");
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&crc32(payload).to_le_bytes())?;
+        w.write_all(payload)?;
+        self.current_len += 8 + payload.len() as u64;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    fn roll(&mut self) -> Result<()> {
+        if let Some(mut w) = self.current.take() {
+            w.flush()?;
+        }
+        let path = Self::segment_path(&self.dir, self.current_id);
+        let file = OpenOptions::new().create_new(true).write(true).open(path)?;
+        self.current = Some(BufWriter::new(file));
+        self.current_len = 0;
+        self.current_id += 1;
+        Ok(())
+    }
+
+    /// Flush and fsync the active segment.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(w) = self.current.as_mut() {
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Records appended through this handle's lifetime.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Sequentially scan every record in the store, oldest segment first.
+    ///
+    /// Buffers pending writes first so a scan sees everything appended.
+    pub fn scan(&mut self) -> Result<Scan> {
+        if let Some(w) = self.current.as_mut() {
+            w.flush()?;
+        }
+        let ids = Self::segment_ids(&self.dir)?;
+        Ok(Scan {
+            dir: self.dir.clone(),
+            ids,
+            next_segment: 0,
+            reader: None,
+        })
+    }
+
+    /// Number of sealed + active segments on disk.
+    pub fn segment_count(&self) -> Result<usize> {
+        Ok(Self::segment_ids(&self.dir)?.len())
+    }
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("dir", &self.dir)
+            .field("records_written", &self.records_written)
+            .finish()
+    }
+}
+
+/// Iterator over all records of a [`FileStore`].
+pub struct Scan {
+    dir: PathBuf,
+    ids: Vec<u64>,
+    next_segment: usize,
+    reader: Option<BufReader<File>>,
+}
+
+impl Scan {
+    fn next_record(&mut self) -> Result<Option<Bytes>> {
+        loop {
+            if self.reader.is_none() {
+                let Some(&id) = self.ids.get(self.next_segment) else {
+                    return Ok(None);
+                };
+                self.next_segment += 1;
+                let f = File::open(FileStore::segment_path(&self.dir, id))?;
+                self.reader = Some(BufReader::new(f));
+            }
+            let r = self.reader.as_mut().expect("set above");
+            let mut header = [0u8; 8];
+            match r.read_exact(&mut header) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    self.reader = None; // clean end of segment
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+            let mut payload = vec![0u8; len];
+            if r.read_exact(&mut payload).is_err() {
+                // Torn tail of the final segment: end the scan cleanly.
+                self.reader = None;
+                self.next_segment = self.ids.len();
+                return Ok(None);
+            }
+            if crc32(&payload) != crc {
+                return Err(StorageError::Corrupt("filestore record checksum".into()));
+            }
+            return Ok(Some(Bytes::from(payload)));
+        }
+    }
+}
+
+impl Iterator for Scan {
+    type Item = Result<Bytes>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "quarry-fs-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let mut fsr = FileStore::open(&dir).unwrap();
+        for i in 0..100u32 {
+            fsr.append(format!("record {i}").as_bytes()).unwrap();
+        }
+        let got: Vec<String> = fsr
+            .scan()
+            .unwrap()
+            .map(|r| String::from_utf8(r.unwrap().to_vec()).unwrap())
+            .collect();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], "record 0");
+        assert_eq!(got[99], "record 99");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_at_threshold() {
+        let dir = tmpdir("roll");
+        let mut fsr = FileStore::with_segment_bytes(&dir, 64).unwrap();
+        for _ in 0..20 {
+            fsr.append(&[0u8; 32]).unwrap();
+        }
+        assert!(fsr.segment_count().unwrap() > 3);
+        let n = fsr.scan().unwrap().count();
+        assert_eq!(n, 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_into_new_segment() {
+        let dir = tmpdir("reopen");
+        {
+            let mut fsr = FileStore::open(&dir).unwrap();
+            fsr.append(b"first run").unwrap();
+            fsr.sync().unwrap();
+        }
+        let mut fsr = FileStore::open(&dir).unwrap();
+        fsr.append(b"second run").unwrap();
+        let got: Vec<Bytes> = fsr.scan().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![Bytes::from("first run"), Bytes::from("second run")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_scans_empty() {
+        let dir = tmpdir("empty");
+        let mut fsr = FileStore::open(&dir).unwrap();
+        assert_eq!(fsr.scan().unwrap().count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_surfaces_error() {
+        let dir = tmpdir("corrupt");
+        {
+            let mut fsr = FileStore::open(&dir).unwrap();
+            fsr.append(b"good data here").unwrap();
+            fsr.sync().unwrap();
+        }
+        // Flip a payload byte.
+        let seg = FileStore::segment_path(&dir, 0);
+        let mut data = fs::read(&seg).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+        let mut fsr = FileStore::open(&dir).unwrap();
+        let results: Vec<_> = fsr.scan().unwrap().collect();
+        assert!(results.iter().any(|r| r.is_err()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_ends_scan_cleanly() {
+        let dir = tmpdir("torn");
+        {
+            let mut fsr = FileStore::open(&dir).unwrap();
+            fsr.append(b"complete").unwrap();
+            fsr.sync().unwrap();
+        }
+        // Append a header promising more bytes than exist.
+        let seg = FileStore::segment_path(&dir, 0);
+        let mut data = fs::read(&seg).unwrap();
+        data.extend_from_slice(&100u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        data.extend_from_slice(b"short");
+        fs::write(&seg, &data).unwrap();
+        let mut fsr = FileStore::open(&dir).unwrap();
+        let got: Vec<_> = fsr.scan().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![Bytes::from("complete")]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_written_counter() {
+        let dir = tmpdir("counter");
+        let mut fsr = FileStore::open(&dir).unwrap();
+        fsr.append(b"a").unwrap();
+        fsr.append(b"b").unwrap();
+        assert_eq!(fsr.records_written(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

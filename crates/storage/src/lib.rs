@@ -1,0 +1,34 @@
+//! Quarry's data storage layer.
+//!
+//! The CIDR 2009 blueprint stores "all forms of data" — raw crawled pages,
+//! intermediate structured data, final structured data, and user
+//! contributions — and argues each form wants a different device:
+//!
+//! - overlapping daily crawl snapshots → a *diff-based* store
+//!   ([`snapshot::SnapshotStore`], Subversion-style delta encoding);
+//! - intermediate structured data, read/written sequentially → an
+//!   append-only file store ([`filestore::FileStore`]);
+//! - the final structure, edited concurrently by many users → an RDBMS
+//!   ([`structured::Database`]: typed tables, secondary indexes, strict-2PL
+//!   transactions, WAL-based crash recovery).
+//!
+//! All three are built from scratch here, on the shared primitives in
+//! [`delta`] (line diffs) and [`wal`] (checksummed log records).
+
+pub mod delta;
+pub mod error;
+pub mod filestore;
+pub mod snapshot;
+pub mod structured;
+pub mod value;
+pub mod wal;
+
+pub use error::StorageError;
+pub use filestore::FileStore;
+pub use snapshot::{SnapshotStats, SnapshotStore};
+pub use structured::{Column, Database, LockManager, LockMode, Row, RowId, TableSchema, TxId};
+pub use value::{DataType, Value};
+pub use wal::{Wal, WalRecord};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

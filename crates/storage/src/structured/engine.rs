@@ -1,0 +1,931 @@
+//! The [`Database`] engine: tables + locks + WAL, behind a thread-safe API.
+//!
+//! Concurrency model: callers `begin()` a transaction, perform operations
+//! (each taking strict-2PL locks that are held to transaction end), then
+//! `commit()` (WAL commit record + fsync) or `abort()` (in-memory undo).
+//! Auto-commit wrappers exist for one-shot operations. Any operation may
+//! fail with [`StorageError::TxAborted`] (wait-die victim); the caller is
+//! expected to `abort()` and retry with a fresh transaction.
+
+use crate::error::StorageError;
+use crate::value::Value;
+use crate::wal::Wal;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::index::SecondaryIndex;
+use super::lock::{LockManager, LockMode, LockTarget};
+use super::recovery::LogRecord;
+use super::table::{Row, RowId, TableSchema};
+
+/// Transaction identifier; doubles as the wait-die age (smaller = older).
+pub type TxId = u64;
+
+struct Table {
+    schema: TableSchema,
+    heap: HashMap<RowId, Row>,
+    /// Primary-key values → row id.
+    pk: HashMap<Vec<Value>, RowId>,
+    /// Column name → secondary index.
+    indexes: HashMap<String, SecondaryIndex>,
+    next_row: u64,
+}
+
+impl Table {
+    fn new(schema: TableSchema) -> Table {
+        let indexes = schema
+            .indexes
+            .iter()
+            .map(|n| (n.clone(), SecondaryIndex::new()))
+            .collect();
+        Table { schema, heap: HashMap::new(), pk: HashMap::new(), indexes, next_row: 0 }
+    }
+
+    fn index_row(&mut self, row_id: RowId, row: &Row) {
+        for (name, ix) in &mut self.indexes {
+            let ci = self.schema.column_index(name).expect("index column exists");
+            ix.insert(row[ci].clone(), row_id);
+        }
+    }
+
+    fn unindex_row(&mut self, row_id: RowId, row: &Row) {
+        for (name, ix) in &mut self.indexes {
+            let ci = self.schema.column_index(name).expect("index column exists");
+            ix.remove(&row[ci], row_id);
+        }
+    }
+
+    /// Apply an insert with a predetermined row id (redo path & normal path).
+    fn apply_insert(&mut self, row_id: RowId, row: Row) {
+        self.pk.insert(self.schema.key_of(&row), row_id);
+        self.index_row(row_id, &row);
+        self.heap.insert(row_id, row);
+        self.next_row = self.next_row.max(row_id.0 + 1);
+    }
+
+    fn apply_update(&mut self, row_id: RowId, row: Row) -> Option<Row> {
+        let old = self.heap.remove(&row_id)?;
+        self.pk.remove(&self.schema.key_of(&old));
+        self.unindex_row(row_id, &old);
+        self.apply_insert(row_id, row);
+        Some(old)
+    }
+
+    fn apply_delete(&mut self, row_id: RowId) -> Option<Row> {
+        let old = self.heap.remove(&row_id)?;
+        self.pk.remove(&self.schema.key_of(&old));
+        self.unindex_row(row_id, &old);
+        Some(old)
+    }
+}
+
+/// Per-transaction bookkeeping: how to undo each change, newest last.
+enum Undo {
+    Insert { table: String, row_id: RowId },
+    Update { table: String, row_id: RowId, old: Row },
+    Delete { table: String, row_id: RowId, old: Row },
+}
+
+#[derive(Default)]
+struct TxState {
+    undo: Vec<Undo>,
+}
+
+/// A transactional, WAL-backed, multi-table store.
+///
+/// All methods take `&self`; the engine is internally synchronized and is
+/// meant to be shared across threads via `Arc`.
+///
+/// ```
+/// use quarry_storage::{Column, Database, DataType, TableSchema, Value};
+///
+/// let db = Database::in_memory();
+/// db.create_table(TableSchema::new(
+///     "cities",
+///     vec![Column::new("name", DataType::Text), Column::new("population", DataType::Int)],
+///     &["name"],
+///     &[],
+/// )?)?;
+///
+/// let tx = db.begin();
+/// db.insert(tx, "cities", vec!["Madison".into(), Value::Int(250_000)])?;
+/// db.commit(tx)?;
+///
+/// let rows = db.scan_autocommit("cities")?;
+/// assert_eq!(rows[0][1], Value::Int(250_000));
+/// # Ok::<(), quarry_storage::StorageError>(())
+/// ```
+pub struct Database {
+    tables: Mutex<HashMap<String, Table>>,
+    locks: LockManager,
+    wal: Mutex<Option<Wal>>,
+    active: Mutex<HashMap<TxId, TxState>>,
+    next_tx: AtomicU64,
+    /// When true (default), commit fsyncs the WAL.
+    sync_commits: bool,
+}
+
+impl Database {
+    /// An ephemeral in-memory database (no WAL, no durability).
+    pub fn in_memory() -> Database {
+        Database {
+            tables: Mutex::new(HashMap::new()),
+            locks: LockManager::new(),
+            wal: Mutex::new(None),
+            active: Mutex::new(HashMap::new()),
+            next_tx: AtomicU64::new(1),
+            sync_commits: true,
+        }
+    }
+
+    /// Open (or recover) a durable database whose WAL lives at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        let records = Wal::replay(path.as_ref())?;
+        let db = Database::in_memory();
+        // Pass 1: committed set.
+        let mut committed = std::collections::HashSet::new();
+        let mut max_tx = 0u64;
+        let mut decoded = Vec::with_capacity(records.len());
+        for r in &records {
+            let rec = LogRecord::decode(&r.payload)?;
+            if let Some(tx) = rec.tx() {
+                max_tx = max_tx.max(tx);
+            }
+            if let LogRecord::Commit { tx } = rec {
+                committed.insert(tx);
+            }
+            decoded.push(rec);
+        }
+        // Pass 2: redo DDL and committed DML in log order.
+        {
+            let mut tables = db.tables.lock();
+            for rec in decoded {
+                match rec {
+                    LogRecord::CreateTable { schema } => {
+                        tables.insert(schema.name.clone(), Table::new(schema));
+                    }
+                    LogRecord::DropTable { table } => {
+                        tables.remove(&table);
+                    }
+                    LogRecord::Insert { tx, table, row_id, row } if committed.contains(&tx) => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_insert(row_id, row);
+                        }
+                    }
+                    LogRecord::Update { tx, table, row_id, row } if committed.contains(&tx) => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_update(row_id, row);
+                        }
+                    }
+                    LogRecord::Delete { tx, table, row_id } if committed.contains(&tx) => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_delete(row_id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        db.next_tx.store(max_tx + 1, Ordering::SeqCst);
+        *db.wal.lock() = Some(Wal::open(path)?);
+        Ok(db)
+    }
+
+    /// Disable per-commit fsync (bulk loads; used by benchmarks to isolate
+    /// CPU cost from disk cost).
+    pub fn set_sync_commits(&mut self, on: bool) {
+        self.sync_commits = on;
+    }
+
+    fn log(&self, rec: &LogRecord) -> Result<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.append(&rec.encode()?)?;
+        }
+        Ok(())
+    }
+
+    fn log_synced(&self, rec: &LogRecord) -> Result<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.append(&rec.encode()?)?;
+            if self.sync_commits {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a table (auto-committed DDL).
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let mut tables = self.tables.lock();
+        if tables.contains_key(&schema.name) {
+            return Err(StorageError::SchemaViolation(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        self.log_synced(&LogRecord::CreateTable { schema: schema.clone() })?;
+        tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table (auto-committed DDL).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut tables = self.tables.lock();
+        if tables.remove(name).is_none() {
+            return Err(StorageError::NoSuchTable(name.to_string()));
+        }
+        self.log_synced(&LogRecord::DropTable { table: name.to_string() })?;
+        Ok(())
+    }
+
+    /// Checkpoint: rewrite the WAL as a snapshot of current committed
+    /// state, bounding recovery time by live data size instead of history
+    /// length. Requires quiescence (no active transactions) and is a no-op
+    /// for in-memory databases. Crash-safe: the snapshot is built in a side
+    /// file, fsynced, then atomically renamed over the log.
+    pub fn checkpoint(&self) -> Result<()> {
+        {
+            let active = self.active.lock();
+            if !active.is_empty() {
+                return Err(StorageError::TxAborted(format!(
+                    "checkpoint requires quiescence; {} transactions active",
+                    active.len()
+                )));
+            }
+        }
+        let mut wal_guard = self.wal.lock();
+        let Some(wal) = wal_guard.as_mut() else {
+            return Ok(()); // ephemeral database: nothing to compact
+        };
+        let path = wal.path().to_path_buf();
+        let tmp = path.with_extension("ckpt");
+        let _ = std::fs::remove_file(&tmp);
+        {
+            let mut snapshot = Wal::open(&tmp)?;
+            let tables = self.tables.lock();
+            // Reserved tx id 0: allocator starts at 1, so no collision.
+            snapshot.append(&LogRecord::Begin { tx: 0 }.encode()?)?;
+            let mut names: Vec<&String> = tables.keys().collect();
+            names.sort();
+            for name in names {
+                let t = &tables[name];
+                snapshot.append(&LogRecord::CreateTable { schema: t.schema.clone() }.encode()?)?;
+                let mut row_ids: Vec<&RowId> = t.heap.keys().collect();
+                row_ids.sort_unstable();
+                for row_id in row_ids {
+                    snapshot.append(
+                        &LogRecord::Insert {
+                            tx: 0,
+                            table: name.clone(),
+                            row_id: *row_id,
+                            row: t.heap[row_id].clone(),
+                        }
+                        .encode()?,
+                    )?;
+                }
+            }
+            snapshot.append(&LogRecord::Commit { tx: 0 }.encode()?)?;
+            snapshot.sync()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        *wal_guard = Some(Wal::open(&path)?);
+        Ok(())
+    }
+
+    /// The schema of a table.
+    pub fn schema(&self, table: &str) -> Result<TableSchema> {
+        let tables = self.tables.lock();
+        tables
+            .get(table)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Replace a table's schema and rows wholesale (schema-evolution
+    /// migration path; auto-committed, logged as drop + create + inserts).
+    pub fn replace_table(&self, schema: TableSchema, rows: Vec<Row>) -> Result<()> {
+        for row in &rows {
+            schema.validate(row)?;
+        }
+        let name = schema.name.clone();
+        {
+            let tables = self.tables.lock();
+            if !tables.contains_key(&name) {
+                return Err(StorageError::NoSuchTable(name));
+            }
+        }
+        self.drop_table(&name)?;
+        self.create_table(schema)?;
+        let tx = self.begin();
+        for row in rows {
+            self.insert(tx, &name, row)?;
+        }
+        self.commit(tx)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Start a transaction.
+    pub fn begin(&self) -> TxId {
+        let tx = self.next_tx.fetch_add(1, Ordering::SeqCst);
+        self.active.lock().insert(tx, TxState::default());
+        // Begin records make logs self-describing; recovery doesn't need them.
+        let _ = self.log(&LogRecord::Begin { tx });
+        tx
+    }
+
+    /// Commit: durable once this returns.
+    pub fn commit(&self, tx: TxId) -> Result<()> {
+        let mut active = self.active.lock();
+        active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
+        drop(active);
+        self.log_synced(&LogRecord::Commit { tx })?;
+        self.locks.release_all(tx);
+        Ok(())
+    }
+
+    /// Abort: rolls back every in-memory change of `tx`.
+    pub fn abort(&self, tx: TxId) -> Result<()> {
+        let mut active = self.active.lock();
+        let state = active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
+        drop(active);
+        {
+            let mut tables = self.tables.lock();
+            for undo in state.undo.into_iter().rev() {
+                match undo {
+                    Undo::Insert { table, row_id } => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_delete(row_id);
+                        }
+                    }
+                    Undo::Update { table, row_id, old } => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_update(row_id, old);
+                        }
+                    }
+                    Undo::Delete { table, row_id, old } => {
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_insert(row_id, old);
+                        }
+                    }
+                }
+            }
+        }
+        self.log(&LogRecord::Abort { tx })?;
+        self.locks.release_all(tx);
+        Ok(())
+    }
+
+    fn check_active(&self, tx: TxId) -> Result<()> {
+        if self.active.lock().contains_key(&tx) {
+            Ok(())
+        } else {
+            Err(StorageError::NoSuchTx(tx))
+        }
+    }
+
+    fn push_undo(&self, tx: TxId, undo: Undo) {
+        if let Some(st) = self.active.lock().get_mut(&tx) {
+            st.undo.push(undo);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert a row. Fails on duplicate primary key.
+    pub fn insert(&self, tx: TxId, table: &str, row: Row) -> Result<RowId> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        let mut tables = self.tables.lock();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        t.schema.validate(&row)?;
+        let key = t.schema.key_of(&row);
+        if t.pk.contains_key(&key) {
+            return Err(StorageError::DuplicateKey(format!(
+                "{table} key {key:?} already exists"
+            )));
+        }
+        let row_id = RowId(t.next_row);
+        // Lock the new row before publishing it.
+        self.locks
+            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        self.log(&LogRecord::Insert {
+            tx,
+            table: table.to_string(),
+            row_id,
+            row: row.clone(),
+        })?;
+        t.apply_insert(row_id, row);
+        drop(tables);
+        self.push_undo(tx, Undo::Insert { table: table.to_string(), row_id });
+        Ok(row_id)
+    }
+
+    fn row_id_for_key(&self, table: &str, key: &[Value]) -> Result<RowId> {
+        let tables = self.tables.lock();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        t.pk
+            .get(key)
+            .copied()
+            .ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
+    }
+
+    /// Read one row by primary key (shared-locked until transaction end).
+    pub fn get(&self, tx: TxId, table: &str, key: &[Value]) -> Result<Row> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
+        let row_id = self.row_id_for_key(table, key)?;
+        self.locks
+            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
+        let tables = self.tables.lock();
+        let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
+        t.heap
+            .get(&row_id)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
+    }
+
+    /// Replace the row at `key` with `row` (which may change the key).
+    pub fn update(&self, tx: TxId, table: &str, key: &[Value], row: Row) -> Result<()> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        let row_id = self.row_id_for_key(table, key)?;
+        self.locks
+            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        let mut tables = self.tables.lock();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        t.schema.validate(&row)?;
+        let new_key = t.schema.key_of(&row);
+        if new_key != key && t.pk.contains_key(&new_key) {
+            return Err(StorageError::DuplicateKey(format!(
+                "{table} key {new_key:?} already exists"
+            )));
+        }
+        self.log(&LogRecord::Update {
+            tx,
+            table: table.to_string(),
+            row_id,
+            row: row.clone(),
+        })?;
+        let old = t
+            .apply_update(row_id, row)
+            .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
+        drop(tables);
+        self.push_undo(tx, Undo::Update { table: table.to_string(), row_id, old });
+        Ok(())
+    }
+
+    /// Delete the row at `key`.
+    pub fn delete(&self, tx: TxId, table: &str, key: &[Value]) -> Result<()> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        let row_id = self.row_id_for_key(table, key)?;
+        self.locks
+            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        let mut tables = self.tables.lock();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        self.log(&LogRecord::Delete { tx, table: table.to_string(), row_id })?;
+        let old = t
+            .apply_delete(row_id)
+            .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
+        drop(tables);
+        self.push_undo(tx, Undo::Delete { table: table.to_string(), row_id, old });
+        Ok(())
+    }
+
+    /// Scan a whole table (table-level shared lock; serializes against
+    /// writers, including inserts — no phantoms).
+    pub fn scan(&self, tx: TxId, table: &str) -> Result<Vec<Row>> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::Shared)?;
+        let tables = self.tables.lock();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let mut ids: Vec<&RowId> = t.heap.keys().collect();
+        ids.sort_unstable();
+        Ok(ids.iter().map(|id| t.heap[id].clone()).collect())
+    }
+
+    /// Equality probe on a secondary index.
+    pub fn index_lookup(&self, tx: TxId, table: &str, column: &str, value: &Value) -> Result<Vec<Row>> {
+        self.index_range(tx, table, column, Some(value), Some(value))
+    }
+
+    /// Range probe (inclusive bounds) on a secondary index.
+    pub fn index_range(
+        &self,
+        tx: TxId,
+        table: &str,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<Row>> {
+        self.check_active(tx)?;
+        self.locks
+            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
+        // Collect candidate row ids under the table mutex, then shared-lock them.
+        let row_ids: Vec<RowId> = {
+            let tables = self.tables.lock();
+            let t = tables
+                .get(table)
+                .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+            let ix = t.indexes.get(column).ok_or_else(|| {
+                StorageError::SchemaViolation(format!("no index on {table}.{column}"))
+            })?;
+            ix.range(lo, hi)
+        };
+        let mut rows = Vec::with_capacity(row_ids.len());
+        for row_id in row_ids {
+            self.locks
+                .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
+            let tables = self.tables.lock();
+            let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
+            if let Some(r) = t.heap.get(&row_id) {
+                rows.push(r.clone());
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Number of rows in a table (unlocked, diagnostics only).
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        let tables = self.tables.lock();
+        tables
+            .get(table)
+            .map(|t| t.heap.len())
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Auto-commit conveniences
+    // ------------------------------------------------------------------
+
+    /// Insert under a fresh single-operation transaction.
+    pub fn insert_autocommit(&self, table: &str, row: Row) -> Result<RowId> {
+        let tx = self.begin();
+        match self.insert(tx, table, row) {
+            Ok(id) => {
+                self.commit(tx)?;
+                Ok(id)
+            }
+            Err(e) => {
+                let _ = self.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Scan under a fresh single-operation transaction.
+    pub fn scan_autocommit(&self, table: &str) -> Result<Vec<Row>> {
+        let tx = self.begin();
+        let out = self.scan(tx, table);
+        match out {
+            Ok(rows) => {
+                self.commit(tx)?;
+                Ok(rows)
+            }
+            Err(e) => {
+                let _ = self.abort(tx);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::table::Column;
+    use crate::value::DataType;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn people_schema() -> TableSchema {
+        TableSchema::new(
+            "people",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("age", DataType::Int),
+                Column::nullable("city", DataType::Text),
+            ],
+            &["name"],
+            &["age"],
+        )
+        .unwrap()
+    }
+
+    fn person(name: &str, age: i64, city: &str) -> Row {
+        vec![name.into(), Value::Int(age), city.into()]
+    }
+
+    #[test]
+    fn insert_get_update_delete_cycle() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        let tx = db.begin();
+        db.insert(tx, "people", person("ada", 36, "london")).unwrap();
+        db.insert(tx, "people", person("alan", 41, "cambridge")).unwrap();
+        assert_eq!(
+            db.get(tx, "people", &["ada".into()]).unwrap()[1],
+            Value::Int(36)
+        );
+        db.update(tx, "people", &["ada".into()], person("ada", 37, "london")).unwrap();
+        db.delete(tx, "people", &["alan".into()]).unwrap();
+        db.commit(tx).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("x", 1, "a")).unwrap();
+        let err = db.insert_autocommit("people", person("x", 2, "b")).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("keep", 1, "a")).unwrap();
+
+        let tx = db.begin();
+        db.insert(tx, "people", person("new", 2, "b")).unwrap();
+        db.update(tx, "people", &["keep".into()], person("keep", 99, "z")).unwrap();
+        db.delete(tx, "people", &["keep".into()]).unwrap();
+        db.abort(tx).unwrap();
+
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows, vec![person("keep", 1, "a")]);
+        // Index state rolled back too.
+        let tx = db.begin();
+        let by_age = db.index_lookup(tx, "people", "age", &Value::Int(1)).unwrap();
+        assert_eq!(by_age.len(), 1);
+        let by_age99 = db.index_lookup(tx, "people", "age", &Value::Int(99)).unwrap();
+        assert!(by_age99.is_empty());
+        db.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn index_range_probe() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        for i in 0..20 {
+            db.insert_autocommit("people", person(&format!("p{i}"), i, "c")).unwrap();
+        }
+        let tx = db.begin();
+        let rows = db
+            .index_range(tx, "people", "age", Some(&Value::Int(5)), Some(&Value::Int(8)))
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        db.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn scan_is_key_ordered_by_rowid_and_stable() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        for name in ["c", "a", "b"] {
+            db.insert_autocommit("people", person(name, 1, "x")).unwrap();
+        }
+        let rows = db.scan_autocommit("people").unwrap();
+        let names: Vec<_> = rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["c", "a", "b"], "scan returns insertion order");
+    }
+
+    #[test]
+    fn operations_on_unknown_entities_fail() {
+        let db = Database::in_memory();
+        assert!(matches!(
+            db.insert_autocommit("ghost", vec![]),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        db.create_table(people_schema()).unwrap();
+        let tx = db.begin();
+        assert!(matches!(
+            db.get(tx, "people", &["ghost".into()]),
+            Err(StorageError::NotFound(_))
+        ));
+        db.commit(tx).unwrap();
+        assert!(matches!(db.commit(999), Err(StorageError::NoSuchTx(999))));
+    }
+
+    #[test]
+    fn two_phase_locking_isolates_writers() {
+        let db = Arc::new(Database::in_memory());
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("shared", 0, "x")).unwrap();
+
+        // Older tx writes the row; younger tx must fail (wait-die) on read.
+        let t_old = db.begin();
+        let t_young = db.begin();
+        db.update(t_old, "people", &["shared".into()], person("shared", 1, "x")).unwrap();
+        let err = db.get(t_young, "people", &["shared".into()]).unwrap_err();
+        assert!(matches!(err, StorageError::TxAborted(_)));
+        db.abort(t_young).unwrap();
+        db.commit(t_old).unwrap();
+    }
+
+    #[test]
+    fn concurrent_counter_has_no_lost_updates() {
+        let db = Arc::new(Database::in_memory());
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("ctr", 0, "x")).unwrap();
+        let threads = 4;
+        let per_thread = 25;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                while done < per_thread {
+                    let tx = db.begin();
+                    let res = db.get(tx, "people", &["ctr".into()]).and_then(|row| {
+                        let n = row[1].as_f64().unwrap() as i64;
+                        db.update(tx, "people", &["ctr".into()], person("ctr", n + 1, "x"))
+                    });
+                    match res {
+                        Ok(()) => {
+                            db.commit(tx).unwrap();
+                            done += 1;
+                        }
+                        Err(_) => {
+                            let _ = db.abort(tx);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows[0][1], Value::Int((threads * per_thread) as i64));
+    }
+
+    fn tmpwal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("quarry-db-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn durable_database_recovers_committed_work_only() {
+        let p = tmpwal("recovery");
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            db.insert_autocommit("people", person("committed", 1, "a")).unwrap();
+            let tx = db.begin();
+            db.insert(tx, "people", person("uncommitted", 2, "b")).unwrap();
+            // Crash: drop db without commit.
+        }
+        let db = Database::open(&p).unwrap();
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows, vec![person("committed", 1, "a")]);
+        // The recovered database stays usable and durable.
+        db.insert_autocommit("people", person("after", 3, "c")).unwrap();
+        drop(db);
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 2);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_updates_and_deletes() {
+        let p = tmpwal("recovery2");
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            let tx = db.begin();
+            db.insert(tx, "people", person("a", 1, "x")).unwrap();
+            db.insert(tx, "people", person("b", 2, "x")).unwrap();
+            db.commit(tx).unwrap();
+            let tx = db.begin();
+            db.update(tx, "people", &["a".into()], person("a", 10, "y")).unwrap();
+            db.delete(tx, "people", &["b".into()]).unwrap();
+            db.commit(tx).unwrap();
+        }
+        let db = Database::open(&p).unwrap();
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows, vec![person("a", 10, "y")]);
+        // Secondary index rebuilt by redo.
+        let tx = db.begin();
+        assert_eq!(db.index_lookup(tx, "people", "age", &Value::Int(10)).unwrap().len(), 1);
+        db.commit(tx).unwrap();
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_preserves_state() {
+        let p = tmpwal("checkpoint");
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            // History: many inserts, updates, and deletes.
+            for i in 0..50 {
+                db.insert_autocommit("people", person(&format!("p{i}"), i, "x")).unwrap();
+            }
+            for i in 0..50 {
+                let tx = db.begin();
+                if i % 2 == 0 {
+                    db.update(tx, "people", &[format!("p{i}").into()], person(&format!("p{i}"), i + 100, "y"))
+                        .unwrap();
+                } else {
+                    db.delete(tx, "people", &[format!("p{i}").into()]).unwrap();
+                }
+                db.commit(tx).unwrap();
+            }
+            let before = std::fs::metadata(&p).unwrap().len();
+            db.checkpoint().unwrap();
+            let after = std::fs::metadata(&p).unwrap().len();
+            assert!(after < before / 2, "log {before} → {after} should shrink");
+            // The database keeps working after a checkpoint.
+            db.insert_autocommit("people", person("post", 1, "z")).unwrap();
+        }
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 26);
+        let tx = db.begin();
+        assert_eq!(
+            db.get(tx, "people", &["p0".into()]).unwrap()[1],
+            Value::Int(100)
+        );
+        assert!(db.get(tx, "people", &["p1".into()]).is_err(), "deleted row stays deleted");
+        // Secondary index rebuilt from the snapshot.
+        assert_eq!(db.index_lookup(tx, "people", "age", &Value::Int(100)).unwrap().len(), 1);
+        db.commit(tx).unwrap();
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_quiescence_and_is_noop_in_memory() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.checkpoint().unwrap(); // no-op, no error
+        let tx = db.begin();
+        db.insert(tx, "people", person("a", 1, "x")).unwrap();
+        assert!(matches!(db.checkpoint(), Err(StorageError::TxAborted(_))));
+        db.commit(tx).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn replace_table_migrates_rows() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+        let new_schema = TableSchema::new(
+            "people",
+            vec![Column::new("name", DataType::Text), Column::new("age", DataType::Int)],
+            &["name"],
+            &[],
+        )
+        .unwrap();
+        db.replace_table(new_schema, vec![vec!["a".into(), Value::Int(1)]]).unwrap();
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows, vec![vec![Value::Text("a".into()), Value::Int(1)]]);
+    }
+}

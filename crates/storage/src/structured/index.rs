@@ -1,0 +1,137 @@
+//! Secondary indexes: ordered value → row-id maps kept in lockstep with the
+//! heap. Equality and range probes both come off the same B-tree.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+use super::table::RowId;
+
+/// One secondary index over a single column.
+#[derive(Debug, Clone, Default)]
+pub struct SecondaryIndex {
+    map: BTreeMap<Value, BTreeSet<RowId>>,
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `row` under `value`.
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        if self.map.entry(value).or_default().insert(row) {
+            self.entries += 1;
+        }
+    }
+
+    /// Remove `row` from under `value` (no-op if absent).
+    pub fn remove(&mut self, value: &Value, row: RowId) {
+        if let Some(set) = self.map.get_mut(value) {
+            if set.remove(&row) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Rows whose indexed value equals `value`.
+    pub fn get(&self, value: &Value) -> impl Iterator<Item = RowId> + '_ {
+        self.map.get(value).into_iter().flatten().copied()
+    }
+
+    /// Rows whose indexed value falls in `[lo, hi]` (either bound optional).
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        self.map
+            .range((lo, hi))
+            .flat_map(|(_, rows)| rows.iter().copied())
+            .collect()
+    }
+
+    /// Total (value, row) pairs indexed.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Distinct indexed values (used by the optimizer's selectivity model).
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut ix = SecondaryIndex::new();
+        ix.insert(Value::Int(10), RowId(1));
+        ix.insert(Value::Int(10), RowId(2));
+        ix.insert(Value::Int(20), RowId(3));
+        assert_eq!(ix.get(&Value::Int(10)).count(), 2);
+        assert_eq!(ix.len(), 3);
+        ix.remove(&Value::Int(10), RowId(1));
+        assert_eq!(ix.get(&Value::Int(10)).collect::<Vec<_>>(), vec![RowId(2)]);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut ix = SecondaryIndex::new();
+        ix.insert(Value::Int(1), RowId(5));
+        ix.insert(Value::Int(1), RowId(5));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut ix = SecondaryIndex::new();
+        ix.remove(&Value::Int(1), RowId(5));
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn range_queries_inclusive() {
+        let mut ix = SecondaryIndex::new();
+        for i in 0..10 {
+            ix.insert(Value::Int(i), RowId(i as u64));
+        }
+        let rows = ix.range(Some(&Value::Int(3)), Some(&Value::Int(6)));
+        assert_eq!(rows, vec![RowId(3), RowId(4), RowId(5), RowId(6)]);
+        let open = ix.range(Some(&Value::Int(8)), None);
+        assert_eq!(open, vec![RowId(8), RowId(9)]);
+        let all = ix.range(None, None);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn mixed_numeric_types_share_order() {
+        let mut ix = SecondaryIndex::new();
+        ix.insert(Value::Int(2), RowId(1));
+        ix.insert(Value::Float(2.5), RowId(2));
+        ix.insert(Value::Int(3), RowId(3));
+        let rows = ix.range(Some(&Value::Float(2.1)), Some(&Value::Int(3)));
+        assert_eq!(rows, vec![RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn distinct_values_counts_keys() {
+        let mut ix = SecondaryIndex::new();
+        ix.insert(Value::Int(1), RowId(1));
+        ix.insert(Value::Int(1), RowId(2));
+        ix.insert(Value::Int(2), RowId(3));
+        assert_eq!(ix.distinct_values(), 2);
+    }
+}

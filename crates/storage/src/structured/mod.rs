@@ -1,0 +1,24 @@
+//! The "final structure" store: a small relational engine.
+//!
+//! The blueprint argues the final extracted structure — edited concurrently
+//! by many users — belongs in an RDBMS "to ensure fast and correct
+//! concurrency control". This module is that engine, from scratch:
+//!
+//! - typed, schema-checked tables with primary keys ([`table`]);
+//! - secondary B-tree indexes maintained on every write ([`index`]);
+//! - strict two-phase locking with intention locks and wait-die deadlock
+//!   avoidance ([`lock`]);
+//! - a write-ahead log and redo recovery that restores exactly the
+//!   committed prefix after a crash ([`recovery`]);
+//! - the [`Database`] façade tying them together ([`engine`]).
+
+pub mod engine;
+pub mod index;
+pub mod lock;
+pub mod recovery;
+pub mod table;
+
+pub use engine::{Database, TxId};
+pub use lock::{LockManager, LockMode};
+pub use recovery::LogRecord;
+pub use table::{Column, Row, RowId, TableSchema};

@@ -1,0 +1,307 @@
+//! Checksummed write-ahead log.
+//!
+//! Framing: every record is `[len: u32 LE][crc32: u32 LE][payload]`. Replay
+//! stops at the first frame whose length runs past EOF or whose checksum
+//! fails — the torn tail of a crashed write — and reports how many clean
+//! records preceded it. The structured store layers transaction semantics on
+//! top (see [`crate::structured::recovery`]); this module knows only bytes.
+
+use crate::error::StorageError;
+use crate::Result;
+use bytes::{Bytes, BytesMut};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE) implemented from scratch; table built at first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// One replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Byte offset of the record's frame in the log file.
+    pub offset: u64,
+    /// Record payload.
+    pub payload: Bytes,
+}
+
+/// An append-only log file.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    offset: u64,
+}
+
+impl Wal {
+    /// Open (creating if needed) a log at `path`, positioned for appending
+    /// after the last *clean* record. Any torn tail is truncated away.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let records = Self::replay(&path)?;
+        let clean_end = records
+            .last()
+            .map(|r| r.offset + 8 + r.payload.len() as u64)
+            .unwrap_or(0);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // length is managed explicitly below
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(clean_end)?;
+        let mut writer = BufWriter::new(file);
+        use std::io::Seek;
+        writer.seek(std::io::SeekFrom::End(0))?;
+        Ok(Wal { path, writer, offset: clean_end })
+    }
+
+    /// Append one record; returns its frame offset. Data is buffered — call
+    /// [`Wal::sync`] to force it to the OS/file.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let offset = self.offset;
+        let mut frame = BytesMut::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.writer.write_all(&frame)?;
+        self.offset += frame.len() as u64;
+        Ok(offset)
+    }
+
+    /// Flush buffered frames and fsync the file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Current append offset (= file length after sync).
+    pub fn len(&self) -> u64 {
+        self.offset
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.offset == 0
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read every clean record from a log file (no `Wal` instance needed).
+    /// A missing file replays as empty. Corruption mid-file ends the replay
+    /// at the last clean record rather than erroring: that is exactly the
+    /// crash-recovery contract.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+        let mut data = Vec::new();
+        match File::open(path.as_ref()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            let end = match start.checked_add(len) {
+                Some(e) if e <= data.len() => e,
+                _ => break, // torn length / truncated payload
+            };
+            let payload = &data[start..end];
+            if crc32(payload) != crc {
+                break; // torn or corrupted payload
+            }
+            records.push(WalRecord {
+                offset: pos as u64,
+                payload: Bytes::copy_from_slice(payload),
+            });
+            pos = end;
+        }
+        Ok(records)
+    }
+
+    /// Truncate the log to zero length (e.g. after a checkpoint).
+    pub fn reset(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().set_len(0)?;
+        use std::io::Seek;
+        self.writer.seek(std::io::SeekFrom::Start(0))?;
+        self.offset = 0;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
+/// Fail the build if we forget the error type grows non-Send.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<StorageError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("quarry-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_sync_replay() {
+        let p = tmp("basic");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        let recs = Wal::replay(&p).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(&recs[0].payload[..], b"one");
+        assert_eq!(&recs[1].payload[..], b"two");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        assert!(Wal::replay("/nonexistent/quarry.wal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_open() {
+        let p = tmp("torn");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut wal = Wal::open(&p).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta").unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a torn write: append a valid-looking frame header with a
+        // bad checksum and half a payload.
+        {
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&10u32.to_le_bytes()).unwrap();
+            f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+            f.write_all(b"par").unwrap();
+        }
+        let recs = Wal::replay(&p).unwrap();
+        assert_eq!(recs.len(), 2, "torn tail must not produce a record");
+
+        // Re-opening truncates and new appends go after the clean prefix.
+        let mut wal = Wal::open(&p).unwrap();
+        wal.append(b"gamma").unwrap();
+        wal.sync().unwrap();
+        let recs = Wal::replay(&p).unwrap();
+        let payloads: Vec<_> = recs.iter().map(|r| r.payload.clone()).collect();
+        assert_eq!(payloads, vec![Bytes::from("alpha"), Bytes::from("beta"), Bytes::from("gamma")]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn corrupted_middle_record_stops_replay_there() {
+        let p = tmp("midcorrupt");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut wal = Wal::open(&p).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.append(b"third").unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte in the middle record's payload.
+        let mut data = std::fs::read(&p).unwrap();
+        let second_payload_pos = (8 + 5) + 8; // after first frame + second header
+        data[second_payload_pos] ^= 0xFF;
+        std::fs::write(&p, &data).unwrap();
+        let recs = Wal::replay(&p).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(&recs[0].payload[..], b"first");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let p = tmp("reset");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p).unwrap();
+        wal.append(b"x").unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        wal.append(b"y").unwrap();
+        wal.sync().unwrap();
+        let recs = Wal::replay(&p).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(&recs[0].payload[..], b"y");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_replay_returns_exactly_what_was_appended(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..20)
+        ) {
+            let p = tmp(&format!("prop{}", crc32(&payloads.concat())));
+            let _ = std::fs::remove_file(&p);
+            {
+                let mut wal = Wal::open(&p).unwrap();
+                for pl in &payloads {
+                    wal.append(pl).unwrap();
+                }
+                wal.sync().unwrap();
+            }
+            let recs = Wal::replay(&p).unwrap();
+            prop_assert_eq!(recs.len(), payloads.len());
+            for (r, pl) in recs.iter().zip(&payloads) {
+                prop_assert_eq!(&r.payload[..], &pl[..]);
+            }
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Probability combination and calibration measurement.
+
+/// Noisy-or combination: probability that at least one of several
+/// independent witnesses is right. Used when multiple extractors find the
+/// same fact.
+pub fn noisy_or(probs: &[f64]) -> f64 {
+    let mut miss = 1.0;
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        miss *= 1.0 - p;
+    }
+    1.0 - miss
+}
+
+/// Conjunction of independent events (a derivation needs all inputs right).
+pub fn all_of(probs: &[f64]) -> f64 {
+    probs.iter().inspect(|p| {
+        assert!((0.0..=1.0).contains(*p), "probability {p} out of range");
+    }).product()
+}
+
+/// Weighted fusion of correlated estimates (weights need not sum to 1).
+pub fn weighted(pairs: &[(f64, f64)]) -> f64 {
+    let wsum: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    pairs.iter().map(|(p, w)| p * w).sum::<f64>() / wsum
+}
+
+/// Brier score of probabilistic predictions against boolean outcomes:
+/// mean squared error, 0 = perfect, 0.25 = uninformed coin.
+pub fn brier_score(predictions: &[(f64, bool)]) -> f64 {
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .map(|&(p, y)| {
+            let t = if y { 1.0 } else { 0.0 };
+            (p - t) * (p - t)
+        })
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// One reliability bin: predictions in `[lo, hi)`, their mean confidence,
+/// and the empirical accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Bin lower bound.
+    pub lo: f64,
+    /// Bin upper bound.
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted confidence.
+    pub mean_confidence: f64,
+    /// Fraction that were actually correct.
+    pub accuracy: f64,
+}
+
+/// A reliability diagram: is a 0.8-confidence prediction right 80% of the
+/// time? (E9 runs this over extractor confidences.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// The bins, low to high.
+    pub bins: Vec<CalibrationBin>,
+    /// Expected calibration error: |confidence − accuracy| weighted by bin mass.
+    pub ece: f64,
+    /// Brier score over all predictions.
+    pub brier: f64,
+}
+
+impl CalibrationReport {
+    /// Build a report with `n_bins` equal-width bins.
+    pub fn from_predictions(predictions: &[(f64, bool)], n_bins: usize) -> CalibrationReport {
+        assert!(n_bins >= 1);
+        let mut sums = vec![(0usize, 0.0f64, 0usize); n_bins]; // (count, conf sum, correct)
+        for &(p, y) in predictions {
+            let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+            sums[b].0 += 1;
+            sums[b].1 += p;
+            sums[b].2 += usize::from(y);
+        }
+        let total = predictions.len().max(1) as f64;
+        let mut bins = Vec::with_capacity(n_bins);
+        let mut ece = 0.0;
+        for (i, (count, conf_sum, correct)) in sums.into_iter().enumerate() {
+            let lo = i as f64 / n_bins as f64;
+            let hi = (i + 1) as f64 / n_bins as f64;
+            let (mean_confidence, accuracy) = if count == 0 {
+                (0.0, 0.0)
+            } else {
+                (conf_sum / count as f64, correct as f64 / count as f64)
+            };
+            if count > 0 {
+                ece += (count as f64 / total) * (mean_confidence - accuracy).abs();
+            }
+            bins.push(CalibrationBin { lo, hi, count, mean_confidence, accuracy });
+        }
+        CalibrationReport { bins, ece, brier: brier_score(predictions) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn noisy_or_basics() {
+        assert_eq!(noisy_or(&[]), 0.0);
+        assert!((noisy_or(&[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert_eq!(noisy_or(&[1.0, 0.1]), 1.0);
+        assert_eq!(noisy_or(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn all_of_basics() {
+        assert_eq!(all_of(&[]), 1.0);
+        assert!((all_of(&[0.9, 0.9]) - 0.81).abs() < 1e-12);
+        assert_eq!(all_of(&[0.5, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        noisy_or(&[1.5]);
+    }
+
+    #[test]
+    fn weighted_fusion() {
+        assert!((weighted(&[(1.0, 1.0), (0.0, 1.0)]) - 0.5).abs() < 1e-12);
+        assert!((weighted(&[(1.0, 3.0), (0.0, 1.0)]) - 0.75).abs() < 1e-12);
+        assert_eq!(weighted(&[]), 0.0);
+    }
+
+    #[test]
+    fn brier_extremes() {
+        assert_eq!(brier_score(&[(1.0, true), (0.0, false)]), 0.0);
+        assert_eq!(brier_score(&[(1.0, false)]), 1.0);
+        assert_eq!(brier_score(&[(0.5, true), (0.5, false)]), 0.25);
+        assert_eq!(brier_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn calibration_of_perfect_predictor() {
+        let preds: Vec<(f64, bool)> = (0..100)
+            .map(|i| {
+                let p = if i % 2 == 0 { 0.95 } else { 0.05 };
+                (p, i % 2 == 0)
+            })
+            .collect();
+        let r = CalibrationReport::from_predictions(&preds, 10);
+        assert!(r.ece < 0.06, "ece {}", r.ece);
+        assert!(r.brier < 0.01);
+    }
+
+    #[test]
+    fn calibration_of_overconfident_predictor() {
+        // Claims 0.9 but is right half the time.
+        let preds: Vec<(f64, bool)> = (0..100).map(|i| (0.9, i % 2 == 0)).collect();
+        let r = CalibrationReport::from_predictions(&preds, 10);
+        assert!(r.ece > 0.35, "ece {}", r.ece);
+        let hot = r.bins.iter().find(|b| b.count > 0).unwrap();
+        assert!((hot.accuracy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_partition_mass() {
+        let preds: Vec<(f64, bool)> = vec![(0.05, false), (0.55, true), (0.999, true)];
+        let r = CalibrationReport::from_predictions(&preds, 4);
+        assert_eq!(r.bins.iter().map(|b| b.count).sum::<usize>(), 3);
+        assert_eq!(r.bins.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_noisy_or_bounds_and_monotone(ps in proptest::collection::vec(0.0f64..=1.0, 0..8), extra in 0.0f64..=1.0) {
+            let base = noisy_or(&ps);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&base));
+            let mut more = ps.clone();
+            more.push(extra);
+            prop_assert!(noisy_or(&more) >= base - 1e-12);
+        }
+
+        #[test]
+        fn prop_all_of_never_exceeds_min(ps in proptest::collection::vec(0.0f64..=1.0, 1..8)) {
+            let m = ps.iter().copied().fold(1.0f64, f64::min);
+            prop_assert!(all_of(&ps) <= m + 1e-12);
+        }
+    }
+}

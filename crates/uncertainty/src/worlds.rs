@@ -1,0 +1,177 @@
+//! Possible-worlds semantics over independent uncertain tuples.
+//!
+//! A set of tuples, each present with an independent probability, induces
+//! 2^n worlds. For the small per-entity tuple sets that IE produces (a
+//! handful of candidate values per attribute), exact enumeration is
+//! feasible; this module enumerates worlds, ranks them, and computes
+//! marginals of predicates over them.
+
+/// A set of independent uncertain tuples with labels.
+#[derive(Debug, Clone, Default)]
+pub struct WorldSet<T> {
+    tuples: Vec<(T, f64)>,
+}
+
+/// One world: which tuples are present, and its probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    /// Membership bitmask over the tuple list (bit i = tuple i present).
+    pub mask: u64,
+    /// The world's probability.
+    pub prob: f64,
+}
+
+impl<T> WorldSet<T> {
+    /// Empty set.
+    pub fn new() -> WorldSet<T> {
+        WorldSet { tuples: Vec::new() }
+    }
+
+    /// Add a tuple with presence probability `p`.
+    pub fn add(&mut self, tuple: T, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        assert!(self.tuples.len() < 63, "world enumeration capped at 63 tuples");
+        self.tuples.push((tuple, p));
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples present in a world mask.
+    pub fn members(&self, mask: u64) -> Vec<&T> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, (t, _))| t)
+            .collect()
+    }
+
+    /// Enumerate every world with its probability. O(2^n) — intended for
+    /// n ≲ 20.
+    pub fn worlds(&self) -> Vec<World> {
+        let n = self.tuples.len();
+        let mut out = Vec::with_capacity(1 << n);
+        for mask in 0u64..(1 << n) {
+            let mut prob = 1.0;
+            for (i, (_, p)) in self.tuples.iter().enumerate() {
+                prob *= if mask & (1 << i) != 0 { *p } else { 1.0 - *p };
+            }
+            out.push(World { mask, prob });
+        }
+        out
+    }
+
+    /// The `k` most probable worlds, most probable first.
+    pub fn top_k(&self, k: usize) -> Vec<World> {
+        let mut ws = self.worlds();
+        ws.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap_or(std::cmp::Ordering::Equal));
+        ws.truncate(k);
+        ws
+    }
+
+    /// Marginal probability that a predicate over the present-tuple set
+    /// holds, summed over all worlds.
+    pub fn marginal(&self, pred: impl Fn(&[&T]) -> bool) -> f64 {
+        self.worlds()
+            .into_iter()
+            .filter(|w| pred(&self.members(w.mask)))
+            .map(|w| w.prob)
+            .sum()
+    }
+
+    /// Marginal probability that tuple `i` is present (closed form).
+    pub fn tuple_marginal(&self, i: usize) -> f64 {
+        self.tuples[i].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(ps: &[f64]) -> WorldSet<usize> {
+        let mut s = WorldSet::new();
+        for (i, &p) in ps.iter().enumerate() {
+            s.add(i, p);
+        }
+        s
+    }
+
+    #[test]
+    fn two_tuples_four_worlds() {
+        let s = set(&[0.9, 0.5]);
+        let ws = s.worlds();
+        assert_eq!(ws.len(), 4);
+        let total: f64 = ws.iter().map(|w| w.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // World {0} alone: 0.9 * 0.5.
+        let w = ws.iter().find(|w| w.mask == 0b01).unwrap();
+        assert!((w.prob - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_ranks_by_probability() {
+        let s = set(&[0.9, 0.8]);
+        let top = s.top_k(2);
+        assert_eq!(top[0].mask, 0b11);
+        assert!((top[0].prob - 0.72).abs() < 1e-12);
+        assert!(top[0].prob >= top[1].prob);
+    }
+
+    #[test]
+    fn marginal_of_predicate() {
+        let s = set(&[0.5, 0.5]);
+        // P(at least one present) = 0.75.
+        let p = s.marginal(|members| !members.is_empty());
+        assert!((p - 0.75).abs() < 1e-12);
+        // P(exactly the second present) = 0.25.
+        let p = s.marginal(|members| members == [&1usize]);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_tuples_collapse_worlds() {
+        let s = set(&[1.0, 0.5]);
+        let nonzero = s.worlds().into_iter().filter(|w| w.prob > 0.0).count();
+        assert_eq!(nonzero, 2);
+    }
+
+    #[test]
+    fn members_reads_mask() {
+        let s = set(&[0.1, 0.2, 0.3]);
+        assert_eq!(s.members(0b101), vec![&0usize, &2usize]);
+        assert!(s.members(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_rejected() {
+        set(&[1.2]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_world_probs_sum_to_one(ps in proptest::collection::vec(0.0f64..=1.0, 0..10)) {
+            let s = set(&ps);
+            let total: f64 = s.worlds().iter().map(|w| w.prob).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_presence_marginal_matches_input(ps in proptest::collection::vec(0.01f64..=0.99, 1..8), idx in 0usize..8) {
+            let s = set(&ps);
+            let i = idx % ps.len();
+            let via_worlds = s.marginal(|members| members.iter().any(|&&m| m == i));
+            prop_assert!((via_worlds - s.tuple_marginal(i)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Incremental, best-effort structure generation (§3.2's job-seeker story).
+//!
+//! "A user looking for a new job may start out extracting only monthly
+//! temperatures from Wikipedia, as he or she only wants to do an average
+//! temperature comparison across U.S. cities. Later if the user wants to
+//! examine only cities with at least 500,000 people, then he or she may
+//! want to also extract city populations, and so on."
+//!
+//! Run with: `cargo run --example incremental_exploration`
+
+use quarry::corpus::{Corpus, CorpusConfig};
+use quarry::core::IncrementalManager;
+use quarry::lang::{ExecContext, ExtractorRegistry};
+use quarry::query::engine::{execute, AggFn, Predicate, Query};
+use quarry::storage::{Database, Value};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig { seed: 11, n_cities: 60, ..CorpusConfig::default() });
+    let registry = ExtractorRegistry::standard();
+    let db = Database::in_memory();
+    let mut ctx = ExecContext::new(&corpus.docs, &registry, &db);
+    let mut mgr = IncrementalManager::new("cities", "name");
+    let extractors = ["infobox", "rules"];
+
+    // Step 1: the user only cares about July temperatures.
+    let s1 = mgr
+        .ensure(&["july_temp"], &extractors, &mut ctx)
+        .expect("run")
+        .expect("first run extracts");
+    println!(
+        "step 1: materialize july_temp          cost {:>7.1} units, {} rows",
+        s1.cost_units, s1.rows_stored
+    );
+    let q = Query::scan("cities").aggregate(None, AggFn::Avg, "july_temp");
+    let avg = execute(&db, &q).expect("query").scalar().and_then(Value::as_f64).expect("avg");
+    println!("        average July temperature across cities: {avg:.1} °F");
+
+    // Step 2: now filter to big cities — population is needed, on demand.
+    let s2 = mgr
+        .ensure(&["population"], &extractors, &mut ctx)
+        .expect("run")
+        .expect("extension extracts");
+    println!(
+        "step 2: extend with population          cost {:>7.1} units (marginal; cache hits {})",
+        s2.cost_units, s2.cache_hits
+    );
+    let q = Query::scan("cities")
+        .filter(vec![Predicate::Ge("population".into(), Value::Int(500_000))])
+        .aggregate(None, AggFn::Avg, "july_temp");
+    let avg_big = execute(&db, &q)
+        .expect("query")
+        .scalar()
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    println!("        average July temperature, cities ≥ 500k people: {avg_big:.1} °F");
+
+    // Step 3: a repeated need costs nothing.
+    let s3 = mgr.ensure(&["july_temp", "population"], &extractors, &mut ctx).expect("run");
+    assert!(s3.is_none(), "already covered");
+    println!("step 3: repeat request                  cost     0.0 units (covered)");
+
+    // One-shot comparison: extracting *everything* up front.
+    let db2 = Database::in_memory();
+    let registry2 = ExtractorRegistry::standard();
+    let mut ctx2 = ExecContext::new(&corpus.docs, &registry2, &db2);
+    let mut all = IncrementalManager::new("cities", "name");
+    let every_attr: Vec<&str> = vec![
+        "state", "population", "founded", "area_sq_mi", "january_temp", "february_temp",
+        "march_temp", "april_temp", "may_temp", "june_temp", "july_temp", "august_temp",
+        "september_temp", "october_temp", "november_temp", "december_temp",
+    ];
+    let s_all = all.ensure(&every_attr, &extractors, &mut ctx2).expect("run").expect("runs");
+    println!(
+        "\none-shot everything:                    cost {:>7.1} units",
+        s_all.cost_units
+    );
+    println!(
+        "incremental total for what was needed:  cost {:>7.1} units",
+        mgr.total_cost
+    );
+}

@@ -1,0 +1,77 @@
+//! The paper's motivating scenario, end to end.
+//!
+//! §2: "With keyword search we cannot ask and obtain answers to questions
+//! such as 'find the average March–September temperature in Madison,
+//! Wisconsin', even though the monthly temperatures appear on the Madison
+//! page." This example shows both sides: what keyword search returns, and
+//! what the extracted structure answers — plus the guided path between
+//! them (keyword → suggested query forms → structured answer).
+//!
+//! Run with: `cargo run --example wikipedia_temperatures`
+
+use quarry::core::{Quarry, QuarryConfig};
+use quarry::corpus::{Corpus, CorpusConfig};
+use quarry::query::engine::{AggFn, Predicate, Query};
+use quarry::storage::Value;
+
+const MONTHS: [&str; 12] = [
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig { seed: 42, n_cities: 80, ..CorpusConfig::default() });
+    let mut quarry = Quarry::new(QuarryConfig::default()).expect("boot");
+    quarry.ingest(corpus.docs.clone());
+
+    // Extract every monthly temperature into a long-form table
+    // (city, month, temp) via twelve attribute extractions.
+    let month_attrs: Vec<String> = MONTHS.iter().map(|m| format!("\"{m}_temp\"")).collect();
+    let src = format!(
+        "PIPELINE temps FROM corpus\nEXTRACT infobox, rules\nWHERE attribute IN (\"name\", {})\nRESOLVE BY name\nSTORE INTO city_temps KEY name",
+        month_attrs.join(", ")
+    );
+    let stats = quarry.run_pipeline(&src).expect("pipeline");
+    println!("extracted {} rows of monthly temperatures", stats.rows_stored);
+
+    let city = &corpus.truth.cities[0];
+
+    // --- Mode 1: keyword search (what a 2009 search engine gives you). ---
+    let (hits, candidates) =
+        quarry.keyword(&format!("average march september temperature {}", city.name), 5);
+    println!("\nkeyword mode: top pages for the question:");
+    for h in hits.iter().take(3) {
+        let title = &corpus.docs[h.doc.index()].title;
+        println!("  {:>6.2}  {}", h.score, title);
+    }
+    println!("  → the page *contains* the numbers, but no answer.");
+    println!("  system suggests {} structured-query forms alongside.", candidates.len());
+
+    // --- Mode 2: structured querying over the derived structure. ---
+    // March..September = columns march_temp..september_temp; average them
+    // by summing the per-month aggregates.
+    let mut sum = 0.0;
+    let range = &MONTHS[2..=8];
+    for m in range {
+        let q = Query::scan("city_temps")
+            .filter(vec![Predicate::Eq("name".into(), city.name.as_str().into())])
+            .aggregate(None, AggFn::Avg, &format!("{m}_temp"));
+        let r = quarry.structured(&q).expect("query");
+        sum += r.scalar().and_then(Value::as_f64).expect("value");
+    }
+    let answer = sum / range.len() as f64;
+    let truth = city.avg_temp(2, 8);
+    println!("\nstructured mode: average March–September temperature in {}:", city.name);
+    println!("  system: {answer:.2} °F   ground truth: {truth:.2} °F");
+    assert!((answer - truth).abs() < 0.01, "exact structure ⇒ exact answer");
+
+    // --- The seamless transition: choose a suggested form and run it. ---
+    let (_, candidates) = quarry.keyword(&format!("average july_temp {}", city.name), 3);
+    let top = &candidates[0];
+    println!("\nguided mode: top suggested form: {}", top.query.display());
+    let r = quarry.structured(&top.query).expect("form runs");
+    println!("  answer: {}", r.rows[0].last().expect("value"));
+
+    let (gen, exploit) = quarry.dge.generation_exploitation_split();
+    println!("\nDGE log: {gen} generation events, {exploit} exploitation events");
+}

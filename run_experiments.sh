@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run every experiment (E1–E13) in release mode, teeing the combined output
+# to experiments_output.txt. Reproduces every number in EXPERIMENTS.md
+# (wall-clock columns vary with the machine; shapes should not).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BINARIES=(
+  e1_structure_vs_keyword
+  e2_hi_accuracy
+  e3_incremental
+  e4_storage
+  e5_optimizer
+  e6_mapreduce
+  e7_debugger
+  e8_translation
+  e9_provenance
+  e10_evolution
+  e11_recognize_vs_generate
+  e12_recovery
+  e13_distant_supervision
+)
+
+cargo build -p quarry-bench --release --bins
+
+{
+  for bin in "${BINARIES[@]}"; do
+    ./target/release/"$bin"
+    echo
+  done
+} | tee experiments_output.txt

@@ -1,0 +1,32 @@
+//! Quarry: an end-to-end system for managing unstructured data by
+//! extracting, integrating, and curating the structure hidden inside it.
+//!
+//! This façade crate re-exports every subsystem of the workspace under one
+//! namespace. See the README for the architecture overview and DESIGN.md for
+//! the subsystem inventory.
+//!
+//! - [`corpus`] — synthetic wiki corpus with ground truth (the data substrate)
+//! - [`storage`] — snapshot store, filestore, and mini-RDBMS (storage layer)
+//! - [`extract`] — information-extraction operators (processing layer, IE)
+//! - [`integrate`] — information-integration operators (processing layer, II)
+//! - [`hi`] — human-intervention simulation: oracles, crowds, reputation
+//! - [`uncertainty`] — probabilities, lineage, explanations
+//! - [`lang`] — the declarative IE+II+HI language and its optimizer
+//! - [`schema`] — schema registry and evolution
+//! - [`debugger`] — the semantic debugger
+//! - [`query`] — keyword search, structured queries, query translation
+//! - [`cluster`] — MapReduce-like parallel execution (physical layer)
+//! - [`core`] — the assembled end-to-end system
+
+pub use quarry_cluster as cluster;
+pub use quarry_core as core;
+pub use quarry_corpus as corpus;
+pub use quarry_debugger as debugger;
+pub use quarry_extract as extract;
+pub use quarry_hi as hi;
+pub use quarry_integrate as integrate;
+pub use quarry_lang as lang;
+pub use quarry_query as query;
+pub use quarry_schema as schema;
+pub use quarry_storage as storage;
+pub use quarry_uncertainty as uncertainty;

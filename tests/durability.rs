@@ -1,0 +1,152 @@
+//! Durability integration: crawl snapshots, WAL-backed structure, crash
+//! recovery, and schema evolution over the recovered store.
+
+use quarry::corpus::{Corpus, CorpusConfig, CrawlConfig, CrawlSimulator};
+use quarry::schema::{EvolutionOp, SchemaRegistry, VersionId};
+use quarry::storage::{Column, Database, DataType, SnapshotStore, TableSchema, Value};
+use std::path::PathBuf;
+
+fn tmpwal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("quarry-int-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn thirty_day_crawl_compresses_and_reconstructs() {
+    let corpus = Corpus::generate(&CorpusConfig::tiny(8));
+    let snaps = CrawlSimulator::new(
+        &corpus,
+        CrawlConfig { seed: 2, days: 30, churn: 0.03, new_page_rate: 0.2 },
+    )
+    .run();
+    let mut store = SnapshotStore::new(8);
+    for s in &snaps {
+        store.put_snapshot(s.docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
+    }
+    assert!(store.stats().compression_ratio() > 3.0);
+    // Spot-check exact reconstruction of every version of one document.
+    let title = &snaps[0].docs[0].title;
+    for (day, snap) in snaps.iter().enumerate() {
+        let expect = snap.docs.iter().find(|d| &d.title == title).unwrap();
+        assert_eq!(store.get(title, day).unwrap(), expect.text, "day {day}");
+    }
+}
+
+#[test]
+fn crash_recovery_preserves_committed_pipeline_output() {
+    let p = tmpwal("pipeline-crash");
+    let schema = TableSchema::new(
+        "cities",
+        vec![
+            Column::new("name", DataType::Text),
+            Column::new("population", DataType::Int),
+        ],
+        &["name"],
+        &["population"],
+    )
+    .unwrap();
+    {
+        let db = Database::open(&p).unwrap();
+        db.create_table(schema.clone()).unwrap();
+        let tx = db.begin();
+        db.insert(tx, "cities", vec!["Madison".into(), Value::Int(250_000)]).unwrap();
+        db.insert(tx, "cities", vec!["Oakton".into(), Value::Int(9_500)]).unwrap();
+        db.commit(tx).unwrap();
+        let tx2 = db.begin();
+        db.insert(tx2, "cities", vec!["Ghost".into(), Value::Int(1)]).unwrap();
+        // Crash before commit.
+    }
+    let db = Database::open(&p).unwrap();
+    let rows = db.scan_autocommit("cities").unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r[0] != Value::Text("Ghost".into())));
+    // The secondary index works post-recovery.
+    let tx = db.begin();
+    let hits = db.index_lookup(tx, "cities", "population", &Value::Int(9_500)).unwrap();
+    assert_eq!(hits.len(), 1);
+    db.commit(tx).unwrap();
+    std::fs::remove_file(&p).unwrap();
+}
+
+#[test]
+fn schema_evolution_survives_recovery() {
+    let p = tmpwal("evolution-crash");
+    let base = TableSchema::new(
+        "people",
+        vec![Column::new("name", DataType::Text)],
+        &["name"],
+        &[],
+    )
+    .unwrap();
+    let mut registry = SchemaRegistry::new();
+    registry.register(base.clone()).unwrap();
+    registry
+        .evolve(
+            "people",
+            EvolutionOp::AddColumn {
+                column: Column::nullable("employer", DataType::Text),
+                default: Value::Null,
+            },
+        )
+        .unwrap();
+    {
+        let db = Database::open(&p).unwrap();
+        db.create_table(base).unwrap();
+        db.insert_autocommit("people", vec!["David Smith".into()]).unwrap();
+        registry.migrate_database(&db, "people", VersionId(0)).unwrap();
+        let tx = db.begin();
+        db.update(
+            tx,
+            "people",
+            &["David Smith".into()],
+            vec!["David Smith".into(), "Acme Systems".into()],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+    }
+    // Recovery replays DDL (drop + create) and the migrated rows.
+    let db = Database::open(&p).unwrap();
+    let schema = db.schema("people").unwrap();
+    assert_eq!(schema.columns.len(), 2);
+    let rows = db.scan_autocommit("people").unwrap();
+    assert_eq!(rows, vec![vec![
+        Value::Text("David Smith".into()),
+        Value::Text("Acme Systems".into()),
+    ]]);
+    std::fs::remove_file(&p).unwrap();
+}
+
+#[test]
+fn wal_grows_with_work_and_recovery_is_complete_after_many_batches() {
+    let p = tmpwal("many-batches");
+    {
+        let db = Database::open(&p).unwrap();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![Column::new("k", DataType::Int), Column::new("v", DataType::Int)],
+                &["k"],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for batch in 0..20i64 {
+            let tx = db.begin();
+            for i in 0..10i64 {
+                db.insert(tx, "t", vec![Value::Int(batch * 10 + i), Value::Int(batch)]).unwrap();
+            }
+            if batch % 4 == 3 {
+                db.abort(tx).unwrap(); // every fourth batch is abandoned
+            } else {
+                db.commit(tx).unwrap();
+            }
+        }
+    }
+    let db = Database::open(&p).unwrap();
+    assert_eq!(db.row_count("t").unwrap(), 15 * 10);
+    std::fs::remove_file(&p).unwrap();
+}
