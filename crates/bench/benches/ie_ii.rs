@@ -3,13 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_exec::{ExecPool, ExecReport};
 use quarry_extract::dictionary::Gazetteer;
+use quarry_extract::pipeline::{extract_all, extract_all_with, ExtractorSet};
 use quarry_extract::regex::Regex;
 use quarry_extract::rules::standard_rules;
 use quarry_extract::token::tokenize;
 use quarry_extract::{infobox, rules};
-use quarry_integrate::similarity::{jaro_winkler, levenshtein, name_similarity, qgram_jaccard};
 use quarry_integrate::blocking;
+use quarry_integrate::matcher::{decide, MatchConfig, Record};
+use quarry_integrate::similarity::{jaro_winkler, levenshtein, name_similarity, qgram_jaccard};
+use quarry_integrate::{score_pairs, SimCache};
+use quarry_storage::Value;
 use std::hint::black_box;
 
 fn corpus() -> Corpus {
@@ -32,9 +37,7 @@ fn bench_regex(c: &mut Criterion) {
 fn bench_tokenize(c: &mut Criterion) {
     let corpus = corpus();
     let text = &corpus.docs[0].text;
-    c.bench_function("token/tokenize-city-page", |b| {
-        b.iter(|| tokenize(black_box(text)).len())
-    });
+    c.bench_function("token/tokenize-city-page", |b| b.iter(|| tokenize(black_box(text)).len()));
 }
 
 fn bench_extractors(c: &mut Criterion) {
@@ -76,12 +79,8 @@ fn bench_blocking(c: &mut Criterion) {
         duplicate_rate: 0.4,
         ..CorpusConfig::default()
     });
-    let titles: Vec<String> = corpus
-        .truth
-        .people
-        .iter()
-        .map(|p| corpus.docs[p.doc.index()].title.clone())
-        .collect();
+    let titles: Vec<String> =
+        corpus.truth.people.iter().map(|p| corpus.docs[p.doc.index()].title.clone()).collect();
     c.bench_function("blocking/key-400-records", |b| {
         b.iter(|| {
             blocking::key_blocking(black_box(&titles), |t| {
@@ -95,6 +94,72 @@ fn bench_blocking(c: &mut Criterion) {
     });
 }
 
+/// ≥2k-document corpus for the sequential-vs-parallel comparison.
+fn big_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        seed: 11,
+        n_cities: 400,
+        n_people: 900,
+        duplicate_rate: 0.3,
+        n_companies: 300,
+        n_publications: 300,
+        ..CorpusConfig::default()
+    })
+}
+
+fn bench_parallel_extract(c: &mut Criterion) {
+    let corpus = big_corpus();
+    assert!(corpus.docs.len() >= 2000, "corpus too small: {}", corpus.docs.len());
+    let set = ExtractorSet::standard();
+    c.bench_function("exec/extract-2k-docs-sequential", |b| {
+        b.iter(|| extract_all(black_box(&corpus), &set).len())
+    });
+    for threads in [2, 4] {
+        let pool = ExecPool::new(threads);
+        c.bench_function(&format!("exec/extract-2k-docs-{threads}-threads"), |b| {
+            b.iter(|| {
+                let mut report = ExecReport::new();
+                extract_all_with(black_box(&corpus), &set, &pool, &mut report).len()
+            })
+        });
+    }
+}
+
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let corpus = big_corpus();
+    let records: Vec<Record> = corpus
+        .truth
+        .people
+        .iter()
+        .take(400)
+        .enumerate()
+        .map(|(i, p)| {
+            Record::new(
+                i,
+                [
+                    ("name", Value::Text(p.name.clone())),
+                    ("birth_year", Value::Int(p.birth_year as i64)),
+                ],
+            )
+        })
+        .collect();
+    let pairs = blocking::all_pairs(records.len());
+    let cfg = MatchConfig::default();
+    c.bench_function("exec/score-80k-pairs-sequential", |b| {
+        b.iter(|| pairs.iter().map(|&(i, j)| decide(&records[i], &records[j], &cfg).1).sum::<f64>())
+    });
+    for threads in [2, 4] {
+        let pool = ExecPool::new(threads);
+        c.bench_function(&format!("exec/score-80k-pairs-{threads}-threads"), |b| {
+            b.iter(|| {
+                let cache = SimCache::default();
+                let mut report = ExecReport::new();
+                score_pairs(&records, &pairs, &cfg, &pool, Some(&cache), &mut report).len()
+            })
+        });
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -105,6 +170,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_regex, bench_tokenize, bench_extractors, bench_similarity, bench_blocking
+    targets = bench_regex, bench_tokenize, bench_extractors, bench_similarity, bench_blocking,
+        bench_parallel_extract, bench_parallel_scoring
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_query::engine::{execute, AggFn, Predicate, Query};
 use quarry_query::{InvertedIndex, Translator};
-use quarry_storage::{Column, Database, DataType, TableSchema, Value};
+use quarry_storage::{Column, DataType, Database, TableSchema, Value};
 use std::hint::black_box;
 
 fn corpus() -> Corpus {
@@ -74,7 +74,11 @@ fn bench_engine(c: &mut Criterion) {
     });
     let join = Query::scan("temps")
         .filter(vec![Predicate::Eq("month".into(), Value::Int(7))])
-        .join(Query::scan("temps").filter(vec![Predicate::Eq("month".into(), Value::Int(1))]), "city", "city")
+        .join(
+            Query::scan("temps").filter(vec![Predicate::Eq("month".into(), Value::Int(1))]),
+            "city",
+            "city",
+        )
         .project(&["city", "temp", "right.temp"]);
     c.bench_function("engine/self-join-150x150", |b| {
         b.iter(|| execute(&db, black_box(&join)).unwrap().rows.len())

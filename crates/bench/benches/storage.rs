@@ -2,7 +2,7 @@
 //! snapshot store, and the structured store's hot paths.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use quarry_storage::{delta, Column, Database, DataType, SnapshotStore, TableSchema, Value, Wal};
+use quarry_storage::{delta, Column, DataType, Database, SnapshotStore, TableSchema, Value, Wal};
 use std::hint::black_box;
 
 fn page(lines: usize, edit: usize) -> String {
@@ -120,9 +120,7 @@ fn bench_database(c: &mut Criterion) {
             rows.len()
         })
     });
-    c.bench_function("db/scan-10k", |b| {
-        b.iter(|| db.scan_autocommit("t").unwrap().len())
-    });
+    c.bench_function("db/scan-10k", |b| b.iter(|| db.scan_autocommit("t").unwrap().len()));
     // Key source survives criterion re-invoking the setup closure.
     static NEXT_KEY: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(1_000_000);
     c.bench_function("db/insert-commit", |b| {

@@ -5,9 +5,9 @@
 //! tables, and verifies lossless round-trips (split → merge returns the
 //! original rows).
 
-use quarry_bench::{banner, f1, Table, timed};
+use quarry_bench::{banner, f1, timed, Table};
 use quarry_schema::{EvolutionOp, SchemaRegistry, VersionId};
-use quarry_storage::{Column, Database, DataType, TableSchema, Value};
+use quarry_storage::{Column, DataType, Database, TableSchema, Value};
 
 fn base_schema() -> TableSchema {
     TableSchema::new(
@@ -85,15 +85,8 @@ fn main() {
             }
             reg
         });
-        let (_, ms_mig) = timed(|| {
-            registry.migrate_database(&db, "cities", VersionId(0)).unwrap()
-        });
-        table.row(&[
-            n.to_string(),
-            f1(ms_reg),
-            f1(ms_mig),
-            f1(n as f64 / ms_mig.max(0.001)),
-        ]);
+        let (_, ms_mig) = timed(|| registry.migrate_database(&db, "cities", VersionId(0)).unwrap());
+        table.row(&[n.to_string(), f1(ms_reg), f1(ms_mig), f1(n as f64 / ms_mig.max(0.001))]);
 
         // Round-trip check: split+merge returned the original location text.
         let migrated = db.scan_autocommit("cities").unwrap();

@@ -53,22 +53,19 @@ fn main() {
     };
 
     let mut user = SimulatedUser::new(0, 0.05, 17);
-    let mut table = Table::new(&["budget k", "recognition (ranked top-k)", "generation (blind scan)"]);
+    let mut table =
+        Table::new(&["budget k", "recognition (ranked top-k)", "generation (blind scan)"]);
     for k in [1usize, 3, 5, 10, 20] {
         let mut recog = 0usize;
         let mut blind = 0usize;
         for (qi, &left) in originals.iter().enumerate() {
-            let truth_right = duplicates
-                .iter()
-                .copied()
-                .find(|&d| people[d].entity == people[left].entity);
+            let truth_right =
+                duplicates.iter().copied().find(|&d| people[d].entity == people[left].entity);
             let Some(truth_right) = truth_right else { continue };
 
             // Recognition: rank all candidates by matcher score, show top-k.
-            let mut scored: Vec<(usize, f64)> = duplicates
-                .iter()
-                .map(|&d| (d, match_score(&rec(left), &rec(d), &cfg)))
-                .collect();
+            let mut scored: Vec<(usize, f64)> =
+                duplicates.iter().map(|&d| (d, match_score(&rec(left), &rec(d), &cfg))).collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             if scan(&mut user, qi, left, truth_right, scored.iter().take(k).map(|(d, _)| *d)) {
                 recog += 1;

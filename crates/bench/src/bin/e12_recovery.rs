@@ -7,8 +7,8 @@
 //! whose commit record survived is fully present; everything else is fully
 //! absent. Also: recovery time vs. log size.
 
-use quarry_bench::{banner, f1, Table, timed};
-use quarry_storage::{Column, Database, DataType, TableSchema, Value, Wal};
+use quarry_bench::{banner, f1, timed, Table};
+use quarry_storage::{Column, DataType, Database, TableSchema, Value, Wal};
 use std::path::PathBuf;
 
 fn tmpwal(tag: &str) -> PathBuf {
@@ -43,7 +43,8 @@ fn main() {
         for batch in 0..30i64 {
             let tx = db.begin();
             for i in 0..20i64 {
-                db.insert(tx, "facts", vec![Value::Int(batch * 20 + i), Value::Int(batch)]).unwrap();
+                db.insert(tx, "facts", vec![Value::Int(batch * 20 + i), Value::Int(batch)])
+                    .unwrap();
             }
             db.commit(tx).unwrap();
         }

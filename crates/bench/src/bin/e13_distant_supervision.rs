@@ -57,7 +57,10 @@ fn main() {
     );
 
     let distant = DistantExtractor::train(&train_docs, "population", 0.8);
-    println!("distant extractor trained from {} auto-labeled pages (no human labels)\n", distant.training_docs);
+    println!(
+        "distant extractor trained from {} auto-labeled pages (no human labels)\n",
+        distant.training_docs
+    );
     let prose = standard_rules();
 
     let recall = |extract: &dyn Fn(&Document) -> Vec<Extraction>| -> (f64, f64) {

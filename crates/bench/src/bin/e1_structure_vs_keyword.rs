@@ -35,8 +35,18 @@ fn main() {
     let db = Database::in_memory();
     let registry = ExtractorRegistry::standard();
     let months = [
-        "january", "february", "march", "april", "may", "june", "july", "august", "september",
-        "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
     let month_attrs: Vec<String> = months.iter().map(|m| format!("\"{m}_temp\"")).collect();
     let src = format!(
@@ -69,7 +79,12 @@ fn main() {
         }
     }
     let n = cities.len();
-    table.row(&["lookup (find the page/value)".into(), f3(kw as f64 / n as f64), f3(st as f64 / n as f64), n.to_string()]);
+    table.row(&[
+        "lookup (find the page/value)".into(),
+        f3(kw as f64 / n as f64),
+        f3(st as f64 / n as f64),
+        n.to_string(),
+    ]);
 
     // --- Class 2: aggregate (average March–September temperature). --------
     let mut kw = 0;
@@ -101,7 +116,12 @@ fn main() {
             st += 1;
         }
     }
-    table.row(&["aggregate (avg Mar–Sep temp)".into(), f3(kw as f64 / n as f64), f3(st as f64 / n as f64), n.to_string()]);
+    table.row(&[
+        "aggregate (avg Mar–Sep temp)".into(),
+        f3(kw as f64 / n as f64),
+        f3(st as f64 / n as f64),
+        n.to_string(),
+    ]);
 
     // --- Class 3: comparison (which of two cities is warmer in July?). ----
     let mut kw = 0;
@@ -110,16 +130,14 @@ fn main() {
     for w in cities.chunks(2) {
         let [a, b] = w else { continue };
         pairs += 1;
-        let truth_warmer = if a.monthly_temp_f[6] >= b.monthly_temp_f[6] { &a.name } else { &b.name };
+        let truth_warmer =
+            if a.monthly_temp_f[6] >= b.monthly_temp_f[6] { &a.name } else { &b.name };
         let hits = index.search(&format!("warmer july {} {}", a.name, b.name), 5);
         // Keyword can only "answer" if some page compares them (none does).
-        if hits
-            .iter()
-            .any(|h| {
-                let t = &corpus.docs[h.doc.index()].text;
-                t.contains(a.name.as_str()) && t.contains(b.name.as_str())
-            })
-        {
+        if hits.iter().any(|h| {
+            let t = &corpus.docs[h.doc.index()].text;
+            t.contains(a.name.as_str()) && t.contains(b.name.as_str())
+        }) {
             kw += 1;
         }
         let q = Query::scan("cities")
@@ -142,7 +160,12 @@ fn main() {
             }
         }
     }
-    table.row(&["comparison (warmer in July)".into(), f3(kw as f64 / pairs as f64), f3(st as f64 / pairs as f64), pairs.to_string()]);
+    table.row(&[
+        "comparison (warmer in July)".into(),
+        f3(kw as f64 / pairs as f64),
+        f3(st as f64 / pairs as f64),
+        pairs.to_string(),
+    ]);
 
     // --- Class 4: ranking (top-3 most populous cities in a state). --------
     let mut kw = 0;
@@ -161,10 +184,8 @@ fn main() {
         truth.sort_by_key(|&(_, pop)| std::cmp::Reverse(pop));
         truth.truncate(3);
         let hits = index.search(&format!("most populous cities {state}"), 5);
-        let top_pages: Vec<&str> = hits
-            .iter()
-            .map(|h| corpus.docs[h.doc.index()].title.as_str())
-            .collect();
+        let top_pages: Vec<&str> =
+            hits.iter().map(|h| corpus.docs[h.doc.index()].title.as_str()).collect();
         if truth.iter().all(|(name, _)| top_pages.iter().any(|t| t.starts_with(name))) {
             kw += 1;
         }
@@ -179,15 +200,21 @@ fn main() {
                 .collect();
             got.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             got.truncate(3);
-            if got.len() == truth.len()
-                && got.iter().zip(&truth).all(|((gn, _), (tn, _))| gn == tn)
+            if got.len() == truth.len() && got.iter().zip(&truth).all(|((gn, _), (tn, _))| gn == tn)
             {
                 st += 1;
             }
         }
     }
-    table.row(&["ranking (top-3 by population)".into(), f3(kw as f64 / states.len() as f64), f3(st as f64 / states.len() as f64), states.len().to_string()]);
+    table.row(&[
+        "ranking (top-3 by population)".into(),
+        f3(kw as f64 / states.len() as f64),
+        f3(st as f64 / states.len() as f64),
+        states.len().to_string(),
+    ]);
 
     table.print();
-    println!("\nexpected shape: keyword competitive only on page lookup; structured ≈ 1.0 everywhere.");
+    println!(
+        "\nexpected shape: keyword competitive only on page lookup; structured ≈ 1.0 everywhere."
+    );
 }

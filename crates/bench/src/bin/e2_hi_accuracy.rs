@@ -23,10 +23,7 @@ fn items(corpus: &Corpus) -> Vec<UncertainItem> {
     let rec = |id: usize, t: &str, p: &PersonFact| {
         Record::new(
             id,
-            [
-                ("name", Value::Text(t.to_string())),
-                ("residence", Value::Text(p.residence.clone())),
-            ],
+            [("name", Value::Text(t.to_string())), ("residence", Value::Text(p.residence.clone()))],
         )
     };
     let mut out = Vec::new();
@@ -99,12 +96,8 @@ fn main() {
     // agreement), so verifying positives first pays off fastest — the
     // policy comparison is the ablation DESIGN.md calls for.
     let reviewable = its.iter().filter(|i| i.auto_score >= 0.55).count();
-    let mut t = Table::new(&[
-        "budget (questions)",
-        "random",
-        "uncertainty-first",
-        "verify-positives",
-    ]);
+    let mut t =
+        Table::new(&["budget (questions)", "random", "uncertainty-first", "verify-positives"]);
     for frac in [0.0, 0.05, 0.1, 0.25, 0.5, 1.0] {
         let budget = ((reviewable as f64 * frac) as u32) * 5;
         let mut cells = vec![format!("{}", budget / 5)];
@@ -146,17 +139,18 @@ fn main() {
         }
         t.row(&cells);
     }
-    println!("\nF1 vs crowd size and user error (budget covers all positives + the uncertain band):");
+    println!(
+        "\nF1 vs crowd size and user error (budget covers all positives + the uncertain band):"
+    );
     t.print();
 
     // --- Sweep 3: majority vs reputation with a mixed crowd. ---------------
     println!("\nmixed crowd (2 good @5%, 3 careless @45% error), 5 votes, full budget:");
     let rates = [0.05, 0.45, 0.45, 0.05, 0.45];
     let mut t = Table::new(&["voting", "F1", "overrides"]);
-    for (label, rep) in [
-        ("plain majority", None),
-        ("reputation-weighted", Some(ReputationTracker::new())),
-    ] {
+    for (label, rep) in
+        [("plain majority", None), ("reputation-weighted", Some(ReputationTracker::new()))]
+    {
         let mut crowd = Crowd::new(panel(5, &rates, 31));
         // Reputation warm-up on gold questions, as the user layer would.
         let mut rep = rep;

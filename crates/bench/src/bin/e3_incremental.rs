@@ -7,15 +7,28 @@
 //! fraction, incremental wins by roughly that fraction.
 
 use quarry_bench::{banner, f1, Table};
-use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_core::IncrementalManager;
+use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_lang::{ExecContext, ExtractorRegistry};
 use quarry_storage::Database;
 
 const ALL_ATTRS: [&str; 16] = [
-    "state", "population", "founded", "area_sq_mi", "january_temp", "february_temp",
-    "march_temp", "april_temp", "may_temp", "june_temp", "july_temp", "august_temp",
-    "september_temp", "october_temp", "november_temp", "december_temp",
+    "state",
+    "population",
+    "founded",
+    "area_sq_mi",
+    "january_temp",
+    "february_temp",
+    "march_temp",
+    "april_temp",
+    "may_temp",
+    "june_temp",
+    "july_temp",
+    "august_temp",
+    "september_temp",
+    "october_temp",
+    "november_temp",
+    "december_temp",
 ];
 
 fn main() {
@@ -24,8 +37,15 @@ fn main() {
         "\"generate structured data incrementally, in a best-effort fashion, as the \
          user deems necessary (instead of generating all of them in one shot)\" (§3.2)",
     );
-    let corpus = Corpus::generate(&CorpusConfig { seed: 3, n_cities: 120, ..CorpusConfig::default() });
-    let extractors = ["infobox", "rules", "rule:monthly-temperature", "rule:population-of", "rule:founded-and-area"];
+    let corpus =
+        Corpus::generate(&CorpusConfig { seed: 3, n_cities: 120, ..CorpusConfig::default() });
+    let extractors = [
+        "infobox",
+        "rules",
+        "rule:monthly-temperature",
+        "rule:population-of",
+        "rule:founded-and-area",
+    ];
 
     // One-shot baseline: everything up front.
     let registry = ExtractorRegistry::standard();
@@ -44,10 +64,21 @@ fn main() {
         ("founded before 1850", vec!["founded"]),
         ("January vs July", vec!["january_temp", "july_temp"]),
         ("area density", vec!["area_sq_mi", "population"]),
-        ("full seasonal profile", vec![
-            "february_temp", "march_temp", "april_temp", "may_temp", "june_temp",
-            "august_temp", "september_temp", "october_temp", "november_temp", "december_temp",
-        ]),
+        (
+            "full seasonal profile",
+            vec![
+                "february_temp",
+                "march_temp",
+                "april_temp",
+                "may_temp",
+                "june_temp",
+                "august_temp",
+                "september_temp",
+                "october_temp",
+                "november_temp",
+                "december_temp",
+            ],
+        ),
         ("by state", vec!["state"]),
     ];
 
@@ -55,19 +86,9 @@ fn main() {
     let db2 = Database::in_memory();
     let mut ctx2 = ExecContext::new(&corpus.docs, &registry2, &db2);
     let mut mgr = IncrementalManager::new("cities", "name");
-    let mut table = Table::new(&[
-        "query",
-        "new attrs",
-        "marginal cost",
-        "cumulative",
-        "one-shot",
-    ]);
+    let mut table = Table::new(&["query", "new attrs", "marginal cost", "cumulative", "one-shot"]);
     for (label, attrs) in &workload {
-        let new: Vec<&str> = attrs
-            .iter()
-            .copied()
-            .filter(|a| !mgr.covers(&[a]))
-            .collect();
+        let new: Vec<&str> = attrs.iter().copied().filter(|a| !mgr.covers(&[a])).collect();
         let marginal = match mgr.ensure(attrs, &extractors, &mut ctx2).unwrap() {
             Some(s) => s.cost_units,
             None => 0.0,

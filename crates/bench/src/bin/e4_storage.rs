@@ -6,11 +6,9 @@
 //! (c) Concurrent user edits → strict 2PL serializes correctly; the
 //!     "no transactions" strawman loses updates.
 
-use quarry_bench::{banner, f1, Table, timed};
+use quarry_bench::{banner, f1, timed, Table};
 use quarry_corpus::{Corpus, CorpusConfig, CrawlConfig, CrawlSimulator};
-use quarry_storage::{
-    Column, Database, DataType, FileStore, SnapshotStore, TableSchema, Value,
-};
+use quarry_storage::{Column, DataType, Database, FileStore, SnapshotStore, TableSchema, Value};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -68,12 +66,7 @@ fn part_b_scan_throughput() {
         }
         fs.sync().unwrap();
     });
-    let (bytes, r_fs) = timed(|| {
-        fs.scan()
-            .unwrap()
-            .map(|r| r.unwrap().len())
-            .sum::<usize>()
-    });
+    let (bytes, r_fs) = timed(|| fs.scan().unwrap().map(|r| r.unwrap().len()).sum::<usize>());
 
     let db = Database::in_memory();
     db.create_table(
@@ -89,8 +82,7 @@ fn part_b_scan_throughput() {
     let (_, w_db) = timed(|| {
         let tx = db.begin();
         for i in 0..n {
-            db.insert(tx, "intermediate", vec![Value::Int(i as i64), record(i).into()])
-                .unwrap();
+            db.insert(tx, "intermediate", vec![Value::Int(i as i64), record(i).into()]).unwrap();
         }
         db.commit(tx).unwrap();
     });

@@ -7,7 +7,7 @@
 //! Swept over corpus size. The result table must be identical under every
 //! configuration — optimization may only change cost, never answers.
 
-use quarry_bench::{banner, f1, Table, timed};
+use quarry_bench::{banner, f1, timed, Table};
 use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_lang::plan::{optimize_with, OptimizerConfig};
 use quarry_lang::{parse, ExecContext, ExtractorRegistry, LogicalPlan};
@@ -35,24 +35,33 @@ fn main() {
     let configs: [(&str, OptimizerConfig); 3] = [
         (
             "baseline (filters placed only)",
-            OptimizerConfig { filter_placement: true, extractor_pruning: false, cost_ordering: false },
+            OptimizerConfig {
+                filter_placement: true,
+                extractor_pruning: false,
+                cost_ordering: false,
+            },
         ),
         (
             "+ extractor pruning",
-            OptimizerConfig { filter_placement: true, extractor_pruning: true, cost_ordering: false },
+            OptimizerConfig {
+                filter_placement: true,
+                extractor_pruning: true,
+                cost_ordering: false,
+            },
         ),
         (
             "+ cost ordering (full)",
-            OptimizerConfig { filter_placement: true, extractor_pruning: true, cost_ordering: true },
+            OptimizerConfig {
+                filter_placement: true,
+                extractor_pruning: true,
+                cost_ordering: true,
+            },
         ),
     ];
 
     for n_cities in [50usize, 150, 300] {
-        let corpus = Corpus::generate(&CorpusConfig {
-            seed: 5,
-            n_cities,
-            ..CorpusConfig::default()
-        });
+        let corpus =
+            Corpus::generate(&CorpusConfig { seed: 5, n_cities, ..CorpusConfig::default() });
         println!("corpus: {n_cities} cities, {} docs", corpus.docs.len());
         let registry = ExtractorRegistry::standard();
         let naive = LogicalPlan::from_pipeline(&parse(SRC).unwrap());

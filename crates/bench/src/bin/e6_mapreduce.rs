@@ -8,7 +8,7 @@
 //! overhead, not speedup; the fault-injection half is hardware-independent)
 //! and injected worker-failure rates, checking exactness throughout.
 
-use quarry_bench::{banner, f1, Table, timed};
+use quarry_bench::{banner, f1, timed, Table};
 use quarry_cluster::{run, FaultPlan, JobConfig};
 use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_extract::{pipeline::ExtractorSet, Extraction};
@@ -22,16 +22,15 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("host parallelism: {cores} core(s)\n");
 
-    let corpus = Corpus::generate(&CorpusConfig { seed: 6, n_cities: 150, ..CorpusConfig::default() });
+    let corpus =
+        Corpus::generate(&CorpusConfig { seed: 6, n_cities: 150, ..CorpusConfig::default() });
     let docs = &corpus.docs;
     let mapper = |doc: &quarry_corpus::Document| -> Vec<(String, usize)> {
         let set = ExtractorSet::standard();
-        set.extract_doc(doc)
-            .into_iter()
-            .map(|e: Extraction| (e.attribute, 1))
-            .collect()
+        set.extract_doc(doc).into_iter().map(|e: Extraction| (e.attribute, 1)).collect()
     };
-    let reducer = |attr: &String, counts: Vec<usize>| vec![(attr.clone(), counts.iter().sum::<usize>())];
+    let reducer =
+        |attr: &String, counts: Vec<usize>| vec![(attr.clone(), counts.iter().sum::<usize>())];
 
     // --- Worker sweep, no faults. ------------------------------------------
     let mut table = Table::new(&["workers", "wall ms", "map attempts", "distinct attrs"]);

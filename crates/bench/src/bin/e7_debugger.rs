@@ -43,11 +43,17 @@ fn main() {
          suspicious\" (§4 Part VI)",
     );
     // Train on one (clean) corpus, test on corrupted tuples from another.
-    let train = Corpus::generate(&CorpusConfig { seed: 70, n_cities: 300, ..CorpusConfig::default() });
-    let test = Corpus::generate(&CorpusConfig { seed: 71, n_cities: 200, ..CorpusConfig::default() });
+    let train =
+        Corpus::generate(&CorpusConfig { seed: 70, n_cities: 300, ..CorpusConfig::default() });
+    let test =
+        Corpus::generate(&CorpusConfig { seed: 71, n_cities: 200, ..CorpusConfig::default() });
     let (columns, train_rows) = city_rows(&train);
     let dbg = SemanticDebugger::learn(&columns, &train_rows, &LearnConfig::default());
-    println!("learned {} constraints from {} clean rows\n", dbg.constraints().len(), train_rows.len());
+    println!(
+        "learned {} constraints from {} clean rows\n",
+        dbg.constraints().len(),
+        train_rows.len()
+    );
 
     let col_spec: Vec<(&str, bool)> = vec![
         ("name", false),
@@ -78,11 +84,7 @@ fn main() {
     let flags = dbg.check(&one);
     println!(
         "\nliteral paper example: july_temp = 135 → {}",
-        if flags.iter().any(|f| f.attribute == "july_temp") {
-            "FLAGGED"
-        } else {
-            "missed"
-        }
+        if flags.iter().any(|f| f.attribute == "july_temp") { "FLAGGED" } else { "missed" }
     );
     println!("\nexpected shape: precision stays high at every rate; recall above ~0.5\n(SwappedValue corruptions are in-domain and partly invisible by design).");
 }

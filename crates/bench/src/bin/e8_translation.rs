@@ -9,7 +9,7 @@ use quarry_bench::{banner, f3, Table};
 use quarry_corpus::{Corpus, CorpusConfig, NoiseConfig};
 use quarry_query::engine::execute;
 use quarry_query::Translator;
-use quarry_storage::{Column, Database, DataType, TableSchema, Value};
+use quarry_storage::{Column, DataType, Database, TableSchema, Value};
 
 fn build_db(corpus: &Corpus, tables: usize) -> Database {
     let db = Database::in_memory();
@@ -57,8 +57,18 @@ fn build_db(corpus: &Corpus, tables: usize) -> Database {
         )
         .unwrap();
         let months = [
-            "January", "February", "March", "April", "May", "June", "July", "August",
-            "September", "October", "November", "December",
+            "January",
+            "February",
+            "March",
+            "April",
+            "May",
+            "June",
+            "July",
+            "August",
+            "September",
+            "October",
+            "November",
+            "December",
         ];
         for c in &corpus.truth.cities {
             for (m, t) in c.monthly_temp_f.iter().enumerate() {
@@ -148,8 +158,7 @@ fn intents(corpus: &Corpus) -> Vec<Intent> {
             keywords: phrasing,
             expect: Box::new(move |r| r.rows.iter().flatten().any(|v| *v == pop)),
         });
-        let avg: f64 =
-            c.monthly_temp_f.iter().map(|&t| t as f64).sum::<f64>() / 12.0;
+        let avg: f64 = c.monthly_temp_f.iter().map(|&t| t as f64).sum::<f64>() / 12.0;
         let phrasing = match i % 3 {
             0 => format!("average temp {}", c.name),
             1 => format!("mean temperature in {}", c.name),

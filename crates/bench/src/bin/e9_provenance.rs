@@ -6,9 +6,9 @@
 //! (c) Confidence calibration: are the extractors' confidences honest
 //!     probabilities? (reliability bins + Brier/ECE against ground truth)
 
-use quarry_bench::{banner, f3, Table, timed};
-use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_bench::{banner, f3, timed, Table};
 use quarry_core::{Quarry, QuarryConfig};
+use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_extract::{eval, extract_all, ExtractorSet};
 use quarry_uncertainty::prob::CalibrationReport;
 
@@ -27,23 +27,29 @@ fn main() {
          processes. It also provides the provenance and explanation for the derived \
          structured data\" (§4)",
     );
-    let corpus = Corpus::generate(&CorpusConfig { seed: 9, n_cities: 150, ..CorpusConfig::default() });
+    let corpus =
+        Corpus::generate(&CorpusConfig { seed: 9, n_cities: 150, ..CorpusConfig::default() });
 
     // --- (a) lineage overhead. ---------------------------------------------
-    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    let mut q = Quarry::new(QuarryConfig::builder().build()).unwrap();
     q.ingest(corpus.docs.clone());
     let (_, ms_pipeline) = timed(|| q.run_pipeline(PIPELINE).unwrap());
     let (nodes, ms_lineage) = timed(|| q.record_lineage("cities").unwrap());
     let mut t = Table::new(&["phase", "wall ms", "artifacts"]);
-    t.row(&["pipeline (no lineage)".into(), format!("{ms_pipeline:.1}"), format!("{} rows", nodes.len())]);
-    t.row(&["lineage construction".into(), format!("{ms_lineage:.1}"), format!("{} graph nodes", q.lineage.len())]);
+    t.row(&[
+        "pipeline (no lineage)".into(),
+        format!("{ms_pipeline:.1}"),
+        format!("{} rows", nodes.len()),
+    ]);
+    t.row(&[
+        "lineage construction".into(),
+        format!("{ms_lineage:.1}"),
+        format!("{} graph nodes", q.lineage.len()),
+    ]);
     t.print();
 
     // --- (b) explanation completeness. --------------------------------------
-    let traced = nodes
-        .iter()
-        .filter(|(_, n)| !q.lineage.source_spans(*n).is_empty())
-        .count();
+    let traced = nodes.iter().filter(|(_, n)| !q.lineage.source_spans(*n).is_empty()).count();
     println!(
         "\nexplanation completeness: {traced}/{} stored tuples trace to ≥1 source span ({:.1}%)",
         nodes.len(),

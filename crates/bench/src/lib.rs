@@ -34,11 +34,8 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", padded.join("  "));
         };
         line(&self.headers);

@@ -75,9 +75,9 @@ where
     // ------------------------------------------------------------------
     // Map phase: shared queue of task ids; failed attempts re-queue.
     // ------------------------------------------------------------------
-    let queue: Mutex<TaskQueue> =
-        Mutex::new((0..inputs.len()).map(|t| (t, 0u32)).rev().collect());
-    let buckets: Vec<Mutex<Vec<(K, V)>>> = (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    let queue: Mutex<TaskQueue> = Mutex::new((0..inputs.len()).map(|t| (t, 0u32)).rev().collect());
+    let buckets: Vec<Mutex<Vec<(K, V)>>> =
+        (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
     let attempts = AtomicUsize::new(0);
     let failures = AtomicUsize::new(0);
 
@@ -152,11 +152,7 @@ where
     });
 
     // Merge partitions in key order.
-    let mut merged: Vec<(K, Vec<O>)> = outputs
-        .into_inner()
-        .into_values()
-        .flatten()
-        .collect();
+    let mut merged: Vec<(K, Vec<O>)> = outputs.into_inner().into_values().flatten().collect();
     merged.sort_by(|a, b| a.0.cmp(&b.0));
     let out: Vec<O> = merged.into_iter().flat_map(|(_, os)| os).collect();
 
@@ -177,22 +173,14 @@ mod tests {
     fn word_count(texts: &[&str], config: &JobConfig) -> (Vec<(String, usize)>, JobStats) {
         run(
             texts,
-            |t: &&str| {
-                t.split_whitespace()
-                    .map(|w| (w.to_string(), 1usize))
-                    .collect()
-            },
+            |t: &&str| t.split_whitespace().map(|w| (w.to_string(), 1usize)).collect(),
             |k: &String, vs: Vec<usize>| vec![(k.clone(), vs.into_iter().sum::<usize>())],
             config,
         )
     }
 
-    const TEXTS: [&str; 4] = [
-        "the quick brown fox",
-        "the lazy dog",
-        "the quick dog",
-        "brown dog brown dog",
-    ];
+    const TEXTS: [&str; 4] =
+        ["the quick brown fox", "the lazy dog", "the quick dog", "brown dog brown dog"];
 
     fn expected() -> Vec<(String, usize)> {
         vec![
@@ -285,10 +273,7 @@ mod tests {
         // correctness (above) is checkable.
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if cores >= 4 {
-            assert!(
-                d4 < d1,
-                "4 workers ({d4:?}) should beat 1 worker ({d1:?}) on {cores} cores"
-            );
+            assert!(d4 < d1, "4 workers ({d4:?}) should beat 1 worker ({d1:?}) on {cores} cores");
         }
     }
 }

@@ -212,10 +212,7 @@ mod tests {
             }
         }
         assert!(applied, "enough small voices add up");
-        assert_eq!(
-            db.scan_autocommit("cities").unwrap()[0][1],
-            Value::Int(250_000)
-        );
+        assert_eq!(db.scan_autocommit("cities").unwrap()[0][1], Value::Int(250_000));
     }
 
     #[test]

@@ -63,11 +63,8 @@ impl IncrementalManager {
         extractors: &[&str],
         ctx: &mut ExecContext<'_>,
     ) -> Result<Option<ExecStats>, ExecError> {
-        let new: Vec<&str> = attrs
-            .iter()
-            .copied()
-            .filter(|a| !self.materialized.contains(*a))
-            .collect();
+        let new: Vec<&str> =
+            attrs.iter().copied().filter(|a| !self.materialized.contains(*a)).collect();
         if new.is_empty() {
             return Ok(None);
         }
@@ -76,11 +73,7 @@ impl IncrementalManager {
         }
         self.materialized.insert(self.key.clone());
 
-        let attr_list: Vec<String> = self
-            .materialized
-            .iter()
-            .map(|a| format!("\"{a}\""))
-            .collect();
+        let attr_list: Vec<String> = self.materialized.iter().map(|a| format!("\"{a}\"")).collect();
         let src = format!(
             "PIPELINE incremental_{table}\nFROM corpus\nEXTRACT {ex}\nWHERE attribute IN ({attrs})\nRESOLVE BY {key}\nSTORE INTO {table} KEY {key}",
             table = self.table,
@@ -138,14 +131,8 @@ mod tests {
         let db = Database::in_memory();
         let mut ctx = ExecContext::new(&c.docs, &reg, &db);
         let mut mgr = IncrementalManager::new("cities", "name");
-        let s1 = mgr
-            .ensure(&["population"], &["infobox", "rules"], &mut ctx)
-            .unwrap()
-            .unwrap();
-        let s2 = mgr
-            .ensure(&["state"], &["infobox", "rules"], &mut ctx)
-            .unwrap()
-            .unwrap();
+        let s1 = mgr.ensure(&["population"], &["infobox", "rules"], &mut ctx).unwrap().unwrap();
+        let s2 = mgr.ensure(&["state"], &["infobox", "rules"], &mut ctx).unwrap().unwrap();
         // Extractors already ran for the first call; the extension is
         // served from the cache.
         assert!(s2.cost_units < s1.cost_units, "{} vs {}", s2.cost_units, s1.cost_units);

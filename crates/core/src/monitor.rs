@@ -124,7 +124,8 @@ mod tests {
         ms.register("later", Query::scan("not_yet"));
         assert!(ms.check(&db).is_empty());
         db.create_table(
-            TableSchema::new("not_yet", vec![Column::new("x", DataType::Int)], &["x"], &[]).unwrap(),
+            TableSchema::new("not_yet", vec![Column::new("x", DataType::Int)], &["x"], &[])
+                .unwrap(),
         )
         .unwrap();
         assert_eq!(ms.check(&db).len(), 1);

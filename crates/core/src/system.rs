@@ -4,12 +4,16 @@ use crate::dge::{DgeEvent, DgeLog};
 use crate::feedback::{Correction, CorrectionStatus, FeedbackQueue};
 use crate::monitor::{MonitorFire, MonitorSet};
 use crate::users::UserDirectory;
-use quarry_corpus::{DocId, Document};
+use quarry_corpus::{Corpus, CorpusConfig, CorpusError, DocId, Document};
 use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
+use quarry_exec::{ExecPool, ExecReport};
 use quarry_extract::Extraction;
 use quarry_hi::Crowd;
+use quarry_integrate::IntegrateError;
 use quarry_lang::exec::{ExecError, TruthOracle};
-use quarry_lang::{optimize, parse, ExecContext, ExecStats, Executor, ExtractorRegistry, LogicalPlan};
+use quarry_lang::{
+    optimize, parse, ExecContext, ExecStats, Executor, ExtractorRegistry, LogicalPlan,
+};
 use quarry_query::engine::{execute, Query, QueryError, QueryResult};
 use quarry_query::forms::QueryForm;
 use quarry_query::{CandidateQuery, InvertedIndex, SearchHit, Translator};
@@ -19,7 +23,8 @@ use quarry_uncertainty::{LineageGraph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Quarry configuration.
+/// Quarry configuration. Construct with [`QuarryConfig::builder`] (or
+/// `Default` for the stock settings).
 #[derive(Debug, Clone)]
 pub struct QuarryConfig {
     /// Snapshot-store keyframe interval (see
@@ -29,36 +34,106 @@ pub struct QuarryConfig {
     pub wal_path: Option<std::path::PathBuf>,
     /// Health-monitor heartbeat timeout in ticks.
     pub heartbeat_timeout: u64,
+    /// Worker threads for pipeline execution; `0` = one per CPU.
+    /// Results are identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for QuarryConfig {
     fn default() -> Self {
-        QuarryConfig { keyframe_interval: 16, wal_path: None, heartbeat_timeout: 10 }
+        QuarryConfig { keyframe_interval: 16, wal_path: None, heartbeat_timeout: 10, threads: 0 }
     }
 }
 
-/// Any error the façade can surface.
+impl QuarryConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> QuarryConfigBuilder {
+        QuarryConfigBuilder { config: QuarryConfig::default() }
+    }
+}
+
+/// Builder for [`QuarryConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct QuarryConfigBuilder {
+    config: QuarryConfig,
+}
+
+impl QuarryConfigBuilder {
+    /// Snapshot-store keyframe interval.
+    pub fn keyframe_interval(mut self, interval: usize) -> Self {
+        self.config.keyframe_interval = interval;
+        self
+    }
+
+    /// Persist the structured store's WAL at `path`.
+    pub fn wal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.wal_path = Some(path.into());
+        self
+    }
+
+    /// Health-monitor heartbeat timeout in ticks.
+    pub fn heartbeat_timeout(mut self, ticks: u64) -> Self {
+        self.config.heartbeat_timeout = ticks;
+        self
+    }
+
+    /// Worker threads for pipeline execution (`0` = one per CPU,
+    /// `1` = run inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> QuarryConfig {
+        self.config
+    }
+}
+
+/// Any error the façade can surface. Every subsystem error arrives as a
+/// structured variant wrapping the subsystem's own error type, so callers
+/// can match on causes instead of parsing strings.
 #[derive(Debug)]
 pub enum QuarryError {
-    /// QDL parse/plan/execution failure.
-    Pipeline(String),
+    /// QDL source failed to parse.
+    Parse(quarry_lang::parser::ParseError),
+    /// A parsed pipeline failed during planning or execution.
+    Pipeline(ExecError),
     /// Storage failure.
     Storage(StorageError),
     /// Structured-query failure.
     Query(QueryError),
+    /// Invalid corpus configuration.
+    Corpus(CorpusError),
+    /// Invalid integration (matcher) configuration.
+    Integrate(IntegrateError),
 }
 
 impl fmt::Display for QuarryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QuarryError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            QuarryError::Parse(e) => write!(f, "pipeline error: {e}"),
+            QuarryError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             QuarryError::Storage(e) => write!(f, "storage error: {e}"),
             QuarryError::Query(e) => write!(f, "query error: {e}"),
+            QuarryError::Corpus(e) => write!(f, "corpus error: {e}"),
+            QuarryError::Integrate(e) => write!(f, "integrate error: {e}"),
         }
     }
 }
 
-impl std::error::Error for QuarryError {}
+impl std::error::Error for QuarryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuarryError::Parse(e) => Some(e),
+            QuarryError::Pipeline(e) => Some(e),
+            QuarryError::Storage(e) => Some(e),
+            QuarryError::Query(e) => Some(e),
+            QuarryError::Corpus(e) => Some(e),
+            QuarryError::Integrate(e) => Some(e),
+        }
+    }
+}
 
 impl From<StorageError> for QuarryError {
     fn from(e: StorageError) -> Self {
@@ -74,7 +149,25 @@ impl From<QueryError> for QuarryError {
 
 impl From<ExecError> for QuarryError {
     fn from(e: ExecError) -> Self {
-        QuarryError::Pipeline(e.to_string())
+        QuarryError::Pipeline(e)
+    }
+}
+
+impl From<quarry_lang::parser::ParseError> for QuarryError {
+    fn from(e: quarry_lang::parser::ParseError) -> Self {
+        QuarryError::Parse(e)
+    }
+}
+
+impl From<CorpusError> for QuarryError {
+    fn from(e: CorpusError) -> Self {
+        QuarryError::Corpus(e)
+    }
+}
+
+impl From<IntegrateError> for QuarryError {
+    fn from(e: IntegrateError) -> Self {
+        QuarryError::Integrate(e)
     }
 }
 
@@ -106,6 +199,8 @@ pub struct Quarry {
     cache: HashMap<(DocId, String), Vec<Extraction>>,
     crowd: Option<Crowd>,
     truth: Option<TruthOracle>,
+    pool: ExecPool,
+    last_report: ExecReport,
     day: usize,
     tick: u64,
 }
@@ -137,9 +232,28 @@ impl Quarry {
             cache: HashMap::new(),
             crowd: None,
             truth: None,
+            pool: ExecPool::new(config.threads),
+            last_report: ExecReport::new(),
             day: 0,
             tick: 0,
         })
+    }
+
+    /// Instrumentation from the most recent pipeline run: per-stage
+    /// throughput and batch latencies, per-extractor timings, and
+    /// similarity-cache counters.
+    pub fn last_report(&self) -> &ExecReport {
+        &self.last_report
+    }
+
+    /// Generate a synthetic corpus from a validated configuration and
+    /// ingest it, returning the number of documents.
+    pub fn ingest_generated(&mut self, config: &CorpusConfig) -> Result<usize, QuarryError> {
+        config.validate()?;
+        let corpus = Corpus::generate(config);
+        let n = corpus.docs.len();
+        self.ingest(corpus.docs);
+        Ok(n)
     }
 
     /// Wire human-intervention capability (simulated crowd + truth oracle).
@@ -157,8 +271,7 @@ impl Quarry {
     /// store, the working set replaced, and the keyword index invalidated.
     pub fn ingest(&mut self, docs: Vec<Document>) {
         self.tick += 1;
-        self.snapshots
-            .put_snapshot(docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
+        self.snapshots.put_snapshot(docs.iter().map(|d| (d.title.as_str(), d.text.as_str())));
         self.dge.record(DgeEvent::Ingest { docs: docs.len(), day: self.day });
         self.health.heartbeat(self.tick, "ingest", [("docs", docs.len() as f64)]);
         self.day += 1;
@@ -171,7 +284,7 @@ impl Quarry {
     /// Run a QDL program over the current working set.
     pub fn run_pipeline(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
         self.tick += 1;
-        let pipeline = parse(src).map_err(|e| QuarryError::Pipeline(e.to_string()))?;
+        let pipeline = parse(src)?;
         let plan = optimize(&LogicalPlan::from_pipeline(&pipeline), &self.registry);
         let mut ctx = ExecContext {
             docs: &self.docs,
@@ -180,10 +293,13 @@ impl Quarry {
             crowd: self.crowd.take(),
             truth: self.truth.clone(),
             cache: std::mem::take(&mut self.cache),
+            pool: self.pool,
+            report: ExecReport::new(),
         };
         let result = Executor::run(&plan, &mut ctx);
         self.crowd = ctx.crowd.take();
         self.cache = std::mem::take(&mut ctx.cache);
+        self.last_report = std::mem::take(&mut ctx.report);
         let stats = result?;
         self.dge.record(DgeEvent::PipelineRun {
             name: pipeline.name.clone(),
@@ -196,8 +312,7 @@ impl Quarry {
         } else {
             stats.extractions as f64 / self.docs.len() as f64
         };
-        self.health
-            .heartbeat(self.tick, "pipeline", [("extractions_per_doc", per_doc)]);
+        self.health.heartbeat(self.tick, "pipeline", [("extractions_per_doc", per_doc)]);
         // Translator reflects stored structure; rebuild lazily next use.
         self.translator = None;
         // Generation moved the data: standing queries may have new answers.
@@ -218,9 +333,7 @@ impl Quarry {
     pub fn run_script(&mut self, src: &str) -> Result<Vec<(String, ExecStats)>, QuarryError> {
         let mut out = Vec::new();
         for chunk in split_script(src) {
-            let name = parse(&chunk)
-                .map_err(|e| QuarryError::Pipeline(e.to_string()))?
-                .name;
+            let name = parse(&chunk)?.name;
             let stats = self.run_pipeline(&chunk)?;
             out.push((name, stats));
         }
@@ -235,9 +348,7 @@ impl Quarry {
         correction: Correction,
     ) -> Result<CorrectionStatus, QuarryError> {
         let subject = format!("{}.{}", correction.table, correction.column);
-        let status = self
-            .feedback
-            .submit(&mut self.users, &self.db, user, correction)?;
+        let status = self.feedback.submit(&mut self.users, &self.db, user, correction)?;
         self.dge.record(DgeEvent::Feedback { user: user.to_string(), subject });
         if status == CorrectionStatus::Applied {
             // The data moved: monitors may fire; translator index is stale.
@@ -288,19 +399,14 @@ impl Quarry {
     /// Render the suggested queries for a keyword query as forms.
     pub fn suggest_forms(&mut self, query: &str, k: usize) -> Vec<QueryForm> {
         let (_, candidates) = self.keyword(query, k);
-        candidates
-            .iter()
-            .map(|c| quarry_query::forms::render(&c.query))
-            .collect()
+        candidates.iter().map(|c| quarry_query::forms::render(&c.query)).collect()
     }
 
     /// Run a structured query.
     pub fn structured(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
         let result = execute(&self.db, q)?;
-        self.dge.record(DgeEvent::StructuredQuery {
-            rendered: q.display(),
-            rows: result.rows.len(),
-        });
+        self.dge
+            .record(DgeEvent::StructuredQuery { rendered: q.display(), rows: result.rows.len() });
         Ok(result)
     }
 
@@ -314,9 +420,7 @@ impl Quarry {
         let serialized: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
-                r.iter()
-                    .map(|v| if v.is_null() { String::new() } else { v.to_string() })
-                    .collect()
+                r.iter().map(|v| if v.is_null() { String::new() } else { v.to_string() }).collect()
             })
             .collect();
         let dbg = SemanticDebugger::learn(&columns, &serialized, &LearnConfig::default());
@@ -382,7 +486,11 @@ impl Quarry {
         self.db.commit(tx)?;
         let row = row?;
         let mut card = String::new();
-        let _ = writeln!(card, "┌ {table}: {}", key.iter().map(Value::to_string).collect::<Vec<_>>().join(", "));
+        let _ = writeln!(
+            card,
+            "┌ {table}: {}",
+            key.iter().map(Value::to_string).collect::<Vec<_>>().join(", ")
+        );
         for (c, v) in schema.columns.iter().zip(&row) {
             if !v.is_null() {
                 let _ = writeln!(card, "│ {} = {v}", c.name);
@@ -403,11 +511,8 @@ impl Quarry {
                         let _ = writeln!(card, "├ related in {other}:");
                     }
                     if links < 3 {
-                        let key_render: Vec<String> = other_schema
-                            .key
-                            .iter()
-                            .map(|&i| orow[i].to_string())
-                            .collect();
+                        let key_render: Vec<String> =
+                            other_schema.key.iter().map(|&i| orow[i].to_string()).collect();
                         let _ = writeln!(card, "│   {}", key_render.join(", "));
                     }
                     links += 1;
@@ -434,15 +539,13 @@ impl Quarry {
 /// Split a multi-pipeline script at each `PIPELINE` keyword (comments
 /// stripped line-wise first so a commented-out pipeline stays dormant).
 fn split_script(src: &str) -> Vec<String> {
-    let cleaned: String = src
-        .lines()
-        .map(|l| l.split("--").next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n");
+    let cleaned: String =
+        src.lines().map(|l| l.split("--").next().unwrap_or("")).collect::<Vec<_>>().join("\n");
     let mut chunks = Vec::new();
     let mut current = String::new();
     for line in cleaned.lines() {
-        if line.trim_start().to_ascii_uppercase().starts_with("PIPELINE") && !current.trim().is_empty()
+        if line.trim_start().to_ascii_uppercase().starts_with("PIPELINE")
+            && !current.trim().is_empty()
         {
             chunks.push(std::mem::take(&mut current));
         }
@@ -465,7 +568,7 @@ mod tests {
             noise: NoiseConfig::none(),
             ..CorpusConfig::tiny(21)
         });
-        let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+        let mut q = Quarry::new(QuarryConfig::builder().build()).unwrap();
         q.ingest(corpus.docs.clone());
         (q, corpus)
     }
@@ -491,11 +594,7 @@ STORE INTO cities KEY name
         assert!(!candidates.is_empty());
         let result = q.structured(&candidates[0].query).unwrap();
         assert!(
-            result
-                .rows
-                .iter()
-                .flatten()
-                .any(|v| *v == Value::Int(city.population as i64)),
+            result.rows.iter().flatten().any(|v| *v == Value::Int(city.population as i64)),
             "expected population {} in {result:?}",
             city.population
         );
@@ -544,10 +643,7 @@ STORE INTO cities KEY name
         let nodes = q.record_lineage("cities").unwrap();
         assert!(!nodes.is_empty());
         // At least one stored tuple must trace back to raw text.
-        let traced = nodes
-            .iter()
-            .filter(|(_, n)| !q.lineage.source_spans(*n).is_empty())
-            .count();
+        let traced = nodes.iter().filter(|(_, n)| !q.lineage.source_spans(*n).is_empty()).count();
         assert!(traced > 0, "no tuple traced to a source span");
         let text = q.explain(nodes[0].1);
         assert!(text.contains("tuple in cities"));
@@ -558,17 +654,13 @@ STORE INTO cities KEY name
         let (mut q, _) = system_with_corpus();
         q.run_pipeline(CITY_PIPELINE).unwrap();
         let statuses = q.health_check();
-        assert!(statuses
-            .iter()
-            .all(|(_, s)| *s == quarry_debugger::HealthStatus::Healthy));
+        assert!(statuses.iter().all(|(_, s)| *s == quarry_debugger::HealthStatus::Healthy));
         // Let the clock run past the heartbeat timeout.
         for _ in 0..12 {
             q.health_check();
         }
         let statuses = q.health_check();
-        assert!(statuses
-            .iter()
-            .any(|(_, s)| *s == quarry_debugger::HealthStatus::Unresponsive));
+        assert!(statuses.iter().any(|(_, s)| *s == quarry_debugger::HealthStatus::Unresponsive));
     }
 
     #[test]
@@ -580,12 +672,8 @@ STORE INTO cities KEY name
         );
         // First pipeline run fires the monitor (first evaluation).
         q.run_pipeline(CITY_PIPELINE).unwrap();
-        let fired: Vec<&DgeEvent> = q
-            .dge
-            .events()
-            .iter()
-            .filter(|e| matches!(e, DgeEvent::MonitorFired { .. }))
-            .collect();
+        let fired: Vec<&DgeEvent> =
+            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).collect();
         assert_eq!(fired.len(), 1);
         // Quiet when nothing changes.
         assert!(q.check_monitors().is_empty());
@@ -593,25 +681,21 @@ STORE INTO cities KEY name
         // answer → still quiet.
         q.ingest(corpus.docs.clone());
         q.run_pipeline(CITY_PIPELINE).unwrap();
-        let fired: Vec<&DgeEvent> = q
-            .dge
-            .events()
-            .iter()
-            .filter(|e| matches!(e, DgeEvent::MonitorFired { .. }))
-            .collect();
+        let fired: Vec<&DgeEvent> =
+            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).collect();
         assert_eq!(fired.len(), 1, "unchanged answer must not re-fire");
     }
 
     #[test]
     fn bad_pipeline_is_a_clean_error() {
         let (mut q, _) = system_with_corpus();
+        assert!(matches!(q.run_pipeline("PIPELINE broken FROM"), Err(QuarryError::Parse(_))));
+        // Execution failures carry the structured executor error.
         assert!(matches!(
-            q.run_pipeline("PIPELINE broken FROM"),
-            Err(QuarryError::Pipeline(_))
-        ));
-        assert!(matches!(
-            q.run_pipeline("PIPELINE p FROM corpus EXTRACT nonexistent RESOLVE BY name STORE INTO t KEY name"),
-            Err(QuarryError::Pipeline(_))
+            q.run_pipeline(
+                "PIPELINE p FROM corpus EXTRACT nonexistent RESOLVE BY name STORE INTO t KEY name"
+            ),
+            Err(QuarryError::Pipeline(ExecError::UnknownExtractor(_)))
         ));
     }
 
@@ -670,11 +754,7 @@ STORE INTO people KEY name
         let schema = q.db.schema("cities").unwrap();
         assert_eq!(row[schema.column_index("population").unwrap()], Value::Int(123_456));
         // The DGE log recorded the feedback.
-        assert!(q
-            .dge
-            .events()
-            .iter()
-            .any(|e| matches!(e, DgeEvent::Feedback { .. })));
+        assert!(q.dge.events().iter().any(|e| matches!(e, DgeEvent::Feedback { .. })));
     }
 
     #[test]

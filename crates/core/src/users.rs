@@ -64,10 +64,7 @@ impl UserDirectory {
     /// Record the outcome of one contribution: reputation updates either
     /// way, points only for accepted work.
     pub fn record_contribution(&mut self, name: &str, accepted: bool) -> Result<(), String> {
-        let account = self
-            .by_name
-            .get_mut(name)
-            .ok_or_else(|| format!("no user {name}"))?;
+        let account = self.by_name.get_mut(name).ok_or_else(|| format!("no user {name}"))?;
         self.reputation.record(account.id, accepted);
         if accepted {
             account.points += self.points_per_contribution;
@@ -77,9 +74,7 @@ impl UserDirectory {
 
     /// A user's current reliability estimate.
     pub fn reliability(&self, name: &str) -> Option<f64> {
-        self.by_name
-            .get(name)
-            .map(|a| self.reputation.reliability(a.id).mean())
+        self.by_name.get(name).map(|a| self.reputation.reliability(a.id).mean())
     }
 
     /// The reputation tracker (for reputation-weighted voting).
@@ -89,11 +84,8 @@ impl UserDirectory {
 
     /// Leaderboard: users by points, descending.
     pub fn leaderboard(&self) -> Vec<(&str, u64)> {
-        let mut rows: Vec<(&str, u64)> = self
-            .by_name
-            .values()
-            .map(|a| (a.name.as_str(), a.points))
-            .collect();
+        let mut rows: Vec<(&str, u64)> =
+            self.by_name.values().map(|a| (a.name.as_str(), a.points)).collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         rows
     }

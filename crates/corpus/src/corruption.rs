@@ -25,11 +25,8 @@ pub enum CorruptionKind {
 
 impl CorruptionKind {
     /// All kinds in a fixed order.
-    pub const ALL: [CorruptionKind; 3] = [
-        CorruptionKind::OutOfRange,
-        CorruptionKind::WrongType,
-        CorruptionKind::SwappedValue,
-    ];
+    pub const ALL: [CorruptionKind; 3] =
+        [CorruptionKind::OutOfRange, CorruptionKind::WrongType, CorruptionKind::SwappedValue];
 }
 
 /// Configuration for one corruption pass.
@@ -66,9 +63,7 @@ pub struct CorruptionLog {
 impl CorruptionLog {
     /// True if the given cell was corrupted.
     pub fn is_corrupted(&self, row: usize, attribute: &str) -> bool {
-        self.errors
-            .iter()
-            .any(|e| e.row == row && e.attribute == attribute)
+        self.errors.iter().any(|e| e.row == row && e.attribute == attribute)
     }
 
     /// Number of injected errors.
@@ -112,7 +107,8 @@ pub fn corrupt_table(
             CorruptionKind::OutOfRange if numeric => {
                 let v: f64 = original.parse().unwrap_or(0.0);
                 // Push far outside any plausible learned range.
-                let blown = if rng.gen_bool(0.5) { v * 100.0 + 1000.0 } else { -v * 100.0 - 1000.0 };
+                let blown =
+                    if rng.gen_bool(0.5) { v * 100.0 + 1000.0 } else { -v * 100.0 - 1000.0 };
                 format!("{blown:.0}")
             }
             CorruptionKind::OutOfRange => {

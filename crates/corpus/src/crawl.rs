@@ -157,16 +157,13 @@ mod tests {
 
     fn snaps(days: usize, churn: f64) -> Vec<Snapshot> {
         let corpus = Corpus::generate(&CorpusConfig::tiny(1));
-        CrawlSimulator::new(&corpus, CrawlConfig { seed: 2, days, churn, new_page_rate: 0.3 })
-            .run()
+        CrawlSimulator::new(&corpus, CrawlConfig { seed: 2, days, churn, new_page_rate: 0.3 }).run()
     }
 
     #[test]
     fn first_snapshot_is_the_corpus() {
         let corpus = Corpus::generate(&CorpusConfig::tiny(1));
-        let s = CrawlSimulator::new(&corpus, CrawlConfig::default())
-            .next_snapshot()
-            .unwrap();
+        let s = CrawlSimulator::new(&corpus, CrawlConfig::default()).next_snapshot().unwrap();
         assert_eq!(s.day, 0);
         assert_eq!(s.docs, corpus.docs);
     }
@@ -179,12 +176,8 @@ mod tests {
     #[test]
     fn consecutive_snapshots_overlap_heavily() {
         let ss = snaps(3, 0.05);
-        let unchanged = ss[0]
-            .docs
-            .iter()
-            .zip(&ss[1].docs)
-            .filter(|(a, b)| a.text == b.text)
-            .count();
+        let unchanged =
+            ss[0].docs.iter().zip(&ss[1].docs).filter(|(a, b)| a.text == b.text).count();
         // With 5% churn, ≥ 80% of docs should be byte-identical day over day.
         assert!(unchanged * 10 >= ss[0].docs.len() * 8, "{unchanged}/{}", ss[0].docs.len());
     }
@@ -192,12 +185,7 @@ mod tests {
     #[test]
     fn churn_actually_changes_documents() {
         let ss = snaps(2, 0.5);
-        let changed = ss[0]
-            .docs
-            .iter()
-            .zip(&ss[1].docs)
-            .filter(|(a, b)| a.text != b.text)
-            .count();
+        let changed = ss[0].docs.iter().zip(&ss[1].docs).filter(|(a, b)| a.text != b.text).count();
         assert!(changed > 0);
     }
 

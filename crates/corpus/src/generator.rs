@@ -43,7 +43,51 @@ impl Default for CorpusConfig {
     }
 }
 
+/// Invalid corpus configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// A probability or rate lies outside `[0,1]`.
+    InvalidRate {
+        /// Which parameter.
+        parameter: String,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::InvalidRate { parameter, value } => {
+                write!(f, "corpus config: {parameter} = {value} outside [0,1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
 impl CorpusConfig {
+    /// Check every rate and probability is within `[0,1]`.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        if !(0.0..=1.0).contains(&self.duplicate_rate) {
+            return Err(CorpusError::InvalidRate {
+                parameter: "duplicate_rate".into(),
+                value: self.duplicate_rate,
+            });
+        }
+        self.noise.validate().map_err(|msg| {
+            let (parameter, value) = msg
+                .split_once(" = ")
+                .and_then(|(p, rest)| {
+                    let v = rest.split_whitespace().next()?.parse().ok()?;
+                    Some((p.to_string(), v))
+                })
+                .unwrap_or((msg, f64::NAN));
+            CorpusError::InvalidRate { parameter, value }
+        })
+    }
+
     /// A small corpus for unit tests and doc examples.
     pub fn tiny(seed: u64) -> Self {
         CorpusConfig {
@@ -114,16 +158,13 @@ impl Corpus {
         // Companies next: people reference employers.
         for i in 0..config.n_companies {
             let name = names::company_name(i);
-            let hq = truth.cities[rng.gen_range(0..truth.cities.len().max(1))]
-                .name
-                .clone();
+            let hq = truth.cities[rng.gen_range(0..truth.cities.len().max(1))].name.clone();
             let fact = CompanyFact {
                 doc: DocId(docs.len() as u32),
                 name: name.clone(),
                 founded: rng.gen_range(1900..2008),
                 headquarters: hq,
-                industry: names::INDUSTRIES[rng.gen_range(0..names::INDUSTRIES.len())]
-                    .to_string(),
+                industry: names::INDUSTRIES[rng.gen_range(0..names::INDUSTRIES.len())].to_string(),
             };
             let text = render::render_company(&fact, &config.noise, &mut rng);
             alloc(&mut docs, name, text, DocKind::Company);
@@ -136,13 +177,9 @@ impl Corpus {
             let employer = if truth.companies.is_empty() {
                 "independent".to_string()
             } else {
-                truth.companies[rng.gen_range(0..truth.companies.len())]
-                    .name
-                    .clone()
+                truth.companies[rng.gen_range(0..truth.companies.len())].name.clone()
             };
-            let residence = truth.cities[rng.gen_range(0..truth.cities.len().max(1))]
-                .name
-                .clone();
+            let residence = truth.cities[rng.gen_range(0..truth.cities.len().max(1))].name.clone();
             let base = PersonFact {
                 doc: DocId(docs.len() as u32),
                 name: full.clone(),

@@ -34,7 +34,7 @@ pub mod types;
 
 pub use corruption::{CorruptionConfig, CorruptionKind, CorruptionLog, InjectedError};
 pub use crawl::{CrawlConfig, CrawlSimulator, Snapshot};
-pub use generator::{Corpus, CorpusConfig};
+pub use generator::{Corpus, CorpusConfig, CorpusError};
 pub use noise::NoiseConfig;
 pub use truth::{CityFact, CompanyFact, GroundTruth, PersonFact, PublicationFact};
 pub use types::{DocId, DocKind, Document};

@@ -62,54 +62,45 @@ pub const INDUSTRIES: &[&str] = &[
 ];
 
 /// Publication venues.
-pub const VENUES: &[&str] = &[
-    "SIGMOD",
-    "VLDB",
-    "CIDR",
-    "ICDE",
-    "EDBT",
-    "PODS",
-    "KDD",
-    "WWW",
-    "SIGIR",
-    "CIKM",
-];
+pub const VENUES: &[&str] =
+    &["SIGMOD", "VLDB", "CIDR", "ICDE", "EDBT", "PODS", "KDD", "WWW", "SIGIR", "CIKM"];
 
 const CITY_PREFIX: &[&str] = &[
-    "Mad", "Spring", "River", "Oak", "Maple", "Stone", "Clear", "Fair", "Green", "North",
-    "South", "East", "West", "Lake", "Cedar", "Pine", "Elm", "Silver", "Golden", "Iron",
-    "Copper", "Bridge", "Mill", "Fox", "Eagle", "Deer", "Bear", "Falcon", "Ash", "Birch",
+    "Mad", "Spring", "River", "Oak", "Maple", "Stone", "Clear", "Fair", "Green", "North", "South",
+    "East", "West", "Lake", "Cedar", "Pine", "Elm", "Silver", "Golden", "Iron", "Copper", "Bridge",
+    "Mill", "Fox", "Eagle", "Deer", "Bear", "Falcon", "Ash", "Birch",
 ];
 
 const CITY_SUFFIX: &[&str] = &[
-    "ison", "field", "ton", "ville", "burg", "port", "wood", "dale", "ford", "haven",
-    "brook", "mont", "view", "crest", "shore", "land", "bury", "stead", "gate", "crossing",
+    "ison", "field", "ton", "ville", "burg", "port", "wood", "dale", "ford", "haven", "brook",
+    "mont", "view", "crest", "shore", "land", "bury", "stead", "gate", "crossing",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "David", "Sarah", "Michael", "Laura", "James", "Emily", "Robert", "Anna", "William",
-    "Grace", "Thomas", "Julia", "Henry", "Clara", "Samuel", "Alice", "Daniel", "Ruth",
-    "Joseph", "Helen", "Charles", "Margaret", "Edward", "Rose", "George", "Ellen", "Frank",
-    "Lucy", "Walter", "Edith", "Arthur", "Florence", "Albert", "Martha", "Harold", "Irene",
-    "Carl", "Esther", "Paul", "Marion",
+    "David", "Sarah", "Michael", "Laura", "James", "Emily", "Robert", "Anna", "William", "Grace",
+    "Thomas", "Julia", "Henry", "Clara", "Samuel", "Alice", "Daniel", "Ruth", "Joseph", "Helen",
+    "Charles", "Margaret", "Edward", "Rose", "George", "Ellen", "Frank", "Lucy", "Walter", "Edith",
+    "Arthur", "Florence", "Albert", "Martha", "Harold", "Irene", "Carl", "Esther", "Paul",
+    "Marion",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Miller", "Anderson", "Wilson", "Taylor", "Thomas", "Moore",
-    "Jackson", "White", "Harris", "Martin", "Thompson", "Walker", "Young", "Allen",
-    "King", "Wright", "Scott", "Hill", "Green", "Adams", "Baker", "Nelson", "Carter",
-    "Mitchell", "Turner", "Phillips", "Campbell", "Parker", "Evans", "Edwards", "Collins",
-    "Stewart", "Morris", "Murphy", "Cook", "Rogers", "Reed", "Morgan",
+    "Smith", "Johnson", "Miller", "Anderson", "Wilson", "Taylor", "Thomas", "Moore", "Jackson",
+    "White", "Harris", "Martin", "Thompson", "Walker", "Young", "Allen", "King", "Wright", "Scott",
+    "Hill", "Green", "Adams", "Baker", "Nelson", "Carter", "Mitchell", "Turner", "Phillips",
+    "Campbell", "Parker", "Evans", "Edwards", "Collins", "Stewart", "Morris", "Murphy", "Cook",
+    "Rogers", "Reed", "Morgan",
 ];
 
 const COMPANY_STEM: &[&str] = &[
-    "Acme", "Vertex", "Nimbus", "Quanta", "Solstice", "Aurora", "Keystone", "Summit",
-    "Pinnacle", "Horizon", "Beacon", "Cascade", "Meridian", "Zenith", "Atlas", "Polaris",
-    "Vanguard", "Frontier", "Sterling", "Crescent", "Harbor", "Granite", "Sierra",
-    "Redwood", "Juniper", "Willow", "Falcon", "Orion", "Delta", "Vector",
+    "Acme", "Vertex", "Nimbus", "Quanta", "Solstice", "Aurora", "Keystone", "Summit", "Pinnacle",
+    "Horizon", "Beacon", "Cascade", "Meridian", "Zenith", "Atlas", "Polaris", "Vanguard",
+    "Frontier", "Sterling", "Crescent", "Harbor", "Granite", "Sierra", "Redwood", "Juniper",
+    "Willow", "Falcon", "Orion", "Delta", "Vector",
 ];
 
-const COMPANY_FORM: &[&str] = &["Systems", "Labs", "Industries", "Group", "Corporation", "Works", "Partners", "Holdings"];
+const COMPANY_FORM: &[&str] =
+    &["Systems", "Labs", "Industries", "Group", "Corporation", "Works", "Partners", "Holdings"];
 
 const PAPER_TOPIC: &[&str] = &[
     "query optimization",

@@ -115,10 +115,7 @@ pub fn typo(s: &str, rng: &mut impl Rng) -> String {
     let candidates: Vec<usize> = words
         .iter()
         .enumerate()
-        .filter(|(_, w)| {
-            w.len() >= 4
-                && w.chars().all(|c| c.is_ascii_lowercase())
-        })
+        .filter(|(_, w)| w.len() >= 4 && w.chars().all(|c| c.is_ascii_lowercase()))
         .map(|(i, _)| i)
         .collect();
     if candidates.is_empty() {

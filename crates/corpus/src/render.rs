@@ -74,17 +74,9 @@ pub fn render_city(fact: &CityFact, cfg: &NoiseConfig, rng: &mut impl Rng) -> St
         noise::format_number(fact.population, sep)
     ));
     t.push_str(&format!("| {} = {}\n", label("founded", cfg, rng), fact.founded));
-    t.push_str(&format!(
-        "| {} = {:.1}\n",
-        label("area_sq_mi", cfg, rng),
-        fact.area_sq_mi
-    ));
+    t.push_str(&format!("| {} = {:.1}\n", label("area_sq_mi", cfg, rng), fact.area_sq_mi));
     for (m, temp) in fact.monthly_temp_f.iter().enumerate() {
-        let unit = if rng.gen_bool(cfg.unit_variant) {
-            rng.gen_range(1..3u8)
-        } else {
-            0
-        };
+        let unit = if rng.gen_bool(cfg.unit_variant) { rng.gen_range(1..3u8) } else { 0 };
         t.push_str(&format!(
             "| {}_temp = {}\n",
             MONTHS[m].to_lowercase(),
@@ -131,26 +123,11 @@ pub fn render_person(
     let mut t = String::with_capacity(1024);
     t.push_str("{{Infobox person\n");
     t.push_str(&format!("| name = {surface_name}\n"));
-    t.push_str(&format!(
-        "| {} = {}\n",
-        label("birth_year", cfg, rng),
-        fact.birth_year
-    ));
-    t.push_str(&format!(
-        "| {} = {}\n",
-        label("employer", cfg, rng),
-        fact.employer
-    ));
-    t.push_str(&format!(
-        "| {} = {}\n",
-        label("residence", cfg, rng),
-        fact.residence
-    ));
+    t.push_str(&format!("| {} = {}\n", label("birth_year", cfg, rng), fact.birth_year));
+    t.push_str(&format!("| {} = {}\n", label("employer", cfg, rng), fact.employer));
+    t.push_str(&format!("| {} = {}\n", label("residence", cfg, rng), fact.residence));
     t.push_str("}}\n\n");
-    t.push_str(&format!(
-        "{surface_name} (born {}) works at {}. ",
-        fact.birth_year, fact.employer
-    ));
+    t.push_str(&format!("{surface_name} (born {}) works at {}. ", fact.birth_year, fact.employer));
     let last = fact.name.split(' ').next_back().unwrap_or(surface_name);
     t.push_str(&format!("{last} lives in {}. ", fact.residence));
     filler(cfg, rng, &mut t);
@@ -163,16 +140,8 @@ pub fn render_company(fact: &CompanyFact, cfg: &NoiseConfig, rng: &mut impl Rng)
     t.push_str("{{Infobox company\n");
     t.push_str(&format!("| name = {}\n", fact.name));
     t.push_str(&format!("| {} = {}\n", label("founded", cfg, rng), fact.founded));
-    t.push_str(&format!(
-        "| {} = {}\n",
-        label("headquarters", cfg, rng),
-        fact.headquarters
-    ));
-    t.push_str(&format!(
-        "| {} = {}\n",
-        label("industry", cfg, rng),
-        fact.industry
-    ));
+    t.push_str(&format!("| {} = {}\n", label("headquarters", cfg, rng), fact.headquarters));
+    t.push_str(&format!("| {} = {}\n", label("industry", cfg, rng), fact.industry));
     t.push_str("}}\n\n");
     t.push_str(&format!(
         "{} is a {} company headquartered in {}. It was founded in {}. ",
@@ -197,10 +166,7 @@ pub fn render_publication(
     t.push_str(&format!("| {} = {}\n", label("venue", cfg, rng), fact.venue));
     t.push_str(&format!("| authors = {}\n", surface_authors.join("; ")));
     t.push_str("}}\n\n");
-    t.push_str(&format!(
-        "\"{}\" appeared at {} in {}. ",
-        fact.title, fact.venue, fact.year
-    ));
+    t.push_str(&format!("\"{}\" appeared at {} in {}. ", fact.title, fact.venue, fact.year));
     if let Some(first) = surface_authors.first() {
         t.push_str(&format!("The lead author is {first}. "));
     }
@@ -232,10 +198,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let text = render_city(&city(), &NoiseConfig::none(), &mut rng);
         for m in MONTHS {
-            assert!(
-                text.contains(&format!("{}_temp", m.to_lowercase())),
-                "missing {m}"
-            );
+            assert!(text.contains(&format!("{}_temp", m.to_lowercase())), "missing {m}");
         }
         assert!(text.contains("| population = 250000"));
     }

@@ -118,9 +118,7 @@ impl SensorData {
 
     /// Was `room` truly occupied at time `t`?
     pub fn occupied(&self, room: u32, t: u32) -> bool {
-        self.truth
-            .iter()
-            .any(|o| o.room == room && (o.enter..o.leave).contains(&t))
+        self.truth.iter().any(|o| o.room == room && (o.enter..o.leave).contains(&t))
     }
 }
 
@@ -145,8 +143,7 @@ mod tests {
             assert!(o.enter < o.leave);
         }
         for room in 0..8u32 {
-            let mut intervals: Vec<_> =
-                d.truth.iter().filter(|o| o.room == room).collect();
+            let mut intervals: Vec<_> = d.truth.iter().filter(|o| o.room == room).collect();
             intervals.sort_by_key(|o| o.enter);
             for w in intervals.windows(2) {
                 assert!(w[0].leave <= w[1].enter, "overlap in room {room}");
@@ -169,11 +166,8 @@ mod tests {
         let d = generate(&SensorConfig { dropout: 0.1, false_trigger: 0.1, ..Default::default() });
         let dropouts = d.readings.iter().filter(|r| r.motion.is_none()).count();
         assert!(dropouts > 100, "{dropouts}");
-        let spurious = d
-            .readings
-            .iter()
-            .filter(|r| r.motion == Some(1) && !d.occupied(r.room, r.t))
-            .count();
+        let spurious =
+            d.readings.iter().filter(|r| r.motion == Some(1) && !d.occupied(r.room, r.t)).count();
         assert!(spurious > 50, "{spurious}");
     }
 
@@ -181,12 +175,7 @@ mod tests {
     fn temperature_rises_while_occupied() {
         let d = generate(&SensorConfig { dropout: 0.0, ..Default::default() });
         let o = d.truth.iter().find(|o| o.leave - o.enter > 20).expect("a long stay");
-        let temp_at = |t: u32| {
-            d.room(o.room)
-                .find(|r| r.t == t)
-                .and_then(|r| r.temp_f)
-                .unwrap()
-        };
+        let temp_at = |t: u32| d.room(o.room).find(|r| r.t == t).and_then(|r| r.temp_f).unwrap();
         assert!(temp_at(o.leave - 1) > temp_at(o.enter), "warmth accumulates");
     }
 }

@@ -127,11 +127,7 @@ impl GroundTruth {
         self.cities.len() * 17
             + self.people.len() * 4
             + self.companies.len() * 4
-            + self
-                .publications
-                .iter()
-                .map(|p| 3 + p.authors.len())
-                .sum::<usize>()
+            + self.publications.iter().map(|p| 3 + p.authors.len()).sum::<usize>()
     }
 
     /// Look up the city fact by canonical name.

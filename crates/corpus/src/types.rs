@@ -43,12 +43,8 @@ pub enum DocKind {
 
 impl DocKind {
     /// All kinds, in generation order.
-    pub const ALL: [DocKind; 4] = [
-        DocKind::City,
-        DocKind::Person,
-        DocKind::Company,
-        DocKind::Publication,
-    ];
+    pub const ALL: [DocKind; 4] =
+        [DocKind::City, DocKind::Person, DocKind::Company, DocKind::Publication];
 
     /// Lower-case label used in rendered infobox headers.
     pub fn label(self) -> &'static str {
@@ -112,12 +108,8 @@ mod tests {
 
     #[test]
     fn document_len_tracks_text() {
-        let d = Document {
-            id: DocId(0),
-            title: "T".into(),
-            text: "hello".into(),
-            kind: DocKind::City,
-        };
+        let d =
+            Document { id: DocId(0), title: "T".into(), text: "hello".into(), kind: DocKind::City };
         assert_eq!(d.len(), 5);
         assert!(!d.is_empty());
     }

@@ -72,7 +72,10 @@ impl Constraint {
                 if domain.contains(&s) {
                     None
                 } else {
-                    Some(format!("{attribute} = {s:?} not in learned domain ({} values)", domain.len()))
+                    Some(format!(
+                        "{attribute} = {s:?} not in learned domain ({} values)",
+                        domain.len()
+                    ))
                 }
             }
             Constraint::TypeIs { attribute, dtype } => {
@@ -133,16 +136,14 @@ pub fn learn(columns: &[String], rows: &[Vec<String>], cfg: &LearnConfig) -> Vec
     for (j, col) in columns.iter().enumerate() {
         // Empty cells mean "attribute absent for this row" (NULLs in a
         // sparse extracted table); constraints describe present values.
-        let values: Vec<&str> = rows
-            .iter()
-            .map(|r| r[j].as_str())
-            .filter(|v| !v.trim().is_empty())
-            .collect();
+        let values: Vec<&str> =
+            rows.iter().map(|r| r[j].as_str()).filter(|v| !v.trim().is_empty()).collect();
         if values.is_empty() {
             continue;
         }
         let n = values.len();
-        let numeric: Vec<f64> = values.iter().filter_map(|v| v.trim().parse::<f64>().ok()).collect();
+        let numeric: Vec<f64> =
+            values.iter().filter_map(|v| v.trim().parse::<f64>().ok()).collect();
         let numeric_frac = numeric.len() as f64 / n as f64;
 
         if numeric_frac >= cfg.type_majority {
@@ -168,10 +169,12 @@ pub fn learn(columns: &[String], rows: &[Vec<String>], cfg: &LearnConfig) -> Vec
                 hi: hi + cfg.range_slack * spread,
             });
         } else {
-            let distinct: BTreeSet<String> =
-                values.iter().map(|v| v.to_lowercase()).collect();
+            let distinct: BTreeSet<String> = values.iter().map(|v| v.to_lowercase()).collect();
             if distinct.len() <= cfg.max_domain && (distinct.len() as f64) < 0.5 * n as f64 {
-                out.push(Constraint::CategoricalDomain { attribute: col.clone(), domain: distinct });
+                out.push(Constraint::CategoricalDomain {
+                    attribute: col.clone(),
+                    domain: distinct,
+                });
             }
         }
     }
@@ -258,7 +261,10 @@ mod tests {
         let cs = learn(&cols, &rows, &LearnConfig::default());
         let dom = cs.iter().find(|c| matches!(c, Constraint::CategoricalDomain { .. })).unwrap();
         assert!(dom.check(&view(&[("state", Value::Text("Iowa".into()))])).is_none());
-        assert!(dom.check(&view(&[("state", Value::Text("iowa".into()))])).is_none(), "case folded");
+        assert!(
+            dom.check(&view(&[("state", Value::Text("iowa".into()))])).is_none(),
+            "case folded"
+        );
         assert!(dom.check(&view(&[("state", Value::Text("Atlantis".into()))])).is_some());
     }
 
@@ -295,15 +301,24 @@ mod tests {
             .find(|c| matches!(c, Constraint::FunctionalDependency { lhs, .. } if lhs == "city"))
             .expect("fd learned");
         assert!(fd
-            .check(&view(&[("city", Value::Text("Madison".into())), ("state", Value::Text("Wisconsin".into()))]))
+            .check(&view(&[
+                ("city", Value::Text("Madison".into())),
+                ("state", Value::Text("Wisconsin".into()))
+            ]))
             .is_none());
         let reason = fd
-            .check(&view(&[("city", Value::Text("Madison".into())), ("state", Value::Text("Iowa".into()))]))
+            .check(&view(&[
+                ("city", Value::Text("Madison".into())),
+                ("state", Value::Text("Iowa".into())),
+            ]))
             .expect("violation");
         assert!(reason.contains("FD"));
         // Unseen lhs: no opinion.
         assert!(fd
-            .check(&view(&[("city", Value::Text("Gotham".into())), ("state", Value::Text("NJ".into()))]))
+            .check(&view(&[
+                ("city", Value::Text("Gotham".into())),
+                ("state", Value::Text("NJ".into()))
+            ]))
             .is_none());
     }
 
@@ -311,7 +326,8 @@ mod tests {
     fn vacuous_fds_not_learned() {
         // Every lhs unique → no FD evidence.
         let cols = vec!["id".to_string(), "x".to_string()];
-        let rows: Vec<Vec<String>> = (0..20).map(|i| vec![i.to_string(), (i * 2).to_string()]).collect();
+        let rows: Vec<Vec<String>> =
+            (0..20).map(|i| vec![i.to_string(), (i * 2).to_string()]).collect();
         let cs = learn(&cols, &rows, &LearnConfig::default());
         assert!(cs.iter().all(|c| !matches!(c, Constraint::FunctionalDependency { .. })));
     }

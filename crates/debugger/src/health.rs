@@ -57,7 +57,11 @@ impl HealthMonitor {
     }
 
     /// Register a component with metric bands.
-    pub fn register(&mut self, name: &str, bands: impl IntoIterator<Item = (&'static str, f64, f64)>) {
+    pub fn register(
+        &mut self,
+        name: &str,
+        bands: impl IntoIterator<Item = (&'static str, f64, f64)>,
+    ) {
         self.components.insert(
             name.to_string(),
             Component {
@@ -69,7 +73,12 @@ impl HealthMonitor {
     }
 
     /// Record a heartbeat with current metric values.
-    pub fn heartbeat(&mut self, tick: u64, name: &str, metrics: impl IntoIterator<Item = (&'static str, f64)>) {
+    pub fn heartbeat(
+        &mut self,
+        tick: u64,
+        name: &str,
+        metrics: impl IntoIterator<Item = (&'static str, f64)>,
+    ) {
         let Some(c) = self.components.get_mut(name) else { return };
         c.last_heartbeat = tick;
         for (m, v) in metrics {
@@ -98,9 +107,10 @@ impl HealthMonitor {
             });
             return Some(HealthStatus::Unresponsive);
         }
-        let degraded = c.bands.iter().any(|(m, &(lo, hi))| {
-            c.metrics.get(m).is_some_and(|&v| v < lo || v > hi)
-        });
+        let degraded = c
+            .bands
+            .iter()
+            .any(|(m, &(lo, hi))| c.metrics.get(m).is_some_and(|&v| v < lo || v > hi));
         Some(if degraded { HealthStatus::Degraded } else { HealthStatus::Healthy })
     }
 

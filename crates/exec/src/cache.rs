@@ -1,0 +1,143 @@
+//! Sharded memoisation cache with LRU-ish eviction, used to avoid
+//! recomputing pairwise similarity for strings that recur across blocks.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+struct Shard<K, V> {
+    /// value + last-touch stamp.
+    map: HashMap<K, (V, u64)>,
+    clock: u64,
+}
+
+/// Concurrent memo cache: `get_or_insert_with` computes each key's value
+/// at most once per residency. Sharded by key hash so parallel scorers
+/// rarely contend; eviction drops the least recently touched eighth of a
+/// shard when it outgrows its share of the capacity.
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
+    /// Cache holding about `capacity` entries across all shards.
+    pub fn new(capacity: usize) -> MemoCache<K, V> {
+        let per_shard = (capacity / SHARDS).max(8);
+        MemoCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Return the cached value for `key`, computing it with `compute` on
+    /// a miss. The lock is held across `compute`, which is fine for the
+    /// cheap similarity kernels this cache serves and guarantees each
+    /// key is computed once per residency.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let mut shard = self.shard_for(&key).lock().unwrap();
+        shard.clock += 1;
+        let now = shard.clock;
+        if let Some((value, stamp)) = shard.map.get_mut(&key) {
+            *stamp = now;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return value.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        if shard.map.len() >= self.per_shard {
+            // Drop the oldest ~12.5% by touch stamp. O(n log n) in the
+            // shard, but runs once per per_shard/8 insertions.
+            let mut stamps: Vec<u64> = shard.map.values().map(|(_, s)| *s).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[stamps.len() / 8];
+            shard.map.retain(|_, (_, s)| *s > cutoff);
+        }
+        shard.map.insert(key, (value.clone(), now));
+        value
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache: MemoCache<(String, String), f64> = MemoCache::new(1024);
+        let calls = AtomicUsize::new(0);
+        let key = ("ann arbor".to_string(), "ann harbor".to_string());
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with(key.clone(), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                0.9
+            });
+            assert_eq!(v, 0.9);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_bounds_residency() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(160);
+        for i in 0..10_000u64 {
+            cache.get_or_insert_with(i, || i);
+        }
+        // per-shard cap of 10 (min 8 → 10) times 16 shards, plus the
+        // slack of the batched eviction.
+        assert!(cache.len() <= 16 * 16, "len={}", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn recently_touched_keys_survive_eviction() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(160);
+        for round in 0..200u64 {
+            // Key 0 is touched every iteration; the churn keys only once.
+            cache.get_or_insert_with(0, || 42);
+            cache.get_or_insert_with(1000 + round, || round);
+        }
+        let hits_before = cache.hits();
+        cache.get_or_insert_with(0, || 42);
+        assert_eq!(cache.hits(), hits_before + 1, "hot key was evicted");
+    }
+}

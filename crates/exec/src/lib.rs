@@ -1,0 +1,30 @@
+//! Work-stealing parallel executor for Quarry's document-at-a-time hot
+//! paths: corpus extraction, pairwise similarity scoring, and pipeline
+//! `EXTRACT` statements.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Bit-identical results.** Every parallel entry point returns
+//!    exactly what the sequential code would have returned, element for
+//!    element. Parallelism here is an implementation detail of the data
+//!    plane, never observable through output order. See
+//!    [`pool::ExecPool::map`] and [`pool::ExecPool::sort_by`] for the
+//!    determinism arguments.
+//! 2. **No unsafe, no dependencies.** Workers run inside
+//!    [`std::thread::scope`], so borrowed inputs need no `'static`
+//!    gymnastics and no reference counting. Scoped spawn costs a few
+//!    microseconds per worker per stage; batching amortises it, and the
+//!    pool transparently degrades to an inline loop for small inputs
+//!    where spawning would dominate.
+//! 3. **Observable.** Every stage records an entry in an
+//!    [`report::ExecReport`]: items, batches, throughput, batch-latency
+//!    spread, and how many batches were stolen rather than executed by
+//!    their home worker. Named counters capture cache behaviour.
+
+pub mod cache;
+pub mod pool;
+pub mod report;
+
+pub use cache::MemoCache;
+pub use pool::ExecPool;
+pub use report::{ExecReport, OpStats, StageReport};

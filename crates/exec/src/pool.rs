@@ -1,0 +1,363 @@
+//! The work-stealing thread pool.
+//!
+//! Workers are spawned per stage inside [`std::thread::scope`], so
+//! closures may borrow the caller's data freely. Each worker owns a
+//! deque of batch ranges; it pops its own work from the front and, when
+//! empty, steals from the back of a sibling's deque. Results are
+//! collected per batch and reassembled in input order, which makes the
+//! output independent of the schedule.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::report::{ExecReport, StageReport};
+
+/// Default number of items per batch.
+const DEFAULT_BATCH: usize = 32;
+
+/// Below this many items a parallel sort is not worth the merge pass.
+const MIN_PARALLEL_SORT: usize = 2048;
+
+/// A configured executor. Cheap to copy; threads are spawned per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPool {
+    threads: usize,
+    batch_size: usize,
+}
+
+/// What one worker did during a stage.
+struct WorkerLog<R> {
+    /// `(batch_start, results)` for every batch this worker ran.
+    batches: Vec<(usize, Vec<R>)>,
+    /// Wall-clock latency of each batch this worker ran.
+    latencies: Vec<Duration>,
+    /// How many of its batches came from another worker's deque.
+    stolen: usize,
+}
+
+impl ExecPool {
+    /// Pool with `threads` workers; `0` means one worker per available
+    /// CPU.
+    pub fn new(threads: usize) -> ExecPool {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        ExecPool { threads, batch_size: DEFAULT_BATCH }
+    }
+
+    /// A pool that always runs inline on the calling thread.
+    pub fn sequential() -> ExecPool {
+        ExecPool { threads: 1, batch_size: DEFAULT_BATCH }
+    }
+
+    /// Override the number of items per batch (minimum 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> ExecPool {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, returning results in input order.
+    ///
+    /// Determinism: `f` runs exactly once per index, each batch stores
+    /// its results keyed by its start index, and the final vector is
+    /// assembled by ascending start index. The schedule (which worker
+    /// ran which batch, and when) therefore cannot influence the output:
+    /// `map(..)[i] == f(i, &items[i])` always, exactly as in a
+    /// sequential loop.
+    pub fn map<T, R, F>(&self, stage: &str, items: &[T], f: F, report: &mut ExecReport) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        // Inline when parallelism cannot pay for thread spawns: fewer
+        // batches than workers means most workers would idle.
+        if self.threads <= 1 || n <= self.batch_size {
+            let start = Instant::now();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let elapsed = start.elapsed();
+            report.stages.push(StageReport {
+                stage: stage.to_string(),
+                items: n,
+                batches: if n == 0 { 0 } else { 1 },
+                threads: 1,
+                stolen_batches: 0,
+                elapsed,
+                min_batch: elapsed,
+                mean_batch: elapsed,
+                max_batch: elapsed,
+            });
+            return out;
+        }
+
+        let started = Instant::now();
+        let workers = self.threads.min(n.div_ceil(self.batch_size));
+        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let mut batches = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + self.batch_size).min(n);
+            queues[batches % workers].lock().unwrap().push_back(lo..hi);
+            batches += 1;
+            lo = hi;
+        }
+
+        let logs: Vec<WorkerLog<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    let queues = &queues;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut log =
+                            WorkerLog { batches: Vec::new(), latencies: Vec::new(), stolen: 0 };
+                        loop {
+                            // Own work first (front), then steal from a
+                            // sibling's opposite end to limit contention.
+                            let mut grabbed = queues[wid].lock().unwrap().pop_front();
+                            if grabbed.is_none() {
+                                for off in 1..workers {
+                                    let victim = (wid + off) % workers;
+                                    if let Some(r) = queues[victim].lock().unwrap().pop_back() {
+                                        log.stolen += 1;
+                                        grabbed = Some(r);
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(range) = grabbed else { break };
+                            let t0 = Instant::now();
+                            let start = range.start;
+                            let out: Vec<R> = items[range.clone()]
+                                .iter()
+                                .zip(range)
+                                .map(|(t, i)| f(i, t))
+                                .collect();
+                            log.latencies.push(t0.elapsed());
+                            log.batches.push((start, out));
+                        }
+                        log
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+        });
+
+        let mut stolen = 0usize;
+        let mut latencies: Vec<Duration> = Vec::with_capacity(batches);
+        let mut keyed: Vec<(usize, Vec<R>)> = Vec::with_capacity(batches);
+        for log in logs {
+            stolen += log.stolen;
+            latencies.extend(log.latencies);
+            keyed.extend(log.batches);
+        }
+        keyed.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, chunk) in keyed {
+            out.extend(chunk);
+        }
+
+        let elapsed = started.elapsed();
+        let total: Duration = latencies.iter().sum();
+        report.stages.push(StageReport {
+            stage: stage.to_string(),
+            items: n,
+            batches,
+            threads: workers,
+            stolen_batches: stolen,
+            elapsed,
+            min_batch: latencies.iter().min().copied().unwrap_or_default(),
+            mean_batch: total.checked_div(latencies.len() as u32).unwrap_or_default(),
+            max_batch: latencies.iter().max().copied().unwrap_or_default(),
+        });
+        out
+    }
+
+    /// Stable-equivalent parallel sort: returns exactly what
+    /// `items.sort_by(cmp)` (std's stable sort) would produce.
+    ///
+    /// Each element is tagged with its original index and `(cmp, index)`
+    /// is used as a total order, which is precisely the permutation a
+    /// stable sort realises. Contiguous chunks are sorted on the workers
+    /// and merged with a k-way merge under the same total order, so the
+    /// result is the unique sorted sequence — independent of chunking.
+    pub fn sort_by<T, F>(
+        &self,
+        stage: &str,
+        mut items: Vec<T>,
+        cmp: F,
+        report: &mut ExecReport,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n < MIN_PARALLEL_SORT {
+            let start = Instant::now();
+            items.sort_by(&cmp);
+            let elapsed = start.elapsed();
+            report.stages.push(StageReport {
+                stage: stage.to_string(),
+                items: n,
+                batches: if n == 0 { 0 } else { 1 },
+                threads: 1,
+                stolen_batches: 0,
+                elapsed,
+                min_batch: elapsed,
+                mean_batch: elapsed,
+                max_batch: elapsed,
+            });
+            return items;
+        }
+
+        let started = Instant::now();
+        let mut tagged: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        let workers = self.threads;
+        let chunk_len = n.div_ceil(workers);
+        let total = |a: &(usize, T), b: &(usize, T)| cmp(&a.1, &b.1).then(a.0.cmp(&b.0));
+
+        let mut latencies: Vec<Duration> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tagged
+                .chunks_mut(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(|| {
+                        let t0 = Instant::now();
+                        // (cmp, index) is a total order, so an unstable
+                        // sort is deterministic here.
+                        chunk.sort_unstable_by(total);
+                        t0.elapsed()
+                    })
+                })
+                .collect();
+            for h in handles {
+                latencies.push(h.join().expect("sort worker panicked"));
+            }
+        });
+
+        // K-way merge of the sorted runs under the same total order.
+        let mut runs: Vec<std::vec::IntoIter<(usize, T)>> = Vec::with_capacity(workers);
+        {
+            let mut rest = tagged;
+            while rest.len() > chunk_len {
+                let tail = rest.split_off(chunk_len);
+                runs.push(rest.into_iter());
+                rest = tail;
+            }
+            runs.push(rest.into_iter());
+        }
+        let mut heads: Vec<Option<(usize, T)>> = runs.iter_mut().map(|r| r.next()).collect();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(h) = head {
+                    match best {
+                        Some(b) if total(heads[b].as_ref().unwrap(), h) != Ordering::Greater => {}
+                        _ => best = Some(i),
+                    }
+                }
+            }
+            let Some(b) = best else { break };
+            let (_, value) = heads[b].take().unwrap();
+            out.push(value);
+            heads[b] = runs[b].next();
+        }
+
+        let elapsed = started.elapsed();
+        let batches = latencies.len();
+        let sum: Duration = latencies.iter().sum();
+        report.stages.push(StageReport {
+            stage: stage.to_string(),
+            items: n,
+            batches,
+            threads: workers,
+            stolen_batches: 0,
+            elapsed,
+            min_batch: latencies.iter().min().copied().unwrap_or_default(),
+            mean_batch: sum.checked_div(batches as u32).unwrap_or_default(),
+            max_batch: latencies.iter().max().copied().unwrap_or_default(),
+        });
+        out
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> ExecPool {
+        ExecPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_at_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ExecPool::new(threads).with_batch_size(7);
+            let mut report = ExecReport::new();
+            let got = pool.map("square", &items, |_, x| x * x + 1, &mut report);
+            assert_eq!(got, expected, "threads={threads}");
+            let stage = report.stage("square").unwrap();
+            assert_eq!(stage.items, 1000);
+            assert!(stage.batches >= 1);
+        }
+    }
+
+    #[test]
+    fn map_passes_true_indices() {
+        let items = vec!["a"; 500];
+        let pool = ExecPool::new(4).with_batch_size(13);
+        let mut report = ExecReport::new();
+        let got = pool.map("idx", &items, |i, _| i, &mut report);
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let pool = ExecPool::new(8);
+        let mut report = ExecReport::new();
+        let empty: Vec<u32> = pool.map("empty", &[], |_, x: &u32| *x, &mut report);
+        assert!(empty.is_empty());
+        assert_eq!(report.stage("empty").unwrap().batches, 0);
+        let one = pool.map("one", &[41u32], |_, x| x + 1, &mut report);
+        assert_eq!(one, vec![42]);
+        assert_eq!(report.stage("one").unwrap().threads, 1);
+    }
+
+    #[test]
+    fn sort_matches_stable_sort_with_duplicate_keys() {
+        // Many duplicate keys + distinct payloads expose any
+        // stability violation.
+        let items: Vec<(u8, usize)> = (0..10_000).map(|i| ((i % 7) as u8, i)).collect();
+        let mut expected = items.clone();
+        expected.sort_by_key(|a| a.0);
+        for threads in [1, 2, 3, 8] {
+            let pool = ExecPool::new(threads);
+            let mut report = ExecReport::new();
+            let got = pool.sort_by("s", items.clone(), |a, b| a.0.cmp(&b.0), &mut report);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(ExecPool::new(0).threads() >= 1);
+        assert_eq!(ExecPool::sequential().threads(), 1);
+    }
+}

@@ -58,11 +58,7 @@ impl Gazetteer {
     }
 
     fn key_of(source: &str, toks: &[Token], ci: bool) -> String {
-        let joined = toks
-            .iter()
-            .map(|t| t.text(source))
-            .collect::<Vec<_>>()
-            .join(" ");
+        let joined = toks.iter().map(|t| t.text(source)).collect::<Vec<_>>().join(" ");
         if ci {
             joined.to_lowercase()
         } else {

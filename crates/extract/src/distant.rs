@@ -22,11 +22,7 @@ use quarry_corpus::Document;
 pub fn auto_label(doc: &Document, attribute: &str) -> Option<LabeledDoc> {
     let block = infobox::find_block(&doc.text)?;
     let infobox_exts = infobox::extract(doc);
-    let value = infobox_exts
-        .iter()
-        .find(|e| e.attribute == attribute)?
-        .raw
-        .clone();
+    let value = infobox_exts.iter().find(|e| e.attribute == attribute)?.raw.clone();
     if value.len() < 2 {
         return None; // single characters label everything; useless signal
     }
@@ -59,10 +55,8 @@ impl DistantExtractor {
     /// Train from every document whose infobox value for `attribute`
     /// reappears in its prose.
     pub fn train(docs: &[Document], attribute: &str, threshold: f64) -> DistantExtractor {
-        let labeled: Vec<LabeledDoc> = docs
-            .iter()
-            .filter_map(|d| auto_label(d, attribute))
-            .collect();
+        let labeled: Vec<LabeledDoc> =
+            docs.iter().filter_map(|d| auto_label(d, attribute)).collect();
         DistantExtractor {
             attribute: attribute.to_string(),
             model: NaiveBayes::train(attribute, &labeled),
@@ -125,7 +119,8 @@ mod tests {
         let unechoed = Document {
             id: DocId(2),
             title: "T".into(),
-            text: "{{Infobox settlement\n| population = 99,999\n}}\n\nProse that never repeats it.".into(),
+            text: "{{Infobox settlement\n| population = 99,999\n}}\n\nProse that never repeats it."
+                .into(),
             kind: DocKind::City,
         };
         assert!(auto_label(&unechoed, "population").is_none());

@@ -53,8 +53,18 @@ pub fn canonical_attribute(label: &str) -> String {
 }
 
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 fn city_pairs(c: &CityFact, out: &mut HashSet<(u32, String, Value)>) {
@@ -169,10 +179,8 @@ mod tests {
     #[test]
     fn perfect_subset_has_full_precision() {
         let gt = truth_one_city();
-        let exts = vec![
-            ext(0, "population", Value::Int(250_000)),
-            ext(0, "founded", Value::Int(1846)),
-        ];
+        let exts =
+            vec![ext(0, "population", Value::Int(250_000)), ext(0, "founded", Value::Int(1846))];
         let s = score(&exts, &gt);
         assert_eq!(s.precision, 1.0);
         assert!(s.recall < 1.0);

@@ -20,7 +20,9 @@ pub const CONFIDENCE: f64 = 0.95;
 
 fn line_re() -> &'static Regex {
     static RE: OnceLock<Regex> = OnceLock::new();
-    RE.get_or_init(|| Regex::new(r"\| *([a-zA-Z_][a-zA-Z0-9_]*) *= *([^\n]+)").expect("static pattern"))
+    RE.get_or_init(|| {
+        Regex::new(r"\| *([a-zA-Z_][a-zA-Z0-9_]*) *= *([^\n]+)").expect("static pattern")
+    })
 }
 
 /// The parsed header and body bounds of an infobox block.
@@ -59,7 +61,8 @@ pub fn extract(doc: &Document) -> Vec<Extraction> {
             continue;
         }
         // Rebase the value span onto the document.
-        let span = Span::new(block.span.start + val.start, block.span.start + val.start + raw.len());
+        let span =
+            Span::new(block.span.start + val.start, block.span.start + val.start + raw.len());
         let value = normalize::normalize(&attribute, &raw);
         out.push(Extraction {
             doc: doc.id,

@@ -188,13 +188,15 @@ mod tests {
     /// Build training docs where the value is the number after "was".
     fn training_set() -> Vec<LabeledDoc> {
         let mut docs = Vec::new();
-        for (city, n) in [("Madison", "250000"), ("Oakton", "9500"), ("Riverdale", "120000"), ("Hillford", "43000")] {
+        for (city, n) in [
+            ("Madison", "250000"),
+            ("Oakton", "9500"),
+            ("Riverdale", "120000"),
+            ("Hillford", "43000"),
+        ] {
             let text = format!("the population of {city} was {n} last year");
             let start = text.find(n).unwrap();
-            docs.push(LabeledDoc {
-                positive: vec![Span::new(start, start + n.len())],
-                text,
-            });
+            docs.push(LabeledDoc { positive: vec![Span::new(start, start + n.len())], text });
         }
         // Negative-only docs teach the model that numbers elsewhere are not values.
         for y in ["1846", "1901"] {

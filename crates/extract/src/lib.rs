@@ -34,8 +34,6 @@ pub mod regex;
 pub mod rules;
 pub mod token;
 
-
 pub use eval::{f1_score, PrF1};
 pub use model::{Extraction, Span};
 pub use pipeline::{extract_all, ExtractorSet};
-

@@ -77,11 +77,23 @@ impl Extraction {
 
 /// Remove duplicate extractions (same identity), keeping the most confident.
 pub fn dedup(mut extractions: Vec<Extraction>) -> Vec<Extraction> {
-    extractions.sort_by(|a, b| {
-        a.identity()
-            .cmp(&b.identity())
-            .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
-    });
+    extractions.sort_by(dedup_order);
+    dedup_sorted(extractions)
+}
+
+/// The comparator [`dedup`] sorts by: identity ascending, then confidence
+/// descending, so the first witness of each identity is the most
+/// confident one. Exposed so a parallel sort can reproduce `dedup`
+/// exactly (see `quarry-exec`).
+pub fn dedup_order(a: &Extraction, b: &Extraction) -> std::cmp::Ordering {
+    a.identity()
+        .cmp(&b.identity())
+        .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Second half of [`dedup`]: collapse a vector already sorted by
+/// [`dedup_order`] down to one witness per identity.
+pub fn dedup_sorted(mut extractions: Vec<Extraction>) -> Vec<Extraction> {
     extractions.dedup_by(|next, kept| next.identity() == kept.identity());
     extractions
 }

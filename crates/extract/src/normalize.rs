@@ -77,7 +77,13 @@ pub fn normalize(attribute: &str, raw: &str) -> Value {
             return Value::Int(n);
         }
     }
-    if a == "founded" || a == "established" || a == "year" || a == "pub_year" || a == "birth_year" || a == "born" {
+    if a == "founded"
+        || a == "established"
+        || a == "year"
+        || a == "pub_year"
+        || a == "birth_year"
+        || a == "born"
+    {
         if let Some(y) = parse_year(raw) {
             return Value::Int(y);
         }
@@ -152,9 +158,6 @@ mod tests {
 
     #[test]
     fn unparseable_values_stay_text() {
-        assert_eq!(
-            normalize("population", "unknown"),
-            Value::Text("unknown".into())
-        );
+        assert_eq!(normalize("population", "unknown"), Value::Text("unknown".into()));
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::dictionary::Gazetteer;
 use crate::infobox;
-use crate::model::{dedup, Extraction};
+use crate::model::{dedup, dedup_order, dedup_sorted, Extraction};
 use crate::rules::{self, ProseRule};
 use quarry_corpus::{Corpus, Document};
+use quarry_exec::{ExecPool, ExecReport};
 
 /// Which operators to run, and with what resources.
 #[derive(Default)]
@@ -29,6 +30,24 @@ impl ExtractorSet {
         ExtractorSet { infobox: true, rules: Vec::new(), gazetteers: Vec::new() }
     }
 
+    /// Add a gazetteer to the set (builder style).
+    pub fn with_gazetteer(mut self, gazetteer: Gazetteer) -> ExtractorSet {
+        self.gazetteers.push(gazetteer);
+        self
+    }
+
+    /// Add a prose rule to the set (builder style).
+    pub fn with_rule(mut self, rule: ProseRule) -> ExtractorSet {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Enable or disable the infobox parser (builder style).
+    pub fn with_infobox(mut self, enabled: bool) -> ExtractorSet {
+        self.infobox = enabled;
+        self
+    }
+
     /// Run every configured operator over one document.
     pub fn extract_doc(&self, doc: &Document) -> Vec<Extraction> {
         let mut out = Vec::new();
@@ -50,6 +69,30 @@ impl ExtractorSet {
 pub fn extract_all(corpus: &Corpus, set: &ExtractorSet) -> Vec<Extraction> {
     let raw: Vec<Extraction> = corpus.docs.iter().flat_map(|d| set.extract_doc(d)).collect();
     dedup(raw)
+}
+
+/// Parallel [`extract_all`]: fan out per document on `pool`, then
+/// merge-dedup with a parallel sort. Returns exactly what
+/// [`extract_all`] returns.
+///
+/// Determinism: `ExecPool::map` yields per-document extraction vectors
+/// in document order, so their concatenation equals the sequential
+/// `flat_map`. `ExecPool::sort_by` is stable-equivalent under
+/// [`dedup_order`], so the final `dedup_sorted` sees the same sequence
+/// the sequential `dedup` would.
+pub fn extract_all_with(
+    corpus: &Corpus,
+    set: &ExtractorSet,
+    pool: &ExecPool,
+    report: &mut ExecReport,
+) -> Vec<Extraction> {
+    let per_doc = pool.map("extract/fan-out", &corpus.docs, |_, d| set.extract_doc(d), report);
+    let mut raw = Vec::with_capacity(per_doc.iter().map(Vec::len).sum());
+    for exts in per_doc {
+        raw.extend(exts);
+    }
+    let sorted = pool.sort_by("extract/dedup-sort", raw, dedup_order, report);
+    dedup_sorted(sorted)
 }
 
 #[cfg(test)]
@@ -86,16 +129,24 @@ mod tests {
         let c = corpus(NoiseConfig::default());
         let full = eval::score(&extract_all(&c, &ExtractorSet::standard()), &c.truth);
         let ibx = eval::score(&extract_all(&c, &ExtractorSet::infobox_only()), &c.truth);
-        assert!(ibx.precision >= full.precision - 0.02, "ibx {:.3} vs full {:.3}", ibx.precision, full.precision);
+        assert!(
+            ibx.precision >= full.precision - 0.02,
+            "ibx {:.3} vs full {:.3}",
+            ibx.precision,
+            full.precision
+        );
         assert!(ibx.recall <= full.recall, "infobox-only cannot out-recall the full set");
     }
 
     #[test]
     fn gazetteers_add_mentions() {
         let c = corpus(NoiseConfig::none());
-        let mut set = ExtractorSet::infobox_only();
         let names: Vec<&str> = c.truth.cities.iter().map(|x| x.name.as_str()).collect();
-        set.gazetteers.push(Gazetteer::from_names("city_mention", names.iter().copied(), false));
+        let set = ExtractorSet::infobox_only().with_gazetteer(Gazetteer::from_names(
+            "city_mention",
+            names.iter().copied(),
+            false,
+        ));
         let exts = extract_all(&c, &set);
         assert!(exts.iter().any(|e| e.attribute == "city_mention"));
     }
@@ -104,7 +155,8 @@ mod tests {
     fn dedup_keeps_one_witness_per_identity() {
         let c = corpus(NoiseConfig::none());
         let exts = extract_all(&c, &ExtractorSet::standard());
-        let mut ids: Vec<_> = exts.iter().map(|e| (e.doc, e.attribute.clone(), e.value.clone())).collect();
+        let mut ids: Vec<_> =
+            exts.iter().map(|e| (e.doc, e.attribute.clone(), e.value.clone())).collect();
         let n = ids.len();
         ids.sort();
         ids.dedup();

@@ -344,9 +344,7 @@ fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
         Ast::Empty => {}
         Ast::Char(c) => prog.push(Inst::Char(*c)),
         Ast::Any => prog.push(Inst::Any),
-        Ast::Class { neg, items } => {
-            prog.push(Inst::Class { neg: *neg, items: items.clone() })
-        }
+        Ast::Class { neg, items } => prog.push(Inst::Class { neg: *neg, items: items.clone() }),
         Ast::AnchorStart => prog.push(Inst::AnchorStart),
         Ast::AnchorEnd => prog.push(Inst::AnchorEnd),
         Ast::Group(idx, inner) => {
@@ -428,9 +426,9 @@ impl Haystack<'_> {
             self.offsets[sp]
         } else {
             // End of haystack: one past the last char's start.
-            self.offsets.last().map_or(0, |&last| {
-                last + self.chars.last().map_or(0, |c| c.len_utf8())
-            })
+            self.offsets
+                .last()
+                .map_or(0, |&last| last + self.chars.last().map_or(0, |c| c.len_utf8()))
         }
     }
 }
@@ -572,10 +570,7 @@ impl Regex {
 
     /// All non-overlapping matches, left to right.
     pub fn find_iter(&self, text: &str) -> Vec<Match> {
-        self.captures_iter(text)
-            .into_iter()
-            .filter_map(|c| c.get(0))
-            .collect()
+        self.captures_iter(text).into_iter().filter_map(|c| c.get(0)).collect()
     }
 
     /// Captures of all non-overlapping matches, left to right.
@@ -595,11 +590,7 @@ impl Regex {
                     .map(|g| g.map(|m| Match { start: m.start + byte_pos, end: m.end + byte_pos }))
                     .collect(),
             };
-            let advance = if m.end > m.start {
-                m.end
-            } else {
-                m.end + char_len_at(rest, m.end)
-            };
+            let advance = if m.end > m.start { m.end } else { m.end + char_len_at(rest, m.end) };
             out.push(rebased);
             byte_pos += advance;
         }
@@ -677,10 +668,7 @@ mod tests {
         let re = Regex::new(r"(\d+) (°F|F|degrees Fahrenheit)").unwrap();
         let caps = re.captures("it is 70 degrees Fahrenheit today").unwrap();
         assert_eq!(caps.text(1, "it is 70 degrees Fahrenheit today"), Some("70"));
-        assert_eq!(
-            caps.text(2, "it is 70 degrees Fahrenheit today"),
-            Some("degrees Fahrenheit")
-        );
+        assert_eq!(caps.text(2, "it is 70 degrees Fahrenheit today"), Some("degrees Fahrenheit"));
     }
 
     #[test]
@@ -695,7 +683,8 @@ mod tests {
     fn find_iter_non_overlapping() {
         let re = Regex::new(r"\d+").unwrap();
         let text = "a1 b22 c333";
-        let all: Vec<String> = re.find_iter(text).iter().map(|m| m.as_str(text).to_string()).collect();
+        let all: Vec<String> =
+            re.find_iter(text).iter().map(|m| m.as_str(text).to_string()).collect();
         assert_eq!(all, vec!["1", "22", "333"]);
     }
 

@@ -71,10 +71,8 @@ impl ProseRule {
                 for g in 1..caps.len() {
                     let ph = format!("{{{g}}}");
                     if attribute.contains(&ph) {
-                        let sub = caps
-                            .text(g, &doc.text)
-                            .map(|t| t.to_lowercase())
-                            .unwrap_or_default();
+                        let sub =
+                            caps.text(g, &doc.text).map(|t| t.to_lowercase()).unwrap_or_default();
                         attribute = attribute.replace(&ph, &sub);
                     }
                 }
@@ -94,7 +92,8 @@ impl ProseRule {
     }
 }
 
-const MONTH_ALT: &str = "January|February|March|April|May|June|July|August|September|October|November|December";
+const MONTH_ALT: &str =
+    "January|February|March|April|May|June|July|August|September|October|November|December";
 const NUM: &str = r"-?[\d,]+";
 
 /// The standard rule set covering the corpus's prose templates, i.e. the
@@ -234,7 +233,9 @@ mod tests {
 
     #[test]
     fn company_page_rules() {
-        let d = doc("Acme Systems is a software company headquartered in Madison. It was founded in 1987.");
+        let d = doc(
+            "Acme Systems is a software company headquartered in Madison. It was founded in 1987.",
+        );
         let exts = extract(&d, &standard_rules());
         let attr = |a: &str| exts.iter().find(|e| e.attribute == a).map(|e| e.value.clone());
         assert_eq!(attr("industry"), Some(Value::Text("software".into())));

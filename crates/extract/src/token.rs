@@ -60,8 +60,8 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         } else if c.is_ascii_digit() {
             let mut end = start + 1;
             while let Some(&(i, n)) = iter.peek() {
-                let separator_in_number = (n == ',' || n == '.')
-                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                let separator_in_number =
+                    (n == ',' || n == '.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
                 if n.is_ascii_digit() || separator_in_number {
                     end = i + 1;
                     iter.next();
@@ -135,16 +135,18 @@ mod tests {
 
     #[test]
     fn words_numbers_punct() {
-        assert_eq!(texts("Madison was founded in 1846."), vec![
-            "Madison", "was", "founded", "in", "1846", "."
-        ]);
+        assert_eq!(
+            texts("Madison was founded in 1846."),
+            vec!["Madison", "was", "founded", "in", "1846", "."]
+        );
     }
 
     #[test]
     fn numbers_with_separators_and_decimals() {
-        assert_eq!(texts("population 1,234,567 area 77.5 mi"), vec![
-            "population", "1,234,567", "area", "77.5", "mi"
-        ]);
+        assert_eq!(
+            texts("population 1,234,567 area 77.5 mi"),
+            vec!["population", "1,234,567", "area", "77.5", "mi"]
+        );
         // Trailing period is not absorbed.
         assert_eq!(texts("it is 70."), vec!["it", "is", "70", "."]);
     }
@@ -175,12 +177,7 @@ mod tests {
         let s = "First sentence. Second one! Third? Last without period";
         let spans = sentences(s);
         let texts: Vec<&str> = spans.iter().map(|sp| sp.slice(s)).collect();
-        assert_eq!(texts, vec![
-            "First sentence.",
-            "Second one!",
-            "Third?",
-            "Last without period"
-        ]);
+        assert_eq!(texts, vec!["First sentence.", "Second one!", "Third?", "Last without period"]);
     }
 
     #[test]

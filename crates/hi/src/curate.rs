@@ -106,11 +106,7 @@ pub fn decision_accuracy(items: &[UncertainItem], decisions: &[bool]) -> f64 {
     if items.is_empty() {
         return 1.0;
     }
-    let right = items
-        .iter()
-        .zip(decisions)
-        .filter(|(i, &d)| i.truth == d)
-        .count();
+    let right = items.iter().zip(decisions).filter(|(i, &d)| i.truth == d).count();
     right as f64 / items.len() as f64
 }
 
@@ -160,7 +156,10 @@ mod tests {
         let (acc, report) = run(SelectionPolicy::UncertaintyFirst, 0);
         assert_eq!(report.spent, 0);
         assert_eq!(report.overrides, 0);
-        let auto_acc = decision_accuracy(&items(60), &items(60).iter().map(|i| i.auto_decision).collect::<Vec<_>>());
+        let auto_acc = decision_accuracy(
+            &items(60),
+            &items(60).iter().map(|i| i.auto_decision).collect::<Vec<_>>(),
+        );
         assert_eq!(acc, auto_acc);
     }
 

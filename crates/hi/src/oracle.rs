@@ -63,9 +63,7 @@ impl SimulatedUser {
 /// all seeded from `seed`.
 pub fn panel(n: usize, error_rates: &[f64], seed: u64) -> Vec<SimulatedUser> {
     assert!(!error_rates.is_empty());
-    (0..n)
-        .map(|i| SimulatedUser::new(i as u32, error_rates[i % error_rates.len()], seed))
-        .collect()
+    (0..n).map(|i| SimulatedUser::new(i as u32, error_rates[i % error_rates.len()], seed)).collect()
 }
 
 #[cfg(test)]
@@ -97,9 +95,7 @@ mod tests {
     fn error_rate_is_approximately_realized() {
         let mut u = SimulatedUser::new(3, 0.3, 42);
         let n = 2000;
-        let wrong = (0..n)
-            .filter(|&i| u.answer(&q(i, true)) == Answer::Bool(false))
-            .count();
+        let wrong = (0..n).filter(|&i| u.answer(&q(i, true)) == Answer::Bool(false)).count();
         let rate = wrong as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.04, "realized {rate}");
     }

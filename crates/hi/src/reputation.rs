@@ -45,10 +45,7 @@ impl ReputationTracker {
 
     /// Record an observed outcome for a user.
     pub fn record(&mut self, user: UserId, correct: bool) {
-        let r = self
-            .users
-            .entry(user)
-            .or_insert(Reliability { alpha: 1.0, beta: 1.0 });
+        let r = self.users.entry(user).or_insert(Reliability { alpha: 1.0, beta: 1.0 });
         if correct {
             r.alpha += 1.0;
         } else {
@@ -58,10 +55,7 @@ impl ReputationTracker {
 
     /// Current reliability estimate for a user.
     pub fn reliability(&self, user: UserId) -> Reliability {
-        self.users
-            .get(&user)
-            .copied()
-            .unwrap_or(Reliability { alpha: 1.0, beta: 1.0 })
+        self.users.get(&user).copied().unwrap_or(Reliability { alpha: 1.0, beta: 1.0 })
     }
 
     /// Voting weight for a user: log-odds of their estimated reliability,

@@ -50,11 +50,7 @@ pub fn key_blocking<T>(records: &[T], key: impl Fn(&T) -> String) -> Vec<Pair> {
 /// Sorted-neighborhood blocking: sort by a key, slide a window of size `w`;
 /// records within a window are candidates. Catches near-miss keys that pure
 /// key blocking separates.
-pub fn sorted_neighborhood<T>(
-    records: &[T],
-    key: impl Fn(&T) -> String,
-    w: usize,
-) -> Vec<Pair> {
+pub fn sorted_neighborhood<T>(records: &[T], key: impl Fn(&T) -> String, w: usize) -> Vec<Pair> {
     assert!(w >= 2, "window must cover at least 2 records");
     let mut order: Vec<usize> = (0..records.len()).collect();
     order.sort_by_key(|&i| key(&records[i]));
@@ -95,11 +91,8 @@ pub fn qgram_blocking<T>(
             }
         }
     }
-    let mut out: Vec<Pair> = common
-        .into_iter()
-        .filter(|(_, c)| *c >= min_common)
-        .map(|(p, _)| p)
-        .collect();
+    let mut out: Vec<Pair> =
+        common.into_iter().filter(|(_, c)| *c >= min_common).map(|(p, _)| p).collect();
     out.sort_unstable();
     out
 }
@@ -164,7 +157,8 @@ mod tests {
     #[allow(clippy::ptr_arg)] // must match Fn(&String) for key_blocking
     fn last_token_lower(s: &String) -> String {
         s.trim_end_matches('.')
-            .split([' ', ',']).rfind(|t| !t.is_empty())
+            .split([' ', ','])
+            .rfind(|t| !t.is_empty())
             .unwrap_or("")
             .to_lowercase()
     }

@@ -18,9 +18,11 @@
 pub mod blocking;
 pub mod cluster;
 pub mod matcher;
+pub mod parallel;
 pub mod schema_match;
 pub mod similarity;
 
 pub use cluster::{pairwise_score, Clustering, UnionFind};
-pub use matcher::{MatchConfig, MatchDecision, Record};
+pub use matcher::{IntegrateError, MatchConfig, MatchDecision, Record};
+pub use parallel::{score_pairs, SimCache};
 pub use schema_match::{Correspondence, SchemaMatcher};

@@ -17,10 +17,7 @@ pub struct Record {
 impl Record {
     /// Build a record from `(field, value)` pairs.
     pub fn new(id: usize, fields: impl IntoIterator<Item = (&'static str, Value)>) -> Record {
-        Record {
-            id,
-            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-        }
+        Record { id, fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect() }
     }
 
     /// Text view of a field.
@@ -58,6 +55,65 @@ impl Default for MatchConfig {
     }
 }
 
+/// Invalid matcher configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateError {
+    /// `nonmatch_threshold` exceeds `match_threshold` (the uncertain band
+    /// would be negative).
+    InvertedThresholds {
+        /// The configured match threshold.
+        match_threshold: f64,
+        /// The configured non-match threshold.
+        nonmatch_threshold: f64,
+    },
+    /// A weight lies outside `[0,1]`.
+    InvalidWeight {
+        /// Which weight.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrateError::InvertedThresholds { match_threshold, nonmatch_threshold } => write!(
+                f,
+                "match config: nonmatch_threshold {nonmatch_threshold} > match_threshold {match_threshold}"
+            ),
+            IntegrateError::InvalidWeight { parameter, value } => {
+                write!(f, "match config: {parameter} = {value} outside [0,1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+impl MatchConfig {
+    /// Check thresholds and weights are coherent.
+    pub fn validate(&self) -> Result<(), IntegrateError> {
+        for (parameter, value) in [
+            ("name_weight", self.name_weight),
+            ("field_weight", self.field_weight),
+            ("match_threshold", self.match_threshold),
+            ("nonmatch_threshold", self.nonmatch_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(IntegrateError::InvalidWeight { parameter, value });
+            }
+        }
+        if self.nonmatch_threshold > self.match_threshold {
+            return Err(IntegrateError::InvertedThresholds {
+                match_threshold: self.match_threshold,
+                nonmatch_threshold: self.nonmatch_threshold,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Trinary match decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatchDecision {
@@ -71,8 +127,21 @@ pub enum MatchDecision {
 
 /// Compute a match score in `[0,1]` for a record pair.
 pub fn match_score(a: &Record, b: &Record, cfg: &MatchConfig) -> f64 {
+    match_score_with(a, b, cfg, &name_similarity)
+}
+
+/// [`match_score`] with a pluggable name-similarity kernel, so callers
+/// can interpose a memo cache (see `quarry_integrate::parallel`). The
+/// kernel MUST be a pure function of its two arguments for results to
+/// stay identical to [`match_score`].
+pub fn match_score_with(
+    a: &Record,
+    b: &Record,
+    cfg: &MatchConfig,
+    name_sim_fn: &impl Fn(&str, &str) -> f64,
+) -> f64 {
     let name_sim = match (a.text(&cfg.name_field), b.text(&cfg.name_field)) {
-        (Some(na), Some(nb)) => name_similarity(na, nb),
+        (Some(na), Some(nb)) => name_sim_fn(na, nb),
         _ => 0.0,
     };
     // Supporting fields: agreement ratio over fields present in both.
@@ -107,7 +176,17 @@ pub fn match_score(a: &Record, b: &Record, cfg: &MatchConfig) -> f64 {
 
 /// Decide a pair.
 pub fn decide(a: &Record, b: &Record, cfg: &MatchConfig) -> (MatchDecision, f64) {
-    let s = match_score(a, b, cfg);
+    decide_with(a, b, cfg, &name_similarity)
+}
+
+/// [`decide`] with a pluggable name-similarity kernel.
+pub fn decide_with(
+    a: &Record,
+    b: &Record,
+    cfg: &MatchConfig,
+    name_sim_fn: &impl Fn(&str, &str) -> f64,
+) -> (MatchDecision, f64) {
+    let s = match_score_with(a, b, cfg, name_sim_fn);
     let d = if s >= cfg.match_threshold {
         MatchDecision::Match
     } else if s < cfg.nonmatch_threshold {

@@ -40,11 +40,7 @@ impl AttributeProfile {
     }
 
     fn text_set(&self) -> HashSet<String> {
-        self.values
-            .iter()
-            .filter_map(Value::as_text)
-            .map(str::to_lowercase)
-            .collect()
+        self.values.iter().filter_map(Value::as_text).map(str::to_lowercase).collect()
     }
 }
 
@@ -253,7 +249,11 @@ mod tests {
             AttributeProfile::new("residents", ints(&[1, 2])),
             AttributeProfile::new("mayor", texts(&["a"])),
         ];
-        let cs = vec![Correspondence { left: "population".into(), right: "residents".into(), score: 0.9 }];
+        let cs = vec![Correspondence {
+            left: "population".into(),
+            right: "residents".into(),
+            score: 0.9,
+        }];
         let merged = SchemaMatcher::merge(&left, &right, &cs);
         assert_eq!(merged["population"], vec!["population".to_string(), "residents".to_string()]);
         assert!(merged.contains_key("mayor"));

@@ -69,17 +69,9 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions among matched characters.
-    let b_matched: Vec<usize> = b_used
-        .iter()
-        .enumerate()
-        .filter(|(_, &u)| u)
-        .map(|(j, _)| j)
-        .collect();
-    let transpositions = a_matched
-        .iter()
-        .zip(&b_matched)
-        .filter(|(&i, &j)| a[i] != b[j])
-        .count();
+    let b_matched: Vec<usize> =
+        b_used.iter().enumerate().filter(|(_, &u)| u).map(|(j, _)| j).collect();
+    let transpositions = a_matched.iter().zip(&b_matched).filter(|(&i, &j)| a[i] != b[j]).count();
     let m = matches as f64;
     let t = transpositions as f64 / 2.0;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -88,12 +80,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler: Jaro boosted by the common prefix (up to 4 chars).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
@@ -104,10 +91,7 @@ pub fn qgrams(s: &str, q: usize) -> HashSet<String> {
         .chain(s.chars())
         .chain(std::iter::repeat_n('#', q - 1))
         .collect();
-    padded
-        .windows(q)
-        .map(|w| w.iter().collect::<String>())
-        .collect()
+    padded.windows(q).map(|w| w.iter().collect::<String>()).collect()
 }
 
 /// Jaccard similarity of q-gram sets.
@@ -145,9 +129,7 @@ impl TfIdf {
     }
 
     fn tokens(t: &str) -> impl Iterator<Item = String> + '_ {
-        t.split(|c: char| !c.is_alphanumeric())
-            .filter(|w| !w.is_empty())
-            .map(|w| w.to_lowercase())
+        t.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()).map(|w| w.to_lowercase())
     }
 
     fn vector(&self, text: &str) -> HashMap<String, f64> {
@@ -167,10 +149,7 @@ impl TfIdf {
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
         let va = self.vector(a);
         let vb = self.vector(b);
-        let dot: f64 = va
-            .iter()
-            .filter_map(|(t, w)| vb.get(t).map(|w2| w * w2))
-            .sum();
+        let dot: f64 = va.iter().filter_map(|(t, w)| vb.get(t).map(|w2| w * w2)).sum();
         let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
         let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
@@ -230,10 +209,7 @@ impl NameParts {
         // "Smith, David" form.
         if let Some((last, first)) = name.split_once(',') {
             let first_tok = first.trim().split(' ').next().unwrap_or("").trim_matches('.');
-            return NameParts {
-                first: first_tok.to_lowercase(),
-                last: last.trim().to_lowercase(),
-            };
+            return NameParts { first: first_tok.to_lowercase(), last: last.trim().to_lowercase() };
         }
         let toks: Vec<&str> = name.split(' ').filter(|t| !t.is_empty()).collect();
         match toks.len() {

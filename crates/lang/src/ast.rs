@@ -141,17 +141,16 @@ mod tests {
         let text = p.to_string();
         assert!(text.contains("PIPELINE city_facts"));
         assert!(text.contains("EXTRACT infobox, rules"));
-        assert!(text.contains("WHERE attribute IN (\"population\", \"state\") AND confidence >= 0.6"));
+        assert!(
+            text.contains("WHERE attribute IN (\"population\", \"state\") AND confidence >= 0.6")
+        );
         assert!(text.contains("CURATE BUDGET 50 VOTES 3"));
         assert!(text.contains("STORE INTO cities KEY name"));
     }
 
     #[test]
     fn attribute_sets() {
-        assert_eq!(
-            Condition::AttributeEq("a".into()).attribute_set(),
-            Some(vec!["a"])
-        );
+        assert_eq!(Condition::AttributeEq("a".into()).attribute_set(), Some(vec!["a"]));
         assert_eq!(
             Condition::AttributeIn(vec!["a".into(), "b".into()]).attribute_set(),
             Some(vec!["a", "b"])

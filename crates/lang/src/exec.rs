@@ -11,15 +11,18 @@ use crate::ast::Condition;
 use crate::plan::{LogicalPlan, PlanOp};
 use crate::registry::ExtractorRegistry;
 use quarry_corpus::{DocId, Document};
+use quarry_exec::{ExecPool, ExecReport};
 use quarry_extract::Extraction;
 use quarry_hi::{Answer, Crowd, Question, QuestionKind};
 use quarry_integrate::blocking;
-use quarry_integrate::matcher::{decide, MatchConfig, MatchDecision, Record};
+use quarry_integrate::matcher::{MatchConfig, MatchDecision, Record};
+use quarry_integrate::parallel::{score_pairs, SimCache};
 use quarry_integrate::UnionFind;
-use quarry_storage::{Column, Database, DataType, StorageError, TableSchema, Value};
+use quarry_storage::{Column, DataType, Database, StorageError, TableSchema, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Executor error.
 #[derive(Debug)]
@@ -71,12 +74,32 @@ pub struct ExecContext<'a> {
     /// plan runs to model the blueprint's "intermediate structured data
     /// kept around for optimization purposes".
     pub cache: HashMap<(DocId, String), Vec<Extraction>>,
+    /// Executor pool for the data-parallel stages. Results are identical
+    /// at every thread count; `ExecPool::sequential()` runs inline.
+    pub pool: ExecPool,
+    /// Per-stage instrumentation, appended to on every run.
+    pub report: ExecReport,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Context without HI.
+    /// Context without HI, running inline on the calling thread.
     pub fn new(docs: &'a [Document], registry: &'a ExtractorRegistry, db: &'a Database) -> Self {
-        ExecContext { docs, registry, db, crowd: None, truth: None, cache: HashMap::new() }
+        ExecContext {
+            docs,
+            registry,
+            db,
+            crowd: None,
+            truth: None,
+            cache: HashMap::new(),
+            pool: ExecPool::sequential(),
+            report: ExecReport::new(),
+        }
+    }
+
+    /// Run the data-parallel stages on `pool` instead of inline.
+    pub fn with_pool(mut self, pool: ExecPool) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -148,13 +171,36 @@ impl Executor {
                             .get(name)
                             .ok_or_else(|| ExecError::UnknownExtractor(name.clone()))?
                             .clone();
+                        // Fan the cache misses out on the pool in document
+                        // order, then walk the documents sequentially,
+                        // splicing cached and fresh results back together.
+                        // The stream therefore grows in exactly the order
+                        // the sequential per-document loop produced.
+                        let uncached: Vec<&Document> = ctx
+                            .docs
+                            .iter()
+                            .filter(|d| !ctx.cache.contains_key(&(d.id, name.clone())))
+                            .collect();
+                        let fresh: Vec<(Vec<Extraction>, std::time::Duration)> = ctx.pool.map(
+                            &format!("exec/extract:{name}"),
+                            &uncached,
+                            |_, doc| {
+                                let t0 = Instant::now();
+                                let exts = (reg.run)(doc);
+                                (exts, t0.elapsed())
+                            },
+                            &mut ctx.report,
+                        );
+                        let mut fresh = fresh.into_iter();
                         for doc in ctx.docs {
                             let cache_key = (doc.id, name.clone());
                             if let Some(cached) = ctx.cache.get(&cache_key) {
                                 stats.cache_hits += 1;
                                 stream.extend(cached.iter().cloned());
                             } else {
-                                let exts = (reg.run)(doc);
+                                let (exts, took) =
+                                    fresh.next().expect("one result per uncached doc");
+                                ctx.report.record_operator(name, took);
                                 stats.extractor_runs += 1;
                                 stats.cost_units += reg.cost;
                                 ctx.cache.insert(cache_key, exts.clone());
@@ -162,10 +208,15 @@ impl Executor {
                             }
                         }
                     }
-                    let before = stream.len();
-                    let deduped = quarry_extract::model::dedup(std::mem::take(stream));
-                    *stream = deduped;
-                    let _ = before;
+                    // Parallel stable-equivalent sort + dedup: identical to
+                    // `quarry_extract::model::dedup` (see that module).
+                    let sorted = ctx.pool.sort_by(
+                        "exec/dedup",
+                        std::mem::take(stream),
+                        quarry_extract::model::dedup_order,
+                        &mut ctx.report,
+                    );
+                    *stream = quarry_extract::model::dedup_sorted(sorted);
                     stats.extractions = stream.len();
                 }
                 PlanOp::Filter { conditions } => {
@@ -182,7 +233,8 @@ impl Executor {
                     };
                     let records = build_doc_records(stream, key);
                     stats.records = records.len();
-                    let (uf, pending, scored) = match_records(&records, key);
+                    let (uf, pending, scored) =
+                        match_records(&records, key, &ctx.pool, &mut ctx.report);
                     stats.pairs_scored = scored;
                     stats.uncertain_pairs = pending.len();
                     state = State::Resolved { records, uf, pending, key_attr: key.clone() };
@@ -267,15 +319,27 @@ fn build_doc_records(stream: &[Extraction], key: &str) -> Vec<DocRecord> {
         .collect()
 }
 
-fn match_records(records: &[DocRecord], key: &str) -> (UnionFind, Vec<(usize, usize, f64)>, usize) {
+fn match_records(
+    records: &[DocRecord],
+    key: &str,
+    pool: &ExecPool,
+    report: &mut ExecReport,
+) -> (UnionFind, Vec<(usize, usize, f64)>, usize) {
     let cfg = MatchConfig { name_field: key.to_string(), ..MatchConfig::default() };
-    let as_match_record = |i: usize| -> Record {
-        let r = &records[i];
-        let mut fields: BTreeMap<String, Value> =
-            r.fields.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect();
-        fields.insert(key.to_string(), Value::Text(r.key.clone()));
-        Record { id: i, fields }
-    };
+    // Materialize match records once (the sequential loop rebuilt them per
+    // pair; construction is pure, so building each exactly once is
+    // observationally identical and strictly less work).
+    let match_recs: Vec<Record> = pool.map(
+        "exec/build-records",
+        records,
+        |i, r| {
+            let mut fields: BTreeMap<String, Value> =
+                r.fields.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect();
+            fields.insert(key.to_string(), Value::Text(r.key.clone()));
+            Record { id: i, fields }
+        },
+        report,
+    );
     // Blocking: all pairs for small sets; last-token key blocking beyond.
     let pairs: Vec<(usize, usize)> = if records.len() <= 60 {
         blocking::all_pairs(records.len())
@@ -289,12 +353,15 @@ fn match_records(records: &[DocRecord], key: &str) -> (UnionFind, Vec<(usize, us
                 .to_lowercase()
         })
     };
+    // Score all candidate pairs on the pool (decisions come back in pair
+    // order), then apply union-find merges sequentially in that same
+    // order — the part that actually has to be serial.
+    let cache = SimCache::default();
+    let decisions = score_pairs(&match_recs, &pairs, &cfg, pool, Some(&cache), report);
     let mut uf = UnionFind::new(records.len());
     let mut pending = Vec::new();
     let mut scored = 0usize;
-    for (i, j) in pairs {
-        let (a, b) = (as_match_record(i), as_match_record(j));
-        let (d, score) = decide(&a, &b, &cfg);
+    for ((i, j), d, score) in decisions {
         scored += 1;
         match d {
             MatchDecision::Match => {
@@ -308,11 +375,7 @@ fn match_records(records: &[DocRecord], key: &str) -> (UnionFind, Vec<(usize, us
 }
 
 fn render_record(r: &DocRecord) -> String {
-    let fields: Vec<String> = r
-        .fields
-        .iter()
-        .map(|(k, (v, _))| format!("{k}={v}"))
-        .collect();
+    let fields: Vec<String> = r.fields.iter().map(|(k, (v, _))| format!("{k}={v}")).collect();
     format!("{} [{}]", r.key, fields.join(", "))
 }
 
@@ -390,15 +453,13 @@ fn store_entities(
         columns.push(Column::new(k, DataType::Text));
     }
     for a in &attrs {
-        let sample: Vec<&Value> = entities
-            .iter()
-            .filter_map(|e| e.fields.get(a).map(|(v, _)| v))
-            .collect();
+        let sample: Vec<&Value> =
+            entities.iter().filter_map(|e| e.fields.get(a).map(|(v, _)| v)).collect();
         columns.push(Column::nullable(a, infer_type(&sample)));
     }
     let key_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
-    let schema = TableSchema::new(table, columns.clone(), &key_refs, &[])
-        .map_err(ExecError::Storage)?;
+    let schema =
+        TableSchema::new(table, columns.clone(), &key_refs, &[]).map_err(ExecError::Storage)?;
     if db.schema(table).is_err() {
         db.create_table(schema.clone())?;
     }
@@ -507,7 +568,8 @@ STORE INTO pops KEY population"#,
         let db = Database::in_memory();
         let reg = ExtractorRegistry::standard();
         let plan = LogicalPlan::from_pipeline(
-            &parse("PIPELINE p FROM corpus EXTRACT infobox RESOLVE BY name STORE INTO t KEY name").unwrap(),
+            &parse("PIPELINE p FROM corpus EXTRACT infobox RESOLVE BY name STORE INTO t KEY name")
+                .unwrap(),
         );
         let mut ctx = ExecContext::new(&c.docs, &reg, &db);
         let s1 = Executor::run(&plan, &mut ctx).unwrap();
@@ -576,17 +638,14 @@ STORE INTO people KEY name"#;
             &parse("PIPELINE p FROM corpus EXTRACT infobox STORE INTO t KEY name").unwrap(),
         );
         let mut ctx = ExecContext::new(&c.docs, &reg, &db);
-        assert!(matches!(
-            Executor::run(&bad, &mut ctx),
-            Err(ExecError::InvalidPlan(_))
-        ));
+        assert!(matches!(Executor::run(&bad, &mut ctx), Err(ExecError::InvalidPlan(_))));
         let unknown = LogicalPlan::from_pipeline(
-            &parse("PIPELINE p FROM corpus EXTRACT warp_drive RESOLVE BY name STORE INTO t KEY name").unwrap(),
+            &parse(
+                "PIPELINE p FROM corpus EXTRACT warp_drive RESOLVE BY name STORE INTO t KEY name",
+            )
+            .unwrap(),
         );
-        assert!(matches!(
-            Executor::run(&unknown, &mut ctx),
-            Err(ExecError::UnknownExtractor(_))
-        ));
+        assert!(matches!(Executor::run(&unknown, &mut ctx), Err(ExecError::UnknownExtractor(_))));
     }
 
     #[test]

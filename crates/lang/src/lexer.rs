@@ -94,7 +94,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Str(src[start..j].to_string()));
                 i = j + 1;
             }
-            _ if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) => {
+            _ if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
                 let start = i;
                 while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;

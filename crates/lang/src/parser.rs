@@ -253,7 +253,8 @@ STORE INTO cities KEY name
 
     #[test]
     fn multi_key_store() {
-        let p = parse("PIPELINE p FROM corpus EXTRACT infobox STORE INTO temps KEY city, month").unwrap();
+        let p = parse("PIPELINE p FROM corpus EXTRACT infobox STORE INTO temps KEY city, month")
+            .unwrap();
         assert_eq!(
             p.steps[1],
             Step::Store { table: "temps".into(), key: vec!["city".into(), "month".into()] }

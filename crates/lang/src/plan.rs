@@ -69,9 +69,7 @@ impl LogicalPlan {
                 Step::Extract { extractors } => PlanOp::Extract { extractors: extractors.clone() },
                 Step::Where { conditions } => PlanOp::Filter { conditions: conditions.clone() },
                 Step::Resolve { key } => PlanOp::Resolve { key: key.clone() },
-                Step::Curate { budget, votes } => {
-                    PlanOp::Curate { budget: *budget, votes: *votes }
-                }
+                Step::Curate { budget, votes } => PlanOp::Curate { budget: *budget, votes: *votes },
                 Step::Store { table, key } => {
                     PlanOp::Store { table: table.clone(), key: key.clone() }
                 }
@@ -105,10 +103,7 @@ impl LogicalPlan {
             .iter()
             .map(|op| match op {
                 PlanOp::Extract { extractors } => {
-                    extractors
-                        .iter()
-                        .map(|e| registry.get(e).map_or(1.0, |r| r.cost))
-                        .sum::<f64>()
+                    extractors.iter().map(|e| registry.get(e).map_or(1.0, |r| r.cost)).sum::<f64>()
                         * n_docs as f64
                 }
                 // Non-extraction ops are per-item and cheap relative to IE.
@@ -205,9 +200,7 @@ pub fn optimize_with(
             for op in &mut ops {
                 if let PlanOp::Extract { extractors } = op {
                     extractors.retain(|e| {
-                        registry
-                            .get(e)
-                            .is_none_or(|r| r.produces.intersects(&allow_refs))
+                        registry.get(e).is_none_or(|r| r.produces.intersects(&allow_refs))
                     });
                 }
             }
@@ -271,7 +264,8 @@ WHERE confidence >= 0.5
 WHERE attribute = "population""#;
         let reg = ExtractorRegistry::standard();
         let opt = optimize(&plan(src), &reg);
-        let filters: Vec<_> = opt.ops.iter().filter(|o| matches!(o, PlanOp::Filter { .. })).collect();
+        let filters: Vec<_> =
+            opt.ops.iter().filter(|o| matches!(o, PlanOp::Filter { .. })).collect();
         assert_eq!(filters.len(), 1);
         if let PlanOp::Filter { conditions } = filters[0] {
             assert_eq!(conditions.len(), 2);

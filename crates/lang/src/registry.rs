@@ -105,10 +105,8 @@ impl ExtractorRegistry {
         cost: f64,
         f: impl Fn(&Document) -> Vec<Extraction> + Send + Sync + 'static,
     ) {
-        self.by_name.insert(
-            name.clone(),
-            RegisteredExtractor { name, produces, cost, run: Arc::new(f) },
-        );
+        self.by_name
+            .insert(name.clone(), RegisteredExtractor { name, produces, cost, run: Arc::new(f) });
     }
 
     /// Register a gazetteer as an operator.
@@ -172,8 +170,18 @@ fn standard_rule_attributes(all: &[ProseRule]) -> Vec<String> {
 }
 
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 #[cfg(test)]
@@ -197,7 +205,9 @@ mod tests {
     #[test]
     fn operators_run() {
         let r = ExtractorRegistry::standard();
-        let d = doc("{{Infobox settlement\n| population = 9,000\n}}\n\nthe population of Oakton was 9,000.");
+        let d = doc(
+            "{{Infobox settlement\n| population = 9,000\n}}\n\nthe population of Oakton was 9,000.",
+        );
         let from_infobox = (r.get("infobox").unwrap().run)(&d);
         assert_eq!(from_infobox.len(), 1);
         let from_rules = (r.get("rules").unwrap().run)(&d);

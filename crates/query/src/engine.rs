@@ -83,9 +83,9 @@ impl Predicate {
             Predicate::Le(_, x) => v <= x,
             Predicate::Gt(_, x) => v > x,
             Predicate::Ge(_, x) => v >= x,
-            Predicate::Contains(_, needle) => v
-                .as_text()
-                .is_some_and(|t| t.to_lowercase().contains(&needle.to_lowercase())),
+            Predicate::Contains(_, needle) => {
+                v.as_text().is_some_and(|t| t.to_lowercase().contains(&needle.to_lowercase()))
+            }
             Predicate::In(_, set) => set.contains(v),
         }
     }
@@ -270,10 +270,7 @@ impl Query {
                 right.display()
             ),
             Query::Aggregate { input, group_by, agg, over } => {
-                let g = group_by
-                    .as_ref()
-                    .map(|g| format!(" GROUP BY {g}"))
-                    .unwrap_or_default();
+                let g = group_by.as_ref().map(|g| format!(" GROUP BY {g}")).unwrap_or_default();
                 format!("SELECT {}({over}) FROM ({}){g}", agg.name(), input.display())
             }
             Query::Sort { input, by, desc, limit } => {
@@ -341,22 +338,14 @@ fn exec_inner(db: &Database, tx: u64, q: &Query) -> Result<QueryResult, QueryErr
                         .ok_or_else(|| QueryError::UnknownColumn(p.column().to_string()))
                 })
                 .collect::<Result<_, _>>()?;
-            r.rows.retain(|row| {
-                predicates
-                    .iter()
-                    .zip(&idx)
-                    .all(|(p, &i)| p.eval(&row[i]))
-            });
+            r.rows.retain(|row| predicates.iter().zip(&idx).all(|(p, &i)| p.eval(&row[i])));
             Ok(r)
         }
         Query::Project { input, columns } => {
             let r = exec_inner(db, tx, input)?;
             let idx: Vec<usize> = columns
                 .iter()
-                .map(|c| {
-                    r.column_index(c)
-                        .ok_or_else(|| QueryError::UnknownColumn(c.clone()))
-                })
+                .map(|c| r.column_index(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
                 .collect::<Result<_, _>>()?;
             Ok(QueryResult {
                 columns: columns.clone(),
@@ -405,14 +394,11 @@ fn exec_inner(db: &Database, tx: u64, q: &Query) -> Result<QueryResult, QueryErr
         }
         Query::Aggregate { input, group_by, agg, over } => {
             let r = exec_inner(db, tx, input)?;
-            let oi = r
-                .column_index(over)
-                .ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
+            let oi = r.column_index(over).ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
             let gi = match group_by {
-                Some(g) => Some(
-                    r.column_index(g)
-                        .ok_or_else(|| QueryError::UnknownColumn(g.clone()))?,
-                ),
+                Some(g) => {
+                    Some(r.column_index(g).ok_or_else(|| QueryError::UnknownColumn(g.clone()))?)
+                }
                 None => None,
             };
             // Group rows (BTreeMap gives deterministic output order).
@@ -442,9 +428,7 @@ fn exec_inner(db: &Database, tx: u64, q: &Query) -> Result<QueryResult, QueryErr
         }
         Query::Sort { input, by, desc, limit } => {
             let mut r = exec_inner(db, tx, input)?;
-            let i = r
-                .column_index(by)
-                .ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
+            let i = r.column_index(by).ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
             // Stable sort: equal keys keep input order.
             r.rows.sort_by(|a, b| {
                 let ord = a[i].cmp(&b[i]);
@@ -525,11 +509,8 @@ mod tests {
             ("Oakton", "Iowa", 9_500),
             ("Riverdale", "Wisconsin", 120_000),
         ] {
-            db.insert_autocommit(
-                "cities",
-                vec![name.into(), state.into(), Value::Int(pop)],
-            )
-            .unwrap();
+            db.insert_autocommit("cities", vec![name.into(), state.into(), Value::Int(pop)])
+                .unwrap();
         }
         let temps = [20, 24, 35, 47, 58, 68, 72, 70, 62, 50, 37, 25];
         for (m, t) in temps.iter().enumerate() {
@@ -574,15 +555,11 @@ mod tests {
     #[test]
     fn range_and_contains_predicates() {
         let db = db();
-        let q = Query::scan("cities").filter(vec![Predicate::Gt(
-            "population".into(),
-            Value::Int(100_000),
-        )]);
+        let q = Query::scan("cities")
+            .filter(vec![Predicate::Gt("population".into(), Value::Int(100_000))]);
         assert_eq!(execute(&db, &q).unwrap().rows.len(), 2);
-        let q = Query::scan("cities").filter(vec![Predicate::Contains(
-            "name".into(),
-            "dale".into(),
-        )]);
+        let q =
+            Query::scan("cities").filter(vec![Predicate::Contains("name".into(), "dale".into())]);
         let r = execute(&db, &q).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Text("Riverdale".into()));
@@ -669,9 +646,11 @@ mod tests {
         assert_eq!(r.rows.len(), 3);
 
         // Sorting after aggregation: warmest month first.
-        let q = Query::scan("temps")
-            .aggregate(Some("month"), AggFn::Avg, "temp")
-            .sort("AVG(temp)", true, Some(1));
+        let q = Query::scan("temps").aggregate(Some("month"), AggFn::Avg, "temp").sort(
+            "AVG(temp)",
+            true,
+            Some(1),
+        );
         let r = execute(&db, &q).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(7), "July is warmest");
 

@@ -64,10 +64,9 @@ fn field_of(p: &Predicate) -> FormField {
         Predicate::Gt(_, v) => (">", v.to_string()),
         Predicate::Ge(_, v) => (">=", v.to_string()),
         Predicate::Contains(_, s) => ("CONTAINS", s.clone()),
-        Predicate::In(_, vs) => (
-            "IN",
-            vs.iter().map(Value::to_string).collect::<Vec<_>>().join(", "),
-        ),
+        Predicate::In(_, vs) => {
+            ("IN", vs.iter().map(Value::to_string).collect::<Vec<_>>().join(", "))
+        }
     };
     FormField { label: p.column().to_string(), prefill, operator: op.to_string() }
 }
@@ -197,13 +196,11 @@ mod tests {
 
     #[test]
     fn join_forms_collect_both_sides() {
-        let q = Query::scan("a")
-            .filter(vec![Predicate::Eq("x".into(), Value::Int(1))])
-            .join(
-                Query::scan("b").filter(vec![Predicate::Eq("y".into(), Value::Int(2))]),
-                "x",
-                "y",
-            );
+        let q = Query::scan("a").filter(vec![Predicate::Eq("x".into(), Value::Int(1))]).join(
+            Query::scan("b").filter(vec![Predicate::Eq("y".into(), Value::Int(2))]),
+            "x",
+            "y",
+        );
         let form = render(&q);
         assert_eq!(form.fields.len(), 2);
     }

@@ -47,11 +47,7 @@ impl InvertedIndex {
             *tf.entry(t.text(&text).to_lowercase()).or_insert(0) += 1;
         }
         let len: u32 = tf.values().sum();
-        debug_assert!(
-            !self.doc_len.contains_key(&doc.id),
-            "document {} indexed twice",
-            doc.id
-        );
+        debug_assert!(!self.doc_len.contains_key(&doc.id), "document {} indexed twice", doc.id);
         self.doc_len.insert(doc.id, len);
         self.total_len += len as u64;
         for (term, f) in tf {
@@ -95,10 +91,8 @@ impl InvertedIndex {
                 *scores.entry(doc).or_insert(0.0) += s;
             }
         }
-        let mut hits: Vec<SearchHit> = scores
-            .into_iter()
-            .map(|(doc, score)| SearchHit { doc, score })
-            .collect();
+        let mut hits: Vec<SearchHit> =
+            scores.into_iter().map(|(doc, score)| SearchHit { doc, score }).collect();
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -121,7 +115,11 @@ mod tests {
 
     fn sample() -> InvertedIndex {
         InvertedIndex::build(&[
-            doc(0, "Madison, Wisconsin", "Madison is a city in Wisconsin. The average temperature in July is 72 F."),
+            doc(
+                0,
+                "Madison, Wisconsin",
+                "Madison is a city in Wisconsin. The average temperature in July is 72 F.",
+            ),
             doc(1, "Oakton, Iowa", "Oakton is a small town in Iowa with pleasant weather."),
             doc(2, "Weather", "Weather patterns vary. Temperature temperature temperature."),
             doc(3, "Acme Systems", "Acme Systems is a software company headquartered in Madison."),

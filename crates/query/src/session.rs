@@ -43,7 +43,11 @@ pub struct Session<'a> {
 
 impl<'a> Session<'a> {
     /// Open a session over the three engines.
-    pub fn new(index: &'a InvertedIndex, translator: &'a Translator, db: &'a Database) -> Session<'a> {
+    pub fn new(
+        index: &'a InvertedIndex,
+        translator: &'a Translator,
+        db: &'a Database,
+    ) -> Session<'a> {
         Session { index, translator, db, steps: Vec::new(), candidates: Vec::new() }
     }
 
@@ -129,8 +133,7 @@ mod tests {
         )
         .unwrap();
         for (m, t) in [("January", 20i64), ("July", 72)] {
-            db.insert_autocommit("temps", vec!["Madison".into(), m.into(), Value::Int(t)])
-                .unwrap();
+            db.insert_autocommit("temps", vec!["Madison".into(), m.into(), Value::Int(t)]).unwrap();
         }
         (ix, db)
     }
@@ -162,11 +165,7 @@ mod tests {
         s.keyword("temperature July Madison", 5);
         // Edit the month field (July → January) and re-run.
         let form = forms::render(&s.candidates()[0].query);
-        let month_field = form
-            .fields
-            .iter()
-            .position(|f| f.label == "month")
-            .expect("month field");
+        let month_field = form.fields.iter().position(|f| f.label == "month").expect("month field");
         let result = s.fill_and_run(0, month_field, "January".into()).unwrap();
         assert!(result.rows.iter().all(|r| r.contains(&Value::Int(20))), "{result:?}");
     }

@@ -9,7 +9,7 @@
 //! keyword query they explain.
 
 use crate::engine::{AggFn, Predicate, Query};
-use quarry_storage::{Database, DataType, Value};
+use quarry_storage::{DataType, Database, Value};
 use std::collections::{BTreeMap, HashMap};
 
 /// One ranked translation candidate.
@@ -43,17 +43,11 @@ pub struct Translator {
 impl Translator {
     /// Build from a live database: catalog plus a text-value index.
     pub fn from_database(db: &Database) -> Translator {
-        let mut t = Translator {
-            synonyms: default_synonyms(),
-            ..Default::default()
-        };
+        let mut t = Translator { synonyms: default_synonyms(), ..Default::default() };
         for table in db.table_names() {
             let Ok(schema) = db.schema(&table) else { continue };
-            let columns: Vec<(String, DataType)> = schema
-                .columns
-                .iter()
-                .map(|c| (c.name.clone(), c.dtype))
-                .collect();
+            let columns: Vec<(String, DataType)> =
+                schema.columns.iter().map(|c| (c.name.clone(), c.dtype)).collect();
             if let Ok(rows) = db.scan_autocommit(&table) {
                 for row in &rows {
                     for (j, v) in row.iter().enumerate() {
@@ -133,20 +127,15 @@ impl Translator {
         let mut out: Vec<CandidateQuery> = Vec::new();
         for table in &self.tables {
             let preds: Vec<Predicate> = group_value_preds(&value_preds, &table.name);
-            let cols_here: Vec<&(String, String, DataType)> = column_hits
-                .iter()
-                .filter(|(t, _, _)| t == &table.name)
-                .collect();
+            let cols_here: Vec<&(String, String, DataType)> =
+                column_hits.iter().filter(|(t, _, _)| t == &table.name).collect();
             let matched_tokens = preds.len() as f64 + cols_here.len() as f64;
             if matched_tokens == 0.0 {
                 continue;
             }
             let base = Query::scan(&table.name);
-            let filtered = if preds.is_empty() {
-                base.clone()
-            } else {
-                base.clone().filter(preds.clone())
-            };
+            let filtered =
+                if preds.is_empty() { base.clone() } else { base.clone().filter(preds.clone()) };
 
             if let Some(agg) = agg {
                 // Aggregate over each matched numeric column.
@@ -312,8 +301,7 @@ mod tests {
             db.insert_autocommit("cities", vec![n.into(), s.into(), Value::Int(p)]).unwrap();
         }
         for (m, t) in [("January", 20i64), ("July", 72), ("September", 62)] {
-            db.insert_autocommit("temps", vec!["Madison".into(), m.into(), Value::Int(t)])
-                .unwrap();
+            db.insert_autocommit("temps", vec!["Madison".into(), m.into(), Value::Int(t)]).unwrap();
         }
         db
     }

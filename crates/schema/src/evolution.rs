@@ -187,7 +187,9 @@ impl EvolutionOp {
                     return Err(EvolutionError(format!("cannot split key column {from}")));
                 }
                 if schema.columns[pos].dtype != DataType::Text {
-                    return Err(EvolutionError(format!("split requires TEXT column, {from} is not")));
+                    return Err(EvolutionError(format!(
+                        "split requires TEXT column, {from} is not"
+                    )));
                 }
                 for n in [&into.0, &into.1] {
                     if schema.column_index(n).is_some() {
@@ -198,20 +200,25 @@ impl EvolutionOp {
                 let mut columns = schema.columns.clone();
                 columns.remove(pos);
                 columns.push(Column { name: into.0.clone(), dtype: DataType::Text, nullable });
-                columns.push(Column { name: into.1.clone(), dtype: DataType::Text, nullable: true });
+                columns.push(Column {
+                    name: into.1.clone(),
+                    dtype: DataType::Text,
+                    nullable: true,
+                });
                 let new = rebuild(schema, columns, Some(&[pos]))?;
                 let rows = rows
                     .iter()
                     .map(|r| {
                         let mut r = r.clone();
                         let v = r.remove(pos);
-                        let (a, b) = match v.as_text().and_then(|t| t.split_once(delimiter.as_str())) {
-                            Some((a, b)) => (
-                                Value::Text(a.trim().to_string()),
-                                Value::Text(b.trim().to_string()),
-                            ),
-                            None => (v.clone(), Value::Null),
-                        };
+                        let (a, b) =
+                            match v.as_text().and_then(|t| t.split_once(delimiter.as_str())) {
+                                Some((a, b)) => (
+                                    Value::Text(a.trim().to_string()),
+                                    Value::Text(b.trim().to_string()),
+                                ),
+                                None => (v.clone(), Value::Null),
+                            };
                         r.push(a);
                         r.push(b);
                         r
@@ -266,11 +273,8 @@ fn rebuild(
     columns: Vec<Column>,
     removed_positions: Option<&[usize]>,
 ) -> Result<TableSchema, EvolutionError> {
-    let removed: Vec<&str> = removed_positions
-        .unwrap_or(&[])
-        .iter()
-        .map(|&p| old.columns[p].name.as_str())
-        .collect();
+    let removed: Vec<&str> =
+        removed_positions.unwrap_or(&[]).iter().map(|&p| old.columns[p].name.as_str()).collect();
     // Key columns by old name → same-position new name (renames keep
     // position; drops were rejected for keys).
     let key_names: Vec<String> = old
@@ -280,24 +284,18 @@ fn rebuild(
             // A rename changes the name at position p; find it in the new
             // column list by position when possible, else by name.
             let old_name = &old.columns[p].name;
-            columns
-                .iter()
-                .find(|c| &c.name == old_name)
-                .map(|c| c.name.clone())
-                .unwrap_or_else(|| {
+            columns.iter().find(|c| &c.name == old_name).map(|c| c.name.clone()).unwrap_or_else(
+                || {
                     // Renamed: position p still exists in `columns` if no
                     // column before it was removed. Evolution ops that
                     // remove columns reject key columns, so index p is safe.
                     columns[p].name.clone()
-                })
+                },
+            )
         })
         .collect();
-    let index_names: Vec<String> = old
-        .indexes
-        .iter()
-        .filter(|n| !removed.contains(&n.as_str()))
-        .cloned()
-        .collect();
+    let index_names: Vec<String> =
+        old.indexes.iter().filter(|n| !removed.contains(&n.as_str())).cloned().collect();
     let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
     let index_refs: Vec<&str> = index_names
         .iter()

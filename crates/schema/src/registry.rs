@@ -39,8 +39,7 @@ impl SchemaRegistry {
         if self.tables.contains_key(&schema.name) {
             return Err(EvolutionError(format!("table {} already registered", schema.name)));
         }
-        self.tables
-            .insert(schema.name.clone(), History { schemas: vec![schema], ops: Vec::new() });
+        self.tables.insert(schema.name.clone(), History { schemas: vec![schema], ops: Vec::new() });
         Ok(VersionId(0))
     }
 
@@ -61,9 +60,7 @@ impl SchemaRegistry {
 
     /// The latest version id of a table.
     pub fn latest(&self, table: &str) -> Option<VersionId> {
-        self.tables
-            .get(table)
-            .map(|h| VersionId((h.schemas.len() - 1) as u32))
+        self.tables.get(table).map(|h| VersionId((h.schemas.len() - 1) as u32))
     }
 
     /// A specific schema version.
@@ -72,7 +69,12 @@ impl SchemaRegistry {
     }
 
     /// The operations between two versions.
-    pub fn ops_between(&self, table: &str, from: VersionId, to: VersionId) -> Option<&[EvolutionOp]> {
+    pub fn ops_between(
+        &self,
+        table: &str,
+        from: VersionId,
+        to: VersionId,
+    ) -> Option<&[EvolutionOp]> {
         let h = self.tables.get(table)?;
         if from > to || (to.0 as usize) >= h.schemas.len() {
             return None;
@@ -119,16 +121,10 @@ impl SchemaRegistry {
         if latest == current {
             return Ok(latest);
         }
-        let rows = db
-            .scan_autocommit(table)
-            .map_err(|e| EvolutionError(e.to_string()))?;
+        let rows = db.scan_autocommit(table).map_err(|e| EvolutionError(e.to_string()))?;
         let migrated = self.migrate(table, current, latest, &rows)?;
-        let target = self
-            .schema(table, latest)
-            .expect("latest exists")
-            .clone();
-        db.replace_table(target, migrated)
-            .map_err(|e| EvolutionError(e.to_string()))?;
+        let target = self.schema(table, latest).expect("latest exists").clone();
+        db.replace_table(target, migrated).map_err(|e| EvolutionError(e.to_string()))?;
         Ok(latest)
     }
 }
@@ -141,10 +137,7 @@ mod tests {
     fn base_schema() -> TableSchema {
         TableSchema::new(
             "cities",
-            vec![
-                Column::new("name", DataType::Text),
-                Column::new("population", DataType::Int),
-            ],
+            vec![Column::new("name", DataType::Text), Column::new("population", DataType::Int)],
             &["name"],
             &[],
         )
@@ -199,14 +192,11 @@ mod tests {
         .unwrap();
 
         let old_rows = vec![vec![Value::Text("Madison".into()), Value::Int(250_000)]];
-        let migrated = reg
-            .migrate("cities", VersionId(0), VersionId(2), &old_rows)
-            .unwrap();
-        assert_eq!(migrated[0], vec![
-            Value::Text("Madison".into()),
-            Value::Int(250_000),
-            Value::Int(1900),
-        ]);
+        let migrated = reg.migrate("cities", VersionId(0), VersionId(2), &old_rows).unwrap();
+        assert_eq!(
+            migrated[0],
+            vec![Value::Text("Madison".into()), Value::Int(250_000), Value::Int(1900),]
+        );
         let latest = reg.schema("cities", VersionId(2)).unwrap();
         latest.validate(&migrated[0]).unwrap();
         assert_eq!(latest.column_index("residents"), Some(1));

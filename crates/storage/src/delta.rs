@@ -43,9 +43,7 @@ impl Delta {
             .iter()
             .map(|op| match op {
                 DeltaOp::Copy { .. } => 8,
-                DeltaOp::Insert(lines) => {
-                    8 + lines.iter().map(|l| l.len() + 1).sum::<usize>()
-                }
+                DeltaOp::Insert(lines) => 8 + lines.iter().map(|l| l.len() + 1).sum::<usize>(),
             })
             .sum()
     }
@@ -67,17 +65,11 @@ pub fn diff(base: &str, target: &str) -> Delta {
     let target_lines = split_lines(target);
     let trailing_newline = target.ends_with('\n');
     // Strip the phantom empty line produced by a trailing '\n'.
-    let target_lines = if trailing_newline {
-        &target_lines[..target_lines.len() - 1]
-    } else {
-        &target_lines[..]
-    };
+    let target_lines =
+        if trailing_newline { &target_lines[..target_lines.len() - 1] } else { &target_lines[..] };
     let base_trailing = base.ends_with('\n');
-    let base_lines = if base_trailing {
-        &base_lines[..base_lines.len() - 1]
-    } else {
-        &base_lines[..]
-    };
+    let base_lines =
+        if base_trailing { &base_lines[..base_lines.len() - 1] } else { &base_lines[..] };
 
     // Index base lines by content for O(1) candidate lookup.
     let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(base_lines.len());

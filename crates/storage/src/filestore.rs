@@ -120,12 +120,7 @@ impl FileStore {
             w.flush()?;
         }
         let ids = Self::segment_ids(&self.dir)?;
-        Ok(Scan {
-            dir: self.dir.clone(),
-            ids,
-            next_segment: 0,
-            reader: None,
-        })
+        Ok(Scan { dir: self.dir.clone(), ids, next_segment: 0, reader: None })
     }
 
     /// Number of sealed + active segments on disk.
@@ -202,10 +197,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "quarry-fs-{name}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("quarry-fs-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -217,11 +209,8 @@ mod tests {
         for i in 0..100u32 {
             fsr.append(format!("record {i}").as_bytes()).unwrap();
         }
-        let got: Vec<String> = fsr
-            .scan()
-            .unwrap()
-            .map(|r| String::from_utf8(r.unwrap().to_vec()).unwrap())
-            .collect();
+        let got: Vec<String> =
+            fsr.scan().unwrap().map(|r| String::from_utf8(r.unwrap().to_vec()).unwrap()).collect();
         assert_eq!(got.len(), 100);
         assert_eq!(got[0], "record 0");
         assert_eq!(got[99], "record 99");

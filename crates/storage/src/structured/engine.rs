@@ -36,11 +36,7 @@ struct Table {
 
 impl Table {
     fn new(schema: TableSchema) -> Table {
-        let indexes = schema
-            .indexes
-            .iter()
-            .map(|n| (n.clone(), SecondaryIndex::new()))
-            .collect();
+        let indexes = schema.indexes.iter().map(|n| (n.clone(), SecondaryIndex::new())).collect();
         Table { schema, heap: HashMap::new(), pk: HashMap::new(), indexes, next_row: 0 }
     }
 
@@ -413,29 +409,23 @@ impl Database {
     /// Insert a row. Fails on duplicate primary key.
     pub fn insert(&self, tx: TxId, table: &str, row: Row) -> Result<RowId> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        self.locks.acquire(
+            tx,
+            LockTarget::Table(table.to_string()),
+            LockMode::IntentionExclusive,
+        )?;
         let mut tables = self.tables.lock();
-        let t = tables
-            .get_mut(table)
-            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let t =
+            tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         t.schema.validate(&row)?;
         let key = t.schema.key_of(&row);
         if t.pk.contains_key(&key) {
-            return Err(StorageError::DuplicateKey(format!(
-                "{table} key {key:?} already exists"
-            )));
+            return Err(StorageError::DuplicateKey(format!("{table} key {key:?} already exists")));
         }
         let row_id = RowId(t.next_row);
         // Lock the new row before publishing it.
-        self.locks
-            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
-        self.log(&LogRecord::Insert {
-            tx,
-            table: table.to_string(),
-            row_id,
-            row: row.clone(),
-        })?;
+        self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        self.log(&LogRecord::Insert { tx, table: table.to_string(), row_id, row: row.clone() })?;
         t.apply_insert(row_id, row);
         drop(tables);
         self.push_undo(tx, Undo::Insert { table: table.to_string(), row_id });
@@ -444,23 +434,16 @@ impl Database {
 
     fn row_id_for_key(&self, table: &str, key: &[Value]) -> Result<RowId> {
         let tables = self.tables.lock();
-        let t = tables
-            .get(table)
-            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        t.pk
-            .get(key)
-            .copied()
-            .ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
+        let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        t.pk.get(key).copied().ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
     }
 
     /// Read one row by primary key (shared-locked until transaction end).
     pub fn get(&self, tx: TxId, table: &str, key: &[Value]) -> Result<Row> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
+        self.locks.acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
         let row_id = self.row_id_for_key(table, key)?;
-        self.locks
-            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
+        self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
         let tables = self.tables.lock();
         let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
         t.heap
@@ -472,15 +455,16 @@ impl Database {
     /// Replace the row at `key` with `row` (which may change the key).
     pub fn update(&self, tx: TxId, table: &str, key: &[Value], row: Row) -> Result<()> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        self.locks.acquire(
+            tx,
+            LockTarget::Table(table.to_string()),
+            LockMode::IntentionExclusive,
+        )?;
         let row_id = self.row_id_for_key(table, key)?;
-        self.locks
-            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
         let mut tables = self.tables.lock();
-        let t = tables
-            .get_mut(table)
-            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let t =
+            tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         t.schema.validate(&row)?;
         let new_key = t.schema.key_of(&row);
         if new_key != key && t.pk.contains_key(&new_key) {
@@ -488,12 +472,7 @@ impl Database {
                 "{table} key {new_key:?} already exists"
             )));
         }
-        self.log(&LogRecord::Update {
-            tx,
-            table: table.to_string(),
-            row_id,
-            row: row.clone(),
-        })?;
+        self.log(&LogRecord::Update { tx, table: table.to_string(), row_id, row: row.clone() })?;
         let old = t
             .apply_update(row_id, row)
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
@@ -505,15 +484,16 @@ impl Database {
     /// Delete the row at `key`.
     pub fn delete(&self, tx: TxId, table: &str, key: &[Value]) -> Result<()> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionExclusive)?;
+        self.locks.acquire(
+            tx,
+            LockTarget::Table(table.to_string()),
+            LockMode::IntentionExclusive,
+        )?;
         let row_id = self.row_id_for_key(table, key)?;
-        self.locks
-            .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
+        self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
         let mut tables = self.tables.lock();
-        let t = tables
-            .get_mut(table)
-            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let t =
+            tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         self.log(&LogRecord::Delete { tx, table: table.to_string(), row_id })?;
         let old = t
             .apply_delete(row_id)
@@ -527,19 +507,22 @@ impl Database {
     /// writers, including inserts — no phantoms).
     pub fn scan(&self, tx: TxId, table: &str) -> Result<Vec<Row>> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::Shared)?;
+        self.locks.acquire(tx, LockTarget::Table(table.to_string()), LockMode::Shared)?;
         let tables = self.tables.lock();
-        let t = tables
-            .get(table)
-            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         let mut ids: Vec<&RowId> = t.heap.keys().collect();
         ids.sort_unstable();
         Ok(ids.iter().map(|id| t.heap[id].clone()).collect())
     }
 
     /// Equality probe on a secondary index.
-    pub fn index_lookup(&self, tx: TxId, table: &str, column: &str, value: &Value) -> Result<Vec<Row>> {
+    pub fn index_lookup(
+        &self,
+        tx: TxId,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<Vec<Row>> {
         self.index_range(tx, table, column, Some(value), Some(value))
     }
 
@@ -553,14 +536,12 @@ impl Database {
         hi: Option<&Value>,
     ) -> Result<Vec<Row>> {
         self.check_active(tx)?;
-        self.locks
-            .acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
+        self.locks.acquire(tx, LockTarget::Table(table.to_string()), LockMode::IntentionShared)?;
         // Collect candidate row ids under the table mutex, then shared-lock them.
         let row_ids: Vec<RowId> = {
             let tables = self.tables.lock();
-            let t = tables
-                .get(table)
-                .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+            let t =
+                tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
             let ix = t.indexes.get(column).ok_or_else(|| {
                 StorageError::SchemaViolation(format!("no index on {table}.{column}"))
             })?;
@@ -568,8 +549,7 @@ impl Database {
         };
         let mut rows = Vec::with_capacity(row_ids.len());
         for row_id in row_ids {
-            self.locks
-                .acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
+            self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
             let tables = self.tables.lock();
             let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
             if let Some(r) = t.heap.get(&row_id) {
@@ -626,9 +606,7 @@ impl Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database")
-            .field("tables", &self.table_names())
-            .finish()
+        f.debug_struct("Database").field("tables", &self.table_names()).finish()
     }
 }
 
@@ -665,10 +643,7 @@ mod tests {
         let tx = db.begin();
         db.insert(tx, "people", person("ada", 36, "london")).unwrap();
         db.insert(tx, "people", person("alan", 41, "cambridge")).unwrap();
-        assert_eq!(
-            db.get(tx, "people", &["ada".into()]).unwrap()[1],
-            Value::Int(36)
-        );
+        assert_eq!(db.get(tx, "people", &["ada".into()]).unwrap()[1], Value::Int(36));
         db.update(tx, "people", &["ada".into()], person("ada", 37, "london")).unwrap();
         db.delete(tx, "people", &["alan".into()]).unwrap();
         db.commit(tx).unwrap();
@@ -737,16 +712,10 @@ mod tests {
     #[test]
     fn operations_on_unknown_entities_fail() {
         let db = Database::in_memory();
-        assert!(matches!(
-            db.insert_autocommit("ghost", vec![]),
-            Err(StorageError::NoSuchTable(_))
-        ));
+        assert!(matches!(db.insert_autocommit("ghost", vec![]), Err(StorageError::NoSuchTable(_))));
         db.create_table(people_schema()).unwrap();
         let tx = db.begin();
-        assert!(matches!(
-            db.get(tx, "people", &["ghost".into()]),
-            Err(StorageError::NotFound(_))
-        ));
+        assert!(matches!(db.get(tx, "people", &["ghost".into()]), Err(StorageError::NotFound(_))));
         db.commit(tx).unwrap();
         assert!(matches!(db.commit(999), Err(StorageError::NoSuchTx(999))));
     }
@@ -872,8 +841,13 @@ mod tests {
             for i in 0..50 {
                 let tx = db.begin();
                 if i % 2 == 0 {
-                    db.update(tx, "people", &[format!("p{i}").into()], person(&format!("p{i}"), i + 100, "y"))
-                        .unwrap();
+                    db.update(
+                        tx,
+                        "people",
+                        &[format!("p{i}").into()],
+                        person(&format!("p{i}"), i + 100, "y"),
+                    )
+                    .unwrap();
                 } else {
                     db.delete(tx, "people", &[format!("p{i}").into()]).unwrap();
                 }
@@ -889,10 +863,7 @@ mod tests {
         let db = Database::open(&p).unwrap();
         assert_eq!(db.row_count("people").unwrap(), 26);
         let tx = db.begin();
-        assert_eq!(
-            db.get(tx, "people", &["p0".into()]).unwrap()[1],
-            Value::Int(100)
-        );
+        assert_eq!(db.get(tx, "people", &["p0".into()]).unwrap()[1], Value::Int(100));
         assert!(db.get(tx, "people", &["p1".into()]).is_err(), "deleted row stays deleted");
         // Secondary index rebuilt from the snapshot.
         assert_eq!(db.index_lookup(tx, "people", "age", &Value::Int(100)).unwrap().len(), 1);

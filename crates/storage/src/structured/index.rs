@@ -48,10 +48,7 @@ impl SecondaryIndex {
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
         let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        self.map
-            .range((lo, hi))
-            .flat_map(|(_, rows)| rows.iter().copied())
-            .collect()
+        self.map.range((lo, hi)).flat_map(|(_, rows)| rows.iter().copied()).collect()
     }
 
     /// Total (value, row) pairs indexed.

@@ -72,9 +72,7 @@ struct LockState {
 
 impl LockState {
     fn grantable(&self, tx: u64, mode: LockMode) -> bool {
-        self.holders
-            .iter()
-            .all(|(&h, &m)| h == tx || m.compatible(mode))
+        self.holders.iter().all(|(&h, &m)| h == tx || m.compatible(mode))
     }
 }
 
@@ -203,7 +201,7 @@ mod tests {
         lm.acquire(1, row("t", 9), LockMode::Shared).unwrap();
         lm.acquire(1, row("t", 9), LockMode::Shared).unwrap();
         lm.acquire(1, row("t", 9), LockMode::Exclusive).unwrap(); // sole holder upgrade
-        // Now nobody else can share it.
+                                                                  // Now nobody else can share it.
         assert!(lm.acquire(2, row("t", 9), LockMode::Shared).is_err());
         lm.release_all(1);
         lm.acquire(2, row("t", 9), LockMode::Shared).unwrap();

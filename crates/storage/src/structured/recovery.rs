@@ -145,9 +145,6 @@ mod tests {
 
     #[test]
     fn garbage_decodes_to_corrupt_error() {
-        assert!(matches!(
-            LogRecord::decode(b"not json"),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(LogRecord::decode(b"not json"), Err(StorageError::Corrupt(_))));
     }
 }

@@ -77,10 +77,9 @@ impl TableSchema {
             }
         }
         let resolve = |n: &str| {
-            columns
-                .iter()
-                .position(|c| c.name == n)
-                .ok_or_else(|| StorageError::SchemaViolation(format!("unknown column {n} in table {name}")))
+            columns.iter().position(|c| c.name == n).ok_or_else(|| {
+                StorageError::SchemaViolation(format!("unknown column {n} in table {name}"))
+            })
         };
         let key_idx: Vec<usize> = key.iter().map(|n| resolve(n)).collect::<Result<_>>()?;
         if key_idx.is_empty() {
@@ -164,8 +163,7 @@ mod tests {
     #[test]
     fn valid_row_passes() {
         let s = schema();
-        s.validate(&vec!["Madison".into(), Value::Int(250_000), Value::Float(77.0)])
-            .unwrap();
+        s.validate(&vec!["Madison".into(), Value::Int(250_000), Value::Float(77.0)]).unwrap();
         // Int widens into Float column; NULL allowed in nullable column.
         s.validate(&vec!["X".into(), Value::Int(1), Value::Int(3)]).unwrap();
         s.validate(&vec!["X".into(), Value::Int(1), Value::Null]).unwrap();
@@ -175,9 +173,7 @@ mod tests {
     fn arity_type_and_null_violations() {
         let s = schema();
         assert!(s.validate(&vec!["Madison".into()]).is_err());
-        assert!(s
-            .validate(&vec!["M".into(), "not a number".into(), Value::Null])
-            .is_err());
+        assert!(s.validate(&vec!["M".into(), "not a number".into(), Value::Null]).is_err());
         assert!(s.validate(&vec![Value::Null, Value::Int(1), Value::Null]).is_err());
     }
 

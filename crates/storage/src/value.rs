@@ -235,11 +235,13 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vs = [Value::Text("a".into()),
+        let mut vs = [
+            Value::Text("a".into()),
             Value::Int(3),
             Value::Null,
             Value::Bool(true),
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));

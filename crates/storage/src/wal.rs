@@ -60,10 +60,7 @@ impl Wal {
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let records = Self::replay(&path)?;
-        let clean_end = records
-            .last()
-            .map(|r| r.offset + 8 + r.payload.len() as u64)
-            .unwrap_or(0);
+        let clean_end = records.last().map(|r| r.offset + 8 + r.payload.len() as u64).unwrap_or(0);
         let file = OpenOptions::new()
             .create(true)
             .truncate(false) // length is managed explicitly below
@@ -139,10 +136,8 @@ impl Wal {
             if crc32(payload) != crc {
                 break; // torn or corrupted payload
             }
-            records.push(WalRecord {
-                offset: pos as u64,
-                payload: Bytes::copy_from_slice(payload),
-            });
+            records
+                .push(WalRecord { offset: pos as u64, payload: Bytes::copy_from_slice(payload) });
             pos = end;
         }
         Ok(records)
@@ -161,10 +156,7 @@ impl Wal {
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wal")
-            .field("path", &self.path)
-            .field("offset", &self.offset)
-            .finish()
+        f.debug_struct("Wal").field("path", &self.path).field("offset", &self.offset).finish()
     }
 }
 

@@ -68,10 +68,7 @@ impl LineageGraph {
 
     fn add(&mut self, kind: NodeKind, inputs: Vec<NodeId>) -> NodeId {
         for i in &inputs {
-            assert!(
-                (i.0 as usize) < self.nodes.len(),
-                "lineage input {i:?} does not exist yet"
-            );
+            assert!((i.0 as usize) < self.nodes.len(), "lineage input {i:?} does not exist yet");
         }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { kind, inputs });
@@ -96,10 +93,7 @@ impl LineageGraph {
 
     /// Record a derived tuple.
     pub fn tuple(&mut self, table: &str, display: &str, inputs: Vec<NodeId>) -> NodeId {
-        self.add(
-            NodeKind::Tuple { table: table.to_string(), display: display.to_string() },
-            inputs,
-        )
+        self.add(NodeKind::Tuple { table: table.to_string(), display: display.to_string() }, inputs)
     }
 
     /// The kind of a node.
@@ -210,10 +204,7 @@ mod tests {
     fn source_spans_collects_leaves() {
         let (g, t) = sample();
         let spans = g.source_spans(t);
-        assert_eq!(spans, vec![
-            (DocId(3), Span::new(120, 127)),
-            (DocId(7), Span::new(88, 95)),
-        ]);
+        assert_eq!(spans, vec![(DocId(3), Span::new(120, 127)), (DocId(7), Span::new(88, 95)),]);
     }
 
     #[test]

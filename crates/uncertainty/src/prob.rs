@@ -14,9 +14,12 @@ pub fn noisy_or(probs: &[f64]) -> f64 {
 
 /// Conjunction of independent events (a derivation needs all inputs right).
 pub fn all_of(probs: &[f64]) -> f64 {
-    probs.iter().inspect(|p| {
-        assert!((0.0..=1.0).contains(*p), "probability {p} out of range");
-    }).product()
+    probs
+        .iter()
+        .inspect(|p| {
+            assert!((0.0..=1.0).contains(*p), "probability {p} out of range");
+        })
+        .product()
 }
 
 /// Weighted fusion of correlated estimates (weights need not sum to 1).

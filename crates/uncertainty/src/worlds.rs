@@ -80,11 +80,7 @@ impl<T> WorldSet<T> {
     /// Marginal probability that a predicate over the present-tuple set
     /// holds, summed over all worlds.
     pub fn marginal(&self, pred: impl Fn(&[&T]) -> bool) -> f64 {
-        self.worlds()
-            .into_iter()
-            .filter(|w| pred(&self.members(w.mask)))
-            .map(|w| w.prob)
-            .sum()
+        self.worlds().into_iter().filter(|w| pred(&self.members(w.mask))).map(|w| w.prob).sum()
     }
 
     /// Marginal probability that tuple `i` is present (closed form).

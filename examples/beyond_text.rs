@@ -17,7 +17,7 @@ use quarry::corpus::sensor::{generate, SensorConfig, SensorData};
 use quarry::hi::oracle::panel;
 use quarry::hi::{curate, Crowd, CurateConfig, SelectionPolicy, UncertainItem};
 use quarry::query::engine::{execute, AggFn, Query};
-use quarry::storage::{Column, Database, DataType, TableSchema, Value};
+use quarry::storage::{Column, DataType, Database, TableSchema, Value};
 
 /// A detected occupancy event with a detector confidence.
 #[derive(Debug, Clone)]
@@ -92,7 +92,8 @@ fn is_true_event(data: &SensorData, ev: &Event) -> bool {
 }
 
 fn main() {
-    let cfg = SensorConfig { seed: 6, n_rooms: 8, samples: 600, dropout: 0.03, false_trigger: 0.03 };
+    let cfg =
+        SensorConfig { seed: 6, n_rooms: 8, samples: 600, dropout: 0.03, false_trigger: 0.03 };
     let data = generate(&cfg);
     println!(
         "sensor streams: {} rooms × {} samples, {} true occupancy intervals",
@@ -135,12 +136,8 @@ fn main() {
             reputation: None,
         },
     );
-    let verified: Vec<&Event> = events
-        .iter()
-        .zip(&report.decisions)
-        .filter(|(_, &keep)| keep)
-        .map(|(e, _)| e)
-        .collect();
+    let verified: Vec<&Event> =
+        events.iter().zip(&report.decisions).filter(|(_, &keep)| keep).map(|(e, _)| e).collect();
     let kept_correct = verified.iter().filter(|e| is_true_event(&data, e)).count();
     println!(
         "after HI review ({} questions): {} events kept, {} correct ({:.1}% precision)",

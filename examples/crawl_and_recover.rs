@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example crawl_and_recover`
 
 use quarry::corpus::{Corpus, CorpusConfig, CrawlConfig, CrawlSimulator};
-use quarry::storage::{Column, Database, DataType, SnapshotStore, TableSchema, Value};
+use quarry::storage::{Column, DataType, Database, SnapshotStore, TableSchema, Value};
 
 fn main() {
     // --- Part 1: 30 daily snapshots into the delta store. -----------------

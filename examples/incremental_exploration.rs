@@ -8,14 +8,15 @@
 //!
 //! Run with: `cargo run --example incremental_exploration`
 
-use quarry::corpus::{Corpus, CorpusConfig};
 use quarry::core::IncrementalManager;
+use quarry::corpus::{Corpus, CorpusConfig};
 use quarry::lang::{ExecContext, ExtractorRegistry};
 use quarry::query::engine::{execute, AggFn, Predicate, Query};
 use quarry::storage::{Database, Value};
 
 fn main() {
-    let corpus = Corpus::generate(&CorpusConfig { seed: 11, n_cities: 60, ..CorpusConfig::default() });
+    let corpus =
+        Corpus::generate(&CorpusConfig { seed: 11, n_cities: 60, ..CorpusConfig::default() });
     let registry = ExtractorRegistry::standard();
     let db = Database::in_memory();
     let mut ctx = ExecContext::new(&corpus.docs, &registry, &db);
@@ -47,11 +48,8 @@ fn main() {
     let q = Query::scan("cities")
         .filter(vec![Predicate::Ge("population".into(), Value::Int(500_000))])
         .aggregate(None, AggFn::Avg, "july_temp");
-    let avg_big = execute(&db, &q)
-        .expect("query")
-        .scalar()
-        .and_then(Value::as_f64)
-        .unwrap_or(f64::NAN);
+    let avg_big =
+        execute(&db, &q).expect("query").scalar().and_then(Value::as_f64).unwrap_or(f64::NAN);
     println!("        average July temperature, cities ≥ 500k people: {avg_big:.1} °F");
 
     // Step 3: a repeated need costs nothing.
@@ -65,17 +63,24 @@ fn main() {
     let mut ctx2 = ExecContext::new(&corpus.docs, &registry2, &db2);
     let mut all = IncrementalManager::new("cities", "name");
     let every_attr: Vec<&str> = vec![
-        "state", "population", "founded", "area_sq_mi", "january_temp", "february_temp",
-        "march_temp", "april_temp", "may_temp", "june_temp", "july_temp", "august_temp",
-        "september_temp", "october_temp", "november_temp", "december_temp",
+        "state",
+        "population",
+        "founded",
+        "area_sq_mi",
+        "january_temp",
+        "february_temp",
+        "march_temp",
+        "april_temp",
+        "may_temp",
+        "june_temp",
+        "july_temp",
+        "august_temp",
+        "september_temp",
+        "october_temp",
+        "november_temp",
+        "december_temp",
     ];
     let s_all = all.ensure(&every_attr, &extractors, &mut ctx2).expect("run").expect("runs");
-    println!(
-        "\none-shot everything:                    cost {:>7.1} units",
-        s_all.cost_units
-    );
-    println!(
-        "incremental total for what was needed:  cost {:>7.1} units",
-        mgr.total_cost
-    );
+    println!("\none-shot everything:                    cost {:>7.1} units", s_all.cost_units);
+    println!("incremental total for what was needed:  cost {:>7.1} units", mgr.total_cost);
 }

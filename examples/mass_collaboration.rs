@@ -38,11 +38,16 @@ fn main() {
             if sa.split(' ').next_back() != sb.split(' ').next_back() {
                 continue;
             }
-            let rec = |id: usize, title: &str, p: &quarry::corpus::PersonFact| Record::new(id, [
-                ("name", Value::Text(title.to_string())),
-                ("birth_year", Value::Int(p.birth_year as i64)),
-                ("employer", Value::Text(p.employer.clone())),
-            ]);
+            let rec = |id: usize, title: &str, p: &quarry::corpus::PersonFact| {
+                Record::new(
+                    id,
+                    [
+                        ("name", Value::Text(title.to_string())),
+                        ("birth_year", Value::Int(p.birth_year as i64)),
+                        ("employer", Value::Text(p.employer.clone())),
+                    ],
+                )
+            };
             let (d, score) = decide(&rec(i, &sa, a), &rec(j, &sb, b), &cfg);
             items.push(UncertainItem {
                 id: items.len(),
@@ -107,10 +112,5 @@ fn main() {
 }
 
 fn accuracy(items: &[UncertainItem], decisions: &[bool]) -> f64 {
-    items
-        .iter()
-        .zip(decisions)
-        .filter(|(i, &d)| i.truth == d)
-        .count() as f64
-        / items.len() as f64
+    items.iter().zip(decisions).filter(|(i, &d)| i.truth == d).count() as f64 / items.len() as f64
 }

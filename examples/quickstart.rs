@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use quarry::core::{Quarry, QuarryConfig};
 use quarry::corpus::{Corpus, CorpusConfig};
 use quarry::query::engine::{AggFn, Query};
 use quarry::storage::Value;
+use quarry::{Quarry, QuarryConfig};
 
 fn main() {
     // 1. A slice of the (synthetic) Web: city/person/company/publication
@@ -24,7 +24,7 @@ fn main() {
     );
 
     // 2. Bring up the system and ingest the crawl.
-    let mut quarry = Quarry::new(QuarryConfig::default()).expect("system boots");
+    let mut quarry = Quarry::new(QuarryConfig::builder().build()).expect("system boots");
     quarry.ingest(corpus.docs.clone());
 
     // 3. Generate structure declaratively: IE + II in one QDL program.
@@ -50,7 +50,11 @@ STORE INTO cities KEY name
     //    structure answers *questions*.
     let city = &corpus.truth.cities[0];
     let (hits, candidates) = quarry.keyword(&format!("average july_temp {}", city.name), 3);
-    println!("keyword search: {} page hits, {} suggested structured queries", hits.len(), candidates.len());
+    println!(
+        "keyword search: {} page hits, {} suggested structured queries",
+        hits.len(),
+        candidates.len()
+    );
 
     let q = Query::scan("cities")
         .filter(vec![quarry::query::Predicate::Eq("name".into(), city.name.as_str().into())])

@@ -9,19 +9,30 @@
 //!
 //! Run with: `cargo run --example wikipedia_temperatures`
 
-use quarry::core::{Quarry, QuarryConfig};
 use quarry::corpus::{Corpus, CorpusConfig};
 use quarry::query::engine::{AggFn, Predicate, Query};
 use quarry::storage::Value;
+use quarry::{Quarry, QuarryConfig};
 
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 fn main() {
-    let corpus = Corpus::generate(&CorpusConfig { seed: 42, n_cities: 80, ..CorpusConfig::default() });
-    let mut quarry = Quarry::new(QuarryConfig::default()).expect("boot");
+    let corpus =
+        Corpus::generate(&CorpusConfig { seed: 42, n_cities: 80, ..CorpusConfig::default() });
+    let mut quarry = Quarry::new(QuarryConfig::builder().build()).expect("boot");
     quarry.ingest(corpus.docs.clone());
 
     // Extract every monthly temperature into a long-form table

@@ -1,0 +1,172 @@
+//! Offline shim for `bytes` — `Bytes` (cheaply clonable immutable buffer)
+//! and `BytesMut` (growable buffer), the subset the storage crate uses.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(s))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        Bytes(Arc::from(b.0))
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = Bytes::copy_from_slice(b"alpha");
+        assert_eq!(&*b, b"alpha");
+        assert_eq!(b, Bytes::from("alpha"));
+        assert_eq!(b.len(), 5);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn bytes_mut_builds_frames() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(&42u32.to_le_bytes());
+        m.extend_from_slice(b"xy");
+        assert_eq!(m.len(), 6);
+        let frozen = m.freeze();
+        assert_eq!(&frozen[4..], b"xy");
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from("a\nb")), "b\"a\\nb\"");
+    }
+}

@@ -1,0 +1,263 @@
+//! Mini regex-subset sampler backing string strategies.
+//!
+//! Supports the constructs used by this workspace's property tests:
+//! literals, classes `[a-z0-9_. ]` (ranges + literal chars + `\n`-style
+//! escapes), groups `(...)`, the `\PC` printable-character class, and the
+//! quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// Unbounded quantifiers (`*`, `+`) are capped at this many repeats.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Flattened set of candidate characters.
+    Class(Vec<char>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    Group(Vec<(Node, u32, u32)>),
+}
+
+/// A compiled pattern: a sequence of (node, min, max) repetitions.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    seq: Vec<(Node, u32, u32)>,
+}
+
+/// Printable sample pool for `\PC`; mixes ASCII with multi-byte scalars so
+/// byte-offset handling gets exercised.
+const PRINTABLE_EXTRAS: &[char] = &['é', 'ß', 'ü', 'Ω', '中', '–', '¡', '☃'];
+
+impl Pattern {
+    /// Compile `src`, panicking on constructs outside the supported subset
+    /// (a test-authoring error, not a runtime condition).
+    pub fn compile(src: &str) -> Pattern {
+        let chars: Vec<char> = src.chars().collect();
+        let mut pos = 0usize;
+        let seq = parse_seq(&chars, &mut pos, src);
+        if pos != chars.len() {
+            panic!("unbalanced pattern {src:?} at char {pos}");
+        }
+        Pattern { seq }
+    }
+
+    /// Draw one string matching the pattern.
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        sample_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn sample_seq(seq: &[(Node, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (node, lo, hi) in seq {
+        let count = if hi <= lo { *lo } else { rng.gen_range(*lo..=*hi) };
+        for _ in 0..count {
+            sample_node(node, rng, out);
+        }
+    }
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+        Node::Printable => {
+            // Mostly ASCII printable, occasionally a multi-byte scalar.
+            if rng.gen_bool(0.9) {
+                out.push(rng.gen_range(0x20u32..0x7F) as u8 as char);
+            } else {
+                out.push(PRINTABLE_EXTRAS[rng.gen_range(0..PRINTABLE_EXTRAS.len())]);
+            }
+        }
+        Node::Group(seq) => sample_seq(seq, rng, out),
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, src: &str) -> Vec<(Node, u32, u32)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let node = parse_atom(chars, pos, src);
+        let (lo, hi) = parse_quantifier(chars, pos, src);
+        seq.push((node, lo, hi));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, src: &str) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_seq(chars, pos, src);
+            if chars.get(*pos) != Some(&')') {
+                panic!("unclosed group in pattern {src:?}");
+            }
+            *pos += 1;
+            Node::Group(inner)
+        }
+        '[' => {
+            *pos += 1;
+            let mut set = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let c = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    escape_char(chars, pos, src)
+                } else {
+                    let c = chars[*pos];
+                    *pos += 1;
+                    c
+                };
+                // Range `a-z` (a trailing or leading '-' is a literal).
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    for v in (c as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                } else {
+                    set.push(c);
+                }
+            }
+            if chars.get(*pos) != Some(&']') {
+                panic!("unclosed class in pattern {src:?}");
+            }
+            *pos += 1;
+            if set.is_empty() {
+                panic!("empty class in pattern {src:?}");
+            }
+            Node::Class(set)
+        }
+        '\\' => {
+            *pos += 1;
+            if chars.get(*pos) == Some(&'P') && chars.get(*pos + 1) == Some(&'C') {
+                *pos += 2;
+                Node::Printable
+            } else {
+                Node::Lit(escape_char(chars, pos, src))
+            }
+        }
+        '.' => {
+            *pos += 1;
+            Node::Printable
+        }
+        c => {
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn escape_char(chars: &[char], pos: &mut usize, src: &str) -> char {
+    let c = *chars.get(*pos).unwrap_or_else(|| panic!("dangling escape in pattern {src:?}"));
+    *pos += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \., \-, \[ ...
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, src: &str) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            *pos += 1;
+            let lo = parse_int(chars, pos, src);
+            let hi = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                parse_int(chars, pos, src)
+            } else {
+                lo
+            };
+            if chars.get(*pos) != Some(&'}') {
+                panic!("unclosed quantifier in pattern {src:?}");
+            }
+            *pos += 1;
+            (lo, hi)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_int(chars: &[char], pos: &mut usize, src: &str) -> u32 {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == start {
+        panic!("expected number in quantifier of pattern {src:?}");
+    }
+    chars[start..*pos].iter().collect::<String>().parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let p = Pattern::compile("[a-c_]{2,5}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_and_optionals() {
+        let p = Pattern::compile("[a-z](-?[a-z]){0,5}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            assert!(!s.is_empty());
+            assert!(!s.starts_with('-'));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let p = Pattern::compile("\\PC{0,40}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn newline_escape_inside_and_outside_classes() {
+        let p = Pattern::compile("([a-z ]{0,5}\n){1,3}");
+        let mut r = rng();
+        let s = p.sample(&mut r);
+        assert!(s.ends_with('\n'));
+        let p2 = Pattern::compile("[a-z .!?\n]{1,10}");
+        let s2 = p2.sample(&mut r);
+        assert!(s2.chars().all(|c| matches!(c, 'a'..='z' | ' ' | '.' | '!' | '?' | '\n')));
+    }
+}

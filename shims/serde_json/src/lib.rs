@@ -1,0 +1,69 @@
+//! Offline shim for `serde_json`, backed by the `serde` shim's JSON tree.
+
+use serde::json;
+use serde::{Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_string(&value.to_json()))
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let tree = json::parse(s).map_err(Error)?;
+    T::from_json(&tree).map_err(Error)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn string_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"[[1,"a"],[2,"b"]]"#);
+        let back: Vec<(u32, String)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 3.25f64);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, r#"{"k":3.25}"#);
+        let back: BTreeMap<String, f64> = from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let r: Result<Vec<u64>, Error> = from_str("{broken");
+        assert!(r.is_err());
+    }
+}

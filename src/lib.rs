@@ -16,12 +16,26 @@
 //! - [`debugger`] — the semantic debugger
 //! - [`query`] — keyword search, structured queries, query translation
 //! - [`cluster`] — MapReduce-like parallel execution (physical layer)
+//! - [`exec`] — work-stealing parallel executor for the IE/II hot paths
 //! - [`core`] — the assembled end-to-end system
+//!
+//! The most-used entry points are re-exported at the crate root:
+//!
+//! ```
+//! use quarry::{extract_all, ExtractorSet, Quarry, QuarryConfig};
+//!
+//! let config = QuarryConfig::builder().threads(2).build();
+//! let system = Quarry::new(config).unwrap();
+//! drop(system);
+//! let set = ExtractorSet::standard();
+//! let _ = &set;
+//! ```
 
 pub use quarry_cluster as cluster;
 pub use quarry_core as core;
 pub use quarry_corpus as corpus;
 pub use quarry_debugger as debugger;
+pub use quarry_exec as exec;
 pub use quarry_extract as extract;
 pub use quarry_hi as hi;
 pub use quarry_integrate as integrate;
@@ -30,3 +44,7 @@ pub use quarry_query as query;
 pub use quarry_schema as schema;
 pub use quarry_storage as storage;
 pub use quarry_uncertainty as uncertainty;
+
+pub use quarry_core::{Quarry, QuarryConfig, QuarryError};
+pub use quarry_exec::{ExecPool, ExecReport};
+pub use quarry_extract::{extract_all, Extraction, ExtractorSet};

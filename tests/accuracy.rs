@@ -72,7 +72,12 @@ fn person_matching_items(corpus: &Corpus) -> Vec<UncertainItem> {
     items
 }
 
-fn er_f1(_items: &[UncertainItem], n: usize, decisions: &[bool], truth_pairs: &[(usize, usize)]) -> f64 {
+fn er_f1(
+    _items: &[UncertainItem],
+    n: usize,
+    decisions: &[bool],
+    truth_pairs: &[(usize, usize)],
+) -> f64 {
     // items are indexed over person-page pairs (i, j) in order.
     let mut matched = Vec::new();
     let mut k = 0;
@@ -123,10 +128,7 @@ fn hi_budget_improves_entity_resolution_f1() {
         },
     );
     let f1_hi = er_f1(&items, n, &report.decisions, &truth_pairs);
-    assert!(
-        f1_hi >= f1_auto,
-        "HI must not hurt: auto {f1_auto:.3} vs HI {f1_hi:.3}"
-    );
+    assert!(f1_hi >= f1_auto, "HI must not hurt: auto {f1_auto:.3} vs HI {f1_hi:.3}");
     assert!(f1_hi > 0.8, "curated ER should be strong, got {f1_hi:.3}");
 }
 
@@ -139,28 +141,21 @@ fn blocking_preserves_most_true_pairs_while_cutting_work() {
         noise: NoiseConfig { name_variant: 1.0, ..NoiseConfig::default() },
         ..CorpusConfig::default()
     });
-    let titles: Vec<String> = corpus
-        .truth
-        .people
-        .iter()
-        .map(|p| corpus.docs[p.doc.index()].title.clone())
-        .collect();
+    let titles: Vec<String> =
+        corpus.truth.people.iter().map(|p| corpus.docs[p.doc.index()].title.clone()).collect();
     let truth_pairs: BTreeSet<(usize, usize)> = (0..titles.len())
         .flat_map(|i| ((i + 1)..titles.len()).map(move |j| (i, j)))
         .filter(|&(i, j)| corpus.truth.people[i].entity == corpus.truth.people[j].entity)
         .collect();
 
     let key = |t: &String| {
-        t.split([' ', ',']).rfind(|w| w.len() > 1 && w.chars().all(char::is_alphabetic))
+        t.split([' ', ','])
+            .rfind(|w| w.len() > 1 && w.chars().all(char::is_alphabetic))
             .unwrap_or("")
             .to_lowercase()
     };
     let candidates = blocking::key_blocking(&titles, key);
     let stats = blocking::evaluate(&candidates, &truth_pairs, titles.len());
     assert!(stats.reduction_ratio() > 0.9, "reduction {:.3}", stats.reduction_ratio());
-    assert!(
-        stats.pairs_completeness() > 0.6,
-        "completeness {:.3}",
-        stats.pairs_completeness()
-    );
+    assert!(stats.pairs_completeness() > 0.6, "completeness {:.3}", stats.pairs_completeness());
 }

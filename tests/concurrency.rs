@@ -2,7 +2,7 @@
 //! behave serializably — transfers conserve totals, scans never observe a
 //! torn state, and wait-die always makes progress (no deadlock).
 
-use quarry::storage::{Column, Database, DataType, StorageError, TableSchema, Value};
+use quarry::storage::{Column, DataType, Database, StorageError, TableSchema, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -19,8 +19,7 @@ fn accounts_db(n: usize, initial: i64) -> Arc<Database> {
     )
     .unwrap();
     for i in 0..n {
-        db.insert_autocommit("accounts", vec![Value::Int(i as i64), Value::Int(initial)])
-            .unwrap();
+        db.insert_autocommit("accounts", vec![Value::Int(i as i64), Value::Int(initial)]).unwrap();
     }
     db
 }
@@ -55,14 +54,18 @@ fn transfers_conserve_total_under_contention() {
                     let amount = 7i64;
                     let fa = a[1].as_f64().unwrap() as i64 - amount;
                     let fb = b[1].as_f64().unwrap() as i64 + amount;
-                    db.update(tx, "accounts", &[Value::Int(from as i64)], vec![
-                        Value::Int(from as i64),
-                        Value::Int(fa),
-                    ])?;
-                    db.update(tx, "accounts", &[Value::Int(to as i64)], vec![
-                        Value::Int(to as i64),
-                        Value::Int(fb),
-                    ])?;
+                    db.update(
+                        tx,
+                        "accounts",
+                        &[Value::Int(from as i64)],
+                        vec![Value::Int(from as i64), Value::Int(fa)],
+                    )?;
+                    db.update(
+                        tx,
+                        "accounts",
+                        &[Value::Int(to as i64)],
+                        vec![Value::Int(to as i64), Value::Int(fb)],
+                    )?;
                     Ok(())
                 })();
                 match result {
@@ -138,7 +141,10 @@ fn mixed_ddl_and_dml_do_not_corrupt() {
                 let id = next.fetch_add(1, Ordering::SeqCst);
                 // On a wait-die abort the id is burned; retry with a new one.
                 if db
-                    .insert_autocommit("log", vec![Value::Int(id as i64), format!("thread{t}").into()])
+                    .insert_autocommit(
+                        "log",
+                        vec![Value::Int(id as i64), format!("thread{t}").into()],
+                    )
                     .is_ok()
                 {
                     mine += 1;

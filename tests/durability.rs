@@ -3,7 +3,7 @@
 
 use quarry::corpus::{Corpus, CorpusConfig, CrawlConfig, CrawlSimulator};
 use quarry::schema::{EvolutionOp, SchemaRegistry, VersionId};
-use quarry::storage::{Column, Database, DataType, SnapshotStore, TableSchema, Value};
+use quarry::storage::{Column, DataType, Database, SnapshotStore, TableSchema, Value};
 use std::path::PathBuf;
 
 fn tmpwal(name: &str) -> PathBuf {
@@ -40,10 +40,7 @@ fn crash_recovery_preserves_committed_pipeline_output() {
     let p = tmpwal("pipeline-crash");
     let schema = TableSchema::new(
         "cities",
-        vec![
-            Column::new("name", DataType::Text),
-            Column::new("population", DataType::Int),
-        ],
+        vec![Column::new("name", DataType::Text), Column::new("population", DataType::Int)],
         &["name"],
         &["population"],
     )
@@ -74,13 +71,9 @@ fn crash_recovery_preserves_committed_pipeline_output() {
 #[test]
 fn schema_evolution_survives_recovery() {
     let p = tmpwal("evolution-crash");
-    let base = TableSchema::new(
-        "people",
-        vec![Column::new("name", DataType::Text)],
-        &["name"],
-        &[],
-    )
-    .unwrap();
+    let base =
+        TableSchema::new("people", vec![Column::new("name", DataType::Text)], &["name"], &[])
+            .unwrap();
     let mut registry = SchemaRegistry::new();
     registry.register(base.clone()).unwrap();
     registry
@@ -112,10 +105,10 @@ fn schema_evolution_survives_recovery() {
     let schema = db.schema("people").unwrap();
     assert_eq!(schema.columns.len(), 2);
     let rows = db.scan_autocommit("people").unwrap();
-    assert_eq!(rows, vec![vec![
-        Value::Text("David Smith".into()),
-        Value::Text("Acme Systems".into()),
-    ]]);
+    assert_eq!(
+        rows,
+        vec![vec![Value::Text("David Smith".into()), Value::Text("Acme Systems".into()),]]
+    );
     std::fs::remove_file(&p).unwrap();
 }
 

@@ -24,7 +24,7 @@ fn boot(seed: u64) -> (Quarry, Corpus) {
         noise: NoiseConfig::none(),
         ..CorpusConfig::default()
     });
-    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    let mut q = Quarry::new(QuarryConfig::builder().build()).unwrap();
     q.ingest(corpus.docs.clone());
     (q, corpus)
 }
@@ -93,11 +93,13 @@ fn hi_wired_through_the_facade() {
     });
     let person_entity: HashMap<_, _> =
         corpus.truth.people.iter().map(|p| (p.doc, p.entity)).collect();
-    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    let mut q = Quarry::new(QuarryConfig::builder().build()).unwrap();
     q.ingest(corpus.docs.clone());
     q.set_hi(
         Crowd::new(panel(5, &[0.05], 7)),
-        Arc::new(move |a, b| person_entity.get(&a) == person_entity.get(&b) && person_entity.contains_key(&a)),
+        Arc::new(move |a, b| {
+            person_entity.get(&a) == person_entity.get(&b) && person_entity.contains_key(&a)
+        }),
     );
     let stats = q
         .run_pipeline(
@@ -129,10 +131,7 @@ fn lineage_and_audit_complete_the_loop() {
     let flags = q.audit_table("cities").unwrap();
     assert!(flags.len() <= nodes.len() / 5, "{} flags on clean data", flags.len());
     // Health: all green after activity.
-    assert!(q
-        .health_check()
-        .iter()
-        .all(|(_, s)| *s == quarry::debugger::HealthStatus::Healthy));
+    assert!(q.health_check().iter().all(|(_, s)| *s == quarry::debugger::HealthStatus::Healthy));
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use quarry::query::engine::{execute, AggFn, Predicate, Query};
-use quarry::storage::{Column, Database, DataType, TableSchema, Value};
+use quarry::storage::{Column, DataType, Database, TableSchema, Value};
 
 #[derive(Debug, Clone)]
 struct TestRow {
@@ -38,11 +38,7 @@ fn make_db(rows: &[TestRow]) -> Database {
 }
 
 fn row_strategy() -> impl Strategy<Value = Vec<TestRow>> {
-    proptest::collection::vec(
-        (0i64..500, "[abc]", -50i64..50),
-        0..40,
-    )
-    .prop_map(|rows| {
+    proptest::collection::vec((0i64..500, "[abc]", -50i64..50), 0..40).prop_map(|rows| {
         let mut seen = std::collections::HashSet::new();
         rows.into_iter()
             .filter(|(k, _, _)| seen.insert(*k))

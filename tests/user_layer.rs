@@ -21,7 +21,7 @@ fn boot() -> (Quarry, Corpus) {
         noise: NoiseConfig::none(),
         ..CorpusConfig::default()
     });
-    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    let mut q = Quarry::new(QuarryConfig::builder().build()).unwrap();
     q.ingest(corpus.docs.clone());
     q.run_pipeline(PIPELINE).unwrap();
     (q, corpus)
@@ -72,10 +72,7 @@ fn browse_card_reflects_corrections() {
 fn monitor_fires_when_a_correction_moves_its_answer() {
     let (mut q, corpus) = boot();
     let city = &corpus.truth.cities[0];
-    q.register_monitor(
-        "max-pop",
-        Query::scan("cities").aggregate(None, AggFn::Max, "population"),
-    );
+    q.register_monitor("max-pop", Query::scan("cities").aggregate(None, AggFn::Max, "population"));
     q.check_monitors(); // arm with the current answer
     q.users.register("editor", false).unwrap();
     for _ in 0..20 {
