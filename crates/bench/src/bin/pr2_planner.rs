@@ -1,0 +1,261 @@
+//! PR2 — index-aware physical planning: scan-vs-index latency, result-cache
+//! hit/miss latency, and join build-side selection deltas.
+//!
+//! Prints the usual experiment tables and additionally writes the numbers
+//! to `BENCH_pr2.json` (machine-readable, hand-rolled JSON — no formatting
+//! dependencies). `--check` runs a fast, small-size variant that asserts
+//! planner/full-scan result identity instead of asserting speedups; CI runs
+//! that mode as a smoke test.
+
+use quarry_bench::{banner, f3, timed, Table};
+use quarry_core::{Quarry, QuarryConfig};
+use quarry_query::engine::{Predicate, Query, QueryResult};
+use quarry_query::planner::{execute_with, PlannerConfig};
+use quarry_storage::{Column, DataType, Database, TableSchema, Value};
+
+/// 1-in-`KEY_SPACE` selectivity for the equality probe (< 1%).
+const KEY_SPACE: i64 = 200;
+
+fn items_db(rows: usize) -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        TableSchema::new(
+            "items",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("key", DataType::Int),
+                Column::new("payload", DataType::Text),
+            ],
+            &["id"],
+            &[],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tx = db.begin();
+    for i in 0..rows as i64 {
+        db.insert(
+            tx,
+            "items",
+            vec![
+                Value::Int(i),
+                Value::Int(i % KEY_SPACE),
+                Value::Text(format!("payload for row {i}")),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(tx).unwrap();
+    db.create_index("items", "key").unwrap();
+    db
+}
+
+fn probe_query() -> Query {
+    Query::scan("items").filter(vec![Predicate::Eq("key".into(), Value::Int(7))])
+}
+
+/// Median wall time (ms) of `iters` runs, with the last result returned.
+fn median_ms(iters: usize, mut f: impl FnMut() -> QueryResult) -> (QueryResult, f64) {
+    let mut times = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let (out, ms) = timed(&mut f);
+        times.push(ms);
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (last.unwrap(), times[times.len() / 2])
+}
+
+struct ScanPoint {
+    rows: usize,
+    full_ms: f64,
+    index_ms: f64,
+    speedup: f64,
+}
+
+fn scan_vs_index(sizes: &[usize], iters: usize, check: bool) -> Vec<ScanPoint> {
+    let q = probe_query();
+    let mut points = Vec::new();
+    for &rows in sizes {
+        let db = items_db(rows);
+        let (full_result, full_ms) =
+            median_ms(iters, || execute_with(&db, &q, &PlannerConfig::full_scan()).unwrap().0);
+        let (index_result, index_ms) =
+            median_ms(iters, || execute_with(&db, &q, &PlannerConfig::default()).unwrap().0);
+        assert_eq!(index_result, full_result, "index routing changed the answer at {rows} rows");
+        if check {
+            let expected = (0..rows as i64).filter(|i| i % KEY_SPACE == 7).count();
+            assert_eq!(full_result.rows.len(), expected, "probe selectivity drifted");
+        }
+        points.push(ScanPoint { rows, full_ms, index_ms, speedup: full_ms / index_ms });
+    }
+    points
+}
+
+struct CachePoint {
+    miss_ms: f64,
+    hit_ms: f64,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache_latency(rows: usize) -> CachePoint {
+    let mut quarry = Quarry::new(QuarryConfig::default()).unwrap();
+    quarry
+        .db
+        .create_table(
+            TableSchema::new(
+                "items",
+                vec![Column::new("id", DataType::Int), Column::new("key", DataType::Int)],
+                &["id"],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let tx = quarry.db.begin();
+    for i in 0..rows as i64 {
+        quarry.db.insert(tx, "items", vec![Value::Int(i), Value::Int(i % KEY_SPACE)]).unwrap();
+    }
+    quarry.db.commit(tx).unwrap();
+
+    let q = probe_query();
+    let (cold, miss_ms) = timed(|| quarry.structured(&q).unwrap());
+    let (warm, hit_ms) = timed(|| quarry.structured(&q).unwrap());
+    assert_eq!(warm, cold, "cache hit served a different result");
+    let stats = quarry.query_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "expected exactly one miss then one hit");
+    CachePoint { miss_ms, hit_ms, hits: stats.hits, misses: stats.misses }
+}
+
+struct JoinPoint {
+    shape: &'static str,
+    fixed_ms: f64,
+    selected_ms: f64,
+}
+
+fn join_side(big_rows: usize, iters: usize) -> Vec<JoinPoint> {
+    let db = items_db(big_rows);
+    // `small` is the <1% equality slice of `items`, `big` is unfiltered;
+    // the two query orders place the small input on each side of the join.
+    let small = probe_query();
+    let big = Query::scan("items");
+    let shapes: [(&'static str, Query); 2] = [
+        ("small_join_big", small.clone().join(big.clone(), "key", "key")),
+        ("big_join_small", big.join(small, "key", "key")),
+    ];
+    let fixed = PlannerConfig { join_side_selection: false, ..PlannerConfig::default() };
+    shapes
+        .into_iter()
+        .map(|(shape, q)| {
+            let (fixed_result, fixed_ms) =
+                median_ms(iters, || execute_with(&db, &q, &fixed).unwrap().0);
+            let (selected_result, selected_ms) =
+                median_ms(iters, || execute_with(&db, &q, &PlannerConfig::default()).unwrap().0);
+            assert_eq!(selected_result, fixed_result, "build-side choice changed {shape}");
+            JoinPoint { shape, fixed_ms, selected_ms }
+        })
+        .collect()
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    scans: &[ScanPoint],
+    cache: &CachePoint,
+    joins: &[JoinPoint],
+) {
+    let scan_items: Vec<String> = scans
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"rows\": {}, \"selectivity\": {:.4}, \"full_scan_ms\": {:.4}, \
+                 \"index_ms\": {:.4}, \"speedup\": {:.2}}}",
+                p.rows,
+                1.0 / KEY_SPACE as f64,
+                p.full_ms,
+                p.index_ms,
+                p.speedup
+            )
+        })
+        .collect();
+    let join_items: Vec<String> = joins
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"shape\": \"{}\", \"fixed_build_ms\": {:.4}, \
+                 \"selected_build_ms\": {:.4}, \"speedup\": {:.2}}}",
+                p.shape,
+                p.fixed_ms,
+                p.selected_ms,
+                p.fixed_ms / p.selected_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"pr2_planner\",\n  \"mode\": \"{mode}\",\n  \
+         \"scan_vs_index\": [\n{}\n  ],\n  \"cache\": {{\"miss_ms\": {:.4}, \
+         \"hit_ms\": {:.4}, \"speedup\": {:.2}, \"hits\": {}, \"misses\": {}}},\n  \
+         \"join_side\": [\n{}\n  ]\n}}\n",
+        scan_items.join(",\n"),
+        cache.miss_ms,
+        cache.hit_ms,
+        cache.miss_ms / cache.hit_ms,
+        cache.hits,
+        cache.misses,
+        join_items.join(",\n"),
+    );
+    std::fs::write(path, json).unwrap();
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    banner(
+        "PR2",
+        "equality probes on an indexed column beat full scans by growing margins, \
+         cache hits cost microseconds, and building the hash join on the smaller \
+         side never loses",
+    );
+
+    let (sizes, iters, cache_rows, join_rows): (&[usize], usize, usize, usize) = if check {
+        (&[500, 2_000], 3, 1_000, 2_000)
+    } else {
+        (&[1_000, 10_000, 100_000], 9, 10_000, 20_000)
+    };
+
+    let scans = scan_vs_index(sizes, iters, check);
+    let mut t = Table::new(&["rows", "full scan (ms)", "index (ms)", "speedup"]);
+    for p in &scans {
+        t.row(&[p.rows.to_string(), f3(p.full_ms), f3(p.index_ms), format!("{:.1}x", p.speedup)]);
+    }
+    t.print();
+    if !check {
+        let last = scans.last().unwrap();
+        assert!(
+            last.speedup >= 10.0,
+            "acceptance: expected >=10x at {} rows, measured {:.1}x",
+            last.rows,
+            last.speedup
+        );
+    }
+
+    let cache = cache_latency(cache_rows);
+    println!(
+        "\ncache ({cache_rows} rows): miss {} ms, hit {} ms ({:.1}x)",
+        f3(cache.miss_ms),
+        f3(cache.hit_ms),
+        cache.miss_ms / cache.hit_ms
+    );
+
+    let joins = join_side(join_rows, iters);
+    let mut jt = Table::new(&["join shape", "fixed build (ms)", "selected build (ms)"]);
+    for p in &joins {
+        jt.row(&[p.shape.to_string(), f3(p.fixed_ms), f3(p.selected_ms)]);
+    }
+    println!();
+    jt.print();
+
+    write_json("BENCH_pr2.json", if check { "check" } else { "full" }, &scans, &cache, &joins);
+}

@@ -24,6 +24,7 @@ pub mod dge;
 pub mod feedback;
 pub mod incremental;
 pub mod monitor;
+pub mod qcache;
 pub mod system;
 pub mod users;
 
@@ -31,5 +32,6 @@ pub use dge::{DgeEvent, DgeLog};
 pub use feedback::{Correction, CorrectionStatus, FeedbackQueue};
 pub use incremental::IncrementalManager;
 pub use monitor::{MonitorFire, MonitorSet};
+pub use qcache::{QueryCache, QueryCacheStats};
 pub use system::{Quarry, QuarryConfig, QuarryError};
 pub use users::{UserAccount, UserDirectory};

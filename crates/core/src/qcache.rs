@@ -1,0 +1,180 @@
+//! Write-invalidated structured-query result cache.
+//!
+//! Repeated form-based queries (the recognition-not-generation interface of
+//! §3.3) tend to re-run the exact same query tree between writes, so the
+//! façade memoizes results. An entry is keyed on the query's structural
+//! fingerprint and remembers the *write version* of every table the query
+//! read; the structured engine bumps a table's version on every applied
+//! insert/update/delete (and on index DDL), so any entry whose recorded
+//! versions no longer match is stale and is re-executed. Versions come off
+//! one database-global write clock, which also makes a dropped-and-recreated
+//! table look new rather than aliasing an old version number.
+//!
+//! Staleness is checked at lookup time — nothing subscribes to writes — so
+//! the cache never returns data older than the most recent committed write
+//! at the moment of the lookup.
+
+use quarry_query::engine::QueryResult;
+use std::collections::HashMap;
+
+/// One cached result with its version snapshot.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// (table, write version at store time), sorted by table name.
+    versions: Vec<(String, u64)>,
+    /// The memoized result.
+    result: QueryResult,
+    /// Monotone insertion stamp for LRU-ish eviction.
+    stamp: u64,
+}
+
+/// Hit/miss counters (misses include version-invalidated entries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to execute (absent or invalidated).
+    pub misses: u64,
+    /// Entries dropped because a table version moved.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// A bounded query-result cache keyed on (fingerprint, table versions).
+#[derive(Debug)]
+pub struct QueryCache {
+    map: HashMap<String, Entry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::new(256)
+    }
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` results (oldest evicted first).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Look up `fingerprint` given the tables' *current* write versions.
+    /// A version mismatch drops the entry and reports a miss.
+    pub fn get(&mut self, fingerprint: &str, versions: &[(String, u64)]) -> Option<QueryResult> {
+        match self.map.get(fingerprint) {
+            Some(e) if e.versions == versions => {
+                self.hits += 1;
+                let result = e.result.clone();
+                self.clock += 1;
+                self.map.get_mut(fingerprint).expect("present").stamp = self.clock;
+                Some(result)
+            }
+            Some(_) => {
+                self.map.remove(fingerprint);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result under `fingerprint` with the version snapshot taken
+    /// around its execution.
+    pub fn put(&mut self, fingerprint: String, versions: Vec<(String, u64)>, result: QueryResult) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&fingerprint) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(fingerprint, Entry { versions, result, stamp: self.clock });
+    }
+
+    /// Counters plus current size.
+    pub fn stats(&self) -> QueryCacheStats {
+        QueryCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(n: i64) -> QueryResult {
+        QueryResult { columns: vec!["x".into()], rows: vec![vec![n.into()]] }
+    }
+
+    fn vs(v: u64) -> Vec<(String, u64)> {
+        vec![("t".to_string(), v)]
+    }
+
+    #[test]
+    fn hit_after_put_with_matching_versions() {
+        let mut c = QueryCache::new(4);
+        c.put("q1".into(), vs(3), result(1));
+        assert_eq!(c.get("q1", &vs(3)), Some(result(1)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let mut c = QueryCache::new(4);
+        c.put("q1".into(), vs(3), result(1));
+        assert_eq!(c.get("q1", &vs(4)), None, "stale entry must not serve");
+        let s = c.stats();
+        assert_eq!((s.misses, s.invalidations, s.entries), (1, 1, 0));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_touched() {
+        let mut c = QueryCache::new(2);
+        c.put("a".into(), vs(1), result(1));
+        c.put("b".into(), vs(1), result(2));
+        assert!(c.get("a", &vs(1)).is_some()); // touch a: b is now oldest
+        c.put("c".into(), vs(1), result(3));
+        assert!(c.get("b", &vs(1)).is_none(), "b evicted");
+        assert!(c.get("a", &vs(1)).is_some());
+        assert!(c.get("c", &vs(1)).is_some());
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let mut c = QueryCache::new(4);
+        c.put("a".into(), vs(1), result(1));
+        c.get("a", &vs(1));
+        c.clear();
+        assert!(c.get("a", &vs(1)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 0));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::dge::{DgeEvent, DgeLog};
 use crate::feedback::{Correction, CorrectionStatus, FeedbackQueue};
 use crate::monitor::{MonitorFire, MonitorSet};
+use crate::qcache::{QueryCache, QueryCacheStats};
 use crate::users::UserDirectory;
 use quarry_corpus::{Corpus, CorpusConfig, CorpusError, DocId, Document};
 use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
@@ -197,6 +198,7 @@ pub struct Quarry {
     index: Option<InvertedIndex>,
     translator: Option<Translator>,
     cache: HashMap<(DocId, String), Vec<Extraction>>,
+    qcache: QueryCache,
     crowd: Option<Crowd>,
     truth: Option<TruthOracle>,
     pool: ExecPool,
@@ -230,6 +232,7 @@ impl Quarry {
             index: None,
             translator: None,
             cache: HashMap::new(),
+            qcache: QueryCache::default(),
             crowd: None,
             truth: None,
             pool: ExecPool::new(config.threads),
@@ -402,12 +405,60 @@ impl Quarry {
         candidates.iter().map(|c| quarry_query::forms::render(&c.query)).collect()
     }
 
-    /// Run a structured query.
+    /// Run a structured query, consulting the write-invalidated result
+    /// cache first. A cacheable query (every referenced table exists) that
+    /// repeats between writes is answered from memory; any committed write
+    /// to a referenced table bumps that table's version and forces
+    /// re-execution on the next lookup.
     pub fn structured(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
+        let fingerprint = q.fingerprint();
+        let versions = self.table_versions(q);
+        if let Some(vs) = &versions {
+            if let Some(result) = self.qcache.get(&fingerprint, vs) {
+                self.dge.record(DgeEvent::StructuredQuery {
+                    rendered: q.display(),
+                    rows: result.rows.len(),
+                });
+                return Ok(result);
+            }
+        }
         let result = execute(&self.db, q)?;
+        // Store only if no concurrent write raced the execution: versions
+        // re-read after the run must match the snapshot taken before it.
+        if let Some(vs) = versions {
+            if self.table_versions(q).as_ref() == Some(&vs) {
+                self.qcache.put(fingerprint, vs, result.clone());
+            }
+        }
         self.dge
             .record(DgeEvent::StructuredQuery { rendered: q.display(), rows: result.rows.len() });
         Ok(result)
+    }
+
+    /// Current write version of every table `q` reads; `None` when any
+    /// referenced table does not exist (the query is then uncacheable and
+    /// executes directly, surfacing the engine's own error).
+    fn table_versions(&self, q: &Query) -> Option<Vec<(String, u64)>> {
+        q.tables().into_iter().map(|t| self.db.table_version(&t).ok().map(|v| (t, v))).collect()
+    }
+
+    /// Declare a secondary index on a stored table's column (idempotent,
+    /// WAL-logged). Subsequent structured queries with equality or range
+    /// predicates on that column route through the index.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<(), QuarryError> {
+        self.db.create_index(table, column)?;
+        Ok(())
+    }
+
+    /// Explain a structured query: the chosen physical plan with access
+    /// paths, pushed predicates, and estimated vs. actual row counts.
+    pub fn explain_query(&self, q: &Query) -> Result<String, QuarryError> {
+        Ok(q.explain(&self.db)?)
+    }
+
+    /// Hit/miss/invalidation counters of the structured-query result cache.
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.qcache.stats()
     }
 
     /// Audit a stored table with the semantic debugger: constraints are
@@ -781,6 +832,54 @@ STORE INTO companies KEY name"#,
         assert!(card.contains("related in companies:"), "{card}");
         // Missing entities error cleanly.
         assert!(q.browse("cities", &["Atlantis".into()]).is_err());
+    }
+
+    #[test]
+    fn structured_query_cache_hits_and_write_invalidates() {
+        let (mut q, corpus) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let query =
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
+
+        let first = q.structured(&query).unwrap();
+        assert_eq!(q.query_cache_stats().hits, 0);
+        let second = q.structured(&query).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(q.query_cache_stats().hits, 1, "repeat between writes is a hit");
+
+        // A committed write to the read table invalidates.
+        q.users.register("editor", false).unwrap();
+        for _ in 0..20 {
+            q.users.record_contribution("editor", true).unwrap();
+        }
+        q.submit_correction(
+            "editor",
+            Correction {
+                table: "cities".into(),
+                key: vec![corpus.truth.cities[0].name.as_str().into()],
+                column: "population".into(),
+                value: Value::Int(1),
+            },
+        )
+        .unwrap();
+        let third = q.structured(&query).unwrap();
+        assert_eq!(third, first, "count unchanged by an update");
+        let stats = q.query_cache_stats();
+        assert_eq!(stats.hits, 1, "post-write lookup must re-execute");
+        assert!(stats.invalidations >= 1, "{stats:?}");
+
+        // Queries on missing tables are uncacheable and error as before.
+        assert!(matches!(
+            q.structured(&Query::scan("ghost")),
+            Err(QuarryError::Query(QueryError::Storage(_)))
+        ));
+
+        // Index DDL through the façade, visible in explain output.
+        q.create_index("cities", "state").unwrap();
+        let probe = Query::scan("cities")
+            .filter(vec![quarry_query::Predicate::Eq("state".into(), "Wisconsin".into())]);
+        let plan_text = q.explain_query(&probe).unwrap();
+        assert!(plan_text.contains("index eq(state"), "{plan_text}");
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Shared plan-tree rendering for EXPLAIN output.
+//!
+//! Both the pipeline language's logical plans (`quarry-lang`) and the
+//! structured query engine's physical plans (`quarry-query`) need to show
+//! the user an operator tree with per-operator annotations. This module is
+//! the one renderer they share, so the two EXPLAIN surfaces stay visually
+//! consistent: a header line for the root, then children drawn with
+//! box-drawing connectors.
+//!
+//! ```text
+//! Aggregate[AVG(temp)] (rows=1)
+//! └─ Access[temps via index eq(city)] (est=12, scanned=12, rows=7)
+//! ```
+
+/// One node of a displayable plan tree: a label plus ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// Operator description, annotations included (single line).
+    pub label: String,
+    /// Inputs, rendered below with tree connectors.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// A leaf node.
+    pub fn leaf(label: impl Into<String>) -> PlanNode {
+        PlanNode { label: label.into(), children: Vec::new() }
+    }
+
+    /// A node with children (first child rendered first).
+    pub fn branch(label: impl Into<String>, children: Vec<PlanNode>) -> PlanNode {
+        PlanNode { label: label.into(), children }
+    }
+
+    /// Render the tree: root label on its own line, descendants indented
+    /// with `├─`/`└─` connectors and `│` continuation rails.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.label);
+        out.push('\n');
+        self.render_children("", &mut out);
+        out
+    }
+
+    fn render_children(&self, prefix: &str, out: &mut String) {
+        let last = self.children.len().saturating_sub(1);
+        for (i, child) in self.children.iter().enumerate() {
+            let (connector, rail) =
+                if i == last { ("└─ ", "   ") } else { ("├─ ", "│  ") };
+            out.push_str(prefix);
+            out.push_str(connector);
+            out.push_str(&child.label);
+            out.push('\n');
+            child.render_children(&format!("{prefix}{rail}"), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_renders_label_only() {
+        assert_eq!(PlanNode::leaf("Scan[t]").render(), "Scan[t]\n");
+    }
+
+    #[test]
+    fn nested_tree_uses_connectors_and_rails() {
+        let tree = PlanNode::branch(
+            "Join",
+            vec![
+                PlanNode::branch("Filter", vec![PlanNode::leaf("Scan[a]")]),
+                PlanNode::leaf("Scan[b]"),
+            ],
+        );
+        let text = tree.render();
+        assert_eq!(text, "Join\n├─ Filter\n│  └─ Scan[a]\n└─ Scan[b]\n");
+    }
+
+    #[test]
+    fn single_chain_uses_only_last_connector() {
+        let tree = PlanNode::branch(
+            "Sort",
+            vec![PlanNode::branch("Project", vec![PlanNode::leaf("Scan[t]")])],
+        );
+        assert_eq!(tree.render(), "Sort\n└─ Project\n   └─ Scan[t]\n");
+    }
+}

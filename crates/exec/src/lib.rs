@@ -22,9 +22,11 @@
 //!    their home worker. Named counters capture cache behaviour.
 
 pub mod cache;
+pub mod explain;
 pub mod pool;
 pub mod report;
 
 pub use cache::MemoCache;
+pub use explain::PlanNode;
 pub use pool::ExecPool;
 pub use report::{ExecReport, OpStats, StageReport};

@@ -112,20 +112,23 @@ impl LogicalPlan {
             .sum()
     }
 
-    /// Render an EXPLAIN listing.
+    /// Render an EXPLAIN listing through the shared plan renderer (the
+    /// same tree display `quarry-query`'s physical explain uses).
     pub fn explain(&self, registry: &ExtractorRegistry, n_docs: usize) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "PLAN ({} ops, est. cost {:.0} units over {n_docs} docs)",
-            self.ops.len(),
-            self.estimated_cost(registry, n_docs)
+        use quarry_exec::PlanNode;
+        let root = PlanNode::branch(
+            format!(
+                "PLAN ({} ops, est. cost {:.0} units over {n_docs} docs)",
+                self.ops.len(),
+                self.estimated_cost(registry, n_docs)
+            ),
+            self.ops
+                .iter()
+                .enumerate()
+                .map(|(i, op)| PlanNode::leaf(format!("{i}: {op}")))
+                .collect(),
         );
-        for (i, op) in self.ops.iter().enumerate() {
-            let _ = writeln!(out, "  {i}: {op}");
-        }
-        out
+        root.render()
     }
 }
 

@@ -75,7 +75,7 @@ impl Predicate {
         }
     }
 
-    fn eval(&self, v: &Value) -> bool {
+    pub(crate) fn eval(&self, v: &Value) -> bool {
         match self {
             Predicate::Eq(_, x) => v == x,
             Predicate::Ne(_, x) => v != x,
@@ -253,6 +253,44 @@ impl Query {
         }
     }
 
+    /// Every table this query reads, sorted and deduplicated. The result
+    /// cache keys on these tables' write versions.
+    pub fn tables(&self) -> Vec<String> {
+        fn walk(q: &Query, out: &mut Vec<String>) {
+            match q {
+                Query::Scan { table } => out.push(table.clone()),
+                Query::Filter { input, .. }
+                | Query::Project { input, .. }
+                | Query::Aggregate { input, .. }
+                | Query::Sort { input, .. } => walk(input, out),
+                Query::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut tables = Vec::new();
+        walk(self, &mut tables);
+        tables.sort();
+        tables.dedup();
+        tables
+    }
+
+    /// A stable text fingerprint of the query tree (cache key component).
+    /// Two structurally identical queries always fingerprint identically.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Plan, execute, and render the physical operator tree with the
+    /// chosen access paths, pushed predicates, and estimated vs. actual
+    /// per-operator row counts.
+    pub fn explain(&self, db: &Database) -> Result<String, QueryError> {
+        let cfg = crate::planner::PlannerConfig::default();
+        let (_, trace) = crate::planner::execute_with(db, self, &cfg)?;
+        Ok(format!("PHYSICAL PLAN: {}\n{}", self.display(), trace.render()))
+    }
+
     /// Render as an SQL-flavored one-liner (forms, explanations, logs).
     pub fn display(&self) -> String {
         match self {
@@ -306,147 +344,16 @@ impl QueryResult {
     }
 }
 
-/// Execute a query tree against a database.
+/// Execute a query tree against a database, through the physical planner
+/// under its default configuration (index routing, pushdown, and join-side
+/// selection all on). See [`crate::planner`] for the toggles and
+/// [`crate::planner::execute_with`] for the traced variant.
 pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, QueryError> {
-    let tx = db.begin();
-    let out = exec_inner(db, tx, q);
-    match &out {
-        Ok(_) => db.commit(tx)?,
-        Err(_) => {
-            let _ = db.abort(tx);
-        }
-    }
-    out
+    crate::planner::execute_with(db, q, &crate::planner::PlannerConfig::default())
+        .map(|(result, _)| result)
 }
 
-fn exec_inner(db: &Database, tx: u64, q: &Query) -> Result<QueryResult, QueryError> {
-    match q {
-        Query::Scan { table } => {
-            let schema = db.schema(table)?;
-            let rows = db.scan(tx, table)?;
-            Ok(QueryResult {
-                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-                rows,
-            })
-        }
-        Query::Filter { input, predicates } => {
-            let mut r = exec_inner(db, tx, input)?;
-            let idx: Vec<usize> = predicates
-                .iter()
-                .map(|p| {
-                    r.column_index(p.column())
-                        .ok_or_else(|| QueryError::UnknownColumn(p.column().to_string()))
-                })
-                .collect::<Result<_, _>>()?;
-            r.rows.retain(|row| predicates.iter().zip(&idx).all(|(p, &i)| p.eval(&row[i])));
-            Ok(r)
-        }
-        Query::Project { input, columns } => {
-            let r = exec_inner(db, tx, input)?;
-            let idx: Vec<usize> = columns
-                .iter()
-                .map(|c| r.column_index(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
-                .collect::<Result<_, _>>()?;
-            Ok(QueryResult {
-                columns: columns.clone(),
-                rows: r
-                    .rows
-                    .iter()
-                    .map(|row| idx.iter().map(|&i| row[i].clone()).collect())
-                    .collect(),
-            })
-        }
-        Query::Join { left, right, left_col, right_col } => {
-            let l = exec_inner(db, tx, left)?;
-            let r = exec_inner(db, tx, right)?;
-            let li = l
-                .column_index(left_col)
-                .ok_or_else(|| QueryError::UnknownColumn(left_col.clone()))?;
-            let ri = r
-                .column_index(right_col)
-                .ok_or_else(|| QueryError::UnknownColumn(right_col.clone()))?;
-            // Hash join on the smaller side.
-            let mut table: std::collections::HashMap<&Value, Vec<&Row>> =
-                std::collections::HashMap::new();
-            for row in &r.rows {
-                table.entry(&row[ri]).or_default().push(row);
-            }
-            let mut rows = Vec::new();
-            for lrow in &l.rows {
-                if let Some(matches) = table.get(&lrow[li]) {
-                    for rrow in matches {
-                        let mut joined = lrow.clone();
-                        joined.extend(rrow.iter().cloned());
-                        rows.push(joined);
-                    }
-                }
-            }
-            let mut columns = l.columns.clone();
-            // Disambiguate collision by prefixing the right side.
-            for c in &r.columns {
-                if l.columns.contains(c) {
-                    columns.push(format!("right.{c}"));
-                } else {
-                    columns.push(c.clone());
-                }
-            }
-            Ok(QueryResult { columns, rows })
-        }
-        Query::Aggregate { input, group_by, agg, over } => {
-            let r = exec_inner(db, tx, input)?;
-            let oi = r.column_index(over).ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
-            let gi = match group_by {
-                Some(g) => {
-                    Some(r.column_index(g).ok_or_else(|| QueryError::UnknownColumn(g.clone()))?)
-                }
-                None => None,
-            };
-            // Group rows (BTreeMap gives deterministic output order).
-            let mut groups: std::collections::BTreeMap<Value, Vec<&Value>> =
-                std::collections::BTreeMap::new();
-            for row in &r.rows {
-                let key = gi.map(|i| row[i].clone()).unwrap_or(Value::Null);
-                groups.entry(key).or_default().push(&row[oi]);
-            }
-            if groups.is_empty() && gi.is_none() {
-                groups.insert(Value::Null, Vec::new());
-            }
-            let mut rows = Vec::new();
-            for (key, vals) in groups {
-                let agg_val = compute_agg(*agg, &vals, over)?;
-                match gi {
-                    Some(_) => rows.push(vec![key, agg_val]),
-                    None => rows.push(vec![agg_val]),
-                }
-            }
-            let out_col = format!("{}({over})", agg.name());
-            let columns = match group_by {
-                Some(g) => vec![g.clone(), out_col],
-                None => vec![out_col],
-            };
-            Ok(QueryResult { columns, rows })
-        }
-        Query::Sort { input, by, desc, limit } => {
-            let mut r = exec_inner(db, tx, input)?;
-            let i = r.column_index(by).ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
-            // Stable sort: equal keys keep input order.
-            r.rows.sort_by(|a, b| {
-                let ord = a[i].cmp(&b[i]);
-                if *desc {
-                    ord.reverse()
-                } else {
-                    ord
-                }
-            });
-            if let Some(l) = limit {
-                r.rows.truncate(*l);
-            }
-            Ok(r)
-        }
-    }
-}
-
-fn compute_agg(agg: AggFn, vals: &[&Value], over: &str) -> Result<Value, QueryError> {
+pub(crate) fn compute_agg(agg: AggFn, vals: &[&Value], over: &str) -> Result<Value, QueryError> {
     let non_null: Vec<&&Value> = vals.iter().filter(|v| !v.is_null()).collect();
     match agg {
         AggFn::Count => Ok(Value::Int(non_null.len() as i64)),

@@ -41,10 +41,22 @@ impl InvertedIndex {
 
     /// Add one document (ids must be unique; re-adding is not supported).
     pub fn add(&mut self, doc: &Document) {
-        let mut tf: HashMap<String, u32> = HashMap::new();
         let text = format!("{} {}", doc.title, doc.text);
-        for t in tokenize(&text) {
-            *tf.entry(t.text(&text).to_lowercase()).or_insert(0) += 1;
+        let tokens = tokenize(&text);
+        let mut tf: HashMap<String, u32> = HashMap::with_capacity(tokens.len());
+        for t in tokens {
+            let raw = t.text(&text);
+            // Already-lowercase tokens (the overwhelming majority) bump
+            // their count without allocating a fresh String.
+            match raw.chars().any(char::is_uppercase) {
+                false => match tf.get_mut(raw) {
+                    Some(n) => *n += 1,
+                    None => {
+                        tf.insert(raw.to_string(), 1);
+                    }
+                },
+                true => *tf.entry(raw.to_lowercase()).or_insert(0) += 1,
+            }
         }
         let len: u32 = tf.values().sum();
         debug_assert!(!self.doc_len.contains_key(&doc.id), "document {} indexed twice", doc.id);

@@ -19,10 +19,12 @@
 pub mod engine;
 pub mod forms;
 pub mod index;
+pub mod planner;
 pub mod session;
 pub mod translate;
 
 pub use engine::{AggFn, Predicate, Query, QueryError, QueryResult};
 pub use index::{InvertedIndex, SearchHit};
+pub use planner::{execute_with, plan, AccessPath, OpTrace, PhysPlan, PlannerConfig};
 pub use session::{Mode, Session};
 pub use translate::{CandidateQuery, Translator};

@@ -1,0 +1,830 @@
+//! Index-aware physical query planning.
+//!
+//! [`crate::engine`] defines *what* a query means; this module decides *how*
+//! to run it. Between `Query` and execution sits a small physical planner
+//! doing the three classic optimizations the paper's "database-grade query
+//! processing" story needs:
+//!
+//! 1. **Access-path selection** — equality/range predicates on an indexed
+//!    column route through the storage engine's B-tree secondary indexes
+//!    instead of a full table scan. The index is used strictly as a row-id
+//!    *pre-filter*: every predicate stays in the residual conjunction and is
+//!    re-checked against the fetched row, so a loose index bound can cost
+//!    time but never correctness.
+//! 2. **Predicate + projection pushdown** — residual predicates and the
+//!    projection column list are pushed into [`Database::select`], which
+//!    evaluates them while rows are still borrowed from the heap. A
+//!    non-matching row is never cloned, and matching rows only clone the
+//!    projected columns.
+//! 3. **Join-side selection** — the hash join builds its table on whichever
+//!    input materialized fewer rows and probes with the larger, while
+//!    emitting output in exactly the order the fixed-side join would have.
+//!
+//! Every optimization is independently toggleable through
+//! [`PlannerConfig`] (mirroring the E5 ablation style of the logical
+//! optimizer in `quarry-lang`), and [`PlannerConfig::full_scan`] disables
+//! them all — the reference configuration the differential tests compare
+//! against. Row order is part of the contract: for any config, results are
+//! bit-identical to the full-scan pipeline, because both access paths
+//! return rows in row-id order and the build-side swap preserves
+//! probe-order output.
+//!
+//! [`execute_with`] returns the result *plus* an [`OpTrace`]: per-operator
+//! estimated vs. actual row counts and scan counters, rendered through the
+//! shared [`PlanNode`] tree renderer by `Query::explain`.
+//!
+//! [`Database::select`]: quarry_storage::Database::select
+
+use crate::engine::{compute_agg, Predicate, Query, QueryError, QueryResult};
+use quarry_exec::PlanNode;
+use quarry_storage::{Database, Row, ScanAccess, Value};
+use std::collections::HashMap;
+
+/// Physical-planner toggles (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Route indexable predicates through secondary indexes.
+    pub use_index: bool,
+    /// Push residual predicates and projections into row materialization.
+    pub pushdown: bool,
+    /// Build the join hash table on the smaller input.
+    pub join_side_selection: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { use_index: true, pushdown: true, join_side_selection: true }
+    }
+}
+
+impl PlannerConfig {
+    /// The naive reference configuration: full scans, no pushdown, fixed
+    /// join sides — exactly the pre-planner execution strategy.
+    pub fn full_scan() -> Self {
+        PlannerConfig { use_index: false, pushdown: false, join_side_selection: false }
+    }
+}
+
+/// How a table access fetches candidate rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every row under a table-level shared lock.
+    FullScan,
+    /// Probe a secondary index for one value.
+    IndexEq {
+        /// Indexed column.
+        column: String,
+        /// Probe value.
+        value: Value,
+    },
+    /// Scan a secondary index over an inclusive bound window. Strict
+    /// comparisons keep their strictness in the residual predicates.
+    IndexRange {
+        /// Indexed column.
+        column: String,
+        /// Lower bound (inclusive), if any.
+        lo: Option<Value>,
+        /// Upper bound (inclusive), if any.
+        hi: Option<Value>,
+    },
+}
+
+impl AccessPath {
+    fn describe(&self) -> String {
+        match self {
+            AccessPath::FullScan => "full scan".to_string(),
+            AccessPath::IndexEq { column, value } => format!("index eq({column} = {value})"),
+            AccessPath::IndexRange { column, lo, hi } => {
+                let lo = lo.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "-inf".into());
+                let hi = hi.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "+inf".into());
+                format!("index range({column} in [{lo}, {hi}])")
+            }
+        }
+    }
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Table access: path choice plus pushed-down residual filter and
+    /// projection. The residual always carries the *complete* predicate
+    /// conjunction — the access path only narrows which rows get checked.
+    Access {
+        /// Table name.
+        table: String,
+        /// Chosen access path.
+        path: AccessPath,
+        /// Pushed-down predicates, re-checked per fetched row.
+        residual: Vec<Predicate>,
+        /// Pushed-down projection (column names), if any.
+        projection: Option<Vec<String>>,
+        /// Planner's row estimate for this access, if stats were available.
+        est_rows: Option<usize>,
+    },
+    /// Residual filter that could not be pushed into an access.
+    Filter {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Projection that could not be pushed into an access.
+    Project {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Columns to keep, in order.
+        columns: Vec<String>,
+    },
+    /// Hash equi-join.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+        /// Join column on the left.
+        left_col: String,
+        /// Join column on the right.
+        right_col: String,
+        /// Pick the build side by materialized size (else always build
+        /// on the right, the historical fixed side).
+        select_build_side: bool,
+    },
+    /// Group + aggregate.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Optional grouping column.
+        group_by: Option<String>,
+        /// Aggregate function.
+        agg: crate::engine::AggFn,
+        /// Aggregated column.
+        over: String,
+    },
+    /// Order by + optional limit.
+    Sort {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Ordering column.
+        by: String,
+        /// Descending when true.
+        desc: bool,
+        /// Optional row cap.
+        limit: Option<usize>,
+    },
+}
+
+/// Per-operator execution trace: what the planner predicted and what
+/// actually happened — the physical layer's ExecReport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// Operator description (access path, pushed predicates, join sides…).
+    pub label: String,
+    /// Planner's row estimate, when it had one.
+    pub est_rows: Option<usize>,
+    /// Rows this operator produced.
+    pub actual_rows: usize,
+    /// Candidate rows examined (access operators only).
+    pub scanned: Option<usize>,
+    /// Input operator traces.
+    pub children: Vec<OpTrace>,
+}
+
+impl OpTrace {
+    /// Total candidate rows examined across the whole tree — the number
+    /// access-path selection exists to shrink.
+    pub fn total_scanned(&self) -> usize {
+        self.scanned.unwrap_or(0) + self.children.iter().map(OpTrace::total_scanned).sum::<usize>()
+    }
+
+    /// Convert to the shared displayable tree.
+    pub fn to_plan_node(&self) -> PlanNode {
+        let mut ann = Vec::new();
+        if let Some(e) = self.est_rows {
+            ann.push(format!("est={e}"));
+        }
+        if let Some(s) = self.scanned {
+            ann.push(format!("scanned={s}"));
+        }
+        ann.push(format!("rows={}", self.actual_rows));
+        PlanNode::branch(
+            format!("{} ({})", self.label, ann.join(", ")),
+            self.children.iter().map(OpTrace::to_plan_node).collect(),
+        )
+    }
+
+    /// Render with tree connectors.
+    pub fn render(&self) -> String {
+        self.to_plan_node().render()
+    }
+}
+
+/// Lower a query tree to a physical plan. Infallible: planning never
+/// touches data, so errors (unknown tables/columns) surface at execution,
+/// exactly where the unplanned engine raised them.
+pub fn plan(db: &Database, q: &Query, cfg: &PlannerConfig) -> PhysPlan {
+    match q {
+        Query::Scan { table } => PhysPlan::Access {
+            table: table.clone(),
+            path: AccessPath::FullScan,
+            residual: Vec::new(),
+            projection: None,
+            est_rows: db.row_count(table).ok(),
+        },
+        Query::Filter { input, predicates } => match plan(db, input, cfg) {
+            // Pushdown: merge into the access and (re)pick its path from
+            // the full conjunction. Only legal while no projection has
+            // been pushed — predicates must validate against the table's
+            // schema columns, not the projected set.
+            PhysPlan::Access { table, residual: mut res, projection: None, .. } if cfg.pushdown => {
+                res.extend(predicates.iter().cloned());
+                let (path, est_rows) = choose_access(db, &table, &res, cfg);
+                PhysPlan::Access { table, path, residual: res, projection: None, est_rows }
+            }
+            // No pushdown, but access-path selection may still apply: the
+            // filter stays above and re-checks everything.
+            PhysPlan::Access { table, residual, projection: None, path: _, est_rows: _ }
+                if cfg.use_index && residual.is_empty() =>
+            {
+                let (path, est_rows) = choose_access(db, &table, predicates, cfg);
+                PhysPlan::Filter {
+                    input: Box::new(PhysPlan::Access {
+                        table,
+                        path,
+                        residual,
+                        projection: None,
+                        est_rows,
+                    }),
+                    predicates: predicates.clone(),
+                }
+            }
+            other => PhysPlan::Filter { input: Box::new(other), predicates: predicates.clone() },
+        },
+        Query::Project { input, columns } => match plan(db, input, cfg) {
+            PhysPlan::Access { table, path, residual, projection: None, est_rows }
+                if cfg.pushdown =>
+            {
+                PhysPlan::Access {
+                    table,
+                    path,
+                    residual,
+                    projection: Some(columns.clone()),
+                    est_rows,
+                }
+            }
+            other => PhysPlan::Project { input: Box::new(other), columns: columns.clone() },
+        },
+        Query::Join { left, right, left_col, right_col } => PhysPlan::HashJoin {
+            left: Box::new(plan(db, left, cfg)),
+            right: Box::new(plan(db, right, cfg)),
+            left_col: left_col.clone(),
+            right_col: right_col.clone(),
+            select_build_side: cfg.join_side_selection,
+        },
+        Query::Aggregate { input, group_by, agg, over } => PhysPlan::Aggregate {
+            input: Box::new(plan(db, input, cfg)),
+            group_by: group_by.clone(),
+            agg: *agg,
+            over: over.clone(),
+        },
+        Query::Sort { input, by, desc, limit } => PhysPlan::Sort {
+            input: Box::new(plan(db, input, cfg)),
+            by: by.clone(),
+            desc: *desc,
+            limit: limit.map(|l| l),
+        },
+    }
+}
+
+/// Pick an access path for `table` given the full residual conjunction.
+///
+/// Preference order: the equality predicate with the lowest estimated
+/// match count (from index stats), then the first range-constrained
+/// indexed column with all its bounds intersected, then a full scan.
+fn choose_access(
+    db: &Database,
+    table: &str,
+    residual: &[Predicate],
+    cfg: &PlannerConfig,
+) -> (AccessPath, Option<usize>) {
+    let full = || (AccessPath::FullScan, db.row_count(table).ok());
+    if !cfg.use_index {
+        return full();
+    }
+    let indexed = db.indexed_columns(table).unwrap_or_default();
+    if indexed.is_empty() {
+        return full();
+    }
+    let is_indexed = |c: &str| indexed.iter().any(|ic| ic == c);
+
+    // Equality probes first: cheapest estimate wins, first wins ties.
+    let mut best_eq: Option<(&str, &Value, usize)> = None;
+    for p in residual {
+        if let Predicate::Eq(c, v) = p {
+            if is_indexed(c) {
+                let est = db
+                    .index_stats(table, c)
+                    .ok()
+                    .flatten()
+                    .map(|s| s.eq_estimate())
+                    .unwrap_or(usize::MAX);
+                if best_eq.is_none_or(|(_, _, prev)| est < prev) {
+                    best_eq = Some((c, v, est));
+                }
+            }
+        }
+    }
+    if let Some((column, value, est)) = best_eq {
+        let est = (est != usize::MAX).then_some(est);
+        return (AccessPath::IndexEq { column: column.to_string(), value: value.clone() }, est);
+    }
+
+    // Range window on the first indexed column a range predicate names.
+    // Strict bounds use the inclusive index window; the residual's strict
+    // comparison discards boundary rows afterwards.
+    let range_col = residual.iter().find_map(|p| match p {
+        Predicate::Ge(c, _) | Predicate::Gt(c, _) | Predicate::Le(c, _) | Predicate::Lt(c, _)
+            if is_indexed(c) =>
+        {
+            Some(c.as_str())
+        }
+        _ => None,
+    });
+    if let Some(col) = range_col {
+        let lo = residual
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Ge(c, v) | Predicate::Gt(c, v) if c == col => Some(v),
+                _ => None,
+            })
+            .max();
+        let hi = residual
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Le(c, v) | Predicate::Lt(c, v) if c == col => Some(v),
+                _ => None,
+            })
+            .min();
+        let est = db.index_stats(table, col).ok().flatten().map(|s| s.entries);
+        return (
+            AccessPath::IndexRange { column: col.to_string(), lo: lo.cloned(), hi: hi.cloned() },
+            est,
+        );
+    }
+    full()
+}
+
+/// Plan and execute under one read transaction, returning the result and
+/// the per-operator trace.
+pub fn execute_with(
+    db: &Database,
+    q: &Query,
+    cfg: &PlannerConfig,
+) -> Result<(QueryResult, OpTrace), QueryError> {
+    let physical = plan(db, q, cfg);
+    let tx = db.begin();
+    let out = exec_plan(db, tx, &physical);
+    match &out {
+        Ok(_) => db.commit(tx)?,
+        Err(_) => {
+            let _ = db.abort(tx);
+        }
+    }
+    out
+}
+
+fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTrace), QueryError> {
+    match p {
+        PhysPlan::Access { table, path, residual, projection, est_rows } => {
+            let schema = db.schema(table)?;
+            let cols: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+            let residual_idx: Vec<usize> = residual
+                .iter()
+                .map(|pr| {
+                    cols.iter()
+                        .position(|c| c == pr.column())
+                        .ok_or_else(|| QueryError::UnknownColumn(pr.column().to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            let proj_idx: Option<Vec<usize>> = match projection {
+                Some(pcols) => Some(
+                    pcols
+                        .iter()
+                        .map(|c| {
+                            cols.iter()
+                                .position(|x| x == c)
+                                .ok_or_else(|| QueryError::UnknownColumn(c.clone()))
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                None => None,
+            };
+            let access = match path {
+                AccessPath::FullScan => ScanAccess::Full,
+                AccessPath::IndexEq { column, value } => {
+                    ScanAccess::Index { column, lo: Some(value), hi: Some(value) }
+                }
+                AccessPath::IndexRange { column, lo, hi } => {
+                    ScanAccess::Index { column, lo: lo.as_ref(), hi: hi.as_ref() }
+                }
+            };
+            let mut pass =
+                |row: &[Value]| residual.iter().zip(&residual_idx).all(|(pr, &i)| pr.eval(&row[i]));
+            let (rows, scanned) = db.select(tx, table, access, &mut pass, proj_idx.as_deref())?;
+            let columns = projection.clone().unwrap_or(cols);
+            let mut label = format!("Access[{table} via {}]", path.describe());
+            if !residual.is_empty() {
+                let preds: Vec<String> = residual.iter().map(Predicate::display).collect();
+                label.push_str(&format!(" where {}", preds.join(" AND ")));
+            }
+            if let Some(pcols) = projection {
+                label.push_str(&format!(" -> [{}]", pcols.join(", ")));
+            }
+            let trace = OpTrace {
+                label,
+                est_rows: *est_rows,
+                actual_rows: rows.len(),
+                scanned: Some(scanned),
+                children: Vec::new(),
+            };
+            Ok((QueryResult { columns, rows }, trace))
+        }
+        PhysPlan::Filter { input, predicates } => {
+            let (mut r, child) = exec_plan(db, tx, input)?;
+            let idx: Vec<usize> = predicates
+                .iter()
+                .map(|pr| {
+                    r.column_index(pr.column())
+                        .ok_or_else(|| QueryError::UnknownColumn(pr.column().to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            r.rows.retain(|row| predicates.iter().zip(&idx).all(|(pr, &i)| pr.eval(&row[i])));
+            let preds: Vec<String> = predicates.iter().map(Predicate::display).collect();
+            let trace = OpTrace {
+                label: format!("Filter[{}]", preds.join(" AND ")),
+                est_rows: None,
+                actual_rows: r.rows.len(),
+                scanned: None,
+                children: vec![child],
+            };
+            Ok((r, trace))
+        }
+        PhysPlan::Project { input, columns } => {
+            let (r, child) = exec_plan(db, tx, input)?;
+            let idx: Vec<usize> = columns
+                .iter()
+                .map(|c| r.column_index(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
+                .collect::<Result<_, _>>()?;
+            let rows: Vec<Row> =
+                r.rows.iter().map(|row| idx.iter().map(|&i| row[i].clone()).collect()).collect();
+            let trace = OpTrace {
+                label: format!("Project[{}]", columns.join(", ")),
+                est_rows: None,
+                actual_rows: rows.len(),
+                scanned: None,
+                children: vec![child],
+            };
+            Ok((QueryResult { columns: columns.clone(), rows }, trace))
+        }
+        PhysPlan::HashJoin { left, right, left_col, right_col, select_build_side } => {
+            let (l, ltrace) = exec_plan(db, tx, left)?;
+            let (r, rtrace) = exec_plan(db, tx, right)?;
+            let li = l
+                .column_index(left_col)
+                .ok_or_else(|| QueryError::UnknownColumn(left_col.clone()))?;
+            let ri = r
+                .column_index(right_col)
+                .ok_or_else(|| QueryError::UnknownColumn(right_col.clone()))?;
+            let build_left = *select_build_side && l.rows.len() < r.rows.len();
+            let mut rows = Vec::new();
+            if build_left {
+                // Build on the (smaller) left, probe with the right —
+                // but still emit left-major, right-minor order, exactly
+                // like the fixed-side join below.
+                let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+                for (i, lrow) in l.rows.iter().enumerate() {
+                    table.entry(&lrow[li]).or_default().push(i);
+                }
+                let mut matches_per_left: Vec<Vec<usize>> = vec![Vec::new(); l.rows.len()];
+                for (j, rrow) in r.rows.iter().enumerate() {
+                    if let Some(lids) = table.get(&rrow[ri]) {
+                        for &i in lids {
+                            matches_per_left[i].push(j);
+                        }
+                    }
+                }
+                for (lrow, matches) in l.rows.iter().zip(&matches_per_left) {
+                    for &j in matches {
+                        let mut joined = lrow.clone();
+                        joined.extend(r.rows[j].iter().cloned());
+                        rows.push(joined);
+                    }
+                }
+            } else {
+                let mut table: HashMap<&Value, Vec<&Row>> = HashMap::new();
+                for rrow in &r.rows {
+                    table.entry(&rrow[ri]).or_default().push(rrow);
+                }
+                for lrow in &l.rows {
+                    if let Some(matches) = table.get(&lrow[li]) {
+                        for rrow in matches {
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            rows.push(joined);
+                        }
+                    }
+                }
+            }
+            let mut columns = l.columns.clone();
+            // Disambiguate collision by prefixing the right side.
+            for c in &r.columns {
+                if l.columns.contains(c) {
+                    columns.push(format!("right.{c}"));
+                } else {
+                    columns.push(c.clone());
+                }
+            }
+            let trace = OpTrace {
+                label: format!(
+                    "HashJoin[{left_col} = {right_col}, build={}]",
+                    if build_left { "left" } else { "right" }
+                ),
+                est_rows: None,
+                actual_rows: rows.len(),
+                scanned: None,
+                children: vec![ltrace, rtrace],
+            };
+            Ok((QueryResult { columns, rows }, trace))
+        }
+        PhysPlan::Aggregate { input, group_by, agg, over } => {
+            let (r, child) = exec_plan(db, tx, input)?;
+            let oi = r.column_index(over).ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
+            let gi = match group_by {
+                Some(g) => {
+                    Some(r.column_index(g).ok_or_else(|| QueryError::UnknownColumn(g.clone()))?)
+                }
+                None => None,
+            };
+            // Group rows (BTreeMap gives deterministic output order).
+            let mut groups: std::collections::BTreeMap<Value, Vec<&Value>> =
+                std::collections::BTreeMap::new();
+            for row in &r.rows {
+                let key = gi.map(|i| row[i].clone()).unwrap_or(Value::Null);
+                groups.entry(key).or_default().push(&row[oi]);
+            }
+            if groups.is_empty() && gi.is_none() {
+                groups.insert(Value::Null, Vec::new());
+            }
+            let mut rows = Vec::new();
+            for (key, vals) in groups {
+                let agg_val = compute_agg(*agg, &vals, over)?;
+                match gi {
+                    Some(_) => rows.push(vec![key, agg_val]),
+                    None => rows.push(vec![agg_val]),
+                }
+            }
+            let out_col = format!("{}({over})", agg.name());
+            let columns = match group_by {
+                Some(g) => vec![g.clone(), out_col],
+                None => vec![out_col],
+            };
+            let g = group_by.as_ref().map(|g| format!(" group by {g}")).unwrap_or_default();
+            let trace = OpTrace {
+                label: format!("Aggregate[{}({over}){g}]", agg.name()),
+                est_rows: None,
+                actual_rows: rows.len(),
+                scanned: None,
+                children: vec![child],
+            };
+            Ok((QueryResult { columns, rows }, trace))
+        }
+        PhysPlan::Sort { input, by, desc, limit } => {
+            let (mut r, child) = exec_plan(db, tx, input)?;
+            let i = r.column_index(by).ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
+            // Stable sort: equal keys keep input order.
+            r.rows.sort_by(|a, b| {
+                let ord = a[i].cmp(&b[i]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            if let Some(l) = limit {
+                r.rows.truncate(*l);
+            }
+            let dir = if *desc { " desc" } else { "" };
+            let lim = limit.map(|l| format!(" limit {l}")).unwrap_or_default();
+            let trace = OpTrace {
+                label: format!("Sort[{by}{dir}{lim}]"),
+                est_rows: None,
+                actual_rows: r.rows.len(),
+                scanned: None,
+                children: vec![child],
+            };
+            Ok((r, trace))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, AggFn};
+    use quarry_storage::{Column, DataType, TableSchema};
+
+    fn db_with_index() -> Database {
+        let db = Database::in_memory();
+        db.create_table(
+            TableSchema::new(
+                "facts",
+                vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("cat", DataType::Text),
+                    Column::new("num", DataType::Int),
+                ],
+                &["id"],
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let tx = db.begin();
+        for i in 0..100i64 {
+            db.insert(
+                tx,
+                "facts",
+                vec![Value::Int(i), Value::Text(format!("c{}", i % 10)), Value::Int(i * 3 % 17)],
+            )
+            .unwrap();
+        }
+        db.commit(tx).unwrap();
+        db.create_index("facts", "cat").unwrap();
+        db
+    }
+
+    #[test]
+    fn eq_predicate_routes_through_index() {
+        let db = db_with_index();
+        let q = Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "c3".into())]);
+        let p = plan(&db, &q, &PlannerConfig::default());
+        match &p {
+            PhysPlan::Access { path: AccessPath::IndexEq { column, .. }, residual, .. } => {
+                assert_eq!(column, "cat");
+                assert_eq!(residual.len(), 1, "residual keeps the full conjunction");
+            }
+            other => panic!("expected index-eq access, got {other:?}"),
+        }
+        let (r, trace) = execute_with(&db, &q, &PlannerConfig::default()).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(trace.total_scanned(), 10, "index pre-filter, not a 100-row scan");
+        assert_eq!(trace.est_rows, Some(10), "uniform estimate: 100 entries / 10 distinct");
+    }
+
+    #[test]
+    fn range_predicate_routes_through_index_with_strict_bound_in_residual() {
+        let db = db_with_index();
+        db.create_index("facts", "num").unwrap();
+        let q = Query::scan("facts").filter(vec![
+            Predicate::Gt("num".into(), Value::Int(5)),
+            Predicate::Le("num".into(), Value::Int(9)),
+        ]);
+        let p = plan(&db, &q, &PlannerConfig::default());
+        match &p {
+            PhysPlan::Access { path: AccessPath::IndexRange { column, lo, hi }, .. } => {
+                assert_eq!(column, "num");
+                assert_eq!(lo.as_ref(), Some(&Value::Int(5)), "strict Gt keeps inclusive bound");
+                assert_eq!(hi.as_ref(), Some(&Value::Int(9)));
+            }
+            other => panic!("expected index-range access, got {other:?}"),
+        }
+        let (routed, _) = execute_with(&db, &q, &PlannerConfig::default()).unwrap();
+        let (full, _) = execute_with(&db, &q, &PlannerConfig::full_scan()).unwrap();
+        assert_eq!(routed, full, "strict bound must be enforced by the residual");
+        assert!(routed.rows.iter().all(|r| {
+            let n = r[2].as_f64().unwrap() as i64;
+            n > 5 && n <= 9
+        }));
+    }
+
+    #[test]
+    fn projection_and_predicates_push_into_access() {
+        let db = db_with_index();
+        let q = Query::scan("facts")
+            .filter(vec![Predicate::Eq("cat".into(), "c1".into())])
+            .project(&["id"]);
+        match plan(&db, &q, &PlannerConfig::default()) {
+            PhysPlan::Access { projection, residual, .. } => {
+                assert_eq!(projection, Some(vec!["id".to_string()]));
+                assert_eq!(residual.len(), 1);
+            }
+            other => panic!("expected a single fused access, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_above_projection_is_not_pushed_into_access() {
+        let db = db_with_index();
+        // `cat` is projected away, so the outer filter must error exactly
+        // like the unplanned engine did.
+        let q = Query::scan("facts")
+            .project(&["id"])
+            .filter(vec![Predicate::Eq("cat".into(), "c1".into())]);
+        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn full_scan_config_is_pre_planner_shape() {
+        let db = db_with_index();
+        let q = Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "c3".into())]);
+        let p = plan(&db, &q, &PlannerConfig::full_scan());
+        match &p {
+            PhysPlan::Filter { input, .. } => match input.as_ref() {
+                PhysPlan::Access { path: AccessPath::FullScan, residual, projection, .. } => {
+                    assert!(residual.is_empty());
+                    assert!(projection.is_none());
+                }
+                other => panic!("expected bare full-scan access, got {other:?}"),
+            },
+            other => panic!("expected filter over access, got {other:?}"),
+        }
+        let (r, trace) = execute_with(&db, &q, &PlannerConfig::full_scan()).unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(trace.total_scanned(), 100, "reference path scans everything");
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_with_identical_output() {
+        let db = db_with_index();
+        let small = Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "c2".into())]);
+        let q_small_left = small.clone().join(Query::scan("facts"), "cat", "cat");
+        let q_small_right = Query::scan("facts").join(small, "cat", "cat");
+        for q in [&q_small_left, &q_small_right] {
+            let (selected, trace) = execute_with(&db, q, &PlannerConfig::default()).unwrap();
+            let (fixed, _) = execute_with(&db, q, &PlannerConfig::full_scan()).unwrap();
+            assert_eq!(selected, fixed, "build-side swap must not change output");
+            assert!(trace.label.starts_with("HashJoin["));
+        }
+        let (_, trace) = execute_with(&db, &q_small_left, &PlannerConfig::default()).unwrap();
+        assert!(trace.label.contains("build=left"), "smaller left side: {}", trace.label);
+        let (_, trace) = execute_with(&db, &q_small_right, &PlannerConfig::default()).unwrap();
+        assert!(trace.label.contains("build=right"), "smaller right side: {}", trace.label);
+    }
+
+    #[test]
+    fn trace_reports_estimated_and_actual_rows_per_operator() {
+        let db = db_with_index();
+        let q = Query::scan("facts")
+            .filter(vec![Predicate::Eq("cat".into(), "c7".into())])
+            .aggregate(None, AggFn::Count, "num");
+        let (r, trace) = execute_with(&db, &q, &PlannerConfig::default()).unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(10)));
+        assert_eq!(trace.actual_rows, 1);
+        let access = &trace.children[0];
+        assert_eq!(access.est_rows, Some(10));
+        assert_eq!(access.actual_rows, 10);
+        assert_eq!(access.scanned, Some(10));
+        let text = trace.render();
+        assert!(text.contains("Aggregate[COUNT(num)]"), "{text}");
+        assert!(text.contains("index eq(cat = c7)"), "{text}");
+        assert!(text.contains("est=10"), "{text}");
+    }
+
+    #[test]
+    fn unindexed_and_unindexable_predicates_stay_on_full_scan() {
+        let db = db_with_index();
+        // `num` has no index here; Contains can never use one.
+        for preds in [
+            vec![Predicate::Ge("num".into(), Value::Int(3))],
+            vec![Predicate::Contains("cat".into(), "c".into())],
+            vec![Predicate::Ne("cat".into(), "c1".into())],
+            vec![Predicate::In("cat".into(), vec!["c1".into(), "c2".into()])],
+        ] {
+            let q = Query::scan("facts").filter(preds);
+            match plan(&db, &q, &PlannerConfig::default()) {
+                PhysPlan::Access { path: AccessPath::FullScan, .. } => {}
+                other => panic!("expected full scan, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eq_beats_range_and_lowest_estimate_wins() {
+        let db = db_with_index();
+        db.create_index("facts", "num").unwrap();
+        // `id` is unique-ish via primary key but unindexed as a secondary;
+        // cat (10 distinct) vs num (17 distinct): num estimates fewer rows
+        // per value, so the planner probes num.
+        let q = Query::scan("facts").filter(vec![
+            Predicate::Eq("cat".into(), "c1".into()),
+            Predicate::Eq("num".into(), Value::Int(4)),
+            Predicate::Ge("id".into(), Value::Int(0)),
+        ]);
+        match plan(&db, &q, &PlannerConfig::default()) {
+            PhysPlan::Access { path: AccessPath::IndexEq { column, .. }, residual, .. } => {
+                assert_eq!(column, "num");
+                assert_eq!(residual.len(), 3, "every predicate re-checked");
+            }
+            other => panic!("expected eq probe, got {other:?}"),
+        }
+    }
+}

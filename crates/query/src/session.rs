@@ -92,6 +92,15 @@ impl<'a> Session<'a> {
         self.run(q)
     }
 
+    /// Explain a structured query instead of returning its rows: the
+    /// physical plan with access paths and per-operator row counts. Logged
+    /// as a structured-mode step.
+    pub fn explain(&mut self, q: &Query) -> Option<String> {
+        self.steps
+            .push(Step { mode: Mode::Structured, action: format!("explain: {}", q.display()) });
+        q.explain(self.db).ok()
+    }
+
     fn run(&mut self, q: Query) -> Option<QueryResult> {
         self.steps.push(Step { mode: Mode::Structured, action: format!("run: {}", q.display()) });
         execute(self.db, &q).ok()
@@ -177,6 +186,18 @@ mod tests {
         let mut s = Session::new(&ix, &tr, &db);
         let r = s.structured(Query::scan("temps")).unwrap();
         assert_eq!(r.rows.len(), 2);
+        assert_eq!(s.steps().len(), 1);
+    }
+
+    #[test]
+    fn explain_shows_physical_plan() {
+        let (ix, db) = setup();
+        let tr = Translator::from_database(&db);
+        let mut s = Session::new(&ix, &tr, &db);
+        let text = s.explain(&Query::scan("temps")).unwrap();
+        assert!(text.contains("PHYSICAL PLAN"), "{text}");
+        assert!(text.contains("full scan"), "{text}");
+        assert!(text.contains("rows=2"), "{text}");
         assert_eq!(s.steps().len(), 1);
     }
 

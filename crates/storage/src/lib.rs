@@ -26,7 +26,9 @@ pub mod wal;
 pub use error::StorageError;
 pub use filestore::FileStore;
 pub use snapshot::{SnapshotStats, SnapshotStore};
-pub use structured::{Column, Database, LockManager, LockMode, Row, RowId, TableSchema, TxId};
+pub use structured::{
+    Column, Database, IndexStats, LockManager, LockMode, Row, RowId, ScanAccess, TableSchema, TxId,
+};
 pub use value::{DataType, Value};
 pub use wal::{Wal, WalRecord};
 

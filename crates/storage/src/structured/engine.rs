@@ -24,6 +24,41 @@ use super::table::{Row, RowId, TableSchema};
 /// Transaction identifier; doubles as the wait-die age (smaller = older).
 pub type TxId = u64;
 
+/// Cardinality statistics of one secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total (value, row) pairs indexed (= indexed rows).
+    pub entries: usize,
+    /// Number of distinct indexed values.
+    pub distinct: usize,
+}
+
+impl IndexStats {
+    /// Expected rows matched by an equality probe under a uniform
+    /// assumption (at least 1 when the index is non-empty).
+    pub fn eq_estimate(&self) -> usize {
+        self.entries.checked_div(self.distinct).map_or(0, |e| e.max(1))
+    }
+}
+
+/// How [`Database::select`] reaches a table's rows.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanAccess<'a> {
+    /// Walk the whole heap in row-id order (table-level shared lock).
+    Full,
+    /// Probe the secondary index on `column` for values in `[lo, hi]`
+    /// (inclusive, either bound optional), then fetch the matching rows in
+    /// row-id order. Errors when the column carries no index.
+    Index {
+        /// Indexed column.
+        column: &'a str,
+        /// Inclusive lower bound (`None` = unbounded).
+        lo: Option<&'a Value>,
+        /// Inclusive upper bound (`None` = unbounded).
+        hi: Option<&'a Value>,
+    },
+}
+
 struct Table {
     schema: TableSchema,
     heap: HashMap<RowId, Row>,
@@ -32,12 +67,25 @@ struct Table {
     /// Column name → secondary index.
     indexes: HashMap<String, SecondaryIndex>,
     next_row: u64,
+    /// Write version: stamped from the database-wide write clock on every
+    /// change to this table's rows (including undo and redo), so two
+    /// observations of the same version imply identical table contents.
+    /// Creation takes a fresh stamp too, so a dropped-and-recreated table
+    /// never aliases versions with its predecessor.
+    version: u64,
 }
 
 impl Table {
-    fn new(schema: TableSchema) -> Table {
+    fn new(schema: TableSchema, stamp: u64) -> Table {
         let indexes = schema.indexes.iter().map(|n| (n.clone(), SecondaryIndex::new())).collect();
-        Table { schema, heap: HashMap::new(), pk: HashMap::new(), indexes, next_row: 0 }
+        Table {
+            schema,
+            heap: HashMap::new(),
+            pk: HashMap::new(),
+            indexes,
+            next_row: 0,
+            version: stamp,
+        }
     }
 
     fn index_row(&mut self, row_id: RowId, row: &Row) {
@@ -54,26 +102,45 @@ impl Table {
         }
     }
 
+    /// Add a secondary index on `column`, backfilled from the heap.
+    /// No-op when the index already exists; `false` if the column is
+    /// unknown.
+    fn build_index(&mut self, column: &str) -> bool {
+        let Some(ci) = self.schema.column_index(column) else { return false };
+        if self.indexes.contains_key(column) {
+            return true;
+        }
+        let mut ix = SecondaryIndex::new();
+        for (row_id, row) in &self.heap {
+            ix.insert(row[ci].clone(), *row_id);
+        }
+        self.schema.indexes.push(column.to_string());
+        self.indexes.insert(column.to_string(), ix);
+        true
+    }
+
     /// Apply an insert with a predetermined row id (redo path & normal path).
-    fn apply_insert(&mut self, row_id: RowId, row: Row) {
+    fn apply_insert(&mut self, stamp: u64, row_id: RowId, row: Row) {
         self.pk.insert(self.schema.key_of(&row), row_id);
         self.index_row(row_id, &row);
         self.heap.insert(row_id, row);
         self.next_row = self.next_row.max(row_id.0 + 1);
+        self.version = stamp;
     }
 
-    fn apply_update(&mut self, row_id: RowId, row: Row) -> Option<Row> {
+    fn apply_update(&mut self, stamp: u64, row_id: RowId, row: Row) -> Option<Row> {
         let old = self.heap.remove(&row_id)?;
         self.pk.remove(&self.schema.key_of(&old));
         self.unindex_row(row_id, &old);
-        self.apply_insert(row_id, row);
+        self.apply_insert(stamp, row_id, row);
         Some(old)
     }
 
-    fn apply_delete(&mut self, row_id: RowId) -> Option<Row> {
+    fn apply_delete(&mut self, stamp: u64, row_id: RowId) -> Option<Row> {
         let old = self.heap.remove(&row_id)?;
         self.pk.remove(&self.schema.key_of(&old));
         self.unindex_row(row_id, &old);
+        self.version = stamp;
         Some(old)
     }
 }
@@ -120,6 +187,8 @@ pub struct Database {
     wal: Mutex<Option<Wal>>,
     active: Mutex<HashMap<TxId, TxState>>,
     next_tx: AtomicU64,
+    /// Monotone clock stamping every table mutation; see [`Table::version`].
+    write_clock: AtomicU64,
     /// When true (default), commit fsyncs the WAL.
     sync_commits: bool,
 }
@@ -133,8 +202,14 @@ impl Database {
             wal: Mutex::new(None),
             active: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
+            write_clock: AtomicU64::new(0),
             sync_commits: true,
         }
+    }
+
+    /// Next write-clock stamp.
+    fn stamp(&self) -> u64 {
+        self.write_clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Open (or recover) a durable database whose WAL lives at `path`.
@@ -161,24 +236,33 @@ impl Database {
             for rec in decoded {
                 match rec {
                     LogRecord::CreateTable { schema } => {
-                        tables.insert(schema.name.clone(), Table::new(schema));
+                        let stamp = db.stamp();
+                        tables.insert(schema.name.clone(), Table::new(schema, stamp));
                     }
                     LogRecord::DropTable { table } => {
                         tables.remove(&table);
                     }
-                    LogRecord::Insert { tx, table, row_id, row } if committed.contains(&tx) => {
+                    LogRecord::CreateIndex { table, column } => {
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_insert(row_id, row);
+                            t.build_index(&column);
+                        }
+                    }
+                    LogRecord::Insert { tx, table, row_id, row } if committed.contains(&tx) => {
+                        let stamp = db.stamp();
+                        if let Some(t) = tables.get_mut(&table) {
+                            t.apply_insert(stamp, row_id, row);
                         }
                     }
                     LogRecord::Update { tx, table, row_id, row } if committed.contains(&tx) => {
+                        let stamp = db.stamp();
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_update(row_id, row);
+                            t.apply_update(stamp, row_id, row);
                         }
                     }
                     LogRecord::Delete { tx, table, row_id } if committed.contains(&tx) => {
+                        let stamp = db.stamp();
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_delete(row_id);
+                            t.apply_delete(stamp, row_id);
                         }
                     }
                     _ => {}
@@ -227,8 +311,66 @@ impl Database {
             )));
         }
         self.log_synced(&LogRecord::CreateTable { schema: schema.clone() })?;
-        tables.insert(schema.name.clone(), Table::new(schema));
+        let stamp = self.stamp();
+        tables.insert(schema.name.clone(), Table::new(schema, stamp));
         Ok(())
+    }
+
+    /// Create a secondary index on `table.column`, backfilled from the
+    /// existing rows (auto-committed DDL, `CREATE INDEX`-style). Idempotent:
+    /// indexing an already-indexed column is a no-op. The index is
+    /// WAL-logged, so it survives recovery, and from this call on it is
+    /// maintained by every write and eligible for access-path selection by
+    /// the query planner.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        let mut tables = self.tables.lock();
+        let t =
+            tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        if t.indexes.contains_key(column) {
+            return Ok(());
+        }
+        if t.schema.column_index(column).is_none() {
+            return Err(StorageError::SchemaViolation(format!(
+                "unknown column {column} in table {table}"
+            )));
+        }
+        self.log_synced(&LogRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
+        t.build_index(column);
+        t.version = self.stamp();
+        Ok(())
+    }
+
+    /// The write version of a table: any change to the table's rows (or a
+    /// drop-and-recreate) yields a new version, so equal versions imply
+    /// equal contents. This is what keys the result cache upstairs.
+    pub fn table_version(&self, table: &str) -> Result<u64> {
+        let tables = self.tables.lock();
+        tables
+            .get(table)
+            .map(|t| t.version)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    /// Names of the indexed columns of a table, sorted.
+    pub fn indexed_columns(&self, table: &str) -> Result<Vec<String>> {
+        let tables = self.tables.lock();
+        let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let mut names: Vec<String> = t.indexes.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// Cardinality statistics of one secondary index (`None` when the
+    /// column carries no index). Feeds the planner's selectivity estimates.
+    pub fn index_stats(&self, table: &str, column: &str) -> Result<Option<IndexStats>> {
+        let tables = self.tables.lock();
+        let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        Ok(t.indexes
+            .get(column)
+            .map(|ix| IndexStats { entries: ix.len(), distinct: ix.distinct_values() }))
     }
 
     /// Drop a table (auto-committed DDL).
@@ -364,20 +506,21 @@ impl Database {
         {
             let mut tables = self.tables.lock();
             for undo in state.undo.into_iter().rev() {
+                let stamp = self.stamp();
                 match undo {
                     Undo::Insert { table, row_id } => {
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_delete(row_id);
+                            t.apply_delete(stamp, row_id);
                         }
                     }
                     Undo::Update { table, row_id, old } => {
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_update(row_id, old);
+                            t.apply_update(stamp, row_id, old);
                         }
                     }
                     Undo::Delete { table, row_id, old } => {
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_insert(row_id, old);
+                            t.apply_insert(stamp, row_id, old);
                         }
                     }
                 }
@@ -426,7 +569,8 @@ impl Database {
         // Lock the new row before publishing it.
         self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
         self.log(&LogRecord::Insert { tx, table: table.to_string(), row_id, row: row.clone() })?;
-        t.apply_insert(row_id, row);
+        let stamp = self.stamp();
+        t.apply_insert(stamp, row_id, row);
         drop(tables);
         self.push_undo(tx, Undo::Insert { table: table.to_string(), row_id });
         Ok(row_id)
@@ -473,8 +617,9 @@ impl Database {
             )));
         }
         self.log(&LogRecord::Update { tx, table: table.to_string(), row_id, row: row.clone() })?;
+        let stamp = self.stamp();
         let old = t
-            .apply_update(row_id, row)
+            .apply_update(stamp, row_id, row)
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
         drop(tables);
         self.push_undo(tx, Undo::Update { table: table.to_string(), row_id, old });
@@ -495,8 +640,9 @@ impl Database {
         let t =
             tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         self.log(&LogRecord::Delete { tx, table: table.to_string(), row_id })?;
+        let stamp = self.stamp();
         let old = t
-            .apply_delete(row_id)
+            .apply_delete(stamp, row_id)
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
         drop(tables);
         self.push_undo(tx, Undo::Delete { table: table.to_string(), row_id, old });
@@ -557,6 +703,101 @@ impl Database {
             }
         }
         Ok(rows)
+    }
+
+    /// Filtered, projected read — the query planner's table-access
+    /// primitive, with predicate and projection *pushdown*: `filter` is
+    /// evaluated against each candidate row while it is still borrowed from
+    /// the heap, and only the `projection` columns of accepted rows are
+    /// cloned out. Non-matching rows are never copied at all.
+    ///
+    /// Rows come back in row-id (insertion) order for **both** access
+    /// paths, so an index-routed read is bit-identical — including order —
+    /// to a full scan with the same filter. Returns `(rows, scanned)` where
+    /// `scanned` counts the candidate rows the filter examined.
+    ///
+    /// Locking matches the underlying path: `Full` takes a table-level
+    /// shared lock (serializes against writers, no phantoms);
+    /// `Index` takes intention-shared + per-row shared locks, like
+    /// [`Database::index_range`].
+    pub fn select(
+        &self,
+        tx: TxId,
+        table: &str,
+        access: ScanAccess<'_>,
+        filter: &mut dyn FnMut(&[Value]) -> bool,
+        projection: Option<&[usize]>,
+    ) -> Result<(Vec<Row>, usize)> {
+        self.check_active(tx)?;
+        let materialize = |row: &Row| -> Row {
+            match projection {
+                Some(cols) => cols.iter().map(|&i| row[i].clone()).collect(),
+                None => row.clone(),
+            }
+        };
+        match access {
+            ScanAccess::Full => {
+                self.locks.acquire(tx, LockTarget::Table(table.to_string()), LockMode::Shared)?;
+                let tables = self.tables.lock();
+                let t = tables
+                    .get(table)
+                    .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+                let mut ids: Vec<&RowId> = t.heap.keys().collect();
+                ids.sort_unstable();
+                let mut out = Vec::new();
+                let mut scanned = 0usize;
+                for id in ids {
+                    let row = &t.heap[id];
+                    scanned += 1;
+                    if filter(row) {
+                        out.push(materialize(row));
+                    }
+                }
+                Ok((out, scanned))
+            }
+            ScanAccess::Index { column, lo, hi } => {
+                self.locks.acquire(
+                    tx,
+                    LockTarget::Table(table.to_string()),
+                    LockMode::IntentionShared,
+                )?;
+                let mut row_ids: Vec<RowId> = {
+                    let tables = self.tables.lock();
+                    let t = tables
+                        .get(table)
+                        .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+                    let ix = t.indexes.get(column).ok_or_else(|| {
+                        StorageError::SchemaViolation(format!("no index on {table}.{column}"))
+                    })?;
+                    ix.range(lo, hi)
+                };
+                // Row-id order = full-scan order; also canonicalizes the
+                // lock-acquisition order.
+                row_ids.sort_unstable();
+                for row_id in &row_ids {
+                    self.locks.acquire(
+                        tx,
+                        LockTarget::Row(table.to_string(), *row_id),
+                        LockMode::Shared,
+                    )?;
+                }
+                let tables = self.tables.lock();
+                let t = tables
+                    .get(table)
+                    .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+                let mut out = Vec::new();
+                let mut scanned = 0usize;
+                for row_id in &row_ids {
+                    if let Some(row) = t.heap.get(row_id) {
+                        scanned += 1;
+                        if filter(row) {
+                            out.push(materialize(row));
+                        }
+                    }
+                }
+                Ok((out, scanned))
+            }
+        }
     }
 
     /// Number of rows in a table (unlocked, diagnostics only).

@@ -45,7 +45,14 @@ impl SecondaryIndex {
     }
 
     /// Rows whose indexed value falls in `[lo, hi]` (either bound optional).
+    /// An inverted window (`lo > hi`) is an empty result, not a panic — the
+    /// planner derives bounds from arbitrary user conjunctions.
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if lo > hi {
+                return Vec::new();
+            }
+        }
         let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         self.map.range((lo, hi)).flat_map(|(_, rows)| rows.iter().copied()).collect()

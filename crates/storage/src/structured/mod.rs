@@ -18,7 +18,7 @@ pub mod lock;
 pub mod recovery;
 pub mod table;
 
-pub use engine::{Database, TxId};
+pub use engine::{Database, IndexStats, ScanAccess, TxId};
 pub use lock::{LockManager, LockMode};
 pub use recovery::LogRecord;
 pub use table::{Column, Row, RowId, TableSchema};

@@ -25,6 +25,14 @@ pub enum LogRecord {
         /// Name of the dropped table.
         table: String,
     },
+    /// DDL: a secondary index was created on an existing table
+    /// (auto-committed; redo rebuilds the index from the recovered heap).
+    CreateIndex {
+        /// Table the index belongs to.
+        table: String,
+        /// Indexed column name.
+        column: String,
+    },
     /// Transaction start.
     Begin {
         /// Transaction id.
@@ -95,7 +103,9 @@ impl LogRecord {
             | LogRecord::Delete { tx, .. }
             | LogRecord::Commit { tx }
             | LogRecord::Abort { tx } => Some(*tx),
-            LogRecord::CreateTable { .. } | LogRecord::DropTable { .. } => None,
+            LogRecord::CreateTable { .. }
+            | LogRecord::DropTable { .. }
+            | LogRecord::CreateIndex { .. } => None,
         }
     }
 }
@@ -130,6 +140,7 @@ mod tests {
                     .unwrap(),
             },
             LogRecord::DropTable { table: "t".into() },
+            LogRecord::CreateIndex { table: "t".into(), column: "a".into() },
         ];
         for r in records {
             let bytes = r.encode().unwrap();

@@ -5,6 +5,23 @@
 //! fails — the torn tail of a crashed write — and reports how many clean
 //! records preceded it. The structured store layers transaction semantics on
 //! top (see [`crate::structured::recovery`]); this module knows only bytes.
+//!
+//! # Durability contract
+//!
+//! [`Wal::append`] only buffers: after it returns, the frame may live
+//! entirely in the process's `BufWriter` and is lost on a crash.
+//! [`Wal::sync`] is the durability boundary — it flushes the buffer to the
+//! file *and* calls `File::sync_data`, so once `sync` returns, every
+//! previously appended frame survives both process death and OS/power
+//! failure (to the extent the disk honors flush commands). `sync_data` is
+//! deliberate: frame data must be on stable storage, but file metadata such
+//! as the modification time need not be, and skipping the metadata journal
+//! write makes the commit fsync cheaper. Callers that need group commit
+//! should batch several `append`s behind one `sync`; the structured engine
+//! syncs once per commit/DDL record, never per operation. The checksum
+//! framing makes a torn final frame detectable, so a crash *between*
+//! `append` and `sync` never corrupts the clean prefix — replay simply
+//! truncates the tail at the last record whose CRC verifies.
 
 use crate::error::StorageError;
 use crate::Result;

@@ -82,35 +82,47 @@ fn transfers_conserve_total_under_contention() {
         }));
     }
 
-    // Concurrent auditors: any consistent snapshot must conserve the total.
+    // Concurrent auditor: any consistent snapshot must conserve the total.
     let stop = Arc::new(AtomicUsize::new(0));
+    let audits = Arc::new(AtomicUsize::new(0));
     let auditor = {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
+        let audits = Arc::clone(&audits);
         std::thread::spawn(move || {
             let expected = initial * n_accounts as i64;
-            let mut audits = 0usize;
             while stop.load(Ordering::Relaxed) == 0 {
                 let tx = db.begin();
                 // A wait-die abort as a reader is fine; just retry later.
                 if let Ok(rows) = db.scan(tx, "accounts") {
                     let total: i64 = rows.iter().map(|r| r[1].as_f64().unwrap() as i64).sum();
                     assert_eq!(total, expected, "torn read: {rows:?}");
-                    audits += 1;
+                    audits.fetch_add(1, Ordering::Relaxed);
                 }
                 let _ = db.abort(tx);
             }
-            audits
         })
     };
 
     for h in handles {
         h.join().unwrap();
     }
+    // Deterministic rendezvous instead of racing the workers: with every
+    // writer joined the store is quiescent, so the auditor's next scan must
+    // succeed. Wait for one post-quiescence audit before stopping — this
+    // terminates regardless of scheduling, so the "observed at least one
+    // snapshot" assertion below cannot flake on a loaded box.
+    let baseline = audits.load(Ordering::Relaxed);
+    while audits.load(Ordering::Relaxed) <= baseline {
+        std::thread::yield_now();
+    }
     stop.store(1, Ordering::Relaxed);
-    let audits = auditor.join().unwrap();
+    auditor.join().unwrap();
     assert_eq!(transfers_done.load(Ordering::Relaxed), threads * per_thread);
-    assert!(audits > 0, "the auditor must have observed at least one snapshot");
+    assert!(
+        audits.load(Ordering::Relaxed) > 0,
+        "the auditor must have observed at least one snapshot"
+    );
 
     let rows = db.scan_autocommit("accounts").unwrap();
     let total: i64 = rows.iter().map(|r| r[1].as_f64().unwrap() as i64).sum();

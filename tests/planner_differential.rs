@@ -1,0 +1,211 @@
+//! Differential tests for the physical query planner: for every supported
+//! predicate shape, index-routed execution must return *bit-identical*
+//! rows — including row order — to the forced-full-scan reference
+//! configuration, and the façade's result cache must serve the same bytes
+//! it first computed.
+
+use quarry::core::{Quarry, QuarryConfig};
+use quarry::query::engine::{AggFn, Predicate, Query};
+use quarry::query::planner::{execute_with, PlannerConfig};
+use quarry::storage::{Column, DataType, Database, TableSchema, Value};
+
+/// A deterministic facts table with indexes on `cat` (12 distinct values)
+/// and `score` (dense ints), plus an unindexed `note` column.
+fn facts_db(rows: usize) -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        TableSchema::new(
+            "facts",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("cat", DataType::Text),
+                Column::new("score", DataType::Int),
+                Column::new("note", DataType::Text),
+            ],
+            &["id"],
+            &[],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tx = db.begin();
+    for i in 0..rows as i64 {
+        db.insert(
+            tx,
+            "facts",
+            vec![
+                Value::Int(i),
+                Value::Text(format!("cat{}", (i * 7) % 12)),
+                Value::Int((i * 13) % 97),
+                Value::Text(format!("note {}", (i * 3) % 5)),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(tx).unwrap();
+    db.create_index("facts", "cat").unwrap();
+    db.create_index("facts", "score").unwrap();
+    db
+}
+
+/// Every supported predicate shape plus the operator combinations above
+/// them: eq, range (inclusive and strict), conjunction, no-predicate,
+/// projections, joins, aggregates, and sorts.
+fn query_shapes() -> Vec<Query> {
+    let eq = |c: &str, v: Value| Predicate::Eq(c.into(), v);
+    vec![
+        // No predicate.
+        Query::scan("facts"),
+        // Equality on an indexed column.
+        Query::scan("facts").filter(vec![eq("cat", "cat3".into())]),
+        // Equality on an unindexed column.
+        Query::scan("facts").filter(vec![eq("note", "note 2".into())]),
+        // Inclusive range.
+        Query::scan("facts").filter(vec![
+            Predicate::Ge("score".into(), Value::Int(20)),
+            Predicate::Le("score".into(), Value::Int(40)),
+        ]),
+        // Strict range (boundary rows must be residual-filtered out).
+        Query::scan("facts").filter(vec![
+            Predicate::Gt("score".into(), Value::Int(20)),
+            Predicate::Lt("score".into(), Value::Int(40)),
+        ]),
+        // Half-open ranges.
+        Query::scan("facts").filter(vec![Predicate::Ge("score".into(), Value::Int(90))]),
+        Query::scan("facts").filter(vec![Predicate::Lt("score".into(), Value::Int(5))]),
+        // Conjunction mixing indexed eq, indexed range, and unindexable.
+        Query::scan("facts").filter(vec![
+            eq("cat", "cat5".into()),
+            Predicate::Ge("score".into(), Value::Int(10)),
+            Predicate::Contains("note".into(), "note".into()),
+        ]),
+        // Empty-result equality.
+        Query::scan("facts").filter(vec![eq("cat", "catX".into())]),
+        // Inverted (empty) range window.
+        Query::scan("facts").filter(vec![
+            Predicate::Ge("score".into(), Value::Int(50)),
+            Predicate::Le("score".into(), Value::Int(10)),
+        ]),
+        // Ne / In stay unrouted but must agree too.
+        Query::scan("facts").filter(vec![Predicate::Ne("cat".into(), "cat1".into())]),
+        Query::scan("facts")
+            .filter(vec![Predicate::In("cat".into(), vec!["cat1".into(), "cat9".into()])]),
+        // Projection above predicates (pushdown target).
+        Query::scan("facts").filter(vec![eq("cat", "cat2".into())]).project(&["id", "score"]),
+        // Filter above projection (must NOT be pushed into the access).
+        Query::scan("facts")
+            .project(&["id", "score"])
+            .filter(vec![Predicate::Ge("score".into(), Value::Int(30))]),
+        // Join with asymmetric input sizes (build-side selection).
+        Query::scan("facts").filter(vec![eq("cat", "cat4".into())]).join(
+            Query::scan("facts"),
+            "cat",
+            "cat",
+        ),
+        Query::scan("facts").join(
+            Query::scan("facts").filter(vec![eq("cat", "cat4".into())]),
+            "cat",
+            "cat",
+        ),
+        // Aggregates and sorts above index-routed accesses.
+        Query::scan("facts").filter(vec![eq("cat", "cat6".into())]).aggregate(
+            Some("note"),
+            AggFn::Count,
+            "id",
+        ),
+        Query::scan("facts").filter(vec![Predicate::Ge("score".into(), Value::Int(80))]).sort(
+            "id",
+            true,
+            Some(7),
+        ),
+    ]
+}
+
+#[test]
+fn index_routed_execution_is_bit_identical_to_full_scan() {
+    let db = facts_db(400);
+    let reference = PlannerConfig::full_scan();
+    // Each toggle alone, and everything on: all must match the reference.
+    let configs = [
+        PlannerConfig::default(),
+        PlannerConfig { use_index: true, ..PlannerConfig::full_scan() },
+        PlannerConfig { pushdown: true, ..PlannerConfig::full_scan() },
+        PlannerConfig { join_side_selection: true, ..PlannerConfig::full_scan() },
+    ];
+    for (qi, q) in query_shapes().iter().enumerate() {
+        let (expect, _) = execute_with(&db, q, &reference).unwrap();
+        for cfg in &configs {
+            let (got, _) = execute_with(&db, q, cfg).unwrap();
+            assert_eq!(got.columns, expect.columns, "columns diverged: query {qi} cfg {cfg:?}");
+            assert_eq!(
+                got.rows,
+                expect.rows,
+                "rows (or row order) diverged: query {qi} ({}) cfg {cfg:?}",
+                q.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn planner_errors_match_reference_errors() {
+    let db = facts_db(50);
+    let bad = [
+        Query::scan("ghost"),
+        Query::scan("facts").filter(vec![Predicate::Eq("ghost".into(), Value::Null)]),
+        Query::scan("facts").project(&["ghost"]),
+        Query::scan("facts")
+            .project(&["id"])
+            .filter(vec![Predicate::Eq("cat".into(), "cat1".into())]),
+        Query::scan("facts").aggregate(None, AggFn::Avg, "note"),
+        Query::scan("facts").sort("ghost", false, None),
+    ];
+    for q in &bad {
+        let planned = execute_with(&db, q, &PlannerConfig::default());
+        let reference = execute_with(&db, q, &PlannerConfig::full_scan());
+        let (Err(p), Err(r)) = (planned, reference) else {
+            panic!("both configs must fail: {}", q.display());
+        };
+        assert_eq!(
+            std::mem::discriminant(&p),
+            std::mem::discriminant(&r),
+            "error kind diverged for {}: {p:?} vs {r:?}",
+            q.display()
+        );
+    }
+}
+
+#[test]
+fn cached_results_are_bit_identical_to_fresh_execution() {
+    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    q.db.create_table(
+        TableSchema::new(
+            "facts",
+            vec![Column::new("id", DataType::Int), Column::new("cat", DataType::Text)],
+            &["id"],
+            &[],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for i in 0..60i64 {
+        q.db.insert_autocommit("facts", vec![Value::Int(i), format!("cat{}", i % 6).into()])
+            .unwrap();
+    }
+    q.create_index("facts", "cat").unwrap();
+
+    let query = Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "cat2".into())]);
+    let fresh = q.structured(&query).unwrap();
+    let cached = q.structured(&query).unwrap();
+    assert_eq!(cached, fresh, "cache hit must serve identical bytes");
+    assert_eq!(q.query_cache_stats().hits, 1);
+
+    // A write invalidates; the re-executed result reflects it and the new
+    // result becomes the cached one.
+    q.db.insert_autocommit("facts", vec![Value::Int(1000), "cat2".into()]).unwrap();
+    let after_write = q.structured(&query).unwrap();
+    assert_eq!(after_write.rows.len(), fresh.rows.len() + 1);
+    let again = q.structured(&query).unwrap();
+    assert_eq!(again, after_write);
+    assert_eq!(q.query_cache_stats().hits, 2);
+}
