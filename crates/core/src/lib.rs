@@ -33,5 +33,5 @@ pub use feedback::{Correction, CorrectionStatus, FeedbackQueue};
 pub use incremental::IncrementalManager;
 pub use monitor::{MonitorFire, MonitorSet};
 pub use qcache::{QueryCache, QueryCacheStats};
-pub use system::{Quarry, QuarryConfig, QuarryError};
+pub use system::{CheckStats, Quarry, QuarryConfig, QuarryError};
 pub use users::{UserAccount, UserDirectory};

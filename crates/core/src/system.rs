@@ -7,7 +7,8 @@ use crate::qcache::{QueryCache, QueryCacheStats};
 use crate::users::UserDirectory;
 use quarry_corpus::{Corpus, CorpusConfig, CorpusError, DocId, Document};
 use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
-use quarry_exec::{ExecPool, ExecReport};
+use quarry_exec::diag::Severity;
+use quarry_exec::{ExecPool, ExecReport, LintReport};
 use quarry_extract::Extraction;
 use quarry_hi::Crowd;
 use quarry_integrate::IntegrateError;
@@ -108,6 +109,9 @@ pub enum QuarryError {
     Corpus(CorpusError),
     /// Invalid integration (matcher) configuration.
     Integrate(IntegrateError),
+    /// A QDL program failed static analysis before execution — the report
+    /// carries the span-anchored diagnostics over the submitted source.
+    Lint(LintReport),
 }
 
 impl fmt::Display for QuarryError {
@@ -119,6 +123,12 @@ impl fmt::Display for QuarryError {
             QuarryError::Query(e) => write!(f, "query error: {e}"),
             QuarryError::Corpus(e) => write!(f, "corpus error: {e}"),
             QuarryError::Integrate(e) => write!(f, "integrate error: {e}"),
+            QuarryError::Lint(report) => write!(
+                f,
+                "program rejected by static analysis ({} error(s)):\n{}",
+                report.error_count(),
+                report.render()
+            ),
         }
     }
 }
@@ -132,6 +142,7 @@ impl std::error::Error for QuarryError {
             QuarryError::Query(e) => Some(e),
             QuarryError::Corpus(e) => Some(e),
             QuarryError::Integrate(e) => Some(e),
+            QuarryError::Lint(_) => None,
         }
     }
 }
@@ -172,6 +183,23 @@ impl From<IntegrateError> for QuarryError {
     }
 }
 
+/// Counters and timings for the static checks the façade has run —
+/// [`Quarry::check_program`], [`Quarry::check_query`], and the implicit
+/// gate inside [`Quarry::run_pipeline`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Number of checks performed.
+    pub checks: u64,
+    /// Error-severity diagnostics produced, summed over all checks.
+    pub errors: u64,
+    /// Warning-severity diagnostics produced, summed over all checks.
+    pub warnings: u64,
+    /// Wall-clock microseconds of the most recent check.
+    pub last_check_micros: u64,
+    /// Wall-clock microseconds summed over all checks.
+    pub total_check_micros: u64,
+}
+
 /// The end-to-end system.
 pub struct Quarry {
     /// Versioned raw-page store (storage layer).
@@ -203,6 +231,7 @@ pub struct Quarry {
     truth: Option<TruthOracle>,
     pool: ExecPool,
     last_report: ExecReport,
+    check_stats: CheckStats,
     day: usize,
     tick: u64,
 }
@@ -237,6 +266,7 @@ impl Quarry {
             truth: None,
             pool: ExecPool::new(config.threads),
             last_report: ExecReport::new(),
+            check_stats: CheckStats::default(),
             day: 0,
             tick: 0,
         })
@@ -285,9 +315,21 @@ impl Quarry {
     }
 
     /// Run a QDL program over the current working set.
+    ///
+    /// The program is statically analyzed first; error-severity
+    /// diagnostics (other than unknown extractors, which stay the
+    /// executor's structured [`ExecError::UnknownExtractor`]) reject it as
+    /// [`QuarryError::Lint`] before any document is read.
     pub fn run_pipeline(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
         self.tick += 1;
         let pipeline = parse(src)?;
+        let report = self.check_program(src);
+        let gates = report.diagnostics.iter().any(|d| {
+            d.severity == Severity::Error && d.code != quarry_lang::lint::codes::UNKNOWN_EXTRACTOR
+        });
+        if gates {
+            return Err(QuarryError::Lint(report));
+        }
         let plan = optimize(&LogicalPlan::from_pipeline(&pipeline), &self.registry);
         let mut ctx = ExecContext {
             docs: &self.docs,
@@ -323,6 +365,41 @@ impl Quarry {
             let _ = fire;
         }
         Ok(stats)
+    }
+
+    /// Statically check a QDL program against the operator library and
+    /// schema registry without running it. Syntax errors come back as a
+    /// QL000 diagnostic in the report rather than an `Err`, so callers
+    /// can render every outcome uniformly.
+    pub fn check_program(&mut self, src: &str) -> LintReport {
+        let start = std::time::Instant::now();
+        let report =
+            quarry_lang::lint::lint_source("<program>", src, &self.registry, Some(&self.schemas));
+        self.note_check(&report, start);
+        report
+    }
+
+    /// Statically check a structured query's table and column references
+    /// against the database schemas without executing it.
+    pub fn check_query(&mut self, q: &Query) -> LintReport {
+        let start = std::time::Instant::now();
+        let report = quarry_query::lint::check_query(&self.db, q);
+        self.note_check(&report, start);
+        report
+    }
+
+    /// Counters and timings of all static checks run so far.
+    pub fn check_stats(&self) -> CheckStats {
+        self.check_stats
+    }
+
+    fn note_check(&mut self, report: &LintReport, start: std::time::Instant) {
+        let micros = start.elapsed().as_micros() as u64;
+        self.check_stats.checks += 1;
+        self.check_stats.errors += report.error_count() as u64;
+        self.check_stats.warnings += report.warning_count() as u64;
+        self.check_stats.last_check_micros = micros;
+        self.check_stats.total_check_micros += micros;
     }
 
     /// Register a standing query; its changes are reported by
@@ -748,6 +825,59 @@ STORE INTO cities KEY name
             ),
             Err(QuarryError::Pipeline(ExecError::UnknownExtractor(_)))
         ));
+    }
+
+    #[test]
+    fn statically_broken_program_is_rejected_before_reading_documents() {
+        let (mut q, _) = system_with_corpus();
+        // The RESOLVE key is filtered out by the WHERE clause (QL005), so
+        // the program can never store a keyed row — rejected up front.
+        let broken = r#"PIPELINE p FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("population", "state")
+RESOLVE BY name
+STORE INTO broken KEY name"#;
+        match q.run_pipeline(broken) {
+            Err(QuarryError::Lint(report)) => {
+                assert!(report.diagnostics.iter().any(|d| d.code == "QL005"), "{report}");
+            }
+            other => panic!("expected Lint rejection, got {other:?}"),
+        }
+        // Nothing executed: no extraction cache, no stage report, no table.
+        assert!(q.cache.is_empty());
+        assert!(q.db.schema("broken").is_err());
+    }
+
+    #[test]
+    fn check_apis_report_without_running_and_count_stats() {
+        let (mut q, _) = system_with_corpus();
+        assert_eq!(q.check_stats(), CheckStats::default());
+
+        // Syntax errors come back as a QL000 report, not an Err.
+        let report = q.check_program("PIPELINE broken FROM");
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "QL000");
+
+        // A clean program checks clean and stores nothing.
+        let report = q.check_program(CITY_PIPELINE);
+        assert_eq!(report.error_count(), 0);
+        assert!(q.db.schema("cities").is_err(), "check_program must not execute");
+
+        // Structured-query checking against live schemas.
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let bad = Query::scan("cities")
+            .filter(vec![quarry_query::Predicate::Eq("ghost".into(), Value::Null)]);
+        let report = q.check_query(&bad);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "QQ002");
+        // ... and the same query is refused at execution time.
+        assert!(matches!(q.structured(&bad), Err(QuarryError::Query(QueryError::Invalid(_)))));
+
+        let stats = q.check_stats();
+        // check_program ×2 + check_query ×1 + run_pipeline's implicit gate.
+        assert_eq!(stats.checks, 4);
+        assert!(stats.errors >= 2, "{stats:?}");
+        assert!(stats.total_check_micros >= stats.last_check_micros);
     }
 
     #[test]

@@ -22,11 +22,13 @@
 //!    their home worker. Named counters capture cache behaviour.
 
 pub mod cache;
+pub mod diag;
 pub mod explain;
 pub mod pool;
 pub mod report;
 
 pub use cache::MemoCache;
+pub use diag::{closest, line_col_of, Diagnostic, LintReport, Severity, SourceMap, Span};
 pub use explain::PlanNode;
 pub use pool::ExecPool;
 pub use report::{ExecReport, OpStats, StageReport};

@@ -1,5 +1,6 @@
 //! QDL abstract syntax.
 
+use quarry_exec::diag::Span;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -114,6 +115,93 @@ impl fmt::Display for Pipeline {
         }
         Ok(())
     }
+}
+
+/// Byte-span table for one parsed [`Pipeline`], kept parallel to the AST
+/// rather than embedded in it.
+///
+/// Keeping spans out of the AST preserves the derived `PartialEq`/serde
+/// behaviour the print→reparse property tests rely on (two structurally
+/// identical programs compare equal regardless of formatting), and spares
+/// the dozens of hand-built `Pipeline` literals in tests and benches from
+/// carrying positions. `parser::parse_spanned` produces both halves; the
+/// indices line up one-to-one (`spans.steps[i]` describes `steps[i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpans {
+    /// Span of the pipeline name identifier.
+    pub name: Span,
+    /// Span of the source identifier after `FROM`.
+    pub source: Span,
+    /// One entry per step, in program order.
+    pub steps: Vec<StepSpans>,
+}
+
+/// Spans for one [`Step`], variant-matched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepSpans {
+    /// Spans for `EXTRACT a, b, ...`.
+    Extract {
+        /// The `EXTRACT` keyword.
+        keyword: Span,
+        /// One span per extractor name, same order as the AST list.
+        extractors: Vec<Span>,
+    },
+    /// Spans for `WHERE c1 AND c2 ...`.
+    Where {
+        /// The `WHERE` keyword.
+        keyword: Span,
+        /// One entry per condition, same order as the AST list.
+        conditions: Vec<ConditionSpans>,
+    },
+    /// Spans for `RESOLVE BY key`.
+    Resolve {
+        /// The `RESOLVE` keyword.
+        keyword: Span,
+        /// The key identifier.
+        key: Span,
+    },
+    /// Spans for `CURATE BUDGET b VOTES v`.
+    Curate {
+        /// The `CURATE` keyword.
+        keyword: Span,
+        /// The budget number literal.
+        budget: Span,
+        /// The votes number literal.
+        votes: Span,
+    },
+    /// Spans for `STORE INTO table KEY k1, k2`.
+    Store {
+        /// The `STORE` keyword.
+        keyword: Span,
+        /// The table identifier.
+        table: Span,
+        /// One span per key identifier, same order as the AST list.
+        keys: Vec<Span>,
+    },
+}
+
+impl StepSpans {
+    /// The step's leading keyword span — the anchor used when a diagnostic
+    /// is about the step as a whole.
+    pub fn keyword(&self) -> Span {
+        match self {
+            StepSpans::Extract { keyword, .. }
+            | StepSpans::Where { keyword, .. }
+            | StepSpans::Resolve { keyword, .. }
+            | StepSpans::Curate { keyword, .. }
+            | StepSpans::Store { keyword, .. } => *keyword,
+        }
+    }
+}
+
+/// Spans for one [`Condition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConditionSpans {
+    /// The whole condition (`attribute IN ("a", "b")`).
+    pub full: Span,
+    /// The value literal(s): each string of an `IN` list, the single
+    /// string of an `=` form, or the number of a `confidence >=` bound.
+    pub values: Vec<Span>,
 }
 
 #[cfg(test)]

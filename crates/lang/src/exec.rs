@@ -31,6 +31,9 @@ pub enum ExecError {
     UnknownExtractor(String),
     /// Step sequence invalid (e.g. `STORE` before `RESOLVE`).
     InvalidPlan(String),
+    /// Static analysis found error-severity diagnostics; the plan was
+    /// refused before any document was read.
+    Rejected(quarry_exec::LintReport),
     /// Storage failure.
     Storage(StorageError),
 }
@@ -40,6 +43,14 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnknownExtractor(e) => write!(f, "unknown extractor: {e}"),
             ExecError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            ExecError::Rejected(report) => {
+                write!(
+                    f,
+                    "plan rejected by static analysis ({} error(s)):\n{}",
+                    report.error_count(),
+                    report.render()
+                )
+            }
             ExecError::Storage(e) => write!(f, "storage: {e}"),
         }
     }
@@ -155,7 +166,29 @@ pub struct Executor;
 
 impl Executor {
     /// Run a plan to completion; returns statistics.
+    ///
+    /// The plan is statically checked first — an unknown extractor or an
+    /// error-severity lint diagnostic ([`crate::lint`]) rejects it before
+    /// a single document is read or a single extractor is invoked.
     pub fn run(plan: &LogicalPlan, ctx: &mut ExecContext<'_>) -> Result<ExecStats, ExecError> {
+        // Gate 1: every referenced operator must exist. Checked upfront so
+        // the failure arrives before (not midway through) extraction.
+        for op in &plan.ops {
+            let PlanOp::Extract { extractors } = op else { continue };
+            for name in extractors {
+                if ctx.registry.get(name).is_none() {
+                    return Err(ExecError::UnknownExtractor(name.clone()));
+                }
+            }
+        }
+        // Gate 2: the static analyzer's error-severity codes (QL002–QL005)
+        // reject the plan outright; warnings pass through.
+        if let Some(report) = crate::lint::analyze_plan(plan, ctx.registry, None) {
+            if !report.is_clean() {
+                return Err(ExecError::Rejected(report));
+            }
+        }
+
         let mut stats = ExecStats::default();
         let mut state = State::Stream(Vec::new());
 
@@ -646,6 +679,46 @@ STORE INTO people KEY name"#;
             .unwrap(),
         );
         assert!(matches!(Executor::run(&unknown, &mut ctx), Err(ExecError::UnknownExtractor(_))));
+    }
+
+    #[test]
+    fn statically_broken_plans_are_rejected_before_any_document_is_read() {
+        let c = corpus();
+        let db = Database::in_memory();
+        let reg = ExtractorRegistry::standard();
+        // QL005: the resolve key is filtered out — every record would drop.
+        let plan = LogicalPlan::from_pipeline(
+            &parse(
+                r#"PIPELINE p FROM corpus
+EXTRACT infobox
+WHERE attribute IN ("population", "state")
+RESOLVE BY name
+STORE INTO cities KEY name"#,
+            )
+            .unwrap(),
+        );
+        let mut ctx = ExecContext::new(&c.docs, &reg, &db);
+        let err = Executor::run(&plan, &mut ctx).unwrap_err();
+        let ExecError::Rejected(report) = &err else { panic!("expected Rejected, got {err}") };
+        assert!(report.error_count() > 0);
+        assert!(report.diagnostics.iter().any(|d| d.code == "QL005"), "{report:#?}");
+        // Rejection is pre-execution: no extractor ran, nothing was cached,
+        // no parallel stage was recorded, nothing was stored.
+        assert!(ctx.cache.is_empty(), "extraction cache must stay untouched");
+        assert!(ctx.report.stages.is_empty(), "no execution stage may have run");
+        assert!(db.schema("cities").is_err(), "no table may have been created");
+
+        // Unknown extractors are likewise caught upfront, with the
+        // long-standing error variant.
+        let unknown = LogicalPlan::from_pipeline(
+            &parse(
+                "PIPELINE p FROM corpus EXTRACT infobox, warp_drive RESOLVE BY name STORE INTO t KEY name",
+            )
+            .unwrap(),
+        );
+        let mut ctx = ExecContext::new(&c.docs, &reg, &db);
+        assert!(matches!(Executor::run(&unknown, &mut ctx), Err(ExecError::UnknownExtractor(_))));
+        assert!(ctx.cache.is_empty(), "infobox must not have run before the unknown-name check");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! QDL lexer.
 
+use quarry_exec::diag::{line_col_of, Span};
 use std::fmt;
 
 /// Token kinds.
@@ -39,17 +40,48 @@ impl fmt::Display for Token {
     }
 }
 
-/// Lexing error with byte position.
+/// A token plus the byte range of the source text it was lexed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub tok: Token,
+    /// Byte range in the original source. For string literals the span
+    /// covers the quotes too, so carets underline what the user typed.
+    pub span: Span,
+}
+
+/// Lexing error with byte position and resolved line/column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     /// Byte offset of the offending character.
     pub at: usize,
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// 1-based column of the offending character.
+    pub col: usize,
     /// Description.
     pub message: String,
 }
 
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
 /// Tokenize a QDL program. `--` starts a comment to end of line.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Ok(lex_spanned(src)?.into_iter().map(|st| st.tok).collect())
+}
+
+/// Tokenize a QDL program, keeping each token's byte span.
+pub fn lex_spanned(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let err = |at: usize, message: String| {
+        let (line, col) = line_col_of(src, at);
+        LexError { at, line, col, message }
+    };
     let mut out = Vec::new();
     let bytes = src.as_bytes();
     let mut i = 0usize;
@@ -63,23 +95,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             ',' => {
-                out.push(Token::Comma);
+                out.push(SpannedToken { tok: Token::Comma, span: Span::new(i, i + 1) });
                 i += 1;
             }
             '(' => {
-                out.push(Token::LParen);
+                out.push(SpannedToken { tok: Token::LParen, span: Span::new(i, i + 1) });
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                out.push(SpannedToken { tok: Token::RParen, span: Span::new(i, i + 1) });
                 i += 1;
             }
             '=' => {
-                out.push(Token::Eq);
+                out.push(SpannedToken { tok: Token::Eq, span: Span::new(i, i + 1) });
                 i += 1;
             }
             '>' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token::Ge);
+                out.push(SpannedToken { tok: Token::Ge, span: Span::new(i, i + 2) });
                 i += 2;
             }
             '"' => {
@@ -89,9 +121,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { at: i, message: "unterminated string".into() });
+                    return Err(err(i, "unterminated string".into()));
                 }
-                out.push(Token::Str(src[start..j].to_string()));
+                out.push(SpannedToken {
+                    tok: Token::Str(src[start..j].to_string()),
+                    span: Span::new(i, j + 1),
+                });
                 i = j + 1;
             }
             _ if c.is_ascii_digit()
@@ -102,10 +137,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| LexError { at: start, message: format!("bad number {text}") })?;
-                out.push(Token::Number(n));
+                let n: f64 = text.parse().map_err(|_| err(start, format!("bad number {text}")))?;
+                out.push(SpannedToken { tok: Token::Number(n), span: Span::new(start, i) });
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -122,10 +155,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                     i += 1;
                 }
-                out.push(Token::Ident(src[start..i].to_string()));
+                out.push(SpannedToken {
+                    tok: Token::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
             }
             _ => {
-                return Err(LexError { at: i, message: format!("unexpected character {c:?}") });
+                return Err(err(i, format!("unexpected character {c:?}")));
             }
         }
     }
@@ -167,8 +203,32 @@ mod tests {
     fn errors_carry_positions() {
         let err = lex("abc \"unterminated").unwrap_err();
         assert_eq!(err.at, 4);
+        assert_eq!((err.line, err.col), (1, 5));
         let err = lex("abc @").unwrap_err();
         assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn lex_error_display_has_line_and_column() {
+        let err = lex("PIPELINE p\nFROM @corpus").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 6));
+        assert_eq!(err.to_string(), "lex error at 2:6: unexpected character '@'");
+    }
+
+    #[test]
+    fn spans_cover_the_lexed_text() {
+        let src = "EXTRACT infobox\nWHERE attribute = \"name\"";
+        let toks = lex_spanned(src).unwrap();
+        for st in &toks {
+            let text = &src[st.span.start..st.span.end];
+            match &st.tok {
+                Token::Ident(s) => assert_eq!(text, s),
+                Token::Str(s) => assert_eq!(text, format!("\"{s}\"")),
+                _ => {}
+            }
+        }
+        let name = toks.iter().find(|t| t.tok == Token::Str("name".into())).unwrap();
+        assert_eq!(&src[name.span.start..name.span.end], "\"name\"");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   re-parse losslessly (property-tested);
 //! - [`registry`] — the operator library: named extractors with declared
 //!   output-attribute signatures and per-document costs;
+//! - [`lint`] — the static semantic analyzer: span-anchored QL001–QL008
+//!   diagnostics against the registry and schema registry, checked before
+//!   any document is read;
 //! - [`plan`] — logical plans and the rule-based optimizer (extractor
 //!   pruning against WHERE clauses, selection placement, materialization
 //!   reuse), plus `EXPLAIN` rendering;
@@ -29,12 +32,14 @@
 pub mod ast;
 pub mod exec;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod plan;
 pub mod registry;
 
-pub use ast::{Condition, Pipeline, Step};
+pub use ast::{Condition, Pipeline, ProgramSpans, Step};
 pub use exec::{ExecContext, ExecStats, Executor};
-pub use parser::parse;
+pub use lint::{analyze, lint_source};
+pub use parser::{parse, parse_spanned};
 pub use plan::{optimize, LogicalPlan, PlanOp};
 pub use registry::ExtractorRegistry;

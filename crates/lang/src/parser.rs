@@ -1,32 +1,67 @@
 //! QDL parser: recursive descent over the token stream.
 
-use crate::ast::{Condition, Pipeline, Step};
-use crate::lexer::{lex, Token};
+use crate::ast::{Condition, ConditionSpans, Pipeline, ProgramSpans, Step, StepSpans};
+use crate::lexer::{lex_spanned, SpannedToken, Token};
+use quarry_exec::diag::{line_col_of, Span};
 use std::fmt;
 
-/// Parse error.
+/// Valid step keywords, listed in "unknown step" errors.
+pub const STEP_KEYWORDS: [&str; 5] = ["EXTRACT", "WHERE", "RESOLVE", "CURATE", "STORE"];
+/// Valid condition fields, listed in "unknown condition field" errors.
+pub const CONDITION_FIELDS: [&str; 3] = ["attribute", "confidence", "extractor"];
+
+/// Parse error, anchored to the byte span of the offending token.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseError(pub String);
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte range of the offending token (a point span at end of input
+    /// when the program ended early).
+    pub span: Span,
+    /// 1-based line of `span.start`.
+    pub line: usize,
+    /// 1-based column of `span.start`.
+    pub col: usize,
+}
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error: {}", self.0)
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'s> {
+    src: &'s str,
+    tokens: Vec<SpannedToken>,
     pos: usize,
 }
 
-impl Parser {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+impl<'s> Parser<'s> {
+    fn err(&self, span: Span, message: String) -> ParseError {
+        let (line, col) = line_col_of(self.src, span.start);
+        ParseError { message, span, line, col }
     }
 
-    fn next(&mut self) -> Option<Token> {
+    /// Span to blame when the current token is missing or wrong: the
+    /// token's own span, or a point at end of input.
+    fn here(&self) -> Span {
+        self.tokens.get(self.pos).map(|t| t.span).unwrap_or_else(|| Span::point(self.src.len()))
+    }
+
+    fn describe(&self) -> String {
+        match self.tokens.get(self.pos) {
+            Some(t) => format!("`{}`", t.tok),
+            None => "end of input".into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<SpannedToken> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -34,10 +69,13 @@ impl Parser {
         t
     }
 
-    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+    fn keyword(&mut self, kw: &str) -> Result<Span, ParseError> {
+        let (span, found) = (self.here(), self.describe());
         match self.next() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError(format!("expected {kw}, found {other:?}"))),
+            Some(SpannedToken { tok: Token::Ident(s), span }) if s.eq_ignore_ascii_case(kw) => {
+                Ok(span)
+            }
+            _ => Err(self.err(span, format!("expected {kw}, found {found}"))),
         }
     }
 
@@ -45,141 +83,230 @@ impl Parser {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        let (span, found) = (self.here(), self.describe());
         match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+            Some(SpannedToken { tok: Token::Ident(s), span }) => Ok((s, span)),
+            _ => Err(self.err(span, format!("expected identifier, found {found}"))),
         }
     }
 
-    fn string(&mut self) -> Result<String, ParseError> {
+    fn string(&mut self) -> Result<(String, Span), ParseError> {
+        let (span, found) = (self.here(), self.describe());
         match self.next() {
-            Some(Token::Str(s)) => Ok(s),
-            other => Err(ParseError(format!("expected string, found {other:?}"))),
+            Some(SpannedToken { tok: Token::Str(s), span }) => Ok((s, span)),
+            _ => Err(self.err(span, format!("expected string, found {found}"))),
         }
     }
 
-    fn number(&mut self) -> Result<f64, ParseError> {
+    fn number(&mut self) -> Result<(f64, Span), ParseError> {
+        let (span, found) = (self.here(), self.describe());
         match self.next() {
-            Some(Token::Number(n)) => Ok(n),
-            other => Err(ParseError(format!("expected number, found {other:?}"))),
+            Some(SpannedToken { tok: Token::Number(n), span }) => Ok((n, span)),
+            _ => Err(self.err(span, format!("expected number, found {found}"))),
         }
     }
 
-    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
-        let mut out = vec![self.ident()?];
+    fn punct(&mut self, want: Token, what: &str) -> Result<(), ParseError> {
+        let (span, found) = (self.here(), self.describe());
+        match self.next() {
+            Some(SpannedToken { tok, .. }) if tok == want => Ok(()),
+            _ => Err(self.err(span, format!("expected {what}, found {found}"))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<(Vec<String>, Vec<Span>), ParseError> {
+        let first = self.ident()?;
+        let (mut names, mut spans) = (vec![first.0], vec![first.1]);
         while self.peek() == Some(&Token::Comma) {
             self.next();
-            out.push(self.ident()?);
+            let (n, s) = self.ident()?;
+            names.push(n);
+            spans.push(s);
         }
-        Ok(out)
+        Ok((names, spans))
     }
 
-    fn pipeline(&mut self) -> Result<Pipeline, ParseError> {
+    fn pipeline(&mut self) -> Result<(Pipeline, ProgramSpans), ParseError> {
         self.keyword("PIPELINE")?;
-        let name = self.ident()?;
+        let (name, name_span) = self.ident()?;
         self.keyword("FROM")?;
-        let source = self.ident()?;
+        let (source, source_span) = self.ident()?;
         let mut steps = Vec::new();
+        let mut step_spans = Vec::new();
         while let Some(tok) = self.peek() {
             let Token::Ident(kw) = tok else {
-                return Err(ParseError(format!("expected step keyword, found {tok:?}")));
+                let (span, found) = (self.here(), self.describe());
+                return Err(self.err(span, format!("expected step keyword, found {found}")));
             };
-            let step = match kw.to_ascii_uppercase().as_str() {
+            let (step, spans) = match kw.to_ascii_uppercase().as_str() {
                 "EXTRACT" => {
-                    self.next();
-                    Step::Extract { extractors: self.ident_list()? }
+                    let keyword = self.next().unwrap().span;
+                    let (extractors, spans) = self.ident_list()?;
+                    (
+                        Step::Extract { extractors },
+                        StepSpans::Extract { keyword, extractors: spans },
+                    )
                 }
                 "WHERE" => {
-                    self.next();
-                    Step::Where { conditions: self.conditions()? }
+                    let keyword = self.next().unwrap().span;
+                    let (conditions, spans) = self.conditions()?;
+                    (Step::Where { conditions }, StepSpans::Where { keyword, conditions: spans })
                 }
                 "RESOLVE" => {
-                    self.next();
+                    let keyword = self.next().unwrap().span;
                     self.keyword("BY")?;
-                    Step::Resolve { key: self.ident()? }
+                    let (key, key_span) = self.ident()?;
+                    (Step::Resolve { key }, StepSpans::Resolve { keyword, key: key_span })
                 }
                 "CURATE" => {
-                    self.next();
+                    let keyword = self.next().unwrap().span;
                     self.keyword("BUDGET")?;
-                    let budget = self.number()? as u32;
+                    let (budget, budget_span) = self.number()?;
                     self.keyword("VOTES")?;
-                    let votes = self.number()? as u32;
-                    Step::Curate { budget, votes }
+                    let (votes, votes_span) = self.number()?;
+                    (
+                        Step::Curate { budget: budget as u32, votes: votes as u32 },
+                        StepSpans::Curate { keyword, budget: budget_span, votes: votes_span },
+                    )
                 }
                 "STORE" => {
-                    self.next();
+                    let keyword = self.next().unwrap().span;
                     self.keyword("INTO")?;
-                    let table = self.ident()?;
+                    let (table, table_span) = self.ident()?;
                     self.keyword("KEY")?;
-                    Step::Store { table, key: self.ident_list()? }
+                    let (key, key_spans) = self.ident_list()?;
+                    (
+                        Step::Store { table, key },
+                        StepSpans::Store { keyword, table: table_span, keys: key_spans },
+                    )
                 }
-                other => return Err(ParseError(format!("unknown step {other}"))),
+                other => {
+                    let span = self.here();
+                    return Err(self.err(
+                        span,
+                        format!(
+                            "unknown step {other}; valid steps are {}",
+                            STEP_KEYWORDS.join(", ")
+                        ),
+                    ));
+                }
             };
             steps.push(step);
+            step_spans.push(spans);
         }
-        Ok(Pipeline { name, source, steps })
+        Ok((
+            Pipeline { name, source, steps },
+            ProgramSpans { name: name_span, source: source_span, steps: step_spans },
+        ))
     }
 
-    fn conditions(&mut self) -> Result<Vec<Condition>, ParseError> {
-        let mut out = vec![self.condition()?];
+    fn conditions(&mut self) -> Result<(Vec<Condition>, Vec<ConditionSpans>), ParseError> {
+        let first = self.condition()?;
+        let (mut conds, mut spans) = (vec![first.0], vec![first.1]);
         while self.peek_keyword("AND") {
             self.next();
-            out.push(self.condition()?);
+            let (c, s) = self.condition()?;
+            conds.push(c);
+            spans.push(s);
         }
-        Ok(out)
+        Ok((conds, spans))
     }
 
-    fn condition(&mut self) -> Result<Condition, ParseError> {
-        let field = self.ident()?;
+    fn condition(&mut self) -> Result<(Condition, ConditionSpans), ParseError> {
+        let (field, field_span) = self.ident()?;
         match field.to_ascii_lowercase().as_str() {
             "attribute" => {
                 if self.peek_keyword("IN") {
                     self.next();
-                    if self.next() != Some(Token::LParen) {
-                        return Err(ParseError("expected ( after IN".into()));
-                    }
-                    let mut attrs = vec![self.string()?];
+                    self.punct(Token::LParen, "( after IN")?;
+                    let first = self.string()?;
+                    let (mut attrs, mut value_spans) = (vec![first.0], vec![first.1]);
                     while self.peek() == Some(&Token::Comma) {
                         self.next();
-                        attrs.push(self.string()?);
+                        let (a, s) = self.string()?;
+                        attrs.push(a);
+                        value_spans.push(s);
                     }
-                    if self.next() != Some(Token::RParen) {
-                        return Err(ParseError("expected ) closing IN list".into()));
-                    }
-                    Ok(Condition::AttributeIn(attrs))
-                } else if self.next() == Some(Token::Eq) {
-                    Ok(Condition::AttributeEq(self.string()?))
+                    let close = self.here();
+                    self.punct(Token::RParen, ") closing IN list")?;
+                    Ok((
+                        Condition::AttributeIn(attrs),
+                        ConditionSpans { full: field_span.to(close), values: value_spans },
+                    ))
+                } else if self.peek() == Some(&Token::Eq) {
+                    self.next();
+                    let (value, value_span) = self.string()?;
+                    Ok((
+                        Condition::AttributeEq(value),
+                        ConditionSpans {
+                            full: field_span.to(value_span),
+                            values: vec![value_span],
+                        },
+                    ))
                 } else {
-                    Err(ParseError("expected = or IN after attribute".into()))
+                    let (span, found) = (self.here(), self.describe());
+                    Err(self.err(span, format!("expected = or IN after attribute, found {found}")))
                 }
             }
             "confidence" => {
-                if self.next() != Some(Token::Ge) {
-                    return Err(ParseError("expected >= after confidence".into()));
+                let (span, found) = (self.here(), self.describe());
+                if self.next().map(|t| t.tok) != Some(Token::Ge) {
+                    return Err(
+                        self.err(span, format!("expected >= after confidence, found {found}"))
+                    );
                 }
-                Ok(Condition::ConfidenceGe(self.number()?))
+                let (bound, bound_span) = self.number()?;
+                Ok((
+                    Condition::ConfidenceGe(bound),
+                    ConditionSpans { full: field_span.to(bound_span), values: vec![bound_span] },
+                ))
             }
             "extractor" => {
-                if self.next() != Some(Token::Eq) {
-                    return Err(ParseError("expected = after extractor".into()));
+                let (span, found) = (self.here(), self.describe());
+                if self.next().map(|t| t.tok) != Some(Token::Eq) {
+                    return Err(
+                        self.err(span, format!("expected = after extractor, found {found}"))
+                    );
                 }
-                Ok(Condition::ExtractorEq(self.string()?))
+                let (value, value_span) = self.string()?;
+                Ok((
+                    Condition::ExtractorEq(value),
+                    ConditionSpans { full: field_span.to(value_span), values: vec![value_span] },
+                ))
             }
-            other => Err(ParseError(format!("unknown condition field {other}"))),
+            other => Err(self.err(
+                field_span,
+                format!(
+                    "unknown condition field {other}; valid fields are {}",
+                    CONDITION_FIELDS.join(", ")
+                ),
+            )),
         }
     }
 }
 
 /// Parse a QDL program.
 pub fn parse(src: &str) -> Result<Pipeline, ParseError> {
-    let tokens = lex(src).map_err(|e| ParseError(format!("{} at byte {}", e.message, e.at)))?;
-    let mut p = Parser { tokens, pos: 0 };
-    let pipeline = p.pipeline()?;
+    parse_spanned(src).map(|(p, _)| p)
+}
+
+/// Parse a QDL program, also returning the byte-span table used by the
+/// static analyzer and diagnostics renderer.
+pub fn parse_spanned(src: &str) -> Result<(Pipeline, ProgramSpans), ParseError> {
+    let tokens = lex_spanned(src).map_err(|e| ParseError {
+        message: e.message.clone(),
+        span: Span::point(e.at),
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser { src, tokens, pos: 0 };
+    let out = p.pipeline()?;
     if p.pos != p.tokens.len() {
-        return Err(ParseError(format!("trailing tokens after program: {:?}", p.peek())));
+        let (span, found) = (p.here(), p.describe());
+        return Err(p.err(span, format!("trailing tokens after program: {found}")));
     }
-    Ok(pipeline)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -218,6 +345,36 @@ STORE INTO cities KEY name
         );
         assert_eq!(p.steps[3], Step::Curate { budget: 50, votes: 3 });
         assert_eq!(p.steps[4], Step::Store { table: "cities".into(), key: vec!["name".into()] });
+    }
+
+    #[test]
+    fn spans_point_at_the_source_text() {
+        let (p, spans) = parse_spanned(PROGRAM).unwrap();
+        assert_eq!(&PROGRAM[spans.name.start..spans.name.end], "city_facts");
+        assert_eq!(&PROGRAM[spans.source.start..spans.source.end], "corpus");
+        assert_eq!(spans.steps.len(), p.steps.len());
+        let StepSpans::Extract { keyword, extractors } = &spans.steps[0] else {
+            panic!("expected extract spans");
+        };
+        assert_eq!(&PROGRAM[keyword.start..keyword.end], "EXTRACT");
+        assert_eq!(&PROGRAM[extractors[1].start..extractors[1].end], "prose-rule");
+        let StepSpans::Where { conditions, .. } = &spans.steps[1] else {
+            panic!("expected where spans");
+        };
+        assert_eq!(
+            &PROGRAM[conditions[0].full.start..conditions[0].full.end],
+            "attribute IN (\"population\", \"state\")"
+        );
+        assert_eq!(
+            &PROGRAM[conditions[0].values[0].start..conditions[0].values[0].end],
+            "\"population\""
+        );
+        assert_eq!(&PROGRAM[conditions[1].values[0].start..conditions[1].values[0].end], "0.6");
+        let StepSpans::Store { table, keys, .. } = &spans.steps[4] else {
+            panic!("expected store spans");
+        };
+        assert_eq!(&PROGRAM[table.start..table.end], "cities");
+        assert_eq!(&PROGRAM[keys[0].start..keys[0].end], "name");
     }
 
     #[test]
@@ -272,8 +429,33 @@ STORE INTO cities KEY name
             ("PIPELINE p FROM corpus EXTRACT infobox )", "expected step"),
         ] {
             let err = parse(src).unwrap_err();
-            assert!(err.0.contains(needle), "{src}: {err}");
+            assert!(err.message.contains(needle), "{src}: {err}");
         }
+    }
+
+    #[test]
+    fn unknown_step_and_condition_errors_list_alternatives() {
+        let err = parse("PIPELINE p FROM corpus FROBNICATE").unwrap_err();
+        for kw in STEP_KEYWORDS {
+            assert!(err.message.contains(kw), "missing {kw} in: {err}");
+        }
+        let err = parse("PIPELINE p FROM corpus WHERE speed >= 1").unwrap_err();
+        for field in CONDITION_FIELDS {
+            assert!(err.message.contains(field), "missing {field} in: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse("PIPELINE p\nFROM corpus\nWHERE speed >= 1").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 7));
+        assert!(err.to_string().starts_with("parse error at 3:7: "), "{err}");
+        let src = "PIPELINE p\nFROM corpus\nWHERE speed >= 1";
+        assert_eq!(&src[err.span.start..err.span.end], "speed");
+        // End-of-input errors point one past the last byte.
+        let err = parse("PIPELINE p FROM corpus RESOLVE").unwrap_err();
+        assert_eq!(err.span, Span::point("PIPELINE p FROM corpus RESOLVE".len()));
+        assert!(err.message.contains("end of input"), "{err}");
     }
 
     proptest! {

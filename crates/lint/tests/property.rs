@@ -1,0 +1,64 @@
+//! Property tests over the whole lint stack: linting is deterministic,
+//! diagnostics come out in their stable order, and because printing a
+//! parsed program is a fixpoint, print → reparse → relint is
+//! byte-identical (spans included).
+
+use proptest::prelude::*;
+use quarry_lang::ast::{Condition, Pipeline, Step};
+use quarry_lang::{parse, ExtractorRegistry};
+use quarry_lint::lint_source;
+
+proptest! {
+    #[test]
+    fn prop_lint_is_deterministic_ordered_and_reprint_stable(
+        name in "[a-z][a-z_]{0,8}",
+        extractors in proptest::collection::vec("[a-z](-?[a-z]){0,5}", 1..4),
+        attrs in proptest::collection::vec("[a-z_]{1,8}", 1..4),
+        conf in 0.0f64..1.0,
+        budget in 0u32..100,
+        votes in 0u32..9,
+        key in "[a-z_]{1,8}",
+    ) {
+        // Random programs are syntactically valid but semantically wild:
+        // most extractors are unregistered (QL001), attributes rarely
+        // producible (QL002), keys rarely projected (QL005) — plenty of
+        // diagnostics to exercise ordering and span stability.
+        let p = Pipeline {
+            name,
+            source: "corpus".into(),
+            steps: vec![
+                Step::Extract { extractors },
+                Step::Where { conditions: vec![
+                    Condition::AttributeIn(attrs),
+                    Condition::ConfidenceGe((conf * 100.0).round() / 100.0),
+                ]},
+                Step::Resolve { key: key.clone() },
+                Step::Curate { budget, votes },
+                Step::Store { table: "t".into(), key: vec![key] },
+            ],
+        };
+        let src = p.to_string();
+        let reg = ExtractorRegistry::standard();
+
+        // Deterministic: two runs render identically.
+        let a = lint_source("p.qdl", &src, &reg, None);
+        let b = lint_source("p.qdl", &src, &reg, None);
+        prop_assert_eq!(a.render(), b.render());
+
+        // Stable order: (span.start, span.end, code), non-decreasing.
+        for w in a.diagnostics.windows(2) {
+            prop_assert!(
+                (w[0].span.start, w[0].span.end, w[0].code)
+                    <= (w[1].span.start, w[1].span.end, w[1].code)
+            );
+        }
+
+        // Printing is a fixpoint, so relinting the reprint is
+        // byte-identical — same spans, same render.
+        let reprinted = parse(&src).unwrap().to_string();
+        prop_assert_eq!(&src, &reprinted);
+        let c = lint_source("p.qdl", &reprinted, &reg, None);
+        prop_assert_eq!(a.render(), c.render());
+        prop_assert_eq!(a.diagnostics, c.diagnostics);
+    }
+}

@@ -6,6 +6,7 @@
 //! example ("find the average March–September temperature in Madison")
 //! needs and keyword search cannot express.
 
+use quarry_exec::diag::LintReport;
 use quarry_storage::{Database, Row, StorageError, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -19,6 +20,10 @@ pub enum QueryError {
     UnknownColumn(String),
     /// Aggregation over a non-numeric column.
     NotNumeric(String),
+    /// The query failed static validation before execution — the report
+    /// carries span-anchored [`crate::lint`] diagnostics over the query's
+    /// SQL-flavored rendering.
+    Invalid(LintReport),
 }
 
 impl fmt::Display for QueryError {
@@ -27,6 +32,12 @@ impl fmt::Display for QueryError {
             QueryError::Storage(e) => write!(f, "storage: {e}"),
             QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             QueryError::NotNumeric(c) => write!(f, "column {c} is not numeric"),
+            QueryError::Invalid(report) => write!(
+                f,
+                "query rejected by static validation ({} error(s)):\n{}",
+                report.error_count(),
+                report.render()
+            ),
         }
     }
 }
@@ -520,8 +531,16 @@ mod tests {
         let db = db();
         let q = Query::scan("ghost");
         assert!(matches!(execute(&db, &q), Err(QueryError::Storage(_))));
+        // Unknown columns are now caught by static validation before the
+        // read transaction even begins.
         let q = Query::scan("cities").filter(vec![Predicate::Eq("ghost".into(), Value::Null)]);
-        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+        match execute(&db, &q) {
+            Err(QueryError::Invalid(report)) => {
+                assert_eq!(report.error_count(), 1);
+                assert_eq!(report.diagnostics[0].code, crate::lint::codes::UNKNOWN_COLUMN);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
         let q = Query::scan("cities").aggregate(None, AggFn::Avg, "name");
         assert!(matches!(execute(&db, &q), Err(QueryError::NotNumeric(_))));
     }
@@ -562,7 +581,7 @@ mod tests {
         assert_eq!(r.rows[0][0], Value::Int(7), "July is warmest");
 
         let q = Query::scan("cities").sort("ghost", false, None);
-        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+        assert!(matches!(execute(&db, &q), Err(QueryError::Invalid(_))));
     }
 
     #[test]

@@ -14,17 +14,21 @@
 //!   user several structured queries", ranked (E8);
 //! - [`forms`] — rendering candidate queries as fillable forms, the
 //!   recognition-not-generation interface of §3.3;
+//! - [`lint`] — static validation of query trees against table schemas
+//!   (QQ001–QQ003), run before execution with span-anchored diagnostics;
 //! - [`session`] — an exploration session that records mode transitions.
 
 pub mod engine;
 pub mod forms;
 pub mod index;
+pub mod lint;
 pub mod planner;
 pub mod session;
 pub mod translate;
 
 pub use engine::{AggFn, Predicate, Query, QueryError, QueryResult};
 pub use index::{InvertedIndex, SearchHit};
+pub use lint::check_query;
 pub use planner::{execute_with, plan, AccessPath, OpTrace, PhysPlan, PlannerConfig};
 pub use session::{Mode, Session};
 pub use translate::{CandidateQuery, Translator};

@@ -219,8 +219,10 @@ impl OpTrace {
 }
 
 /// Lower a query tree to a physical plan. Infallible: planning never
-/// touches data, so errors (unknown tables/columns) surface at execution,
-/// exactly where the unplanned engine raised them.
+/// touches data. Reference errors are caught before this runs by the
+/// [`crate::lint`] validator in [`execute_with`]; anything that slips
+/// through (e.g. a table dropped mid-flight) still surfaces at execution,
+/// exactly where the unplanned engine raised it.
 pub fn plan(db: &Database, q: &Query, cfg: &PlannerConfig) -> PhysPlan {
     match q {
         Query::Scan { table } => PhysPlan::Access {
@@ -380,6 +382,14 @@ pub fn execute_with(
     q: &Query,
     cfg: &PlannerConfig,
 ) -> Result<(QueryResult, OpTrace), QueryError> {
+    // Static validation before any transaction: unknown column references
+    // become one span-anchored report instead of a runtime error deep in
+    // an operator. Unknown *tables* (QQ001) deliberately don't gate —
+    // they stay a `StorageError` so dynamic table probing keeps working.
+    let report = crate::lint::check_query(db, q);
+    if crate::lint::gates_execution(&report) {
+        return Err(QueryError::Invalid(report));
+    }
     let physical = plan(db, q, cfg);
     let tx = db.begin();
     let out = exec_plan(db, tx, &physical);
@@ -724,12 +734,19 @@ mod tests {
     #[test]
     fn filter_above_projection_is_not_pushed_into_access() {
         let db = db_with_index();
-        // `cat` is projected away, so the outer filter must error exactly
-        // like the unplanned engine did.
+        // `cat` is projected away, so the outer filter must still error —
+        // now as a pre-execution diagnostic rather than a runtime
+        // `UnknownColumn` from inside the operator.
         let q = Query::scan("facts")
             .project(&["id"])
             .filter(vec![Predicate::Eq("cat".into(), "c1".into())]);
-        assert!(matches!(execute(&db, &q), Err(QueryError::UnknownColumn(_))));
+        match execute(&db, &q) {
+            Err(QueryError::Invalid(report)) => {
+                assert_eq!(report.error_count(), 1);
+                assert_eq!(report.diagnostics[0].code, crate::lint::codes::UNKNOWN_COLUMN);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

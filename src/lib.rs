@@ -40,11 +40,12 @@ pub use quarry_extract as extract;
 pub use quarry_hi as hi;
 pub use quarry_integrate as integrate;
 pub use quarry_lang as lang;
+pub use quarry_lint as lint;
 pub use quarry_query as query;
 pub use quarry_schema as schema;
 pub use quarry_storage as storage;
 pub use quarry_uncertainty as uncertainty;
 
-pub use quarry_core::{Quarry, QuarryConfig, QuarryError};
-pub use quarry_exec::{ExecPool, ExecReport};
+pub use quarry_core::{CheckStats, Quarry, QuarryConfig, QuarryError};
+pub use quarry_exec::{Diagnostic, ExecPool, ExecReport, LintReport, Severity, Span};
 pub use quarry_extract::{extract_all, Extraction, ExtractorSet};
