@@ -34,6 +34,10 @@ pub struct QuarryConfig {
     pub keyframe_interval: usize,
     /// Path for the structured store's WAL; `None` = in-memory.
     pub wal_path: Option<std::path::PathBuf>,
+    /// Storage backend for the structured store's WAL and checkpoints;
+    /// `None` = the real filesystem. Lets tests interpose a
+    /// fault-injecting backend (see `quarry_storage::faultfs`).
+    pub storage_backend: Option<std::sync::Arc<dyn quarry_storage::StorageBackend>>,
     /// Health-monitor heartbeat timeout in ticks.
     pub heartbeat_timeout: u64,
     /// Worker threads for pipeline execution; `0` = one per CPU.
@@ -43,7 +47,13 @@ pub struct QuarryConfig {
 
 impl Default for QuarryConfig {
     fn default() -> Self {
-        QuarryConfig { keyframe_interval: 16, wal_path: None, heartbeat_timeout: 10, threads: 0 }
+        QuarryConfig {
+            keyframe_interval: 16,
+            wal_path: None,
+            storage_backend: None,
+            heartbeat_timeout: 10,
+            threads: 0,
+        }
     }
 }
 
@@ -70,6 +80,17 @@ impl QuarryConfigBuilder {
     /// Persist the structured store's WAL at `path`.
     pub fn wal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.config.wal_path = Some(path.into());
+        self
+    }
+
+    /// Route the structured store's file I/O through an explicit storage
+    /// backend (fault injection, instrumentation). Only meaningful together
+    /// with [`QuarryConfigBuilder::wal_path`].
+    pub fn storage_backend(
+        mut self,
+        backend: std::sync::Arc<dyn quarry_storage::StorageBackend>,
+    ) -> Self {
+        self.config.storage_backend = Some(backend);
         self
     }
 
@@ -239,9 +260,10 @@ pub struct Quarry {
 impl Quarry {
     /// Bring up a system.
     pub fn new(config: QuarryConfig) -> Result<Quarry, QuarryError> {
-        let db = match &config.wal_path {
-            Some(p) => Database::open(p)?,
-            None => Database::in_memory(),
+        let db = match (&config.wal_path, &config.storage_backend) {
+            (Some(p), Some(backend)) => Database::open_with(std::sync::Arc::clone(backend), p)?,
+            (Some(p), None) => Database::open(p)?,
+            (None, _) => Database::in_memory(),
         };
         let mut health = HealthMonitor::new(config.heartbeat_timeout);
         health.register("ingest", [("docs", 0.0, f64::INFINITY)]);
@@ -277,6 +299,15 @@ impl Quarry {
     /// similarity-cache counters.
     pub fn last_report(&self) -> &ExecReport {
         &self.last_report
+    }
+
+    /// Checkpoint the structured store: publish an atomic snapshot of
+    /// committed state and reset the WAL, bounding recovery time. Requires
+    /// quiescence (no open transactions); a no-op for in-memory databases.
+    /// See `docs/durability.md` for the crash-safety argument.
+    pub fn checkpoint(&self) -> Result<(), QuarryError> {
+        self.db.checkpoint()?;
+        Ok(())
     }
 
     /// Generate a synthetic corpus from a validated configuration and

@@ -32,7 +32,9 @@ pub mod sensor;
 pub mod truth;
 pub mod types;
 
-pub use corruption::{CorruptionConfig, CorruptionKind, CorruptionLog, InjectedError};
+pub use corruption::{
+    apply_log, corrupt_table, CorruptionConfig, CorruptionKind, CorruptionLog, InjectedError,
+};
 pub use crawl::{CrawlConfig, CrawlSimulator, Snapshot};
 pub use generator::{Corpus, CorpusConfig, CorpusError};
 pub use noise::NoiseConfig;

@@ -5,7 +5,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 const SHARDS: usize = 16;
 
@@ -46,12 +46,21 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
+    /// Lock a shard, recovering from poisoning. `compute` runs under this
+    /// lock, so a panicking compute closure poisons its shard — but the
+    /// map is only inserted into *after* compute returns, so a poisoned
+    /// shard is always structurally intact and safe to keep using; one
+    /// bad computation must not disable a sixteenth of the cache.
+    fn lock<'a>(&self, shard: &'a Mutex<Shard<K, V>>) -> MutexGuard<'a, Shard<K, V>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Return the cached value for `key`, computing it with `compute` on
     /// a miss. The lock is held across `compute`, which is fine for the
     /// cheap similarity kernels this cache serves and guarantees each
     /// key is computed once per residency.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        let mut shard = self.shard_for(&key).lock().unwrap();
+        let mut shard = self.lock(self.shard_for(&key));
         shard.clock += 1;
         let now = shard.clock;
         if let Some((value, stamp)) = shard.map.get_mut(&key) {
@@ -75,7 +84,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards.iter().map(|s| self.lock(s).map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -126,6 +135,21 @@ mod tests {
         // slack of the batched eviction.
         assert!(cache.len() <= 16 * 16, "len={}", cache.len());
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn panicking_compute_does_not_poison_the_shard() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(1024);
+        cache.get_or_insert_with(7, || 70);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_insert_with(8, || panic!("bad similarity kernel"))
+        }));
+        assert!(boom.is_err());
+        // The shard that hosted the panicking compute keeps serving: the
+        // old entry survives and the failed key can be computed again.
+        assert_eq!(cache.get_or_insert_with(7, || 0), 70);
+        assert_eq!(cache.get_or_insert_with(8, || 80), 80);
+        assert!(cache.len() >= 2);
     }
 
     #[test]

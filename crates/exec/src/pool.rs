@@ -10,10 +10,19 @@
 use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::report::{ExecReport, StageReport};
+
+/// Lock a work queue, recovering from poisoning. Queue critical sections
+/// only push/pop whole ranges — a panic can never leave a deque
+/// half-updated — so a poisoned flag (set when a panicking stage unwinds
+/// through a worker) carries no corruption and must not cascade into
+/// panics on every later stage that touches the same pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default number of items per batch.
 const DEFAULT_BATCH: usize = 32;
@@ -109,7 +118,7 @@ impl ExecPool {
         let mut lo = 0usize;
         while lo < n {
             let hi = (lo + self.batch_size).min(n);
-            queues[batches % workers].lock().unwrap().push_back(lo..hi);
+            lock(&queues[batches % workers]).push_back(lo..hi);
             batches += 1;
             lo = hi;
         }
@@ -125,11 +134,11 @@ impl ExecPool {
                         loop {
                             // Own work first (front), then steal from a
                             // sibling's opposite end to limit contention.
-                            let mut grabbed = queues[wid].lock().unwrap().pop_front();
+                            let mut grabbed = lock(&queues[wid]).pop_front();
                             if grabbed.is_none() {
                                 for off in 1..workers {
                                     let victim = (wid + off) % workers;
-                                    if let Some(r) = queues[victim].lock().unwrap().pop_back() {
+                                    if let Some(r) = lock(&queues[victim]).pop_back() {
                                         log.stolen += 1;
                                         grabbed = Some(r);
                                         break;
@@ -151,7 +160,24 @@ impl ExecPool {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+            // A panicking closure fails only this stage: re-raise the first
+            // worker's payload on the caller after every thread has joined,
+            // leaving the pool and its queues reusable.
+            let mut first_panic = None;
+            let logs: Vec<WorkerLog<R>> = handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(log) => Some(log),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                        None
+                    }
+                })
+                .collect();
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            logs
         });
 
         let mut stolen = 0usize;
@@ -242,8 +268,18 @@ impl ExecPool {
                     })
                 })
                 .collect();
+            let mut first_panic = None;
             for h in handles {
-                latencies.push(h.join().expect("sort worker panicked"));
+                match h.join() {
+                    Ok(latency) => latencies.push(latency),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            // As in `map`: a panicking comparator fails this sort only.
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
             }
         });
 
@@ -353,6 +389,29 @@ mod tests {
             let got = pool.sort_by("s", items.clone(), |a, b| a.0.cmp(&b.0), &mut report);
             assert_eq!(got, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn panicking_closure_fails_its_stage_and_pool_stays_reusable() {
+        let items: Vec<u64> = (0..500).collect();
+        let pool = ExecPool::new(4).with_batch_size(13);
+        let mut report = ExecReport::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(
+                "boom",
+                &items,
+                |i, x| if i == 137 { panic!("task 137 failed") } else { x * 2 },
+                &mut report,
+            )
+        }));
+        let payload = result.expect_err("the stage must fail");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 137 failed", "caller sees the original panic payload");
+        // One bad task must not take the pool down with it: the next stage
+        // over the same pool runs normally.
+        let mut report = ExecReport::new();
+        let got = pool.map("after", &items, |_, x| x + 1, &mut report);
+        assert_eq!(got, (1..=500).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -7,22 +7,26 @@
 //! threshold; reads are whole-store sequential scans. No indexes, no updates
 //! — by design.
 //!
-//! Frames reuse the WAL layout (`len`,`crc32`,`payload`) so torn tails are
-//! detected on scan.
+//! Frames reuse the WAL layout (`len`,`crc32`,`payload`, checksum over
+//! length + payload — see [`frame_crc`](crate::wal::frame_crc)) so torn and
+//! zero-filled tails are detected on scan. All file I/O goes through a
+//! [`StorageBackend`] so fault-injection tests cover this store too.
 
 use crate::error::StorageError;
-use crate::wal::crc32;
+use crate::faultfs::{BackendFile, RealBackend, StorageBackend};
+use crate::wal::frame_crc;
 use crate::Result;
 use bytes::Bytes;
-use std::fs::{self, File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// An append-only, segmented record store rooted at a directory.
 pub struct FileStore {
     dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
     segment_bytes: u64,
-    current: Option<BufWriter<File>>,
+    current: Option<BufWriter<Box<dyn BackendFile>>>,
     current_len: u64,
     current_id: u64,
     records_written: u64,
@@ -40,11 +44,21 @@ impl FileStore {
 
     /// Open with a custom segment-seal threshold (useful in tests).
     pub fn with_segment_bytes(dir: impl AsRef<Path>, segment_bytes: u64) -> Result<FileStore> {
+        Self::open_with(Arc::new(RealBackend), dir, segment_bytes)
+    }
+
+    /// Open against an explicit storage backend.
+    pub fn open_with(
+        backend: Arc<dyn StorageBackend>,
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+    ) -> Result<FileStore> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let next_id = Self::segment_ids(&dir)?.last().map(|id| id + 1).unwrap_or(0);
+        backend.create_dir_all(&dir)?;
+        let next_id = Self::segment_ids(&*backend, &dir)?.last().map(|id| id + 1).unwrap_or(0);
         Ok(FileStore {
             dir,
+            backend,
             segment_bytes: segment_bytes.max(1),
             current: None,
             current_len: 0,
@@ -57,11 +71,9 @@ impl FileStore {
         dir.join(format!("seg-{id:08}.qfs"))
     }
 
-    fn segment_ids(dir: &Path) -> Result<Vec<u64>> {
+    fn segment_ids(backend: &dyn StorageBackend, dir: &Path) -> Result<Vec<u64>> {
         let mut ids = Vec::new();
-        for entry in fs::read_dir(dir)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
+        for name in backend.list_dir(dir)? {
             if let Some(rest) = name.strip_prefix("seg-").and_then(|n| n.strip_suffix(".qfs")) {
                 if let Ok(id) = rest.parse::<u64>() {
                     ids.push(id);
@@ -79,7 +91,7 @@ impl FileStore {
         }
         let w = self.current.as_mut().expect("rolled above");
         w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        w.write_all(&crc32(payload).to_le_bytes())?;
+        w.write_all(&frame_crc(payload).to_le_bytes())?;
         w.write_all(payload)?;
         self.current_len += 8 + payload.len() as u64;
         self.records_written += 1;
@@ -91,7 +103,7 @@ impl FileStore {
             w.flush()?;
         }
         let path = Self::segment_path(&self.dir, self.current_id);
-        let file = OpenOptions::new().create_new(true).write(true).open(path)?;
+        let file = self.backend.create_new(&path)?;
         self.current = Some(BufWriter::new(file));
         self.current_len = 0;
         self.current_id += 1;
@@ -102,7 +114,7 @@ impl FileStore {
     pub fn sync(&mut self) -> Result<()> {
         if let Some(w) = self.current.as_mut() {
             w.flush()?;
-            w.get_ref().sync_data()?;
+            w.get_mut().sync_data()?;
         }
         Ok(())
     }
@@ -119,13 +131,19 @@ impl FileStore {
         if let Some(w) = self.current.as_mut() {
             w.flush()?;
         }
-        let ids = Self::segment_ids(&self.dir)?;
-        Ok(Scan { dir: self.dir.clone(), ids, next_segment: 0, reader: None })
+        let ids = Self::segment_ids(&*self.backend, &self.dir)?;
+        Ok(Scan {
+            backend: Arc::clone(&self.backend),
+            dir: self.dir.clone(),
+            ids,
+            next_segment: 0,
+            segment: None,
+        })
     }
 
     /// Number of sealed + active segments on disk.
     pub fn segment_count(&self) -> Result<usize> {
-        Ok(Self::segment_ids(&self.dir)?.len())
+        Ok(Self::segment_ids(&*self.backend, &self.dir)?.len())
     }
 }
 
@@ -140,46 +158,59 @@ impl std::fmt::Debug for FileStore {
 
 /// Iterator over all records of a [`FileStore`].
 pub struct Scan {
+    backend: Arc<dyn StorageBackend>,
     dir: PathBuf,
     ids: Vec<u64>,
     next_segment: usize,
-    reader: Option<BufReader<File>>,
+    segment: Option<(Vec<u8>, usize)>,
 }
 
 impl Scan {
     fn next_record(&mut self) -> Result<Option<Bytes>> {
         loop {
-            if self.reader.is_none() {
+            if self.segment.is_none() {
                 let Some(&id) = self.ids.get(self.next_segment) else {
                     return Ok(None);
                 };
                 self.next_segment += 1;
-                let f = File::open(FileStore::segment_path(&self.dir, id))?;
-                self.reader = Some(BufReader::new(f));
+                // Segments seal at a few MiB, so reading one whole keeps the
+                // scan simple and lets any backend serve it.
+                let data = self.backend.read(&FileStore::segment_path(&self.dir, id))?;
+                self.segment = Some((data, 0));
             }
-            let r = self.reader.as_mut().expect("set above");
-            let mut header = [0u8; 8];
-            match r.read_exact(&mut header) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                    self.reader = None; // clean end of segment
-                    continue;
-                }
-                Err(e) => return Err(e.into()),
+            let (data, pos) = self.segment.as_mut().expect("set above");
+            if *pos >= data.len() {
+                self.segment = None; // clean end of segment
+                continue;
             }
-            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
-            let mut payload = vec![0u8; len];
-            if r.read_exact(&mut payload).is_err() {
-                // Torn tail of the final segment: end the scan cleanly.
-                self.reader = None;
+            if *pos + 8 > data.len() {
+                // Torn header at the tail of the final segment.
+                self.segment = None;
                 self.next_segment = self.ids.len();
                 return Ok(None);
             }
-            if crc32(&payload) != crc {
-                return Err(StorageError::Corrupt("filestore record checksum".into()));
-            }
-            return Ok(Some(Bytes::from(payload)));
+            let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[*pos + 4..*pos + 8].try_into().unwrap());
+            let start = *pos + 8;
+            let end = match start.checked_add(len) {
+                Some(e) if e <= data.len() => e,
+                _ => {
+                    // Torn tail of the final segment: end the scan cleanly.
+                    self.segment = None;
+                    self.next_segment = self.ids.len();
+                    return Ok(None);
+                }
+            };
+            let payload = &data[start..end];
+            let record = if frame_crc(payload) == crc {
+                Ok(Some(Bytes::copy_from_slice(payload)))
+            } else {
+                Err(StorageError::Corrupt("filestore record checksum".into()))
+            };
+            // Advance past the frame either way so a corrupt record surfaces
+            // once and the scan can continue (or end) behind it.
+            *pos = end;
+            return record;
         }
     }
 }
@@ -195,6 +226,7 @@ impl Iterator for Scan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("quarry-fs-{name}-{}", std::process::id()));

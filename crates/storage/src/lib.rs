@@ -17,6 +17,7 @@
 
 pub mod delta;
 pub mod error;
+pub mod faultfs;
 pub mod filestore;
 pub mod snapshot;
 pub mod structured;
@@ -24,6 +25,7 @@ pub mod value;
 pub mod wal;
 
 pub use error::StorageError;
+pub use faultfs::{BackendFile, CrashPlan, FaultBackend, Op, RealBackend, StorageBackend};
 pub use filestore::FileStore;
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use structured::{

@@ -9,9 +9,12 @@
 
 use crate::delta::{self, Delta};
 use crate::error::StorageError;
+use crate::faultfs::StorageBackend;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum StoredVersion {
@@ -168,6 +171,41 @@ impl SnapshotStore {
         self.versions.keys().map(String::as_str)
     }
 
+    /// Persist the whole store to `path` atomically: serialize to a sibling
+    /// temp file, fsync it, then rename over the destination. A crash at any
+    /// point leaves either the previous complete image or the new one —
+    /// never a torn file (the rename is the commit point).
+    pub fn save(&self, backend: &dyn StorageBackend, path: &Path) -> Result<()> {
+        let bytes = serde_json::to_vec(self)
+            .map_err(|e| StorageError::Corrupt(format!("snapshot serialize: {e}")))?;
+        let tmp = path.with_extension("snap-tmp");
+        let _ = backend.remove_file(&tmp); // stale temp from an earlier crash
+        let mut f = backend.create_new(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        drop(f);
+        backend.rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a store persisted by [`SnapshotStore::save`]. A missing file is
+    /// an empty store with the given interval (first boot).
+    pub fn load(
+        backend: &dyn StorageBackend,
+        path: &Path,
+        keyframe_interval: usize,
+    ) -> Result<SnapshotStore> {
+        let data = match backend.read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SnapshotStore::new(keyframe_interval));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        serde_json::from_slice(&data)
+            .map_err(|e| StorageError::Corrupt(format!("snapshot deserialize: {e}")))
+    }
+
     /// Space accounting.
     pub fn stats(&self) -> SnapshotStats {
         SnapshotStats {
@@ -267,6 +305,66 @@ mod tests {
     #[should_panic(expected = "keyframe interval")]
     fn zero_interval_rejected() {
         SnapshotStore::new(0);
+    }
+
+    #[test]
+    fn save_load_round_trip_and_missing_file_is_empty() {
+        use crate::faultfs::RealBackend;
+        let dir = std::env::temp_dir().join(format!("quarry-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+        let _ = std::fs::remove_file(&path);
+
+        let empty = SnapshotStore::load(&RealBackend, &path, 8).unwrap();
+        assert_eq!(empty.stats().documents, 0);
+
+        let mut s = SnapshotStore::new(4);
+        for day in 0..6 {
+            s.put("page", &format!("line a\nline b\nday {day}"));
+        }
+        s.save(&RealBackend, &path).unwrap();
+        let loaded = SnapshotStore::load(&RealBackend, &path, 4).unwrap();
+        assert_eq!(loaded.stats(), s.stats());
+        assert_eq!(loaded.get("page", 3).unwrap(), s.get("page", 3).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_save_preserves_previous_image() {
+        use crate::faultfs::{CrashPlan, FaultBackend, RealBackend};
+        let dir = std::env::temp_dir().join(format!("quarry-snapcrash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+        let _ = std::fs::remove_file(&path);
+
+        let mut s = SnapshotStore::new(4);
+        s.put("doc", "version zero");
+        s.save(&RealBackend, &path).unwrap();
+
+        // Crash the second save at every one of its operations; the old
+        // image must survive each time (rename is the commit point).
+        s.put("doc", "version one");
+        let total = {
+            let rec = FaultBackend::recording(RealBackend);
+            s.save(&rec, &path).unwrap();
+            rec.op_count()
+        };
+        // Restore the v0 image for the crash runs.
+        let mut v0 = SnapshotStore::new(4);
+        v0.put("doc", "version zero");
+        v0.save(&RealBackend, &path).unwrap();
+        for k in 1..total {
+            let fb = FaultBackend::with_plan(RealBackend, CrashPlan::kill_at(k));
+            assert!(s.save(&fb, &path).is_err(), "crash point {k} must fail the save");
+            let loaded = SnapshotStore::load(&RealBackend, &path, 4).unwrap();
+            assert_eq!(loaded.latest("doc"), Some("version zero"), "crash point {k}");
+        }
+        // The final op (the rename) completing means the new image is live.
+        let fb = FaultBackend::with_plan(RealBackend, CrashPlan::kill_at(total + 1));
+        s.save(&fb, &path).unwrap();
+        let loaded = SnapshotStore::load(&RealBackend, &path, 4).unwrap();
+        assert_eq!(loaded.latest("doc"), Some("version one"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     proptest! {

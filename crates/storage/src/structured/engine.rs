@@ -8,13 +8,15 @@
 //! expected to `abort()` and retry with a fresh transaction.
 
 use crate::error::StorageError;
+use crate::faultfs::{RealBackend, StorageBackend};
 use crate::value::Value;
 use crate::wal::Wal;
 use crate::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use super::index::SecondaryIndex;
 use super::lock::{LockManager, LockMode, LockTarget};
@@ -185,6 +187,8 @@ pub struct Database {
     tables: Mutex<HashMap<String, Table>>,
     locks: LockManager,
     wal: Mutex<Option<Wal>>,
+    /// Storage backend shared by the WAL and the checkpoint files.
+    backend: Arc<dyn StorageBackend>,
     active: Mutex<HashMap<TxId, TxState>>,
     next_tx: AtomicU64,
     /// Monotone clock stamping every table mutation; see [`Table::version`].
@@ -200,11 +204,22 @@ impl Database {
             tables: Mutex::new(HashMap::new()),
             locks: LockManager::new(),
             wal: Mutex::new(None),
+            backend: Arc::new(RealBackend),
             active: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
             write_clock: AtomicU64::new(0),
             sync_commits: true,
         }
+    }
+
+    /// Path of the durable checkpoint image for a WAL at `path`.
+    fn checkpoint_path(path: &Path) -> PathBuf {
+        path.with_extension("ckpt")
+    }
+
+    /// Path of the in-progress checkpoint build for a WAL at `path`.
+    fn checkpoint_tmp_path(path: &Path) -> PathBuf {
+        path.with_extension("ckpt-tmp")
     }
 
     /// Next write-clock stamp.
@@ -214,13 +229,38 @@ impl Database {
 
     /// Open (or recover) a durable database whose WAL lives at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<Database> {
-        let records = Wal::replay(path.as_ref())?;
+        Self::open_with(Arc::new(RealBackend), path)
+    }
+
+    /// [`Database::open`] against an explicit storage backend.
+    ///
+    /// Recovery order: replay the durable checkpoint image first (if one was
+    /// published by [`Database::checkpoint`]), then the WAL. A crash between
+    /// checkpoint publication (the rename) and the log reset leaves a WAL
+    /// holding history the checkpoint already contains; replaying that
+    /// suffix over the checkpoint state is convergent — every record either
+    /// recreates exactly what the checkpoint holds or re-applies a
+    /// committed change idempotently (see docs/durability.md).
+    pub fn open_with(backend: Arc<dyn StorageBackend>, path: impl AsRef<Path>) -> Result<Database> {
+        let path = path.as_ref();
+        // A stale checkpoint build means we crashed mid-checkpoint, before
+        // the rename: the image is unpublished and must be discarded.
+        let _ = backend.remove_file(&Self::checkpoint_tmp_path(path));
+        let mut records = Wal::replay_with(&*backend, Self::checkpoint_path(path))?;
+        records.extend(Wal::replay_with(&*backend, path)?);
+        let db = Database::open_from_records(&records)?;
+        *db.wal.lock() = Some(Wal::open_with(Arc::clone(&backend), path)?);
+        Ok(Database { backend, ..db })
+    }
+
+    /// Rebuild in-memory state from a checkpoint + WAL record sequence.
+    fn open_from_records(records: &[crate::wal::WalRecord]) -> Result<Database> {
         let db = Database::in_memory();
         // Pass 1: committed set.
         let mut committed = std::collections::HashSet::new();
         let mut max_tx = 0u64;
         let mut decoded = Vec::with_capacity(records.len());
-        for r in &records {
+        for r in records {
             let rec = LogRecord::decode(&r.payload)?;
             if let Some(tx) = rec.tx() {
                 max_tx = max_tx.max(tx);
@@ -270,7 +310,6 @@ impl Database {
             }
         }
         db.next_tx.store(max_tx + 1, Ordering::SeqCst);
-        *db.wal.lock() = Some(Wal::open(path)?);
         Ok(db)
     }
 
@@ -383,11 +422,19 @@ impl Database {
         Ok(())
     }
 
-    /// Checkpoint: rewrite the WAL as a snapshot of current committed
-    /// state, bounding recovery time by live data size instead of history
+    /// Checkpoint: publish a snapshot of current committed state and reset
+    /// the WAL, bounding recovery time by live data size instead of history
     /// length. Requires quiescence (no active transactions) and is a no-op
-    /// for in-memory databases. Crash-safe: the snapshot is built in a side
-    /// file, fsynced, then atomically renamed over the log.
+    /// for in-memory databases.
+    ///
+    /// Crash-safe by construction: the snapshot is built in a `.ckpt-tmp`
+    /// side file, fsynced, then atomically renamed to the durable `.ckpt`
+    /// image — the rename is the commit point — and only then is the log
+    /// truncated. A crash before the rename leaves the previous
+    /// checkpoint + full WAL; a crash between rename and truncation leaves
+    /// the new checkpoint + a WAL whose replay over it is convergent (see
+    /// [`Database::open_with`]). Recovery always replays checkpoint first,
+    /// then WAL.
     pub fn checkpoint(&self) -> Result<()> {
         {
             let active = self.active.lock();
@@ -403,10 +450,11 @@ impl Database {
             return Ok(()); // ephemeral database: nothing to compact
         };
         let path = wal.path().to_path_buf();
-        let tmp = path.with_extension("ckpt");
-        let _ = std::fs::remove_file(&tmp);
+        let ckpt = Self::checkpoint_path(&path);
+        let tmp = Self::checkpoint_tmp_path(&path);
+        let _ = self.backend.remove_file(&tmp); // stale build from an earlier crash
         {
-            let mut snapshot = Wal::open(&tmp)?;
+            let mut snapshot = Wal::open_with(Arc::clone(&self.backend), &tmp)?;
             let tables = self.tables.lock();
             // Reserved tx id 0: allocator starts at 1, so no collision.
             snapshot.append(&LogRecord::Begin { tx: 0 }.encode()?)?;
@@ -432,8 +480,8 @@ impl Database {
             snapshot.append(&LogRecord::Commit { tx: 0 }.encode()?)?;
             snapshot.sync()?;
         }
-        std::fs::rename(&tmp, &path)?;
-        *wal_guard = Some(Wal::open(&path)?);
+        self.backend.rename(&tmp, &ckpt)?; // commit point
+        wal.reset()?;
         Ok(())
     }
 
@@ -1019,6 +1067,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join(format!("{name}-{}.wal", std::process::id()));
         let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(Database::checkpoint_path(&p));
+        let _ = std::fs::remove_file(Database::checkpoint_tmp_path(&p));
         p
     }
 
@@ -1110,6 +1160,60 @@ mod tests {
         assert_eq!(db.index_lookup(tx, "people", "age", &Value::Int(100)).unwrap().len(), 1);
         db.commit(tx).unwrap();
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_survives_crash_at_every_operation() {
+        use crate::faultfs::{CrashPlan, FaultBackend};
+
+        // Reference state: three committed rows, one later update.
+        let build = |db: &Database| {
+            db.create_table(people_schema()).unwrap();
+            for i in 0..3 {
+                db.insert_autocommit("people", person(&format!("p{i}"), i, "x")).unwrap();
+            }
+            let tx = db.begin();
+            db.update(tx, "people", &["p0".into()], person("p0", 100, "y")).unwrap();
+            db.commit(tx).unwrap();
+        };
+        let expected = {
+            let db = Database::in_memory();
+            build(&db);
+            db.scan_autocommit("people").unwrap()
+        };
+
+        // Count the checkpoint's operations with a recording backend.
+        let p = tmpwal("ckpt-crash-rec");
+        let total = {
+            let rec = FaultBackend::recording(RealBackend);
+            let db = Database::open_with(Arc::new(rec.clone()), &p).unwrap();
+            build(&db);
+            let before = rec.op_count();
+            db.checkpoint().unwrap();
+            rec.op_count() - before
+        };
+        assert!(total >= 3, "checkpoint is several ops (build, sync, rename, reset)");
+
+        // Crash the checkpoint at every one of its operations; committed
+        // state must survive every time — including the window between the
+        // rename (publication) and the WAL reset.
+        for k in 1..=total {
+            let p = tmpwal(&format!("ckpt-crash-{k}"));
+            let fb = FaultBackend::recording(RealBackend);
+            let db = Database::open_with(Arc::new(fb.clone()), &p).unwrap();
+            build(&db);
+            let at = fb.op_count() + k;
+            fb.arm(CrashPlan::kill_at(at));
+            assert!(db.checkpoint().is_err(), "crash point {k} must fail the checkpoint");
+            drop(db);
+            let db = Database::open(&p).unwrap();
+            assert_eq!(db.scan_autocommit("people").unwrap(), expected, "crash point {k}");
+            let _ = std::fs::remove_file(&p);
+            let _ = std::fs::remove_file(Database::checkpoint_path(&p));
+            let _ = std::fs::remove_file(Database::checkpoint_tmp_path(&p));
+        }
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(Database::checkpoint_path(&p));
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Checksummed write-ahead log.
 //!
-//! Framing: every record is `[len: u32 LE][crc32: u32 LE][payload]`. Replay
-//! stops at the first frame whose length runs past EOF or whose checksum
-//! fails — the torn tail of a crashed write — and reports how many clean
-//! records preceded it. The structured store layers transaction semantics on
-//! top (see [`crate::structured::recovery`]); this module knows only bytes.
+//! Framing: every record is `[len: u32 LE][crc32: u32 LE][payload]`, where
+//! the checksum covers the *length prefix and the payload* (see
+//! [`frame_crc`]). Covering the length matters: `crc32(b"") == 0`, so a
+//! payload-only checksum would let a zero-filled tail (pre-allocated or
+//! partially-written blocks full of `\0`) replay as an endless run of valid
+//! empty records. Replay stops at the first frame whose length runs past
+//! EOF or whose checksum fails — the torn tail of a crashed write — and
+//! reports how many clean records preceded it. The structured store layers
+//! transaction semantics on top (see [`crate::structured::recovery`]); this
+//! module knows only bytes.
+//!
+//! All file I/O goes through a [`StorageBackend`] (see [`crate::faultfs`]),
+//! so tests can inject deterministic crashes; [`Wal::open`] and
+//! [`Wal::replay`] default to the real filesystem.
 //!
 //! # Durability contract
 //!
@@ -24,35 +33,49 @@
 //! truncates the tail at the last record whose CRC verifies.
 
 use crate::error::StorageError;
+use crate::faultfs::{BackendFile, RealBackend, StorageBackend};
 use crate::Result;
 use bytes::{Bytes, BytesMut};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+fn crc32_feed(mut state: u32, data: &[u8]) -> u32 {
+    let t = crc_table();
+    for &b in data {
+        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
 
 /// CRC-32 (IEEE) implemented from scratch; table built at first use.
 pub fn crc32(data: &[u8]) -> u32 {
-    fn table() -> &'static [u32; 256] {
-        use std::sync::OnceLock;
-        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-        TABLE.get_or_init(|| {
-            let mut t = [0u32; 256];
-            for (i, e) in t.iter_mut().enumerate() {
-                let mut c = i as u32;
-                for _ in 0..8 {
-                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-                }
-                *e = c;
-            }
-            t
-        })
-    }
-    let t = table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
+    !crc32_feed(0xFFFF_FFFF, data)
+}
+
+/// Frame checksum: CRC-32 over the record's 4-byte LE length prefix
+/// followed by the payload. Including the length makes a zero-filled region
+/// fail verification (`crc32` of an empty payload alone is 0, which is
+/// exactly what uninitialized blocks contain).
+pub fn frame_crc(payload: &[u8]) -> u32 {
+    let len = (payload.len() as u32).to_le_bytes();
+    !crc32_feed(crc32_feed(0xFFFF_FFFF, &len), payload)
 }
 
 /// One replayed record.
@@ -67,7 +90,8 @@ pub struct WalRecord {
 /// An append-only log file.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    backend: Arc<dyn StorageBackend>,
+    writer: BufWriter<Box<dyn BackendFile>>,
     offset: u64,
 }
 
@@ -75,20 +99,16 @@ impl Wal {
     /// Open (creating if needed) a log at `path`, positioned for appending
     /// after the last *clean* record. Any torn tail is truncated away.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        Self::open_with(Arc::new(RealBackend), path)
+    }
+
+    /// [`Wal::open`] against an explicit storage backend.
+    pub fn open_with(backend: Arc<dyn StorageBackend>, path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let records = Self::replay(&path)?;
+        let records = Self::replay_with(&*backend, &path)?;
         let clean_end = records.last().map(|r| r.offset + 8 + r.payload.len() as u64).unwrap_or(0);
-        let file = OpenOptions::new()
-            .create(true)
-            .truncate(false) // length is managed explicitly below
-            .read(true)
-            .write(true)
-            .open(&path)?;
-        file.set_len(clean_end)?;
-        let mut writer = BufWriter::new(file);
-        use std::io::Seek;
-        writer.seek(std::io::SeekFrom::End(0))?;
-        Ok(Wal { path, writer, offset: clean_end })
+        let file = backend.open_append(&path, clean_end)?;
+        Ok(Wal { path, backend, writer: BufWriter::new(file), offset: clean_end })
     }
 
     /// Append one record; returns its frame offset. Data is buffered — call
@@ -97,7 +117,7 @@ impl Wal {
         let offset = self.offset;
         let mut frame = BytesMut::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(&frame_crc(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.writer.write_all(&frame)?;
         self.offset += frame.len() as u64;
@@ -107,7 +127,7 @@ impl Wal {
     /// Flush buffered frames and fsync the file.
     pub fn sync(&mut self) -> Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.writer.get_mut().sync_data()?;
         Ok(())
     }
 
@@ -131,14 +151,19 @@ impl Wal {
     /// at the last clean record rather than erroring: that is exactly the
     /// crash-recovery contract.
     pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
-        let mut data = Vec::new();
-        match File::open(path.as_ref()) {
-            Ok(mut f) => {
-                f.read_to_end(&mut data)?;
-            }
+        Self::replay_with(&RealBackend, path)
+    }
+
+    /// [`Wal::replay`] against an explicit storage backend.
+    pub fn replay_with(
+        backend: &dyn StorageBackend,
+        path: impl AsRef<Path>,
+    ) -> Result<Vec<WalRecord>> {
+        let data = match backend.read(path.as_ref()) {
+            Ok(d) => d,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
-        }
+        };
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= data.len() {
@@ -150,7 +175,7 @@ impl Wal {
                 _ => break, // torn length / truncated payload
             };
             let payload = &data[start..end];
-            if crc32(payload) != crc {
+            if frame_crc(payload) != crc {
                 break; // torn or corrupted payload
             }
             records
@@ -163,11 +188,14 @@ impl Wal {
     /// Truncate the log to zero length (e.g. after a checkpoint).
     pub fn reset(&mut self) -> Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().set_len(0)?;
-        use std::io::Seek;
-        self.writer.seek(std::io::SeekFrom::Start(0))?;
+        self.writer.get_mut().truncate(0)?;
         self.offset = 0;
         Ok(())
+    }
+
+    /// The storage backend this log writes through.
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        Arc::clone(&self.backend)
     }
 }
 
@@ -234,7 +262,7 @@ mod tests {
         // Simulate a torn write: append a valid-looking frame header with a
         // bad checksum and half a payload.
         {
-            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
             f.write_all(&10u32.to_le_bytes()).unwrap();
             f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
             f.write_all(b"par").unwrap();
@@ -289,6 +317,113 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(&recs[0].payload[..], b"y");
         std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Table-driven corruption suite: each case mutates a three-record log
+    /// (`alpha`, `beta`, `gamma`) and states exactly which prefix of
+    /// records must survive replay.
+    #[test]
+    fn replay_corruption_table() {
+        struct Case {
+            name: &'static str,
+            // Given the clean log bytes and each frame's start offset,
+            // produce the corrupted bytes.
+            mutate: fn(Vec<u8>, &[usize]) -> Vec<u8>,
+            surviving: &'static [&'static [u8]],
+        }
+        let cases: &[Case] = &[
+            Case {
+                name: "truncated length prefix (2 of 4 length bytes)",
+                mutate: |mut data, frames| {
+                    data.truncate(frames[2] + 2);
+                    data
+                },
+                surviving: &[b"alpha", b"beta"],
+            },
+            Case {
+                name: "truncated payload (header intact, payload cut short)",
+                mutate: |mut data, frames| {
+                    data.truncate(frames[2] + 8 + 2);
+                    data
+                },
+                surviving: &[b"alpha", b"beta"],
+            },
+            Case {
+                name: "bad CRC mid-log stops replay at the damage",
+                mutate: |mut data, frames| {
+                    data[frames[1] + 8] ^= 0xFF;
+                    data
+                },
+                surviving: &[b"alpha"],
+            },
+            Case {
+                name: "valid records after a torn record are NOT recovered",
+                mutate: |mut data, frames| {
+                    // Tear record 1's payload byte without touching record 2:
+                    // replay must not resynchronize past the damage.
+                    data[frames[1] + 8] = data[frames[1] + 8].wrapping_add(1);
+                    assert!(frames[2] < data.len(), "record 2 still present");
+                    data
+                },
+                surviving: &[b"alpha"],
+            },
+            Case {
+                name: "zero-filled tail parses as no records",
+                mutate: |mut data, frames| {
+                    data.truncate(frames[1]);
+                    data.extend_from_slice(&[0u8; 64]);
+                    data
+                },
+                surviving: &[b"alpha"],
+            },
+            Case {
+                name: "entirely zero-filled log parses as empty",
+                mutate: |_, _| vec![0u8; 128],
+                surviving: &[],
+            },
+        ];
+
+        for (i, case) in cases.iter().enumerate() {
+            let p = tmp(&format!("table{i}"));
+            let _ = std::fs::remove_file(&p);
+            let mut frames = Vec::new();
+            {
+                let mut wal = Wal::open(&p).unwrap();
+                for payload in [b"alpha".as_slice(), b"beta", b"gamma"] {
+                    frames.push(wal.append(payload).unwrap() as usize);
+                }
+                wal.sync().unwrap();
+            }
+            let clean = std::fs::read(&p).unwrap();
+            std::fs::write(&p, (case.mutate)(clean, &frames)).unwrap();
+            let recs = Wal::replay(&p).unwrap();
+            let got: Vec<&[u8]> = recs.iter().map(|r| &r.payload[..]).collect();
+            assert_eq!(got, case.surviving, "case: {}", case.name);
+
+            // Re-opening must agree: the log is truncated to the surviving
+            // prefix and stays appendable.
+            let mut wal = Wal::open(&p).unwrap();
+            wal.append(b"appended-after-recovery").unwrap();
+            wal.sync().unwrap();
+            drop(wal);
+            let recs = Wal::replay(&p).unwrap();
+            let got: Vec<&[u8]> = recs.iter().map(|r| &r.payload[..]).collect();
+            let mut want = case.surviving.to_vec();
+            want.push(b"appended-after-recovery");
+            assert_eq!(got, want, "post-recovery append, case: {}", case.name);
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn frame_crc_differs_from_payload_crc_and_detects_zero_frames() {
+        // A zero-length payload must NOT checksum to zero under frame_crc —
+        // that is precisely what makes zero-filled tails detectable.
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(frame_crc(b""), 0);
+        // And the length prefix is covered: same payload, different frame
+        // CRC than raw payload CRC.
+        assert_ne!(frame_crc(b"abc"), crc32(b"abc"));
     }
 
     proptest! {
