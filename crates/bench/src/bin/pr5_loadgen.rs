@@ -1,0 +1,292 @@
+//! PR5 — serving-layer load generator: closed-loop throughput and tail
+//! latency over the wire, plus a deliberately capped run that measures
+//! admission-control rejections.
+//!
+//! N client threads each drive M requests back-to-back (closed loop)
+//! against an in-process `quarry_serve::Server` over loopback TCP; the
+//! request mix cycles structured queries (exercising the result cache)
+//! with keyword searches. Latency is measured client-side per request and
+//! reported as p50/p95/p99 alongside aggregate throughput for 1, 2, 4,
+//! and 8 client threads. A second phase reruns with `max_in_flight = 1`
+//! and concurrent pipeline requests, counting the explicit `Overloaded`
+//! rejections that bounded admission produces instead of queueing.
+//!
+//! Writes `BENCH_pr5.json`. `--check` runs a fast small-size variant for
+//! CI smoke testing; both modes assert that every non-rejected request
+//! succeeded and that the capped phase saw at least one rejection.
+
+use quarry_bench::{banner, f3, Table};
+use quarry_core::{Quarry, QuarryConfig};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_query::engine::{AggFn, Predicate, Query};
+use quarry_serve::{Client, ClientError, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const PIPELINE: &str = r#"
+PIPELINE cities FROM corpus
+EXTRACT infobox, rules
+WHERE attribute IN ("name", "state", "population", "founded")
+RESOLVE BY name
+STORE INTO cities KEY name
+"#;
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::scan("cities").aggregate(None, AggFn::Count, "name"),
+        Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .project(&["name", "population"]),
+        Query::scan("cities").sort("population", true, Some(10)).project(&["name"]),
+        Query::scan("cities").aggregate(Some("state"), AggFn::Max, "population"),
+    ]
+}
+
+/// `q`-th percentile (nearest-rank on the sorted sample), in µs.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct LoopPoint {
+    threads: usize,
+    requests: usize,
+    ok: usize,
+    overloaded: usize,
+    wall_ms: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Closed loop: `threads` clients each fire `per_thread` requests
+/// back-to-back; the next request leaves only when the previous reply
+/// lands. Per-request latency is wall time around one call.
+fn closed_loop(addr: SocketAddr, threads: usize, per_thread: usize) -> LoopPoint {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let qs = queries();
+            let mut c = Client::connect_with(addr, Duration::from_secs(60)).unwrap();
+            let mut lat = Vec::with_capacity(per_thread);
+            let mut overloaded = 0usize;
+            barrier.wait();
+            for i in 0..per_thread {
+                let start = Instant::now();
+                // Mix: four structured queries, every fifth a keyword hit.
+                let outcome = if i % 5 == 4 {
+                    c.keyword("population Madison", 5).map(|_| ())
+                } else {
+                    c.query(&qs[(t + i) % qs.len()]).map(|_| ())
+                };
+                match outcome {
+                    Ok(()) => lat.push(start.elapsed().as_micros() as u64),
+                    Err(ClientError::Overloaded) => overloaded += 1,
+                    Err(e) => panic!("loadgen request failed: {e}"),
+                }
+            }
+            (lat, overloaded)
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut all = Vec::with_capacity(threads * per_thread);
+    let mut overloaded = 0;
+    for h in handles {
+        let (lat, over) = h.join().unwrap();
+        all.extend(lat);
+        overloaded += over;
+    }
+    let wall = start.elapsed();
+    all.sort_unstable();
+    let requests = threads * per_thread;
+    LoopPoint {
+        threads,
+        requests,
+        ok: all.len(),
+        overloaded,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: all.len() as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&all, 0.50),
+        p95_us: percentile(&all, 0.95),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+/// Capped phase: `max_in_flight = 1` while `threads` clients fire
+/// millisecond-scale pipeline requests concurrently, so admission
+/// control must reject overlapping work explicitly.
+fn overload_phase(addr: SocketAddr, threads: usize, per_thread: usize) -> (usize, usize) {
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect_with(addr, Duration::from_secs(60)).unwrap();
+            let mut ok = 0usize;
+            let mut overloaded = 0usize;
+            barrier.wait();
+            for _ in 0..per_thread {
+                match c.qdl(PIPELINE) {
+                    Ok(_) => ok += 1,
+                    Err(ClientError::Overloaded) => overloaded += 1,
+                    Err(e) => panic!("overload phase request failed: {e}"),
+                }
+            }
+            (ok, overloaded)
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold((0, 0), |(a, b), (ok, over)| (a + ok, b + over))
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    per_thread: usize,
+    points: &[LoopPoint],
+    overload: (usize, usize, usize, usize),
+    server_requests: u64,
+    server_protocol_errors: u64,
+) {
+    let loop_items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"requests\": {}, \"ok\": {}, \"overloaded\": {}, \
+                 \"wall_ms\": {:.2}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \
+                 \"p95_us\": {}, \"p99_us\": {}}}",
+                p.threads,
+                p.requests,
+                p.ok,
+                p.overloaded,
+                p.wall_ms,
+                p.rps,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us
+            )
+        })
+        .collect();
+    let (o_threads, o_requests, o_ok, o_rejected) = overload;
+    let json = format!(
+        "{{\n  \"experiment\": \"pr5_loadgen\",\n  \"mode\": \"{mode}\",\n  \
+         \"requests_per_thread\": {per_thread},\n  \"closed_loop\": [\n{}\n  ],\n  \
+         \"overload\": {{\"max_in_flight\": 1, \"threads\": {o_threads}, \
+         \"requests\": {o_requests}, \"ok\": {o_ok}, \"rejected_overloaded\": {o_rejected}}},\n  \
+         \"server\": {{\"requests\": {server_requests}, \
+         \"protocol_errors\": {server_protocol_errors}}}\n}}\n",
+        loop_items.join(",\n"),
+    );
+    std::fs::write(path, json).unwrap();
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    banner(
+        "PR5",
+        "a bounded-admission TCP server keeps tail latency stable as client \
+         concurrency grows, and under a deliberate in-flight cap it rejects \
+         overload explicitly instead of queueing",
+    );
+
+    let (corpus_cfg, thread_counts, per_thread, overload_threads, overload_per_thread): (
+        CorpusConfig,
+        &[usize],
+        usize,
+        usize,
+        usize,
+    ) = if check {
+        (CorpusConfig::tiny(7), &[1, 2], 25, 4, 6)
+    } else {
+        (CorpusConfig::default(), &[1, 2, 4, 8], 200, 8, 12)
+    };
+
+    // Seed the system: ingest the corpus and materialize the cities table
+    // once, so the serving phases measure query traffic, not first-run
+    // extraction.
+    let corpus = Corpus::generate(&corpus_cfg);
+    let mut quarry = Quarry::new(QuarryConfig::default()).unwrap();
+    quarry.ingest(corpus.docs.clone());
+    let stats = quarry.run_pipeline(PIPELINE).unwrap();
+    println!("corpus: {} docs -> {} rows in cities\n", corpus.docs.len(), stats.rows_stored);
+
+    // Phase 1: closed-loop throughput/latency at growing client counts.
+    let server = Server::start(
+        quarry,
+        "127.0.0.1:0",
+        ServeConfig { workers: 16, max_in_flight: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let points: Vec<LoopPoint> =
+        thread_counts.iter().map(|&n| closed_loop(addr, n, per_thread)).collect();
+
+    let mut t = Table::new(&["threads", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "rejected"]);
+    for p in &points {
+        t.row(&[
+            p.threads.to_string(),
+            format!("{:.0}", p.rps),
+            f3(p.p50_us as f64 / 1e3),
+            f3(p.p95_us as f64 / 1e3),
+            f3(p.p99_us as f64 / 1e3),
+            p.overloaded.to_string(),
+        ]);
+    }
+    t.print();
+    for p in &points {
+        assert_eq!(p.ok + p.overloaded, p.requests, "lost requests at {} threads", p.threads);
+        assert!(p.p50_us > 0, "zero-latency measurement at {} threads", p.threads);
+    }
+
+    let mut ctl = Client::connect(addr).unwrap();
+    ctl.shutdown().unwrap();
+    let quarry = server.join();
+
+    // Phase 2: cap admission at one in-flight request and hammer it with
+    // concurrent pipelines; bounded admission must shed load explicitly.
+    let server = Server::start(
+        quarry,
+        "127.0.0.1:0",
+        ServeConfig { workers: 16, max_in_flight: 1, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let (ok, rejected) = overload_phase(addr, overload_threads, overload_per_thread);
+    let overload_requests = overload_threads * overload_per_thread;
+    println!(
+        "\noverload (max_in_flight=1, {overload_threads} threads): \
+         {ok} served, {rejected} rejected Overloaded"
+    );
+    assert_eq!(ok + rejected, overload_requests, "lost requests in overload phase");
+    assert!(rejected >= 1, "capped admission produced no Overloaded rejections");
+    assert!(ok >= 1, "capped admission served nothing at all");
+
+    let mut ctl = Client::connect(addr).unwrap();
+    let snap = ctl.stats().unwrap();
+    let server_requests = snap.counter("server.requests");
+    let server_protocol_errors = snap.counter("server.protocol_errors");
+    assert_eq!(server_protocol_errors, 0, "well-formed traffic raised protocol errors");
+    ctl.shutdown().unwrap();
+    drop(server.join());
+
+    write_json(
+        "BENCH_pr5.json",
+        if check { "check" } else { "full" },
+        per_thread,
+        &points,
+        (overload_threads, overload_requests, ok, rejected),
+        server_requests,
+        server_protocol_errors,
+    );
+}

@@ -74,25 +74,22 @@ impl QueryCache {
     /// Look up `fingerprint` given the tables' *current* write versions.
     /// A version mismatch drops the entry and reports a miss.
     pub fn get(&mut self, fingerprint: &str, versions: &[(String, u64)]) -> Option<QueryResult> {
-        match self.map.get(fingerprint) {
+        let stale = match self.map.get_mut(fingerprint) {
             Some(e) if e.versions == versions => {
                 self.hits += 1;
-                let result = e.result.clone();
                 self.clock += 1;
-                self.map.get_mut(fingerprint).expect("present").stamp = self.clock;
-                Some(result)
+                e.stamp = self.clock;
+                return Some(e.result.clone());
             }
-            Some(_) => {
-                self.map.remove(fingerprint);
-                self.invalidations += 1;
-                self.misses += 1;
-                None
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            self.map.remove(fingerprint);
+            self.invalidations += 1;
         }
+        self.misses += 1;
+        None
     }
 
     /// Store a result under `fingerprint` with the version snapshot taken
@@ -165,6 +162,20 @@ mod tests {
         assert!(c.get("b", &vs(1)).is_none(), "b evicted");
         assert!(c.get("a", &vs(1)).is_some());
         assert!(c.get("c", &vs(1)).is_some());
+    }
+
+    #[test]
+    fn repeated_hits_refresh_recency_and_keep_the_entry() {
+        // Regression for the hit path: recency is stamped on the same
+        // `get_mut` borrow that served the result (there used to be a
+        // second lookup here that asserted the key was still present).
+        let mut c = QueryCache::new(2);
+        c.put("a".into(), vs(1), result(1));
+        for _ in 0..100 {
+            assert_eq!(c.get("a", &vs(1)), Some(result(1)));
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (100, 0, 1));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::users::UserDirectory;
 use quarry_corpus::{Corpus, CorpusConfig, CorpusError, DocId, Document};
 use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
 use quarry_exec::diag::Severity;
-use quarry_exec::{ExecPool, ExecReport, LintReport};
+use quarry_exec::{ExecPool, ExecReport, LintReport, MetricsRegistry, MetricsSnapshot};
 use quarry_extract::Extraction;
 use quarry_hi::Crowd;
 use quarry_integrate::IntegrateError;
@@ -252,6 +252,7 @@ pub struct Quarry {
     truth: Option<TruthOracle>,
     pool: ExecPool,
     last_report: ExecReport,
+    metrics: MetricsRegistry,
     check_stats: CheckStats,
     day: usize,
     tick: u64,
@@ -288,6 +289,7 @@ impl Quarry {
             truth: None,
             pool: ExecPool::new(config.threads),
             last_report: ExecReport::new(),
+            metrics: MetricsRegistry::new(),
             check_stats: CheckStats::default(),
             day: 0,
             tick: 0,
@@ -352,6 +354,17 @@ impl Quarry {
     /// executor's structured [`ExecError::UnknownExtractor`]) reject it as
     /// [`QuarryError::Lint`] before any document is read.
     pub fn run_pipeline(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
+        let start = std::time::Instant::now();
+        let result = self.run_pipeline_inner(src);
+        self.metrics.observe("facade.pipeline_us", start.elapsed());
+        self.metrics.incr("facade.pipeline_runs", 1);
+        if result.is_err() {
+            self.metrics.incr("facade.pipeline_errors", 1);
+        }
+        result
+    }
+
+    fn run_pipeline_inner(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
         self.tick += 1;
         let pipeline = parse(src)?;
         let report = self.check_program(src);
@@ -495,6 +508,14 @@ impl Quarry {
 
     /// Keyword search: document hits plus suggested structured queries.
     pub fn keyword(&mut self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
+        let start = std::time::Instant::now();
+        let out = self.keyword_inner(query, k);
+        self.metrics.observe("facade.keyword_us", start.elapsed());
+        self.metrics.incr("facade.keyword_searches", 1);
+        out
+    }
+
+    fn keyword_inner(&mut self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
         self.ensure_index();
         self.ensure_translator();
         let hits = self.index.as_ref().expect("built").search(query, k);
@@ -519,6 +540,17 @@ impl Quarry {
     /// to a referenced table bumps that table's version and forces
     /// re-execution on the next lookup.
     pub fn structured(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
+        let start = std::time::Instant::now();
+        let result = self.structured_inner(q);
+        self.metrics.observe("facade.query_us", start.elapsed());
+        self.metrics.incr("facade.queries", 1);
+        if result.is_err() {
+            self.metrics.incr("facade.query_errors", 1);
+        }
+        result
+    }
+
+    fn structured_inner(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
         let fingerprint = q.fingerprint();
         let versions = self.table_versions(q);
         if let Some(vs) = &versions {
@@ -567,6 +599,42 @@ impl Quarry {
     /// Hit/miss/invalidation counters of the structured-query result cache.
     pub fn query_cache_stats(&self) -> QueryCacheStats {
         self.qcache.stats()
+    }
+
+    /// A handle to the façade's shared metrics registry. Clones record
+    /// into the same counters and histograms, so other layers (the network
+    /// server, background workers) can contribute observations that
+    /// [`Quarry::metrics`] will report.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.metrics.clone()
+    }
+
+    /// One unified observability snapshot: the live metrics registry
+    /// (request latency histograms, façade counters, anything other layers
+    /// recorded through [`Quarry::metrics_registry`]) merged with the
+    /// previously separate views — [`Quarry::check_stats`] (`check.*`),
+    /// [`Quarry::query_cache_stats`] (`qcache.*`), and the last pipeline
+    /// run's [`ExecReport`] counters and operator timings (`exec.*`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let cs = self.check_stats;
+        snap.counters.insert("check.checks".into(), cs.checks);
+        snap.counters.insert("check.errors".into(), cs.errors);
+        snap.counters.insert("check.warnings".into(), cs.warnings);
+        snap.counters.insert("check.total_micros".into(), cs.total_check_micros);
+        let qc = self.qcache.stats();
+        snap.counters.insert("qcache.hits".into(), qc.hits);
+        snap.counters.insert("qcache.misses".into(), qc.misses);
+        snap.counters.insert("qcache.invalidations".into(), qc.invalidations);
+        snap.counters.insert("qcache.entries".into(), qc.entries as u64);
+        for (name, n) in &self.last_report.counters {
+            snap.counters.insert(format!("exec.{name}"), *n);
+        }
+        for (name, op) in &self.last_report.operators {
+            snap.counters.insert(format!("exec.op.{name}.invocations"), op.invocations as u64);
+            snap.counters.insert(format!("exec.op.{name}.micros"), op.elapsed.as_micros() as u64);
+        }
+        snap
     }
 
     /// Audit a stored table with the semantic debugger: constraints are
@@ -1041,6 +1109,38 @@ STORE INTO companies KEY name"#,
             .filter(vec![quarry_query::Predicate::Eq("state".into(), "Wisconsin".into())]);
         let plan_text = q.explain_query(&probe).unwrap();
         assert!(plan_text.contains("index eq(state"), "{plan_text}");
+    }
+
+    #[test]
+    fn metrics_unify_facade_instrumentation_views() {
+        let (mut q, _) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let query =
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
+        q.structured(&query).unwrap();
+        q.structured(&query).unwrap(); // cache hit
+        q.keyword("population", 3);
+        assert!(q.structured(&Query::scan("ghost")).is_err());
+
+        let snap = q.metrics();
+        // Façade request counters and latency histograms.
+        assert_eq!(snap.counter("facade.pipeline_runs"), 1);
+        assert_eq!(snap.counter("facade.queries"), 3);
+        assert_eq!(snap.counter("facade.query_errors"), 1);
+        assert_eq!(snap.counter("facade.keyword_searches"), 1);
+        assert_eq!(snap.histogram("facade.query_us").unwrap().count, 3);
+        assert_eq!(snap.histogram("facade.pipeline_us").unwrap().count, 1);
+        // Unified views: check gate, query cache, last ExecReport.
+        assert_eq!(snap.counter("check.checks"), 1, "pipeline gate counted");
+        assert_eq!(snap.counter("qcache.hits"), q.query_cache_stats().hits);
+        assert!(
+            snap.counters.keys().any(|k| k.starts_with("exec.op.")),
+            "last pipeline report operators present: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
+        // External layers record through a cloned handle.
+        q.metrics_registry().incr("server.requests", 2);
+        assert_eq!(q.metrics().counter("server.requests"), 2);
     }
 
     #[test]

@@ -24,11 +24,13 @@
 pub mod cache;
 pub mod diag;
 pub mod explain;
+pub mod metrics;
 pub mod pool;
 pub mod report;
 
 pub use cache::MemoCache;
 pub use diag::{closest, line_col_of, Diagnostic, LintReport, Severity, SourceMap, Span};
 pub use explain::PlanNode;
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use pool::ExecPool;
 pub use report::{ExecReport, OpStats, StageReport};

@@ -231,8 +231,16 @@ impl Executor {
                                 stats.cache_hits += 1;
                                 stream.extend(cached.iter().cloned());
                             } else {
-                                let (exts, took) =
-                                    fresh.next().expect("one result per uncached doc");
+                                // The walk can only miss on documents the
+                                // pre-loop filter also missed (the cache
+                                // only grows), so `fresh` cannot run dry;
+                                // a typed error keeps a broken invariant
+                                // from panicking a server worker.
+                                let (exts, took) = fresh.next().ok_or_else(|| {
+                                    ExecError::InvalidPlan(format!(
+                                        "extractor {name}: fewer pooled results than uncached documents"
+                                    ))
+                                })?;
                                 ctx.report.record_operator(name, took);
                                 stats.extractor_runs += 1;
                                 stats.cost_units += reg.cost;
@@ -474,8 +482,13 @@ fn store_entities(
     attrs.sort();
     attrs.dedup();
 
+    // A keyless STORE is a malformed plan, not a panic: reject it before
+    // the first-key lookup below can index out of bounds.
+    let Some(first_key) = key_cols.first() else {
+        return Err(ExecError::InvalidPlan("STORE requires at least one KEY column".into()));
+    };
     let value_of = |e: &DocRecord, col: &str| -> Value {
-        if col == key_attr || col == key_cols[0] {
+        if col == key_attr || col == first_key {
             return Value::Text(e.key.clone());
         }
         e.fields.get(col).map(|(v, _)| v.clone()).unwrap_or(Value::Null)
@@ -577,6 +590,36 @@ STORE INTO cities KEY name"#,
         let ni = schema.column_index("name").unwrap();
         let names: Vec<String> = rows.iter().map(|r| r[ni].to_string()).collect();
         assert!(c.truth.cities.iter().any(|cf| names.contains(&cf.name)));
+    }
+
+    #[test]
+    fn keyless_store_is_a_typed_error_not_a_panic() {
+        let db = Database::in_memory();
+        match store_entities(&db, "t", &[], "name", &[]) {
+            Err(ExecError::InvalidPlan(msg)) => assert!(msg.contains("KEY"), "{msg}"),
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_document_ids_do_not_break_the_extract_splice() {
+        // Two documents with the same id: the pre-loop uncached filter
+        // counts both, but the walk consumes only one pooled result (the
+        // second occurrence hits the cache the first one populated). The
+        // splice must neither panic nor run the iterator dry.
+        let c = corpus();
+        let mut docs = c.docs.clone();
+        docs.push(docs[0].clone());
+        let db = Database::in_memory();
+        let reg = ExtractorRegistry::standard();
+        let plan = LogicalPlan::from_pipeline(
+            &parse("PIPELINE p FROM corpus EXTRACT infobox RESOLVE BY name STORE INTO t KEY name")
+                .unwrap(),
+        );
+        let plan = optimize(&plan, &reg);
+        let mut ctx = ExecContext::new(&docs, &reg, &db);
+        let stats = Executor::run(&plan, &mut ctx).unwrap();
+        assert!(stats.cache_hits >= 1, "duplicate id must be served from cache: {stats:?}");
     }
 
     #[test]

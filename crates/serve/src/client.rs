@@ -1,0 +1,229 @@
+//! A small blocking client for the Quarry wire protocol.
+//!
+//! [`Client::request`] sends one frame and waits for the matching reply.
+//! If the connection died since the last exchange (server restart, idle
+//! drop), the client transparently reconnects **once** and resends —
+//! safe here because every protocol request is either read-only or
+//! idempotent (QDL pipelines re-run to the same stored rows). Rejections
+//! ([`Payload::Overloaded`], [`Payload::ShuttingDown`]) are *not*
+//! retried: they are the server's explicit back-off signal, surfaced to
+//! the caller as typed errors.
+
+use crate::protocol::{
+    read_response, write_request, ErrorKind, FrameError, Payload, Request, Response, WireCandidate,
+    WireExecStats, WireHit, DEFAULT_MAX_FRAME,
+};
+use quarry_exec::MetricsSnapshot;
+use quarry_query::engine::Query;
+use quarry_storage::Value;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Any failure a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure (after the one reconnect attempt).
+    Io(io::Error),
+    /// The reply frame was malformed.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Server {
+        /// Which subsystem failed.
+        kind: ErrorKind,
+        /// The server's rendered error message.
+        message: String,
+    },
+    /// Rejected by admission control; back off and retry.
+    Overloaded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The reply did not match the request (wrong id or payload shape).
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+            ClientError::Overloaded => write!(f, "server overloaded"),
+            ClientError::ShuttingDown => write!(f, "server shutting down"),
+            ClientError::Unexpected(m) => write!(f, "unexpected reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a Quarry server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    next_id: u64,
+    read_timeout: Duration,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect with a 30-second reply timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit reply timeout.
+    pub fn connect_with(addr: impl ToSocketAddrs, read_timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = Client::open(addr, read_timeout)?;
+        Ok(Client { addr, stream, next_id: 1, read_timeout, max_frame: DEFAULT_MAX_FRAME })
+    }
+
+    fn open(addr: SocketAddr, read_timeout: Duration) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// True when the transport error indicates a dead connection worth
+    /// one reconnect (as opposed to a timeout or a protocol violation).
+    fn is_disconnect(e: &ClientError) -> bool {
+        match e {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::NotConnected
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            ClientError::Frame(FrameError::Closed | FrameError::Truncated) => true,
+            ClientError::Frame(FrameError::Io(e)) => {
+                !matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+            }
+            _ => false,
+        }
+    }
+
+    fn exchange(&mut self, id: u64, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.stream, id, req)?;
+        read_response(&mut self.stream, self.max_frame).map_err(ClientError::Frame)
+    }
+
+    /// Send `req` and wait for its reply, reconnecting once if the
+    /// connection has died since the last exchange.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let resp = match self.exchange(id, req) {
+            Ok(resp) => resp,
+            Err(e) if Client::is_disconnect(&e) => {
+                self.stream = Client::open(self.addr, self.read_timeout)?;
+                self.exchange(id, req)?
+            }
+            Err(e) => return Err(e),
+        };
+        // A protocol-error reply carries id 0 (the server could not
+        // trust the request id); accept it so the cause surfaces.
+        if resp.id != id && resp.id != 0 {
+            return Err(ClientError::Unexpected(format!(
+                "response id {} for request {id}",
+                resp.id
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Send `req` and map rejection payloads onto typed errors, handing
+    /// back everything else.
+    fn call(&mut self, req: &Request) -> Result<Payload, ClientError> {
+        match self.request(req)?.payload {
+            Payload::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            Payload::Overloaded => Err(ClientError::Overloaded),
+            Payload::ShuttingDown => Err(ClientError::ShuttingDown),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Payload::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run a structured query; returns `(columns, rows)`.
+    pub fn query(&mut self, q: &Query) -> Result<(Vec<String>, Vec<Vec<Value>>), ClientError> {
+        match self.call(&Request::Query(q.clone()))? {
+            Payload::Rows { columns, rows } => Ok((columns, rows)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run a QDL program on the server.
+    pub fn qdl(&mut self, src: &str) -> Result<WireExecStats, ClientError> {
+        match self.call(&Request::Qdl(src.to_string()))? {
+            Payload::PipelineStats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Keyword search; returns ranked hits and suggested queries.
+    pub fn keyword(
+        &mut self,
+        query: &str,
+        k: usize,
+    ) -> Result<(Vec<WireHit>, Vec<WireCandidate>), ClientError> {
+        match self.call(&Request::KeywordSearch { query: query.to_string(), k })? {
+            Payload::Hits { hits, candidates } => Ok((hits, candidates)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Explain a structured query's physical plan.
+    pub fn explain(&mut self, q: &Query) -> Result<String, ClientError> {
+        match self.call(&Request::Explain(q.clone()))? {
+            Payload::Plan(plan) => Ok(plan),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Checkpoint the server's structured store.
+    pub fn checkpoint(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Checkpoint)? {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the server's unified metrics snapshot.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Payload::Metrics(snap) => Ok(snap),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

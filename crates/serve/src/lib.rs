@@ -1,0 +1,28 @@
+//! `quarry-serve`: the network front door for a Quarry system.
+//!
+//! The source paper frames its blueprint as a shared *service* over
+//! extracted structure — queries, keyword search, and feedback all
+//! arrive from many concurrent users. This crate puts the
+//! [`Quarry`](quarry_core::Quarry) façade behind a TCP socket using only
+//! `std::net` (no async runtime, matching the std-only pattern of
+//! `quarry_exec`):
+//!
+//! - [`protocol`] — length-prefixed binary frames with CRC torn-frame
+//!   detection carrying JSON requests/responses (byte layout documented
+//!   in `docs/serving.md`).
+//! - [`server`] — accept loop, bounded worker set, per-connection
+//!   sessions with timeouts and frame-size limits, admission control
+//!   with explicit `Overloaded` rejections, and graceful drain-then-stop
+//!   shutdown driven by a control frame.
+//! - [`client`] — a blocking client with reconnect-on-broken-pipe, used
+//!   by the tests and the `pr5_loadgen` bench.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    ErrorKind, FrameError, Payload, Request, Response, WireCandidate, WireExecStats, WireHit,
+};
+pub use server::{RequestHook, ServeConfig, Server};

@@ -1,0 +1,390 @@
+//! The serving loop: accept → bounded worker set → per-connection
+//! sessions over the [`Quarry`](quarry_core::Quarry) façade.
+//!
+//! ## Concurrency model
+//!
+//! One accept thread hands sockets to a bounded set of worker threads
+//! (sized from [`ExecPool`]'s thread heuristic unless configured); each
+//! worker owns one connection at a time and runs its session to
+//! completion. Request *execution* is serialized through a mutex over the
+//! façade — the Quarry API requires `&mut self` even for reads — which
+//! makes concurrent client streams observe exactly the semantics of some
+//! serial interleaving, and gives `Checkpoint` the quiescence it needs
+//! for free.
+//!
+//! ## Admission control
+//!
+//! A request is admitted only while fewer than `max_in_flight` requests
+//! are between admission and reply. Beyond that the server answers
+//! [`Payload::Overloaded`] immediately instead of queueing unboundedly:
+//! under overload clients get a fast, explicit signal to back off, and
+//! latency of admitted work stays bounded — graceful degradation rather
+//! than collapse.
+//!
+//! ## Shutdown
+//!
+//! A [`Request::Shutdown`] control frame (no signal handling) flips an
+//! atomic flag and wakes the accept loop with a loop-back connection.
+//! In-flight requests drain: each is answered before its session closes,
+//! idle sessions notice the flag at their next read-timeout wakeup, and
+//! [`Server::join`] returns the façade only after every thread has
+//! exited — so a post-shutdown caller holds the exact state the last
+//! drained request produced.
+
+use crate::protocol::{
+    read_frame, write_response, ErrorKind, FrameError, Payload, Request, Response, WireCandidate,
+    WireHit, DEFAULT_MAX_FRAME,
+};
+use quarry_core::{Quarry, QuarryError};
+use quarry_exec::{ExecPool, MetricsRegistry};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A hook invoked for each admitted request before it executes.
+pub type RequestHook = Arc<dyn Fn(&Request) + Send + Sync>;
+
+/// Server tuning knobs. `Default` suits tests and local serving.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections; `0` sizes from
+    /// [`ExecPool`]'s per-CPU heuristic (at least 4, so a small host
+    /// still serves several sessions concurrently).
+    pub workers: usize,
+    /// Requests allowed between admission and reply before new ones are
+    /// answered [`Payload::Overloaded`].
+    pub max_in_flight: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: usize,
+    /// Session read timeout. Timeouts do not close idle connections —
+    /// they are wakeups where the session checks the shutdown flag.
+    pub read_timeout: Duration,
+    /// Session write timeout; a session that cannot flush a reply within
+    /// it drops the connection.
+    pub write_timeout: Duration,
+    /// Test hook invoked after a request is admitted and before it
+    /// executes; lets tests hold a request in flight deterministically.
+    pub request_hook: Option<RequestHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            max_in_flight: 8,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
+            request_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("max_frame", &self.max_frame)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("request_hook", &self.request_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Lock recovering from poisoning; the façade mutex must stay usable
+/// even if a handler thread panicked (the panic already failed its own
+/// request — see the poison-recovery precedent in `quarry_exec`).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Shared {
+    quarry: Mutex<Quarry>,
+    metrics: MetricsRegistry,
+    in_flight: AtomicUsize,
+    shutting_down: AtomicBool,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flip the shutdown flag (idempotent) and wake the accept loop with
+    /// a loop-back connection so it observes the flag without signals.
+    fn begin_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping without [`Server::join`] still shuts the
+/// threads down, but `join` is the way to get the façade back.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `quarry` with `cfg`.
+    pub fn start(quarry: Quarry, addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let metrics = quarry.metrics_registry();
+        let workers =
+            if cfg.workers == 0 { ExecPool::new(0).threads().max(4) } else { cfg.workers };
+        let shared = Arc::new(Shared {
+            quarry: Mutex::new(quarry),
+            metrics,
+            in_flight: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            cfg,
+            addr: local,
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("quarry-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only while popping.
+                    let stream = lock(&rx).recv();
+                    match stream {
+                        Ok(stream) => session(&shared, stream),
+                        Err(_) => return, // accept loop gone, queue drained
+                    }
+                })?;
+            worker_handles.push(handle);
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept =
+            std::thread::Builder::new().name("quarry-serve-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.draining() {
+                        break; // wake-up connection or late client: refuse
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            accept_shared.metrics.incr("server.connections", 1);
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue, // transient accept failure
+                    }
+                }
+                // Dropping `tx` lets workers drain the queue and exit.
+            })?;
+
+        Ok(Server { shared, accept: Some(accept), workers: worker_handles })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The registry the server and façade record into.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared.metrics.clone()
+    }
+
+    /// Requests currently between admission and reply.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Start draining: stop accepting, answer new requests
+    /// [`Payload::ShuttingDown`], let in-flight work finish. Idempotent;
+    /// the same path a [`Request::Shutdown`] frame takes.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Shut down (if not already draining), wait for every thread to
+    /// finish, and hand the façade back with all drained work applied.
+    pub fn join(self) -> Quarry {
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop shuts down and joins every thread.
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.quarry.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => unreachable!("all server threads joined; no other Shared handles exist"),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Run one connection's session to completion.
+fn session(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame(&mut stream, shared.cfg.max_frame) {
+            Ok((id, payload)) => {
+                let resp = handle(shared, id, &payload);
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+                if shared.draining() {
+                    return; // reply delivered; drain complete for this session
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if shared.draining() {
+                    return;
+                }
+            }
+            Err(FrameError::Closed) => return,
+            Err(e) => {
+                // Malformed frame: the stream cannot be resynchronised.
+                // Best-effort error reply (id 0: the real id is unknown
+                // or untrusted), then drop the connection. The *server*
+                // stays up either way.
+                shared.metrics.incr("server.protocol_errors", 1);
+                let resp = Response {
+                    id: 0,
+                    server_micros: 0,
+                    payload: Payload::Error { kind: ErrorKind::Protocol, message: e.to_string() },
+                };
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+        }
+    }
+}
+
+/// Decode, admit, execute, and time one request.
+fn handle(shared: &Shared, id: u64, payload: &[u8]) -> Response {
+    shared.metrics.incr("server.requests", 1);
+    let req: Request = match serde_json::from_slice(payload) {
+        Ok(r) => r,
+        // The frame passed its checksum, so framing is intact and the
+        // connection can keep serving; only this request fails.
+        Err(e) => {
+            shared.metrics.incr("server.protocol_errors", 1);
+            return Response {
+                id,
+                server_micros: 0,
+                payload: Payload::Error {
+                    kind: ErrorKind::Protocol,
+                    message: format!("undecodable request: {e}"),
+                },
+            };
+        }
+    };
+
+    // Shutdown is a control frame: it must work even under overload, so
+    // it bypasses admission.
+    if req == Request::Shutdown {
+        shared.begin_shutdown();
+        return Response { id, server_micros: 0, payload: Payload::Done };
+    }
+    if shared.draining() {
+        return Response { id, server_micros: 0, payload: Payload::ShuttingDown };
+    }
+
+    // Admission: reserve a slot or reject explicitly.
+    let prev = shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if prev >= shared.cfg.max_in_flight {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.incr("server.overloaded", 1);
+        return Response { id, server_micros: 0, payload: Payload::Overloaded };
+    }
+
+    let start = Instant::now();
+    if let Some(hook) = &shared.cfg.request_hook {
+        hook(&req);
+    }
+    let payload = execute(shared, req);
+    let elapsed = start.elapsed();
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    shared.metrics.observe("server.request_us", elapsed);
+    if matches!(payload, Payload::Error { .. }) {
+        shared.metrics.incr("server.request_errors", 1);
+    }
+    Response { id, server_micros: elapsed.as_micros() as u64, payload }
+}
+
+/// Execute an admitted request against the façade.
+fn execute(shared: &Shared, req: Request) -> Payload {
+    let mut q = lock(&shared.quarry);
+    match req {
+        Request::Ping => Payload::Pong,
+        Request::Query(query) => match q.structured(&query) {
+            Ok(r) => Payload::Rows { columns: r.columns, rows: r.rows },
+            Err(e) => error_payload(&e),
+        },
+        Request::Qdl(src) => match q.run_pipeline(&src) {
+            Ok(stats) => Payload::PipelineStats((&stats).into()),
+            Err(e) => error_payload(&e),
+        },
+        Request::KeywordSearch { query, k } => {
+            let (hits, candidates) = q.keyword(&query, k);
+            Payload::Hits {
+                hits: hits.into_iter().map(|h| WireHit { doc: h.doc.0, score: h.score }).collect(),
+                candidates: candidates
+                    .into_iter()
+                    .map(|c| WireCandidate {
+                        query: c.query,
+                        score: c.score,
+                        explanation: c.explanation,
+                    })
+                    .collect(),
+            }
+        }
+        Request::Explain(query) => match q.explain_query(&query) {
+            Ok(plan) => Payload::Plan(plan),
+            Err(e) => error_payload(&e),
+        },
+        Request::Checkpoint => match q.checkpoint() {
+            Ok(()) => Payload::Done,
+            Err(e) => error_payload(&e),
+        },
+        Request::Stats => Payload::Metrics(q.metrics()),
+        // Handled before admission; kept total for defensive completeness.
+        Request::Shutdown => Payload::Done,
+    }
+}
+
+/// Map a façade error onto the wire, preserving the variant and the
+/// rendered message so clients (and the differential tests) can compare
+/// failures exactly.
+fn error_payload(e: &QuarryError) -> Payload {
+    let kind = match e {
+        QuarryError::Parse(_) => ErrorKind::Parse,
+        QuarryError::Pipeline(_) => ErrorKind::Pipeline,
+        QuarryError::Storage(_) => ErrorKind::Storage,
+        QuarryError::Query(_) => ErrorKind::Query,
+        QuarryError::Corpus(_) => ErrorKind::Corpus,
+        QuarryError::Integrate(_) => ErrorKind::Integrate,
+        QuarryError::Lint(_) => ErrorKind::Lint,
+    };
+    Payload::Error { kind, message: e.to_string() }
+}

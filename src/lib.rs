@@ -18,6 +18,8 @@
 //! - [`cluster`] — MapReduce-like parallel execution (physical layer)
 //! - [`exec`] — work-stealing parallel executor for the IE/II hot paths
 //! - [`core`] — the assembled end-to-end system
+//! - [`serve`] — the TCP serving layer: wire protocol, sessions,
+//!   admission control, and a blocking client (see `docs/serving.md`)
 //!
 //! The most-used entry points are re-exported at the crate root:
 //!
@@ -43,6 +45,7 @@ pub use quarry_lang as lang;
 pub use quarry_lint as lint;
 pub use quarry_query as query;
 pub use quarry_schema as schema;
+pub use quarry_serve as serve;
 pub use quarry_storage as storage;
 pub use quarry_uncertainty as uncertainty;
 

@@ -1,0 +1,39 @@
+//! Helpers shared by the integration suites.
+#![allow(dead_code)] // each test binary uses a subset
+
+use quarry::storage::Database;
+use std::path::{Path, PathBuf};
+
+/// A unique temp WAL path for `name`, with any stale database files from
+/// a previous run of this process id removed.
+pub fn tmpwal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("quarry-int-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+    remove_db_files(&p);
+    p
+}
+
+/// Remove a database's WAL plus its checkpoint image and any stale
+/// checkpoint build (same naming scheme as the engine).
+pub fn remove_db_files(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    let _ = std::fs::remove_file(p.with_extension("ckpt"));
+    let _ = std::fs::remove_file(p.with_extension("ckpt-tmp"));
+}
+
+/// Canonical dump of a database's full logical state: every table's schema,
+/// rows (in row-id order), and indexed columns. Two equal dumps mean
+/// logically identical databases.
+pub fn dump(db: &Database) -> String {
+    let mut out = String::new();
+    for name in db.table_names() {
+        out.push_str(&format!("== {name} ==\n"));
+        out.push_str(&format!("schema: {:?}\n", db.schema(&name).unwrap()));
+        out.push_str(&format!("indexes: {:?}\n", db.indexed_columns(&name).unwrap()));
+        for row in db.scan_autocommit(&name).unwrap() {
+            out.push_str(&format!("row: {row:?}\n"));
+        }
+    }
+    out
+}

@@ -7,24 +7,10 @@ use quarry::storage::{
     Column, CrashPlan, DataType, Database, FaultBackend, Op, RealBackend, SnapshotStore,
     TableSchema, Value,
 };
-use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-fn tmpwal(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("quarry-int-tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    let p = dir.join(format!("{name}-{}.wal", std::process::id()));
-    remove_db_files(&p);
-    p
-}
-
-/// Remove a database's WAL plus its checkpoint image and any stale
-/// checkpoint build (same naming scheme as the engine).
-fn remove_db_files(p: &Path) {
-    let _ = std::fs::remove_file(p);
-    let _ = std::fs::remove_file(p.with_extension("ckpt"));
-    let _ = std::fs::remove_file(p.with_extension("ckpt-tmp"));
-}
+mod common;
+use common::{dump, remove_db_files, tmpwal};
 
 #[test]
 fn thirty_day_crawl_compresses_and_reconstructs() {
@@ -283,22 +269,6 @@ fn workload_steps() -> Vec<Step> {
             db.commit(tx)
         },
     ]
-}
-
-/// Canonical dump of a database's full logical state: every table's schema,
-/// rows (in row-id order), and indexed columns. Two equal dumps mean
-/// logically identical databases.
-fn dump(db: &Database) -> String {
-    let mut out = String::new();
-    for name in db.table_names() {
-        out.push_str(&format!("== {name} ==\n"));
-        out.push_str(&format!("schema: {:?}\n", db.schema(&name).unwrap()));
-        out.push_str(&format!("indexes: {:?}\n", db.indexed_columns(&name).unwrap()));
-        for row in db.scan_autocommit(&name).unwrap() {
-            out.push_str(&format!("row: {row:?}\n"));
-        }
-    }
-    out
 }
 
 /// One crash case: run the workload against a backend that dies at

@@ -1,0 +1,222 @@
+//! Differential soak: the serving layer must be a transparent transport.
+//!
+//! The same query/QDL workload is driven (a) directly through the
+//! `Quarry` façade and (b) through `quarry_serve::Client` from four
+//! concurrent threads against an in-process server, and every outcome —
+//! rows, orderings, error kinds *and* messages — must be bit-identical.
+//! The workload is restricted to idempotent pipelines and deterministic
+//! reads, so its outcomes are independent of how the four client streams
+//! interleave. A mid-soak `Checkpoint` plus a full server restart from
+//! the WAL must recover a logically identical database.
+
+use quarry::core::{Quarry, QuarryConfig, QuarryError};
+use quarry::query::engine::{AggFn, Query};
+use quarry::query::Predicate;
+use quarry::serve::{Client, ClientError, ServeConfig, Server};
+use quarry::storage::Value;
+use quarry_corpus::{Corpus, CorpusConfig, NoiseConfig};
+use std::time::Duration;
+
+mod common;
+use common::{dump, remove_db_files, tmpwal};
+
+const PIPELINE: &str = r#"
+PIPELINE cities FROM corpus
+EXTRACT infobox, rules
+WHERE attribute IN ("name", "state", "population", "founded")
+RESOLVE BY name
+STORE INTO cities KEY name
+"#;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig { noise: NoiseConfig::none(), ..CorpusConfig::tiny(33) })
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::scan("cities").aggregate(None, AggFn::Count, "name"),
+        Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .project(&["name", "population"]),
+        Query::scan("cities").sort("population", true, Some(5)).project(&["name"]),
+        Query::scan("cities").aggregate(Some("state"), AggFn::Max, "population"),
+        // Deterministic failures: a missing table and an unknown column.
+        Query::scan("ghost"),
+        Query::scan("cities").filter(vec![Predicate::Eq("no_such_column".into(), Value::Null)]),
+    ]
+}
+
+/// Render an outcome canonically. `Value`'s (and `f64`'s) `Debug` is
+/// shortest-round-trip exact, so equal strings mean bit-equal results.
+fn render_rows(columns: &[String], rows: &[Vec<Value>]) -> String {
+    format!("ok:{columns:?}|{rows:?}")
+}
+
+fn facade_error(e: &QuarryError) -> String {
+    let kind = match e {
+        QuarryError::Parse(_) => "Parse",
+        QuarryError::Pipeline(_) => "Pipeline",
+        QuarryError::Storage(_) => "Storage",
+        QuarryError::Query(_) => "Query",
+        QuarryError::Corpus(_) => "Corpus",
+        QuarryError::Integrate(_) => "Integrate",
+        QuarryError::Lint(_) => "Lint",
+    };
+    format!("err:{kind}:{e}")
+}
+
+fn direct_outcome(q: &mut Quarry, query: &Query) -> String {
+    match q.structured(query) {
+        Ok(r) => render_rows(&r.columns, &r.rows),
+        Err(e) => facade_error(&e),
+    }
+}
+
+fn client_outcome(c: &mut Client, query: &Query) -> String {
+    match c.query(query) {
+        Ok((columns, rows)) => render_rows(&columns, &rows),
+        Err(ClientError::Server { kind, message }) => format!("err:{kind:?}:{message}"),
+        Err(other) => format!("transport:{other}"),
+    }
+}
+
+/// The interleaving-independent half of a pipeline's stats (extractor
+/// runs vs cache hits depend on which thread ran first; the stream and
+/// stored rows do not).
+fn stable_stats(
+    extractions: u64,
+    records: u64,
+    entities: u64,
+    rows_stored: u64,
+) -> (u64, u64, u64, u64) {
+    (extractions, records, entities, rows_stored)
+}
+
+#[test]
+fn four_concurrent_clients_match_the_facade_bit_for_bit() {
+    let corpus = corpus();
+
+    // Reference: the façade, driven serially.
+    let mut direct = Quarry::new(QuarryConfig::default()).unwrap();
+    direct.ingest(corpus.docs.clone());
+    let ref_stats = direct.run_pipeline(PIPELINE).unwrap();
+    let ref_stable = stable_stats(
+        ref_stats.extractions as u64,
+        ref_stats.records as u64,
+        ref_stats.entities as u64,
+        ref_stats.rows_stored as u64,
+    );
+    let qs = queries();
+    let ref_outcomes: Vec<String> = qs.iter().map(|q| direct_outcome(&mut direct, q)).collect();
+    let (ref_hits, ref_cands) = direct.keyword("population Wisconsin", 5);
+    let ref_keyword = format!(
+        "{:?}|{:?}",
+        ref_hits.iter().map(|h| (h.doc.0, h.score)).collect::<Vec<_>>(),
+        ref_cands
+            .iter()
+            .map(|c| (c.query.display(), c.score, c.explanation.clone()))
+            .collect::<Vec<_>>()
+    );
+    let ref_explain = direct.explain_query(&qs[1]).unwrap();
+    // The reference workload itself is idempotent: re-running the
+    // pipeline leaves every outcome unchanged.
+    let again = direct.run_pipeline(PIPELINE).unwrap();
+    assert_eq!(
+        stable_stats(
+            again.extractions as u64,
+            again.records as u64,
+            again.entities as u64,
+            again.rows_stored as u64
+        ),
+        ref_stable
+    );
+    for (q, expect) in qs.iter().zip(&ref_outcomes) {
+        assert_eq!(&direct_outcome(&mut direct, q), expect);
+    }
+
+    // Serve a WAL-backed instance of the same system.
+    let wal = tmpwal("serve-differential");
+    let mut served = Quarry::new(QuarryConfig::builder().wal_path(&wal).build()).unwrap();
+    served.ingest(corpus.docs.clone());
+    let server = Server::start(
+        served,
+        "127.0.0.1:0",
+        ServeConfig { workers: 4, max_in_flight: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Soak: four threads, same workload, with a mid-soak checkpoint.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let qs = qs.clone();
+            let ref_outcomes = ref_outcomes.clone();
+            let ref_keyword = ref_keyword.clone();
+            let ref_explain = ref_explain.clone();
+            handles.push(scope.spawn(move || {
+                let mut c = Client::connect_with(addr, Duration::from_secs(60)).unwrap();
+                for round in 0..2 {
+                    let stats = c.qdl(PIPELINE).unwrap();
+                    assert_eq!(
+                        stable_stats(
+                            stats.extractions,
+                            stats.records,
+                            stats.entities,
+                            stats.rows_stored
+                        ),
+                        ref_stable,
+                        "thread {t} round {round}"
+                    );
+                    for (i, q) in qs.iter().enumerate() {
+                        assert_eq!(
+                            client_outcome(&mut c, q),
+                            ref_outcomes[i],
+                            "thread {t} round {round} query {i}"
+                        );
+                    }
+                    // Mid-soak checkpoint: requires quiescence, which the
+                    // server's serialized execution provides.
+                    c.checkpoint().unwrap();
+                    let (hits, cands) = c.keyword("population Wisconsin", 5).unwrap();
+                    let got = format!(
+                        "{:?}|{:?}",
+                        hits.iter().map(|h| (h.doc, h.score)).collect::<Vec<_>>(),
+                        cands
+                            .iter()
+                            .map(|c| (c.query.display(), c.score, c.explanation.clone()))
+                            .collect::<Vec<_>>()
+                    );
+                    assert_eq!(got, ref_keyword, "thread {t} round {round}");
+                    assert_eq!(c.explain(&qs[1]).unwrap(), ref_explain, "thread {t} round {round}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    // Drain, reclaim the façade, and compare full logical state.
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    let served = server.join();
+    let served_dump = dump(&served.db);
+    assert_eq!(served_dump, dump(&direct.db), "served state must equal direct state");
+    drop(served);
+
+    // Restart from the WAL (checkpoint + suffix) and verify recovery.
+    let mut recovered = Quarry::new(QuarryConfig::builder().wal_path(&wal).build()).unwrap();
+    assert_eq!(dump(&recovered.db), served_dump, "restart must recover identical state");
+
+    // The recovered system serves the same answers over the wire.
+    recovered.ingest(corpus.docs.clone());
+    let server = Server::start(recovered, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for (q, expect) in qs.iter().zip(&ref_outcomes) {
+        assert_eq!(&client_outcome(&mut c, q), expect, "post-restart query");
+    }
+    c.shutdown().unwrap();
+    drop(server);
+    remove_db_files(&wal);
+}

@@ -1,0 +1,210 @@
+//! Protocol robustness: a hostile or broken peer must get a clean error
+//! and must never take the server down.
+//!
+//! Each case feeds the server raw bytes that violate the framing rules —
+//! garbage before the magic, a wrong version, an oversized length prefix,
+//! a bad checksum, a truncated frame, a half-written frame that stalls —
+//! and asserts (a) the peer receives a best-effort `Protocol` error
+//! response where one can be delivered, (b) the offending connection is
+//! closed (framing errors) or survives (payload-only errors), and (c) the
+//! server keeps serving fresh connections afterwards.
+
+use quarry::core::{Quarry, QuarryConfig};
+use quarry::serve::protocol::{
+    read_response, write_frame, write_request, DEFAULT_MAX_FRAME, MAGIC, VERSION,
+};
+use quarry::serve::{Client, ErrorKind, Payload, Request, ServeConfig, Server};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_server(cfg: ServeConfig) -> Server {
+    let q = Quarry::new(QuarryConfig::default()).unwrap();
+    Server::start(q, "127.0.0.1:0", cfg).unwrap()
+}
+
+fn raw(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+/// Read the best-effort error reply a session sends before dropping a
+/// connection it cannot resynchronise, and return its message.
+fn expect_protocol_error(stream: &mut TcpStream, expect_id: u64) -> String {
+    let resp = read_response(stream, DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(resp.id, expect_id);
+    match resp.payload {
+        Payload::Error { kind: ErrorKind::Protocol, message } => message,
+        other => panic!("expected a Protocol error, got {other:?}"),
+    }
+}
+
+/// A fresh connection still serves: the previous abuse did not kill the
+/// server (or wedge its worker).
+fn assert_alive(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+}
+
+#[test]
+fn garbage_before_magic_gets_a_clean_error() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    s.write_all(b"GET /cities HTTP/1.1\r\nHost: quarry\r\n\r\n").unwrap();
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("bad frame magic"), "got: {msg}");
+    // The session cannot resync, so the connection is closed…
+    assert!(read_response(&mut s, DEFAULT_MAX_FRAME).is_err());
+    // …but the server is fine.
+    assert_alive(addr);
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&99u16.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 16]); // id + len + crc, all zero
+    s.write_all(&frame).unwrap();
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("unsupported protocol version 99"), "got: {msg}");
+    assert_alive(addr);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_not_allocated() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&7u64.to_le_bytes());
+    frame.extend_from_slice(&u32::MAX.to_le_bytes()); // claims a 4 GiB payload
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&frame).unwrap();
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("exceeds limit"), "got: {msg}");
+    assert_alive(addr);
+}
+
+#[test]
+fn bad_crc_is_a_torn_frame() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    let mut frame = Vec::new();
+    write_request(&mut frame, 3, &Request::Ping).unwrap();
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF; // tear the payload; the header's crc no longer matches
+    s.write_all(&frame).unwrap();
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("checksum mismatch"), "got: {msg}");
+    assert_alive(addr);
+}
+
+#[test]
+fn truncated_frame_is_reported_not_hung() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    let mut frame = Vec::new();
+    write_request(&mut frame, 4, &Request::Ping).unwrap();
+    s.write_all(&frame[..frame.len() - 3]).unwrap();
+    s.shutdown(Shutdown::Write).unwrap(); // EOF mid-payload
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("mid-frame"), "got: {msg}");
+    assert_alive(addr);
+}
+
+#[test]
+fn half_written_frame_that_stalls_is_timed_out() {
+    // Short read timeout so the session's stall budget (a fixed retry
+    // count) elapses quickly.
+    let server = start_server(ServeConfig {
+        read_timeout: Duration::from_millis(1),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    let mut frame = Vec::new();
+    write_request(&mut frame, 5, &Request::Ping).unwrap();
+    // Send half the frame and then go silent, keeping the socket open.
+    s.write_all(&frame[..frame.len() - 3]).unwrap();
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains("stalled"), "got: {msg}");
+    assert_alive(addr);
+}
+
+#[test]
+fn undecodable_payload_fails_the_request_but_keeps_the_connection() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+    // Framing is valid (real crc), only the JSON inside is garbage: the
+    // stream is still in sync, so the error carries the real request id
+    // and the connection keeps serving.
+    write_frame(&mut s, 11, b"{\"NoSuchRequest\":true}").unwrap();
+    let msg = expect_protocol_error(&mut s, 11);
+    assert!(msg.contains("undecodable request"), "got: {msg}");
+    write_request(&mut s, 12, &Request::Ping).unwrap();
+    let resp = read_response(&mut s, DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(resp.id, 12);
+    assert_eq!(resp.payload, Payload::Pong);
+}
+
+#[test]
+fn malformed_frame_suite_leaves_the_server_healthy() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+
+    // Every frame-level abuse in sequence, each on a fresh connection.
+    let abuses: Vec<Vec<u8>> = vec![
+        b"\x00\x00\x00\x00\x00\x00\x00\x00garbage-garbage-garbage".to_vec(),
+        {
+            let mut f = Vec::new();
+            f.extend_from_slice(&MAGIC);
+            f.extend_from_slice(&2u16.to_le_bytes()); // future version
+            f.extend_from_slice(&[0u8; 16]);
+            f
+        },
+        {
+            let mut f = Vec::new();
+            f.extend_from_slice(&MAGIC);
+            f.extend_from_slice(&VERSION.to_le_bytes());
+            f.extend_from_slice(&1u64.to_le_bytes());
+            f.extend_from_slice(&(u32::MAX / 2).to_le_bytes());
+            f.extend_from_slice(&0u32.to_le_bytes());
+            f
+        },
+        {
+            let mut f = Vec::new();
+            write_request(&mut f, 6, &Request::Checkpoint).unwrap();
+            f[21] ^= 0x5A; // corrupt the stored crc itself
+            f
+        },
+    ];
+    let n_abuses = abuses.len() as u64;
+    for bytes in abuses {
+        let mut s = raw(addr);
+        s.write_all(&bytes).unwrap();
+        let _ = expect_protocol_error(&mut s, 0);
+        assert_alive(addr);
+    }
+
+    // The counter saw every abuse, real requests still flow, and join
+    // hands the façade back intact — no worker died along the way.
+    let metrics = server.metrics().snapshot();
+    assert_eq!(metrics.counter("server.protocol_errors"), n_abuses);
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+    c.shutdown().unwrap();
+    let quarry = server.join();
+    drop(quarry);
+}
