@@ -101,7 +101,7 @@ struct CachePoint {
 }
 
 fn cache_latency(rows: usize) -> CachePoint {
-    let mut quarry = Quarry::new(QuarryConfig::default()).unwrap();
+    let quarry = Quarry::new(QuarryConfig::default()).unwrap();
     quarry
         .db
         .create_table(
@@ -121,8 +121,8 @@ fn cache_latency(rows: usize) -> CachePoint {
     quarry.db.commit(tx).unwrap();
 
     let q = probe_query();
-    let (cold, miss_ms) = timed(|| quarry.structured(&q).unwrap());
-    let (warm, hit_ms) = timed(|| quarry.structured(&q).unwrap());
+    let (cold, miss_ms) = timed(|| quarry.snapshot().query(&q).unwrap());
+    let (warm, hit_ms) = timed(|| quarry.snapshot().query(&q).unwrap());
     assert_eq!(warm, cold, "cache hit served a different result");
     let stats = quarry.query_cache_stats();
     assert_eq!((stats.hits, stats.misses), (1, 1), "expected exactly one miss then one hit");

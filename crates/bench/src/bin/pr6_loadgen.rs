@@ -1,0 +1,246 @@
+//! PR6 — MVCC serving benchmark: read-heavy closed-loop throughput and
+//! tail latency now that reads execute against snapshots instead of
+//! serializing through a façade mutex.
+//!
+//! Phase 1 drives a pure-read mix — structured queries, keyword
+//! searches, explains, and stats — from 1, 2, 4, and 8 closed-loop
+//! client threads. Phase 2 repeats the read loop while a dedicated
+//! writer client hammers QDL pipelines the whole time: under the old
+//! serialized design every read queued behind the in-flight write; under
+//! the MVCC split reads only ever wait on the wire and the worker pool.
+//! Phase 2 asserts *every* read succeeded while the writer was live —
+//! the correctness gate for a 1-CPU CI container, where throughput
+//! numbers are noise but a read blocked behind a write would hang or
+//! reject.
+//!
+//! Writes `BENCH_pr6.json`. `--check` runs a fast small-size variant for
+//! CI smoke testing.
+
+use quarry_bench::{banner, f3, Table};
+use quarry_core::{Quarry, QuarryConfig};
+use quarry_corpus::{Corpus, CorpusConfig};
+use quarry_query::engine::{AggFn, Predicate, Query};
+use quarry_serve::{Client, ClientError, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const PIPELINE: &str = r#"
+PIPELINE cities FROM corpus
+EXTRACT infobox, rules
+WHERE attribute IN ("name", "state", "population", "founded")
+RESOLVE BY name
+STORE INTO cities KEY name
+"#;
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::scan("cities").aggregate(None, AggFn::Count, "name"),
+        Query::scan("cities")
+            .filter(vec![Predicate::Eq("state".into(), "Wisconsin".into())])
+            .project(&["name", "population"]),
+        Query::scan("cities").sort("population", true, Some(10)).project(&["name"]),
+        Query::scan("cities").aggregate(Some("state"), AggFn::Max, "population"),
+    ]
+}
+
+/// `q`-th percentile (nearest-rank on the sorted sample), in µs.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct LoopPoint {
+    threads: usize,
+    requests: usize,
+    ok: usize,
+    wall_ms: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Closed loop of pure reads: structured queries, keyword searches,
+/// explains, and stats. Every request must succeed — reads are never
+/// rejected or blocked in this workload.
+fn read_loop(addr: SocketAddr, threads: usize, per_thread: usize) -> LoopPoint {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let qs = queries();
+            let mut c = Client::connect_with(addr, Duration::from_secs(60)).unwrap();
+            let mut lat = Vec::with_capacity(per_thread);
+            barrier.wait();
+            for i in 0..per_thread {
+                let start = Instant::now();
+                // Read-only mix: 4 queries : 2 keyword : 1 explain : 1 stats.
+                let outcome = match i % 8 {
+                    4 | 5 => c.keyword("population Madison", 5).map(|_| ()),
+                    6 => c.explain(&qs[1]).map(|_| ()),
+                    7 => c.stats().map(|_| ()),
+                    _ => c.query(&qs[(t + i) % qs.len()]).map(|_| ()),
+                };
+                match outcome {
+                    Ok(()) => lat.push(start.elapsed().as_micros() as u64),
+                    Err(e) => panic!("read request failed under read-only load: {e}"),
+                }
+            }
+            lat
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut all = Vec::with_capacity(threads * per_thread);
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    let wall = start.elapsed();
+    all.sort_unstable();
+    let requests = threads * per_thread;
+    LoopPoint {
+        threads,
+        requests,
+        ok: all.len(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: all.len() as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&all, 0.50),
+        p95_us: percentile(&all, 0.95),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+/// Phase 2: the same read loop while a dedicated writer client runs QDL
+/// pipelines back-to-back for the whole duration. Returns the read
+/// point plus how many pipelines the writer landed.
+fn reads_under_writes(addr: SocketAddr, threads: usize, per_thread: usize) -> (LoopPoint, usize) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect_with(addr, Duration::from_secs(60)).unwrap();
+            let mut landed = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                match c.qdl(PIPELINE) {
+                    Ok(_) => landed += 1,
+                    Err(ClientError::Overloaded) => {}
+                    Err(e) => panic!("writer pipeline failed: {e}"),
+                }
+            }
+            landed
+        })
+    };
+    let point = read_loop(addr, threads, per_thread);
+    stop.store(true, Ordering::SeqCst);
+    let landed = writer.join().unwrap();
+    (point, landed)
+}
+
+fn loop_json(points: &[LoopPoint]) -> String {
+    let items: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"requests\": {}, \"ok\": {}, \"wall_ms\": {:.2}, \
+                 \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                p.threads, p.requests, p.ok, p.wall_ms, p.rps, p.p50_us, p.p95_us, p.p99_us
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
+fn print_points(title: &str, points: &[LoopPoint]) {
+    println!("\n{title}");
+    let mut t = Table::new(&["threads", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)"]);
+    for p in points {
+        t.row(&[
+            p.threads.to_string(),
+            format!("{:.0}", p.rps),
+            f3(p.p50_us as f64 / 1e3),
+            f3(p.p95_us as f64 / 1e3),
+            f3(p.p99_us as f64 / 1e3),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    banner(
+        "PR6",
+        "MVCC snapshot reads execute concurrently on the worker pool — a \
+         read-heavy mix scales without a facade lock, and a writer running \
+         the whole time costs readers no correctness and no rejections",
+    );
+
+    let (corpus_cfg, thread_counts, per_thread): (CorpusConfig, &[usize], usize) = if check {
+        (CorpusConfig::tiny(11), &[1, 2], 32)
+    } else {
+        (CorpusConfig::default(), &[1, 2, 4, 8], 200)
+    };
+
+    // Seed: ingest and materialize the cities table once, so both phases
+    // measure serving traffic, not first-run extraction.
+    let corpus = Corpus::generate(&corpus_cfg);
+    let mut quarry = Quarry::new(QuarryConfig::default()).unwrap();
+    quarry.ingest(corpus.docs.clone());
+    let stats = quarry.run_pipeline(PIPELINE).unwrap();
+    println!("corpus: {} docs -> {} rows in cities\n", corpus.docs.len(), stats.rows_stored);
+
+    let server = Server::start(
+        quarry,
+        "127.0.0.1:0",
+        ServeConfig { workers: 16, max_in_flight: 64, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Phase 1: pure reads at growing client counts.
+    let read_points: Vec<LoopPoint> =
+        thread_counts.iter().map(|&n| read_loop(addr, n, per_thread)).collect();
+    print_points("read-only closed loop", &read_points);
+    for p in &read_points {
+        assert_eq!(p.ok, p.requests, "lost reads at {} threads", p.threads);
+        assert!(p.p50_us > 0, "zero-latency measurement at {} threads", p.threads);
+    }
+
+    // Phase 2: the same read mix with a writer live the entire time.
+    let max_threads = *thread_counts.last().unwrap();
+    let (under_writes, pipelines_landed) = reads_under_writes(addr, max_threads, per_thread);
+    print_points("reads with a concurrent writer", std::slice::from_ref(&under_writes));
+    println!("writer landed {pipelines_landed} pipelines during the read phase");
+    assert_eq!(
+        under_writes.ok, under_writes.requests,
+        "a read failed or was rejected while the writer was live"
+    );
+    assert!(pipelines_landed >= 1, "the writer never got a pipeline through");
+
+    let mut ctl = Client::connect(addr).unwrap();
+    let snap = ctl.stats().unwrap();
+    let server_requests = snap.counter("server.requests");
+    let server_protocol_errors = snap.counter("server.protocol_errors");
+    assert_eq!(server_protocol_errors, 0, "well-formed traffic raised protocol errors");
+    ctl.shutdown().unwrap();
+    drop(server.join());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"pr6_loadgen\",\n  \"mode\": \"{}\",\n  \
+         \"requests_per_thread\": {per_thread},\n  \"read_only\": [\n{}\n  ],\n  \
+         \"reads_under_writes\": [\n{}\n  ],\n  \
+         \"writer\": {{\"pipelines_landed\": {pipelines_landed}}},\n  \
+         \"server\": {{\"requests\": {server_requests}, \
+         \"protocol_errors\": {server_protocol_errors}}}\n}}\n",
+        if check { "check" } else { "full" },
+        loop_json(&read_points),
+        loop_json(std::slice::from_ref(&under_writes)),
+    );
+    std::fs::write("BENCH_pr6.json", json).unwrap();
+    println!("\nwrote BENCH_pr6.json");
+}

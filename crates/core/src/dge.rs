@@ -122,9 +122,16 @@ impl fmt::Display for DgeEvent {
 }
 
 /// Append-only DGE event log.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Internally synchronized: recording takes `&self`, and clones share the
+/// same underlying log. This is what lets read-only façade surfaces —
+/// [`crate::Snapshot`] most of all — keep appending exploitation events
+/// concurrently without an exclusive lock on the whole system (the
+/// "candidate-recording side channel" that used to force `&mut self` on
+/// the keyword/query hot paths).
+#[derive(Debug, Clone, Default)]
 pub struct DgeLog {
-    events: Vec<DgeEvent>,
+    events: std::sync::Arc<parking_lot::Mutex<Vec<DgeEvent>>>,
 }
 
 impl DgeLog {
@@ -133,20 +140,22 @@ impl DgeLog {
         DgeLog::default()
     }
 
-    /// Append an event.
-    pub fn record(&mut self, e: DgeEvent) {
-        self.events.push(e);
+    /// Append an event. Safe from any thread; appends interleave in
+    /// arrival order.
+    pub fn record(&self, e: DgeEvent) {
+        self.events.lock().push(e);
     }
 
-    /// All events in order.
-    pub fn events(&self) -> &[DgeEvent] {
-        &self.events
+    /// All events recorded so far, in order.
+    pub fn events(&self) -> Vec<DgeEvent> {
+        self.events.lock().clone()
     }
 
     /// Count of generation-side vs. exploitation-side events.
     pub fn generation_exploitation_split(&self) -> (usize, usize) {
-        let gen = self.events.iter().filter(|e| e.is_generation()).count();
-        (gen, self.events.len() - gen)
+        let events = self.events.lock();
+        let gen = events.iter().filter(|e| e.is_generation()).count();
+        (gen, events.len() - gen)
     }
 }
 
@@ -156,7 +165,7 @@ mod tests {
 
     #[test]
     fn log_records_in_order_and_splits() {
-        let mut log = DgeLog::new();
+        let log = DgeLog::new();
         log.record(DgeEvent::Ingest { docs: 10, day: 0 });
         log.record(DgeEvent::KeywordQuery { query: "x".into(), hits: 3, candidates: 2 });
         log.record(DgeEvent::Feedback { user: "u1".into(), subject: "match".into() });

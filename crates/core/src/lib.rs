@@ -25,6 +25,7 @@ pub mod feedback;
 pub mod incremental;
 pub mod monitor;
 pub mod qcache;
+pub mod snapshot;
 pub mod system;
 pub mod users;
 
@@ -33,5 +34,6 @@ pub use feedback::{Correction, CorrectionStatus, FeedbackQueue};
 pub use incremental::IncrementalManager;
 pub use monitor::{MonitorFire, MonitorSet};
 pub use qcache::{QueryCache, QueryCacheStats};
+pub use snapshot::{SharedQuarry, Snapshot};
 pub use system::{CheckStats, Quarry, QuarryConfig, QuarryError};
 pub use users::{UserAccount, UserDirectory};

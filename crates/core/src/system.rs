@@ -3,7 +3,8 @@
 use crate::dge::{DgeEvent, DgeLog};
 use crate::feedback::{Correction, CorrectionStatus, FeedbackQueue};
 use crate::monitor::{MonitorFire, MonitorSet};
-use crate::qcache::{QueryCache, QueryCacheStats};
+use crate::qcache::QueryCacheStats;
+use crate::snapshot::{ReadState, Snapshot};
 use crate::users::UserDirectory;
 use quarry_corpus::{Corpus, CorpusConfig, CorpusError, DocId, Document};
 use quarry_debugger::{HealthMonitor, LearnConfig, SemanticDebugger, Suspicion};
@@ -16,14 +17,15 @@ use quarry_lang::exec::{ExecError, TruthOracle};
 use quarry_lang::{
     optimize, parse, ExecContext, ExecStats, Executor, ExtractorRegistry, LogicalPlan,
 };
-use quarry_query::engine::{execute, Query, QueryError, QueryResult};
+use quarry_query::engine::{Query, QueryError, QueryResult};
 use quarry_query::forms::QueryForm;
-use quarry_query::{CandidateQuery, InvertedIndex, SearchHit, Translator};
+use quarry_query::{CandidateQuery, SearchHit};
 use quarry_schema::SchemaRegistry;
 use quarry_storage::{Database, SnapshotStore, StorageError, Value};
 use quarry_uncertainty::{LineageGraph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Quarry configuration. Construct with [`QuarryConfig::builder`] (or
 /// `Default` for the stock settings).
@@ -221,12 +223,22 @@ pub struct CheckStats {
     pub total_check_micros: u64,
 }
 
-/// The end-to-end system.
+/// The end-to-end system: the façade's **write surface**.
+///
+/// Mutations (`ingest`, `run_pipeline`, `submit_correction`, DDL,
+/// checkpoint) live here and take `&mut self` — a single writer. Reads go
+/// through [`Quarry::snapshot`]: an immutable [`Snapshot`] pinned to one
+/// write-clock LSN, whose query/keyword/explain/stats methods are all
+/// `&self` and never block the writer. The legacy `&mut`-free read
+/// methods on `Quarry` itself remain as deprecated shims that capture a
+/// fresh snapshot per call. Multi-threaded hosts wrap the split in
+/// [`crate::SharedQuarry`].
 pub struct Quarry {
     /// Versioned raw-page store (storage layer).
     pub snapshots: SnapshotStore,
-    /// The structured store (storage layer).
-    pub db: Database,
+    /// The structured store (storage layer). Shared with read snapshots;
+    /// `Arc` keeps `quarry.db.…` call sites working unchanged.
+    pub db: Arc<Database>,
     /// Operator library (processing layer).
     pub registry: ExtractorRegistry,
     /// Schema version registry (processing layer, Part IV).
@@ -237,23 +249,21 @@ pub struct Quarry {
     pub health: HealthMonitor,
     /// User accounts (user layer).
     pub users: UserDirectory,
-    /// The DGE event log.
+    /// The DGE event log (internally synchronized; clones share it).
     pub dge: DgeLog,
     /// Standing queries (monitoring exploitation mode).
     pub monitors: MonitorSet,
     /// User-contributed corrections awaiting support.
     pub feedback: FeedbackQueue,
-    docs: Vec<Document>,
-    index: Option<InvertedIndex>,
-    translator: Option<Translator>,
+    /// Writer-local handle to the working set (also published to
+    /// [`ReadState`] for snapshot capture).
+    docs: Arc<Vec<Document>>,
     cache: HashMap<(DocId, String), Vec<Extraction>>,
-    qcache: QueryCache,
     crowd: Option<Crowd>,
     truth: Option<TruthOracle>,
     pool: ExecPool,
     last_report: ExecReport,
-    metrics: MetricsRegistry,
-    check_stats: CheckStats,
+    shared: Arc<ReadState>,
     day: usize,
     tick: u64,
 }
@@ -266,9 +276,12 @@ impl Quarry {
             (Some(p), None) => Database::open(p)?,
             (None, _) => Database::in_memory(),
         };
+        let db = Arc::new(db);
         let mut health = HealthMonitor::new(config.heartbeat_timeout);
         health.register("ingest", [("docs", 0.0, f64::INFINITY)]);
         health.register("pipeline", [("extractions_per_doc", 0.0, 1000.0)]);
+        let dge = DgeLog::new();
+        let shared = Arc::new(ReadState::new(Arc::clone(&db), dge.clone(), MetricsRegistry::new()));
         Ok(Quarry {
             snapshots: SnapshotStore::new(config.keyframe_interval),
             db,
@@ -277,23 +290,31 @@ impl Quarry {
             lineage: LineageGraph::new(),
             health,
             users: UserDirectory::new(),
-            dge: DgeLog::new(),
+            dge,
             monitors: MonitorSet::new(),
             feedback: FeedbackQueue::new(2.0),
-            docs: Vec::new(),
-            index: None,
-            translator: None,
+            docs: Arc::new(Vec::new()),
             cache: HashMap::new(),
-            qcache: QueryCache::default(),
             crowd: None,
             truth: None,
             pool: ExecPool::new(config.threads),
             last_report: ExecReport::new(),
-            metrics: MetricsRegistry::new(),
-            check_stats: CheckStats::default(),
+            shared,
             day: 0,
             tick: 0,
         })
+    }
+
+    /// Capture an immutable read session pinned to the current LSN. O(1)
+    /// `Arc` clones; the session's query/keyword/explain/stats methods
+    /// are `&self` and run concurrently with the writer. This is the
+    /// read half of the façade API — see [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.shared)
+    }
+
+    pub(crate) fn read_state(&self) -> Arc<ReadState> {
+        Arc::clone(&self.shared)
     }
 
     /// Instrumentation from the most recent pipeline run: per-stage
@@ -341,8 +362,15 @@ impl Quarry {
         self.dge.record(DgeEvent::Ingest { docs: docs.len(), day: self.day });
         self.health.heartbeat(self.tick, "ingest", [("docs", docs.len() as f64)]);
         self.day += 1;
-        self.docs = docs;
-        self.index = None;
+        self.docs = Arc::new(docs);
+        // Publish the new working set under a bumped generation: snapshots
+        // captured from here on see the new docs, and the shared keyword
+        // index (keyed by generation) rebuilds lazily on next use.
+        {
+            let mut published = self.shared.docs.lock();
+            published.0 += 1;
+            published.1 = Arc::clone(&self.docs);
+        }
         // Page content changed: cached extractions are stale.
         self.cache.clear();
     }
@@ -356,10 +384,10 @@ impl Quarry {
     pub fn run_pipeline(&mut self, src: &str) -> Result<ExecStats, QuarryError> {
         let start = std::time::Instant::now();
         let result = self.run_pipeline_inner(src);
-        self.metrics.observe("facade.pipeline_us", start.elapsed());
-        self.metrics.incr("facade.pipeline_runs", 1);
+        self.shared.metrics.observe("facade.pipeline_us", start.elapsed());
+        self.shared.metrics.incr("facade.pipeline_runs", 1);
         if result.is_err() {
-            self.metrics.incr("facade.pipeline_errors", 1);
+            self.shared.metrics.incr("facade.pipeline_errors", 1);
         }
         result
     }
@@ -389,6 +417,7 @@ impl Quarry {
         self.crowd = ctx.crowd.take();
         self.cache = std::mem::take(&mut ctx.cache);
         self.last_report = std::mem::take(&mut ctx.report);
+        *self.shared.last_report.lock() = self.last_report.clone();
         let stats = result?;
         self.dge.record(DgeEvent::PipelineRun {
             name: pipeline.name.clone(),
@@ -402,8 +431,8 @@ impl Quarry {
             stats.extractions as f64 / self.docs.len() as f64
         };
         self.health.heartbeat(self.tick, "pipeline", [("extractions_per_doc", per_doc)]);
-        // Translator reflects stored structure; rebuild lazily next use.
-        self.translator = None;
+        // The translator cache is keyed by snapshot LSN, so the stored
+        // structure this run produced invalidates it automatically.
         // Generation moved the data: standing queries may have new answers.
         for fire in self.check_monitors() {
             let _ = fire;
@@ -415,35 +444,27 @@ impl Quarry {
     /// schema registry without running it. Syntax errors come back as a
     /// QL000 diagnostic in the report rather than an `Err`, so callers
     /// can render every outcome uniformly.
-    pub fn check_program(&mut self, src: &str) -> LintReport {
+    pub fn check_program(&self, src: &str) -> LintReport {
         let start = std::time::Instant::now();
         let report =
             quarry_lang::lint::lint_source("<program>", src, &self.registry, Some(&self.schemas));
-        self.note_check(&report, start);
+        self.shared.note_check(&report, start);
         report
     }
 
     /// Statically check a structured query's table and column references
     /// against the database schemas without executing it.
-    pub fn check_query(&mut self, q: &Query) -> LintReport {
-        let start = std::time::Instant::now();
-        let report = quarry_query::lint::check_query(&self.db, q);
-        self.note_check(&report, start);
-        report
+    #[deprecated(
+        since = "0.6.0",
+        note = "capture a read session: `quarry.snapshot().check_query(q)`"
+    )]
+    pub fn check_query(&self, q: &Query) -> LintReport {
+        self.snapshot().check_query(q)
     }
 
     /// Counters and timings of all static checks run so far.
     pub fn check_stats(&self) -> CheckStats {
-        self.check_stats
-    }
-
-    fn note_check(&mut self, report: &LintReport, start: std::time::Instant) {
-        let micros = start.elapsed().as_micros() as u64;
-        self.check_stats.checks += 1;
-        self.check_stats.errors += report.error_count() as u64;
-        self.check_stats.warnings += report.warning_count() as u64;
-        self.check_stats.last_check_micros = micros;
-        self.check_stats.total_check_micros += micros;
+        *self.shared.check.lock()
     }
 
     /// Register a standing query; its changes are reported by
@@ -475,8 +496,8 @@ impl Quarry {
         let status = self.feedback.submit(&mut self.users, &self.db, user, correction)?;
         self.dge.record(DgeEvent::Feedback { user: user.to_string(), subject });
         if status == CorrectionStatus::Applied {
-            // The data moved: monitors may fire; translator index is stale.
-            self.translator = None;
+            // The data moved: monitors may fire. (The translator cache is
+            // LSN-keyed, so the applied write invalidates it by itself.)
             let _ = self.check_monitors();
         }
         Ok(status)
@@ -494,92 +515,30 @@ impl Quarry {
         fires
     }
 
-    fn ensure_index(&mut self) {
-        if self.index.is_none() {
-            self.index = Some(InvertedIndex::build(self.docs.iter()));
-        }
-    }
-
-    fn ensure_translator(&mut self) {
-        if self.translator.is_none() {
-            self.translator = Some(Translator::from_database(&self.db));
-        }
-    }
-
     /// Keyword search: document hits plus suggested structured queries.
-    pub fn keyword(&mut self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
-        let start = std::time::Instant::now();
-        let out = self.keyword_inner(query, k);
-        self.metrics.observe("facade.keyword_us", start.elapsed());
-        self.metrics.incr("facade.keyword_searches", 1);
-        out
-    }
-
-    fn keyword_inner(&mut self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
-        self.ensure_index();
-        self.ensure_translator();
-        let hits = self.index.as_ref().expect("built").search(query, k);
-        let candidates = self.translator.as_ref().expect("built").translate(query, k);
-        self.dge.record(DgeEvent::KeywordQuery {
-            query: query.to_string(),
-            hits: hits.len(),
-            candidates: candidates.len(),
-        });
-        (hits, candidates)
+    #[deprecated(
+        since = "0.6.0",
+        note = "capture a read session: `quarry.snapshot().keyword(query, k)`"
+    )]
+    pub fn keyword(&self, query: &str, k: usize) -> (Vec<SearchHit>, Vec<CandidateQuery>) {
+        self.snapshot().keyword(query, k)
     }
 
     /// Render the suggested queries for a keyword query as forms.
-    pub fn suggest_forms(&mut self, query: &str, k: usize) -> Vec<QueryForm> {
-        let (_, candidates) = self.keyword(query, k);
-        candidates.iter().map(|c| quarry_query::forms::render(&c.query)).collect()
+    #[deprecated(
+        since = "0.6.0",
+        note = "capture a read session: `quarry.snapshot().suggest_forms(query, k)`"
+    )]
+    pub fn suggest_forms(&self, query: &str, k: usize) -> Vec<QueryForm> {
+        self.snapshot().suggest_forms(query, k)
     }
 
-    /// Run a structured query, consulting the write-invalidated result
-    /// cache first. A cacheable query (every referenced table exists) that
-    /// repeats between writes is answered from memory; any committed write
-    /// to a referenced table bumps that table's version and forces
-    /// re-execution on the next lookup.
-    pub fn structured(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
-        let start = std::time::Instant::now();
-        let result = self.structured_inner(q);
-        self.metrics.observe("facade.query_us", start.elapsed());
-        self.metrics.incr("facade.queries", 1);
-        if result.is_err() {
-            self.metrics.incr("facade.query_errors", 1);
-        }
-        result
-    }
-
-    fn structured_inner(&mut self, q: &Query) -> Result<QueryResult, QuarryError> {
-        let fingerprint = q.fingerprint();
-        let versions = self.table_versions(q);
-        if let Some(vs) = &versions {
-            if let Some(result) = self.qcache.get(&fingerprint, vs) {
-                self.dge.record(DgeEvent::StructuredQuery {
-                    rendered: q.display(),
-                    rows: result.rows.len(),
-                });
-                return Ok(result);
-            }
-        }
-        let result = execute(&self.db, q)?;
-        // Store only if no concurrent write raced the execution: versions
-        // re-read after the run must match the snapshot taken before it.
-        if let Some(vs) = versions {
-            if self.table_versions(q).as_ref() == Some(&vs) {
-                self.qcache.put(fingerprint, vs, result.clone());
-            }
-        }
-        self.dge
-            .record(DgeEvent::StructuredQuery { rendered: q.display(), rows: result.rows.len() });
-        Ok(result)
-    }
-
-    /// Current write version of every table `q` reads; `None` when any
-    /// referenced table does not exist (the query is then uncacheable and
-    /// executes directly, surfacing the engine's own error).
-    fn table_versions(&self, q: &Query) -> Option<Vec<(String, u64)>> {
-        q.tables().into_iter().map(|t| self.db.table_version(&t).ok().map(|v| (t, v))).collect()
+    /// Run a structured query, consulting the shared result cache first.
+    /// Executes against a freshly captured snapshot; see
+    /// [`Snapshot::query`] for the cache-consistency argument.
+    #[deprecated(since = "0.6.0", note = "capture a read session: `quarry.snapshot().query(q)`")]
+    pub fn structured(&self, q: &Query) -> Result<QueryResult, QuarryError> {
+        self.snapshot().query(q)
     }
 
     /// Declare a secondary index on a stored table's column (idempotent,
@@ -592,13 +551,17 @@ impl Quarry {
 
     /// Explain a structured query: the chosen physical plan with access
     /// paths, pushed predicates, and estimated vs. actual row counts.
+    #[deprecated(
+        since = "0.6.0",
+        note = "capture a read session: `quarry.snapshot().explain_query(q)`"
+    )]
     pub fn explain_query(&self, q: &Query) -> Result<String, QuarryError> {
-        Ok(q.explain(&self.db)?)
+        self.snapshot().explain_query(q)
     }
 
     /// Hit/miss/invalidation counters of the structured-query result cache.
     pub fn query_cache_stats(&self) -> QueryCacheStats {
-        self.qcache.stats()
+        self.shared.qcache.lock().stats()
     }
 
     /// A handle to the façade's shared metrics registry. Clones record
@@ -606,7 +569,7 @@ impl Quarry {
     /// server, background workers) can contribute observations that
     /// [`Quarry::metrics`] will report.
     pub fn metrics_registry(&self) -> MetricsRegistry {
-        self.metrics.clone()
+        self.shared.metrics.clone()
     }
 
     /// One unified observability snapshot: the live metrics registry
@@ -616,25 +579,7 @@ impl Quarry {
     /// [`Quarry::query_cache_stats`] (`qcache.*`), and the last pipeline
     /// run's [`ExecReport`] counters and operator timings (`exec.*`).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut snap = self.metrics.snapshot();
-        let cs = self.check_stats;
-        snap.counters.insert("check.checks".into(), cs.checks);
-        snap.counters.insert("check.errors".into(), cs.errors);
-        snap.counters.insert("check.warnings".into(), cs.warnings);
-        snap.counters.insert("check.total_micros".into(), cs.total_check_micros);
-        let qc = self.qcache.stats();
-        snap.counters.insert("qcache.hits".into(), qc.hits);
-        snap.counters.insert("qcache.misses".into(), qc.misses);
-        snap.counters.insert("qcache.invalidations".into(), qc.invalidations);
-        snap.counters.insert("qcache.entries".into(), qc.entries as u64);
-        for (name, n) in &self.last_report.counters {
-            snap.counters.insert(format!("exec.{name}"), *n);
-        }
-        for (name, op) in &self.last_report.operators {
-            snap.counters.insert(format!("exec.op.{name}.invocations"), op.invocations as u64);
-            snap.counters.insert(format!("exec.op.{name}.micros"), op.elapsed.as_micros() as u64);
-        }
-        snap
+        self.shared.metrics_snapshot()
     }
 
     /// Audit a stored table with the semantic debugger: constraints are
@@ -814,12 +759,14 @@ STORE INTO cities KEY name
         let stats = q.run_pipeline(CITY_PIPELINE).unwrap();
         assert!(stats.rows_stored >= corpus.truth.cities.len());
 
-        // The paper's exploitation path: keyword → suggested structured query.
+        // The paper's exploitation path: keyword → suggested structured query,
+        // both through one read session pinned to the post-pipeline LSN.
         let city = &corpus.truth.cities[0];
-        let (hits, candidates) = q.keyword(&format!("population {}", city.name), 5);
+        let snap = q.snapshot();
+        let (hits, candidates) = snap.keyword(&format!("population {}", city.name), 5);
         assert!(!hits.is_empty());
         assert!(!candidates.is_empty());
-        let result = q.structured(&candidates[0].query).unwrap();
+        let result = snap.query(&candidates[0].query).unwrap();
         assert!(
             result.rows.iter().flatten().any(|v| *v == Value::Int(city.population as i64)),
             "expected population {} in {result:?}",
@@ -899,18 +846,18 @@ STORE INTO cities KEY name
         );
         // First pipeline run fires the monitor (first evaluation).
         q.run_pipeline(CITY_PIPELINE).unwrap();
-        let fired: Vec<&DgeEvent> =
-            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).collect();
-        assert_eq!(fired.len(), 1);
+        let fired =
+            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).count();
+        assert_eq!(fired, 1);
         // Quiet when nothing changes.
         assert!(q.check_monitors().is_empty());
         // Re-ingesting and re-running with the same corpus keeps the same
         // answer → still quiet.
         q.ingest(corpus.docs.clone());
         q.run_pipeline(CITY_PIPELINE).unwrap();
-        let fired: Vec<&DgeEvent> =
-            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).collect();
-        assert_eq!(fired.len(), 1, "unchanged answer must not re-fire");
+        let fired =
+            q.dge.events().iter().filter(|e| matches!(e, DgeEvent::MonitorFired { .. })).count();
+        assert_eq!(fired, 1, "unchanged answer must not re-fire");
     }
 
     #[test]
@@ -966,11 +913,14 @@ STORE INTO broken KEY name"#;
         q.run_pipeline(CITY_PIPELINE).unwrap();
         let bad = Query::scan("cities")
             .filter(vec![quarry_query::Predicate::Eq("ghost".into(), Value::Null)]);
-        let report = q.check_query(&bad);
+        let report = q.snapshot().check_query(&bad);
         assert_eq!(report.error_count(), 1);
         assert_eq!(report.diagnostics[0].code, "QQ002");
         // ... and the same query is refused at execution time.
-        assert!(matches!(q.structured(&bad), Err(QuarryError::Query(QueryError::Invalid(_)))));
+        assert!(matches!(
+            q.snapshot().query(&bad),
+            Err(QuarryError::Query(QueryError::Invalid(_)))
+        ));
 
         let stats = q.check_stats();
         // check_program ×2 + check_query ×1 + run_pipeline's implicit gate.
@@ -1070,9 +1020,9 @@ STORE INTO companies KEY name"#,
         let query =
             Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
 
-        let first = q.structured(&query).unwrap();
+        let first = q.snapshot().query(&query).unwrap();
         assert_eq!(q.query_cache_stats().hits, 0);
-        let second = q.structured(&query).unwrap();
+        let second = q.snapshot().query(&query).unwrap();
         assert_eq!(second, first);
         assert_eq!(q.query_cache_stats().hits, 1, "repeat between writes is a hit");
 
@@ -1091,7 +1041,7 @@ STORE INTO companies KEY name"#,
             },
         )
         .unwrap();
-        let third = q.structured(&query).unwrap();
+        let third = q.snapshot().query(&query).unwrap();
         assert_eq!(third, first, "count unchanged by an update");
         let stats = q.query_cache_stats();
         assert_eq!(stats.hits, 1, "post-write lookup must re-execute");
@@ -1099,7 +1049,7 @@ STORE INTO companies KEY name"#,
 
         // Queries on missing tables are uncacheable and error as before.
         assert!(matches!(
-            q.structured(&Query::scan("ghost")),
+            q.snapshot().query(&Query::scan("ghost")),
             Err(QuarryError::Query(QueryError::Storage(_)))
         ));
 
@@ -1107,8 +1057,92 @@ STORE INTO companies KEY name"#,
         q.create_index("cities", "state").unwrap();
         let probe = Query::scan("cities")
             .filter(vec![quarry_query::Predicate::Eq("state".into(), "Wisconsin".into())]);
-        let plan_text = q.explain_query(&probe).unwrap();
+        let plan_text = q.snapshot().explain_query(&probe).unwrap();
         assert!(plan_text.contains("index eq(state"), "{plan_text}");
+    }
+
+    #[test]
+    fn snapshot_pins_reads_while_the_writer_proceeds() {
+        let (mut q, corpus) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let count =
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
+        let snap = q.snapshot();
+        let before = snap.query(&count).unwrap();
+
+        // Writer deletes a row after the capture.
+        let schema = q.db.schema("cities").unwrap();
+        let rows = q.db.scan_autocommit("cities").unwrap();
+        let key = schema.key_of(&rows[0]);
+        let tx = q.db.begin();
+        q.db.delete(tx, "cities", &key).unwrap();
+        q.db.commit(tx).unwrap();
+
+        // The held session is immutable; a fresh one sees the delete.
+        assert_eq!(snap.query(&count).unwrap(), before);
+        let after = q.snapshot();
+        assert!(after.lsn() > snap.lsn());
+        let n = |r: &QueryResult| r.scalar().cloned();
+        assert_eq!(
+            n(&after.query(&count).unwrap()),
+            Some(Value::Int(rows.len() as i64 - 1)),
+            "fresh snapshot sees the delete"
+        );
+        // Keyword search stays pinned to the captured docs too.
+        let (hits, _) = snap.keyword(&corpus.truth.cities[0].name, 3);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn qcache_race_window_is_closed_by_snapshot_versions() {
+        // Regression for the old guard: the live path read table versions
+        // before execution, executed against the *moving* store, and had
+        // to re-read versions afterwards to avoid caching a result that a
+        // concurrent writer had made inconsistent with the captured
+        // versions. A snapshot executes against the captured versions by
+        // construction, so its cache entry can never alias newer data.
+        let (mut q, _) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let count =
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
+
+        let stale = q.snapshot(); // captured before the write
+        let schema = q.db.schema("cities").unwrap();
+        let rows = q.db.scan_autocommit("cities").unwrap();
+        let tx = q.db.begin();
+        q.db.delete(tx, "cities", &schema.key_of(&rows[0])).unwrap();
+        q.db.commit(tx).unwrap();
+
+        // The stale session executes *after* the write and caches its
+        // result under the OLD versions (this is the old race window:
+        // version capture and execution straddle a committed write).
+        let old_count = stale.query(&count).unwrap();
+        assert_eq!(old_count.scalar(), Some(&Value::Int(rows.len() as i64)));
+
+        // A current session must not be served the stale entry.
+        let fresh = q.snapshot().query(&count).unwrap();
+        assert_eq!(fresh.scalar(), Some(&Value::Int(rows.len() as i64 - 1)));
+        assert!(q.query_cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_read_shims_still_serve() {
+        // The pre-snapshot API keeps working (with a deprecation warning)
+        // and returns the same answers as an explicit read session.
+        let (mut q, corpus) = system_with_corpus();
+        q.run_pipeline(CITY_PIPELINE).unwrap();
+        let query =
+            Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
+        assert_eq!(q.structured(&query).unwrap(), q.snapshot().query(&query).unwrap());
+        let kw = format!("population {}", corpus.truth.cities[0].name);
+        let (hits, cands) = q.keyword(&kw, 5);
+        let (snap_hits, snap_cands) = q.snapshot().keyword(&kw, 5);
+        assert_eq!(hits, snap_hits);
+        assert_eq!(cands.len(), snap_cands.len());
+        assert!(!q.suggest_forms(&kw, 3).is_empty());
+        assert_eq!(q.explain_query(&query).unwrap(), q.snapshot().explain_query(&query).unwrap());
+        assert_eq!(q.check_query(&query).error_count(), 0);
     }
 
     #[test]
@@ -1117,10 +1151,11 @@ STORE INTO companies KEY name"#,
         q.run_pipeline(CITY_PIPELINE).unwrap();
         let query =
             Query::scan("cities").aggregate(None, quarry_query::engine::AggFn::Count, "name");
-        q.structured(&query).unwrap();
-        q.structured(&query).unwrap(); // cache hit
-        q.keyword("population", 3);
-        assert!(q.structured(&Query::scan("ghost")).is_err());
+        let snap = q.snapshot();
+        snap.query(&query).unwrap();
+        snap.query(&query).unwrap(); // cache hit
+        snap.keyword("population", 3);
+        assert!(snap.query(&Query::scan("ghost")).is_err());
 
         let snap = q.metrics();
         // Façade request counters and latency histograms.

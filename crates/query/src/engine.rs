@@ -7,7 +7,7 @@
 //! needs and keyword search cannot express.
 
 use quarry_exec::diag::LintReport;
-use quarry_storage::{Database, Row, StorageError, Value};
+use quarry_storage::{Database, DbSnapshot, Row, StorageError, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -302,6 +302,14 @@ impl Query {
         Ok(format!("PHYSICAL PLAN: {}\n{}", self.display(), trace.render()))
     }
 
+    /// [`Query::explain`] against an immutable snapshot: same plan, same
+    /// rendering, no transaction or lock acquisition.
+    pub fn explain_snapshot(&self, snap: &DbSnapshot) -> Result<String, QueryError> {
+        let cfg = crate::planner::PlannerConfig::default();
+        let (_, trace) = crate::planner::execute_snapshot_with(snap, self, &cfg)?;
+        Ok(format!("PHYSICAL PLAN: {}\n{}", self.display(), trace.render()))
+    }
+
     /// Render as an SQL-flavored one-liner (forms, explanations, logs).
     pub fn display(&self) -> String {
         match self {
@@ -361,6 +369,14 @@ impl QueryResult {
 /// [`crate::planner::execute_with`] for the traced variant.
 pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, QueryError> {
     crate::planner::execute_with(db, q, &crate::planner::PlannerConfig::default())
+        .map(|(result, _)| result)
+}
+
+/// [`execute`] against an immutable [`DbSnapshot`]: the lock-free MVCC
+/// read path. Bit-identical results — rows, ordering, and error kinds —
+/// to executing the same query on the live database at the snapshot's LSN.
+pub fn execute_snapshot(snap: &DbSnapshot, q: &Query) -> Result<QueryResult, QueryError> {
+    crate::planner::execute_snapshot_with(snap, q, &crate::planner::PlannerConfig::default())
         .map(|(result, _)| result)
 }
 

@@ -24,11 +24,15 @@ pub mod index;
 pub mod lint;
 pub mod planner;
 pub mod session;
+pub mod source;
 pub mod translate;
 
 pub use engine::{AggFn, Predicate, Query, QueryError, QueryResult};
 pub use index::{InvertedIndex, SearchHit};
 pub use lint::check_query;
-pub use planner::{execute_with, plan, AccessPath, OpTrace, PhysPlan, PlannerConfig};
+pub use planner::{
+    execute_snapshot_with, execute_with, plan, AccessPath, OpTrace, PhysPlan, PlannerConfig,
+};
 pub use session::{Mode, Session};
+pub use source::{Catalog, Source};
 pub use translate::{CandidateQuery, Translator};

@@ -24,8 +24,9 @@
 //!   statically certain to fail with `NotNumeric` on any non-null value.
 
 use crate::engine::{AggFn, Query};
+use crate::source::Catalog;
 use quarry_exec::diag::{closest, Diagnostic, LintReport, Span};
-use quarry_storage::{DataType, Database};
+use quarry_storage::DataType;
 
 /// Diagnostic codes for structured-query validation.
 pub mod codes {
@@ -58,8 +59,10 @@ struct Checked {
 /// Validate a query tree against the database's schemas.
 ///
 /// The returned report's `source` is the query's [`Query::display`]
-/// rendering and every diagnostic's span indexes into it.
-pub fn check_query(db: &Database, q: &Query) -> LintReport {
+/// rendering and every diagnostic's span indexes into it. Generic over
+/// [`Catalog`]: validates identically against the live database or an
+/// immutable snapshot.
+pub fn check_query<C: Catalog>(db: &C, q: &Query) -> LintReport {
     let checked = check(db, q);
     LintReport::new("<query>", checked.rendered, checked.diags)
 }
@@ -99,7 +102,7 @@ fn lookup<'a>(columns: &'a Option<Vec<Col>>, name: &str) -> Option<&'a Col> {
     columns.as_ref()?.iter().find(|c| c.name == name)
 }
 
-fn check(db: &Database, q: &Query) -> Checked {
+fn check<C: Catalog>(db: &C, q: &Query) -> Checked {
     match q {
         Query::Scan { table } => {
             let rendered = format!("SELECT * FROM {table}");
@@ -284,7 +287,7 @@ mod tests {
     use super::*;
     use crate::engine::Predicate;
     use quarry_exec::diag::Severity;
-    use quarry_storage::{Column, TableSchema, Value};
+    use quarry_storage::{Column, Database, TableSchema, Value};
 
     fn db() -> Database {
         let db = Database::in_memory();

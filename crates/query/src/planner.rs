@@ -36,8 +36,9 @@
 //! [`Database::select`]: quarry_storage::Database::select
 
 use crate::engine::{compute_agg, Predicate, Query, QueryError, QueryResult};
+use crate::source::{Catalog, LiveTx, Source};
 use quarry_exec::PlanNode;
-use quarry_storage::{Database, Row, ScanAccess, Value};
+use quarry_storage::{Database, DbSnapshot, Row, ScanAccess, Value};
 use std::collections::HashMap;
 
 /// Physical-planner toggles (all on by default).
@@ -223,7 +224,10 @@ impl OpTrace {
 /// [`crate::lint`] validator in [`execute_with`]; anything that slips
 /// through (e.g. a table dropped mid-flight) still surfaces at execution,
 /// exactly where the unplanned engine raised it.
-pub fn plan(db: &Database, q: &Query, cfg: &PlannerConfig) -> PhysPlan {
+///
+/// Generic over [`Catalog`]: plans identically from the live [`Database`]
+/// or a [`DbSnapshot`] (whose statistics are frozen at capture time).
+pub fn plan<C: Catalog>(db: &C, q: &Query, cfg: &PlannerConfig) -> PhysPlan {
     match q {
         Query::Scan { table } => PhysPlan::Access {
             table: table.clone(),
@@ -302,8 +306,8 @@ pub fn plan(db: &Database, q: &Query, cfg: &PlannerConfig) -> PhysPlan {
 /// Preference order: the equality predicate with the lowest estimated
 /// match count (from index stats), then the first range-constrained
 /// indexed column with all its bounds intersected, then a full scan.
-fn choose_access(
-    db: &Database,
+fn choose_access<C: Catalog>(
+    db: &C,
     table: &str,
     residual: &[Predicate],
     cfg: &PlannerConfig,
@@ -392,7 +396,7 @@ pub fn execute_with(
     }
     let physical = plan(db, q, cfg);
     let tx = db.begin();
-    let out = exec_plan(db, tx, &physical);
+    let out = exec_plan(&LiveTx { db, tx }, &physical);
     match &out {
         Ok(_) => db.commit(tx)?,
         Err(_) => {
@@ -402,10 +406,27 @@ pub fn execute_with(
     out
 }
 
-fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTrace), QueryError> {
+/// Plan and execute against an immutable [`DbSnapshot`] — the lock-free
+/// MVCC read path. Identical validation, planning, and execution semantics
+/// to [`execute_with`], minus the transaction: a snapshot is already a
+/// stable view, so there is nothing to lock, begin, or commit.
+pub fn execute_snapshot_with(
+    snap: &DbSnapshot,
+    q: &Query,
+    cfg: &PlannerConfig,
+) -> Result<(QueryResult, OpTrace), QueryError> {
+    let report = crate::lint::check_query(snap, q);
+    if crate::lint::gates_execution(&report) {
+        return Err(QueryError::Invalid(report));
+    }
+    let physical = plan(snap, q, cfg);
+    exec_plan(snap, &physical)
+}
+
+fn exec_plan<S: Source>(src: &S, p: &PhysPlan) -> Result<(QueryResult, OpTrace), QueryError> {
     match p {
         PhysPlan::Access { table, path, residual, projection, est_rows } => {
-            let schema = db.schema(table)?;
+            let schema = src.schema(table)?;
             let cols: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
             let residual_idx: Vec<usize> = residual
                 .iter()
@@ -439,7 +460,7 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             };
             let mut pass =
                 |row: &[Value]| residual.iter().zip(&residual_idx).all(|(pr, &i)| pr.eval(&row[i]));
-            let (rows, scanned) = db.select(tx, table, access, &mut pass, proj_idx.as_deref())?;
+            let (rows, scanned) = src.select(table, access, &mut pass, proj_idx.as_deref())?;
             let columns = projection.clone().unwrap_or(cols);
             let mut label = format!("Access[{table} via {}]", path.describe());
             if !residual.is_empty() {
@@ -459,7 +480,7 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             Ok((QueryResult { columns, rows }, trace))
         }
         PhysPlan::Filter { input, predicates } => {
-            let (mut r, child) = exec_plan(db, tx, input)?;
+            let (mut r, child) = exec_plan(src, input)?;
             let idx: Vec<usize> = predicates
                 .iter()
                 .map(|pr| {
@@ -479,7 +500,7 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             Ok((r, trace))
         }
         PhysPlan::Project { input, columns } => {
-            let (r, child) = exec_plan(db, tx, input)?;
+            let (r, child) = exec_plan(src, input)?;
             let idx: Vec<usize> = columns
                 .iter()
                 .map(|c| r.column_index(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
@@ -496,8 +517,8 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             Ok((QueryResult { columns: columns.clone(), rows }, trace))
         }
         PhysPlan::HashJoin { left, right, left_col, right_col, select_build_side } => {
-            let (l, ltrace) = exec_plan(db, tx, left)?;
-            let (r, rtrace) = exec_plan(db, tx, right)?;
+            let (l, ltrace) = exec_plan(src, left)?;
+            let (r, rtrace) = exec_plan(src, right)?;
             let li = l
                 .column_index(left_col)
                 .ok_or_else(|| QueryError::UnknownColumn(left_col.clone()))?;
@@ -566,7 +587,7 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             Ok((QueryResult { columns, rows }, trace))
         }
         PhysPlan::Aggregate { input, group_by, agg, over } => {
-            let (r, child) = exec_plan(db, tx, input)?;
+            let (r, child) = exec_plan(src, input)?;
             let oi = r.column_index(over).ok_or_else(|| QueryError::UnknownColumn(over.clone()))?;
             let gi = match group_by {
                 Some(g) => {
@@ -608,7 +629,7 @@ fn exec_plan(db: &Database, tx: u64, p: &PhysPlan) -> Result<(QueryResult, OpTra
             Ok((QueryResult { columns, rows }, trace))
         }
         PhysPlan::Sort { input, by, desc, limit } => {
-            let (mut r, child) = exec_plan(db, tx, input)?;
+            let (mut r, child) = exec_plan(src, input)?;
             let i = r.column_index(by).ok_or_else(|| QueryError::UnknownColumn(by.clone()))?;
             // Stable sort: equal keys keep input order.
             r.rows.sort_by(|a, b| {
@@ -843,5 +864,55 @@ mod tests {
             }
             other => panic!("expected eq probe, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_execution_is_bit_identical_to_live_execution() {
+        let db = db_with_index();
+        db.create_index("facts", "num").unwrap();
+        let snap = db.snapshot();
+        let queries = vec![
+            Query::scan("facts"),
+            Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "c1".into())]),
+            Query::scan("facts")
+                .filter(vec![
+                    Predicate::Ge("num".into(), Value::Int(3)),
+                    Predicate::Lt("num".into(), Value::Int(9)),
+                ])
+                .project(&["id", "cat"]),
+            Query::scan("facts").aggregate(Some("cat"), AggFn::Count, "id"),
+            Query::scan("facts").join(Query::scan("facts"), "cat", "cat").sort("id", true, Some(7)),
+        ];
+        for (cfg_name, cfg) in
+            [("default", PlannerConfig::default()), ("full_scan", PlannerConfig::full_scan())]
+        {
+            for q in &queries {
+                let (live, live_trace) = execute_with(&db, q, &cfg).unwrap();
+                let (snap_r, snap_trace) = execute_snapshot_with(&snap, q, &cfg).unwrap();
+                assert_eq!(live, snap_r, "{cfg_name}: {}", q.display());
+                // Same plan shape, same rows-scanned accounting.
+                assert_eq!(live_trace.render(), snap_trace.render(), "{}", q.display());
+            }
+        }
+        // Error kinds line up on both paths.
+        let ghost = Query::scan("ghost");
+        assert!(matches!(
+            execute_snapshot_with(&snap, &ghost, &PlannerConfig::default()),
+            Err(QueryError::Storage(_))
+        ));
+        let bad_col = Query::scan("facts").filter(vec![Predicate::Eq("nope".into(), Value::Null)]);
+        assert!(matches!(
+            execute_snapshot_with(&snap, &bad_col, &PlannerConfig::default()),
+            Err(QueryError::Invalid(_))
+        ));
+        // The snapshot stays pinned: a post-snapshot write is invisible.
+        let tx = db.begin();
+        db.insert(tx, "facts", vec![Value::Int(999), "c1".into(), Value::Int(1)]).unwrap();
+        db.commit(tx).unwrap();
+        let count = Query::scan("facts").aggregate(None, AggFn::Count, "id");
+        let live = execute(&db, &count).unwrap();
+        let pinned = crate::engine::execute_snapshot(&snap, &count).unwrap();
+        assert_eq!(pinned.scalar(), Some(&Value::Int(100)));
+        assert_eq!(live.scalar(), Some(&Value::Int(101)));
     }
 }

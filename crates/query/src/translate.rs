@@ -69,6 +69,37 @@ impl Translator {
         t
     }
 
+    /// Build from an immutable [`DbSnapshot`] — identical vocabulary to
+    /// [`Translator::from_database`] at the snapshot's LSN (same sorted
+    /// table iteration, same row-id scan order), but lock-free: snapshot
+    /// readers can (re)build translators without touching the live engine.
+    pub fn from_snapshot(snap: &quarry_storage::DbSnapshot) -> Translator {
+        let mut t = Translator { synonyms: default_synonyms(), ..Default::default() };
+        for table in snap.table_names() {
+            let Ok(schema) = snap.schema(&table) else { continue };
+            let columns: Vec<(String, DataType)> =
+                schema.columns.iter().map(|c| (c.name.clone(), c.dtype)).collect();
+            if let Ok(rows) = snap.scan(&table) {
+                for row in &rows {
+                    for (j, v) in row.iter().enumerate() {
+                        if let Some(text) = v.as_text() {
+                            t.values
+                                .entry(text.to_lowercase())
+                                .or_default()
+                                .push((table.clone(), columns[j].0.clone()));
+                        }
+                    }
+                }
+            }
+            t.tables.push(TableInfo { name: table, columns });
+        }
+        for v in t.values.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        t
+    }
+
     /// Translate a keyword query into ranked candidates (at most `k`).
     pub fn translate(&self, keywords: &str, k: usize) -> Vec<CandidateQuery> {
         let tokens: Vec<String> = keywords

@@ -29,7 +29,8 @@ pub use faultfs::{BackendFile, CrashPlan, FaultBackend, Op, RealBackend, Storage
 pub use filestore::FileStore;
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use structured::{
-    Column, Database, IndexStats, LockManager, LockMode, Row, RowId, ScanAccess, TableSchema, TxId,
+    Column, Database, DbSnapshot, IndexStats, LockManager, LockMode, Row, RowId, ScanAccess,
+    TableSchema, TableView, TxId,
 };
 pub use value::{DataType, Value};
 pub use wal::{Wal, WalRecord};

@@ -22,6 +22,7 @@ use super::index::SecondaryIndex;
 use super::lock::{LockManager, LockMode, LockTarget};
 use super::recovery::LogRecord;
 use super::table::{Row, RowId, TableSchema};
+use super::view::{DbSnapshot, TableView};
 
 /// Transaction identifier; doubles as the wait-die age (smaller = older).
 pub type TxId = u64;
@@ -61,6 +62,7 @@ pub enum ScanAccess<'a> {
     },
 }
 
+#[derive(Clone)]
 struct Table {
     schema: TableSchema,
     heap: HashMap<RowId, Row>,
@@ -75,6 +77,14 @@ struct Table {
     /// Creation takes a fresh stamp too, so a dropped-and-recreated table
     /// never aliases versions with its predecessor.
     version: u64,
+    /// Version of the last change that is *committed*. Strictly trails
+    /// `version` exactly while some active transaction holds uncommitted
+    /// changes to this table — `version != stable_version` is the dirty
+    /// test that routes [`Database::snapshot`] onto its rollback path.
+    /// Commit and abort restamp both fields together (with a fresh clock
+    /// tick), so a stable version, like `version`, never aliases two
+    /// different committed contents.
+    stable_version: u64,
 }
 
 impl Table {
@@ -87,6 +97,7 @@ impl Table {
             indexes,
             next_row: 0,
             version: stamp,
+            stable_version: stamp,
         }
     }
 
@@ -154,6 +165,33 @@ enum Undo {
     Delete { table: String, row_id: RowId, old: Row },
 }
 
+impl Undo {
+    fn table(&self) -> &str {
+        match self {
+            Undo::Insert { table, .. }
+            | Undo::Update { table, .. }
+            | Undo::Delete { table, .. } => table,
+        }
+    }
+
+    /// Apply the inverse of the logged change to `t` (snapshot rollback
+    /// path: `t` is a private clone, so stamps don't matter — the caller
+    /// restamps the finished view).
+    fn apply_to(&self, t: &mut Table) {
+        match self {
+            Undo::Insert { row_id, .. } => {
+                t.apply_delete(t.version, *row_id);
+            }
+            Undo::Update { row_id, old, .. } => {
+                t.apply_update(t.version, *row_id, old.clone());
+            }
+            Undo::Delete { row_id, old, .. } => {
+                t.apply_insert(t.version, *row_id, old.clone());
+            }
+        }
+    }
+}
+
 #[derive(Default)]
 struct TxState {
     undo: Vec<Undo>,
@@ -193,6 +231,10 @@ pub struct Database {
     next_tx: AtomicU64,
     /// Monotone clock stamping every table mutation; see [`Table::version`].
     write_clock: AtomicU64,
+    /// Last published per-table views, keyed by table name: the snapshot
+    /// cache. A table whose version is unchanged since the last
+    /// [`Database::snapshot`] reuses its `Arc` instead of re-copying rows.
+    views: Mutex<HashMap<String, Arc<TableView>>>,
     /// When true (default), commit fsyncs the WAL.
     sync_commits: bool,
 }
@@ -208,6 +250,7 @@ impl Database {
             active: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
             write_clock: AtomicU64::new(0),
+            views: Mutex::new(HashMap::new()),
             sync_commits: true,
         }
     }
@@ -308,6 +351,10 @@ impl Database {
                     _ => {}
                 }
             }
+            // Everything replayed is committed history.
+            for t in tables.values_mut() {
+                t.stable_version = t.version;
+            }
         }
         db.next_tx.store(max_tx + 1, Ordering::SeqCst);
         Ok(db)
@@ -379,6 +426,9 @@ impl Database {
         })?;
         t.build_index(column);
         t.version = self.stamp();
+        if !Self::touched_by_active(&self.active.lock(), table) {
+            t.stable_version = t.version;
+        }
         Ok(())
     }
 
@@ -536,11 +586,43 @@ impl Database {
         tx
     }
 
+    /// True when any active transaction in `active` holds uncommitted
+    /// changes to `table`. Callers hold the `tables` lock (lock order is
+    /// always tables → active).
+    fn touched_by_active(active: &HashMap<TxId, TxState>, table: &str) -> bool {
+        active.values().any(|st| st.undo.iter().any(|u| u.table() == table))
+    }
+
+    /// Tables touched by `state`, deduplicated.
+    fn touched_tables(state: &TxState) -> Vec<String> {
+        let mut names: Vec<String> = state.undo.iter().map(|u| u.table().to_string()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Commit: durable once this returns.
+    ///
+    /// Every touched table takes a fresh *post-commit* stamp on both its
+    /// version fields, so the committed-content version only changes at
+    /// commit boundaries — a [`Database::snapshot`] taken mid-transaction
+    /// sorts strictly before the commit in version order.
     pub fn commit(&self, tx: TxId) -> Result<()> {
-        let mut active = self.active.lock();
-        active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
-        drop(active);
+        {
+            let mut tables = self.tables.lock();
+            let mut active = self.active.lock();
+            let state = active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
+            for name in Self::touched_tables(&state) {
+                if let Some(t) = tables.get_mut(&name) {
+                    t.version = self.stamp();
+                    // Another in-flight writer on the same table keeps it
+                    // dirty; its commit/abort will publish a stable stamp.
+                    if !Self::touched_by_active(&active, &name) {
+                        t.stable_version = t.version;
+                    }
+                }
+            }
+        }
         self.log_synced(&LogRecord::Commit { tx })?;
         self.locks.release_all(tx);
         Ok(())
@@ -548,28 +630,37 @@ impl Database {
 
     /// Abort: rolls back every in-memory change of `tx`.
     pub fn abort(&self, tx: TxId) -> Result<()> {
-        let mut active = self.active.lock();
-        let state = active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
-        drop(active);
         {
+            // Take the tables lock *before* removing the transaction from
+            // the active set: a concurrent snapshot must never observe the
+            // not-yet-rolled-back changes as committed state.
             let mut tables = self.tables.lock();
-            for undo in state.undo.into_iter().rev() {
+            let mut active = self.active.lock();
+            let state = active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
+            for undo in state.undo.iter().rev() {
                 let stamp = self.stamp();
                 match undo {
                     Undo::Insert { table, row_id } => {
-                        if let Some(t) = tables.get_mut(&table) {
-                            t.apply_delete(stamp, row_id);
+                        if let Some(t) = tables.get_mut(table) {
+                            t.apply_delete(stamp, *row_id);
                         }
                     }
                     Undo::Update { table, row_id, old } => {
-                        if let Some(t) = tables.get_mut(&table) {
-                            t.apply_update(stamp, row_id, old);
+                        if let Some(t) = tables.get_mut(table) {
+                            t.apply_update(stamp, *row_id, old.clone());
                         }
                     }
                     Undo::Delete { table, row_id, old } => {
-                        if let Some(t) = tables.get_mut(&table) {
-                            t.apply_insert(stamp, row_id, old);
+                        if let Some(t) = tables.get_mut(table) {
+                            t.apply_insert(stamp, *row_id, old.clone());
                         }
+                    }
+                }
+            }
+            for name in Self::touched_tables(&state) {
+                if let Some(t) = tables.get_mut(&name) {
+                    if !Self::touched_by_active(&active, &name) {
+                        t.stable_version = t.version;
                     }
                 }
             }
@@ -619,8 +710,10 @@ impl Database {
         self.log(&LogRecord::Insert { tx, table: table.to_string(), row_id, row: row.clone() })?;
         let stamp = self.stamp();
         t.apply_insert(stamp, row_id, row);
-        drop(tables);
+        // Register the undo entry while still holding the tables lock: a
+        // snapshot taken in between must see the table as dirty.
         self.push_undo(tx, Undo::Insert { table: table.to_string(), row_id });
+        drop(tables);
         Ok(row_id)
     }
 
@@ -669,8 +762,8 @@ impl Database {
         let old = t
             .apply_update(stamp, row_id, row)
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
-        drop(tables);
         self.push_undo(tx, Undo::Update { table: table.to_string(), row_id, old });
+        drop(tables);
         Ok(())
     }
 
@@ -692,8 +785,8 @@ impl Database {
         let old = t
             .apply_delete(stamp, row_id)
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
-        drop(tables);
         self.push_undo(tx, Undo::Delete { table: table.to_string(), row_id, old });
+        drop(tables);
         Ok(())
     }
 
@@ -846,6 +939,69 @@ impl Database {
                 Ok((out, scanned))
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC snapshots
+    // ------------------------------------------------------------------
+
+    /// Capture a consistent, immutable snapshot of all **committed**
+    /// state, pinned to the current write-clock LSN.
+    ///
+    /// Reads against the returned [`DbSnapshot`] take no locks and never
+    /// block (or are blocked by) writers. The snapshot is cheap when the
+    /// database is quiet: per-table views are cached in the engine and
+    /// re-used by `Arc` as long as a table's version is unchanged, so the
+    /// steady-state cost is one `Arc` clone per table. Only tables that
+    /// changed since the last snapshot are re-copied; tables with
+    /// uncommitted in-flight changes are rolled back to their committed
+    /// contents via the owning transactions' undo logs (strict 2PL makes
+    /// undo entries of concurrent transactions row-disjoint, so the
+    /// rollback order across transactions is immaterial).
+    pub fn snapshot(&self) -> DbSnapshot {
+        let tables = self.tables.lock();
+        let active = self.active.lock();
+        let mut cache = self.views.lock();
+        cache.retain(|name, _| tables.contains_key(name));
+        let mut out = HashMap::with_capacity(tables.len());
+        for (name, t) in tables.iter() {
+            let clean = t.version == t.stable_version;
+            let view = if clean {
+                let hit = cache.get(name).filter(|v| v.version() == t.version).cloned();
+                match hit {
+                    Some(v) => v,
+                    None => {
+                        let v = Arc::new(TableView::build(
+                            t.schema.clone(),
+                            &t.heap,
+                            &t.indexes,
+                            t.version,
+                        ));
+                        cache.insert(name.clone(), Arc::clone(&v));
+                        v
+                    }
+                }
+            } else {
+                // Dirty: subtract every active transaction's
+                // uncommitted changes from a private clone. The view
+                // is stamped with a fresh clock tick (never cached):
+                // a fresh stamp can't alias any other content, and the
+                // table will publish a real stable version at the next
+                // commit or abort.
+                let mut tmp = t.clone();
+                for st in active.values() {
+                    for undo in st.undo.iter().rev() {
+                        if undo.table() == name.as_str() {
+                            undo.apply_to(&mut tmp);
+                        }
+                    }
+                }
+                Arc::new(TableView::build(tmp.schema, &tmp.heap, &tmp.indexes, self.stamp()))
+            };
+            out.insert(name.clone(), view);
+        }
+        let lsn = self.write_clock.load(Ordering::SeqCst);
+        DbSnapshot::new(lsn, out)
     }
 
     /// Number of rows in a table (unlocked, diagnostics only).
@@ -1226,6 +1382,154 @@ mod tests {
         assert!(matches!(db.checkpoint(), Err(StorageError::TxAborted(_))));
         db.commit(tx).unwrap();
         db.checkpoint().unwrap();
+    }
+
+    fn snap_rows(db: &Database) -> Vec<Row> {
+        db.snapshot().scan("people").unwrap()
+    }
+
+    #[test]
+    fn snapshot_sees_committed_state_only() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("base", 1, "a")).unwrap();
+
+        let tx = db.begin();
+        db.insert(tx, "people", person("pending", 2, "b")).unwrap();
+        db.update(tx, "people", &["base".into()], person("base", 99, "z")).unwrap();
+
+        // Mid-transaction snapshot: the uncommitted insert and update are
+        // both invisible.
+        assert_eq!(snap_rows(&db), vec![person("base", 1, "a")]);
+        // The index state of the view is rolled back too.
+        let snap = db.snapshot();
+        let (rows, _) = snap
+            .select(
+                "people",
+                ScanAccess::Index { column: "age", lo: Some(&Value::Int(99)), hi: None },
+                &mut |_| true,
+                None,
+            )
+            .unwrap();
+        assert!(rows.is_empty(), "uncommitted index entries must not leak");
+
+        db.commit(tx).unwrap();
+        let mut after = snap_rows(&db);
+        after.sort_by_key(|r| r[0].to_string());
+        assert_eq!(after, vec![person("base", 99, "z"), person("pending", 2, "b")]);
+        // The pre-commit snapshot is immutable: it still shows old state.
+        assert_eq!(snap.scan("people").unwrap(), vec![person("base", 1, "a")]);
+    }
+
+    #[test]
+    fn snapshot_is_stable_while_writers_proceed() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("p0", 0, "x")).unwrap();
+        let snap = db.snapshot();
+        let lsn = snap.lsn();
+        for i in 1..10 {
+            db.insert_autocommit("people", person(&format!("p{i}"), i, "x")).unwrap();
+        }
+        assert_eq!(snap.row_count("people").unwrap(), 1);
+        assert_eq!(snap.lsn(), lsn);
+        let later = db.snapshot();
+        assert!(later.lsn() > lsn, "LSN advances with committed writes");
+        assert_eq!(later.row_count("people").unwrap(), 10);
+    }
+
+    #[test]
+    fn snapshot_views_are_shared_until_tables_change() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+        let s1 = db.snapshot();
+        let s2 = db.snapshot();
+        assert!(
+            Arc::ptr_eq(s1.table("people").unwrap(), s2.table("people").unwrap()),
+            "unchanged table views are Arc-shared"
+        );
+        db.insert_autocommit("people", person("b", 2, "x")).unwrap();
+        let s3 = db.snapshot();
+        assert!(!Arc::ptr_eq(s1.table("people").unwrap(), s3.table("people").unwrap()));
+        assert_ne!(
+            s1.table_version("people").unwrap(),
+            s3.table_version("people").unwrap(),
+            "changed contents imply a new version"
+        );
+    }
+
+    #[test]
+    fn snapshot_excludes_aborted_work_and_matches_select_semantics() {
+        let db = Database::in_memory();
+        db.create_table(people_schema()).unwrap();
+        for i in 0..8 {
+            db.insert_autocommit("people", person(&format!("p{i}"), i, "x")).unwrap();
+        }
+        let tx = db.begin();
+        db.delete(tx, "people", &["p3".into()]).unwrap();
+        db.abort(tx).unwrap();
+
+        let snap = db.snapshot();
+        // Full-path and index-path reads agree with the live engine.
+        let tx = db.begin();
+        for access in [
+            ScanAccess::Full,
+            ScanAccess::Index { column: "age", lo: Some(&Value::Int(2)), hi: Some(&Value::Int(6)) },
+        ] {
+            let mut live_filter = |row: &[Value]| row[1].as_f64().unwrap() as i64 % 2 == 0;
+            let live =
+                db.select(tx, "people", access, &mut live_filter, Some(&[0, 1][..])).unwrap();
+            let mut snap_filter = |row: &[Value]| row[1].as_f64().unwrap() as i64 % 2 == 0;
+            let snapped = snap.select("people", access, &mut snap_filter, Some(&[0, 1])).unwrap();
+            assert_eq!(live, snapped, "access {access:?}");
+        }
+        db.commit(tx).unwrap();
+
+        // Unknown table / unindexed column give the live error kinds.
+        assert!(matches!(snap.scan("ghost"), Err(StorageError::NoSuchTable(_))));
+        let err = snap
+            .select(
+                "people",
+                ScanAccess::Index { column: "city", lo: None, hi: None },
+                &mut |_| true,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn concurrent_snapshots_see_consistent_prefixes() {
+        let db = Arc::new(Database::in_memory());
+        db.create_table(people_schema()).unwrap();
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..200i64 {
+                    db.insert_autocommit("people", person(&format!("p{i:04}"), i, "x")).unwrap();
+                }
+            })
+        };
+        let mut last_lsn = 0;
+        let mut last_len = 0;
+        for _ in 0..300 {
+            let snap = db.snapshot();
+            let rows = snap.scan("people").unwrap();
+            // Row-id order = insertion order, so a consistent cut is a
+            // strict prefix of the writer's sequence.
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row[1], Value::Int(i as i64), "snapshot must be a prefix");
+            }
+            assert!(rows.len() >= last_len, "later snapshots never lose writes");
+            assert!(snap.lsn() >= last_lsn, "LSN is monotone");
+            last_len = rows.len();
+            last_lsn = snap.lsn();
+            // Re-reading the same snapshot is repeatable.
+            assert_eq!(snap.scan("people").unwrap().len(), rows.len());
+        }
+        writer.join().unwrap();
+        assert_eq!(db.snapshot().row_count("people").unwrap(), 200);
     }
 
     #[test]

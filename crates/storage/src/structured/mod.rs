@@ -10,6 +10,7 @@
 //!   avoidance ([`lock`]);
 //! - a write-ahead log and redo recovery that restores exactly the
 //!   committed prefix after a crash ([`recovery`]);
+//! - lock-free MVCC snapshot reads pinned to a write-clock LSN ([`view`]);
 //! - the [`Database`] façade tying them together ([`engine`]).
 
 pub mod engine;
@@ -17,8 +18,10 @@ pub mod index;
 pub mod lock;
 pub mod recovery;
 pub mod table;
+pub mod view;
 
 pub use engine::{Database, IndexStats, ScanAccess, TxId};
 pub use lock::{LockManager, LockMode};
 pub use recovery::LogRecord;
 pub use table::{Column, Row, RowId, TableSchema};
+pub use view::{DbSnapshot, TableView};

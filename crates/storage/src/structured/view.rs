@@ -1,0 +1,218 @@
+//! Immutable point-in-time views: [`TableView`] and [`DbSnapshot`].
+//!
+//! A [`DbSnapshot`] is the MVCC read half of the engine: an O(1)-to-clone
+//! bundle of `Arc`-shared per-table views pinned to one LSN of the global
+//! write clock. Snapshot reads take **no locks** — they never block
+//! writers, writers never block them, and two snapshots of the same
+//! version share their table views structurally. Writers keep the strict
+//! 2PL + WAL path in [`super::engine::Database`]; see `docs/concurrency.md`.
+
+use crate::error::StorageError;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::engine::{IndexStats, ScanAccess};
+use super::index::SecondaryIndex;
+use super::table::{Row, RowId, TableSchema};
+
+/// An immutable copy of one table's committed state at a point in time.
+///
+/// Rows are held sorted by row id, so both access paths of
+/// [`TableView::select`] produce rows in exactly the same order as the
+/// live engine: row-id (insertion) order.
+#[derive(Debug)]
+pub struct TableView {
+    schema: TableSchema,
+    /// Rows sorted ascending by row id.
+    rows: Vec<(RowId, Row)>,
+    /// Column name → secondary index, cloned from the live table.
+    indexes: HashMap<String, SecondaryIndex>,
+    /// The table's write version at capture time; equal versions imply
+    /// identical contents (see `Table::version` in the engine).
+    version: u64,
+}
+
+impl TableView {
+    pub(crate) fn build(
+        schema: TableSchema,
+        heap: &HashMap<RowId, Row>,
+        indexes: &HashMap<String, SecondaryIndex>,
+        version: u64,
+    ) -> TableView {
+        let mut rows: Vec<(RowId, Row)> = heap.iter().map(|(id, row)| (*id, row.clone())).collect();
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        TableView { schema, rows, indexes: indexes.clone(), version }
+    }
+
+    /// The captured write version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The captured schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn row(&self, id: RowId) -> Option<&Row> {
+        self.rows.binary_search_by_key(&id, |(rid, _)| *rid).ok().map(|i| &self.rows[i].1)
+    }
+
+    /// Names of the indexed columns, sorted (mirrors
+    /// `Database::indexed_columns`).
+    pub fn indexed_columns(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indexes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Cardinality statistics of one secondary index (`None` when the
+    /// column carries no index).
+    pub fn index_stats(&self, column: &str) -> Option<IndexStats> {
+        self.indexes
+            .get(column)
+            .map(|ix| IndexStats { entries: ix.len(), distinct: ix.distinct_values() })
+    }
+
+    /// Filtered, projected read mirroring `Database::select` bit for bit:
+    /// same row order (row-id order on both paths), same `(rows, scanned)`
+    /// accounting, same error kinds — but lock-free.
+    pub fn select(
+        &self,
+        access: ScanAccess<'_>,
+        filter: &mut dyn FnMut(&[Value]) -> bool,
+        projection: Option<&[usize]>,
+    ) -> Result<(Vec<Row>, usize)> {
+        let materialize = |row: &Row| -> Row {
+            match projection {
+                Some(cols) => cols.iter().map(|&i| row[i].clone()).collect(),
+                None => row.clone(),
+            }
+        };
+        match access {
+            ScanAccess::Full => {
+                let mut out = Vec::new();
+                let mut scanned = 0usize;
+                for (_, row) in &self.rows {
+                    scanned += 1;
+                    if filter(row) {
+                        out.push(materialize(row));
+                    }
+                }
+                Ok((out, scanned))
+            }
+            ScanAccess::Index { column, lo, hi } => {
+                let ix = self.indexes.get(column).ok_or_else(|| {
+                    StorageError::SchemaViolation(format!(
+                        "no index on {}.{column}",
+                        self.schema.name
+                    ))
+                })?;
+                let mut row_ids = ix.range(lo, hi);
+                // Row-id order = full-scan order.
+                row_ids.sort_unstable();
+                let mut out = Vec::new();
+                let mut scanned = 0usize;
+                for row_id in row_ids {
+                    if let Some(row) = self.row(row_id) {
+                        scanned += 1;
+                        if filter(row) {
+                            out.push(materialize(row));
+                        }
+                    }
+                }
+                Ok((out, scanned))
+            }
+        }
+    }
+
+    /// All rows in row-id order (mirrors `Database::scan`).
+    pub fn scan(&self) -> Vec<Row> {
+        self.rows.iter().map(|(_, row)| row.clone()).collect()
+    }
+}
+
+/// A consistent, immutable snapshot of every table's **committed** state,
+/// pinned to one LSN of the database's write clock.
+///
+/// Cloning is O(tables): only `Arc` roots are copied. Every read method
+/// mirrors its `Database` counterpart — same results, same ordering, same
+/// error kinds — so query plans execute identically over either.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    lsn: u64,
+    tables: HashMap<String, Arc<TableView>>,
+}
+
+impl DbSnapshot {
+    pub(crate) fn new(lsn: u64, tables: HashMap<String, Arc<TableView>>) -> DbSnapshot {
+        DbSnapshot { lsn, tables }
+    }
+
+    /// The write-clock value this snapshot is pinned to: the snapshot
+    /// holds every write stamped `<= lsn` that had committed at capture
+    /// time, and no write stamped later.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// The captured view of one table.
+    pub fn table(&self, table: &str) -> Result<&Arc<TableView>> {
+        self.tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    /// The schema of a table (mirrors `Database::schema`).
+    pub fn schema(&self, table: &str) -> Result<TableSchema> {
+        Ok(self.table(table)?.schema().clone())
+    }
+
+    /// Names of all tables, sorted (mirrors `Database::table_names`).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The captured write version of a table; keys the query cache.
+    pub fn table_version(&self, table: &str) -> Result<u64> {
+        Ok(self.table(table)?.version())
+    }
+
+    /// Names of the indexed columns of a table, sorted.
+    pub fn indexed_columns(&self, table: &str) -> Result<Vec<String>> {
+        Ok(self.table(table)?.indexed_columns())
+    }
+
+    /// Index cardinality statistics (mirrors `Database::index_stats`).
+    pub fn index_stats(&self, table: &str, column: &str) -> Result<Option<IndexStats>> {
+        Ok(self.table(table)?.index_stats(column))
+    }
+
+    /// Number of rows in a table (mirrors `Database::row_count`).
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.table(table)?.row_count())
+    }
+
+    /// Filtered, projected, lock-free read (mirrors `Database::select`).
+    pub fn select(
+        &self,
+        table: &str,
+        access: ScanAccess<'_>,
+        filter: &mut dyn FnMut(&[Value]) -> bool,
+        projection: Option<&[usize]>,
+    ) -> Result<(Vec<Row>, usize)> {
+        self.table(table)?.select(access, filter, projection)
+    }
+
+    /// All rows of a table in row-id order (mirrors `Database::scan`).
+    pub fn scan(&self, table: &str) -> Result<Vec<Row>> {
+        Ok(self.table(table)?.scan())
+    }
+}

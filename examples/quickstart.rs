@@ -46,10 +46,12 @@ STORE INTO cities KEY name
         stats.extractions, stats.entities, stats.rows_stored
     );
 
-    // 4. Exploit the structure. Keyword search finds *pages*; the derived
+    // 4. Exploit the structure through a read session pinned to the
+    //    current state. Keyword search finds *pages*; the derived
     //    structure answers *questions*.
     let city = &corpus.truth.cities[0];
-    let (hits, candidates) = quarry.keyword(&format!("average july_temp {}", city.name), 3);
+    let session = quarry.snapshot();
+    let (hits, candidates) = session.keyword(&format!("average july_temp {}", city.name), 3);
     println!(
         "keyword search: {} page hits, {} suggested structured queries",
         hits.len(),
@@ -59,7 +61,7 @@ STORE INTO cities KEY name
     let q = Query::scan("cities")
         .filter(vec![quarry::query::Predicate::Eq("name".into(), city.name.as_str().into())])
         .aggregate(None, AggFn::Avg, "july_temp");
-    let answer = quarry.structured(&q).expect("query runs");
+    let answer = session.query(&q).expect("query runs");
     let got = answer.scalar().and_then(Value::as_f64).expect("one number");
     println!(
         "Q: average July temperature in {}?  system: {:.1} °F   ground truth: {} °F",

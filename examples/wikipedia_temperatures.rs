@@ -48,8 +48,11 @@ fn main() {
     let city = &corpus.truth.cities[0];
 
     // --- Mode 1: keyword search (what a 2009 search engine gives you). ---
+    // All exploitation modes run on one read session pinned to the
+    // post-pipeline state.
+    let session = quarry.snapshot();
     let (hits, candidates) =
-        quarry.keyword(&format!("average march september temperature {}", city.name), 5);
+        session.keyword(&format!("average march september temperature {}", city.name), 5);
     println!("\nkeyword mode: top pages for the question:");
     for h in hits.iter().take(3) {
         let title = &corpus.docs[h.doc.index()].title;
@@ -67,7 +70,7 @@ fn main() {
         let q = Query::scan("city_temps")
             .filter(vec![Predicate::Eq("name".into(), city.name.as_str().into())])
             .aggregate(None, AggFn::Avg, &format!("{m}_temp"));
-        let r = quarry.structured(&q).expect("query");
+        let r = session.query(&q).expect("query");
         sum += r.scalar().and_then(Value::as_f64).expect("value");
     }
     let answer = sum / range.len() as f64;
@@ -77,10 +80,10 @@ fn main() {
     assert!((answer - truth).abs() < 0.01, "exact structure ⇒ exact answer");
 
     // --- The seamless transition: choose a suggested form and run it. ---
-    let (_, candidates) = quarry.keyword(&format!("average july_temp {}", city.name), 3);
+    let (_, candidates) = session.keyword(&format!("average july_temp {}", city.name), 3);
     let top = &candidates[0];
     println!("\nguided mode: top suggested form: {}", top.query.display());
-    let r = quarry.structured(&top.query).expect("form runs");
+    let r = session.query(&top.query).expect("form runs");
     println!("  answer: {}", r.rows[0].last().expect("value"));
 
     let (gen, exploit) = quarry.dge.generation_exploitation_split();

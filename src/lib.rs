@@ -49,6 +49,6 @@ pub use quarry_serve as serve;
 pub use quarry_storage as storage;
 pub use quarry_uncertainty as uncertainty;
 
-pub use quarry_core::{CheckStats, Quarry, QuarryConfig, QuarryError};
+pub use quarry_core::{CheckStats, Quarry, QuarryConfig, QuarryError, SharedQuarry, Snapshot};
 pub use quarry_exec::{Diagnostic, ExecPool, ExecReport, LintReport, Severity, Span};
 pub use quarry_extract::{extract_all, Extraction, ExtractorSet};

@@ -36,12 +36,14 @@ fn generation_then_exploitation_answers_ground_truth() {
     assert!(stats.rows_stored >= corpus.truth.cities.len());
 
     // Every city's stored population matches ground truth (zero noise).
+    // One read session covers the whole exploitation phase.
+    let snap = q.snapshot();
     let mut correct = 0;
     for city in &corpus.truth.cities {
         let query = Query::scan("cities")
             .filter(vec![Predicate::Eq("name".into(), city.name.as_str().into())])
             .project(&["population"]);
-        let r = q.structured(&query).unwrap();
+        let r = snap.query(&query).unwrap();
         if r.rows.first().map(|row| row[0].clone()) == Some(Value::Int(city.population as i64)) {
             correct += 1;
         }
@@ -54,7 +56,7 @@ fn generation_then_exploitation_answers_ground_truth() {
 
     // Aggregate over the derived structure matches an aggregate over truth.
     let query = Query::scan("cities").aggregate(None, AggFn::Max, "july_temp");
-    let system_max = q.structured(&query).unwrap().scalar().cloned().unwrap();
+    let system_max = snap.query(&query).unwrap().scalar().cloned().unwrap();
     let true_max = corpus.truth.cities.iter().map(|c| c.monthly_temp_f[6]).max().unwrap();
     assert_eq!(system_max, Value::Int(true_max as i64));
 }
@@ -67,12 +69,13 @@ fn keyword_mode_cannot_answer_but_structured_mode_can() {
 
     // Keyword search: pages, not answers. The top hit is (hopefully) the
     // right page, but the user still has to read it.
-    let (hits, candidates) = q.keyword(&format!("average july_temp {}", city.name), 5);
+    let snap = q.snapshot();
+    let (hits, candidates) = snap.keyword(&format!("average july_temp {}", city.name), 5);
     assert!(!hits.is_empty());
 
     // The suggested structured query actually computes the number.
     let top = candidates.first().expect("a candidate");
-    let r = q.structured(&top.query).unwrap();
+    let r = snap.query(&top.query).unwrap();
     let vals: Vec<&Value> = r.rows.iter().flatten().collect();
     assert!(
         vals.iter().any(|v| **v == Value::Int(city.monthly_temp_f[6] as i64)
@@ -138,8 +141,9 @@ fn lineage_and_audit_complete_the_loop() {
 fn dge_log_tells_the_story() {
     let (mut q, corpus) = boot(5);
     q.run_pipeline(PIPELINE).unwrap();
-    q.keyword("population", 3);
-    q.structured(&Query::scan("cities")).unwrap();
+    let snap = q.snapshot();
+    snap.keyword("population", 3);
+    snap.query(&Query::scan("cities")).unwrap();
     let events = q.dge.events();
     assert!(events.len() >= 4);
     let rendered: Vec<String> = events.iter().map(|e| e.to_string()).collect();

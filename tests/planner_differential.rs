@@ -177,7 +177,7 @@ fn planner_errors_match_reference_errors() {
 
 #[test]
 fn cached_results_are_bit_identical_to_fresh_execution() {
-    let mut q = Quarry::new(QuarryConfig::default()).unwrap();
+    let q = Quarry::new(QuarryConfig::default()).unwrap();
     q.db.create_table(
         TableSchema::new(
             "facts",
@@ -195,17 +195,18 @@ fn cached_results_are_bit_identical_to_fresh_execution() {
     q.create_index("facts", "cat").unwrap();
 
     let query = Query::scan("facts").filter(vec![Predicate::Eq("cat".into(), "cat2".into())]);
-    let fresh = q.structured(&query).unwrap();
-    let cached = q.structured(&query).unwrap();
+    let fresh = q.snapshot().query(&query).unwrap();
+    let cached = q.snapshot().query(&query).unwrap();
     assert_eq!(cached, fresh, "cache hit must serve identical bytes");
     assert_eq!(q.query_cache_stats().hits, 1);
 
-    // A write invalidates; the re-executed result reflects it and the new
-    // result becomes the cached one.
+    // A write invalidates; a post-write snapshot pins the new table
+    // versions, so its re-executed result reflects the write and becomes
+    // the cached one.
     q.db.insert_autocommit("facts", vec![Value::Int(1000), "cat2".into()]).unwrap();
-    let after_write = q.structured(&query).unwrap();
+    let after_write = q.snapshot().query(&query).unwrap();
     assert_eq!(after_write.rows.len(), fresh.rows.len() + 1);
-    let again = q.structured(&query).unwrap();
+    let again = q.snapshot().query(&query).unwrap();
     assert_eq!(again, after_write);
     assert_eq!(q.query_cache_stats().hits, 2);
 }

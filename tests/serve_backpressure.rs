@@ -4,7 +4,9 @@
 //! timing races.
 
 use quarry::core::{Quarry, QuarryConfig};
+use quarry::query::Query;
 use quarry::serve::{Client, ClientError, Request, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -163,6 +165,87 @@ fn graceful_shutdown_drains_the_in_flight_request() {
     // drained request's effects applied to the façade we get back.
     let quarry = server.join();
     assert!(quarry.db.table_names().iter().any(|t| t.as_str() == "towns"), "drained pipeline ran");
+}
+
+/// The MVCC split's first obligation: a read request parked *at its
+/// execution point* (snapshot already captured) holds no lock another
+/// read needs, so a second concurrent read completes while the first is
+/// still in flight. Under the old serialize-through-a-facade-mutex
+/// design this deadlocked the second read behind the first.
+#[test]
+fn a_parked_read_does_not_block_a_second_read() {
+    let (gate, entered) = Gate::new();
+    let first = Arc::new(AtomicBool::new(true));
+    let q = Quarry::new(QuarryConfig::default()).unwrap();
+    let cfg = ServeConfig {
+        workers: 4,
+        max_in_flight: 8,
+        request_hook: Some(Arc::new({
+            let gate = Arc::clone(&gate);
+            let first = Arc::clone(&first);
+            move |req: &Request| {
+                if matches!(req, Request::Query(_)) && first.swap(false, Ordering::SeqCst) {
+                    gate.wait();
+                }
+            }
+        })),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(q, "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+
+    // Park the first read mid-execution.
+    let parked = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.query(&Query::scan("ghost"))
+    });
+    entered.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(server.in_flight(), 1);
+
+    // A second read completes while the first stays parked. (The answer
+    // is a server-side "no such table" error — which is a *completed*
+    // read: the request executed against its snapshot and replied.)
+    let mut c2 = Client::connect(addr).unwrap();
+    let r2 = c2.query(&Query::scan("ghost"));
+    assert!(
+        matches!(r2, Err(ClientError::Server { .. })),
+        "second read must complete while the first is parked, got {r2:?}"
+    );
+    assert_eq!(server.in_flight(), 1, "the parked read is still in flight");
+
+    gate.release();
+    let r1 = parked.join().unwrap();
+    assert!(matches!(r1, Err(ClientError::Server { .. })));
+    drop(server.join());
+}
+
+/// And the second obligation: a write parked *inside the single-writer
+/// critical section* blocks no read — every exploitation mode keeps
+/// executing against snapshots while the writer lock is held.
+#[test]
+fn a_parked_write_does_not_block_reads() {
+    let (gate, entered) = Gate::new();
+    let server = gated_server(Arc::clone(&gate), 8);
+    let addr = server.local_addr();
+
+    // Park a pipeline inside the writer critical section.
+    let parked = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.qdl(PIPELINE)
+    });
+    entered.recv_timeout(Duration::from_secs(10)).unwrap();
+
+    // Reads of every kind complete while the write holds the lock.
+    let mut c2 = Client::connect(addr).unwrap();
+    c2.stats().expect("stats while a write is parked");
+    let (hits, cands) = c2.keyword("anything", 3).expect("keyword while a write is parked");
+    assert!(hits.is_empty() && cands.is_empty(), "empty corpus");
+    let r = c2.query(&Query::scan("ghost"));
+    assert!(matches!(r, Err(ClientError::Server { .. })), "query executed, got {r:?}");
+
+    gate.release();
+    parked.join().unwrap().expect("parked pipeline completes after release");
+    drop(server.join());
 }
 
 #[test]

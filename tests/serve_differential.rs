@@ -9,11 +9,11 @@
 //! interleave. A mid-soak `Checkpoint` plus a full server restart from
 //! the WAL must recover a logically identical database.
 
-use quarry::core::{Quarry, QuarryConfig, QuarryError};
+use quarry::core::{Quarry, QuarryConfig, QuarryError, SharedQuarry};
 use quarry::query::engine::{AggFn, Query};
 use quarry::query::Predicate;
 use quarry::serve::{Client, ClientError, ServeConfig, Server};
-use quarry::storage::Value;
+use quarry::storage::{Column, DataType, TableSchema, Value};
 use quarry_corpus::{Corpus, CorpusConfig, NoiseConfig};
 use std::time::Duration;
 
@@ -65,8 +65,8 @@ fn facade_error(e: &QuarryError) -> String {
     format!("err:{kind}:{e}")
 }
 
-fn direct_outcome(q: &mut Quarry, query: &Query) -> String {
-    match q.structured(query) {
+fn direct_outcome(q: &Quarry, query: &Query) -> String {
+    match q.snapshot().query(query) {
         Ok(r) => render_rows(&r.columns, &r.rows),
         Err(e) => facade_error(&e),
     }
@@ -107,8 +107,8 @@ fn four_concurrent_clients_match_the_facade_bit_for_bit() {
         ref_stats.rows_stored as u64,
     );
     let qs = queries();
-    let ref_outcomes: Vec<String> = qs.iter().map(|q| direct_outcome(&mut direct, q)).collect();
-    let (ref_hits, ref_cands) = direct.keyword("population Wisconsin", 5);
+    let ref_outcomes: Vec<String> = qs.iter().map(|q| direct_outcome(&direct, q)).collect();
+    let (ref_hits, ref_cands) = direct.snapshot().keyword("population Wisconsin", 5);
     let ref_keyword = format!(
         "{:?}|{:?}",
         ref_hits.iter().map(|h| (h.doc.0, h.score)).collect::<Vec<_>>(),
@@ -117,7 +117,7 @@ fn four_concurrent_clients_match_the_facade_bit_for_bit() {
             .map(|c| (c.query.display(), c.score, c.explanation.clone()))
             .collect::<Vec<_>>()
     );
-    let ref_explain = direct.explain_query(&qs[1]).unwrap();
+    let ref_explain = direct.snapshot().explain_query(&qs[1]).unwrap();
     // The reference workload itself is idempotent: re-running the
     // pipeline leaves every outcome unchanged.
     let again = direct.run_pipeline(PIPELINE).unwrap();
@@ -131,7 +131,7 @@ fn four_concurrent_clients_match_the_facade_bit_for_bit() {
         ref_stable
     );
     for (q, expect) in qs.iter().zip(&ref_outcomes) {
-        assert_eq!(&direct_outcome(&mut direct, q), expect);
+        assert_eq!(&direct_outcome(&direct, q), expect);
     }
 
     // Serve a WAL-backed instance of the same system.
@@ -175,8 +175,9 @@ fn four_concurrent_clients_match_the_facade_bit_for_bit() {
                             "thread {t} round {round} query {i}"
                         );
                     }
-                    // Mid-soak checkpoint: requires quiescence, which the
-                    // server's serialized execution provides.
+                    // Mid-soak checkpoint: runs under the single-writer
+                    // lock while concurrent reads keep executing against
+                    // their pinned snapshots.
                     c.checkpoint().unwrap();
                     let (hits, cands) = c.keyword("population Wisconsin", 5).unwrap();
                     let got = format!(
@@ -219,4 +220,74 @@ fn four_concurrent_clients_match_the_facade_bit_for_bit() {
     c.shutdown().unwrap();
     drop(server);
     remove_db_files(&wal);
+}
+
+/// The MVCC contract under a live writer, checked differentially: every
+/// reader snapshot must equal a *serial replay* of the write history up
+/// to its captured LSN.
+///
+/// A single writer commits a known sequence of inserts through
+/// [`SharedQuarry::with_writer`], recording the write clock after each
+/// commit. Reader threads concurrently capture snapshots (never touching
+/// the writer lock) and run a count query twice per snapshot. Afterwards
+/// every observation is checked against the history: the count seen at
+/// LSN `L` is exactly the count the last write stamped `<= L` produced —
+/// i.e. replaying the writes serially up to `L` reproduces the
+/// snapshot's view bit for bit — and a held snapshot never drifts.
+#[test]
+fn concurrent_readers_serially_replay_at_their_captured_lsn() {
+    const WRITES: i64 = 20;
+    let q = Quarry::new(QuarryConfig::default()).unwrap();
+    q.db.create_table(
+        TableSchema::new("events", vec![Column::new("id", DataType::Int)], &["id"], &[]).unwrap(),
+    )
+    .unwrap();
+    let shared = SharedQuarry::new(q);
+
+    let count_query = Query::scan("events").aggregate(None, AggFn::Count, "id");
+    let count = |snap: &quarry::core::Snapshot| -> i64 {
+        match snap.query(&count_query).unwrap().scalar().cloned().unwrap() {
+            Value::Int(n) => n,
+            other => panic!("count returned {other:?}"),
+        }
+    };
+
+    // (post-commit LSN, rows committed by then); entry 0 is the baseline.
+    let mut history: Vec<(u64, i64)> = vec![(shared.snapshot().lsn(), 0)];
+    let observations: Vec<(u64, i64, i64)> = std::thread::scope(|scope| {
+        let shared = &shared;
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut last_lsn = 0;
+                    for _ in 0..40 {
+                        let snap = shared.snapshot();
+                        assert!(snap.lsn() >= last_lsn, "write clock went backwards");
+                        last_lsn = snap.lsn();
+                        // Two reads of one pinned session must agree even
+                        // if the writer commits in between.
+                        seen.push((snap.lsn(), count(&snap), count(&snap)));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..WRITES {
+            shared.with_writer(|q| q.db.insert_autocommit("events", vec![Value::Int(i)]).unwrap());
+            history.push((shared.snapshot().lsn(), i + 1));
+        }
+        readers.into_iter().flat_map(|r| r.join().unwrap()).collect()
+    });
+
+    for (lsn, first, second) in observations {
+        assert_eq!(first, second, "snapshot at LSN {lsn} drifted between reads");
+        let expected = history.iter().rev().find(|(l, _)| *l <= lsn).expect("baseline covers").1;
+        assert_eq!(
+            first, expected,
+            "snapshot at LSN {lsn} must equal serial replay of the first {expected} writes"
+        );
+    }
+    // Sanity: the final state holds every write.
+    assert_eq!(count(&shared.snapshot()), WRITES);
 }

@@ -1,0 +1,144 @@
+//! Snapshot-isolation properties of the façade's MVCC read sessions.
+//!
+//! The contract under test: a [`Snapshot`](quarry::core::Snapshot)
+//! captured at write-clock LSN `L` observes *every* write committed by
+//! `L` and *no* write committed after it — forever, no matter what the
+//! single writer does next (more commits, a checkpoint, even a full
+//! restart of the system from its WAL).
+
+use proptest::prelude::*;
+use quarry::core::{Quarry, QuarryConfig};
+use quarry::storage::{Column, DataType, DbSnapshot, TableSchema, Value};
+
+mod common;
+use common::{dump, remove_db_files, tmpwal};
+
+/// Canonical dump of a pinned view, format-compatible with
+/// [`common::dump`] so a snapshot can be compared bit-for-bit against a
+/// live database's logical state.
+fn snap_dump(snap: &DbSnapshot) -> String {
+    let mut out = String::new();
+    for name in snap.table_names() {
+        out.push_str(&format!("== {name} ==\n"));
+        out.push_str(&format!("schema: {:?}\n", snap.schema(&name).unwrap()));
+        out.push_str(&format!("indexes: {:?}\n", snap.indexed_columns(&name).unwrap()));
+        for row in snap.scan(&name).unwrap() {
+            out.push_str(&format!("row: {row:?}\n"));
+        }
+    }
+    out
+}
+
+fn items_quarry() -> Quarry {
+    let q = Quarry::new(QuarryConfig::default()).unwrap();
+    q.db.create_table(
+        TableSchema::new(
+            "items",
+            vec![Column::new("id", DataType::Int), Column::new("val", DataType::Int)],
+            &["id"],
+            &[],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Prefix property: replay a random write history — each step an
+    /// insert, update, delete, or snapshot capture, encoded as
+    /// `(kind, key, value)` — observing snapshots at random points.
+    /// Every snapshot's dump must equal the live dump taken at its
+    /// capture instant — i.e. exactly the writes committed by its LSN,
+    /// none after — and must still equal it after the whole history has
+    /// run.
+    fn snapshots_observe_exactly_their_lsn_prefix(
+        ops in proptest::collection::vec((0usize..4, 0i64..24, 0i64..1000), 1..40)
+    ) {
+        let q = items_quarry();
+        let mut observed: Vec<(u64, String)> = Vec::new();
+        let mut snaps = Vec::new();
+        for &(kind, k, v) in &ops {
+            match kind {
+                0 => {
+                    let _ = q.db.insert_autocommit("items", vec![Value::Int(k), Value::Int(0)]);
+                }
+                1 => {
+                    let tx = q.db.begin();
+                    let done = q.db.update(tx, "items", &[Value::Int(k)],
+                        vec![Value::Int(k), Value::Int(v)]).is_ok();
+                    if done { q.db.commit(tx).unwrap() } else { q.db.abort(tx).unwrap() }
+                }
+                2 => {
+                    let tx = q.db.begin();
+                    let done = q.db.delete(tx, "items", &[Value::Int(k)]).is_ok();
+                    if done { q.db.commit(tx).unwrap() } else { q.db.abort(tx).unwrap() }
+                }
+                _ => {
+                    let snap = q.snapshot();
+                    prop_assert_eq!(&snap_dump(snap.db()), &dump(&q.db),
+                        "a fresh snapshot must equal the live state");
+                    observed.push((snap.lsn(), snap_dump(snap.db())));
+                    snaps.push(snap);
+                }
+            }
+        }
+        // After the full history: every held snapshot still dumps its
+        // own prefix, and LSN order matches capture order.
+        for (snap, (lsn, at_capture)) in snaps.iter().zip(&observed) {
+            prop_assert_eq!(snap.lsn(), *lsn);
+            prop_assert_eq!(&snap_dump(snap.db()), at_capture,
+                "snapshot at LSN {} observed a later write", lsn);
+        }
+        for pair in observed.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "write clock regressed");
+        }
+    }
+}
+
+/// A held snapshot survives a checkpoint *and* a WAL restart of the rest
+/// of the system: its dump stays bit-identical to its capture instant
+/// while the recovered database equals the writer's final state.
+#[test]
+fn held_snapshot_survives_checkpoint_and_wal_restart() {
+    let wal = tmpwal("snapshot-isolation");
+    let q = Quarry::new(QuarryConfig::builder().wal_path(&wal).build()).unwrap();
+    q.db.create_table(
+        TableSchema::new(
+            "items",
+            vec![Column::new("id", DataType::Int), Column::new("val", DataType::Int)],
+            &["id"],
+            &[],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for i in 0..10 {
+        q.db.insert_autocommit("items", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+    }
+
+    let snap = q.snapshot();
+    let pinned = snap_dump(snap.db());
+    assert_eq!(pinned, dump(&q.db), "snapshot starts equal to the live state");
+
+    // The writer moves on: more rows, then an atomic WAL checkpoint.
+    for i in 10..20 {
+        q.db.insert_autocommit("items", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+    }
+    q.checkpoint().unwrap();
+    assert_eq!(snap_dump(snap.db()), pinned, "checkpoint must not move a held snapshot");
+    let final_state = dump(&q.db);
+    assert_ne!(final_state, pinned, "the writer really did commit past the snapshot");
+
+    // Restart from the WAL (checkpoint image + suffix). The recovered
+    // database equals the writer's final state; the snapshot — still
+    // held across the restart — dumps bit-identically to capture time.
+    drop(q);
+    let recovered = Quarry::new(QuarryConfig::builder().wal_path(&wal).build()).unwrap();
+    assert_eq!(dump(&recovered.db), final_state, "restart must recover the final state");
+    assert_eq!(snap_dump(snap.db()), pinned, "restart must not move a held snapshot");
+    drop(recovered);
+    remove_db_files(&wal);
+}

@@ -29,9 +29,9 @@ fn boot() -> (Quarry, Corpus) {
 
 #[test]
 fn suggested_forms_are_editable_and_runnable() {
-    let (mut q, corpus) = boot();
+    let (q, corpus) = boot();
     let city = &corpus.truth.cities[0];
-    let forms = q.suggest_forms(&format!("population {}", city.name), 3);
+    let forms = q.snapshot().suggest_forms(&format!("population {}", city.name), 3);
     assert!(!forms.is_empty());
     let top = &forms[0];
     assert!(
