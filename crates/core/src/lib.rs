@@ -34,6 +34,7 @@ pub use feedback::{Correction, CorrectionStatus, FeedbackQueue};
 pub use incremental::IncrementalManager;
 pub use monitor::{MonitorFire, MonitorSet};
 pub use qcache::{QueryCache, QueryCacheStats};
+pub use quarry_storage::DurabilityMode;
 pub use snapshot::{SharedQuarry, Snapshot};
 pub use system::{CheckStats, Quarry, QuarryConfig, QuarryError};
 pub use users::{UserAccount, UserDirectory};

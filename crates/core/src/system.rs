@@ -21,7 +21,7 @@ use quarry_query::engine::{Query, QueryError, QueryResult};
 use quarry_query::forms::QueryForm;
 use quarry_query::{CandidateQuery, SearchHit};
 use quarry_schema::SchemaRegistry;
-use quarry_storage::{Database, SnapshotStore, StorageError, Value};
+use quarry_storage::{Database, DurabilityMode, SnapshotStore, StorageError, Value};
 use quarry_uncertainty::{LineageGraph, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -45,6 +45,9 @@ pub struct QuarryConfig {
     /// Worker threads for pipeline execution; `0` = one per CPU.
     /// Results are identical at every thread count.
     pub threads: usize,
+    /// Commit durability for the structured store's WAL (see
+    /// [`DurabilityMode`]). Only meaningful together with `wal_path`.
+    pub durability: DurabilityMode,
 }
 
 impl Default for QuarryConfig {
@@ -55,6 +58,7 @@ impl Default for QuarryConfig {
             storage_backend: None,
             heartbeat_timeout: 10,
             threads: 0,
+            durability: DurabilityMode::Full,
         }
     }
 }
@@ -106,6 +110,14 @@ impl QuarryConfigBuilder {
     /// `1` = run inline).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Commit durability for the structured store's WAL: `Full` fsyncs every
+    /// commit (group-committed), `Normal` flushes without fsync, `Deferred`
+    /// leaves commits buffered until the next checkpoint or explicit sync.
+    pub fn durability(mut self, mode: DurabilityMode) -> Self {
+        self.config.durability = mode;
         self
     }
 
@@ -271,11 +283,12 @@ pub struct Quarry {
 impl Quarry {
     /// Bring up a system.
     pub fn new(config: QuarryConfig) -> Result<Quarry, QuarryError> {
-        let db = match (&config.wal_path, &config.storage_backend) {
+        let mut db = match (&config.wal_path, &config.storage_backend) {
             (Some(p), Some(backend)) => Database::open_with(std::sync::Arc::clone(backend), p)?,
             (Some(p), None) => Database::open(p)?,
             (None, _) => Database::in_memory(),
         };
+        db.set_durability(config.durability);
         let db = Arc::new(db);
         let mut health = HealthMonitor::new(config.heartbeat_timeout);
         health.register("ingest", [("docs", 0.0, f64::INFINITY)]);
@@ -330,6 +343,16 @@ impl Quarry {
     /// See `docs/durability.md` for the crash-safety argument.
     pub fn checkpoint(&self) -> Result<(), QuarryError> {
         self.db.checkpoint()?;
+        Ok(())
+    }
+
+    /// Force every buffered WAL commit to stable storage, regardless of the
+    /// configured [`DurabilityMode`]. Under `Normal`/`Deferred` this is the
+    /// hook a graceful shutdown uses so drained work survives a subsequent
+    /// power loss; under `Full` it is a cheap no-op (everything already
+    /// synced). A no-op for in-memory databases.
+    pub fn sync_wal(&self) -> Result<(), QuarryError> {
+        self.db.sync_wal()?;
         Ok(())
     }
 

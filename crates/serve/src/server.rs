@@ -253,6 +253,9 @@ impl Drop for Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Every request has drained; force buffered commits to stable
+        // storage so relaxed durability modes don't lose drained work.
+        let _ = self.shared.quarry.with_writer(|q| q.sync_wal());
     }
 }
 

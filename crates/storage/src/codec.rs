@@ -1,0 +1,465 @@
+//! Compact binary encoding for values, rows, and table schemas.
+//!
+//! The storage hot paths — WAL records, checkpoint heap pages, and the
+//! persisted snapshot store — all encode through this module instead of
+//! JSON (see `docs/storage.md` for the motivation and the byte-level
+//! format). The encoding is length-prefixed throughout: integers are
+//! LEB128 varints (signed values zigzag-encoded first), floats are their
+//! IEEE-754 bits in little-endian order (so NaN payloads and signed zeros
+//! round-trip exactly), and strings are a byte-length varint followed by
+//! UTF-8 bytes. Nothing here is self-describing beyond a one-byte tag per
+//! value; framing, versioning, and checksums belong to the callers
+//! ([`crate::wal`], [`crate::page`], [`crate::snapshot`]).
+//!
+//! Writers are generic over [`std::io::Write`] so callers can stream
+//! straight into a `BufWriter` without materializing the whole encoding;
+//! readers work on in-memory slices with an explicit cursor and return
+//! [`StorageError::Corrupt`] on any truncation, overlong varint, bad tag,
+//! or invalid UTF-8.
+
+use crate::error::StorageError;
+use crate::structured::{Column, Row, TableSchema};
+use crate::value::{DataType, Value};
+use crate::Result;
+use std::io::Write;
+
+/// Value tags. `Bool` gets two tags so every value is `tag + payload`
+/// with no separate payload byte for booleans.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_TEXT: u8 = 5;
+
+fn corrupt(what: &str) -> StorageError {
+    StorageError::Corrupt(format!("binary codec: {what}"))
+}
+
+// ---------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------
+
+/// Write an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64<W: Write>(w: &mut W, mut v: u64) -> Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Read an unsigned LEB128 varint, advancing `pos`.
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut out: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let &byte = data.get(*pos).ok_or_else(|| corrupt("truncated varint"))?;
+        *pos += 1;
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            // Bits past the 64th must be zero in the final (10th) byte.
+            if shift == 63 && byte > 1 {
+                return Err(corrupt("varint overflows u64"));
+            }
+            return Ok(out);
+        }
+    }
+    Err(corrupt("varint longer than 10 bytes"))
+}
+
+/// Write a signed integer, zigzag-encoded so small magnitudes stay small.
+pub fn write_i64<W: Write>(w: &mut W, v: i64) -> Result<()> {
+    write_u64(w, ((v << 1) ^ (v >> 63)) as u64)
+}
+
+/// Read a zigzag-encoded signed integer.
+pub fn read_i64(data: &[u8], pos: &mut usize) -> Result<i64> {
+    let z = read_u64(data, pos)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+// ---------------------------------------------------------------------
+// Strings and byte runs
+// ---------------------------------------------------------------------
+
+/// Write a length-prefixed string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Read `n` raw bytes, advancing `pos`.
+fn read_exact<'d>(data: &'d [u8], pos: &mut usize, n: usize) -> Result<&'d [u8]> {
+    let end = pos.checked_add(n).filter(|&e| e <= data.len());
+    let end = end.ok_or_else(|| corrupt("truncated byte run"))?;
+    let out = &data[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+/// Read a length-prefixed string.
+pub fn read_str(data: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_u64(data, pos)?;
+    let len = usize::try_from(len).map_err(|_| corrupt("string length overflows usize"))?;
+    let bytes = read_exact(data, pos, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------
+// Values and rows
+// ---------------------------------------------------------------------
+
+/// Write one [`Value`] as `tag + payload`.
+pub fn write_value<W: Write>(w: &mut W, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => w.write_all(&[TAG_NULL])?,
+        Value::Bool(false) => w.write_all(&[TAG_FALSE])?,
+        Value::Bool(true) => w.write_all(&[TAG_TRUE])?,
+        Value::Int(i) => {
+            w.write_all(&[TAG_INT])?;
+            write_i64(w, *i)?;
+        }
+        Value::Float(f) => {
+            w.write_all(&[TAG_FLOAT])?;
+            w.write_all(&f.to_bits().to_le_bytes())?;
+        }
+        Value::Text(s) => {
+            w.write_all(&[TAG_TEXT])?;
+            write_str(w, s)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read one [`Value`].
+pub fn read_value(data: &[u8], pos: &mut usize) -> Result<Value> {
+    let &tag = data.get(*pos).ok_or_else(|| corrupt("truncated value tag"))?;
+    *pos += 1;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(read_i64(data, pos)?),
+        TAG_FLOAT => {
+            let bytes = read_exact(data, pos, 8)?;
+            Value::Float(f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap())))
+        }
+        TAG_TEXT => Value::Text(read_str(data, pos)?),
+        other => return Err(corrupt(&format!("unknown value tag {other}"))),
+    })
+}
+
+/// Write a row as `count + values`.
+pub fn write_row<W: Write>(w: &mut W, row: &[Value]) -> Result<()> {
+    write_u64(w, row.len() as u64)?;
+    for v in row {
+        write_value(w, v)?;
+    }
+    Ok(())
+}
+
+/// Read a row.
+pub fn read_row(data: &[u8], pos: &mut usize) -> Result<Row> {
+    let n = read_u64(data, pos)?;
+    let n = usize::try_from(n).map_err(|_| corrupt("row length overflows usize"))?;
+    // Every value costs at least one tag byte; reject lengths the
+    // remaining input cannot possibly satisfy before allocating.
+    if n > data.len() - (*pos).min(data.len()) {
+        return Err(corrupt("row length exceeds remaining input"));
+    }
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(read_value(data, pos)?);
+    }
+    Ok(row)
+}
+
+// ---------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        other => return Err(corrupt(&format!("unknown data-type tag {other}"))),
+    })
+}
+
+/// Write a full [`TableSchema`]: name, columns, key column indexes, and
+/// indexed column names.
+pub fn write_schema<W: Write>(w: &mut W, schema: &TableSchema) -> Result<()> {
+    write_str(w, &schema.name)?;
+    write_u64(w, schema.columns.len() as u64)?;
+    for col in &schema.columns {
+        write_str(w, &col.name)?;
+        w.write_all(&[dtype_tag(col.dtype), col.nullable as u8])?;
+    }
+    write_u64(w, schema.key.len() as u64)?;
+    for &k in &schema.key {
+        write_u64(w, k as u64)?;
+    }
+    write_u64(w, schema.indexes.len() as u64)?;
+    for ix in &schema.indexes {
+        write_str(w, ix)?;
+    }
+    Ok(())
+}
+
+/// Read a [`TableSchema`].
+pub fn read_schema(data: &[u8], pos: &mut usize) -> Result<TableSchema> {
+    let name = read_str(data, pos)?;
+    let ncols = read_u64(data, pos)? as usize;
+    let mut columns = Vec::new();
+    for _ in 0..ncols {
+        let cname = read_str(data, pos)?;
+        let raw = read_exact(data, pos, 2)?;
+        let dtype = dtype_from_tag(raw[0])?;
+        let nullable = match raw[1] {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(&format!("bad nullable byte {other}"))),
+        };
+        columns.push(if nullable {
+            Column::nullable(&cname, dtype)
+        } else {
+            Column::new(&cname, dtype)
+        });
+    }
+    let nkey = read_u64(data, pos)? as usize;
+    let mut key = Vec::new();
+    for _ in 0..nkey {
+        let k = read_u64(data, pos)? as usize;
+        if k >= columns.len() {
+            return Err(corrupt(&format!("key column index {k} out of range")));
+        }
+        key.push(k);
+    }
+    let nix = read_u64(data, pos)? as usize;
+    let mut indexes = Vec::new();
+    for _ in 0..nix {
+        indexes.push(read_str(data, pos)?);
+    }
+    // Re-resolve key/index names through the validating constructor so a
+    // corrupt schema (dup columns, nullable key, ...) is rejected here.
+    let key_names: Vec<String> = key.iter().map(|&k| columns[k].name.clone()).collect();
+    let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+    let index_refs: Vec<&str> = indexes.iter().map(String::as_str).collect();
+    TableSchema::new(&name, columns, &key_refs, &index_refs)
+        .map_err(|e| corrupt(&format!("invalid schema: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rt_value(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, v).unwrap();
+        let mut pos = 0;
+        let out = read_value(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "no trailing bytes for {v:?}");
+        out
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v).unwrap();
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_ints_encode_small() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, 42).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_i64(&mut buf, -42).unwrap();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn special_floats_round_trip_bitwise() {
+        for f in [0.0f64, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE, f64::NAN] {
+            match rt_value(&Value::Float(f)) {
+                Value::Float(g) => assert_eq!(g.to_bits(), f.to_bits(), "{f:?}"),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn values_and_rows_round_trip() {
+        let row: Row = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Text("héllo — ünïcode".into()),
+            Value::Text(String::new()),
+        ];
+        let mut buf = Vec::new();
+        write_row(&mut buf, &row).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_row(&buf, &mut pos).unwrap(), row);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let schema = TableSchema::new(
+            "cities",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("population", DataType::Int),
+                Column::nullable("mayor", DataType::Text),
+                Column::nullable("rainfall", DataType::Float),
+                Column::new("coastal", DataType::Bool),
+            ],
+            &["name"],
+            &["population", "mayor"],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_schema(&mut buf, &schema).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_schema(&buf, &mut pos).unwrap(), schema);
+        assert_eq!(pos, buf.len());
+    }
+
+    /// Corruption table for the codec itself: every case must surface as
+    /// `StorageError::Corrupt`, never a panic or a wrong value (mirrors
+    /// `wal::tests::replay_corruption_table`; the page-level cases live in
+    /// `pager::tests`).
+    #[test]
+    fn decode_corruption_table() {
+        struct Case {
+            name: &'static str,
+            bytes: Vec<u8>,
+        }
+        let unterminated = vec![TAG_INT, 0x80, 0x80, 0x80]; // continuation bits, then EOF
+        let overlong = {
+            let mut b = vec![TAG_INT];
+            b.extend_from_slice(&[0x80; 10]);
+            b.push(0x01); // an 11th varint byte
+            b
+        };
+        let cases = [
+            Case { name: "empty input", bytes: vec![] },
+            Case { name: "unknown value tag", bytes: vec![9] },
+            Case { name: "truncated varint (continuation bit at EOF)", bytes: unterminated },
+            Case { name: "varint longer than 10 bytes", bytes: overlong },
+            Case { name: "truncated float payload", bytes: vec![TAG_FLOAT, 1, 2, 3] },
+            Case { name: "string length past EOF", bytes: vec![TAG_TEXT, 200, 1, b'x'] },
+            Case { name: "string with invalid UTF-8", bytes: vec![TAG_TEXT, 2, 0xFF, 0xFE] },
+        ];
+        for case in &cases {
+            let mut pos = 0;
+            let got = read_value(&case.bytes, &mut pos);
+            assert!(
+                matches!(got, Err(StorageError::Corrupt(_))),
+                "case {:?}: got {got:?}",
+                case.name
+            );
+        }
+        // A row whose declared length exceeds the input must fail before
+        // allocating, not while reading values.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        let mut pos = 0;
+        assert!(matches!(read_row(&buf, &mut pos), Err(StorageError::Corrupt(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_round_trip(
+            picks in proptest::collection::vec(
+                (0u8..6, any::<i64>(), -1.0e300f64..1.0e300, "[ -~]{0,24}"),
+                0..12,
+            )
+        ) {
+            let row: Row = picks
+                .into_iter()
+                .map(|(tag, i, f, s)| match tag {
+                    0 => Value::Null,
+                    1 => Value::Bool(false),
+                    2 => Value::Bool(true),
+                    3 => Value::Int(i),
+                    4 => Value::Float(f),
+                    _ => Value::Text(s),
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_row(&mut buf, &row).unwrap();
+            let mut pos = 0;
+            let decoded = read_row(&buf, &mut pos).unwrap();
+            prop_assert_eq!(pos, buf.len());
+            prop_assert_eq!(decoded, row);
+        }
+
+        #[test]
+        fn prop_varints_round_trip(vs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_u64(&mut buf, v).unwrap();
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn prop_truncated_rows_never_panic(
+            row in proptest::collection::vec((0u8..6, any::<i64>()), 1..8),
+            cut in 0usize..64,
+        ) {
+            let row: Row = row
+                .into_iter()
+                .map(|(tag, i)| match tag {
+                    0 => Value::Null,
+                    1 => Value::Bool(true),
+                    2 => Value::Int(i),
+                    3 => Value::Float(i as f64),
+                    _ => Value::Text(format!("v{i}")),
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_row(&mut buf, &row).unwrap();
+            let cut = cut.min(buf.len().saturating_sub(1));
+            let mut pos = 0;
+            // Any strict prefix decodes to Corrupt, never panics.
+            let _ = read_row(&buf[..cut], &mut pos);
+        }
+    }
+}

@@ -27,15 +27,25 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 /// A writable file handle handed out by a [`StorageBackend`].
 ///
-/// All storage-layer writers are append-only (the WAL, filestore segments,
-/// checkpoint snapshots), so the interface is a sequential [`Write`] plus
+/// Most storage-layer writers are append-only (the WAL, filestore segments,
+/// snapshot images), so the core interface is a sequential [`Write`] plus
 /// the two durability-relevant operations: `sync_data` (the fsync boundary)
-/// and `truncate` (which also repositions the cursor at the new end).
+/// and `truncate` (which also repositions the cursor at the new end). The
+/// paged checkpoint engine ([`crate::pager`]) additionally needs
+/// positioned I/O — `write_at` / `read_at` / `file_len` — to update
+/// fixed-size pages in place; positioned calls may move the cursor, so a
+/// file is driven either sequentially or positioned, never both.
 pub trait BackendFile: Write + Send {
     /// Flush OS buffers for the file's *data* to stable storage.
     fn sync_data(&mut self) -> io::Result<()>;
     /// Set the file's length to `len` and position the cursor there.
     fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Write all of `buf` at an absolute offset (may move the cursor).
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()>;
+    /// Fill `buf` exactly from an absolute offset (may move the cursor).
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Current length of the file in bytes.
+    fn file_len(&mut self) -> io::Result<u64>;
 }
 
 /// The storage layer's window onto the filesystem. Every mutating
@@ -48,6 +58,10 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     fn open_append(&self, path: &Path, truncate_to: u64) -> io::Result<Box<dyn BackendFile>>;
     /// Create a brand-new file for writing; fails if `path` exists.
     fn create_new(&self, path: &Path) -> io::Result<Box<dyn BackendFile>>;
+    /// Open an *existing* file for positioned read/write, unmodified.
+    /// Like [`StorageBackend::read`] this is not a mutating operation — it
+    /// takes no crash point; mutation happens through the returned handle.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn BackendFile>>;
     /// Read a whole file. Missing files surface as `ErrorKind::NotFound`.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Atomically rename `from` to `to` (the checkpoint publication step).
@@ -90,6 +104,20 @@ impl BackendFile for RealFile {
         self.0.seek(SeekFrom::Start(len))?;
         Ok(())
     }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.write_all(buf)
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.read_exact(buf)
+    }
+
+    fn file_len(&mut self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
 }
 
 impl StorageBackend for RealBackend {
@@ -107,6 +135,11 @@ impl StorageBackend for RealBackend {
 
     fn create_new(&self, path: &Path) -> io::Result<Box<dyn BackendFile>> {
         let file = OpenOptions::new().create_new(true).write(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn BackendFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
         Ok(Box::new(RealFile(file)))
     }
 
@@ -406,6 +439,33 @@ impl BackendFile for FaultFile {
             Admission::Tear(_) => Err(crash_error(self.state().ops)),
         }
     }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let admission =
+            self.state().admit(Op::Write { path: self.path.clone(), bytes: buf.len() })?;
+        match admission {
+            Admission::Proceed => self.inner.write_at(offset, buf),
+            Admission::Tear(keep) => {
+                // A torn positioned write persists a leading prefix at the
+                // target offset, mirroring the sequential-write model.
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    self.inner.write_at(offset, &buf[..keep])?;
+                }
+                Err(crash_error(self.state().ops))
+            }
+        }
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.state().check_alive()?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn file_len(&mut self) -> io::Result<u64> {
+        self.state().check_alive()?;
+        self.inner.file_len()
+    }
 }
 
 impl StorageBackend for FaultBackend {
@@ -433,6 +493,14 @@ impl StorageBackend for FaultBackend {
         // process-model cannot read either.
         self.state().check_alive()?;
         self.inner.read(path)
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn BackendFile>> {
+        // Opening an existing file mutates nothing (no crash point); the
+        // handle's own writes and syncs are gated like any other.
+        self.state().check_alive()?;
+        let inner = self.inner.open_rw(path)?;
+        Ok(Box::new(FaultFile { path: path.to_path_buf(), inner, state: Arc::clone(&self.state) }))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -520,6 +588,31 @@ mod tests {
         assert!(f.write_all(b"torn-away").is_err()); // op 3: 4 bytes survive
         drop(f);
         assert_eq!(std::fs::read(&p).unwrap(), b"intact|torn");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn positioned_io_round_trips_and_tears() {
+        let p = tmp("posio");
+        let _ = std::fs::remove_file(&p);
+        std::fs::write(&p, b"0123456789").unwrap();
+        let b = FaultBackend::recording(RealBackend);
+        let mut f = b.open_rw(&p).unwrap();
+        assert_eq!(b.op_count(), 0, "open_rw takes no crash point");
+        f.write_at(4, b"XY").unwrap(); // op 1
+        let mut buf = [0u8; 3];
+        f.read_at(3, &mut buf).unwrap();
+        assert_eq!(&buf, b"3XY");
+        assert_eq!(f.file_len().unwrap(), 10);
+        assert_eq!(b.op_count(), 1, "only the write counts");
+        drop(f);
+
+        // A torn positioned write persists a prefix at the offset.
+        let b = FaultBackend::with_plan(RealBackend, CrashPlan::tear_at(1, 1));
+        let mut f = b.open_rw(&p).unwrap();
+        assert!(f.write_at(0, b"ab").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&p).unwrap(), b"a123XY6789");
         std::fs::remove_file(&p).unwrap();
     }
 

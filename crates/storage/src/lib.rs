@@ -15,10 +15,13 @@
 //! All three are built from scratch here, on the shared primitives in
 //! [`delta`] (line diffs) and [`wal`] (checksummed log records).
 
+pub mod codec;
 pub mod delta;
 pub mod error;
 pub mod faultfs;
 pub mod filestore;
+pub mod page;
+pub mod pager;
 pub mod snapshot;
 pub mod structured;
 pub mod value;
@@ -27,13 +30,15 @@ pub mod wal;
 pub use error::StorageError;
 pub use faultfs::{BackendFile, CrashPlan, FaultBackend, Op, RealBackend, StorageBackend};
 pub use filestore::FileStore;
+pub use page::{Page, PageType, PAGE_CAPACITY, PAGE_SIZE};
+pub use pager::{Pager, PoolStats};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use structured::{
     Column, Database, DbSnapshot, IndexStats, LockManager, LockMode, Row, RowId, ScanAccess,
-    TableSchema, TableView, TxId,
+    TableSchema, TableView, TxId, WalCodec,
 };
 pub use value::{DataType, Value};
-pub use wal::{Wal, WalRecord};
+pub use wal::{CommitQueue, DurabilityMode, Wal, WalRecord};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -7,10 +7,13 @@
 //! fail with [`StorageError::TxAborted`] (wait-die victim); the caller is
 //! expected to `abort()` and retry with a fresh transaction.
 
+use crate::codec;
 use crate::error::StorageError;
 use crate::faultfs::{RealBackend, StorageBackend};
+use crate::page::{PageType, NO_PAGE};
+use crate::pager::{read_chain, ChainWriter, Pager};
 use crate::value::Value;
-use crate::wal::Wal;
+use crate::wal::{CommitQueue, DurabilityMode, Wal};
 use crate::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -20,9 +23,14 @@ use std::sync::Arc;
 
 use super::index::SecondaryIndex;
 use super::lock::{LockManager, LockMode, LockTarget};
-use super::recovery::LogRecord;
+use super::recovery::{LogRecord, WalCodec};
 use super::table::{Row, RowId, TableSchema};
 use super::view::{DbSnapshot, TableView};
+
+/// Buffer-pool frames used while building or loading a checkpoint image:
+/// bounds peak checkpoint memory to ~256 KiB of pages regardless of table
+/// size.
+const CKPT_POOL_PAGES: usize = 64;
 
 /// Transaction identifier; doubles as the wait-die age (smaller = older).
 pub type TxId = u64;
@@ -235,8 +243,13 @@ pub struct Database {
     /// cache. A table whose version is unchanged since the last
     /// [`Database::snapshot`] reuses its `Arc` instead of re-copying rows.
     views: Mutex<HashMap<String, Arc<TableView>>>,
-    /// When true (default), commit fsyncs the WAL.
-    sync_commits: bool,
+    /// What a commit waits for before returning (see [`DurabilityMode`]).
+    durability: DurabilityMode,
+    /// Group-commit queue batching concurrent commit fsyncs (Full mode).
+    commit_queue: CommitQueue,
+    /// Wire format for WAL records (binary by default; JSON kept for the
+    /// bench baseline and legacy logs).
+    wal_codec: WalCodec,
 }
 
 impl Database {
@@ -251,7 +264,9 @@ impl Database {
             next_tx: AtomicU64::new(1),
             write_clock: AtomicU64::new(0),
             views: Mutex::new(HashMap::new()),
-            sync_commits: true,
+            durability: DurabilityMode::Full,
+            commit_queue: CommitQueue::new(),
+            wal_codec: WalCodec::BinaryV1,
         }
     }
 
@@ -277,28 +292,94 @@ impl Database {
 
     /// [`Database::open`] against an explicit storage backend.
     ///
-    /// Recovery order: replay the durable checkpoint image first (if one was
-    /// published by [`Database::checkpoint`]), then the WAL. A crash between
-    /// checkpoint publication (the rename) and the log reset leaves a WAL
-    /// holding history the checkpoint already contains; replaying that
-    /// suffix over the checkpoint state is convergent — every record either
-    /// recreates exactly what the checkpoint holds or re-applies a
-    /// committed change idempotently (see docs/durability.md).
+    /// Recovery order: load the durable checkpoint image first (if one was
+    /// published by [`Database::checkpoint`]), then replay the WAL over it.
+    /// The checkpoint is a paged binary file since the paged engine landed;
+    /// older WAL-format (JSON record) checkpoint images are detected by
+    /// format probe and still replay, so a database written by the previous
+    /// engine opens unchanged. A crash between checkpoint publication (the
+    /// rename) and the log reset leaves a WAL holding history the
+    /// checkpoint already contains; replaying that suffix over the
+    /// checkpoint state is convergent — every record either recreates
+    /// exactly what the checkpoint holds or re-applies a committed change
+    /// idempotently (see docs/durability.md).
     pub fn open_with(backend: Arc<dyn StorageBackend>, path: impl AsRef<Path>) -> Result<Database> {
         let path = path.as_ref();
         // A stale checkpoint build means we crashed mid-checkpoint, before
         // the rename: the image is unpublished and must be discarded.
         let _ = backend.remove_file(&Self::checkpoint_tmp_path(path));
-        let mut records = Wal::replay_with(&*backend, Self::checkpoint_path(path))?;
-        records.extend(Wal::replay_with(&*backend, path)?);
-        let db = Database::open_from_records(&records)?;
+        let ckpt = Self::checkpoint_path(path);
+        let db = Database::in_memory();
+        let mut max_tx = 0u64;
+        if Pager::is_paged(&*backend, &ckpt)? {
+            db.load_checkpoint_image(&*backend, &ckpt)?;
+        } else {
+            // Legacy checkpoint: a WAL-format file of JSON records.
+            let records = Wal::replay_with(&*backend, &ckpt)?;
+            max_tx = max_tx.max(db.apply_records(&records)?);
+        }
+        let records = Wal::replay_with(&*backend, path)?;
+        max_tx = max_tx.max(db.apply_records(&records)?);
+        db.next_tx.store(max_tx + 1, Ordering::SeqCst);
         *db.wal.lock() = Some(Wal::open_with(Arc::clone(&backend), path)?);
         Ok(Database { backend, ..db })
     }
 
-    /// Rebuild in-memory state from a checkpoint + WAL record sequence.
-    fn open_from_records(records: &[crate::wal::WalRecord]) -> Result<Database> {
-        let db = Database::in_memory();
+    /// Load a paged binary checkpoint image: directory chain → schemas and
+    /// heap-chain heads; each heap chain → `(row_id, row)` records.
+    fn load_checkpoint_image(&self, backend: &dyn StorageBackend, path: &Path) -> Result<()> {
+        let mut pager = Pager::open(backend, path, CKPT_POOL_PAGES)?;
+        let root = pager.root();
+        if root == NO_PAGE {
+            return Ok(()); // image of an empty database
+        }
+        let dir = read_chain(&mut pager, root)?;
+        let pos = &mut 0usize;
+        let ntables = codec::read_u64(&dir, pos)? as usize;
+        let mut entries = Vec::with_capacity(ntables);
+        for _ in 0..ntables {
+            let schema = codec::read_schema(&dir, pos)?;
+            let head = u32::try_from(codec::read_u64(&dir, pos)?)
+                .map_err(|_| StorageError::Corrupt("heap head overflows page id".into()))?;
+            let nrows = codec::read_u64(&dir, pos)?;
+            entries.push((schema, head, nrows));
+        }
+        if *pos != dir.len() {
+            return Err(StorageError::Corrupt("checkpoint directory has trailing bytes".into()));
+        }
+        let mut tables = self.tables.lock();
+        for (schema, head, nrows) in entries {
+            let stamp = self.stamp();
+            let mut t = Table::new(schema, stamp);
+            if head != NO_PAGE {
+                let heap = read_chain(&mut pager, head)?;
+                let hpos = &mut 0usize;
+                for _ in 0..nrows {
+                    let row_id = RowId(codec::read_u64(&heap, hpos)?);
+                    let row = codec::read_row(&heap, hpos)?;
+                    let stamp = self.stamp();
+                    t.apply_insert(stamp, row_id, row);
+                }
+                if *hpos != heap.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "heap chain of table {} has trailing bytes",
+                        t.schema.name
+                    )));
+                }
+            }
+            t.stable_version = t.version;
+            tables.insert(t.schema.name.clone(), t);
+        }
+        Ok(())
+    }
+
+    /// Replay a decoded record sequence into this database (redo-only) and
+    /// return the highest transaction id seen. Committed sets are computed
+    /// per call, which is safe because no transaction ever spans files:
+    /// checkpoints require quiescence, so the WAL after a checkpoint starts
+    /// at a transaction boundary.
+    fn apply_records(&self, records: &[crate::wal::WalRecord]) -> Result<u64> {
+        let db = self;
         // Pass 1: committed set.
         let mut committed = std::collections::HashSet::new();
         let mut max_tx = 0u64;
@@ -356,31 +437,71 @@ impl Database {
                 t.stable_version = t.version;
             }
         }
-        db.next_tx.store(max_tx + 1, Ordering::SeqCst);
-        Ok(db)
+        Ok(max_tx)
+    }
+
+    /// Set what a commit waits for before returning. Defaults to
+    /// [`DurabilityMode::Full`]. Takes `&mut self`, so the mode is fixed
+    /// before the database is shared.
+    pub fn set_durability(&mut self, mode: DurabilityMode) {
+        self.durability = mode;
+    }
+
+    /// The configured durability mode.
+    pub fn durability(&self) -> DurabilityMode {
+        self.durability
+    }
+
+    /// Pick the WAL record wire format (binary by default). Exists so
+    /// benchmarks can measure the legacy JSON encoding on identical
+    /// workloads; decoding always accepts both.
+    pub fn set_wal_codec(&mut self, codec: WalCodec) {
+        self.wal_codec = codec;
     }
 
     /// Disable per-commit fsync (bulk loads; used by benchmarks to isolate
-    /// CPU cost from disk cost).
+    /// CPU cost from disk cost). Shorthand for
+    /// [`Database::set_durability`] with `Full` / `Deferred`.
     pub fn set_sync_commits(&mut self, on: bool) {
-        self.sync_commits = on;
+        self.durability = if on { DurabilityMode::Full } else { DurabilityMode::Deferred };
+    }
+
+    /// Flush and fsync the WAL now, regardless of durability mode. The
+    /// explicit durability point for `Normal`/`Deferred` users (e.g. a
+    /// serve-loop drain or a bulk load's final barrier).
+    pub fn sync_wal(&self) -> Result<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
     }
 
     fn log(&self, rec: &LogRecord) -> Result<()> {
         if let Some(wal) = self.wal.lock().as_mut() {
-            wal.append(&rec.encode()?)?;
+            wal.append(&rec.encode_with(self.wal_codec)?)?;
         }
         Ok(())
     }
 
-    fn log_synced(&self, rec: &LogRecord) -> Result<()> {
-        if let Some(wal) = self.wal.lock().as_mut() {
-            wal.append(&rec.encode()?)?;
-            if self.sync_commits {
-                wal.sync()?;
+    /// Append `rec` and make it as durable as the configured mode demands.
+    /// In `Full` mode the fsync goes through the group-commit queue:
+    /// concurrent committers that appended before the queue's leader takes
+    /// the WAL lock are covered by the leader's single fsync.
+    fn log_durable(&self, rec: &LogRecord) -> Result<()> {
+        let target = {
+            let mut guard = self.wal.lock();
+            let Some(wal) = guard.as_mut() else { return Ok(()) };
+            wal.append(&rec.encode_with(self.wal_codec)?)?;
+            match self.durability {
+                DurabilityMode::Full => wal.len(),
+                DurabilityMode::Normal => {
+                    wal.flush()?;
+                    return Ok(());
+                }
+                DurabilityMode::Deferred => return Ok(()),
             }
-        }
-        Ok(())
+        };
+        self.commit_queue.sync_through(&self.wal, target)
     }
 
     // ------------------------------------------------------------------
@@ -396,7 +517,7 @@ impl Database {
                 schema.name
             )));
         }
-        self.log_synced(&LogRecord::CreateTable { schema: schema.clone() })?;
+        self.log_durable(&LogRecord::CreateTable { schema: schema.clone() })?;
         let stamp = self.stamp();
         tables.insert(schema.name.clone(), Table::new(schema, stamp));
         Ok(())
@@ -420,7 +541,7 @@ impl Database {
                 "unknown column {column} in table {table}"
             )));
         }
-        self.log_synced(&LogRecord::CreateIndex {
+        self.log_durable(&LogRecord::CreateIndex {
             table: table.to_string(),
             column: column.to_string(),
         })?;
@@ -468,7 +589,7 @@ impl Database {
         if tables.remove(name).is_none() {
             return Err(StorageError::NoSuchTable(name.to_string()));
         }
-        self.log_synced(&LogRecord::DropTable { table: name.to_string() })?;
+        self.log_durable(&LogRecord::DropTable { table: name.to_string() })?;
         Ok(())
     }
 
@@ -477,14 +598,20 @@ impl Database {
     /// length. Requires quiescence (no active transactions) and is a no-op
     /// for in-memory databases.
     ///
-    /// Crash-safe by construction: the snapshot is built in a `.ckpt-tmp`
+    /// The image is a paged binary file (see `docs/storage.md`): one heap
+    /// chain of `(row_id, row)` records per table, a directory chain of
+    /// schemas and chain heads, all behind per-page CRCs, streamed through
+    /// a bounded buffer pool so checkpointing never materializes the
+    /// database twice in memory.
+    ///
+    /// Crash-safe by construction: the image is built in a `.ckpt-tmp`
     /// side file, fsynced, then atomically renamed to the durable `.ckpt`
     /// image — the rename is the commit point — and only then is the log
     /// truncated. A crash before the rename leaves the previous
     /// checkpoint + full WAL; a crash between rename and truncation leaves
     /// the new checkpoint + a WAL whose replay over it is convergent (see
-    /// [`Database::open_with`]). Recovery always replays checkpoint first,
-    /// then WAL.
+    /// [`Database::open_with`]). Recovery always loads the checkpoint
+    /// first, then replays the WAL.
     pub fn checkpoint(&self) -> Result<()> {
         {
             let active = self.active.lock();
@@ -504,34 +631,47 @@ impl Database {
         let tmp = Self::checkpoint_tmp_path(&path);
         let _ = self.backend.remove_file(&tmp); // stale build from an earlier crash
         {
-            let mut snapshot = Wal::open_with(Arc::clone(&self.backend), &tmp)?;
+            let mut pager = Pager::create(&*self.backend, &tmp, CKPT_POOL_PAGES)?;
             let tables = self.tables.lock();
-            // Reserved tx id 0: allocator starts at 1, so no collision.
-            snapshot.append(&LogRecord::Begin { tx: 0 }.encode()?)?;
             let mut names: Vec<&String> = tables.keys().collect();
             names.sort();
+            // One heap chain per table, rows in row-id order (a
+            // deterministic page/op stream for the crash sweeps).
+            let mut scratch = Vec::new();
+            let mut directory = Vec::new();
+            codec::write_u64(&mut directory, names.len() as u64)?;
             for name in names {
                 let t = &tables[name];
-                snapshot.append(&LogRecord::CreateTable { schema: t.schema.clone() }.encode()?)?;
                 let mut row_ids: Vec<&RowId> = t.heap.keys().collect();
                 row_ids.sort_unstable();
-                for row_id in row_ids {
-                    snapshot.append(
-                        &LogRecord::Insert {
-                            tx: 0,
-                            table: name.clone(),
-                            row_id: *row_id,
-                            row: t.heap[row_id].clone(),
-                        }
-                        .encode()?,
-                    )?;
-                }
+                let (head, nrows) = if row_ids.is_empty() {
+                    (NO_PAGE, 0)
+                } else {
+                    let mut chain = ChainWriter::new(&mut pager, PageType::Heap)?;
+                    for row_id in row_ids {
+                        scratch.clear();
+                        codec::write_u64(&mut scratch, row_id.0)?;
+                        codec::write_row(&mut scratch, &t.heap[row_id])?;
+                        chain.push_record(&mut pager, &scratch)?;
+                    }
+                    chain.finish(&mut pager)?
+                };
+                codec::write_schema(&mut directory, &t.schema)?;
+                codec::write_u64(&mut directory, u64::from(head))?;
+                codec::write_u64(&mut directory, nrows)?;
             }
-            snapshot.append(&LogRecord::Commit { tx: 0 }.encode()?)?;
-            snapshot.sync()?;
+            let mut dir_chain = ChainWriter::new(&mut pager, PageType::Directory)?;
+            dir_chain.push_record(&mut pager, &directory)?;
+            let (dir_head, _) = dir_chain.finish(&mut pager)?;
+            pager.set_root(dir_head);
+            pager.flush()?;
         }
         self.backend.rename(&tmp, &ckpt)?; // commit point
         wal.reset()?;
+        // Invalidate the group-commit watermark (log offsets restarted at
+        // zero). Safe to do only now: the image published by the rename
+        // already covers everything pre-reset waiters were waiting for.
+        self.commit_queue.reset();
         Ok(())
     }
 
@@ -623,7 +763,7 @@ impl Database {
                 }
             }
         }
-        self.log_synced(&LogRecord::Commit { tx })?;
+        self.log_durable(&LogRecord::Commit { tx })?;
         self.locks.release_all(tx);
         Ok(())
     }
@@ -1370,6 +1510,139 @@ mod tests {
         }
         let _ = std::fs::remove_file(&p);
         let _ = std::fs::remove_file(Database::checkpoint_path(&p));
+    }
+
+    #[test]
+    fn legacy_json_database_opens_and_migrates_on_checkpoint() {
+        let p = tmpwal("legacy-json");
+        let schema = people_schema();
+        // Fabricate a pre-paged-engine database: a WAL-format checkpoint
+        // image and a WAL tail, both holding JSON records.
+        {
+            let mut ck = Wal::open(Database::checkpoint_path(&p)).unwrap();
+            for rec in [
+                LogRecord::Begin { tx: 0 },
+                LogRecord::CreateTable { schema: schema.clone() },
+                LogRecord::Insert {
+                    tx: 0,
+                    table: "people".into(),
+                    row_id: RowId(0),
+                    row: person("old", 50, "past"),
+                },
+                LogRecord::Commit { tx: 0 },
+            ] {
+                ck.append(&rec.encode_with(WalCodec::Json).unwrap()).unwrap();
+            }
+            ck.sync().unwrap();
+            let mut wal = Wal::open(&p).unwrap();
+            for rec in [
+                LogRecord::Begin { tx: 1 },
+                LogRecord::Insert {
+                    tx: 1,
+                    table: "people".into(),
+                    row_id: RowId(1),
+                    row: person("tail", 7, "log"),
+                },
+                LogRecord::Commit { tx: 1 },
+            ] {
+                wal.append(&rec.encode_with(WalCodec::Json).unwrap()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // The legacy database opens; new writes append *binary* records to
+        // the same (JSON-prefixed) log.
+        {
+            let db = Database::open(&p).unwrap();
+            assert_eq!(db.row_count("people").unwrap(), 2);
+            db.insert_autocommit("people", person("new", 1, "now")).unwrap();
+        }
+        // Mixed-format replay works record-by-record.
+        {
+            let db = Database::open(&p).unwrap();
+            assert_eq!(db.row_count("people").unwrap(), 3);
+            // Checkpointing migrates the image to the paged binary format.
+            db.checkpoint().unwrap();
+        }
+        assert!(Pager::is_paged(&RealBackend, &Database::checkpoint_path(&p)).unwrap());
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 3);
+        let tx = db.begin();
+        assert_eq!(db.get(tx, "people", &["old".into()]).unwrap()[1], Value::Int(50));
+        db.commit(tx).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
+    }
+
+    #[test]
+    fn durability_modes_contract() {
+        use crate::faultfs::{CrashPlan, FaultBackend, Op};
+
+        // Full: one fsync boundary per commit/DDL.
+        let p = tmpwal("dur-full");
+        {
+            let fb = FaultBackend::recording(RealBackend);
+            let db = Database::open_with(Arc::new(fb.clone()), &p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+            let syncs = fb.ops().iter().filter(|o| matches!(o, Op::Sync { .. })).count();
+            assert_eq!(syncs, 2, "create_table + autocommit insert");
+        }
+        let _ = std::fs::remove_file(&p);
+
+        // Normal: commits flush to the OS (durable in the fault model's
+        // flushed-is-durable terms) but never fsync.
+        let p = tmpwal("dur-normal");
+        {
+            let fb = FaultBackend::recording(RealBackend);
+            let mut db = Database::open_with(Arc::new(fb.clone()), &p).unwrap();
+            db.set_durability(DurabilityMode::Normal);
+            db.create_table(people_schema()).unwrap();
+            db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+            assert!(!fb.ops().iter().any(|o| matches!(o, Op::Sync { .. })));
+            // Power loss: everything already flushed survives.
+            fb.arm(CrashPlan::kill_at(fb.op_count() + 1));
+            drop(db);
+        }
+        {
+            let db = Database::open(&p).unwrap();
+            assert_eq!(db.row_count("people").unwrap(), 1);
+        }
+        let _ = std::fs::remove_file(&p);
+
+        // Deferred: commits only buffer; a crash loses them...
+        let p = tmpwal("dur-deferred");
+        {
+            let fb = FaultBackend::recording(RealBackend);
+            let mut db = Database::open_with(Arc::new(fb.clone()), &p).unwrap();
+            db.set_durability(DurabilityMode::Deferred);
+            db.create_table(people_schema()).unwrap();
+            db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+            fb.arm(CrashPlan::kill_at(fb.op_count() + 1));
+            drop(db); // buffered frames die with the process-model
+        }
+        {
+            let db = Database::open(&p).unwrap();
+            assert!(db.row_count("people").is_err(), "deferred work was lost");
+        }
+        let _ = std::fs::remove_file(&p);
+
+        // ...unless an explicit sync_wal() intervenes.
+        let p = tmpwal("dur-deferred-sync");
+        {
+            let fb = FaultBackend::recording(RealBackend);
+            let mut db = Database::open_with(Arc::new(fb.clone()), &p).unwrap();
+            db.set_durability(DurabilityMode::Deferred);
+            db.create_table(people_schema()).unwrap();
+            db.insert_autocommit("people", person("a", 1, "x")).unwrap();
+            db.sync_wal().unwrap();
+            fb.arm(CrashPlan::kill_at(fb.op_count() + 1));
+            drop(db);
+        }
+        {
+            let db = Database::open(&p).unwrap();
+            assert_eq!(db.row_count("people").unwrap(), 1);
+        }
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod view;
 
 pub use engine::{Database, IndexStats, ScanAccess, TxId};
 pub use lock::{LockManager, LockMode};
-pub use recovery::LogRecord;
+pub use recovery::{LogRecord, WalCodec};
 pub use table::{Column, Row, RowId, TableSchema};
 pub use view::{DbSnapshot, TableView};

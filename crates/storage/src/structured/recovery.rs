@@ -1,16 +1,53 @@
 //! WAL record schema and redo recovery.
 //!
-//! Records are JSON-encoded (one per WAL frame). Recovery is redo-only: a
-//! first pass finds the committed transaction set; a second pass reapplies,
-//! in log order, the operations of exactly those transactions. A crash
-//! discards all in-memory state, and the redo pass filters out records of
-//! uncommitted transactions, so no undo pass is needed.
+//! Records are binary-encoded through [`crate::codec`] (one per WAL
+//! frame), prefixed with a format byte so logs written by older versions —
+//! which used JSON — still replay: `0x01` selects the binary-v1 decoder,
+//! and `0x7B` (ASCII `{`, the first byte of every JSON object) falls back
+//! to serde_json. The two formats may be mixed record-by-record within one
+//! log, which is exactly what happens when a new binary engine appends to
+//! a log begun by an old JSON one.
+//!
+//! Recovery is redo-only: a first pass finds the committed transaction
+//! set; a second pass reapplies, in log order, the operations of exactly
+//! those transactions. A crash discards all in-memory state, and the redo
+//! pass filters out records of uncommitted transactions, so no undo pass
+//! is needed.
 
+use crate::codec;
 use crate::error::StorageError;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
 use super::table::{Row, RowId, TableSchema};
+
+/// Format byte opening every binary-v1 record.
+pub const BINARY_V1: u8 = 0x01;
+/// First byte of every legacy JSON record (`{`).
+const JSON_OPEN: u8 = b'{';
+
+/// Which wire format [`LogRecord::encode_with`] emits. Decoding always
+/// accepts both; this knob exists so the storage bench can measure the
+/// legacy JSON path against binary on identical workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalCodec {
+    /// Compact binary (the default).
+    #[default]
+    BinaryV1,
+    /// Legacy serde_json (pre-paged-engine logs).
+    Json,
+}
+
+/// Record kind tags for the binary encoding.
+const K_CREATE_TABLE: u8 = 0;
+const K_DROP_TABLE: u8 = 1;
+const K_CREATE_INDEX: u8 = 2;
+const K_BEGIN: u8 = 3;
+const K_INSERT: u8 = 4;
+const K_UPDATE: u8 = 5;
+const K_DELETE: u8 = 6;
+const K_COMMIT: u8 = 7;
+const K_ABORT: u8 = 8;
 
 /// Everything the structured store writes to its WAL.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,15 +119,127 @@ pub enum LogRecord {
 }
 
 impl LogRecord {
-    /// Serialize for a WAL frame.
+    /// Serialize for a WAL frame in the default (binary) format.
     pub fn encode(&self) -> Result<Vec<u8>> {
-        serde_json::to_vec(self).map_err(Into::into)
+        self.encode_with(WalCodec::BinaryV1)
     }
 
-    /// Deserialize from a WAL frame payload.
+    /// Serialize in an explicit format.
+    pub fn encode_with(&self, format: WalCodec) -> Result<Vec<u8>> {
+        match format {
+            WalCodec::Json => serde_json::to_vec(self).map_err(Into::into),
+            WalCodec::BinaryV1 => {
+                let mut out = vec![BINARY_V1];
+                let w = &mut out;
+                match self {
+                    LogRecord::CreateTable { schema } => {
+                        w.push(K_CREATE_TABLE);
+                        codec::write_schema(w, schema)?;
+                    }
+                    LogRecord::DropTable { table } => {
+                        w.push(K_DROP_TABLE);
+                        codec::write_str(w, table)?;
+                    }
+                    LogRecord::CreateIndex { table, column } => {
+                        w.push(K_CREATE_INDEX);
+                        codec::write_str(w, table)?;
+                        codec::write_str(w, column)?;
+                    }
+                    LogRecord::Begin { tx } => {
+                        w.push(K_BEGIN);
+                        codec::write_u64(w, *tx)?;
+                    }
+                    LogRecord::Insert { tx, table, row_id, row } => {
+                        w.push(K_INSERT);
+                        codec::write_u64(w, *tx)?;
+                        codec::write_str(w, table)?;
+                        codec::write_u64(w, row_id.0)?;
+                        codec::write_row(w, row)?;
+                    }
+                    LogRecord::Update { tx, table, row_id, row } => {
+                        w.push(K_UPDATE);
+                        codec::write_u64(w, *tx)?;
+                        codec::write_str(w, table)?;
+                        codec::write_u64(w, row_id.0)?;
+                        codec::write_row(w, row)?;
+                    }
+                    LogRecord::Delete { tx, table, row_id } => {
+                        w.push(K_DELETE);
+                        codec::write_u64(w, *tx)?;
+                        codec::write_str(w, table)?;
+                        codec::write_u64(w, row_id.0)?;
+                    }
+                    LogRecord::Commit { tx } => {
+                        w.push(K_COMMIT);
+                        codec::write_u64(w, *tx)?;
+                    }
+                    LogRecord::Abort { tx } => {
+                        w.push(K_ABORT);
+                        codec::write_u64(w, *tx)?;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Deserialize from a WAL frame payload (either format).
     pub fn decode(bytes: &[u8]) -> Result<LogRecord> {
-        serde_json::from_slice(bytes)
-            .map_err(|e| StorageError::Corrupt(format!("undecodable log record: {e}")))
+        match bytes.first() {
+            Some(&BINARY_V1) => Self::decode_binary(&bytes[1..]),
+            Some(&JSON_OPEN) => serde_json::from_slice(bytes)
+                .map_err(|e| StorageError::Corrupt(format!("undecodable log record: {e}"))),
+            Some(&b) => {
+                Err(StorageError::Corrupt(format!("unknown log record format byte {b:#04x}")))
+            }
+            None => Err(StorageError::Corrupt("empty log record".into())),
+        }
+    }
+
+    fn decode_binary(data: &[u8]) -> Result<LogRecord> {
+        let pos = &mut 0usize;
+        let &kind = data
+            .first()
+            .ok_or_else(|| StorageError::Corrupt("log record missing kind byte".into()))?;
+        *pos = 1;
+        let rec = match kind {
+            K_CREATE_TABLE => LogRecord::CreateTable { schema: codec::read_schema(data, pos)? },
+            K_DROP_TABLE => LogRecord::DropTable { table: codec::read_str(data, pos)? },
+            K_CREATE_INDEX => LogRecord::CreateIndex {
+                table: codec::read_str(data, pos)?,
+                column: codec::read_str(data, pos)?,
+            },
+            K_BEGIN => LogRecord::Begin { tx: codec::read_u64(data, pos)? },
+            K_INSERT => LogRecord::Insert {
+                tx: codec::read_u64(data, pos)?,
+                table: codec::read_str(data, pos)?,
+                row_id: RowId(codec::read_u64(data, pos)?),
+                row: codec::read_row(data, pos)?,
+            },
+            K_UPDATE => LogRecord::Update {
+                tx: codec::read_u64(data, pos)?,
+                table: codec::read_str(data, pos)?,
+                row_id: RowId(codec::read_u64(data, pos)?),
+                row: codec::read_row(data, pos)?,
+            },
+            K_DELETE => LogRecord::Delete {
+                tx: codec::read_u64(data, pos)?,
+                table: codec::read_str(data, pos)?,
+                row_id: RowId(codec::read_u64(data, pos)?),
+            },
+            K_COMMIT => LogRecord::Commit { tx: codec::read_u64(data, pos)? },
+            K_ABORT => LogRecord::Abort { tx: codec::read_u64(data, pos)? },
+            other => {
+                return Err(StorageError::Corrupt(format!("unknown log record kind {other}")));
+            }
+        };
+        if *pos != data.len() {
+            return Err(StorageError::Corrupt(format!(
+                "log record has {} trailing bytes",
+                data.len() - *pos
+            )));
+        }
+        Ok(rec)
     }
 
     /// The transaction this record belongs to, if any (DDL records are
@@ -116,9 +265,8 @@ mod tests {
     use crate::structured::table::Column;
     use crate::value::{DataType, Value};
 
-    #[test]
-    fn encode_decode_round_trip() {
-        let records = vec![
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
             LogRecord::Begin { tx: 1 },
             LogRecord::Insert {
                 tx: 1,
@@ -141,10 +289,42 @@ mod tests {
             },
             LogRecord::DropTable { table: "t".into() },
             LogRecord::CreateIndex { table: "t".into(), column: "a".into() },
-        ];
-        for r in records {
-            let bytes = r.encode().unwrap();
-            assert_eq!(LogRecord::decode(&bytes).unwrap(), r);
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_both_formats() {
+        for r in sample_records() {
+            for fmt in [WalCodec::BinaryV1, WalCodec::Json] {
+                let bytes = r.encode_with(fmt).unwrap();
+                assert_eq!(LogRecord::decode(&bytes).unwrap(), r, "{fmt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        for r in sample_records() {
+            let bin = r.encode_with(WalCodec::BinaryV1).unwrap();
+            let json = r.encode_with(WalCodec::Json).unwrap();
+            assert!(bin.len() < json.len(), "{r:?}: binary {} vs json {}", bin.len(), json.len());
+        }
+    }
+
+    #[test]
+    fn formats_may_mix_within_one_log() {
+        // Exactly the situation after an engine upgrade: JSON prefix,
+        // binary suffix, decoded record-by-record.
+        let records = sample_records();
+        let mixed: Vec<Vec<u8>> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.encode_with(if i % 2 == 0 { WalCodec::Json } else { WalCodec::BinaryV1 }).unwrap()
+            })
+            .collect();
+        for (bytes, want) in mixed.iter().zip(&records) {
+            assert_eq!(&LogRecord::decode(bytes).unwrap(), want);
         }
     }
 
@@ -157,5 +337,27 @@ mod tests {
     #[test]
     fn garbage_decodes_to_corrupt_error() {
         assert!(matches!(LogRecord::decode(b"not json"), Err(StorageError::Corrupt(_))));
+        assert!(matches!(LogRecord::decode(b""), Err(StorageError::Corrupt(_))));
+        // Valid format byte, bogus kind.
+        assert!(matches!(LogRecord::decode(&[BINARY_V1, 99]), Err(StorageError::Corrupt(_))));
+        // Truncated binary insert.
+        let full = LogRecord::Insert {
+            tx: 7,
+            table: "tab".into(),
+            row_id: RowId(1),
+            row: vec![Value::Int(5)],
+        }
+        .encode()
+        .unwrap();
+        for cut in 1..full.len() {
+            assert!(
+                matches!(LogRecord::decode(&full[..cut]), Err(StorageError::Corrupt(_))),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing bytes are rejected too.
+        let mut padded = full;
+        padded.push(0);
+        assert!(matches!(LogRecord::decode(&padded), Err(StorageError::Corrupt(_))));
     }
 }

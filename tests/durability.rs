@@ -4,8 +4,8 @@
 use quarry::corpus::{Corpus, CorpusConfig, CrawlConfig, CrawlSimulator};
 use quarry::schema::{EvolutionOp, SchemaRegistry, VersionId};
 use quarry::storage::{
-    Column, CrashPlan, DataType, Database, FaultBackend, Op, RealBackend, SnapshotStore,
-    TableSchema, Value,
+    Column, CrashPlan, DataType, Database, DurabilityMode, FaultBackend, Op, RealBackend,
+    SnapshotStore, TableSchema, Value,
 };
 use std::sync::Arc;
 
@@ -158,9 +158,25 @@ fn wal_grows_with_work_and_recovery_is_complete_after_many_batches() {
 //
 // `QUARRY_CRASH_POINTS=n` bounds the sweep to n evenly-spread crash points
 // (CI smoke); the checkpoint publication rename and the WAL reset right
-// after it are always included.
+// after it are always included. `QUARRY_DURABILITY=full|normal` selects the
+// commit durability the sweep runs under — both modes promise the same
+// recovery floor in the fault model (flushed bytes survive), with `normal`
+// simply skipping the per-commit fsync. `deferred` is deliberately not
+// accepted: it trades the floor away, so the differential's invariant does
+// not hold for it (its contract is covered by the engine's unit tests).
 
 type Step = fn(&Database) -> quarry::storage::Result<()>;
+
+fn durability_from_env() -> DurabilityMode {
+    match std::env::var("QUARRY_DURABILITY") {
+        Err(_) => DurabilityMode::Full,
+        Ok(v) => match v.as_str() {
+            "full" => DurabilityMode::Full,
+            "normal" => DurabilityMode::Normal,
+            other => panic!("QUARRY_DURABILITY must be full|normal, got {other:?}"),
+        },
+    }
+}
 
 fn people_schema() -> TableSchema {
     TableSchema::new(
@@ -286,7 +302,8 @@ fn run_crash_case(
     let p = tmpwal(&format!("recdiff-{label}"));
     let plan = CrashPlan { crash_at: k, tear_bytes: tear };
     let fb = FaultBackend::with_plan(RealBackend, plan);
-    if let Ok(db) = Database::open_with(Arc::new(fb.clone()), &p) {
+    if let Ok(mut db) = Database::open_with(Arc::new(fb.clone()), &p) {
+        db.set_durability(durability_from_env());
         for step in steps {
             if step(&db).is_err() {
                 break;
@@ -337,7 +354,8 @@ fn recovery_differential() {
     // cumulative operation count.
     let p = tmpwal("recdiff-record");
     let rec = FaultBackend::recording(RealBackend);
-    let db = Database::open_with(Arc::new(rec.clone()), &p).unwrap();
+    let mut db = Database::open_with(Arc::new(rec.clone()), &p).unwrap();
+    db.set_durability(durability_from_env());
     let mut cum = vec![rec.op_count()];
     for step in &steps {
         step(&db).unwrap();
