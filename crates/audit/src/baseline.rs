@@ -1,0 +1,198 @@
+//! The findings baseline: pre-existing debt, tracked explicitly.
+//!
+//! A baseline entry keys a finding by *what* it is, not *where on the
+//! line* it is: `code | path | enclosing item | normalized snippet | n`,
+//! where `n` disambiguates repeats of the same snippet in the same item.
+//! Line numbers are deliberately absent so unrelated edits above a finding
+//! don't churn the file; moving the code to another function or changing
+//! the flagged expression retires the entry and surfaces the finding
+//! again — which is the point.
+//!
+//! CI runs `quarry-audit --deny`: any finding **not** in the baseline
+//! fails the build. `--write-baseline` regenerates the file; diffs to it
+//! are reviewed like any other code change, so new debt is a visible,
+//! deliberate act rather than grep-rot.
+
+use crate::rules::Finding;
+use std::collections::HashMap;
+
+/// Stable identity of one finding in the baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    /// Rule code (`QA101`).
+    pub code: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Qualified enclosing item, or `<file>` for file-scope findings.
+    pub item: String,
+    /// Whitespace-normalized flagged source text, truncated.
+    pub snippet: String,
+    /// 1-based occurrence counter among identical (code,path,item,snippet).
+    pub occurrence: usize,
+}
+
+const FIELD_SEP: char = '\t';
+const SNIPPET_MAX: usize = 80;
+
+/// Normalize a flagged span's text into its baseline snippet.
+pub fn snippet_of(text: &str) -> String {
+    let collapsed: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
+    if collapsed.len() > SNIPPET_MAX {
+        let mut end = SNIPPET_MAX;
+        while !collapsed.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &collapsed[..end])
+    } else {
+        collapsed
+    }
+}
+
+/// Assign occurrence numbers to findings in file order and return the keys
+/// parallel to `findings`.
+pub fn keys_for(findings: &[Finding]) -> Vec<Key> {
+    let mut seen: HashMap<(String, String, String, String), usize> = HashMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let base = (f.code.to_string(), f.path.clone(), f.item.clone(), snippet_of(&f.snippet));
+            let n = seen.entry(base.clone()).or_insert(0);
+            *n += 1;
+            Key { code: base.0, path: base.1, item: base.2, snippet: base.3, occurrence: *n }
+        })
+        .collect()
+}
+
+/// Parsed baseline file contents.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: HashMap<Key, ()>,
+}
+
+impl Baseline {
+    /// Parse the baseline text. Lines are `code\tpath\titem\tsnippet\tn`;
+    /// blank lines and `#` comments are skipped.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = HashMap::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(FIELD_SEP).collect();
+            let [code, path, item, snippet, n] = parts.as_slice() else {
+                return Err(format!("baseline line {}: expected 5 tab-separated fields", ln + 1));
+            };
+            let occurrence: usize =
+                n.parse().map_err(|_| format!("baseline line {}: bad occurrence `{n}`", ln + 1))?;
+            entries.insert(
+                Key {
+                    code: code.to_string(),
+                    path: path.to_string(),
+                    item: item.to_string(),
+                    snippet: snippet.to_string(),
+                    occurrence,
+                },
+                (),
+            );
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// True when `key` is accepted debt.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries present in the baseline but matching no current finding —
+    /// retired debt the next `--write-baseline` will drop.
+    pub fn stale(&self, current: &[Key]) -> usize {
+        let live: std::collections::HashSet<&Key> = current.iter().collect();
+        self.entries.keys().filter(|k| !live.contains(*k)).count()
+    }
+
+    /// Render `keys` as baseline file text, sorted and commented.
+    pub fn render(keys: &[Key]) -> String {
+        let mut sorted: Vec<&Key> = keys.iter().collect();
+        sorted.sort();
+        let mut out = String::from(
+            "# quarry-audit baseline: accepted pre-existing findings.\n\
+             # One finding per line: code<TAB>path<TAB>item<TAB>snippet<TAB>occurrence.\n\
+             # Regenerate with: cargo run -p quarry-audit -- --write-baseline\n",
+        );
+        for k in sorted {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                k.code, k.path, k.item, k.snippet, k.occurrence
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_exec::diag::{Diagnostic, Severity, Span};
+
+    fn finding(code: &'static str, path: &str, item: &str, snippet: &str) -> Finding {
+        Finding {
+            code,
+            path: path.to_string(),
+            item: item.to_string(),
+            snippet: snippet.to_string(),
+            diagnostic: Diagnostic {
+                code,
+                severity: Severity::Error,
+                span: Span::new(0, 1),
+                message: String::new(),
+                help: None,
+            },
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            finding("QA101", "crates/a/src/lib.rs", "f", "x.unwrap()"),
+            finding("QA101", "crates/a/src/lib.rs", "f", "x.unwrap()"),
+            finding("QA103", "crates/b/src/lib.rs", "<file>", "serde_json"),
+        ];
+        let keys = keys_for(&findings);
+        assert_eq!(keys[0].occurrence, 1);
+        assert_eq!(keys[1].occurrence, 2);
+        let text = Baseline::render(&keys);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for k in &keys {
+            assert!(parsed.contains(k));
+        }
+        assert_eq!(parsed.stale(&keys), 0);
+        assert_eq!(parsed.stale(&keys[..1]), 2);
+    }
+
+    #[test]
+    fn snippets_normalize_whitespace_and_truncate() {
+        assert_eq!(snippet_of("a  b\n   c"), "a b c");
+        let long = "x".repeat(200);
+        assert!(snippet_of(&long).len() <= SNIPPET_MAX + "…".len());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("QA101\tonly\tthree").is_err());
+        assert!(Baseline::parse("QA101\ta\tb\tc\tnotnum").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+}

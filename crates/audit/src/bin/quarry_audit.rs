@@ -1,0 +1,152 @@
+//! `quarry-audit` — check the workspace's safety invariants.
+//!
+//! ```text
+//! quarry-audit [ROOT] [--deny] [--write-baseline] [--warnings] [--quiet]
+//! ```
+//!
+//! ROOT defaults to the current directory and must contain `crates/`.
+//! Reads `audit/lock-order.toml` (QA102 manifest) and
+//! `audit/baseline.txt` (accepted debt) under ROOT.
+//!
+//! - default: print new error findings with caret renders, summarize the
+//!   rest; exit 0.
+//! - `--deny`: exit non-zero when any non-baselined error finding exists
+//!   (the CI mode), printing how to regenerate the baseline.
+//! - `--write-baseline`: accept every current error finding as debt and
+//!   rewrite `audit/baseline.txt`.
+//! - `--warnings`: also render warning-severity findings (QA101 indexing,
+//!   QA105 unused allows) in full.
+
+use quarry_audit::{audit_workspace, Baseline, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    write_baseline: bool,
+    show_warnings: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        write_baseline: false,
+        show_warnings: false,
+        quiet: false,
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--warnings" => args.show_warnings = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: quarry-audit [ROOT] [--deny] [--write-baseline] [--warnings] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => args.root = PathBuf::from(path),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let outcome = audit_workspace(&args.root)?;
+
+    let baseline_path = args.root.join("audit/baseline.txt");
+    if args.write_baseline {
+        let error_keys: Vec<_> = outcome
+            .findings
+            .iter()
+            .zip(&outcome.keys)
+            .filter(|(f, _)| f.diagnostic.severity == Severity::Error)
+            .map(|(_, k)| k.clone())
+            .collect();
+        std::fs::create_dir_all(baseline_path.parent().unwrap_or(&args.root))
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&baseline_path, Baseline::render(&error_keys))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} entr{} to {}",
+            error_keys.len(),
+            if error_keys.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(_) => Baseline::default(),
+    };
+
+    let new = outcome.new_findings(&baseline);
+    let error_keys: Vec<_> = outcome
+        .findings
+        .iter()
+        .zip(&outcome.keys)
+        .filter(|(f, _)| f.diagnostic.severity == Severity::Error)
+        .map(|(_, k)| k.clone())
+        .collect();
+    let baselined = error_keys.len() - new.len();
+    let stale = baseline.stale(&error_keys);
+    let warning_count = outcome.warnings().count();
+
+    if !args.quiet {
+        // Render new errors (and optionally warnings) with carets.
+        let shown: Vec<quarry_audit::Finding> = outcome
+            .findings
+            .iter()
+            .zip(&outcome.keys)
+            .filter(|(f, k)| match f.diagnostic.severity {
+                Severity::Error => !baseline.contains(k),
+                Severity::Warning => args.show_warnings,
+            })
+            .map(|(f, _)| f.clone())
+            .collect();
+        for report in quarry_audit::reports(&outcome.files, &shown) {
+            print!("{report}");
+            println!();
+        }
+    }
+
+    println!(
+        "quarry-audit: {} file(s), {} serve-reachable fn(s); {} new error(s), {} baselined, {} stale baseline entr{}, {} warning(s)",
+        outcome.files.len(),
+        outcome.reachable_fns,
+        new.len(),
+        baselined,
+        stale,
+        if stale == 1 { "y" } else { "ies" },
+        warning_count,
+    );
+
+    if !new.is_empty() && args.deny {
+        println!(
+            "\nnew findings fail --deny. Fix them, suppress each with\n\
+             `// quarry-audit: allow(CODE, reason = \"...\")`, or accept as debt:\n\
+             \n    cargo run -p quarry-audit -- --write-baseline\n\
+             \nand commit the updated audit/baseline.txt."
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("quarry-audit: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

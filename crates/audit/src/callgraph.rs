@@ -1,0 +1,133 @@
+//! Heuristic workspace call graph, rooted at the serving layer.
+//!
+//! Resolution is *name-based*: a call site `foo(...)` or `x.foo(...)`
+//! creates an edge to every workspace function named `foo`, in any crate.
+//! That deliberately over-approximates — a `.get(...)` on a `HashMap`
+//! also "reaches" every workspace `get` — because for a safety audit the
+//! cheap failure mode must be a false *positive* (a finding you then
+//! `allow` with a reason or baseline), never a panic site silently
+//! considered unreachable. The under-approximations that remain are
+//! dynamic dispatch through non-method paths (function pointers stored in
+//! collections) and macros that synthesize calls; both are rare in this
+//! workspace and covered by the rule fixtures.
+//!
+//! Roots are every non-test function in `crates/serve` — the wire surface
+//! PR 5's manual panic audit covered by hand. Everything transitively
+//! named from there is **serve-reachable** and subject to QA101/QA102.
+
+use crate::index::SourceFile;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A function's global identity: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// The workspace-wide graph over every indexed file.
+pub struct CallGraph {
+    /// Bare name → all functions carrying it.
+    by_name: HashMap<String, Vec<FnId>>,
+    /// Functions reachable from the serve roots (non-test only).
+    reachable: HashSet<FnId>,
+}
+
+impl CallGraph {
+    /// Build the graph and compute serve-reachability over `files`.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, item) in file.fns.iter().enumerate() {
+                if !item.is_test {
+                    by_name.entry(item.name.clone()).or_default().push((fi, ii));
+                }
+            }
+        }
+
+        let mut reachable: HashSet<FnId> = HashSet::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.crate_name != "serve" {
+                continue;
+            }
+            for (ii, item) in file.fns.iter().enumerate() {
+                if !item.is_test && reachable.insert((fi, ii)) {
+                    queue.push_back((fi, ii));
+                }
+            }
+        }
+        while let Some((fi, ii)) = queue.pop_front() {
+            for (callee, _) in &files[fi].fns[ii].calls {
+                if let Some(targets) = by_name.get(callee) {
+                    for &t in targets {
+                        if reachable.insert(t) {
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { by_name, reachable }
+    }
+
+    /// True when `id` is transitively callable from the serve roots.
+    pub fn is_reachable(&self, id: FnId) -> bool {
+        self.reachable.contains(&id)
+    }
+
+    /// All functions named `name` (non-test), for one-hop rule lookups.
+    pub fn named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of reachable functions (used by the CLI summary).
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files() -> Vec<SourceFile> {
+        vec![
+            SourceFile::parse(
+                "crates/serve/src/server.rs",
+                "fn handle() { execute(); }\nfn execute() { run_query(); }",
+            ),
+            SourceFile::parse(
+                "crates/query/src/engine.rs",
+                "pub fn run_query() { deep(); }\npub fn deep() {}\npub fn island() {}",
+            ),
+            SourceFile::parse("crates/bench/src/lib.rs", "pub fn bench_only() { island(); }"),
+        ]
+    }
+
+    #[test]
+    fn serve_roots_reach_transitively() {
+        let files = files();
+        let g = CallGraph::build(&files);
+        let id = |path: &str, name: &str| -> FnId {
+            let fi = files.iter().position(|f| f.path == path).unwrap();
+            let ii = files[fi].fns.iter().position(|f| f.name == name).unwrap();
+            (fi, ii)
+        };
+        assert!(g.is_reachable(id("crates/serve/src/server.rs", "handle")));
+        assert!(g.is_reachable(id("crates/query/src/engine.rs", "run_query")));
+        assert!(g.is_reachable(id("crates/query/src/engine.rs", "deep")));
+        // Not named from any serve-reachable body:
+        assert!(!g.is_reachable(id("crates/query/src/engine.rs", "island")));
+        assert!(!g.is_reachable(id("crates/bench/src/lib.rs", "bench_only")));
+    }
+
+    #[test]
+    fn test_fns_are_neither_roots_nor_targets() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/serve/src/server.rs",
+                "#[cfg(test)]\nmod tests { fn t() { hidden(); } }",
+            ),
+            SourceFile::parse("crates/query/src/lib.rs", "pub fn hidden() {}"),
+        ];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.reachable_count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Audit configuration: the lock-order manifest and rule scoping tables.
+//!
+//! The lock order lives in `audit/lock-order.toml` — the machine-readable
+//! form of what docs/concurrency.md used to state only in prose, so the
+//! doc and the check cannot drift. The parser here is a tiny hand-rolled
+//! reader for the one shape the manifest uses (the container is offline;
+//! no toml crate): `key = [ "a", "b", ... ]` arrays, `#` comments, and
+//! ignored `[section]` headers.
+
+use std::collections::HashMap;
+
+/// Parsed audit manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Lock names in acquisition order, outermost first. Rank = index.
+    pub lock_order: Vec<String>,
+    /// Lock names exempt from ordering (leaves that are never held across
+    /// another acquisition by contract).
+    pub lock_leaves: Vec<String>,
+}
+
+impl Manifest {
+    /// Parse the manifest text. Unknown keys are ignored so the file can
+    /// grow without breaking older binaries.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let arrays = parse_string_arrays(text)?;
+        Ok(Manifest {
+            lock_order: arrays.get("order").cloned().unwrap_or_default(),
+            lock_leaves: arrays.get("leaves").cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Rank of a lock name in the manifest order (lower = acquire first).
+    /// `None` for unlisted names and for leaves.
+    pub fn rank(&self, name: &str) -> Option<usize> {
+        self.lock_order.iter().position(|n| n == name)
+    }
+
+    /// True when `name` participates in lock tracking at all.
+    pub fn tracks(&self, name: &str) -> bool {
+        self.rank(name).is_some() || self.lock_leaves.iter().any(|n| n == name)
+    }
+}
+
+/// Extract every `key = [ "...", ... ]` binding, tolerating multi-line
+/// arrays, trailing commas, `#` comments, and `[section]` headers.
+fn parse_string_arrays(text: &str) -> Result<HashMap<String, Vec<String>>, String> {
+    let mut out = HashMap::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((ln, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() || line.starts_with('[') {
+            continue;
+        }
+        let Some((key, rest)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = [...]`", ln + 1));
+        };
+        let key = key.trim().to_string();
+        let mut body = rest.trim().to_string();
+        if !body.starts_with('[') {
+            return Err(format!("line {}: `{key}` is not an array", ln + 1));
+        }
+        while !body.contains(']') {
+            let Some((_, more)) = lines.next() else {
+                return Err(format!("line {}: unterminated array for `{key}`", ln + 1));
+            };
+            body.push(' ');
+            body.push_str(strip_comment(more).trim());
+        }
+        let inner = body.trim_start_matches('[').split(']').next().unwrap_or("");
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let unq = part.trim_matches('"');
+            if unq.len() + 2 != part.len() {
+                return Err(format!("line {}: `{part}` is not a quoted string", ln + 1));
+            }
+            items.push(unq.to_string());
+        }
+        out.insert(key, items);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment outside quotes; the manifest never quotes `#`.
+    line.split('#').next().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiline_arrays_with_comments() {
+        let m = Manifest::parse(
+            "# The lock order\norder = [\n  \"writer\",   # outermost\n  \"tables\",\n  \"active\",\n]\n\n[readstate]\nleaves = [\"qcache\", \"check\"]\n",
+        )
+        .unwrap();
+        assert_eq!(m.lock_order, ["writer", "tables", "active"]);
+        assert_eq!(m.lock_leaves, ["qcache", "check"]);
+        assert_eq!(m.rank("tables"), Some(1));
+        assert_eq!(m.rank("qcache"), None);
+        assert!(m.tracks("qcache"));
+        assert!(!m.tracks("unrelated"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Manifest::parse("order = oops").is_err());
+        assert!(Manifest::parse("order = [ bare ]").is_err());
+        assert!(Manifest::parse("order = [\n \"open\n").is_err());
+    }
+}

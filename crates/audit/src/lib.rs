@@ -1,0 +1,172 @@
+//! `quarry-audit` — the workspace invariant checker.
+//!
+//! The paper's thesis is that unstructured artifacts become manageable
+//! once you impose structure and check it mechanically. PR 3 applied that
+//! to QDL programs (QL/QQ lints); this crate applies it to the Rust
+//! workspace's *own* safety invariants, which until now lived in prose
+//! and in people's heads:
+//!
+//! - PR 5's manual panic audit of server-reachable paths → **QA101**
+//!   panic-reachability over a heuristic call graph rooted in
+//!   `crates/serve`;
+//! - docs/concurrency.md's lock-order prose → **QA102**, checked against
+//!   the machine-readable manifest `audit/lock-order.toml`;
+//! - the `! grep -rn 'Mutex<Quarry>'` CI step (and its unwritten
+//!   siblings) → **QA103** per-crate forbidden constructs;
+//! - unsafe-block hygiene → **QA104** `// SAFETY:` enforcement.
+//!
+//! Findings render as rustc-style caret diagnostics through
+//! [`quarry_exec::diag`] — the same renderer the QDL and query linters
+//! use. Suppression needs a written reason
+//! (`// quarry-audit: allow(QA101, reason = "...")`); pre-existing debt
+//! is tracked in a checked-in baseline (`audit/baseline.txt`) so only
+//! *new* findings fail CI. See docs/audit.md for the catalogue.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod callgraph;
+pub mod config;
+pub mod index;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use baseline::{keys_for, Baseline, Key};
+pub use callgraph::CallGraph;
+pub use config::Manifest;
+pub use index::SourceFile;
+pub use quarry_exec::diag::{Diagnostic, LintReport, Severity, Span};
+pub use rules::{codes, reports, run_all, Finding};
+
+use std::path::Path;
+
+/// Everything one audit pass produced.
+pub struct Outcome {
+    /// The indexed files, in scan order.
+    pub files: Vec<SourceFile>,
+    /// Active findings (suppressions already applied), sorted.
+    pub findings: Vec<Finding>,
+    /// Baseline keys parallel to `findings`.
+    pub keys: Vec<Key>,
+    /// Number of functions reachable from the serve roots.
+    pub reachable_fns: usize,
+}
+
+impl Outcome {
+    /// Findings not covered by `baseline`, with their keys.
+    pub fn new_findings<'a>(&'a self, baseline: &Baseline) -> Vec<(&'a Finding, &'a Key)> {
+        self.findings
+            .iter()
+            .zip(&self.keys)
+            .filter(|(f, k)| f.diagnostic.severity == Severity::Error && !baseline.contains(k))
+            .collect()
+    }
+
+    /// Warning-severity findings (never deny, never baselined).
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.diagnostic.severity == Severity::Warning)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.diagnostic.severity == Severity::Error)
+    }
+}
+
+/// Audit an in-memory file set (used by every test fixture): `sources`
+/// are `(workspace-relative path, text)` pairs.
+pub fn audit_sources(sources: Vec<(String, String)>, manifest: &Manifest) -> Outcome {
+    let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+    let graph = CallGraph::build(&files);
+    let findings = run_all(&files, &graph, manifest);
+    let keys = keys_for(&findings);
+    Outcome { reachable_fns: graph.reachable_count(), files, findings, keys }
+}
+
+/// Enumerate the workspace's auditable sources under `root`: every `.rs`
+/// file below `crates/*/src` and the facade's `src/`. `shims/` (vendored
+/// stand-ins for external crates) and test/fixture trees are out of
+/// scope — the audit governs this workspace's own code.
+pub fn load_workspace(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut sources = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), root, &mut sources)?;
+    }
+    collect_rs(&root.join("src"), root, &mut sources)?;
+    if sources.is_empty() {
+        return Err(format!("no .rs sources under {}", root.display()));
+    }
+    Ok(sources)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push((rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full audit over an on-disk workspace root, loading the
+/// manifest from `audit/lock-order.toml` (missing file = empty manifest).
+pub fn audit_workspace(root: &Path) -> Result<Outcome, String> {
+    let manifest_path = root.join("audit/lock-order.toml");
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => {
+            Manifest::parse(&text).map_err(|e| format!("{}: {e}", manifest_path.display()))?
+        }
+        Err(_) => Manifest::default(),
+    };
+    Ok(audit_sources(load_workspace(root)?, &manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_sources_end_to_end() {
+        let manifest = Manifest::parse("order = [\"tables\", \"active\"]").unwrap();
+        let out = audit_sources(
+            vec![(
+                "crates/serve/src/server.rs".to_string(),
+                "fn handle() { x.unwrap(); }".to_string(),
+            )],
+            &manifest,
+        );
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.keys.len(), 1);
+        assert_eq!(out.findings[0].code, codes::PANIC_REACHABLE);
+        assert_eq!(out.reachable_fns, 1);
+        let empty = Baseline::default();
+        assert_eq!(out.new_findings(&empty).len(), 1);
+        let accepted = Baseline::parse(&Baseline::render(&out.keys)).unwrap();
+        assert_eq!(out.new_findings(&accepted).len(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! `// quarry-audit: allow(...)` suppression comments.
+//!
+//! A finding is suppressible only at its site, only by code, and only
+//! with a written reason:
+//!
+//! ```text
+//! // quarry-audit: allow(QA101, reason = "slice length checked above")
+//! let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+//! ```
+//!
+//! An allow covers the named codes on its **own line** (trailing comment)
+//! and on the **next line** — nothing wider, so one comment can never
+//! blanket a region. An allow without a non-empty `reason = "..."` is
+//! itself a finding (QA100): undocumented suppressions are exactly the
+//! unstructured artifact this tool exists to eliminate. Unused allows are
+//! reported as QA105 warnings so stale suppressions get cleaned up.
+
+use crate::index::SourceFile;
+use quarry_exec::diag::Span;
+
+/// One parsed allow comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Codes it suppresses (`QA101`, ...).
+    pub codes: Vec<String>,
+    /// The mandatory justification (may be empty — QA100 then fires).
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Span of the comment (diagnostics anchor).
+    pub span: Span,
+}
+
+/// The marker every audit-control comment starts with.
+pub const MARKER: &str = "quarry-audit:";
+
+/// Collect every allow comment in a file. Returns `(allows, malformed)`
+/// where `malformed` are `quarry-audit:` comments that did not parse as
+/// `allow(CODE..., reason = "...")` — surfaced as QA100 findings.
+pub fn collect_allows(file: &SourceFile) -> (Vec<Allow>, Vec<(Span, String)>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for tok in &file.tokens {
+        if !tok.is_comment() {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix(MARKER) else { continue };
+        match parse_allow(rest.trim()) {
+            Ok((codes, reason)) => allows.push(Allow {
+                codes,
+                reason,
+                line: file.line_of(tok.span.start),
+                span: tok.span,
+            }),
+            Err(why) => malformed.push((tok.span, why)),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parse `allow(QA101, QA102, reason = "...")`.
+fn parse_allow(s: &str) -> Result<(Vec<String>, String), String> {
+    let Some(inner) = s.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) else {
+        return Err(format!("expected `allow(CODE, reason = \"...\")`, found `{s}`"));
+    };
+    let mut codes = Vec::new();
+    let mut reason = None;
+    // Split on commas outside the reason string: the reason is always last
+    // and quoted, so split the reason off first.
+    let (head, tail) = match inner.find("reason") {
+        Some(at) => (&inner[..at], Some(&inner[at..])),
+        None => (inner, None),
+    };
+    for part in head.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.starts_with("QA")
+            || part.len() != 5
+            || !part[2..].bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(format!("`{part}` is not a QA rule code"));
+        }
+        codes.push(part.to_string());
+    }
+    if codes.is_empty() {
+        return Err("allow lists no rule code".to_string());
+    }
+    if let Some(tail) = tail {
+        let Some(eq) = tail.find('=') else {
+            return Err("`reason` must be `reason = \"...\"`".to_string());
+        };
+        let val = tail[eq + 1..].trim().trim_end_matches(',').trim();
+        let Some(text) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err("reason must be a quoted string".to_string());
+        };
+        reason = Some(text.to_string());
+    }
+    let reason = reason.unwrap_or_default();
+    Ok((codes, reason))
+}
+
+/// Which allow (if any) covers a finding of `code` anchored at `line`.
+/// Returns the index into `allows`.
+pub fn matching_allow(allows: &[Allow], code: &str, line: usize) -> Option<usize> {
+    allows
+        .iter()
+        .position(|a| (a.line == line || a.line + 1 == line) && a.codes.iter().any(|c| c == code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::SourceFile;
+
+    #[test]
+    fn parses_codes_and_reason() {
+        let (codes, reason) =
+            parse_allow("allow(QA101, QA104, reason = \"checked above\")").unwrap();
+        assert_eq!(codes, ["QA101", "QA104"]);
+        assert_eq!(reason, "checked above");
+    }
+
+    #[test]
+    fn missing_reason_parses_as_empty_for_qa100_to_flag() {
+        let (codes, reason) = parse_allow("allow(QA101)").unwrap();
+        assert_eq!(codes, ["QA101"]);
+        assert!(reason.is_empty());
+    }
+
+    #[test]
+    fn junk_is_malformed() {
+        assert!(parse_allow("allow()").is_err());
+        assert!(parse_allow("allow(QL001, reason = \"x\")").is_err());
+        assert!(parse_allow("deny(QA101)").is_err());
+        assert!(parse_allow("allow(QA101, reason = bare)").is_err());
+    }
+
+    #[test]
+    fn allows_collect_with_lines() {
+        let src = "fn f() {\n    // quarry-audit: allow(QA101, reason = \"peeked\")\n    x.unwrap();\n}\n// quarry-audit: nonsense\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        let (allows, malformed) = collect_allows(&f);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].line, 2);
+        assert_eq!(malformed.len(), 1);
+        assert_eq!(matching_allow(&allows, "QA101", 3), Some(0));
+        assert_eq!(matching_allow(&allows, "QA101", 4), None);
+        assert_eq!(matching_allow(&allows, "QA102", 3), None);
+    }
+}

@@ -1,0 +1,16 @@
+// Suppression fixture: a reasoned allow (silent), a reason-less allow
+// (QA100), and an unused allow (QA105). Mapped to
+// crates/serve/src/session.rs.
+
+pub fn reasoned(opt: Option<u8>) -> u8 {
+    // quarry-audit: allow(QA101, reason = "caller checked is_some above")
+    opt.unwrap()
+}
+
+pub fn reasonless(opt: Option<u8>) -> u8 {
+    // quarry-audit: allow(QA101)
+    opt.unwrap()
+}
+
+// quarry-audit: allow(QA104, reason = "nothing unsafe here any more")
+pub fn stale_allow() {}

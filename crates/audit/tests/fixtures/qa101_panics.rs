@@ -1,0 +1,26 @@
+// QA101 fixture: panic-family calls in serve-reachable code. Mapped to
+// the virtual path crates/serve/src/handler.rs by the golden test.
+
+pub fn handle(req: &Request) -> Response {
+    let body = req.body.as_ref().unwrap();
+    let n: usize = body.parse().expect("numeric body");
+    if n > LIMIT {
+        panic!("over limit");
+    }
+    let row = &rows[n];
+    Response::ok(row)
+}
+
+pub fn fallible(req: &Request) -> Result<Response, Error> {
+    let body = req.body.as_ref().ok_or(Error::Empty)?;
+    Ok(Response::ok(body))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_unwraps_are_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+// QA102 fixture: lock-order inversions, in-body and across one
+// call-graph hop. Mapped to crates/storage/src/engine.rs.
+
+impl Database {
+    pub fn inverted(&self) {
+        let active = self.active.lock();
+        let tables = self.tables.lock();
+        drop((active, tables));
+    }
+
+    pub fn hop(&self) {
+        let active = self.active.lock();
+        helper_locks_tables();
+        drop(active);
+    }
+
+    pub fn ordered(&self) {
+        let tables = self.tables.lock();
+        let active = self.active.lock();
+        drop((tables, active));
+    }
+
+    pub fn scoped(&self) {
+        {
+            let active = self.active.lock();
+            drop(active);
+        }
+        let tables = self.tables.lock();
+        drop(tables);
+    }
+}
+
+fn helper_locks_tables() {
+    let tables = GLOBAL.tables.lock();
+    drop(tables);
+}

@@ -1,0 +1,10 @@
+// QA103 fixture: the facade mutex the serving layer must never reclaim
+// (this seeded violation replaces the old CI grep). Mapped to
+// crates/serve/src/state.rs.
+
+pub struct Shared {
+    quarry: Mutex<Quarry>,
+}
+
+// A string mention must not fire: the lexer keeps literals opaque.
+pub const GREP_BAIT: &str = "Mutex<Quarry>";

@@ -1,0 +1,14 @@
+// QA104 fixture: unsafe blocks with and without SAFETY comments.
+// Mapped to crates/corpus/src/mutate.rs.
+
+pub fn undocumented(text: &mut String) {
+    let bytes = unsafe { text.as_bytes_mut() };
+    bytes[0] = b'0';
+}
+
+pub fn documented(text: &mut String) {
+    // SAFETY: only ASCII digit bytes are written below, so the buffer
+    // remains valid UTF-8.
+    let bytes = unsafe { text.as_bytes_mut() };
+    bytes[0] = b'1';
+}

@@ -1,0 +1,74 @@
+//! Property tests over the suppression machinery: an
+//! `// quarry-audit: allow(...)` comment suppresses exactly the one
+//! diagnostic on the line below it — never a neighbour, never a
+//! different rule — and auditing is deterministic.
+
+use proptest::prelude::*;
+use quarry_audit::{audit_sources, codes, Manifest};
+
+fn manifest() -> Manifest {
+    Manifest::parse("order = [\"tables\", \"active\"]").unwrap()
+}
+
+/// A serve-reachable function with `n` unwrap statements, one per line,
+/// with a reasoned allow above statement `target` (if any).
+fn source(n: usize, target: Option<usize>) -> String {
+    let mut src = String::from("pub fn handle(xs: &[Option<u8>]) {\n");
+    for i in 0..n {
+        if target == Some(i) {
+            src.push_str("    // quarry-audit: allow(QA101, reason = \"fixture\")\n");
+        }
+        src.push_str(&format!("    let _v{i} = xs.get({i}).cloned().flatten().unwrap();\n"));
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #[test]
+    fn prop_allow_suppresses_exactly_its_target(n in 1usize..8, pick in 0usize..8) {
+        let target = pick % n;
+        let path = "crates/serve/src/handler.rs".to_string();
+
+        // Without the allow: one QA101 error per statement.
+        let bare = audit_sources(vec![(path.clone(), source(n, None))], &manifest());
+        let bare_101 = bare.findings.iter().filter(|f| f.code == codes::PANIC_REACHABLE).count();
+        prop_assert_eq!(bare_101, n);
+
+        // With the allow: exactly one fewer, and the survivors are
+        // every statement except the targeted one.
+        let out = audit_sources(vec![(path, source(n, Some(target)))], &manifest());
+        // Map finding lines back to statement indices. The allow comment
+        // shifts statements >= target down one line; statements start at
+        // line 2 of the file.
+        let survived: Vec<usize> = out
+            .findings
+            .iter()
+            .filter(|f| f.code == codes::PANIC_REACHABLE)
+            .map(|f| {
+                let line = f.line;
+                let idx = line - 2; // 0-based statement slot
+                if idx > target { idx - 1 } else { idx }
+            })
+            .collect();
+        prop_assert_eq!(survived.len(), n - 1);
+        prop_assert!(!survived.contains(&target), "target {target} not suppressed: {survived:?}");
+        for i in (0..n).filter(|&i| i != target) {
+            prop_assert!(survived.contains(&i), "allow over-suppressed statement {i}");
+        }
+        // No collateral rule noise, and the allow itself is counted used
+        // (no QA105), reasoned (no QA100).
+        prop_assert!(!out.findings.iter().any(|f| f.code == codes::UNUSED_ALLOW));
+        prop_assert!(!out.findings.iter().any(|f| f.code == codes::BAD_ALLOW));
+    }
+
+    #[test]
+    fn prop_audit_is_deterministic(n in 1usize..6) {
+        let path = "crates/serve/src/handler.rs".to_string();
+        let a = audit_sources(vec![(path.clone(), source(n, None))], &manifest());
+        let b = audit_sources(vec![(path, source(n, None))], &manifest());
+        let ka: Vec<String> = a.keys.iter().map(|k| format!("{k:?}")).collect();
+        let kb: Vec<String> = b.keys.iter().map(|k| format!("{k:?}")).collect();
+        prop_assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,40 @@
+//! Self-audit: the checked-in workspace must pass its own analyzer.
+//!
+//! This is the same invariant CI enforces with `quarry-audit --deny`,
+//! held as a plain test so `cargo test` alone catches regressions: no
+//! error-severity finding outside `audit/baseline.txt`, and no baseline
+//! entry that no longer matches anything (stale debt must be removed,
+//! not hoarded).
+
+use quarry_audit::{audit_workspace, Baseline};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_self_audit_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = audit_workspace(&root).expect("workspace loads");
+    assert!(out.reachable_fns > 0, "call graph found no serve roots");
+
+    let baseline_path = root.join("audit/baseline.txt");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).expect("baseline parses"),
+        Err(_) => Baseline::default(),
+    };
+
+    let fresh = out.new_findings(&baseline);
+    assert!(
+        fresh.is_empty(),
+        "{} new audit error(s); fix them, add a reasoned allow, or regenerate the \
+         baseline with `cargo run -p quarry-audit -- --write-baseline`:\n{:#?}",
+        fresh.len(),
+        fresh.iter().map(|(f, _)| f).collect::<Vec<_>>()
+    );
+    let error_keys: Vec<_> = out
+        .findings
+        .iter()
+        .zip(&out.keys)
+        .filter(|(f, _)| f.diagnostic.severity == quarry_audit::Severity::Error)
+        .map(|(_, k)| k.clone())
+        .collect();
+    assert_eq!(baseline.stale(&error_keys), 0, "stale baseline entries; regenerate");
+}

@@ -5,6 +5,8 @@
 //! is seeded; rerunning a binary reproduces its numbers exactly (wall-clock
 //! timings vary with the machine; shapes should not).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// A fixed-width table printer for experiment output.

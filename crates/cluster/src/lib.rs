@@ -11,6 +11,8 @@
 //! - [`fault`] — failure injection: tasks that die on scheduled attempts,
 //!   re-executed by the engine until they succeed.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod fault;
 

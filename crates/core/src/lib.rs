@@ -20,6 +20,8 @@
 //! the data-generation-and-exploitation event log that makes the paper's
 //! DGE model an inspectable artifact.
 
+#![forbid(unsafe_code)]
+
 pub mod dge;
 pub mod feedback;
 pub mod incremental;

@@ -112,6 +112,9 @@ impl CrawlSimulator {
                 }
                 // Tweak one digit of some number in the page (a value update).
                 1 => {
+                    // SAFETY: the only writes below replace an ASCII digit
+                    // byte with another ASCII digit, so the buffer remains
+                    // valid UTF-8.
                     let bytes = unsafe { doc.text.as_bytes_mut() };
                     let digit_positions: Vec<usize> = bytes
                         .iter()

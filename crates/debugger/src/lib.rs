@@ -12,6 +12,8 @@
 //! - [`health`] — the system-status side of Part VI: component heartbeats,
 //!   metric bands, and an alert log for the system manager.
 
+#![forbid(unsafe_code)]
+
 pub mod constraints;
 pub mod health;
 pub mod monitor;

@@ -21,6 +21,8 @@
 //!    spread, and how many batches were stolen rather than executed by
 //!    their home worker. Named counters capture cache behaviour.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod diag;
 pub mod explain;

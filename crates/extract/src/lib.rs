@@ -22,6 +22,8 @@
 //! source span, a confidence, and the producing extractor's name — the raw
 //! material for integration, uncertainty tracking, and provenance.
 
+#![forbid(unsafe_code)]
+
 pub mod dictionary;
 pub mod distant;
 pub mod eval;

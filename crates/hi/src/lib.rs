@@ -17,6 +17,8 @@
 //! - [`curate`] — the generic HI repair loop: take uncertain automatic
 //!   decisions, spend budget, return curated decisions.
 
+#![forbid(unsafe_code)]
+
 pub mod crowd;
 pub mod curate;
 pub mod oracle;

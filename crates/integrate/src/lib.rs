@@ -15,6 +15,8 @@
 //! - [`schema_match`] — attribute correspondence discovery from label
 //!   similarity and value-distribution overlap, and mediated-schema merging.
 
+#![forbid(unsafe_code)]
+
 pub mod blocking;
 pub mod cluster;
 pub mod matcher;

@@ -29,6 +29,8 @@
 //!   entities, routes uncertain decisions to an HI oracle, and stores the
 //!   result into the structured store, reporting per-step statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod exec;
 pub mod lexer;

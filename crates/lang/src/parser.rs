@@ -139,9 +139,13 @@ impl<'s> Parser<'s> {
                 let (span, found) = (self.here(), self.describe());
                 return Err(self.err(span, format!("expected step keyword, found {found}")));
             };
-            let (step, spans) = match kw.to_ascii_uppercase().as_str() {
+            let kw = kw.to_ascii_uppercase();
+            // The peek above proved a token is present: consume it once
+            // here rather than `next().unwrap()` in every arm below.
+            let Some(step_tok) = self.next() else { break };
+            let keyword = step_tok.span;
+            let (step, spans) = match kw.as_str() {
                 "EXTRACT" => {
-                    let keyword = self.next().unwrap().span;
                     let (extractors, spans) = self.ident_list()?;
                     (
                         Step::Extract { extractors },
@@ -149,18 +153,15 @@ impl<'s> Parser<'s> {
                     )
                 }
                 "WHERE" => {
-                    let keyword = self.next().unwrap().span;
                     let (conditions, spans) = self.conditions()?;
                     (Step::Where { conditions }, StepSpans::Where { keyword, conditions: spans })
                 }
                 "RESOLVE" => {
-                    let keyword = self.next().unwrap().span;
                     self.keyword("BY")?;
                     let (key, key_span) = self.ident()?;
                     (Step::Resolve { key }, StepSpans::Resolve { keyword, key: key_span })
                 }
                 "CURATE" => {
-                    let keyword = self.next().unwrap().span;
                     self.keyword("BUDGET")?;
                     let (budget, budget_span) = self.number()?;
                     self.keyword("VOTES")?;
@@ -171,7 +172,6 @@ impl<'s> Parser<'s> {
                     )
                 }
                 "STORE" => {
-                    let keyword = self.next().unwrap().span;
                     self.keyword("INTO")?;
                     let (table, table_span) = self.ident()?;
                     self.keyword("KEY")?;
@@ -182,9 +182,8 @@ impl<'s> Parser<'s> {
                     )
                 }
                 other => {
-                    let span = self.here();
                     return Err(self.err(
-                        span,
+                        keyword,
                         format!(
                             "unknown step {other}; valid steps are {}",
                             STEP_KEYWORDS.join(", ")

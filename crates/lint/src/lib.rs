@@ -12,6 +12,8 @@
 //! and the golden tests share: lint one QDL source against the standard
 //! operator library.
 
+#![forbid(unsafe_code)]
+
 pub use quarry_exec::diag::{
     closest, line_col_of, Diagnostic, LintReport, Severity, SourceMap, Span,
 };

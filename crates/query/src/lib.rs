@@ -18,6 +18,8 @@
 //!   (QQ001–QQ003), run before execution with span-anchored diagnostics;
 //! - [`session`] — an exploration session that records mode transitions.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod forms;
 pub mod index;

@@ -227,8 +227,8 @@ fn group_value_preds(
         .map(|(col, mut vs)| {
             vs.sort();
             vs.dedup();
-            if vs.len() == 1 {
-                Predicate::Eq(col.to_string(), vs.pop().expect("one"))
+            if let [only] = vs.as_slice() {
+                Predicate::Eq(col.to_string(), only.clone())
             } else {
                 Predicate::In(col.to_string(), vs)
             }

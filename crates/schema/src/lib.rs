@@ -13,6 +13,8 @@
 //!   evolution history, forward migration of rows across any version gap,
 //!   and compatibility queries.
 
+#![forbid(unsafe_code)]
+
 pub mod evolution;
 pub mod registry;
 

@@ -17,6 +17,8 @@
 //! - [`client`] — a blocking client with reconnect-on-broken-pipe, used
 //!   by the tests and the `pr5_loadgen` bench.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod protocol;
 pub mod server;

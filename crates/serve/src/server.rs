@@ -239,6 +239,7 @@ impl Server {
         drop(self); // Drop shuts down and joins every thread.
         match Arc::try_unwrap(shared) {
             Ok(shared) => shared.quarry.into_inner(),
+            // quarry-audit: allow(QA101, reason = "drop(self) joined every worker thread, so no other Arc<Shared> clone can remain")
             Err(_) => unreachable!("all server threads joined; no other Shared handles exist"),
         }
     }

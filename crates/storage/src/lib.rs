@@ -15,6 +15,8 @@
 //! All three are built from scratch here, on the shared primitives in
 //! [`delta`] (line diffs) and [`wal`] (checksummed log records).
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod delta;
 pub mod error;

@@ -622,6 +622,11 @@ impl Database {
                 )));
             }
         }
+        // `tables` before `wal`: the commit path acquires them in that
+        // order (see audit/lock-order.toml), so taking `wal` first here
+        // would be an ABBA inversion. Holding `tables` across the image
+        // build also pins exactly the state the checkpoint captures.
+        let tables = self.tables.lock();
         let mut wal_guard = self.wal.lock();
         let Some(wal) = wal_guard.as_mut() else {
             return Ok(()); // ephemeral database: nothing to compact
@@ -632,7 +637,6 @@ impl Database {
         let _ = self.backend.remove_file(&tmp); // stale build from an earlier crash
         {
             let mut pager = Pager::create(&*self.backend, &tmp, CKPT_POOL_PAGES)?;
-            let tables = self.tables.lock();
             let mut names: Vec<&String> = tables.keys().collect();
             names.sort();
             // One heap chain per table, rows in row-id order (a
@@ -720,6 +724,7 @@ impl Database {
     /// Start a transaction.
     pub fn begin(&self) -> TxId {
         let tx = self.next_tx.fetch_add(1, Ordering::SeqCst);
+        // quarry-audit: allow(QA102, reason = "HashMap::insert on the guarded map, not Database::insert; the name-based call graph over-approximates")
         self.active.lock().insert(tx, TxState::default());
         // Begin records make logs self-describing; recovery doesn't need them.
         let _ = self.log(&LogRecord::Begin { tx });
@@ -1107,6 +1112,7 @@ impl Database {
         for (name, t) in tables.iter() {
             let clean = t.version == t.stable_version;
             let view = if clean {
+                // quarry-audit: allow(QA102, reason = "HashMap::get on the view cache, not Database::get; the name-based call graph over-approximates")
                 let hit = cache.get(name).filter(|v| v.version() == t.version).cloned();
                 match hit {
                     Some(v) => v,
@@ -1117,6 +1123,7 @@ impl Database {
                             &t.indexes,
                             t.version,
                         ));
+                        // quarry-audit: allow(QA102, reason = "HashMap::insert on the view cache, not Database::insert")
                         cache.insert(name.clone(), Arc::clone(&v));
                         v
                     }
@@ -1138,6 +1145,7 @@ impl Database {
                 }
                 Arc::new(TableView::build(tmp.schema, &tmp.heap, &tmp.indexes, self.stamp()))
             };
+            // quarry-audit: allow(QA102, reason = "HashMap::insert on the result map, not Database::insert")
             out.insert(name.clone(), view);
         }
         let lsn = self.write_clock.load(Ordering::SeqCst);

@@ -116,6 +116,7 @@ impl LockManager {
                 .filter(|(&h, &m)| h != tx && !m.compatible(mode))
                 .map(|(&h, _)| h)
                 .min()
+                // quarry-audit: allow(QA101, reason = "this branch is reached only when a conflicting holder exists")
                 .expect("conflict implies a conflicting holder");
             if oldest_conflicting < tx {
                 return Err(StorageError::TxAborted(format!(

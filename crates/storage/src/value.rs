@@ -165,8 +165,8 @@ impl Ord for Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Text(a), Text(b)) => a.cmp(b),
-            (Int(a), Float(_)) => total_f64(*a as f64).cmp(&total_f64(other.as_f64().unwrap())),
-            (Float(_), Int(b)) => total_f64(self.as_f64().unwrap()).cmp(&total_f64(*b as f64)),
+            (Int(a), Float(b)) => total_f64(*a as f64).cmp(&total_f64(*b)),
+            (Float(a), Int(b)) => total_f64(*a).cmp(&total_f64(*b as f64)),
             (Float(a), Float(b)) => total_f64(*a).cmp(&total_f64(*b)),
             _ => self.rank().cmp(&other.rank()),
         }

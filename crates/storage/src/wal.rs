@@ -203,7 +203,9 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= data.len() {
+            // quarry-audit: allow(QA101, reason = "try_into from a 4-byte slice into [u8; 4] cannot fail")
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            // quarry-audit: allow(QA101, reason = "try_into from a 4-byte slice into [u8; 4] cannot fail")
             let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
             let start = pos + 8;
             let end = match start.checked_add(len) {

@@ -13,6 +13,8 @@
 //! - [`worlds`] — possible-worlds semantics over independent uncertain
 //!   tuples: world enumeration and marginal probabilities for small sets.
 
+#![forbid(unsafe_code)]
+
 pub mod lineage;
 pub mod prob;
 pub mod worlds;

@@ -1,6 +1,8 @@
 //! Offline shim for `bytes` — `Bytes` (cheaply clonable immutable buffer)
 //! and `BytesMut` (growable buffer), the subset the storage crate uses.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;

@@ -5,6 +5,8 @@
 //! the warm-up timing, then times `sample_size` samples and reports the
 //! median ns/iter with the min..max spread.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

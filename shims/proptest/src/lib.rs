@@ -7,6 +7,8 @@
 //! `ProptestConfig::with_cases`. Failing cases report the error but are
 //! not shrunk.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

@@ -4,6 +4,8 @@
 //! value streams are NOT those of the real crate's `StdRng`; only seeded
 //! determinism is preserved.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core source of randomness: 64 random bits at a time.

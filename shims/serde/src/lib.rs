@@ -6,6 +6,8 @@
 //! Derived impls produce serde's externally-tagged enum representation so
 //! the bytes on disk match what the real serde_json would write.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};

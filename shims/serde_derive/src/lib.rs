@@ -6,6 +6,8 @@
 //! generating serde's externally-tagged JSON representation against the
 //! `serde` shim's `to_json`/`from_json` traits.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize`.

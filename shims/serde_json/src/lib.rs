@@ -1,5 +1,7 @@
 //! Offline shim for `serde_json`, backed by the `serde` shim's JSON tree.
 
+#![forbid(unsafe_code)]
+
 use serde::json;
 use serde::{Deserialize, Serialize};
 

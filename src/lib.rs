@@ -33,6 +33,9 @@
 //! let _ = &set;
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use quarry_audit as audit;
 pub use quarry_cluster as cluster;
 pub use quarry_core as core;
 pub use quarry_corpus as corpus;
