@@ -1,0 +1,995 @@
+//! On-disk B-trees over the pager: the page-native table and index
+//! storage behind checkpoint images.
+//!
+//! A tree is a set of [`PageType::BtreeLeaf`] / [`PageType::BtreeInner`]
+//! pages inside one paged file (see [`crate::page`] for the page format).
+//! Leaves hold sorted `(key, value)` entries and link their right sibling
+//! through the page header's `next` field, so a full or bounded range scan
+//! walks the leaf level without touching interior nodes. Interior nodes
+//! hold child page ids separated by keys; a separator is the smallest key
+//! reachable through the child to its right, so descent takes the child
+//! after the last separator `<=` the probe key.
+//!
+//! Keys and values are ordinary [`crate::codec`] byte strings. Ordering is
+//! *decode-and-compare* under a [`KeyOrder`]: keys are decoded to values
+//! and compared with the documented [`Value`] total order, which keeps the
+//! on-disk trees bit-consistent with the in-memory `SecondaryIndex`
+//! (`BTreeMap<Value, _>`) ordering — no memcomparable encoding, no
+//! Int-vs-Float precision traps.
+//!
+//! Oversized keys/values spill into [`PageType::Overflow`] chains (one
+//! chain per blob) so a leaf entry is never larger than ~1.5 KiB and a
+//! page always holds at least two entries. Trees here are *build-once*:
+//! checkpoint construction inserts but never deletes, so overflow chains
+//! referenced by both a leaf and a copied separator are safe to alias —
+//! nothing in an image is ever freed until the whole file is replaced by
+//! the next checkpoint.
+//!
+//! Inserting into a full node splits it. A split at the node's right edge
+//! (the append path: row ids arrive ascending) keeps everything but the
+//! new entry in the left page, yielding ~full pages for sorted loads,
+//! while a mid-node split picks the byte-balanced cut. Either way both
+//! halves are guaranteed to fit, because the largest possible entry is far
+//! smaller than half a page.
+
+use crate::codec;
+use crate::error::StorageError;
+use crate::page::{Page, PageType, NO_PAGE, PAGE_CAPACITY};
+use crate::pager::{read_chain, ChainWriter, Pager};
+use crate::value::Value;
+use crate::Result;
+use std::cmp::Ordering;
+
+/// Largest key stored inline in a node; longer keys spill to an overflow
+/// chain.
+const MAX_INLINE_KEY: usize = 512;
+/// Largest value stored inline in a leaf; longer values spill.
+const MAX_INLINE_VAL: usize = 1024;
+
+/// Leaf-entry flag: the key lives in an overflow chain.
+const FLAG_KEY_SPILLED: u8 = 0b01;
+/// Leaf-entry flag: the value lives in an overflow chain.
+const FLAG_VAL_SPILLED: u8 = 0b10;
+
+/// How a tree's keys decode and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyOrder {
+    /// One `codec` uvarint: a row id. Row trees.
+    RowId,
+    /// A `codec` row of primary-key values, compared lexicographically
+    /// under the `Value` total order. Primary-key trees.
+    PkValues,
+    /// One `codec` value followed by a uvarint row id, compared as the
+    /// pair. Secondary-index trees; entries sharing the value form one
+    /// *group* (see [`BTree::insert`]'s `new_group`).
+    ValueRowId,
+}
+
+impl KeyOrder {
+    /// Compare two encoded keys under this order.
+    pub fn compare(self, a: &[u8], b: &[u8]) -> Result<Ordering> {
+        match self {
+            KeyOrder::RowId => Ok(decode_row_key(a)?.cmp(&decode_row_key(b)?)),
+            KeyOrder::PkValues => {
+                let ka = codec::read_row(a, &mut 0)?;
+                let kb = codec::read_row(b, &mut 0)?;
+                Ok(ka.cmp(&kb))
+            }
+            KeyOrder::ValueRowId => Ok(decode_index_key(a)?.cmp(&decode_index_key(b)?)),
+        }
+    }
+
+    /// Do two keys belong to the same group? Only `ValueRowId` has groups
+    /// wider than exact equality (same indexed value, any row).
+    fn same_group(self, a: &[u8], b: &[u8]) -> Result<bool> {
+        match self {
+            KeyOrder::ValueRowId => Ok(decode_index_key(a)?.0 == decode_index_key(b)?.0),
+            _ => Ok(self.compare(a, b)? == Ordering::Equal),
+        }
+    }
+}
+
+/// Encode a row-tree key.
+pub fn row_key(row_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    let _ = codec::write_u64(&mut out, row_id); // Vec writes are infallible
+    out
+}
+
+/// Decode a row-tree key.
+pub fn decode_row_key(key: &[u8]) -> Result<u64> {
+    codec::read_u64(key, &mut 0)
+}
+
+/// Encode a primary-key-tree key from the key column values.
+pub fn pk_key(key: &[Value]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    codec::write_row(&mut out, key)?;
+    Ok(out)
+}
+
+/// Encode a secondary-index-tree key: `(indexed value, row id)`.
+pub fn index_key(value: &Value, row_id: u64) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    codec::write_value(&mut out, value)?;
+    codec::write_u64(&mut out, row_id)?;
+    Ok(out)
+}
+
+/// Decode a secondary-index-tree key.
+pub fn decode_index_key(key: &[u8]) -> Result<(Value, u64)> {
+    let pos = &mut 0;
+    let value = codec::read_value(key, pos)?;
+    let row_id = codec::read_u64(key, pos)?;
+    Ok((value, row_id))
+}
+
+/// A key or value: inline bytes, or the head page of an overflow chain.
+#[derive(Debug, Clone)]
+enum Blob {
+    Inline(Vec<u8>),
+    Spilled { head: u32 },
+}
+
+impl Blob {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Blob::Inline(b) => uvarint_len(b.len() as u64) + b.len(),
+            Blob::Spilled { head } => uvarint_len(u64::from(*head)),
+        }
+    }
+
+    fn spilled(&self) -> bool {
+        matches!(self, Blob::Spilled { .. })
+    }
+
+    fn write(&self, out: &mut Vec<u8>) -> Result<()> {
+        match self {
+            Blob::Inline(b) => {
+                codec::write_u64(out, b.len() as u64)?;
+                out.extend_from_slice(b);
+            }
+            Blob::Spilled { head } => codec::write_u64(out, u64::from(*head))?,
+        }
+        Ok(())
+    }
+
+    fn read(data: &[u8], pos: &mut usize, spilled: bool) -> Result<Blob> {
+        if spilled {
+            let head = u32::try_from(codec::read_u64(data, pos)?)
+                .map_err(|_| StorageError::Corrupt("overflow head exceeds page-id range".into()))?;
+            Ok(Blob::Spilled { head })
+        } else {
+            let len = codec::read_u64(data, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|e| *e <= data.len())
+                .ok_or_else(|| StorageError::Corrupt("btree blob overruns its page".into()))?;
+            let bytes = data[*pos..end].to_vec();
+            *pos = end;
+            Ok(Blob::Inline(bytes))
+        }
+    }
+}
+
+fn uvarint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Spill `bytes` to a fresh overflow chain when they exceed `max_inline`.
+fn make_blob(pager: &mut Pager, bytes: &[u8], max_inline: usize) -> Result<Blob> {
+    if bytes.len() <= max_inline {
+        return Ok(Blob::Inline(bytes.to_vec()));
+    }
+    let mut w = ChainWriter::new(pager, PageType::Overflow)?;
+    w.push_record(pager, bytes)?;
+    let (head, _) = w.finish(pager)?;
+    Ok(Blob::Spilled { head })
+}
+
+#[derive(Debug, Clone)]
+struct LeafEntry {
+    key: Blob,
+    val: Blob,
+}
+
+impl LeafEntry {
+    fn encoded_len(&self) -> usize {
+        1 + self.key.encoded_len() + self.val.encoded_len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LeafNode {
+    entries: Vec<LeafEntry>,
+    /// Right sibling ([`NO_PAGE`] for the rightmost leaf).
+    next: u32,
+}
+
+impl LeafNode {
+    fn encoded_len(&self) -> usize {
+        self.entries.iter().map(LeafEntry::encoded_len).sum()
+    }
+
+    fn encode(&self) -> Result<Page> {
+        let mut payload = Vec::with_capacity(self.encoded_len());
+        for e in &self.entries {
+            let mut flags = 0u8;
+            if e.key.spilled() {
+                flags |= FLAG_KEY_SPILLED;
+            }
+            if e.val.spilled() {
+                flags |= FLAG_VAL_SPILLED;
+            }
+            payload.push(flags);
+            e.key.write(&mut payload)?;
+            e.val.write(&mut payload)?;
+        }
+        if payload.len() > PAGE_CAPACITY {
+            return Err(StorageError::Corrupt("btree leaf overflows its page".into()));
+        }
+        let mut page = Page::new(PageType::BtreeLeaf);
+        page.count = self.entries.len() as u16;
+        page.next = self.next;
+        page.push(&payload);
+        Ok(page)
+    }
+
+    fn decode(page: &Page) -> Result<LeafNode> {
+        if page.ptype != PageType::BtreeLeaf {
+            return Err(StorageError::Corrupt(format!(
+                "expected a btree leaf, found {:?}",
+                page.ptype
+            )));
+        }
+        let data = page.payload();
+        let pos = &mut 0usize;
+        let mut entries = Vec::with_capacity(page.count as usize);
+        for _ in 0..page.count {
+            let flags = *data
+                .get(*pos)
+                .ok_or_else(|| StorageError::Corrupt("btree leaf entry truncated".into()))?;
+            *pos += 1;
+            if flags & !(FLAG_KEY_SPILLED | FLAG_VAL_SPILLED) != 0 {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown btree entry flags {flags:#04x}"
+                )));
+            }
+            let key = Blob::read(data, pos, flags & FLAG_KEY_SPILLED != 0)?;
+            let val = Blob::read(data, pos, flags & FLAG_VAL_SPILLED != 0)?;
+            entries.push(LeafEntry { key, val });
+        }
+        if *pos != data.len() {
+            return Err(StorageError::Corrupt("btree leaf has trailing bytes".into()));
+        }
+        Ok(LeafNode { entries, next: page.next })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InnerNode {
+    /// `children.len() == keys.len() + 1`.
+    children: Vec<u32>,
+    keys: Vec<Blob>,
+}
+
+impl InnerNode {
+    fn encoded_len(&self) -> usize {
+        let mut n = uvarint_len(u64::from(*self.children.first().unwrap_or(&0)));
+        for (k, c) in self.keys.iter().zip(self.children.iter().skip(1)) {
+            n += 1 + k.encoded_len() + uvarint_len(u64::from(*c));
+        }
+        n
+    }
+
+    fn encode(&self) -> Result<Page> {
+        if self.children.len() != self.keys.len() + 1 {
+            return Err(StorageError::Corrupt("btree inner node arity mismatch".into()));
+        }
+        let mut payload = Vec::with_capacity(self.encoded_len());
+        let first = self
+            .children
+            .first()
+            .ok_or_else(|| StorageError::Corrupt("btree inner node has no children".into()))?;
+        codec::write_u64(&mut payload, u64::from(*first))?;
+        for (k, c) in self.keys.iter().zip(self.children.iter().skip(1)) {
+            payload.push(if k.spilled() { FLAG_KEY_SPILLED } else { 0 });
+            k.write(&mut payload)?;
+            codec::write_u64(&mut payload, u64::from(*c))?;
+        }
+        if payload.len() > PAGE_CAPACITY {
+            return Err(StorageError::Corrupt("btree inner node overflows its page".into()));
+        }
+        let mut page = Page::new(PageType::BtreeInner);
+        page.count = self.keys.len() as u16;
+        page.push(&payload);
+        Ok(page)
+    }
+
+    fn decode(page: &Page) -> Result<InnerNode> {
+        if page.ptype != PageType::BtreeInner {
+            return Err(StorageError::Corrupt(format!(
+                "expected a btree inner node, found {:?}",
+                page.ptype
+            )));
+        }
+        let data = page.payload();
+        let pos = &mut 0usize;
+        let read_child = |pos: &mut usize| -> Result<u32> {
+            u32::try_from(codec::read_u64(data, pos)?)
+                .map_err(|_| StorageError::Corrupt("btree child id exceeds page-id range".into()))
+        };
+        let mut children = vec![read_child(pos)?];
+        let mut keys = Vec::with_capacity(page.count as usize);
+        for _ in 0..page.count {
+            let flags = *data
+                .get(*pos)
+                .ok_or_else(|| StorageError::Corrupt("btree inner entry truncated".into()))?;
+            *pos += 1;
+            if flags & !FLAG_KEY_SPILLED != 0 {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown btree inner flags {flags:#04x}"
+                )));
+            }
+            keys.push(Blob::read(data, pos, flags & FLAG_KEY_SPILLED != 0)?);
+            children.push(read_child(pos)?);
+        }
+        if *pos != data.len() {
+            return Err(StorageError::Corrupt("btree inner node has trailing bytes".into()));
+        }
+        Ok(InnerNode { children, keys })
+    }
+}
+
+/// Did an insert open a new key group? (Exact for every order; only
+/// interesting for [`KeyOrder::ValueRowId`], where it counts distinct
+/// indexed values during a checkpoint build.)
+#[derive(Debug, Clone, Copy)]
+pub struct InsertOutcome {
+    /// No pre-existing entry shares the inserted key's group.
+    pub new_group: bool,
+}
+
+/// One B-tree inside a paged file. The struct is just `(root, order)`;
+/// all I/O goes through the `&mut Pager` passed to each call, mirroring
+/// [`ChainWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    root: u32,
+    order: KeyOrder,
+}
+
+impl BTree {
+    /// Create an empty tree: one empty leaf as the root.
+    pub fn create(pager: &mut Pager, order: KeyOrder) -> Result<BTree> {
+        let root = pager.allocate(PageType::BtreeLeaf)?;
+        let leaf = LeafNode { entries: Vec::new(), next: NO_PAGE };
+        pager.put_page(root, leaf.encode()?)?;
+        Ok(BTree { root, order })
+    }
+
+    /// Re-attach to a tree previously built in `pager`'s file.
+    pub fn open(root: u32, order: KeyOrder) -> BTree {
+        BTree { root, order }
+    }
+
+    /// Current root page id (changes when the root splits).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The key order this tree was opened with.
+    pub fn order(&self) -> KeyOrder {
+        self.order
+    }
+
+    fn cycle_check(pager: &Pager, depth: &mut u64) -> Result<()> {
+        *depth += 1;
+        if *depth > u64::from(pager.page_count()) {
+            return Err(StorageError::Corrupt("btree descent cycles".into()));
+        }
+        Ok(())
+    }
+
+    fn blob_bytes(pager: &mut Pager, blob: &Blob) -> Result<Vec<u8>> {
+        match blob {
+            Blob::Inline(b) => Ok(b.clone()),
+            Blob::Spilled { head } => read_chain(pager, *head),
+        }
+    }
+
+    /// Index of the child to descend into: after the last separator
+    /// `<= key`.
+    fn child_index(&self, pager: &mut Pager, node: &InnerNode, key: &[u8]) -> Result<usize> {
+        let (mut lo, mut hi) = (0usize, node.keys.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let sep = Self::blob_bytes(pager, &node.keys[mid])?;
+            if self.order.compare(&sep, key)? == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Position of `key` in a leaf: `(index, exact)` where `index` is the
+    /// first entry `>= key`.
+    fn leaf_pos(&self, pager: &mut Pager, node: &LeafNode, key: &[u8]) -> Result<(usize, bool)> {
+        let (mut lo, mut hi) = (0usize, node.entries.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let probe = Self::blob_bytes(pager, &node.entries[mid].key)?;
+            match self.order.compare(&probe, key)? {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Equal => return Ok((mid, true)),
+                Ordering::Greater => hi = mid,
+            }
+        }
+        Ok((lo, false))
+    }
+
+    /// Point lookup: the value stored under `key`, if present.
+    pub fn lookup(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        let mut depth = 0;
+        loop {
+            Self::cycle_check(pager, &mut depth)?;
+            let page = pager.read_page(id)?;
+            match page.ptype {
+                PageType::BtreeInner => {
+                    let node = InnerNode::decode(&page)?;
+                    let idx = self.child_index(pager, &node, key)?;
+                    id = node.children[idx];
+                }
+                PageType::BtreeLeaf => {
+                    let node = LeafNode::decode(&page)?;
+                    let (pos, exact) = self.leaf_pos(pager, &node, key)?;
+                    return if exact {
+                        Ok(Some(Self::blob_bytes(pager, &node.entries[pos].val)?))
+                    } else {
+                        Ok(None)
+                    };
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "btree descent reached a {other:?} page"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Insert `key -> val`, splitting full nodes on the way back up.
+    /// Inserting an existing key replaces its value. Returns whether the
+    /// key opened a new group (see [`KeyOrder::ValueRowId`]).
+    pub fn insert(&mut self, pager: &mut Pager, key: &[u8], val: &[u8]) -> Result<InsertOutcome> {
+        // Descend to the leaf, remembering (page id, decoded node, child
+        // index taken) for the split walk back up.
+        let mut path: Vec<(u32, InnerNode, usize)> = Vec::new();
+        let mut id = self.root;
+        let mut depth = 0;
+        let leaf_page = loop {
+            Self::cycle_check(pager, &mut depth)?;
+            let page = pager.read_page(id)?;
+            match page.ptype {
+                PageType::BtreeInner => {
+                    let node = InnerNode::decode(&page)?;
+                    let idx = self.child_index(pager, &node, key)?;
+                    let child = node.children[idx];
+                    path.push((id, node, idx));
+                    id = child;
+                }
+                PageType::BtreeLeaf => break page,
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "btree descent reached a {other:?} page"
+                    )));
+                }
+            }
+        };
+        let mut leaf = LeafNode::decode(&leaf_page)?;
+        let (pos, exact) = self.leaf_pos(pager, &leaf, key)?;
+        if exact {
+            // Build-once trees never see duplicate keys in practice, but
+            // replace is the well-defined behavior if one arrives.
+            leaf.entries[pos].val = make_blob(pager, val, MAX_INLINE_VAL)?;
+            pager.put_page(id, leaf.encode()?)?;
+            return Ok(InsertOutcome { new_group: false });
+        }
+        let new_group = self.is_new_group(pager, &leaf, pos, key, &path)?;
+        let entry = LeafEntry {
+            key: make_blob(pager, key, MAX_INLINE_KEY)?,
+            val: make_blob(pager, val, MAX_INLINE_VAL)?,
+        };
+        leaf.entries.insert(pos, entry);
+        if leaf.encoded_len() <= PAGE_CAPACITY {
+            pager.put_page(id, leaf.encode()?)?;
+            return Ok(InsertOutcome { new_group });
+        }
+
+        // Leaf split: left keeps the page id (so parent links and the left
+        // sibling's `next` stay valid); the separator is the right page's
+        // first key.
+        let cut = split_index(
+            leaf.entries.iter().map(LeafEntry::encoded_len),
+            pos == leaf.entries.len() - 1,
+        );
+        let right_entries = leaf.entries.split_off(cut);
+        let right_id = pager.allocate(PageType::BtreeLeaf)?;
+        let right = LeafNode { entries: right_entries, next: leaf.next };
+        leaf.next = right_id;
+        let mut sep = right.entries[0].key.clone();
+        pager.put_page(right_id, right.encode()?)?;
+        pager.put_page(id, leaf.encode()?)?;
+
+        // Bubble the separator up, splitting inner nodes as needed.
+        let mut promoted_child = right_id;
+        while let Some((node_id, mut node, idx)) = path.pop() {
+            node.keys.insert(idx, sep);
+            node.children.insert(idx + 1, promoted_child);
+            if node.encoded_len() <= PAGE_CAPACITY {
+                pager.put_page(node_id, node.encode()?)?;
+                return Ok(InsertOutcome { new_group });
+            }
+            // Inner split: the key at the cut moves *up*, children right of
+            // it move to the new right node.
+            let at_end = idx + 1 == node.keys.len();
+            let cut = split_index(
+                node.keys
+                    .iter()
+                    .zip(node.children.iter().skip(1))
+                    .map(|(k, c)| 1 + k.encoded_len() + uvarint_len(u64::from(*c))),
+                at_end,
+            );
+            let mut right_keys = node.keys.split_off(cut);
+            let right_children = node.children.split_off(cut + 1);
+            sep = right_keys.remove(0);
+            let right = InnerNode { children: right_children, keys: right_keys };
+            let right_id = pager.allocate(PageType::BtreeInner)?;
+            pager.put_page(right_id, right.encode()?)?;
+            pager.put_page(node_id, node.encode()?)?;
+            promoted_child = right_id;
+        }
+
+        // The root itself split: grow the tree by one level.
+        let new_root = pager.allocate(PageType::BtreeInner)?;
+        let root_node = InnerNode { children: vec![self.root, promoted_child], keys: vec![sep] };
+        pager.put_page(new_root, root_node.encode()?)?;
+        self.root = new_root;
+        Ok(InsertOutcome { new_group })
+    }
+
+    /// Does the key at insert position `pos` start a new group? Groups are
+    /// contiguous in key order, so it suffices to check the in-leaf
+    /// neighbors — except at position 0, where the true predecessor is the
+    /// rightmost entry of the subtree left of this leaf (found through the
+    /// descent path).
+    fn is_new_group(
+        &self,
+        pager: &mut Pager,
+        leaf: &LeafNode,
+        pos: usize,
+        key: &[u8],
+        path: &[(u32, InnerNode, usize)],
+    ) -> Result<bool> {
+        if pos < leaf.entries.len() {
+            let succ = Self::blob_bytes(pager, &leaf.entries[pos].key)?;
+            if self.order.same_group(&succ, key)? {
+                return Ok(false);
+            }
+        }
+        if pos > 0 {
+            let pred = Self::blob_bytes(pager, &leaf.entries[pos - 1].key)?;
+            return Ok(!self.order.same_group(&pred, key)?);
+        }
+        // Position 0: walk to the deepest ancestor where we branched right
+        // of the leftmost child; the predecessor is the max of its left
+        // neighbor subtree. No such ancestor ⇒ this is the tree's minimum.
+        let Some((_, node, idx)) = path.iter().rev().find(|(_, _, idx)| *idx > 0) else {
+            return Ok(true);
+        };
+        let Some(pred) = self.subtree_max_key(pager, node.children[idx - 1])? else {
+            return Ok(true);
+        };
+        Ok(!self.order.same_group(&pred, key)?)
+    }
+
+    /// The largest key in the subtree rooted at `id` (`None` for an empty
+    /// leaf, which only the root of an empty tree can be).
+    fn subtree_max_key(&self, pager: &mut Pager, mut id: u32) -> Result<Option<Vec<u8>>> {
+        let mut depth = 0;
+        loop {
+            Self::cycle_check(pager, &mut depth)?;
+            let page = pager.read_page(id)?;
+            match page.ptype {
+                PageType::BtreeInner => {
+                    let node = InnerNode::decode(&page)?;
+                    id = *node.children.last().ok_or_else(|| {
+                        StorageError::Corrupt("btree inner node has no children".into())
+                    })?;
+                }
+                PageType::BtreeLeaf => {
+                    let node = LeafNode::decode(&page)?;
+                    return match node.entries.last() {
+                        Some(e) => Ok(Some(Self::blob_bytes(pager, &e.key)?)),
+                        None => Ok(None),
+                    };
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "btree descent reached a {other:?} page"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Cursor over the whole tree, starting at the smallest key.
+    pub fn cursor_first(&self, pager: &mut Pager) -> Result<Cursor> {
+        let mut id = self.root;
+        let mut depth = 0;
+        loop {
+            Self::cycle_check(pager, &mut depth)?;
+            let page = pager.read_page(id)?;
+            match page.ptype {
+                PageType::BtreeInner => {
+                    let node = InnerNode::decode(&page)?;
+                    id = *node.children.first().ok_or_else(|| {
+                        StorageError::Corrupt("btree inner node has no children".into())
+                    })?;
+                }
+                PageType::BtreeLeaf => {
+                    return Ok(Cursor { node: LeafNode::decode(&page)?, pos: 0 });
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "btree descent reached a {other:?} page"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Cursor positioned at the first entry `>= key`.
+    pub fn cursor_seek(&self, pager: &mut Pager, key: &[u8]) -> Result<Cursor> {
+        let mut id = self.root;
+        let mut depth = 0;
+        loop {
+            Self::cycle_check(pager, &mut depth)?;
+            let page = pager.read_page(id)?;
+            match page.ptype {
+                PageType::BtreeInner => {
+                    let node = InnerNode::decode(&page)?;
+                    let idx = self.child_index(pager, &node, key)?;
+                    id = node.children[idx];
+                }
+                PageType::BtreeLeaf => {
+                    let node = LeafNode::decode(&page)?;
+                    let (pos, _) = self.leaf_pos(pager, &node, key)?;
+                    return Ok(Cursor { node, pos });
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "btree descent reached a {other:?} page"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Pick a split index over contiguous item sizes: the byte-balanced cut,
+/// or — when the insert landed at the right edge — the cut that leaves
+/// only the last item on the right (sorted bulk loads then fill pages
+/// almost completely). Both sides are guaranteed to fit a page because
+/// every item is far smaller than half of one.
+fn split_index(sizes: impl Iterator<Item = usize>, at_end: bool) -> usize {
+    let sizes: Vec<usize> = sizes.collect();
+    if at_end && sizes.len() >= 2 {
+        return sizes.len() - 1;
+    }
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0usize;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc * 2 >= total && i + 1 < sizes.len() {
+            return i + 1;
+        }
+    }
+    // Unreachable for >= 2 items; defensively cut before the last.
+    sizes.len().saturating_sub(1).max(1)
+}
+
+/// Leaf-level iterator: yields `(key, value)` byte pairs in key order,
+/// following sibling links across leaves.
+#[derive(Debug)]
+pub struct Cursor {
+    node: LeafNode,
+    pos: usize,
+}
+
+impl Cursor {
+    /// The next entry, or `None` past the last.
+    pub fn next(&mut self, pager: &mut Pager) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let mut hops = 0u64;
+        loop {
+            if self.pos < self.node.entries.len() {
+                let e = &self.node.entries[self.pos];
+                self.pos += 1;
+                let key = BTree::blob_bytes(pager, &e.key)?;
+                let val = BTree::blob_bytes(pager, &e.val)?;
+                return Ok(Some((key, val)));
+            }
+            if self.node.next == NO_PAGE {
+                return Ok(None);
+            }
+            hops += 1;
+            if hops > u64::from(pager.page_count()) {
+                return Err(StorageError::Corrupt("btree leaf chain cycles".into()));
+            }
+            let page = pager.read_page(self.node.next)?;
+            self.node = LeafNode::decode(&page)?;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultfs::RealBackend;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("quarry-btree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.qpg", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn pager(name: &str, pool: usize) -> (PathBuf, Pager) {
+        let p = tmp(name);
+        let pager = Pager::create(&RealBackend, &p, pool).unwrap();
+        (p, pager)
+    }
+
+    #[test]
+    fn sequential_row_keys_split_and_read_back() {
+        let (p, mut pg) = pager("seq", 8);
+        let mut t = BTree::create(&mut pg, KeyOrder::RowId).unwrap();
+        let n = 3000u64;
+        for i in 0..n {
+            let val = format!("row-{i}");
+            t.insert(&mut pg, &row_key(i), val.as_bytes()).unwrap();
+        }
+        assert!(pg.page_count() > 10, "3000 rows must split across pages");
+        for i in (0..n).step_by(97) {
+            let got = t.lookup(&mut pg, &row_key(i)).unwrap().unwrap();
+            assert_eq!(got, format!("row-{i}").into_bytes());
+        }
+        assert!(t.lookup(&mut pg, &row_key(n)).unwrap().is_none());
+        // Full scan sees every key once, ascending.
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        let mut want = 0u64;
+        while let Some((k, v)) = cur.next(&mut pg).unwrap() {
+            assert_eq!(decode_row_key(&k).unwrap(), want);
+            assert_eq!(v, format!("row-{want}").into_bytes());
+            want += 1;
+        }
+        assert_eq!(want, n);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn random_order_inserts_match_btreemap_reference() {
+        let (p, mut pg) = pager("random", 8);
+        let mut t = BTree::create(&mut pg, KeyOrder::PkValues).unwrap();
+        let mut reference = BTreeMap::new();
+        // Deterministic pseudo-random insertion order (LCG).
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        for _ in 0..1200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let kv = vec![Value::Text(format!("k{:05}", x % 2000)), Value::Int((x >> 32) as i64)];
+            let key = pk_key(&kv).unwrap();
+            let val = (x % 1000).to_string().into_bytes();
+            t.insert(&mut pg, &key, &val).unwrap();
+            reference.insert(kv, val);
+        }
+        // Iteration order and contents agree with the in-memory reference.
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        for (kv, val) in &reference {
+            let (k, v) = cur.next(&mut pg).unwrap().expect("entry present");
+            assert_eq!(&codec::read_row(&k, &mut 0).unwrap(), kv);
+            assert_eq!(&v, val);
+        }
+        assert!(cur.next(&mut pg).unwrap().is_none());
+        // Point lookups agree too.
+        for (kv, val) in reference.iter().step_by(37) {
+            let got = t.lookup(&mut pg, &pk_key(kv).unwrap()).unwrap().unwrap();
+            assert_eq!(&got, val);
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn oversized_keys_and_values_spill_to_overflow_chains() {
+        let (p, mut pg) = pager("overflow", 4);
+        let mut t = BTree::create(&mut pg, KeyOrder::PkValues).unwrap();
+        let long_key = vec![Value::Text("k".repeat(MAX_INLINE_KEY * 2))];
+        let huge_val = vec![0xCD; PAGE_CAPACITY * 2 + 77];
+        t.insert(&mut pg, &pk_key(&long_key).unwrap(), &huge_val).unwrap();
+        t.insert(&mut pg, &pk_key(&[Value::Text("small".into())]).unwrap(), b"v").unwrap();
+        assert_eq!(t.lookup(&mut pg, &pk_key(&long_key).unwrap()).unwrap().unwrap(), huge_val);
+        // The cursor resolves spilled blobs too, in key order
+        // ("k...k" sorts after "small"? no: 'k' < 's').
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        let (k1, v1) = cur.next(&mut pg).unwrap().unwrap();
+        assert_eq!(codec::read_row(&k1, &mut 0).unwrap(), long_key);
+        assert_eq!(v1, huge_val);
+        let (_, v2) = cur.next(&mut pg).unwrap().unwrap();
+        assert_eq!(v2, b"v");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn value_row_trees_count_groups_exactly() {
+        let (p, mut pg) = pager("groups", 8);
+        let mut t = BTree::create(&mut pg, KeyOrder::ValueRowId).unwrap();
+        let mut distinct = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        // Scrambled insertion order with heavy duplication: group
+        // boundaries land on page boundaries too.
+        let mut x = 7u64;
+        for row in 0..2500u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let v = Value::Int((x % 200) as i64);
+            let out = t.insert(&mut pg, &index_key(&v, row).unwrap(), &[]).unwrap();
+            if out.new_group {
+                distinct += 1;
+            }
+            seen.insert((x % 200) as i64);
+        }
+        assert_eq!(distinct, seen.len(), "new_group must count distinct values exactly");
+        // Bounded range scan: all rows with value in [10, 12].
+        let mut cur = t.cursor_seek(&mut pg, &index_key(&Value::Int(10), 0).unwrap()).unwrap();
+        let mut in_range = 0usize;
+        while let Some((k, _)) = cur.next(&mut pg).unwrap() {
+            let (v, _) = decode_index_key(&k).unwrap();
+            if v > Value::Int(12) {
+                break;
+            }
+            assert!(v >= Value::Int(10));
+            in_range += 1;
+        }
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        let mut reference = 0usize;
+        while let Some((k, _)) = cur.next(&mut pg).unwrap() {
+            let (v, _) = decode_index_key(&k).unwrap();
+            if (Value::Int(10)..=Value::Int(12)).contains(&v) {
+                reference += 1;
+            }
+        }
+        assert_eq!(in_range, reference);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn tree_survives_flush_and_cold_reopen() {
+        let (p, mut pg) = pager("reopen", 4);
+        let mut t = BTree::create(&mut pg, KeyOrder::RowId).unwrap();
+        for i in 0..800u64 {
+            t.insert(&mut pg, &row_key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        pg.set_root(t.root());
+        pg.flush().unwrap();
+        drop(pg);
+
+        let mut pg = Pager::open(&RealBackend, &p, 4).unwrap();
+        let t = BTree::open(pg.root(), KeyOrder::RowId);
+        for i in [0u64, 1, 399, 799] {
+            assert_eq!(
+                t.lookup(&mut pg, &row_key(i)).unwrap().unwrap(),
+                format!("v{i}").into_bytes()
+            );
+        }
+        let mut cur = t.cursor_seek(&mut pg, &row_key(700)).unwrap();
+        let mut n = 0;
+        while let Some((k, _)) = cur.next(&mut pg).unwrap() {
+            assert!(decode_row_key(&k).unwrap() >= 700);
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let (p, mut pg) = pager("empty", 4);
+        let t = BTree::create(&mut pg, KeyOrder::RowId).unwrap();
+        assert!(t.lookup(&mut pg, &row_key(0)).unwrap().is_none());
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        assert!(cur.next(&mut pg).unwrap().is_none());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Any batch of (key, value) pairs — duplicates included — reads
+            /// back exactly like a `BTreeMap` with the same inserts applied.
+            #[test]
+            fn prop_tree_matches_btreemap(pairs in proptest::collection::vec((0u64..400, any::<u8>(), 0usize..200), 1..80)) {
+                let case = CASE.fetch_add(1, AtomicOrdering::SeqCst);
+                let path = tmp(&format!("prop-{case}"));
+                let mut pg = Pager::create(&RealBackend, &path, 2).unwrap();
+                let mut t = BTree::create(&mut pg, KeyOrder::RowId).unwrap();
+                let mut reference = BTreeMap::new();
+                for &(k, fill, len) in &pairs {
+                    let val = vec![fill; len];
+                    t.insert(&mut pg, &row_key(k), &val).unwrap();
+                    reference.insert(k, val);
+                }
+                let mut cur = t.cursor_first(&mut pg).unwrap();
+                for (k, val) in &reference {
+                    let (got_k, got_v) = cur.next(&mut pg).unwrap().expect("entry present");
+                    prop_assert_eq!(decode_row_key(&got_k).unwrap(), *k);
+                    prop_assert_eq!(&got_v, val);
+                }
+                prop_assert!(cur.next(&mut pg).unwrap().is_none());
+                for (k, val) in &reference {
+                    let got = t.lookup(&mut pg, &row_key(*k)).unwrap();
+                    prop_assert_eq!(got.as_ref(), Some(val));
+                }
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_type_index_keys_follow_value_order() {
+        let (p, mut pg) = pager("mixed", 8);
+        let mut t = BTree::create(&mut pg, KeyOrder::ValueRowId).unwrap();
+        let values = [
+            Value::Text("zeta".into()),
+            Value::Null,
+            Value::Int(3),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(f64::NAN),
+            Value::Text("alpha".into()),
+        ];
+        for (row, v) in values.iter().enumerate() {
+            t.insert(&mut pg, &index_key(v, row as u64).unwrap(), &[]).unwrap();
+        }
+        let mut cur = t.cursor_first(&mut pg).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, _)) = cur.next(&mut pg).unwrap() {
+            got.push(decode_index_key(&k).unwrap().0);
+        }
+        let mut want = values.to_vec();
+        want.sort();
+        // NaN == NaN is false; compare via the total order instead.
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.cmp(w), Ordering::Equal);
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -134,7 +134,9 @@ impl StorageBackend for RealBackend {
     }
 
     fn create_new(&self, path: &Path) -> io::Result<Box<dyn BackendFile>> {
-        let file = OpenOptions::new().create_new(true).write(true).open(path)?;
+        // Read access matters: a pager building a B-tree image reads pages
+        // back through the same handle once the buffer pool starts evicting.
+        let file = OpenOptions::new().create_new(true).read(true).write(true).open(path)?;
         Ok(Box::new(RealFile(file)))
     }
 

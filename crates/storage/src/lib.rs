@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod btree;
 pub mod codec;
 pub mod delta;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod structured;
 pub mod value;
 pub mod wal;
 
+pub use btree::{BTree, Cursor, KeyOrder};
 pub use error::StorageError;
 pub use faultfs::{BackendFile, CrashPlan, FaultBackend, Op, RealBackend, StorageBackend};
 pub use filestore::FileStore;
@@ -36,8 +38,8 @@ pub use page::{Page, PageType, PAGE_CAPACITY, PAGE_SIZE};
 pub use pager::{Pager, PoolStats};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use structured::{
-    Column, Database, DbSnapshot, IndexStats, LockManager, LockMode, Row, RowId, ScanAccess,
-    TableSchema, TableView, TxId, WalCodec,
+    CheckpointFormat, Column, Database, DbSnapshot, IndexStats, LockManager, LockMode, Row, RowId,
+    ScanAccess, TableSchema, TableView, TxId, WalCodec,
 };
 pub use value::{DataType, Value};
 pub use wal::{CommitQueue, DurabilityMode, Wal, WalRecord};

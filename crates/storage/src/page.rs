@@ -46,10 +46,17 @@ pub enum PageType {
     Free,
     /// The pager's metadata page (always page 0).
     Meta,
-    /// Table directory: schemas plus heap-chain heads.
+    /// Table directory: schemas plus chain heads / tree roots.
     Directory,
     /// Table heap: encoded `(row_id, row)` records.
     Heap,
+    /// B-tree leaf: sorted key/value entries; `next` links the right
+    /// sibling for range scans (see [`crate::btree`]).
+    BtreeLeaf,
+    /// B-tree interior node: child pointers separated by keys.
+    BtreeInner,
+    /// Overflow chain holding one oversized B-tree key or value.
+    Overflow,
 }
 
 impl PageType {
@@ -59,6 +66,9 @@ impl PageType {
             PageType::Meta => 1,
             PageType::Directory => 2,
             PageType::Heap => 3,
+            PageType::BtreeLeaf => 4,
+            PageType::BtreeInner => 5,
+            PageType::Overflow => 6,
         }
     }
 
@@ -68,6 +78,9 @@ impl PageType {
             1 => PageType::Meta,
             2 => PageType::Directory,
             3 => PageType::Heap,
+            4 => PageType::BtreeLeaf,
+            5 => PageType::BtreeInner,
+            6 => PageType::Overflow,
             other => {
                 return Err(StorageError::Corrupt(format!("unknown page type {other}")));
             }

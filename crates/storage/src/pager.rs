@@ -158,6 +158,16 @@ impl Pager {
         }
         let free_head = u32::from_le_bytes(p[13..17].try_into().unwrap());
         let root = u32::from_le_bytes(p[17..21].try_into().unwrap());
+        // Page references in the meta page must resolve inside the file;
+        // catching a corrupt head here beats a confusing failure on the
+        // first allocate/read that chases it.
+        for (what, id) in [("freelist head", free_head), ("root", root)] {
+            if id != NO_PAGE && id >= page_count {
+                return Err(StorageError::Corrupt(format!(
+                    "meta page {what} {id} is out of range (file has {page_count} pages)"
+                )));
+            }
+        }
         Ok(Pager { file, pool: BufferPool::new(pool_pages), page_count, free_head, root })
     }
 
@@ -204,6 +214,12 @@ impl Pager {
         self.pool.stats
     }
 
+    /// Pages currently resident in the buffer pool (bounded by the pool
+    /// capacity; benches use this to show open-time memory stays bounded).
+    pub fn cached_pages(&self) -> usize {
+        self.pool.frames.len()
+    }
+
     /// Bytes the file occupies on disk.
     pub fn file_bytes(&self) -> u64 {
         u64::from(self.page_count) * PAGE_SIZE as u64
@@ -232,9 +248,17 @@ impl Pager {
     }
 
     /// Return a page to the freelist. Its payload is wiped.
+    ///
+    /// Freeing a page that is already free would thread it into the
+    /// freelist twice: `allocate` would then hand the same page out to two
+    /// owners (or loop on it forever), so the double-free is detected here
+    /// and surfaced as [`StorageError::Corrupt`].
     pub fn free_page(&mut self, id: u32) -> Result<()> {
         if id == 0 || id >= self.page_count {
             return Err(StorageError::Corrupt(format!("cannot free page {id}")));
+        }
+        if self.read_page(id)?.ptype == PageType::Free {
+            return Err(StorageError::Corrupt(format!("double free of page {id}")));
         }
         let mut p = Page::new(PageType::Free);
         p.next = self.free_head;
@@ -354,23 +378,32 @@ impl ChainWriter {
 
     /// Append one encoded record, spilling to new pages as needed.
     pub fn push_record(&mut self, pager: &mut Pager, mut bytes: &[u8]) -> Result<()> {
-        if (self.current.len as usize) < PAGE_CAPACITY {
-            self.current.count += 1; // record *starts* in this page
-        }
         self.records += 1;
+        // If the current page is exactly full, the record's first byte lands
+        // on the *next* page — spill first so the start-accounting below
+        // charges the page the record actually begins in.
+        if self.current.len as usize >= PAGE_CAPACITY {
+            self.spill(pager)?;
+        }
+        self.current.count += 1; // record *starts* in this page
         loop {
             let n = self.current.push(bytes);
             bytes = &bytes[n..];
             if bytes.is_empty() {
                 return Ok(());
             }
-            // Page full: link a fresh page and continue there.
-            let next_id = pager.allocate(self.ptype)?;
-            self.current.next = next_id;
-            let full = std::mem::replace(&mut self.current, Page::new(self.ptype));
-            pager.put_page(self.current_id, full)?;
-            self.current_id = next_id;
+            self.spill(pager)?;
         }
+    }
+
+    /// Link a fresh page after the current one and make it current.
+    fn spill(&mut self, pager: &mut Pager) -> Result<()> {
+        let next_id = pager.allocate(self.ptype)?;
+        self.current.next = next_id;
+        let full = std::mem::replace(&mut self.current, Page::new(self.ptype));
+        pager.put_page(self.current_id, full)?;
+        self.current_id = next_id;
+        Ok(())
     }
 
     /// Flush the tail page and return `(head, record_count)`.
@@ -548,12 +581,174 @@ mod tests {
         drop(pager);
 
         // Case 3: zeroed meta page → the file no longer probes as paged.
-        let mut nometa = clean;
+        let mut nometa = clean.clone();
         nometa[..PAGE_SIZE].fill(0);
         std::fs::write(&p, &nometa).unwrap();
         assert!(!Pager::is_paged(&b, &p).unwrap());
         assert!(Pager::open(&b, &p, 4).is_err());
+
+        // Case 4: a meta page whose root points past the file's last page
+        // (valid CRC, bogus reference) → Corrupt at open, not at first use.
+        let mut badroot = clean;
+        let mut meta = Page::decode(&badroot[..PAGE_SIZE]).unwrap();
+        meta.data[17..21].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        badroot[..PAGE_SIZE].copy_from_slice(&meta.encode());
+        std::fs::write(&p, &badroot).unwrap();
+        let err = Pager::open(&b, &p, 4).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
         std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Regression: a record starting exactly at a page boundary must be
+    /// counted in the page its first byte lands in. Before the fix, a
+    /// record pushed while the current page was exactly full was counted in
+    /// no page at all.
+    #[test]
+    fn chain_counts_records_starting_at_page_boundaries() {
+        let p = tmp("boundary");
+        let b = RealBackend;
+        let mut pager = Pager::create(&b, &p, 8).unwrap();
+        let mut w = ChainWriter::new(&mut pager, PageType::Heap).unwrap();
+        // Three page-exact records, then one spanning two pages (starts at
+        // a boundary too), then a small tail record.
+        for _ in 0..3 {
+            w.push_record(&mut pager, &vec![0x11; PAGE_CAPACITY]).unwrap();
+        }
+        w.push_record(&mut pager, &vec![0x22; PAGE_CAPACITY * 2]).unwrap();
+        w.push_record(&mut pager, b"tail").unwrap();
+        let (head, n) = w.finish(&mut pager).unwrap();
+        assert_eq!(n, 5);
+        pager.set_root(head);
+        pager.flush().unwrap();
+        drop(pager);
+
+        let mut pager = Pager::open(&b, &p, 8).unwrap();
+        let mut counts = Vec::new();
+        let mut id = head;
+        while id != NO_PAGE {
+            let page = pager.read_page(id).unwrap();
+            counts.push(page.count);
+            id = page.next;
+        }
+        // Pages 1..=3 hold one page-exact record each; page 4 starts the
+        // two-page record; page 5 is its spill; page 6 starts the tail.
+        assert_eq!(counts, vec![1, 1, 1, 1, 0, 1]);
+        assert_eq!(counts.iter().map(|c| u64::from(*c)).sum::<u64>(), n);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// A meta page whose freelist head or root points past the end of the
+    /// file must fail at open, not on the first allocate/read.
+    #[test]
+    fn open_rejects_out_of_range_meta_references() {
+        for field_off in [13usize, 17] {
+            let p = tmp(&format!("metaref-{field_off}"));
+            let b = RealBackend;
+            let mut pager = Pager::create(&b, &p, 4).unwrap();
+            let id = pager.allocate(PageType::Heap).unwrap();
+            pager.set_root(id);
+            pager.flush().unwrap();
+            drop(pager);
+
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mut meta = Page::decode(&bytes[..PAGE_SIZE]).unwrap();
+            // Point free_head (offset 13) or root (offset 17) out of range.
+            meta.data[field_off..field_off + 4].copy_from_slice(&9999u32.to_le_bytes());
+            bytes[..PAGE_SIZE].copy_from_slice(&meta.encode());
+            std::fs::write(&p, &bytes).unwrap();
+
+            let err = Pager::open(&b, &p, 4).unwrap_err();
+            assert!(matches!(err, StorageError::Corrupt(_)), "offset {field_off}: {err}");
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    /// Freeing a page twice would thread it into the freelist as a cycle;
+    /// the second free must surface as Corrupt instead.
+    #[test]
+    fn double_free_is_corrupt() {
+        let p = tmp("doublefree");
+        let b = RealBackend;
+        let mut pager = Pager::create(&b, &p, 4).unwrap();
+        let a = pager.allocate(PageType::Heap).unwrap();
+        let c = pager.allocate(PageType::Heap).unwrap();
+        pager.free_page(a).unwrap();
+        let err = pager.free_page(a).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        // The freelist stays well-formed: both pages still allocate cleanly.
+        pager.free_page(c).unwrap();
+        assert_eq!(pager.allocate(PageType::Heap).unwrap(), c);
+        assert_eq!(pager.allocate(PageType::Heap).unwrap(), a);
+        // And the double-free check also holds across a flush + reopen.
+        pager.free_page(c).unwrap();
+        pager.flush().unwrap();
+        drop(pager);
+        let mut pager = Pager::open(&b, &p, 4).unwrap();
+        assert!(matches!(pager.free_page(c), Err(StorageError::Corrupt(_))));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    mod chain_props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        /// Raw record descriptors; the selector byte biases lengths toward
+        /// page-boundary shapes (exact multiples, straddlers) in the test.
+        fn record_lens() -> impl Strategy<Value = Vec<(usize, u8, u8)>> {
+            proptest::collection::vec((0usize..600, any::<u8>(), any::<u8>()), 1..16)
+        }
+
+        fn shape(n: usize, sel: u8) -> usize {
+            match sel % 8 {
+                0 => PAGE_CAPACITY,
+                1 => PAGE_CAPACITY * 2,
+                2 => PAGE_CAPACITY - 1 + (n % 3), // straddles the boundary
+                _ => n,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Random record batches round-trip through ChainWriter /
+            /// read_chain at every pool size, and a cold reopen reads each
+            /// chain page from disk exactly once (miss count == chain pages,
+            /// zero hits) regardless of pool capacity.
+            #[test]
+            fn prop_chain_round_trip_across_pool_sizes(lens in record_lens()) {
+                let records: Vec<Vec<u8>> =
+                    lens.iter().map(|(n, fill, sel)| vec![*fill; shape(*n, *sel)]).collect();
+                let case = CASE.fetch_add(1, Ordering::Relaxed);
+                for pool in [1usize, 2, 8] {
+                    let p = tmp(&format!("prop-{case}-{pool}"));
+                    let b = RealBackend;
+                    let mut pager = Pager::create(&b, &p, pool).unwrap();
+                    let mut w = ChainWriter::new(&mut pager, PageType::Heap).unwrap();
+                    for rec in &records {
+                        w.push_record(&mut pager, rec).unwrap();
+                    }
+                    let (head, n) = w.finish(&mut pager).unwrap();
+                    prop_assert_eq!(n, records.len() as u64);
+                    pager.set_root(head);
+                    pager.flush().unwrap();
+                    let chain_pages = u64::from(pager.page_count()) - 1;
+                    drop(pager);
+
+                    let mut pager = Pager::open(&b, &p, pool).unwrap();
+                    let root = pager.root();
+                    let got = read_chain(&mut pager, root).unwrap();
+                    let want: Vec<u8> = records.concat();
+                    prop_assert_eq!(got, want);
+                    let stats = pager.pool_stats();
+                    prop_assert_eq!(stats.misses, chain_pages);
+                    prop_assert_eq!(stats.hits, 0);
+                    std::fs::remove_file(&p).unwrap();
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,18 +11,19 @@ use crate::codec;
 use crate::error::StorageError;
 use crate::faultfs::{RealBackend, StorageBackend};
 use crate::page::{PageType, NO_PAGE};
-use crate::pager::{read_chain, ChainWriter, Pager};
+use crate::pager::{read_chain, ChainWriter, Pager, PoolStats};
 use crate::value::Value;
 use crate::wal::{CommitQueue, DurabilityMode, Wal};
 use crate::Result;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use super::index::SecondaryIndex;
 use super::lock::{LockManager, LockMode, LockTarget};
+use super::paged::{self, CheckpointImage, TableBase};
 use super::recovery::{LogRecord, WalCodec};
 use super::table::{Row, RowId, TableSchema};
 use super::view::{DbSnapshot, TableView};
@@ -52,6 +53,21 @@ impl IndexStats {
     }
 }
 
+/// On-disk layout of checkpoint images written by [`Database::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// Sequential heap chains, fully materialized on open: the PR-7
+    /// layout, kept as a measurable baseline and for format-compat
+    /// coverage. Both formats are always *readable*; this only selects
+    /// what the next checkpoint writes.
+    HeapChainV1,
+    /// B-tree row/pk/index trees, faulted in on demand (the default).
+    /// Opening a database stops materializing tables: resident memory is
+    /// bounded by the image's buffer pool, not the corpus.
+    #[default]
+    BTreeV2,
+}
+
 /// How [`Database::select`] reaches a table's rows.
 #[derive(Debug, Clone, Copy)]
 pub enum ScanAccess<'a> {
@@ -70,14 +86,29 @@ pub enum ScanAccess<'a> {
     },
 }
 
+/// One table: a checkpoint-image **base** (immutable, on disk, faulted in
+/// through a bounded buffer pool) plus an in-memory **overlay** of
+/// everything written since that checkpoint. A table with no base (fresh,
+/// in-memory, or loaded from a legacy materializing image) is the old
+/// fully-resident engine: `base = None` and the overlay is the table.
 #[derive(Clone)]
 struct Table {
     schema: TableSchema,
+    /// Overlay rows: written (or rewritten) since the last checkpoint.
     heap: HashMap<RowId, Row>,
-    /// Primary-key values → row id.
+    /// Primary-key values → row id, overlay rows only.
     pk: HashMap<Vec<Value>, RowId>,
-    /// Column name → secondary index.
+    /// Column name → secondary index over the overlay rows (plus, for an
+    /// index created after the checkpoint, a backfill of the base rows
+    /// until the next checkpoint folds it into a tree).
     indexes: HashMap<String, SecondaryIndex>,
+    /// The checkpoint image slice this overlay stacks on, if any.
+    base: Option<TableBase>,
+    /// Base row ids deleted or superseded since the checkpoint. A base row
+    /// is live iff its id is neither here nor in `heap`.
+    tombstones: HashSet<RowId>,
+    /// Exact number of live rows across base + overlay.
+    live_rows: u64,
     next_row: u64,
     /// Write version: stamped from the database-wide write clock on every
     /// change to this table's rows (including undo and redo), so two
@@ -103,10 +134,43 @@ impl Table {
             heap: HashMap::new(),
             pk: HashMap::new(),
             indexes,
+            base: None,
+            tombstones: HashSet::new(),
+            live_rows: 0,
             next_row: 0,
             version: stamp,
             stable_version: stamp,
         }
+    }
+
+    /// A lazily-loaded table: empty overlay over a checkpoint base.
+    fn from_base(schema: TableSchema, base: TableBase, stamp: u64) -> Table {
+        let mut t = Table::new(schema, stamp);
+        t.live_rows = base.meta.nrows;
+        t.next_row = base.meta.next_row;
+        t.base = Some(base);
+        t
+    }
+
+    /// Drop the overlay onto a freshly-published checkpoint base (which
+    /// holds identical contents, so versions are untouched).
+    fn reset_to_base(&mut self, base: TableBase) {
+        self.heap = HashMap::new();
+        self.pk = HashMap::new();
+        self.tombstones = HashSet::new();
+        self.indexes =
+            self.schema.indexes.iter().map(|n| (n.clone(), SecondaryIndex::new())).collect();
+        self.live_rows = base.meta.nrows;
+        self.next_row = self.next_row.max(base.meta.next_row);
+        self.base = Some(base);
+    }
+
+    /// The overlay sorted by row id, borrowed — the shape the merge
+    /// helpers in [`paged`] consume.
+    fn sorted_overlay(heap: &HashMap<RowId, Row>) -> Vec<(RowId, &Row)> {
+        let mut v: Vec<(RowId, &Row)> = heap.iter().map(|(id, r)| (*id, r)).collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
     }
 
     fn index_row(&mut self, row_id: RowId, row: &Row) {
@@ -123,46 +187,169 @@ impl Table {
         }
     }
 
-    /// Add a secondary index on `column`, backfilled from the heap.
-    /// No-op when the index already exists; `false` if the column is
-    /// unknown.
-    fn build_index(&mut self, column: &str) -> bool {
-        let Some(ci) = self.schema.column_index(column) else { return false };
-        if self.indexes.contains_key(column) {
-            return true;
-        }
-        let mut ix = SecondaryIndex::new();
-        for (row_id, row) in &self.heap {
-            ix.insert(row[ci].clone(), *row_id);
-        }
-        self.schema.indexes.push(column.to_string());
-        self.indexes.insert(column.to_string(), ix);
-        true
+    /// True when `row_id` could have a row in the base image.
+    fn in_base_range(&self, row_id: RowId) -> bool {
+        self.base.as_ref().is_some_and(|b| row_id.0 < b.meta.next_row)
     }
 
-    /// Apply an insert with a predetermined row id (redo path & normal path).
-    fn apply_insert(&mut self, stamp: u64, row_id: RowId, row: Row) {
+    /// The base image's row for `row_id`, ignoring the overlay and
+    /// tombstones.
+    fn base_row(&self, row_id: RowId) -> Result<Option<Row>> {
+        match &self.base {
+            Some(b) if row_id.0 < b.meta.next_row => b.get_row(row_id),
+            _ => Ok(None),
+        }
+    }
+
+    /// Remove `row_id` from the overlay maps; `None` if not overlaid.
+    fn overlay_unhook(&mut self, row_id: RowId) -> Option<Row> {
+        let row = self.heap.remove(&row_id)?;
+        self.pk.remove(&self.schema.key_of(&row));
+        self.unindex_row(row_id, &row);
+        Some(row)
+    }
+
+    /// Install `row` into the overlay maps.
+    fn overlay_hook(&mut self, row_id: RowId, row: Row) {
         self.pk.insert(self.schema.key_of(&row), row_id);
         self.index_row(row_id, &row);
         self.heap.insert(row_id, row);
         self.next_row = self.next_row.max(row_id.0 + 1);
-        self.version = stamp;
     }
 
-    fn apply_update(&mut self, stamp: u64, row_id: RowId, row: Row) -> Option<Row> {
-        let old = self.heap.remove(&row_id)?;
-        self.pk.remove(&self.schema.key_of(&old));
-        self.unindex_row(row_id, &old);
-        self.apply_insert(stamp, row_id, row);
-        Some(old)
+    /// The live row under `row_id`: overlay first, then (unless
+    /// tombstoned) the base image.
+    fn effective_row(&self, row_id: RowId) -> Result<Option<Row>> {
+        if let Some(r) = self.heap.get(&row_id) {
+            return Ok(Some(r.clone()));
+        }
+        if self.tombstones.contains(&row_id) {
+            return Ok(None);
+        }
+        self.base_row(row_id)
     }
 
-    fn apply_delete(&mut self, stamp: u64, row_id: RowId) -> Option<Row> {
-        let old = self.heap.remove(&row_id)?;
-        self.pk.remove(&self.schema.key_of(&old));
-        self.unindex_row(row_id, &old);
+    /// The row id holding primary key `key`, if live: overlay pk first;
+    /// a base pk hit counts only if that base row isn't shadowed.
+    fn lookup_pk(&self, key: &[Value]) -> Result<Option<RowId>> {
+        if let Some(id) = self.pk.get(key) {
+            return Ok(Some(*id));
+        }
+        let Some(b) = &self.base else { return Ok(None) };
+        match b.lookup_pk(key)? {
+            Some(id) if !self.heap.contains_key(&id) && !self.tombstones.contains(&id) => {
+                Ok(Some(id))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Remove the live row under `row_id` from wherever it lives and
+    /// return it: overlay rows are unhooked (tombstoning the id if the
+    /// base may also hold it); base rows are tombstoned.
+    fn unhook_effective(&mut self, row_id: RowId) -> Result<Option<Row>> {
+        if let Some(row) = self.overlay_unhook(row_id) {
+            if self.in_base_range(row_id) {
+                self.tombstones.insert(row_id);
+            }
+            return Ok(Some(row));
+        }
+        if self.tombstones.contains(&row_id) {
+            return Ok(None);
+        }
+        match self.base_row(row_id)? {
+            Some(row) => {
+                // A post-checkpoint CREATE INDEX backfills base rows into
+                // the overlay index; those entries die with the row.
+                self.unindex_row(row_id, &row);
+                self.tombstones.insert(row_id);
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Candidate row ids for an index probe, merged from the base index
+    /// tree and the overlay index, in (value, row-id) order.
+    fn index_candidates(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<RowId>> {
+        let ix = self.indexes.get(column).ok_or_else(|| {
+            StorageError::SchemaViolation(format!("no index on {}.{column}", self.schema.name))
+        })?;
+        let shadowed = |id: RowId| self.heap.contains_key(&id) || self.tombstones.contains(&id);
+        paged::merged_index_ids(self.base.as_ref(), column, ix, &shadowed, lo, hi)
+    }
+
+    /// Cardinality statistics for the index on `column`, if any. With a
+    /// base tree the distinct count is estimated (base distinct + overlay
+    /// distinct, capped at the row count); without one it is exact.
+    fn index_stats(&self, column: &str) -> Option<IndexStats> {
+        let ix = self.indexes.get(column)?;
+        let distinct = match self.base.as_ref().and_then(|b| b.meta.indexes.get(column)) {
+            Some(m) => (m.distinct as usize + ix.distinct_values()).min(self.live_rows as usize),
+            None => ix.distinct_values(),
+        };
+        Some(IndexStats { entries: self.live_rows as usize, distinct })
+    }
+
+    /// Add a secondary index on `column`, backfilled from every live row
+    /// (base included — the backfill lives in the overlay index until the
+    /// next checkpoint folds it into a tree). No-op when the index already
+    /// exists; `Ok(false)` if the column is unknown.
+    fn build_index(&mut self, column: &str) -> Result<bool> {
+        let Some(ci) = self.schema.column_index(column) else { return Ok(false) };
+        if self.indexes.contains_key(column) {
+            return Ok(true);
+        }
+        let mut ix = SecondaryIndex::new();
+        let overlay = Self::sorted_overlay(&self.heap);
+        paged::for_each_live_row(
+            self.base.as_ref(),
+            &overlay,
+            &self.tombstones,
+            &mut |id, row| {
+                ix.insert(row[ci].clone(), id);
+                Ok(())
+            },
+        )?;
+        self.schema.indexes.push(column.to_string());
+        self.indexes.insert(column.to_string(), ix);
+        Ok(true)
+    }
+
+    /// Apply an insert with a predetermined row id (redo path & normal
+    /// path). Convergent under replay: re-inserting a row the base
+    /// already holds keeps `live_rows` exact.
+    fn apply_insert(&mut self, stamp: u64, row_id: RowId, row: Row) -> Result<()> {
+        let prev = self.overlay_unhook(row_id);
+        let was_tombstoned = self.tombstones.remove(&row_id);
+        let was_live = prev.is_some() || (!was_tombstoned && self.base_row(row_id)?.is_some());
+        self.overlay_hook(row_id, row);
+        if !was_live {
+            self.live_rows += 1;
+        }
         self.version = stamp;
-        Some(old)
+        Ok(())
+    }
+
+    fn apply_update(&mut self, stamp: u64, row_id: RowId, row: Row) -> Result<Option<Row>> {
+        let Some(old) = self.unhook_effective(row_id)? else { return Ok(None) };
+        self.overlay_hook(row_id, row);
+        self.version = stamp;
+        Ok(Some(old))
+    }
+
+    fn apply_delete(&mut self, stamp: u64, row_id: RowId) -> Result<Option<Row>> {
+        let old = self.unhook_effective(row_id)?;
+        if old.is_some() {
+            self.live_rows -= 1;
+            self.version = stamp;
+        }
+        Ok(old)
     }
 }
 
@@ -182,19 +369,36 @@ impl Undo {
         }
     }
 
-    /// Apply the inverse of the logged change to `t` (snapshot rollback
-    /// path: `t` is a private clone, so stamps don't matter — the caller
-    /// restamps the finished view).
+    /// Apply the inverse of the logged change to `t`. Used by both abort
+    /// (the caller restamps versions) and the snapshot rollback path
+    /// (where `t` is a private clone).
+    ///
+    /// Works purely on the overlay, which makes it infallible: every row
+    /// a live transaction wrote sits in the overlay (strict 2PL pins it
+    /// there — no checkpoint can fold it away while the transaction is
+    /// active, since checkpoints require quiescence), so undo never needs
+    /// to read the base image.
     fn apply_to(&self, t: &mut Table) {
         match self {
             Undo::Insert { row_id, .. } => {
-                t.apply_delete(t.version, *row_id);
+                if t.overlay_unhook(*row_id).is_some() {
+                    t.live_rows -= 1;
+                }
             }
             Undo::Update { row_id, old, .. } => {
-                t.apply_update(t.version, *row_id, old.clone());
+                if t.overlay_unhook(*row_id).is_some() {
+                    // If the updated row was a base row its id stays
+                    // tombstoned; the restored overlay copy shadows it.
+                    t.overlay_hook(*row_id, old.clone());
+                }
             }
             Undo::Delete { row_id, old, .. } => {
-                t.apply_insert(t.version, *row_id, old.clone());
+                let prev = t.overlay_unhook(*row_id);
+                t.tombstones.remove(row_id);
+                t.overlay_hook(*row_id, old.clone());
+                if prev.is_none() {
+                    t.live_rows += 1;
+                }
             }
         }
     }
@@ -250,6 +454,13 @@ pub struct Database {
     /// Wire format for WAL records (binary by default; JSON kept for the
     /// bench baseline and legacy logs).
     wal_codec: WalCodec,
+    /// The open checkpoint image backing the tables' bases (`None` until
+    /// a B-tree image is loaded or published). Held here so diagnostics
+    /// can reach the shared buffer pool; the per-table handles live in
+    /// each [`Table::base`].
+    image: Mutex<Option<Arc<CheckpointImage>>>,
+    /// Layout the next [`Database::checkpoint`] writes.
+    ckpt_format: CheckpointFormat,
 }
 
 impl Database {
@@ -267,6 +478,8 @@ impl Database {
             durability: DurabilityMode::Full,
             commit_queue: CommitQueue::new(),
             wal_codec: WalCodec::BinaryV1,
+            image: Mutex::new(None),
+            ckpt_format: CheckpointFormat::default(),
         }
     }
 
@@ -325,15 +538,37 @@ impl Database {
         Ok(Database { backend, ..db })
     }
 
-    /// Load a paged binary checkpoint image: directory chain → schemas and
-    /// heap-chain heads; each heap chain → `(row_id, row)` records.
+    /// Load a paged binary checkpoint image.
+    ///
+    /// A v2 (B-tree) image loads **lazily**: each table becomes an empty
+    /// overlay over a [`TableBase`], and rows fault in through the
+    /// image's buffer pool on first touch — open-time resident rows are
+    /// zero regardless of corpus size. A v1 (heap-chain) image keeps the
+    /// legacy behavior and materializes every table; the next checkpoint
+    /// migrates it to trees.
     fn load_checkpoint_image(&self, backend: &dyn StorageBackend, path: &Path) -> Result<()> {
-        let mut pager = Pager::open(backend, path, CKPT_POOL_PAGES)?;
-        let root = pager.root();
-        if root == NO_PAGE {
-            return Ok(()); // image of an empty database
+        let image = Arc::new(CheckpointImage::open(backend, path, CKPT_POOL_PAGES)?);
+        let dir = {
+            let mut pager = image.pager.lock();
+            let root = pager.root();
+            if root == NO_PAGE {
+                return Ok(()); // image of an empty database
+            }
+            read_chain(&mut pager, root)?
+        };
+        if let Some(entries) = paged::decode_directory_v2(&dir)? {
+            let mut tables = self.tables.lock();
+            for e in entries {
+                let stamp = self.stamp();
+                let base = TableBase { image: Arc::clone(&image), meta: Arc::new(e.meta) };
+                let t = Table::from_base(e.schema, base, stamp);
+                tables.insert(t.schema.name.clone(), t);
+            }
+            *self.image.lock() = Some(image);
+            return Ok(());
         }
-        let dir = read_chain(&mut pager, root)?;
+        // Legacy v1 image: schemas + heap-chain heads in the directory,
+        // each chain a run of `(row_id, row)` records.
         let pos = &mut 0usize;
         let ntables = codec::read_u64(&dir, pos)? as usize;
         let mut entries = Vec::with_capacity(ntables);
@@ -352,13 +587,16 @@ impl Database {
             let stamp = self.stamp();
             let mut t = Table::new(schema, stamp);
             if head != NO_PAGE {
-                let heap = read_chain(&mut pager, head)?;
+                let heap = {
+                    let mut pager = image.pager.lock();
+                    read_chain(&mut pager, head)?
+                };
                 let hpos = &mut 0usize;
                 for _ in 0..nrows {
                     let row_id = RowId(codec::read_u64(&heap, hpos)?);
                     let row = codec::read_row(&heap, hpos)?;
                     let stamp = self.stamp();
-                    t.apply_insert(stamp, row_id, row);
+                    t.apply_insert(stamp, row_id, row)?;
                 }
                 if *hpos != heap.len() {
                     return Err(StorageError::Corrupt(format!(
@@ -408,25 +646,25 @@ impl Database {
                     }
                     LogRecord::CreateIndex { table, column } => {
                         if let Some(t) = tables.get_mut(&table) {
-                            t.build_index(&column);
+                            t.build_index(&column)?;
                         }
                     }
                     LogRecord::Insert { tx, table, row_id, row } if committed.contains(&tx) => {
                         let stamp = db.stamp();
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_insert(stamp, row_id, row);
+                            t.apply_insert(stamp, row_id, row)?;
                         }
                     }
                     LogRecord::Update { tx, table, row_id, row } if committed.contains(&tx) => {
                         let stamp = db.stamp();
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_update(stamp, row_id, row);
+                            t.apply_update(stamp, row_id, row)?;
                         }
                     }
                     LogRecord::Delete { tx, table, row_id } if committed.contains(&tx) => {
                         let stamp = db.stamp();
                         if let Some(t) = tables.get_mut(&table) {
-                            t.apply_delete(stamp, row_id);
+                            t.apply_delete(stamp, row_id)?;
                         }
                     }
                     _ => {}
@@ -457,6 +695,42 @@ impl Database {
     /// workloads; decoding always accepts both.
     pub fn set_wal_codec(&mut self, codec: WalCodec) {
         self.wal_codec = codec;
+    }
+
+    /// Pick the layout the next [`Database::checkpoint`] writes (B-tree
+    /// by default). Exists so benchmarks can measure the legacy
+    /// heap-chain format on identical workloads; *reading* always accepts
+    /// both formats.
+    pub fn set_checkpoint_format(&mut self, format: CheckpointFormat) {
+        self.ckpt_format = format;
+    }
+
+    /// The configured checkpoint layout.
+    pub fn checkpoint_format(&self) -> CheckpointFormat {
+        self.ckpt_format
+    }
+
+    /// Rows resident in a table's in-memory overlay (diagnostics: after a
+    /// B-tree checkpoint or lazy open this is 0 until writes arrive,
+    /// however large the table).
+    pub fn overlay_row_count(&self, table: &str) -> Result<usize> {
+        let tables = self.tables.lock();
+        tables
+            .get(table)
+            .map(|t| t.heap.len())
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    /// Buffer-pool counters of the open checkpoint image, if any.
+    pub fn image_pool_stats(&self) -> Option<PoolStats> {
+        let image = self.image.lock().clone()?;
+        Some(image.pool_stats())
+    }
+
+    /// Pages currently cached by the open checkpoint image's pool.
+    pub fn image_cached_pages(&self) -> Option<usize> {
+        let image = self.image.lock().clone()?;
+        Some(image.cached_pages())
     }
 
     /// Disable per-commit fsync (bulk loads; used by benchmarks to isolate
@@ -545,7 +819,7 @@ impl Database {
             table: table.to_string(),
             column: column.to_string(),
         })?;
-        t.build_index(column);
+        t.build_index(column)?;
         t.version = self.stamp();
         if !Self::touched_by_active(&self.active.lock(), table) {
             t.stable_version = t.version;
@@ -578,9 +852,7 @@ impl Database {
     pub fn index_stats(&self, table: &str, column: &str) -> Result<Option<IndexStats>> {
         let tables = self.tables.lock();
         let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        Ok(t.indexes
-            .get(column)
-            .map(|ix| IndexStats { entries: ix.len(), distinct: ix.distinct_values() }))
+        Ok(t.index_stats(column))
     }
 
     /// Drop a table (auto-committed DDL).
@@ -598,11 +870,17 @@ impl Database {
     /// length. Requires quiescence (no active transactions) and is a no-op
     /// for in-memory databases.
     ///
-    /// The image is a paged binary file (see `docs/storage.md`): one heap
-    /// chain of `(row_id, row)` records per table, a directory chain of
-    /// schemas and chain heads, all behind per-page CRCs, streamed through
-    /// a bounded buffer pool so checkpointing never materializes the
-    /// database twice in memory.
+    /// The image is a paged binary file (see `docs/storage.md`). In the
+    /// default [`CheckpointFormat::BTreeV2`] layout each table gets three
+    /// B-trees — rows by id, primary keys, and one per secondary index —
+    /// plus a v2 directory of schemas and tree roots, all behind per-page
+    /// CRCs, streamed through a bounded buffer pool so checkpointing never
+    /// materializes the database twice in memory. After publication every
+    /// table's in-memory overlay is dropped onto the fresh image: reads
+    /// fault base pages in on demand from then on. The legacy
+    /// [`CheckpointFormat::HeapChainV1`] layout (sequential heap chains,
+    /// fully materialized on open) is still written on request and always
+    /// readable.
     ///
     /// Crash-safe by construction: the image is built in a `.ckpt-tmp`
     /// side file, fsynced, then atomically renamed to the durable `.ckpt`
@@ -611,7 +889,9 @@ impl Database {
     /// checkpoint + full WAL; a crash between rename and truncation leaves
     /// the new checkpoint + a WAL whose replay over it is convergent (see
     /// [`Database::open_with`]). Recovery always loads the checkpoint
-    /// first, then replays the WAL.
+    /// first, then replays the WAL. B-tree page splits add no new crash
+    /// windows: every split happens inside the unpublished `.ckpt-tmp`
+    /// build, so a torn multi-page split simply discards that build.
     pub fn checkpoint(&self) -> Result<()> {
         {
             let active = self.active.lock();
@@ -626,7 +906,7 @@ impl Database {
         // order (see audit/lock-order.toml), so taking `wal` first here
         // would be an ABBA inversion. Holding `tables` across the image
         // build also pins exactly the state the checkpoint captures.
-        let tables = self.tables.lock();
+        let mut tables = self.tables.lock();
         let mut wal_guard = self.wal.lock();
         let Some(wal) = wal_guard.as_mut() else {
             return Ok(()); // ephemeral database: nothing to compact
@@ -635,35 +915,70 @@ impl Database {
         let ckpt = Self::checkpoint_path(&path);
         let tmp = Self::checkpoint_tmp_path(&path);
         let _ = self.backend.remove_file(&tmp); // stale build from an earlier crash
+        let mut names: Vec<String> = tables.keys().cloned().collect();
+        names.sort();
+        // Tree roots of the build, collected so the post-publication swap
+        // can point each table at its slice of the new image.
+        let mut metas: Vec<(String, paged::BaseMeta)> = Vec::new();
         {
             let mut pager = Pager::create(&*self.backend, &tmp, CKPT_POOL_PAGES)?;
-            let mut names: Vec<&String> = tables.keys().collect();
-            names.sort();
-            // One heap chain per table, rows in row-id order (a
-            // deterministic page/op stream for the crash sweeps).
-            let mut scratch = Vec::new();
-            let mut directory = Vec::new();
-            codec::write_u64(&mut directory, names.len() as u64)?;
-            for name in names {
-                let t = &tables[name];
-                let mut row_ids: Vec<&RowId> = t.heap.keys().collect();
-                row_ids.sort_unstable();
-                let (head, nrows) = if row_ids.is_empty() {
-                    (NO_PAGE, 0)
-                } else {
-                    let mut chain = ChainWriter::new(&mut pager, PageType::Heap)?;
-                    for row_id in row_ids {
-                        scratch.clear();
-                        codec::write_u64(&mut scratch, row_id.0)?;
-                        codec::write_row(&mut scratch, &t.heap[row_id])?;
-                        chain.push_record(&mut pager, &scratch)?;
+            let directory = match self.ckpt_format {
+                CheckpointFormat::BTreeV2 => {
+                    let mut entries = Vec::with_capacity(names.len());
+                    for name in &names {
+                        let t = &tables[name];
+                        let overlay = Table::sorted_overlay(&t.heap);
+                        let meta = paged::build_table_trees(
+                            &mut pager,
+                            &t.schema,
+                            t.base.as_ref(),
+                            &overlay,
+                            &t.tombstones,
+                            t.next_row,
+                        )?;
+                        metas.push((name.clone(), meta.clone()));
+                        entries.push(paged::DirectoryEntry { schema: t.schema.clone(), meta });
                     }
-                    chain.finish(&mut pager)?
-                };
-                codec::write_schema(&mut directory, &t.schema)?;
-                codec::write_u64(&mut directory, u64::from(head))?;
-                codec::write_u64(&mut directory, nrows)?;
-            }
+                    paged::encode_directory_v2(&entries)?
+                }
+                CheckpointFormat::HeapChainV1 => {
+                    // One heap chain per table, rows in row-id order (a
+                    // deterministic page/op stream for the crash sweeps).
+                    let mut scratch = Vec::new();
+                    let mut directory = Vec::new();
+                    codec::write_u64(&mut directory, names.len() as u64)?;
+                    for name in &names {
+                        let t = &tables[name];
+                        let (head, nrows) = if t.live_rows == 0 {
+                            (NO_PAGE, 0)
+                        } else {
+                            let overlay = Table::sorted_overlay(&t.heap);
+                            let mut chain = ChainWriter::new(&mut pager, PageType::Heap)?;
+                            let mut nrows = 0u64;
+                            paged::for_each_live_row(
+                                t.base.as_ref(),
+                                &overlay,
+                                &t.tombstones,
+                                &mut |id, row| {
+                                    scratch.clear();
+                                    codec::write_u64(&mut scratch, id.0)?;
+                                    codec::write_row(&mut scratch, row)?;
+                                    chain.push_record(&mut pager, &scratch)?;
+                                    nrows += 1;
+                                    Ok(())
+                                },
+                            )?;
+                            let (head, written) = chain.finish(&mut pager)?;
+                            debug_assert_eq!(written, nrows);
+                            (head, nrows)
+                        };
+                        codec::write_schema(&mut directory, &t.schema)?;
+                        codec::write_u64(&mut directory, u64::from(head))?;
+                        codec::write_u64(&mut directory, nrows)?;
+                    }
+                    directory
+                }
+            };
             let mut dir_chain = ChainWriter::new(&mut pager, PageType::Directory)?;
             dir_chain.push_record(&mut pager, &directory)?;
             let (dir_head, _) = dir_chain.finish(&mut pager)?;
@@ -676,6 +991,21 @@ impl Database {
         // zero). Safe to do only now: the image published by the rename
         // already covers everything pre-reset waiters were waiting for.
         self.commit_queue.reset();
+        if self.ckpt_format == CheckpointFormat::BTreeV2 {
+            // Swap every table onto the fresh image and drop the overlays:
+            // from here on, reads fault base pages in on demand. Contents
+            // are unchanged, so versions (and cached snapshot views, which
+            // keep the old image alive via their own `Arc`s) stay valid.
+            // If the open fails the checkpoint is still durable and the
+            // tables simply stay resident; the error is surfaced.
+            let image = Arc::new(CheckpointImage::open(&*self.backend, &ckpt, CKPT_POOL_PAGES)?);
+            for (name, meta) in metas {
+                if let Some(t) = tables.get_mut(&name) {
+                    t.reset_to_base(TableBase { image: Arc::clone(&image), meta: Arc::new(meta) });
+                }
+            }
+            *self.image.lock() = Some(image);
+        }
         Ok(())
     }
 
@@ -783,23 +1113,9 @@ impl Database {
             let mut active = self.active.lock();
             let state = active.remove(&tx).ok_or(StorageError::NoSuchTx(tx))?;
             for undo in state.undo.iter().rev() {
-                let stamp = self.stamp();
-                match undo {
-                    Undo::Insert { table, row_id } => {
-                        if let Some(t) = tables.get_mut(table) {
-                            t.apply_delete(stamp, *row_id);
-                        }
-                    }
-                    Undo::Update { table, row_id, old } => {
-                        if let Some(t) = tables.get_mut(table) {
-                            t.apply_update(stamp, *row_id, old.clone());
-                        }
-                    }
-                    Undo::Delete { table, row_id, old } => {
-                        if let Some(t) = tables.get_mut(table) {
-                            t.apply_insert(stamp, *row_id, old.clone());
-                        }
-                    }
+                if let Some(t) = tables.get_mut(undo.table()) {
+                    undo.apply_to(t);
+                    t.version = self.stamp();
                 }
             }
             for name in Self::touched_tables(&state) {
@@ -846,7 +1162,7 @@ impl Database {
             tables.get_mut(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
         t.schema.validate(&row)?;
         let key = t.schema.key_of(&row);
-        if t.pk.contains_key(&key) {
+        if t.lookup_pk(&key)?.is_some() {
             return Err(StorageError::DuplicateKey(format!("{table} key {key:?} already exists")));
         }
         let row_id = RowId(t.next_row);
@@ -854,7 +1170,7 @@ impl Database {
         self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Exclusive)?;
         self.log(&LogRecord::Insert { tx, table: table.to_string(), row_id, row: row.clone() })?;
         let stamp = self.stamp();
-        t.apply_insert(stamp, row_id, row);
+        t.apply_insert(stamp, row_id, row)?;
         // Register the undo entry while still holding the tables lock: a
         // snapshot taken in between must see the table as dirty.
         self.push_undo(tx, Undo::Insert { table: table.to_string(), row_id });
@@ -865,7 +1181,7 @@ impl Database {
     fn row_id_for_key(&self, table: &str, key: &[Value]) -> Result<RowId> {
         let tables = self.tables.lock();
         let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        t.pk.get(key).copied().ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
+        t.lookup_pk(key)?.ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
     }
 
     /// Read one row by primary key (shared-locked until transaction end).
@@ -876,9 +1192,7 @@ impl Database {
         self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
         let tables = self.tables.lock();
         let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
-        t.heap
-            .get(&row_id)
-            .cloned()
+        t.effective_row(row_id)?
             .ok_or_else(|| StorageError::NotFound(format!("{table} key {key:?}")))
     }
 
@@ -905,7 +1219,7 @@ impl Database {
         self.log(&LogRecord::Update { tx, table: table.to_string(), row_id, row: row.clone() })?;
         let stamp = self.stamp();
         let old = t
-            .apply_update(stamp, row_id, row)
+            .apply_update(stamp, row_id, row)?
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
         self.push_undo(tx, Undo::Update { table: table.to_string(), row_id, old });
         drop(tables);
@@ -928,7 +1242,7 @@ impl Database {
         self.log(&LogRecord::Delete { tx, table: table.to_string(), row_id })?;
         let stamp = self.stamp();
         let old = t
-            .apply_delete(stamp, row_id)
+            .apply_delete(stamp, row_id)?
             .ok_or_else(|| StorageError::NotFound(format!("{table} row {row_id}")))?;
         self.push_undo(tx, Undo::Delete { table: table.to_string(), row_id, old });
         drop(tables);
@@ -942,9 +1256,13 @@ impl Database {
         self.locks.acquire(tx, LockTarget::Table(table.to_string()), LockMode::Shared)?;
         let tables = self.tables.lock();
         let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        let mut ids: Vec<&RowId> = t.heap.keys().collect();
-        ids.sort_unstable();
-        Ok(ids.iter().map(|id| t.heap[id].clone()).collect())
+        let overlay = Table::sorted_overlay(&t.heap);
+        let mut out = Vec::with_capacity(t.live_rows as usize);
+        paged::for_each_live_row(t.base.as_ref(), &overlay, &t.tombstones, &mut |_, row| {
+            out.push(row.clone());
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     /// Equality probe on a secondary index.
@@ -974,18 +1292,15 @@ impl Database {
             let tables = self.tables.lock();
             let t =
                 tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-            let ix = t.indexes.get(column).ok_or_else(|| {
-                StorageError::SchemaViolation(format!("no index on {table}.{column}"))
-            })?;
-            ix.range(lo, hi)
+            t.index_candidates(column, lo, hi)?
         };
         let mut rows = Vec::with_capacity(row_ids.len());
         for row_id in row_ids {
             self.locks.acquire(tx, LockTarget::Row(table.to_string(), row_id), LockMode::Shared)?;
             let tables = self.tables.lock();
             let t = tables.get(table).ok_or_else(|| StorageError::NoSuchTable(table.into()))?;
-            if let Some(r) = t.heap.get(&row_id) {
-                rows.push(r.clone());
+            if let Some(r) = t.effective_row(row_id)? {
+                rows.push(r);
             }
         }
         Ok(rows)
@@ -1028,17 +1343,21 @@ impl Database {
                 let t = tables
                     .get(table)
                     .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-                let mut ids: Vec<&RowId> = t.heap.keys().collect();
-                ids.sort_unstable();
+                let overlay = Table::sorted_overlay(&t.heap);
                 let mut out = Vec::new();
                 let mut scanned = 0usize;
-                for id in ids {
-                    let row = &t.heap[id];
-                    scanned += 1;
-                    if filter(row) {
-                        out.push(materialize(row));
-                    }
-                }
+                paged::for_each_live_row(
+                    t.base.as_ref(),
+                    &overlay,
+                    &t.tombstones,
+                    &mut |_, row| {
+                        scanned += 1;
+                        if filter(row) {
+                            out.push(materialize(row));
+                        }
+                        Ok(())
+                    },
+                )?;
                 Ok((out, scanned))
             }
             ScanAccess::Index { column, lo, hi } => {
@@ -1052,10 +1371,7 @@ impl Database {
                     let t = tables
                         .get(table)
                         .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-                    let ix = t.indexes.get(column).ok_or_else(|| {
-                        StorageError::SchemaViolation(format!("no index on {table}.{column}"))
-                    })?;
-                    ix.range(lo, hi)
+                    t.index_candidates(column, lo, hi)?
                 };
                 // Row-id order = full-scan order; also canonicalizes the
                 // lock-acquisition order.
@@ -1074,10 +1390,10 @@ impl Database {
                 let mut out = Vec::new();
                 let mut scanned = 0usize;
                 for row_id in &row_ids {
-                    if let Some(row) = t.heap.get(row_id) {
+                    if let Some(row) = t.effective_row(*row_id)? {
                         scanned += 1;
-                        if filter(row) {
-                            out.push(materialize(row));
+                        if filter(&row) {
+                            out.push(materialize(&row));
                         }
                     }
                 }
@@ -1117,10 +1433,13 @@ impl Database {
                 match hit {
                     Some(v) => v,
                     None => {
-                        let v = Arc::new(TableView::build(
+                        let v = Arc::new(TableView::capture(
                             t.schema.clone(),
                             &t.heap,
                             &t.indexes,
+                            t.base.clone(),
+                            &t.tombstones,
+                            t.live_rows,
                             t.version,
                         ));
                         // quarry-audit: allow(QA102, reason = "HashMap::insert on the view cache, not Database::insert")
@@ -1143,7 +1462,15 @@ impl Database {
                         }
                     }
                 }
-                Arc::new(TableView::build(tmp.schema, &tmp.heap, &tmp.indexes, self.stamp()))
+                Arc::new(TableView::capture(
+                    tmp.schema,
+                    &tmp.heap,
+                    &tmp.indexes,
+                    tmp.base,
+                    &tmp.tombstones,
+                    tmp.live_rows,
+                    self.stamp(),
+                ))
             };
             // quarry-audit: allow(QA102, reason = "HashMap::insert on the result map, not Database::insert")
             out.insert(name.clone(), view);
@@ -1157,7 +1484,7 @@ impl Database {
         let tables = self.tables.lock();
         tables
             .get(table)
-            .map(|t| t.heap.len())
+            .map(|t| t.live_rows as usize)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
     }
 
@@ -1811,6 +2138,207 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(db.snapshot().row_count("people").unwrap(), 200);
+    }
+
+    #[test]
+    fn btree_checkpoint_opens_lazily_and_reads_through_base() {
+        let p = tmpwal("btree-lazy");
+        let n = 300i64;
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            for i in 0..n {
+                db.insert_autocommit("people", person(&format!("p{i:03}"), i % 10, "x")).unwrap();
+            }
+            db.checkpoint().unwrap();
+            // Post-checkpoint the live table itself is an empty overlay
+            // over the fresh image.
+            assert_eq!(db.overlay_row_count("people").unwrap(), 0);
+            assert_eq!(db.row_count("people").unwrap(), n as usize);
+        }
+        let db = Database::open(&p).unwrap();
+        // Lazy open: nothing materialized.
+        assert_eq!(db.overlay_row_count("people").unwrap(), 0);
+        assert_eq!(db.row_count("people").unwrap(), n as usize);
+        assert!(db.image_pool_stats().is_some());
+
+        // Point lookups, index probes, and scans read through the trees.
+        let tx = db.begin();
+        assert_eq!(db.get(tx, "people", &["p042".into()]).unwrap()[1], Value::Int(2));
+        let by_age = db.index_lookup(tx, "people", "age", &Value::Int(3)).unwrap();
+        assert_eq!(by_age.len(), 30);
+        db.commit(tx).unwrap();
+        let rows = db.scan_autocommit("people").unwrap();
+        assert_eq!(rows.len(), n as usize);
+        assert_eq!(rows[7][0], Value::Text("p007".into()), "row-id order preserved");
+        // Stats follow the merged shape.
+        let st = db.index_stats("people", "age").unwrap().unwrap();
+        assert_eq!(st.entries, n as usize);
+        assert_eq!(st.distinct, 10);
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
+    }
+
+    #[test]
+    fn base_rows_update_delete_and_merge_across_checkpoints() {
+        let p = tmpwal("btree-merge");
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            for i in 0..50 {
+                db.insert_autocommit("people", person(&format!("p{i:02}"), i, "x")).unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+        {
+            // Mutate base rows through the overlay: update, delete,
+            // key-change update, fresh insert.
+            let db = Database::open(&p).unwrap();
+            let tx = db.begin();
+            db.update(tx, "people", &["p00".into()], person("p00", 100, "y")).unwrap();
+            db.delete(tx, "people", &["p01".into()]).unwrap();
+            db.update(tx, "people", &["p02".into()], person("renamed", 2, "z")).unwrap();
+            db.insert(tx, "people", person("fresh", 7, "w")).unwrap();
+            db.commit(tx).unwrap();
+            assert_eq!(db.row_count("people").unwrap(), 50);
+            // The old key of a renamed base row is gone; the new one hits.
+            let tx = db.begin();
+            assert!(db.get(tx, "people", &["p02".into()]).is_err());
+            assert_eq!(db.get(tx, "people", &["renamed".into()]).unwrap()[1], Value::Int(2));
+            // Index probe must not surface the shadowed base entry for the
+            // updated row's old value.
+            assert!(db.index_lookup(tx, "people", "age", &Value::Int(0)).unwrap().is_empty());
+            assert_eq!(db.index_lookup(tx, "people", "age", &Value::Int(100)).unwrap().len(), 1);
+            db.commit(tx).unwrap();
+            // Fold the overlay into a second-generation image.
+            db.checkpoint().unwrap();
+            assert_eq!(db.overlay_row_count("people").unwrap(), 0);
+        }
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 50);
+        let tx = db.begin();
+        assert_eq!(db.get(tx, "people", &["p00".into()]).unwrap()[1], Value::Int(100));
+        assert!(db.get(tx, "people", &["p01".into()]).is_err(), "deleted base row stays gone");
+        assert_eq!(db.get(tx, "people", &["renamed".into()]).unwrap()[2], Value::Text("z".into()));
+        assert_eq!(db.get(tx, "people", &["fresh".into()]).unwrap()[1], Value::Int(7));
+        db.commit(tx).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
+    }
+
+    #[test]
+    fn create_index_after_checkpoint_backfills_from_base() {
+        let p = tmpwal("btree-backfill");
+        {
+            let db = Database::open(&p).unwrap();
+            db.create_table(people_schema()).unwrap();
+            for i in 0..40 {
+                db.insert_autocommit("people", person(&format!("p{i:02}"), i, "x")).unwrap();
+            }
+            db.checkpoint().unwrap();
+            // New index over a lazily-held table must see base rows.
+            db.create_index("people", "city").unwrap();
+            let tx = db.begin();
+            assert_eq!(
+                db.index_lookup(tx, "people", "city", &Value::Text("x".into())).unwrap().len(),
+                40
+            );
+            db.commit(tx).unwrap();
+            // Deleting a base row drops its backfilled entry too.
+            let tx = db.begin();
+            db.delete(tx, "people", &["p05".into()]).unwrap();
+            db.commit(tx).unwrap();
+            let tx = db.begin();
+            assert_eq!(
+                db.index_lookup(tx, "people", "city", &Value::Text("x".into())).unwrap().len(),
+                39
+            );
+            db.commit(tx).unwrap();
+            db.checkpoint().unwrap();
+        }
+        // The folded index survives recovery as a tree.
+        let db = Database::open(&p).unwrap();
+        let tx = db.begin();
+        assert_eq!(
+            db.index_lookup(tx, "people", "city", &Value::Text("x".into())).unwrap().len(),
+            39
+        );
+        db.commit(tx).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
+    }
+
+    #[test]
+    fn heap_chain_v1_format_knob_writes_materializing_images() {
+        let p = tmpwal("v1-knob");
+        {
+            let mut db = Database::open(&p).unwrap();
+            db.set_checkpoint_format(CheckpointFormat::HeapChainV1);
+            assert_eq!(db.checkpoint_format(), CheckpointFormat::HeapChainV1);
+            db.create_table(people_schema()).unwrap();
+            for i in 0..30 {
+                db.insert_autocommit("people", person(&format!("p{i:02}"), i, "x")).unwrap();
+            }
+            db.checkpoint().unwrap();
+            // V1 keeps tables resident: no base swap.
+            assert_eq!(db.overlay_row_count("people").unwrap(), 30);
+        }
+        // A v1 image materializes fully on open (legacy behavior)...
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.overlay_row_count("people").unwrap(), 30);
+        assert_eq!(db.row_count("people").unwrap(), 30);
+        // ...and the next default-format checkpoint migrates it to trees.
+        db.checkpoint().unwrap();
+        assert_eq!(db.overlay_row_count("people").unwrap(), 0);
+        drop(db);
+        let db = Database::open(&p).unwrap();
+        assert_eq!(db.overlay_row_count("people").unwrap(), 0);
+        assert_eq!(db.row_count("people").unwrap(), 30);
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
+    }
+
+    #[test]
+    fn snapshots_over_bases_stay_stable_across_checkpoints() {
+        let p = tmpwal("btree-snap");
+        let db = Database::open(&p).unwrap();
+        db.create_table(people_schema()).unwrap();
+        for i in 0..20 {
+            db.insert_autocommit("people", person(&format!("p{i:02}"), i, "x")).unwrap();
+        }
+        db.checkpoint().unwrap();
+        // Snapshot over the lazy table reads through the base.
+        let snap = db.snapshot();
+        assert_eq!(snap.row_count("people").unwrap(), 20);
+        assert_eq!(snap.scan("people").unwrap().len(), 20);
+        // Keep writing and re-checkpoint: the old snapshot keeps reading
+        // the superseded image through its own handle.
+        let tx = db.begin();
+        db.update(tx, "people", &["p00".into()], person("p00", 99, "y")).unwrap();
+        db.commit(tx).unwrap();
+        db.checkpoint().unwrap();
+        let rows = snap.scan("people").unwrap();
+        assert_eq!(rows[0][1], Value::Int(0), "old snapshot sees pre-update state");
+        let fresh = db.snapshot();
+        assert_eq!(fresh.scan("people").unwrap()[0][1], Value::Int(99));
+        // Index access over the snapshot merges base + overlay like the
+        // live engine.
+        let (rows, scanned) = snap
+            .select(
+                "people",
+                ScanAccess::Index {
+                    column: "age",
+                    lo: Some(&Value::Int(5)),
+                    hi: Some(&Value::Int(9)),
+                },
+                &mut |_| true,
+                None,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(scanned, 5);
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_file(Database::checkpoint_path(&p)).unwrap();
     }
 
     #[test]

@@ -58,6 +58,23 @@ impl SecondaryIndex {
         self.map.range((lo, hi)).flat_map(|(_, rows)| rows.iter().copied()).collect()
     }
 
+    /// Like [`range`](Self::range), but yields `(value, row)` pairs in
+    /// `(value, row-id)` order — the merge key used when combining this
+    /// overlay index with a checkpoint image's index tree.
+    pub fn range_pairs(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<(Value, RowId)> {
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if lo > hi {
+                return Vec::new();
+            }
+        }
+        let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        self.map
+            .range((lo, hi))
+            .flat_map(|(v, rows)| rows.iter().map(move |r| (v.clone(), *r)))
+            .collect()
+    }
+
     /// Total (value, row) pairs indexed.
     pub fn len(&self) -> usize {
         self.entries

@@ -16,11 +16,12 @@
 pub mod engine;
 pub mod index;
 pub mod lock;
+pub(crate) mod paged;
 pub mod recovery;
 pub mod table;
 pub mod view;
 
-pub use engine::{Database, IndexStats, ScanAccess, TxId};
+pub use engine::{CheckpointFormat, Database, IndexStats, ScanAccess, TxId};
 pub use lock::{LockManager, LockMode};
 pub use recovery::{LogRecord, WalCodec};
 pub use table::{Column, Row, RowId, TableSchema};

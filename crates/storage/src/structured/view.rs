@@ -6,44 +6,75 @@
 //! writers, writers never block them, and two snapshots of the same
 //! version share their table views structurally. Writers keep the strict
 //! 2PL + WAL path in [`super::engine::Database`]; see `docs/concurrency.md`.
+//!
+//! Since the B-tree checkpoint engine, a view captures a table the same
+//! way the live engine holds it: a copy of the small in-memory overlay
+//! (rows written since the last checkpoint, plus tombstones) stacked on an
+//! `Arc`-shared [`TableBase`] slice of the checkpoint image. Capturing is
+//! still O(overlay); base rows stay on disk and fault in through the
+//! image's buffer pool on read. The image file is immutable once
+//! published — a later checkpoint renames a *new* file over it while this
+//! view keeps the old one alive (and readable) through its handle — so
+//! snapshot reads stay repeatable without copying the corpus.
 
 use crate::error::StorageError;
 use crate::value::Value;
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use super::engine::{IndexStats, ScanAccess};
 use super::index::SecondaryIndex;
+use super::paged::{self, TableBase};
 use super::table::{Row, RowId, TableSchema};
 
 /// An immutable copy of one table's committed state at a point in time.
 ///
-/// Rows are held sorted by row id, so both access paths of
-/// [`TableView::select`] produce rows in exactly the same order as the
-/// live engine: row-id (insertion) order.
+/// Overlay rows are held sorted by row id and the base row tree is keyed
+/// by row id, so both access paths of [`TableView::select`] produce rows
+/// in exactly the same order as the live engine: row-id (insertion)
+/// order.
 #[derive(Debug)]
 pub struct TableView {
     schema: TableSchema,
-    /// Rows sorted ascending by row id.
-    rows: Vec<(RowId, Row)>,
-    /// Column name → secondary index, cloned from the live table.
+    /// Overlay rows sorted ascending by row id.
+    overlay: Vec<(RowId, Row)>,
+    /// Column name → overlay secondary index, cloned from the live table.
     indexes: HashMap<String, SecondaryIndex>,
+    /// The checkpoint image slice under the overlay, if any.
+    base: Option<TableBase>,
+    /// Base row ids deleted or superseded since the checkpoint.
+    tombstones: HashSet<RowId>,
+    /// Exact live rows across base + overlay.
+    live_rows: u64,
     /// The table's write version at capture time; equal versions imply
     /// identical contents (see `Table::version` in the engine).
     version: u64,
 }
 
 impl TableView {
-    pub(crate) fn build(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn capture(
         schema: TableSchema,
         heap: &HashMap<RowId, Row>,
         indexes: &HashMap<String, SecondaryIndex>,
+        base: Option<TableBase>,
+        tombstones: &HashSet<RowId>,
+        live_rows: u64,
         version: u64,
     ) -> TableView {
-        let mut rows: Vec<(RowId, Row)> = heap.iter().map(|(id, row)| (*id, row.clone())).collect();
-        rows.sort_unstable_by_key(|(id, _)| *id);
-        TableView { schema, rows, indexes: indexes.clone(), version }
+        let mut overlay: Vec<(RowId, Row)> =
+            heap.iter().map(|(id, row)| (*id, row.clone())).collect();
+        overlay.sort_unstable_by_key(|(id, _)| *id);
+        TableView {
+            schema,
+            overlay,
+            indexes: indexes.clone(),
+            base,
+            tombstones: tombstones.clone(),
+            live_rows,
+            version,
+        }
     }
 
     /// The captured write version.
@@ -58,11 +89,16 @@ impl TableView {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.live_rows as usize
     }
 
-    fn row(&self, id: RowId) -> Option<&Row> {
-        self.rows.binary_search_by_key(&id, |(rid, _)| *rid).ok().map(|i| &self.rows[i].1)
+    fn overlay_row(&self, id: RowId) -> Option<&Row> {
+        self.overlay.binary_search_by_key(&id, |(rid, _)| *rid).ok().map(|i| &self.overlay[i].1)
+    }
+
+    /// The overlay as the borrowed slice the merge helpers consume.
+    fn overlay_refs(&self) -> Vec<(RowId, &Row)> {
+        self.overlay.iter().map(|(id, row)| (*id, row)).collect()
     }
 
     /// Names of the indexed columns, sorted (mirrors
@@ -74,11 +110,16 @@ impl TableView {
     }
 
     /// Cardinality statistics of one secondary index (`None` when the
-    /// column carries no index).
+    /// column carries no index). Matches `Database::index_stats`: exact
+    /// for in-memory tables, estimated (base + overlay distinct, capped
+    /// at the row count) over a checkpoint base.
     pub fn index_stats(&self, column: &str) -> Option<IndexStats> {
-        self.indexes
-            .get(column)
-            .map(|ix| IndexStats { entries: ix.len(), distinct: ix.distinct_values() })
+        let ix = self.indexes.get(column)?;
+        let distinct = match self.base.as_ref().and_then(|b| b.meta.indexes.get(column)) {
+            Some(m) => (m.distinct as usize + ix.distinct_values()).min(self.live_rows as usize),
+            None => ix.distinct_values(),
+        };
+        Some(IndexStats { entries: self.live_rows as usize, distinct })
     }
 
     /// Filtered, projected read mirroring `Database::select` bit for bit:
@@ -100,12 +141,19 @@ impl TableView {
             ScanAccess::Full => {
                 let mut out = Vec::new();
                 let mut scanned = 0usize;
-                for (_, row) in &self.rows {
-                    scanned += 1;
-                    if filter(row) {
-                        out.push(materialize(row));
-                    }
-                }
+                let overlay = self.overlay_refs();
+                paged::for_each_live_row(
+                    self.base.as_ref(),
+                    &overlay,
+                    &self.tombstones,
+                    &mut |_, row| {
+                        scanned += 1;
+                        if filter(row) {
+                            out.push(materialize(row));
+                        }
+                        Ok(())
+                    },
+                )?;
                 Ok((out, scanned))
             }
             ScanAccess::Index { column, lo, hi } => {
@@ -115,16 +163,32 @@ impl TableView {
                         self.schema.name
                     ))
                 })?;
-                let mut row_ids = ix.range(lo, hi);
+                let shadowed = |id: RowId| {
+                    self.overlay.binary_search_by_key(&id, |(rid, _)| *rid).is_ok()
+                        || self.tombstones.contains(&id)
+                };
+                let mut row_ids =
+                    paged::merged_index_ids(self.base.as_ref(), column, ix, &shadowed, lo, hi)?;
                 // Row-id order = full-scan order.
                 row_ids.sort_unstable();
                 let mut out = Vec::new();
                 let mut scanned = 0usize;
                 for row_id in row_ids {
-                    if let Some(row) = self.row(row_id) {
+                    if let Some(row) = self.overlay_row(row_id) {
                         scanned += 1;
                         if filter(row) {
                             out.push(materialize(row));
+                        }
+                    } else if !self.tombstones.contains(&row_id) {
+                        if let Some(b) = &self.base {
+                            if row_id.0 < b.meta.next_row {
+                                if let Some(row) = b.get_row(row_id)? {
+                                    scanned += 1;
+                                    if filter(&row) {
+                                        out.push(materialize(&row));
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -134,8 +198,14 @@ impl TableView {
     }
 
     /// All rows in row-id order (mirrors `Database::scan`).
-    pub fn scan(&self) -> Vec<Row> {
-        self.rows.iter().map(|(_, row)| row.clone()).collect()
+    pub fn scan(&self) -> Result<Vec<Row>> {
+        let overlay = self.overlay_refs();
+        let mut out = Vec::with_capacity(self.live_rows as usize);
+        paged::for_each_live_row(self.base.as_ref(), &overlay, &self.tombstones, &mut |_, row| {
+            out.push(row.clone());
+            Ok(())
+        })?;
+        Ok(out)
     }
 }
 
@@ -213,6 +283,6 @@ impl DbSnapshot {
 
     /// All rows of a table in row-id order (mirrors `Database::scan`).
     pub fn scan(&self, table: &str) -> Result<Vec<Row>> {
-        Ok(self.table(table)?.scan())
+        self.table(table)?.scan()
     }
 }

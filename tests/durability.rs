@@ -164,6 +164,12 @@ fn wal_grows_with_work_and_recovery_is_complete_after_many_batches() {
 // simply skipping the per-commit fsync. `deferred` is deliberately not
 // accepted: it trades the floor away, so the differential's invariant does
 // not hold for it (its contract is covered by the engine's unit tests).
+//
+// Two workloads run through the same sweep: the original mixed DML one,
+// and a split-heavy one whose multi-kilobyte text rows force the B-tree
+// checkpoint builder through overflow chains, oversized index keys, and
+// repeated page splits — so the kill and torn-write sweeps cover crashes
+// in the middle of multi-page split writes.
 
 type Step = fn(&Database) -> quarry::storage::Result<()>;
 
@@ -287,6 +293,97 @@ fn workload_steps() -> Vec<Step> {
     ]
 }
 
+fn docs_schema() -> TableSchema {
+    TableSchema::new(
+        "docs",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("tag", DataType::Text),
+            Column::new("body", DataType::Text),
+        ],
+        &["id"],
+        &["tag"],
+    )
+    .unwrap()
+}
+
+/// A deterministic multi-kilobyte body: a distinct per-id prefix (so the
+/// body index has real ordering work to do) padded to `kb` kilobytes —
+/// past the B-tree's inline-value limit, so checkpoint builds spill these
+/// rows into overflow chains spanning several pages.
+fn big_body(id: i64, kb: usize) -> String {
+    let mut s = format!("doc-{id:04}:");
+    while s.len() < kb * 1024 {
+        s.push_str("the quick brown fox jumps over the lazy dog ");
+    }
+    s
+}
+
+/// One document row; body size cycles 1..=7 KiB so the row tree holds a
+/// mix of inline and overflow values.
+fn doc(id: i64) -> Vec<Value> {
+    let kb = 1 + (id % 4) as usize * 2;
+    vec![Value::Int(id), format!("tag-{}", id % 5).into(), big_body(id, kb).into()]
+}
+
+fn insert_docs(db: &Database, lo: i64, hi: i64) -> quarry::storage::Result<()> {
+    let tx = db.begin();
+    for id in lo..hi {
+        db.insert(tx, "docs", doc(id))?;
+    }
+    db.commit(tx)
+}
+
+/// The split-heavy workload: enough multi-KB rows that each checkpoint's
+/// tree build splits leaves repeatedly and writes multi-page overflow
+/// chains, an index over the oversized `body` column (keys past the
+/// inline limit), and post-checkpoint churn so the second build merges a
+/// base image with an overlay.
+fn split_heavy_steps() -> Vec<Step> {
+    vec![
+        |db| db.create_table(docs_schema()),
+        |db| insert_docs(db, 0, 12),
+        |db| insert_docs(db, 12, 24),
+        |db| insert_docs(db, 24, 36),
+        |db| db.checkpoint(),
+        |db| {
+            let tx = db.begin();
+            // Rewrites move rows between inline and overflow sizing.
+            db.update(
+                tx,
+                "docs",
+                &[Value::Int(3)],
+                vec![Value::Int(3), "tag-3".into(), big_body(3, 6).into()],
+            )?;
+            db.update(
+                tx,
+                "docs",
+                &[Value::Int(20)],
+                vec![Value::Int(20), "tag-0".into(), "tiny".into()],
+            )?;
+            db.delete(tx, "docs", &[Value::Int(7)])?;
+            db.delete(tx, "docs", &[Value::Int(30)])?;
+            db.commit(tx)
+        },
+        |db| db.create_index("docs", "body"),
+        |db| insert_docs(db, 36, 44),
+        |db| db.checkpoint(),
+        |db| {
+            let tx = db.begin();
+            db.delete(tx, "docs", &[Value::Int(11)])?;
+            db.update(
+                tx,
+                "docs",
+                &[Value::Int(40)],
+                vec![Value::Int(40), "tag-9".into(), big_body(40, 5).into()],
+            )?;
+            db.insert(tx, "docs", doc(44))?;
+            db.commit(tx)
+        },
+        |db| insert_docs(db, 45, 48),
+    ]
+}
+
 /// One crash case: run the workload against a backend that dies at
 /// operation `k` (optionally tearing that write), restart from the
 /// surviving files with the real backend, and check the recovered state
@@ -336,28 +433,28 @@ fn run_crash_case(
     );
 }
 
-#[test]
-fn recovery_differential() {
-    let steps = workload_steps();
-
+/// The full differential: record the workload's op stream, then sweep
+/// kill and torn-write crashes across it. `label` keeps the scratch files
+/// of concurrently-running sweeps apart.
+fn differential_sweep(steps: &[Step], label: &str) {
     // Reference states: the workload replayed on an in-memory database,
     // dumped after every step prefix (checkpoint is a no-op there, which is
     // correct — it does not change logical state).
     let reference = Database::in_memory();
     let mut states = vec![dump(&reference)];
-    for step in &steps {
+    for step in steps {
         step(&reference).unwrap();
         states.push(dump(&reference));
     }
 
     // Recording run: capture the full operation stream and each step's
     // cumulative operation count.
-    let p = tmpwal("recdiff-record");
+    let p = tmpwal(&format!("recdiff-{label}-record"));
     let rec = FaultBackend::recording(RealBackend);
     let mut db = Database::open_with(Arc::new(rec.clone()), &p).unwrap();
     db.set_durability(durability_from_env());
     let mut cum = vec![rec.op_count()];
-    for step in &steps {
+    for step in steps {
         step(&db).unwrap();
         cum.push(rec.op_count());
     }
@@ -400,7 +497,7 @@ fn recovery_differential() {
     ks.dedup();
 
     for &k in &ks {
-        run_crash_case(k, None, &steps, &states, &cum, &format!("kill-{k}"));
+        run_crash_case(k, None, steps, &states, &cum, &format!("{label}-kill-{k}"));
     }
 
     // Torn-write variants: crash mid-append, persisting half the bytes of
@@ -409,10 +506,31 @@ fn recovery_differential() {
     for &k in &ks {
         if let Op::Write { bytes, .. } = &ops[(k - 1) as usize] {
             if *bytes >= 2 {
-                run_crash_case(k, Some(bytes / 2), &steps, &states, &cum, &format!("tear-{k}"));
+                run_crash_case(
+                    k,
+                    Some(bytes / 2),
+                    steps,
+                    &states,
+                    &cum,
+                    &format!("{label}-tear-{k}"),
+                );
                 torn_cases += 1;
             }
         }
     }
     assert!(torn_cases > 0, "sweep must include at least one torn write");
+}
+
+#[test]
+fn recovery_differential() {
+    differential_sweep(&workload_steps(), "base");
+}
+
+/// Same invariant, split-heavy workload: every crash point — including
+/// kills and torn writes landing mid-way through the multi-page overflow
+/// chains and leaf splits of a B-tree checkpoint build — recovers to a
+/// step boundary at or above the durability floor.
+#[test]
+fn recovery_differential_split_heavy() {
+    differential_sweep(&split_heavy_steps(), "split");
 }
