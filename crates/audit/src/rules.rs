@@ -6,7 +6,7 @@
 //! | QA101 | error    | `unwrap()`/`expect(`/`panic!`-family on a serve-reachable path |
 //! | QA101 | warning  | indexing `[...]` with a non-literal index on a serve-reachable path |
 //! | QA102 | error    | lock acquisitions violating `audit/lock-order.toml` (in-body and one call-graph hop) |
-//! | QA103 | error    | per-crate forbidden constructs (`Mutex<Quarry>` in serve, `serde_json` on storage hot paths, nondeterminism in recovery/replay) |
+//! | QA103 | error    | per-crate forbidden constructs (`Mutex<Quarry>` in serve/cluster, `serde_json` on storage hot paths, nondeterminism in recovery/replay/replication/promotion) |
 //! | QA104 | error    | `unsafe { ... }` block without a `// SAFETY:` comment |
 //! | QA105 | warning  | `allow` comment that suppressed nothing |
 //!
@@ -463,8 +463,8 @@ const STORAGE_JSON_ALLOWED: &[&str] = &[
     "crates/storage/src/error.rs",
 ];
 
-/// Idents whose presence in recovery/replay code makes replay
-/// nondeterministic.
+/// Idents whose presence in recovery/replay/replication code makes
+/// replay (or a promotion decision) nondeterministic.
 const NONDETERMINISM: &[&str] = &["SystemTime", "thread_rng", "random", "from_entropy"];
 
 /// Per-crate forbidden constructs. Scans file-scope code (struct fields
@@ -472,10 +472,12 @@ const NONDETERMINISM: &[&str] = &["SystemTime", "thread_rng", "random", "from_en
 fn qa103_forbidden(file: &SourceFile, out: &mut Vec<Finding>) {
     let scan = |i: usize| !file.in_test_region(i);
 
-    if file.crate_name == "serve" {
+    if file.crate_name == "serve" || file.crate_name == "cluster" {
         // `Mutex<...Quarry...>`: one facade mutex serializing the serving
         // path is the PR-6 regression this rule locks out (previously the
-        // `! grep -rn 'Mutex<Quarry>'` CI step).
+        // `! grep -rn 'Mutex<Quarry>'` CI step). The cluster crate sits on
+        // the same request path — the router and shard nodes must never
+        // reintroduce the facade mutex either.
         for i in 0..file.code.len() {
             if !scan(i) {
                 continue;
@@ -541,8 +543,17 @@ fn qa103_forbidden(file: &SourceFile, out: &mut Vec<Finding>) {
         }
     }
 
-    let replay_code = file.crate_name == "storage"
-        && (file.path.contains("recovery") || file.path.ends_with("/wal.rs"));
+    // Replication replay and promotion decisions are held to the same
+    // standard as recovery: a replica's state must be a pure function of
+    // the shipped bytes, and promotion must not consult clocks or
+    // randomness (wall time on two nodes is not an ordering).
+    let replay_code = (file.crate_name == "storage"
+        && (file.path.contains("recovery")
+            || file.path.contains("replication")
+            || file.path.ends_with("/wal.rs")))
+        || (file.crate_name == "serve" && file.path.contains("replication"))
+        || (file.crate_name == "cluster"
+            && (file.path.ends_with("/router.rs") || file.path.ends_with("/node.rs")));
     if replay_code {
         for i in 0..file.code.len() {
             if !scan(i) {
@@ -716,6 +727,30 @@ mod tests {
         let q103: Vec<&Finding> = fs.iter().filter(|f| f.code == codes::FORBIDDEN).collect();
         assert_eq!(q103.len(), 1, "{q103:#?}");
         assert_eq!(q103[0].path, "crates/serve/src/state.rs");
+    }
+
+    #[test]
+    fn qa103_mutex_quarry_also_covers_the_cluster_request_path() {
+        let fs = run(&[("crates/cluster/src/router.rs", "struct R { q: Mutex<Quarry> }")]);
+        let q103: Vec<&Finding> = fs.iter().filter(|f| f.code == codes::FORBIDDEN).collect();
+        assert_eq!(q103.len(), 1, "{q103:#?}");
+    }
+
+    #[test]
+    fn qa103_nondeterminism_in_replication_and_promotion_code() {
+        // Promotion decisions and replay must not consult clocks or
+        // randomness; Instant-based backoff lives outside these checks
+        // because `Instant` is not on the NONDETERMINISM list.
+        let fs = run(&[
+            ("crates/serve/src/replication.rs", "fn pick() { let t = SystemTime::now(); }"),
+            ("crates/cluster/src/node.rs", "fn promote() { let r = rand::random(); }"),
+            ("crates/cluster/src/ring.rs", "fn ok() { let t = SystemTime::now(); }"),
+        ]);
+        let q103: Vec<&Finding> = fs.iter().filter(|f| f.code == codes::FORBIDDEN).collect();
+        // serve/replication: 1; cluster/node: 2 (the `rand::` path and
+        // `random`); ring.rs is not a decision path, so 0.
+        assert_eq!(q103.len(), 3, "{q103:#?}");
+        assert!(q103.iter().all(|f| !f.path.contains("ring")));
     }
 
     #[test]

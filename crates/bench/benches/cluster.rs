@@ -2,7 +2,7 @@
 //! the cost of failure-driven re-execution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use quarry_cluster::{run, FaultPlan, JobConfig};
+use quarry_cluster::mapreduce::{run, FaultPlan, JobConfig};
 use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_extract::pipeline::ExtractorSet;
 

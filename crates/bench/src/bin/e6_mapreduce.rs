@@ -9,7 +9,7 @@
 //! and injected worker-failure rates, checking exactness throughout.
 
 use quarry_bench::{banner, f1, timed, Table};
-use quarry_cluster::{run, FaultPlan, JobConfig};
+use quarry_cluster::mapreduce::{run, FaultPlan, JobConfig};
 use quarry_corpus::{Corpus, CorpusConfig};
 use quarry_extract::{pipeline::ExtractorSet, Extraction};
 

@@ -1,0 +1,241 @@
+//! PR10 — sharded serving with mid-run failover: a 3-shard × 1-replica
+//! loopback cluster behind the shard router, driven by a read-mix
+//! workload that survives killing a primary.
+//!
+//! Seeds a keyed table through the router (rows partitioned over the
+//! consistent-hash ring), lets every replica catch up over the
+//! WAL-shipping transport, then measures three phases client-side:
+//!
+//! 1. **healthy** — point reads, fan-out sorted scans, and distributed
+//!    aggregates against the full cluster;
+//! 2. **failover** — one shard's primary is killed mid-run; requests
+//!    needing it fail `Unavailable` until its replica is promoted and
+//!    the router retargeted (the wall time of that gap is reported);
+//! 3. **recovered** — the same read mix against the failed-over
+//!    topology, with a correctness gate: the post-failover table count
+//!    and a full sorted scan must equal the pre-failure answers exactly.
+//!
+//! Writes `BENCH_pr10.json`. `--check` runs a small-size variant for CI
+//! smoke testing; both modes assert zero lost rows across the failover.
+
+use quarry_bench::{banner, f3, Table};
+use quarry_cluster::{Cluster, ClusterConfig};
+use quarry_query::engine::{AggFn, Predicate, Query};
+use quarry_serve::{Client, ClientError, ErrorKind};
+use quarry_storage::{Column, DataType, TableSchema, Value};
+use std::time::{Duration, Instant};
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "readings",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("station", DataType::Text),
+            Column::new("value", DataType::Int),
+        ],
+        &["id"],
+        &[],
+    )
+    // quarry-audit: allow(QA101, reason = "static schema literal; a bench aborts on malformed fixtures")
+    .unwrap()
+}
+
+fn row(i: i64) -> Vec<Value> {
+    let station = format!("station-{}", i % 7);
+    vec![Value::Int(i), station.into(), Value::Int(100 + (i * 13) % 1000)]
+}
+
+/// `q`-th percentile (nearest-rank on the sorted sample), in µs.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct Phase {
+    name: &'static str,
+    ok: usize,
+    wall_ms: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// One pass of the read mix: point reads by key, a sorted top-k fan-out,
+/// and a grouped distributed aggregate, cycling deterministically.
+fn read_mix(c: &mut Client, rows: i64, reads: usize, name: &'static str) -> Phase {
+    let mut lat = Vec::with_capacity(reads);
+    let start = Instant::now();
+    for i in 0..reads {
+        let t0 = Instant::now();
+        match i % 4 {
+            0 | 1 => {
+                let id = (i as i64 * 37) % rows;
+                let q = Query::scan("readings")
+                    .filter(vec![Predicate::Eq("id".into(), Value::Int(id))]);
+                let (_, got) = c.query(&q).unwrap();
+                assert_eq!(got.len(), 1, "point read lost row {id}");
+            }
+            2 => {
+                let q = Query::scan("readings").sort("value", true, Some(10));
+                let (_, got) = c.query(&q).unwrap();
+                assert_eq!(got.len(), 10);
+            }
+            _ => {
+                let q = Query::scan("readings").aggregate(Some("station"), AggFn::Count, "id");
+                let (_, got) = c.query(&q).unwrap();
+                assert_eq!(got.len(), 7, "grouped aggregate lost a group");
+            }
+        }
+        lat.push(t0.elapsed().as_micros() as u64);
+    }
+    let wall = start.elapsed();
+    lat.sort_unstable();
+    Phase {
+        name,
+        ok: lat.len(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: lat.len() as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    shards: usize,
+    rows: i64,
+    phases: &[Phase],
+    unavailable_seen: usize,
+    failover_ms: f64,
+) {
+    let items: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"phase\": \"{}\", \"ok\": {}, \"wall_ms\": {:.2}, \
+                 \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                p.name, p.ok, p.wall_ms, p.rps, p.p50_us, p.p95_us, p.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"pr10_cluster\",\n  \"mode\": \"{mode}\",\n  \
+         \"shards\": {shards},\n  \"replicas_per_shard\": 1,\n  \"rows\": {rows},\n  \
+         \"phases\": [\n{}\n  ],\n  \"failover\": {{\"unavailable_seen\": {unavailable_seen}, \
+         \"kill_to_recovery_ms\": {failover_ms:.2}}}\n}}\n",
+        items.join(",\n"),
+    );
+    std::fs::write(path, json).unwrap();
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    banner(
+        "PR10",
+        "a sharded cluster behind the router serves a read mix across shards, \
+         loses a primary mid-run, and resumes exact service after replica \
+         promotion — zero rows lost across the failover",
+    );
+
+    let (rows, reads): (i64, usize) = if check { (210, 120) } else { (3000, 1500) };
+    const SHARDS: usize = 3;
+
+    let dir = std::env::temp_dir().join(format!("quarry-pr10-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cluster = Cluster::start(
+        &dir,
+        ClusterConfig { shards: SHARDS, replicas_per_shard: 1, ..Default::default() },
+    )
+    .unwrap();
+    let mut c = cluster.client().unwrap();
+
+    // Seed through the router: the ring partitions each batch.
+    c.create_table(schema()).unwrap();
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(500) {
+        c.insert_rows("readings", chunk.iter().map(|&i| row(i)).collect()).unwrap();
+    }
+    for s in 0..SHARDS {
+        assert!(
+            cluster.await_replicas_caught_up(s, Duration::from_secs(30)),
+            "shard {s} replicas never caught up"
+        );
+    }
+    println!("seeded {rows} rows over {SHARDS} shards (1 replica each)\n");
+
+    // Reference answers that must survive the failover bit-for-bit.
+    let count_q = Query::scan("readings").aggregate(None, AggFn::Count, "id");
+    let scan_q = Query::scan("readings").sort("id", false, None);
+    let count_before = c.query(&count_q).unwrap();
+    let scan_before = c.query(&scan_q).unwrap();
+
+    let healthy = read_mix(&mut c, rows, reads, "healthy");
+
+    // Kill shard 1's primary mid-run: reads owned by it become
+    // Unavailable until promotion; count how many we observe.
+    let killed_at = Instant::now();
+    cluster.kill_primary(1);
+    let mut unavailable_seen = 0usize;
+    for i in 0..50 {
+        let id = (i * 37) % rows;
+        let q = Query::scan("readings").filter(vec![Predicate::Eq("id".into(), Value::Int(id))]);
+        match c.query(&q) {
+            Ok((_, got)) => assert_eq!(got.len(), 1),
+            Err(ClientError::Server { kind: ErrorKind::Unavailable, .. }) => {
+                unavailable_seen += 1;
+            }
+            Err(e) => panic!("unexpected failure with a dead shard: {e}"),
+        }
+    }
+    assert!(unavailable_seen > 0, "no request ever routed to the dead shard");
+    cluster.promote(1, 0).unwrap();
+    // First end-to-end success after promotion closes the outage window.
+    let (_, got) = c.query(&scan_q).unwrap();
+    let failover_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(got.len(), rows as usize);
+
+    // Correctness gate: the failed-over cluster answers exactly as the
+    // healthy one did.
+    assert_eq!(c.query(&count_q).unwrap(), count_before, "row count changed across failover");
+    assert_eq!(c.query(&scan_q).unwrap(), scan_before, "table contents changed across failover");
+
+    let recovered = read_mix(&mut c, rows, reads, "recovered");
+
+    let phases = [healthy, recovered];
+    let mut t = Table::new(&["phase", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)"]);
+    for p in &phases {
+        t.row(&[
+            p.name.to_string(),
+            format!("{:.0}", p.rps),
+            f3(p.p50_us as f64 / 1e3),
+            f3(p.p95_us as f64 / 1e3),
+            f3(p.p99_us as f64 / 1e3),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nfailover: {unavailable_seen} Unavailable while down, \
+         {failover_ms:.1} ms kill-to-recovery (incl. probe traffic)"
+    );
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    write_json(
+        "BENCH_pr10.json",
+        if check { "check" } else { "full" },
+        SHARDS,
+        rows,
+        &phases,
+        unavailable_seen,
+        failover_ms,
+    );
+}

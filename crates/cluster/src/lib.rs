@@ -1,20 +1,36 @@
-//! The physical layer: Map-Reduce-like parallel processing.
+//! The physical layer: scale-out serving and parallel processing.
 //!
-//! "Given that IE and II are often very computation intensive ... we need
-//! parallel processing in the physical layer. A popular way to achieve this
-//! is to use a computer cluster running Map-Reduce-like processes." The
-//! cluster is simulated with OS threads on one machine (DESIGN.md §2): the
-//! same scheduling, shuffle, and fault-recovery code paths at laptop scale.
+//! The source paper's physical layer has two jobs. For *computation* —
+//! "given that IE and II are often very computation intensive ... we
+//! need parallel processing in the physical layer" — the answer is "a
+//! computer cluster running Map-Reduce-like processes", kept here as
+//! [`mapreduce`]. For *serving*, the extracted structured store must be
+//! a shared service: many users querying concurrently, surviving the
+//! loss of a machine. This crate's top level is that serving cluster,
+//! simulated with OS threads and loopback TCP on one machine (the same
+//! laptop-scale discipline as the MapReduce engine):
 //!
-//! - [`engine`] — the job runner: map tasks over a worker pool, hash
-//!   shuffle, parallel reduce, deterministic output;
-//! - [`fault`] — failure injection: tasks that die on scheduled attempts,
-//!   re-executed by the engine until they succeed.
+//! - [`ring`] — a consistent-hash ring placing every primary key on
+//!   exactly one shard, stable across router instances;
+//! - [`router`] — a wire-protocol front door fanning requests out over
+//!   the shards and merging replies deterministically;
+//! - [`node`] — process supervision: shard primaries with WAL-shipping
+//!   replication listeners, read-only replicas applying the stream,
+//!   kill/promote/retarget failover choreography;
+//! - [`mapreduce`] — the original in-process MapReduce engine (map over
+//!   a worker pool, hash shuffle, parallel reduce, fault re-execution).
+//!
+//! The replication transport itself lives in `quarry_serve::replication`
+//! (it is part of the serving wire surface); this crate composes it into
+//! whole clusters. See `docs/replication.md` and `docs/serving.md`.
 
 #![forbid(unsafe_code)]
 
-pub mod engine;
-pub mod fault;
+pub mod mapreduce;
+pub mod node;
+pub mod ring;
+pub mod router;
 
-pub use engine::{run, JobConfig, JobStats};
-pub use fault::FaultPlan;
+pub use node::{Cluster, ClusterConfig, Primary, Replica, Shard};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig};

@@ -7,7 +7,7 @@
 //! of worker count or scheduling. A map attempt killed by the fault plan is
 //! simply re-queued — the re-execution strategy of the original MapReduce.
 
-use crate::fault::FaultPlan;
+use super::fault::FaultPlan;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};

@@ -1,0 +1,21 @@
+//! The original in-process MapReduce engine, kept as a submodule.
+//!
+//! "Given that IE and II are often very computation intensive ... we need
+//! parallel processing in the physical layer. A popular way to achieve
+//! this is to use a computer cluster running Map-Reduce-like processes."
+//! This engine simulates that cluster with OS threads on one machine
+//! (DESIGN.md §2): the same scheduling, shuffle, and fault-recovery code
+//! paths at laptop scale. The E6 bench and its differential tests drive
+//! it; the *serving* side of the cluster story lives in the crate root
+//! (shard router + WAL-shipping replication).
+//!
+//! - [`engine`] — the job runner: map tasks over a worker pool, hash
+//!   shuffle, parallel reduce, deterministic output;
+//! - [`fault`] — failure injection: tasks that die on scheduled attempts,
+//!   re-executed by the engine until they succeed.
+
+pub mod engine;
+pub mod fault;
+
+pub use engine::{run, JobConfig, JobStats};
+pub use fault::FaultPlan;

@@ -1,0 +1,767 @@
+//! The shard router: one wire-protocol front door over N shards.
+//!
+//! Clients speak the ordinary `quarry-serve` protocol to the router;
+//! the router speaks the same protocol to every shard. Placement and
+//! merging are deterministic:
+//!
+//! - **Point writes** (`InsertRows`, `DeleteRows`) are partitioned by
+//!   primary key over the consistent-hash [`HashRing`] and forwarded to
+//!   each owning shard as one transaction per shard. A batch spanning
+//!   shards is atomic *per shard*, not across them — the router reports
+//!   the first failure and does not roll back other shards.
+//! - **DDL** (`CreateTable`, `CreateIndex`) and `Checkpoint` broadcast
+//!   to every shard in shard order; the schema is also recorded in the
+//!   router's catalog, which is how rows find their key columns.
+//! - **Queries** fan out to every shard sequentially in shard order and
+//!   merge deterministically: top-level `Sort` does a stable k-way merge
+//!   (ties broken by shard index), top-level `Aggregate` combines
+//!   partial aggregates by group key (`COUNT`/`SUM` add, `MIN`/`MAX`
+//!   compare; `AVG` is rejected as non-distributable), anything else
+//!   concatenates rows in shard order. Queries whose shape cannot be
+//!   merged correctly from per-shard partials — joins, nested
+//!   aggregates, inner `LIMIT` — are rejected up front rather than
+//!   answered wrong.
+//! - **KeywordSearch** fans out and keeps the global top-k by `(score
+//!   desc, doc asc)`; candidate queries are deduplicated by fingerprint
+//!   keeping the best score. Scores use shard-local statistics (see
+//!   `docs/serving.md`).
+//! - **Stats** merges every shard's metrics under a `shardN.` prefix,
+//!   including each shard's reported LSN as `shardN.lsn` — the
+//!   per-shard snapshot vector a client needs for a well-defined view.
+//!
+//! Every merged [`Response`] carries the **maximum** shard LSN it
+//! reflects; point responses carry the owning shard's LSN unchanged.
+//!
+//! On a dead shard the router reconnects through the current topology
+//! entry, so [`Router::retarget`] (called on replica promotion) redirects
+//! that shard's traffic without touching in-flight sessions on other
+//! shards.
+
+use crate::ring::HashRing;
+use quarry_exec::MetricsSnapshot;
+use quarry_query::engine::{AggFn, Predicate, Query};
+use quarry_serve::client::ClientConfig;
+use quarry_serve::protocol::{
+    read_frame, write_response, ErrorKind, FrameError, Payload, Request, Response, WireCandidate,
+    WireHit, DEFAULT_MAX_FRAME,
+};
+use quarry_serve::{Client, ClientError};
+use quarry_storage::{TableSchema, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// See the poison-recovery precedent in `quarry-serve`.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-frame payload cap on client sessions.
+    pub max_frame: usize,
+    /// Session read timeout (shutdown-poll wakeup, like the server's).
+    pub read_timeout: Duration,
+    /// Retry policy for the router→shard legs.
+    pub shard_client: ClientConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(25),
+            shard_client: ClientConfig {
+                read_timeout: Duration::from_secs(30),
+                reconnect_attempts: 1,
+                backoff: Duration::from_millis(2),
+            },
+        }
+    }
+}
+
+struct RouterShared {
+    ring: HashRing,
+    /// Shard index → address currently serving that shard. Rewritten by
+    /// [`Router::retarget`] on promotion.
+    topology: Mutex<Vec<SocketAddr>>,
+    /// One lazily-(re)connected client per shard. Locked per leg, never
+    /// two at once; fan-out walks shards in index order.
+    conn: Vec<Mutex<Option<Client>>>,
+    /// Table name → schema, recorded at `CreateTable`; the source of
+    /// key-column positions for partitioning. Leaf lock.
+    catalog: Mutex<HashMap<String, TableSchema>>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    cfg: RouterConfig,
+}
+
+/// A running shard router. Dropping shuts it down; shards are never
+/// shut down by the router (its `Shutdown` frame drains the router
+/// itself only).
+pub struct Router {
+    shared: Arc<RouterShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Bind `addr` and route over `shards` (index order = shard id).
+    pub fn start(
+        shards: Vec<SocketAddr>,
+        addr: impl ToSocketAddrs,
+        cfg: RouterConfig,
+    ) -> io::Result<Router> {
+        if shards.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "router needs >= 1 shard"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            ring: HashRing::new(shards.len()),
+            conn: shards.iter().map(|_| Mutex::new(None)).collect(),
+            topology: Mutex::new(shards),
+            catalog: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            addr: local,
+            cfg,
+        });
+        let sessions = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_sessions = Arc::clone(&sessions);
+        let accept =
+            std::thread::Builder::new().name("quarry-router-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = Arc::clone(&accept_shared);
+                    let handle = std::thread::Builder::new()
+                        .name("quarry-router-session".into())
+                        .spawn(move || session(&shared, stream));
+                    if let Ok(handle) = handle {
+                        lock(&accept_sessions).push(handle);
+                    }
+                }
+            })?;
+
+        Ok(Router { shared, accept: Some(accept), sessions })
+    }
+
+    /// The router's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Redirect a shard's traffic to `addr` (a promoted replica). The
+    /// stale connection is dropped so the next leg reconnects there.
+    pub fn retarget(&self, shard: usize, addr: SocketAddr) {
+        {
+            let mut topology = lock(&self.shared.topology);
+            if let Some(slot) = topology.get_mut(shard) {
+                *slot = addr;
+            }
+        }
+        if let Some(conn) = self.shared.conn.get(shard) {
+            *lock(conn) = None;
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shared.conn.len()
+    }
+
+    /// Drain sessions and stop. Shards stay up.
+    pub fn shutdown(&mut self) {
+        if !self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.shared.addr);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = lock(&self.sessions).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One client session against the router: the same frame loop a shard
+/// server runs, with routing instead of local execution.
+fn session(shared: &RouterShared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame(&mut stream, shared.cfg.max_frame) {
+            Ok((id, payload)) => {
+                let resp = handle(shared, id, &payload);
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(FrameError::Closed) => return,
+            Err(e) => {
+                let resp = Response {
+                    id: 0,
+                    server_micros: 0,
+                    lsn: 0,
+                    payload: Payload::Error { kind: ErrorKind::Protocol, message: e.to_string() },
+                };
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+        }
+    }
+}
+
+fn handle(shared: &RouterShared, id: u64, payload: &[u8]) -> Response {
+    let req: Request = match serde_json::from_slice(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response {
+                id,
+                server_micros: 0,
+                lsn: 0,
+                payload: Payload::Error {
+                    kind: ErrorKind::Protocol,
+                    message: format!("undecodable request: {e}"),
+                },
+            };
+        }
+    };
+    if req == Request::Shutdown {
+        // Shuts the *router* down; shards are independent processes with
+        // their own lifecycles.
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(shared.addr);
+        return Response { id, server_micros: 0, lsn: 0, payload: Payload::Done };
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response { id, server_micros: 0, lsn: 0, payload: Payload::ShuttingDown };
+    }
+    let start = std::time::Instant::now();
+    let (payload, lsn) = route(shared, &req);
+    Response { id, server_micros: start.elapsed().as_micros() as u64, lsn, payload }
+}
+
+fn error(kind: ErrorKind, message: impl Into<String>) -> Payload {
+    Payload::Error { kind, message: message.into() }
+}
+
+/// Map a shard-leg failure onto the client-visible payload.
+fn leg_error(shard: usize, e: ClientError) -> Payload {
+    match e {
+        ClientError::Server { kind, message } => Payload::Error { kind, message },
+        ClientError::Overloaded => Payload::Overloaded,
+        ClientError::ShuttingDown => Payload::ShuttingDown,
+        other => error(ErrorKind::Unavailable, format!("shard {shard}: {other}")),
+    }
+}
+
+/// Run one request against one shard through its pooled connection,
+/// reconnecting through the *current* topology entry on a dead leg (so
+/// a retarget takes effect on the first retry).
+fn with_shard(shared: &RouterShared, shard: usize, req: &Request) -> Result<Response, ClientError> {
+    let addr_of = || -> SocketAddr { lock(&shared.topology)[shard] };
+    let mut conn = lock(&shared.conn[shard]);
+    for attempt in 0..2 {
+        if conn.is_none() {
+            *conn = Some(Client::connect_with_config(addr_of(), shared.cfg.shard_client)?);
+        }
+        let Some(client) = conn.as_mut() else { break };
+        match client.request(req) {
+            Ok(resp) => return Ok(resp),
+            Err(e @ (ClientError::Io(_) | ClientError::Frame(_))) => {
+                // Dead leg: drop the connection; the retry dials the
+                // topology entry as it is *now*.
+                *conn = None;
+                if attempt == 1 {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ClientError::Io(io::Error::new(io::ErrorKind::NotConnected, "shard unreachable")))
+}
+
+/// Fan a request out to every shard sequentially in shard order.
+fn fan_out(shared: &RouterShared, req: &Request) -> Result<Vec<Response>, (usize, ClientError)> {
+    let mut legs = Vec::with_capacity(shared.conn.len());
+    for shard in 0..shared.conn.len() {
+        legs.push(with_shard(shared, shard, req).map_err(|e| (shard, e))?);
+    }
+    Ok(legs)
+}
+
+fn route(shared: &RouterShared, req: &Request) -> (Payload, u64) {
+    match req {
+        Request::Ping => (Payload::Pong, 0),
+        Request::Qdl(_) => (
+            error(
+                ErrorKind::Query,
+                "QDL pipelines are node-local; run them against a shard directly",
+            ),
+            0,
+        ),
+        Request::CreateTable(schema) => {
+            let (payload, lsn) = broadcast_done(shared, req);
+            if matches!(payload, Payload::Done) {
+                lock(&shared.catalog).insert(schema.name.clone(), schema.clone());
+            }
+            (payload, lsn)
+        }
+        Request::CreateIndex { .. } | Request::Checkpoint => broadcast_done(shared, req),
+        Request::InsertRows { table, rows } => route_write(shared, table, rows, |table, part| {
+            Request::InsertRows { table, rows: part }
+        }),
+        Request::DeleteRows { table, keys } => {
+            // Keys are already in key order; hash them directly.
+            let parts = match partition_keys(shared, keys) {
+                Ok(parts) => parts,
+                Err(p) => return (p, 0),
+            };
+            send_partitions(shared, table, parts, |table, part| Request::DeleteRows {
+                table,
+                keys: part,
+            })
+        }
+        Request::Query(q) => route_query(shared, q),
+        Request::KeywordSearch { k, .. } => route_keyword(shared, req, *k),
+        Request::Explain(_) => route_explain(shared, req),
+        Request::Stats => route_stats(shared),
+        Request::Shutdown => (Payload::Done, 0),
+    }
+}
+
+/// Broadcast a DDL/Checkpoint request; every shard must answer `Done`.
+fn broadcast_done(shared: &RouterShared, req: &Request) -> (Payload, u64) {
+    match fan_out(shared, req) {
+        Ok(legs) => {
+            let lsn = legs.iter().map(|r| r.lsn).max().unwrap_or(0);
+            for leg in legs {
+                if !matches!(leg.payload, Payload::Done) {
+                    return (leg.payload, lsn);
+                }
+            }
+            (Payload::Done, lsn)
+        }
+        Err((shard, e)) => (leg_error(shard, e), 0),
+    }
+}
+
+/// Partition full rows by the table's primary key via the catalog.
+fn partition_rows(
+    shared: &RouterShared,
+    table: &str,
+    rows: &[Vec<Value>],
+) -> Result<Vec<Vec<Vec<Value>>>, Payload> {
+    let key_cols = {
+        let catalog = lock(&shared.catalog);
+        let Some(schema) = catalog.get(table) else {
+            return Err(error(
+                ErrorKind::Query,
+                format!("unknown table {table}: create it through the router first"),
+            ));
+        };
+        schema.key.clone()
+    };
+    let mut parts: Vec<Vec<Vec<Value>>> = vec![Vec::new(); shared.conn.len()];
+    for row in rows {
+        let mut key = Vec::with_capacity(key_cols.len());
+        for &i in &key_cols {
+            let Some(v) = row.get(i) else {
+                return Err(error(
+                    ErrorKind::Query,
+                    format!("row with {} values is short of key column {i}", row.len()),
+                ));
+            };
+            key.push(v.clone());
+        }
+        parts[shared.ring.shard_for_key(&key)].push(row.clone());
+    }
+    Ok(parts)
+}
+
+fn partition_keys(
+    shared: &RouterShared,
+    keys: &[Vec<Value>],
+) -> Result<Vec<Vec<Vec<Value>>>, Payload> {
+    let mut parts: Vec<Vec<Vec<Value>>> = vec![Vec::new(); shared.conn.len()];
+    for key in keys {
+        parts[shared.ring.shard_for_key(key)].push(key.clone());
+    }
+    Ok(parts)
+}
+
+fn route_write(
+    shared: &RouterShared,
+    table: &str,
+    rows: &[Vec<Value>],
+    make: impl Fn(String, Vec<Vec<Value>>) -> Request,
+) -> (Payload, u64) {
+    let parts = match partition_rows(shared, table, rows) {
+        Ok(parts) => parts,
+        Err(p) => return (p, 0),
+    };
+    send_partitions(shared, table, parts, make)
+}
+
+/// Send each non-empty partition to its shard in shard order; the reply
+/// carries the max LSN of the shards actually written.
+fn send_partitions(
+    shared: &RouterShared,
+    table: &str,
+    parts: Vec<Vec<Vec<Value>>>,
+    make: impl Fn(String, Vec<Vec<Value>>) -> Request,
+) -> (Payload, u64) {
+    let mut lsn = 0;
+    for (shard, part) in parts.into_iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        match with_shard(shared, shard, &make(table.to_string(), part)) {
+            Ok(resp) => {
+                lsn = lsn.max(resp.lsn);
+                if !matches!(resp.payload, Payload::Done) {
+                    return (resp.payload, lsn);
+                }
+            }
+            Err(e) => return (leg_error(shard, e), lsn),
+        }
+    }
+    (Payload::Done, lsn)
+}
+
+/// Reject query shapes whose per-shard partials cannot merge into the
+/// single-node answer.
+fn check_distributable(q: &Query) -> Result<(), String> {
+    fn walk(q: &Query, top: bool) -> Result<(), String> {
+        match q {
+            Query::Scan { .. } => Ok(()),
+            Query::Filter { input, .. } | Query::Project { input, .. } => walk(input, false),
+            Query::Join { .. } => {
+                Err("cross-shard joins are not supported through the router".into())
+            }
+            Query::Aggregate { input, agg, .. } => {
+                if !top {
+                    return Err("aggregates below the top of a query are not distributable".into());
+                }
+                if *agg == AggFn::Avg {
+                    return Err("AVG is not distributable across shards; use SUM and COUNT".into());
+                }
+                walk(input, false)
+            }
+            Query::Sort { input, limit, .. } => {
+                if !top && limit.is_some() {
+                    return Err("an inner LIMIT is not distributable across shards".into());
+                }
+                walk(input, false)
+            }
+        }
+    }
+    walk(q, true)
+}
+
+/// Point-query detection: a filter over one table's scan whose
+/// predicates pin every primary-key column with `=` lives entirely on
+/// the key's owning shard — no fan-out needed, and a dead shard
+/// elsewhere in the ring cannot fail it.
+fn point_shard(shared: &RouterShared, q: &Query) -> Option<usize> {
+    let Query::Filter { input, predicates } = q else { return None };
+    let Query::Scan { table } = input.as_ref() else { return None };
+    let catalog = lock(&shared.catalog);
+    let schema = catalog.get(table)?;
+    let mut key = Vec::with_capacity(schema.key.len());
+    for &i in &schema.key {
+        let col = &schema.columns.get(i)?.name;
+        let v = predicates.iter().find_map(|p| match p {
+            Predicate::Eq(c, v) if c == col => Some(v.clone()),
+            _ => None,
+        })?;
+        key.push(v);
+    }
+    Some(shared.ring.shard_for_key(&key))
+}
+
+fn route_query(shared: &RouterShared, q: &Query) -> (Payload, u64) {
+    if let Err(why) = check_distributable(q) {
+        return (error(ErrorKind::Query, why), 0);
+    }
+    if let Some(shard) = point_shard(shared, q) {
+        return match with_shard(shared, shard, &Request::Query(q.clone())) {
+            Ok(resp) => (resp.payload, resp.lsn),
+            Err(e) => (leg_error(shard, e), 0),
+        };
+    }
+    let legs = match fan_out(shared, &Request::Query(q.clone())) {
+        Ok(legs) => legs,
+        Err((shard, e)) => return (leg_error(shard, e), 0),
+    };
+    let lsn = legs.iter().map(|r| r.lsn).max().unwrap_or(0);
+    let mut results = Vec::with_capacity(legs.len());
+    for leg in legs {
+        match leg.payload {
+            Payload::Rows { columns, rows } => results.push((columns, rows)),
+            other => return (other, lsn), // first non-row leg wins (shard order)
+        }
+    }
+    match merge_results(q, results) {
+        Ok((columns, rows)) => (Payload::Rows { columns, rows }, lsn),
+        Err(why) => (error(ErrorKind::Query, why), lsn),
+    }
+}
+
+type Cols = Vec<String>;
+type Rows = Vec<Vec<Value>>;
+
+fn merge_results(q: &Query, mut legs: Vec<(Cols, Rows)>) -> Result<(Cols, Rows), String> {
+    let columns = legs.first().map(|(c, _)| c.clone()).unwrap_or_default();
+    if legs.iter().any(|(c, _)| *c != columns) {
+        return Err("shards disagree on result columns".into());
+    }
+    match q {
+        Query::Aggregate { group_by, agg, .. } => {
+            merge_aggregate(*agg, group_by.is_some(), columns, legs)
+        }
+        Query::Sort { by, desc, limit, .. } => {
+            let rows = merge_sorted(&columns, legs, by, *desc, *limit)?;
+            Ok((columns, rows))
+        }
+        _ => {
+            // Plain row sets concatenate in shard order: deterministic
+            // for a fixed topology (documented in docs/serving.md).
+            let mut rows = Vec::new();
+            for (_, mut leg) in legs.drain(..) {
+                rows.append(&mut leg);
+            }
+            Ok((columns, rows))
+        }
+    }
+}
+
+/// Combine per-shard partial aggregates. `COUNT` and `SUM` add,
+/// `MIN`/`MAX` compare; `NULL` partials (empty shard groups) are the
+/// identity. Group keys merge through a `BTreeMap`, reproducing the
+/// planner's deterministic group order.
+fn merge_aggregate(
+    agg: AggFn,
+    grouped: bool,
+    columns: Cols,
+    legs: Vec<(Cols, Rows)>,
+) -> Result<(Cols, Rows), String> {
+    let combine = |acc: Value, next: &Value| -> Result<Value, String> {
+        if next.is_null() {
+            return Ok(acc);
+        }
+        if acc.is_null() {
+            return Ok(next.clone());
+        }
+        match agg {
+            AggFn::Count | AggFn::Sum => match (&acc, next) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+                (a, b) => match (a.as_f64(), b.as_f64()) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a + b)),
+                    _ => Err(format!("non-numeric partial aggregate: {a} + {b}")),
+                },
+            },
+            AggFn::Min => Ok(if *next < acc { next.clone() } else { acc }),
+            AggFn::Max => Ok(if *next > acc { next.clone() } else { acc }),
+            AggFn::Avg => Err("AVG is not distributable across shards".into()),
+        }
+    };
+
+    if grouped {
+        let mut groups: BTreeMap<Value, Value> = BTreeMap::new();
+        for (_, rows) in &legs {
+            for row in rows {
+                let [key, val] = row.as_slice() else {
+                    return Err("grouped aggregate row is not [key, value]".into());
+                };
+                match groups.remove(key) {
+                    Some(acc) => {
+                        groups.insert(key.clone(), combine(acc, val)?);
+                    }
+                    None => {
+                        groups.insert(key.clone(), val.clone());
+                    }
+                }
+            }
+        }
+        let rows = groups.into_iter().map(|(k, v)| vec![k, v]).collect();
+        Ok((columns, rows))
+    } else {
+        // One row per shard; COUNT of an empty shard is Int(0), other
+        // empty partials are NULL — both fold away as identities.
+        let mut acc = if agg == AggFn::Count { Value::Int(0) } else { Value::Null };
+        for (_, rows) in &legs {
+            for row in rows {
+                let [val] = row.as_slice() else {
+                    return Err("global aggregate row is not a single value".into());
+                };
+                acc = combine(acc, val)?;
+            }
+        }
+        Ok((columns, vec![vec![acc]]))
+    }
+}
+
+/// Stable k-way merge of per-shard sorted runs; ties keep shard order,
+/// mirroring the planner's stable sort over a shard-ordered concat.
+fn merge_sorted(
+    columns: &[String],
+    legs: Vec<(Cols, Rows)>,
+    by: &str,
+    desc: bool,
+    limit: Option<usize>,
+) -> Result<Rows, String> {
+    let col = columns
+        .iter()
+        .position(|c| c == by)
+        .ok_or_else(|| format!("sort column {by} missing from result"))?;
+    let mut runs: Vec<std::vec::IntoIter<Vec<Value>>> =
+        legs.into_iter().map(|(_, rows)| rows.into_iter()).collect();
+    let mut heads: Vec<Option<Vec<Value>>> = runs.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(row) = head else { continue };
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let ord = row[col]
+                        .cmp(&heads[b].as_ref().map(|r| r[col].clone()).unwrap_or(Value::Null));
+                    if desc {
+                        ord == std::cmp::Ordering::Greater
+                    } else {
+                        ord == std::cmp::Ordering::Less
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        if let Some(row) = heads[i].take() {
+            out.push(row);
+        }
+        heads[i] = runs[i].next();
+        if let Some(l) = limit {
+            if out.len() >= l {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn route_keyword(shared: &RouterShared, req: &Request, k: usize) -> (Payload, u64) {
+    let legs = match fan_out(shared, req) {
+        Ok(legs) => legs,
+        Err((shard, e)) => return (leg_error(shard, e), 0),
+    };
+    let lsn = legs.iter().map(|r| r.lsn).max().unwrap_or(0);
+    let mut hits: Vec<WireHit> = Vec::new();
+    let mut candidates: Vec<WireCandidate> = Vec::new();
+    for leg in legs {
+        match leg.payload {
+            Payload::Hits { hits: h, candidates: c } => {
+                hits.extend(h);
+                candidates.extend(c);
+            }
+            other => return (other, lsn),
+        }
+    }
+    // Global top-k by (score desc, doc asc). Scores are shard-local
+    // BM25 (per-shard idf) — deterministic, but not single-node-equal.
+    hits.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
+    });
+    hits.truncate(k);
+    // Dedup candidates by fingerprint, keeping the best score.
+    let mut best: BTreeMap<String, WireCandidate> = BTreeMap::new();
+    for c in candidates {
+        let key = c.query.fingerprint();
+        match best.get(&key) {
+            Some(prev) if prev.score >= c.score => {}
+            _ => {
+                best.insert(key, c);
+            }
+        }
+    }
+    let mut candidates: Vec<WireCandidate> = best.into_values().collect();
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.query.fingerprint().cmp(&b.query.fingerprint()))
+    });
+    candidates.truncate(k);
+    (Payload::Hits { hits, candidates }, lsn)
+}
+
+fn route_explain(shared: &RouterShared, req: &Request) -> (Payload, u64) {
+    let legs = match fan_out(shared, req) {
+        Ok(legs) => legs,
+        Err((shard, e)) => return (leg_error(shard, e), 0),
+    };
+    let lsn = legs.iter().map(|r| r.lsn).max().unwrap_or(0);
+    let mut out = String::new();
+    for (shard, leg) in legs.into_iter().enumerate() {
+        match leg.payload {
+            Payload::Plan(plan) => {
+                out.push_str(&format!("=== shard {shard} ===\n{plan}\n"));
+            }
+            other => return (other, lsn),
+        }
+    }
+    (Payload::Plan(out), lsn)
+}
+
+fn route_stats(shared: &RouterShared) -> (Payload, u64) {
+    let legs = match fan_out(shared, &Request::Stats) {
+        Ok(legs) => legs,
+        Err((shard, e)) => return (leg_error(shard, e), 0),
+    };
+    let lsn = legs.iter().map(|r| r.lsn).max().unwrap_or(0);
+    let mut merged = MetricsSnapshot::default();
+    for (shard, leg) in legs.into_iter().enumerate() {
+        match leg.payload {
+            Payload::Metrics(snap) => {
+                merged.counters.insert(format!("shard{shard}.lsn"), leg.lsn);
+                for (name, v) in snap.counters {
+                    merged.counters.insert(format!("shard{shard}.{name}"), v);
+                }
+                for (name, h) in snap.histograms {
+                    merged.histograms.insert(format!("shard{shard}.{name}"), h);
+                }
+            }
+            other => return (other, lsn),
+        }
+    }
+    (Payload::Metrics(merged), lsn)
+}

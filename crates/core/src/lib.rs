@@ -3,7 +3,7 @@
 //! [`Quarry`] wires every layer together behind one façade:
 //!
 //! - **physical layer** — extraction pipelines fan out over the
-//!   [`quarry_cluster`] MapReduce engine;
+//!   `quarry-cluster` MapReduce engine;
 //! - **storage layer** — raw pages land in a delta-encoded
 //!   [`quarry_storage::SnapshotStore`], the final structure in the
 //!   transactional [`quarry_storage::Database`];

@@ -103,6 +103,16 @@ impl ReadState {
             snap.counters.insert(format!("exec.op.{name}.invocations"), op.invocations as u64);
             snap.counters.insert(format!("exec.op.{name}.micros"), op.elapsed.as_micros() as u64);
         }
+        // Pager buffer-pool residency (present only for paged checkpoint
+        // images); surfaced so shard residency is observable remotely.
+        if let Some(pool) = self.db.image_pool_stats() {
+            snap.counters.insert("pool.hits".into(), pool.hits);
+            snap.counters.insert("pool.misses".into(), pool.misses);
+            snap.counters.insert("pool.evictions".into(), pool.evictions);
+        }
+        if let Some(pages) = self.db.image_cached_pages() {
+            snap.counters.insert("pool.cached_pages".into(), pages as u64);
+        }
         snap
     }
 }

@@ -2,12 +2,17 @@
 //!
 //! [`Client::request`] sends one frame and waits for the matching reply.
 //! If the connection died since the last exchange (server restart, idle
-//! drop), the client transparently reconnects **once** and resends —
-//! safe here because every protocol request is either read-only or
-//! idempotent (QDL pipelines re-run to the same stored rows). Rejections
-//! ([`Payload::Overloaded`], [`Payload::ShuttingDown`]) are *not*
-//! retried: they are the server's explicit back-off signal, surfaced to
-//! the caller as typed errors.
+//! drop), the client transparently reconnects and resends, governed by
+//! [`ClientConfig`]: `reconnect_attempts` bounds how many fresh
+//! connections one request may consume and `backoff` is the base delay
+//! before each (doubling per attempt). The default is a single immediate
+//! reconnect — the original hardcoded policy — which is safe because
+//! every protocol request is either read-only or idempotent (QDL
+//! pipelines re-run to the same stored rows; `InsertRows`/`DeleteRows`
+//! re-apply to the same keys). Rejections ([`Payload::Overloaded`],
+//! [`Payload::ShuttingDown`]) are **never** retried regardless of
+//! configuration: they are the server's explicit back-off signal,
+//! surfaced to the caller as typed errors.
 
 use crate::protocol::{
     read_response, write_request, ErrorKind, FrameError, Payload, Request, Response, WireCandidate,
@@ -15,7 +20,7 @@ use crate::protocol::{
 };
 use quarry_exec::MetricsSnapshot;
 use quarry_query::engine::Query;
-use quarry_storage::Value;
+use quarry_storage::{TableSchema, Value};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -66,29 +71,63 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Retry policy for a [`Client`]: how it behaves when the transport dies
+/// under a request. Server rejections are never retried whatever these
+/// values say — only dead connections are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Reply/write timeout per exchange.
+    pub read_timeout: Duration,
+    /// Fresh connections a single request may consume after its original
+    /// one dies. Zero disables reconnection entirely.
+    pub reconnect_attempts: u32,
+    /// Base delay before each reconnect attempt; doubles per attempt
+    /// (`backoff`, `2·backoff`, `4·backoff`, …). Zero reconnects
+    /// immediately.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    /// The historical policy: one immediate reconnect, 30-second replies.
+    fn default() -> ClientConfig {
+        ClientConfig {
+            read_timeout: Duration::from_secs(30),
+            reconnect_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// A blocking connection to a Quarry server.
 pub struct Client {
     addr: SocketAddr,
     stream: TcpStream,
     next_id: u64,
-    read_timeout: Duration,
+    cfg: ClientConfig,
     max_frame: usize,
 }
 
 impl Client {
-    /// Connect with a 30-second reply timeout.
+    /// Connect with the default policy (30-second reply timeout, one
+    /// immediate reconnect).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        Client::connect_with(addr, Duration::from_secs(30))
+        Client::connect_with_config(addr, ClientConfig::default())
     }
 
-    /// Connect with an explicit reply timeout.
+    /// Connect with an explicit reply timeout and the default reconnect
+    /// policy.
     pub fn connect_with(addr: impl ToSocketAddrs, read_timeout: Duration) -> io::Result<Client> {
+        Client::connect_with_config(addr, ClientConfig { read_timeout, ..ClientConfig::default() })
+    }
+
+    /// Connect with a full retry policy.
+    pub fn connect_with_config(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<Client> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
-        let stream = Client::open(addr, read_timeout)?;
-        Ok(Client { addr, stream, next_id: 1, read_timeout, max_frame: DEFAULT_MAX_FRAME })
+        let stream = Client::open(addr, cfg.read_timeout)?;
+        Ok(Client { addr, stream, next_id: 1, cfg, max_frame: DEFAULT_MAX_FRAME })
     }
 
     fn open(addr: SocketAddr, read_timeout: Duration) -> io::Result<TcpStream> {
@@ -124,18 +163,35 @@ impl Client {
         read_response(&mut self.stream, self.max_frame).map_err(ClientError::Frame)
     }
 
-    /// Send `req` and wait for its reply, reconnecting once if the
-    /// connection has died since the last exchange.
+    /// Send `req` and wait for its reply, reconnecting per the
+    /// configured policy if the connection has died since the last
+    /// exchange. Server rejections pass straight through — only
+    /// transport deaths are retried.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let resp = match self.exchange(id, req) {
-            Ok(resp) => resp,
-            Err(e) if Client::is_disconnect(&e) => {
-                self.stream = Client::open(self.addr, self.read_timeout)?;
-                self.exchange(id, req)?
+        let mut attempt = 0u32;
+        let resp = loop {
+            match self.exchange(id, req) {
+                Ok(resp) => break resp,
+                Err(e) if Client::is_disconnect(&e) && attempt < self.cfg.reconnect_attempts => {
+                    let delay = self.cfg.backoff * 2u32.saturating_pow(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                    match Client::open(self.addr, self.cfg.read_timeout) {
+                        Ok(stream) => self.stream = stream,
+                        // Connect refused/unreachable: keep burning
+                        // attempts against the same dead endpoint.
+                        Err(ce) if attempt < self.cfg.reconnect_attempts => {
+                            let _ = ce;
+                        }
+                        Err(ce) => return Err(ClientError::Io(ce)),
+                    }
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         };
         // A protocol-error reply carries id 0 (the server could not
         // trust the request id); accept it so the cause surfaces.
@@ -222,6 +278,40 @@ impl Client {
     /// Ask the server to drain and shut down.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Create a table in the server's structured store.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), ClientError> {
+        match self.call(&Request::CreateTable(schema))? {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), ClientError> {
+        match self
+            .call(&Request::CreateIndex { table: table.to_string(), column: column.to_string() })?
+        {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Insert a batch of rows as one transaction.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), ClientError> {
+        match self.call(&Request::InsertRows { table: table.to_string(), rows })? {
+            Payload::Done => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Delete rows by primary key as one transaction.
+    pub fn delete_rows(&mut self, table: &str, keys: Vec<Vec<Value>>) -> Result<(), ClientError> {
+        match self.call(&Request::DeleteRows { table: table.to_string(), keys })? {
             Payload::Done => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

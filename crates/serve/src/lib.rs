@@ -14,17 +14,24 @@
 //!   sessions with timeouts and frame-size limits, admission control
 //!   with explicit `Overloaded` rejections, and graceful drain-then-stop
 //!   shutdown driven by a control frame.
-//! - [`client`] — a blocking client with reconnect-on-broken-pipe, used
-//!   by the tests and the `pr5_loadgen` bench.
+//! - [`client`] — a blocking client with configurable bounded
+//!   reconnect/backoff, used by the tests and the `pr5_loadgen` bench.
+//! - [`replication`] — primary→replica WAL shipping: a listener that
+//!   streams committed WAL frames and a client that applies them through
+//!   the storage layer's convergent replay path (`docs/replication.md`).
 
 #![forbid(unsafe_code)]
 
 pub mod client;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use protocol::{
     ErrorKind, FrameError, Payload, Request, Response, WireCandidate, WireExecStats, WireHit,
+};
+pub use replication::{
+    ReplicaProgress, ReplicaStatus, ReplicationClient, ReplicationClientConfig, ReplicationListener,
 };
 pub use server::{RequestHook, ServeConfig, Server};

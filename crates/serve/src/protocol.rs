@@ -27,7 +27,7 @@ use std::io::{self, Read, Write};
 
 use quarry_exec::MetricsSnapshot;
 use quarry_query::engine::Query;
-use quarry_storage::Value;
+use quarry_storage::{TableSchema, Value};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"QRYW";
@@ -63,6 +63,29 @@ pub enum Request {
     Stats,
     /// Begin graceful shutdown: drain in-flight work, then stop accepting.
     Shutdown,
+    /// Create a table in the structured store.
+    CreateTable(TableSchema),
+    /// Create a secondary index.
+    CreateIndex {
+        /// Table to index.
+        table: String,
+        /// Column to index.
+        column: String,
+    },
+    /// Insert a batch of rows as one transaction (all or nothing).
+    InsertRows {
+        /// Target table.
+        table: String,
+        /// Rows in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Delete rows by primary key as one transaction (all or nothing).
+    DeleteRows {
+        /// Target table.
+        table: String,
+        /// Primary-key values, one entry per row to delete.
+        keys: Vec<Vec<Value>>,
+    },
 }
 
 /// Mirror of `quarry_lang::ExecStats` with wire-stable integer widths.
@@ -136,6 +159,12 @@ pub enum ErrorKind {
     Lint,
     /// The request frame or payload was malformed.
     Protocol,
+    /// Write rejected: this node serves reads only (a replica). Retry
+    /// against the shard's primary.
+    ReadOnly,
+    /// A node behind a router could not be reached (dead shard with no
+    /// promoted replica yet).
+    Unavailable,
 }
 
 /// The result half of a [`Response`].
@@ -187,6 +216,13 @@ pub struct Response {
     /// Server-side handling time in microseconds (admission to reply
     /// serialization; zero for rejections that never executed).
     pub server_micros: u64,
+    /// The shard's write-clock LSN this response reflects: the snapshot
+    /// LSN for reads, the post-commit LSN for writes, zero for replies
+    /// that never touched the store. Routers forward it so a client's
+    /// per-shard snapshot view is well-defined. Defaulted on decode so
+    /// version-1 peers without the field still parse.
+    #[serde(default)]
+    pub lsn: u64,
     /// The outcome.
     pub payload: Payload,
 }
@@ -390,6 +426,12 @@ mod tests {
             Request::Checkpoint,
             Request::Stats,
             Request::Shutdown,
+            Request::CreateIndex { table: "cities".into(), column: "state".into() },
+            Request::InsertRows {
+                table: "cities".into(),
+                rows: vec![vec![Value::Int(1), Value::Text("Madison".into())]],
+            },
+            Request::DeleteRows { table: "cities".into(), keys: vec![vec![Value::Int(1)]] },
         ] {
             assert_eq!(round_trip(&req), req);
         }
@@ -400,6 +442,7 @@ mod tests {
         let resp = Response {
             id: 42,
             server_micros: 1234,
+            lsn: 17,
             payload: Payload::Rows {
                 columns: vec!["name".into(), "score".into()],
                 rows: vec![

@@ -1,0 +1,736 @@
+//! Primary→replica WAL shipping over TCP.
+//!
+//! Each serving node runs a [`ReplicationListener`] next to its request
+//! port; replicas run a [`ReplicationClient`] that connects, handshakes,
+//! and applies the primary's committed WAL frames through
+//! [`ReplicaApplier`] — the storage layer's convergent replay path.
+//!
+//! ## Wire format
+//!
+//! Both directions reuse the WAL's frame encoding (`[len u32 LE]
+//! [crc u32 LE][payload]`, checksum over length-prefix ‖ payload), so a
+//! shipped data frame is byte-identical to the frame the primary wrote
+//! to its own log. Control messages are payloads whose first byte is a
+//! tag in `0xC1..=0xC6` — a range no [`LogRecord`] encoding starts with
+//! (binary records start `0x01`, JSON records `0x7B`):
+//!
+//! ```text
+//! 0xC1 hello    replica → primary   epoch u64, offset u64, fresh u8
+//! 0xC2 seed     primary → replica   one seed LogRecord
+//! 0xC3 ack      replica → primary   epoch u64, offset u64
+//! 0xC4 reseed   primary → replica   epoch u64, start_offset u64
+//! 0xC5 seed-end primary → replica   (empty)
+//! 0xC6 resume   primary → replica   epoch u64, offset u64
+//! ```
+//!
+//! ## Handshake
+//!
+//! The replica sends `hello` with its last applied `(epoch, offset)`
+//! (`fresh = 1` when it has no state). The primary answers `resume` when
+//! that position is still live — same checkpoint epoch, offset within
+//! the log — and otherwise streams a **reseed**: `reseed`, the seed
+//! records, `seed-end`. The replica buffers the seed and installs it
+//! atomically at `seed-end`, so an interrupted seed (primary death
+//! mid-stream) leaves the replica at its previous transaction boundary.
+//!
+//! ## Ack-LSN contract
+//!
+//! The replica acks `(epoch, offset)` after applying each batch; the
+//! primary records the latest ack per connection
+//! ([`ReplicationListener::progress`]). An acked offset means every
+//! frame below it is applied *and* appended to the replica's own WAL —
+//! promotion never rolls an acked position back. See
+//! `docs/replication.md` for the full contract and split-brain stance.
+//!
+//! All decisions here are deterministic functions of the received
+//! frames; timeouts only pace the loops, they never pick outcomes.
+
+use quarry_storage::wal::frame_crc;
+use quarry_storage::{parse_frames, Database, ReplicaApplier, ReplicaPosition, TailPoll, WalTail};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+const TAG_HELLO: u8 = 0xC1;
+const TAG_SEED: u8 = 0xC2;
+const TAG_ACK: u8 = 0xC3;
+const TAG_RESEED: u8 = 0xC4;
+const TAG_SEED_END: u8 = 0xC5;
+const TAG_RESUME: u8 = 0xC6;
+
+/// Socket read timeout: how long one poll blocks for. Short, because the
+/// ship loop interleaves ack draining with WAL tailing on one thread.
+const POLL_TIMEOUT: Duration = Duration::from_millis(2);
+/// Sleep when the tail is idle, pacing the poll loop without adding
+/// meaningful replication lag.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// See the poison-recovery precedent in `server.rs`.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(b: &[u8], at: usize) -> io::Result<u64> {
+    let bytes: [u8; 8] = b
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short control frame"))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Write one WAL-format frame.
+fn write_wire_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&frame_crc(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+fn control_frame(tag: u8, words: &[u64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + 8 * words.len());
+    payload.push(tag);
+    for w in words {
+        put_u64(&mut payload, *w);
+    }
+    payload
+}
+
+/// Incremental WAL-frame reader over a socket with a short read timeout.
+///
+/// One [`FrameBuf::poll`] does a single read syscall (blocking up to the
+/// socket timeout) and returns every *complete* frame accumulated so
+/// far; partial frames stay buffered. A CRC failure is fatal — the
+/// stream cannot be resynchronised, exactly like a torn WAL tail.
+struct FrameBuf {
+    buf: Vec<u8>,
+    chunk: [u8; 16 * 1024],
+}
+
+impl FrameBuf {
+    fn new() -> FrameBuf {
+        FrameBuf { buf: Vec::new(), chunk: [0u8; 16 * 1024] }
+    }
+
+    fn poll(&mut self, stream: &mut TcpStream) -> io::Result<Vec<Vec<u8>>> {
+        match stream.read(&mut self.chunk) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        let (records, consumed) = parse_frames(&self.buf, 0)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("torn frame: {e}")))?;
+        self.buf.drain(..consumed);
+        Ok(records.into_iter().map(|r| r.payload.to_vec()).collect())
+    }
+}
+
+/// Latest known state of one replica connection, keyed by ack frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaProgress {
+    /// Checkpoint epoch the replica last acked under.
+    pub epoch: u64,
+    /// Source-WAL offset the replica has applied through.
+    pub acked: u64,
+    /// False once the connection has closed.
+    pub connected: bool,
+}
+
+/// The primary-side shipping endpoint: accepts replica connections and
+/// streams committed WAL frames to each.
+pub struct ReplicationListener {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    tracker: Arc<Mutex<HashMap<u64, ReplicaProgress>>>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ReplicationListener {
+    /// Bind `addr` and start shipping `db`'s WAL to whoever connects.
+    /// The database must be file-backed (an in-memory store has no log
+    /// to ship; replica sessions are refused with a closed connection).
+    pub fn start(db: Arc<Database>, addr: impl ToSocketAddrs) -> io::Result<ReplicationListener> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(Mutex::new(HashMap::new()));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_tracker = Arc::clone(&tracker);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept =
+            std::thread::Builder::new().name("quarry-repl-accept".into()).spawn(move || {
+                let mut next_id = 0u64;
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let id = next_id;
+                    next_id += 1;
+                    let db = Arc::clone(&db);
+                    let tracker = Arc::clone(&accept_tracker);
+                    let shutdown = Arc::clone(&accept_shutdown);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("quarry-repl-ship-{id}"))
+                        .spawn(move || {
+                            let _ = serve_replica(&db, stream, &tracker, &shutdown, id);
+                            if let Some(p) = lock(&tracker).get_mut(&id) {
+                                p.connected = false;
+                            }
+                        });
+                    if let Ok(handle) = handle {
+                        lock(&accept_handlers).push(handle);
+                    }
+                }
+            })?;
+
+        Ok(ReplicationListener { addr: local, shutdown, tracker, accept: Some(accept), handlers })
+    }
+
+    /// The bound shipping address replicas connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-connection replica progress, in connection order.
+    pub fn progress(&self) -> Vec<ReplicaProgress> {
+        let tracker = lock(&self.tracker);
+        let mut ids: Vec<&u64> = tracker.keys().collect();
+        ids.sort();
+        ids.iter().map(|id| tracker[id]).collect()
+    }
+
+    /// Stop accepting and shipping; joins every handler thread.
+    pub fn shutdown(&mut self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr); // wake the accept loop
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = lock(&self.handlers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicationListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Stream a reseed: `reseed` header, every seed record, `seed-end`.
+/// Returns the seed's `(epoch, start_offset)` for the tail cursor.
+fn send_reseed(db: &Database, stream: &mut TcpStream) -> io::Result<(u64, u64)> {
+    let seed = db.seed_state().map_err(|e| io::Error::other(format!("seed: {e}")))?;
+    write_wire_frame(stream, &control_frame(TAG_RESEED, &[seed.epoch, seed.start_offset]))?;
+    for rec in &seed.records {
+        let bytes = rec
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e}")))?;
+        let mut payload = Vec::with_capacity(1 + bytes.len());
+        payload.push(TAG_SEED);
+        payload.extend_from_slice(&bytes);
+        write_wire_frame(stream, &payload)?;
+    }
+    write_wire_frame(stream, &control_frame(TAG_SEED_END, &[]))?;
+    Ok((seed.epoch, seed.start_offset))
+}
+
+/// One replica session on the primary: handshake, then interleave ack
+/// draining with WAL tailing until either side goes away.
+fn serve_replica(
+    db: &Database,
+    mut stream: TcpStream,
+    tracker: &Mutex<HashMap<u64, ReplicaProgress>>,
+    shutdown: &AtomicBool,
+    id: u64,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TIMEOUT))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let Some(wal_path) = db.wal_path() else {
+        return Err(io::Error::new(io::ErrorKind::Unsupported, "in-memory primary has no WAL"));
+    };
+    let mut frames = FrameBuf::new();
+
+    // Handshake: wait for hello.
+    let hello = loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(first) = frames.poll(&mut stream)?.into_iter().next() {
+            break first;
+        }
+    };
+    if hello.first() != Some(&TAG_HELLO) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected hello"));
+    }
+    let replica_epoch = get_u64(&hello, 1)?;
+    let replica_offset = get_u64(&hello, 9)?;
+    let fresh = hello.get(17).copied().unwrap_or(1) != 0;
+
+    // Resume only when the replica's position is still meaningful:
+    // matching epoch and an offset inside the current log. Everything
+    // else reseeds — the convergent, always-correct answer.
+    let resumable =
+        !fresh && replica_epoch == db.checkpoint_epoch() && replica_offset <= db.wal_len();
+    let (mut ship_epoch, start) = if resumable {
+        write_wire_frame(
+            &mut stream,
+            &control_frame(TAG_RESUME, &[replica_epoch, replica_offset]),
+        )?;
+        (replica_epoch, replica_offset)
+    } else {
+        send_reseed(db, &mut stream)?
+    };
+    let mut tail = WalTail::new(db.storage_backend(), wal_path, start);
+    lock(tracker).insert(id, ReplicaProgress { epoch: ship_epoch, acked: 0, connected: true });
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Drain acks (also blocks up to POLL_TIMEOUT, pacing the loop).
+        for frame in frames.poll(&mut stream)? {
+            if frame.first() == Some(&TAG_ACK) {
+                let epoch = get_u64(&frame, 1)?;
+                let acked = get_u64(&frame, 9)?;
+                lock(tracker).insert(id, ReplicaProgress { epoch, acked, connected: true });
+            }
+        }
+        let polled = tail.poll();
+        match polled {
+            Ok(TailPoll::Records(records)) => {
+                for rec in &records {
+                    write_wire_frame(&mut stream, &rec.payload)?;
+                }
+            }
+            Ok(TailPoll::Idle) => std::thread::sleep(IDLE_SLEEP),
+            // The log shrank or the cursor no longer parses. If the
+            // checkpoint epoch moved the log was truncated: renegotiate
+            // with a fresh seed. If not, a "truncation" is our own
+            // cursor racing the primary's buffered tail — just idle —
+            // and a parse failure with an unmoved epoch is real
+            // corruption, which closes the session.
+            Ok(TailPoll::Truncated) | Err(_) => {
+                let was_error = polled.is_err();
+                let current = db.checkpoint_epoch();
+                if current != ship_epoch {
+                    let (epoch, start) = send_reseed(db, &mut stream)?;
+                    tail.seek(start);
+                    ship_epoch = epoch;
+                } else if was_error {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "wal tail unreadable without truncation",
+                    ));
+                } else {
+                    std::thread::sleep(IDLE_SLEEP);
+                }
+            }
+        }
+    }
+}
+
+/// Retry policy for a [`ReplicationClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationClientConfig {
+    /// Consecutive failed connection attempts before the client gives up
+    /// (the replica keeps serving reads; promotion stays possible).
+    pub reconnect_attempts: u32,
+    /// Base delay before each reconnect; doubles per consecutive failure.
+    pub backoff: Duration,
+}
+
+impl Default for ReplicationClientConfig {
+    fn default() -> ReplicationClientConfig {
+        ReplicationClientConfig { reconnect_attempts: 10, backoff: Duration::from_millis(5) }
+    }
+}
+
+/// Observable state of the shipping client.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaStatus {
+    /// True while a session with the primary is live.
+    pub connected: bool,
+    /// Completed reconnections over the client's lifetime.
+    pub reconnects: u64,
+    /// True once the retry budget is exhausted or apply failed; the
+    /// shipping thread has exited.
+    pub gave_up: bool,
+    /// Rendered cause of the last session loss, if any.
+    pub last_error: Option<String>,
+}
+
+/// The replica-side shipping endpoint: connects to a primary's
+/// [`ReplicationListener`], applies its stream, and acks progress.
+pub struct ReplicationClient {
+    applier: Arc<Mutex<ReplicaApplier>>,
+    status: Arc<Mutex<ReplicaStatus>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicationClient {
+    /// Start shipping `primary`'s WAL into `db`. The applier is the only
+    /// writer to `db` until [`ReplicationClient::promote`].
+    pub fn start(
+        db: Arc<Database>,
+        primary: SocketAddr,
+        cfg: ReplicationClientConfig,
+    ) -> ReplicationClient {
+        let applier = Arc::new(Mutex::new(ReplicaApplier::new(db)));
+        let status = Arc::new(Mutex::new(ReplicaStatus::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t_applier = Arc::clone(&applier);
+        let t_status = Arc::clone(&status);
+        let t_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("quarry-repl-apply".into())
+            .spawn(move || run_client(&t_applier, &t_status, &t_stop, primary, cfg))
+            .ok();
+        ReplicationClient { applier, status, stop, thread }
+    }
+
+    /// The shared applier; lock it to read position or pending state.
+    /// Held briefly — the shipping thread takes the same lock per batch.
+    pub fn applier(&self) -> Arc<Mutex<ReplicaApplier>> {
+        Arc::clone(&self.applier)
+    }
+
+    /// Position applied and acked so far.
+    pub fn position(&self) -> ReplicaPosition {
+        lock(&self.applier).position()
+    }
+
+    /// Current client status snapshot.
+    pub fn status(&self) -> ReplicaStatus {
+        lock(&self.status).clone()
+    }
+
+    /// Stop shipping and join the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Promote this replica to primary: stop shipping, discard
+    /// transactions whose commits never arrived, adopt the transaction-id
+    /// floor, and sync the local log. The database is then writable by
+    /// its new owner.
+    pub fn promote(&mut self) -> quarry_storage::Result<()> {
+        self.stop();
+        lock(&self.applier).promote()
+    }
+}
+
+impl Drop for ReplicationClient {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The shipping thread: bounded-backoff reconnect loop around sessions.
+fn run_client(
+    applier: &Mutex<ReplicaApplier>,
+    status: &Mutex<ReplicaStatus>,
+    stop: &AtomicBool,
+    primary: SocketAddr,
+    cfg: ReplicationClientConfig,
+) {
+    let mut failures = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        if failures > 0 {
+            if failures > cfg.reconnect_attempts {
+                let mut st = lock(status);
+                st.gave_up = true;
+                st.connected = false;
+                return;
+            }
+            let delay = cfg.backoff * 2u32.saturating_pow(failures - 1);
+            // Sleep in small slices so stop() stays responsive.
+            let mut remaining = delay;
+            while !remaining.is_zero() && !stop.load(Ordering::SeqCst) {
+                let slice = remaining.min(Duration::from_millis(5));
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        match client_session(applier, status, stop, primary) {
+            // Clean stop.
+            Ok(()) => return,
+            Err(SessionEnd::Transport(e)) => {
+                let mut st = lock(status);
+                st.connected = false;
+                st.last_error = Some(e.to_string());
+                st.reconnects = st.reconnects.saturating_add(1);
+                drop(st);
+                failures += 1;
+            }
+            // A deterministic apply failure would repeat on every retry.
+            Err(SessionEnd::Apply(e)) => {
+                let mut st = lock(status);
+                st.connected = false;
+                st.gave_up = true;
+                st.last_error = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+enum SessionEnd {
+    /// The connection died; retrying may succeed.
+    Transport(io::Error),
+    /// Applying a frame failed; retrying cannot help.
+    Apply(String),
+}
+
+impl From<io::Error> for SessionEnd {
+    fn from(e: io::Error) -> SessionEnd {
+        SessionEnd::Transport(e)
+    }
+}
+
+/// One connected session: hello, then apply-and-ack until the stream
+/// ends or `stop` is set.
+fn client_session(
+    applier: &Mutex<ReplicaApplier>,
+    status: &Mutex<ReplicaStatus>,
+    stop: &AtomicBool,
+    primary: SocketAddr,
+) -> Result<(), SessionEnd> {
+    let mut stream = TcpStream::connect(primary).map_err(SessionEnd::Transport)?;
+    stream.set_read_timeout(Some(POLL_TIMEOUT)).map_err(SessionEnd::Transport)?;
+    stream.set_write_timeout(Some(Duration::from_secs(5))).map_err(SessionEnd::Transport)?;
+    stream.set_nodelay(true).map_err(SessionEnd::Transport)?;
+
+    {
+        let a = lock(applier);
+        let pos = a.position();
+        let mut payload = control_frame(TAG_HELLO, &[pos.epoch, pos.offset]);
+        payload.push(u8::from(!a.attached()));
+        drop(a);
+        write_wire_frame(&mut stream, &payload)?;
+    }
+    lock(status).connected = true;
+
+    let mut frames = FrameBuf::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let batch = frames.poll(&mut stream)?;
+        if batch.is_empty() {
+            continue; // the poll itself blocked up to POLL_TIMEOUT
+        }
+        // Apply the whole batch under one applier lock so promotion
+        // serializes against it, then ack once.
+        let mut ack_now = false;
+        let mut a = lock(applier);
+        for payload in &batch {
+            let result = match payload.first() {
+                Some(&TAG_RESEED) => {
+                    let epoch = get_u64(payload, 1)?;
+                    let start = get_u64(payload, 9)?;
+                    a.begin_reseed(epoch, start);
+                    Ok(())
+                }
+                Some(&TAG_SEED) => a.seed_record(&payload[1..]),
+                Some(&TAG_SEED_END) => {
+                    ack_now = true;
+                    a.finish_reseed()
+                }
+                Some(&TAG_RESUME) => {
+                    let epoch = get_u64(payload, 1)?;
+                    let offset = get_u64(payload, 9)?;
+                    a.resume(epoch, offset);
+                    ack_now = true;
+                    Ok(())
+                }
+                _ => {
+                    ack_now = true;
+                    a.apply_frame(payload)
+                }
+            };
+            if let Err(e) = result {
+                return Err(SessionEnd::Apply(format!("apply: {e}")));
+            }
+        }
+        let pos = a.position();
+        drop(a);
+        if ack_now {
+            write_wire_frame(&mut stream, &control_frame(TAG_ACK, &[pos.epoch, pos.offset]))?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_storage::{Column, DataType, TableSchema, Value};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("quarry-shiprepl-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![Column::new("id", DataType::Int), Column::new("val", DataType::Text)],
+            &["id"],
+            &[],
+        )
+        .unwrap()
+    }
+
+    fn dump(db: &Database) -> String {
+        let mut out = String::new();
+        for name in db.table_names() {
+            out.push_str(&format!("{:?}\n", db.schema(&name).unwrap()));
+            for row in db.scan_autocommit(&name).unwrap() {
+                out.push_str(&format!("{row:?}\n"));
+            }
+        }
+        out
+    }
+
+    /// Spin until the replica's acked position covers the primary's
+    /// current log under the same epoch.
+    fn await_caught_up(listener: &ReplicationListener, client: &ReplicationClient, db: &Database) {
+        for _ in 0..4000 {
+            let pos = client.position();
+            if pos.epoch == db.checkpoint_epoch() && pos.offset >= db.wal_len() {
+                // And the primary has seen the ack.
+                let acked = listener
+                    .progress()
+                    .iter()
+                    .any(|p| p.connected && p.epoch == pos.epoch && p.acked >= db.wal_len());
+                if acked {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("replica never caught up: {:?} vs len {}", client.position(), db.wal_len());
+    }
+
+    #[test]
+    fn ships_seed_live_frames_and_checkpoint_reseed() {
+        let dir = tmpdir("live");
+        let primary = Arc::new(Database::open(dir.join("p.wal")).unwrap());
+        primary.create_table(schema()).unwrap();
+        primary.insert_autocommit("t", vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+
+        let mut listener = ReplicationListener::start(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+        let replica = Arc::new(Database::open(dir.join("r.wal")).unwrap());
+        let mut client = ReplicationClient::start(
+            Arc::clone(&replica),
+            listener.local_addr(),
+            ReplicationClientConfig::default(),
+        );
+
+        // Seed covers pre-connection history.
+        await_caught_up(&listener, &client, &primary);
+        assert_eq!(dump(&primary), dump(&replica));
+
+        // Live tail covers post-connection writes.
+        primary.insert_autocommit("t", vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        await_caught_up(&listener, &client, &primary);
+        assert_eq!(dump(&primary), dump(&replica));
+
+        // A checkpoint truncates the log and bumps the epoch; the
+        // session renegotiates with a reseed and keeps shipping.
+        primary.checkpoint().unwrap();
+        primary.insert_autocommit("t", vec![Value::Int(3), Value::Text("c".into())]).unwrap();
+        await_caught_up(&listener, &client, &primary);
+        assert_eq!(dump(&primary), dump(&replica));
+
+        client.stop();
+        listener.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promotion_makes_the_replica_writable_at_a_boundary() {
+        let dir = tmpdir("promote");
+        let primary = Arc::new(Database::open(dir.join("p.wal")).unwrap());
+        primary.create_table(schema()).unwrap();
+        for i in 0..5 {
+            primary
+                .insert_autocommit("t", vec![Value::Int(i), Value::Text(format!("v{i}"))])
+                .unwrap();
+        }
+        let mut listener = ReplicationListener::start(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+        let replica = Arc::new(Database::open(dir.join("r.wal")).unwrap());
+        let mut client = ReplicationClient::start(
+            Arc::clone(&replica),
+            listener.local_addr(),
+            ReplicationClientConfig::default(),
+        );
+        await_caught_up(&listener, &client, &primary);
+        let expected = dump(&primary);
+        listener.shutdown(); // primary "dies"
+        client.promote().unwrap();
+        assert_eq!(dump(&replica), expected);
+        // The promoted node allocates fresh transaction ids and accepts
+        // writes.
+        replica.insert_autocommit("t", vec![Value::Int(99), Value::Text("post".into())]).unwrap();
+        assert_eq!(replica.row_count("t").unwrap(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_backoff_gives_up_against_a_dead_primary() {
+        let dir = tmpdir("backoff");
+        // Reserve an address with no listener behind it.
+        let sock = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = sock.local_addr().unwrap();
+        drop(sock);
+        let replica = Arc::new(Database::open(dir.join("r.wal")).unwrap());
+        let mut client = ReplicationClient::start(
+            Arc::clone(&replica),
+            addr,
+            ReplicationClientConfig { reconnect_attempts: 2, backoff: Duration::from_millis(1) },
+        );
+        for _ in 0..4000 {
+            if client.status().gave_up {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let status = client.status();
+        assert!(status.gave_up, "client should exhaust its retry budget");
+        assert!(!status.connected);
+        // A gave-up replica still promotes (to its last boundary: empty).
+        client.promote().unwrap();
+        assert!(replica.table_names().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

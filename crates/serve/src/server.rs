@@ -80,6 +80,10 @@ pub struct ServeConfig {
     /// Test hook invoked after a request is admitted and before it
     /// executes; lets tests hold a request in flight deterministically.
     pub request_hook: Option<RequestHook>,
+    /// Start in read-only mode: every write request is answered with
+    /// [`ErrorKind::ReadOnly`]. Replicas serve this way until promotion
+    /// flips it via [`Server::set_read_only`].
+    pub read_only: bool,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +95,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(25),
             write_timeout: Duration::from_secs(5),
             request_hook: None,
+            read_only: false,
         }
     }
 }
@@ -124,6 +129,7 @@ struct Shared {
     metrics: MetricsRegistry,
     in_flight: AtomicUsize,
     shutting_down: AtomicBool,
+    read_only: AtomicBool,
     cfg: ServeConfig,
     addr: SocketAddr,
 }
@@ -164,6 +170,7 @@ impl Server {
             metrics,
             in_flight: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
+            read_only: AtomicBool::new(cfg.read_only),
             cfg,
             addr: local,
         });
@@ -223,6 +230,19 @@ impl Server {
     /// Requests currently between admission and reply.
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// True while write requests are being rejected with
+    /// [`ErrorKind::ReadOnly`].
+    pub fn read_only(&self) -> bool {
+        self.shared.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Flip read-only mode. Promotion calls `set_read_only(false)` after
+    /// the replica's applier has been promoted; requests already past
+    /// the check finish under the old mode.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.shared.read_only.store(read_only, Ordering::SeqCst);
     }
 
     /// Start draining: stop accepting, answer new requests
@@ -291,6 +311,7 @@ fn session(shared: &Shared, mut stream: TcpStream) {
                 let resp = Response {
                     id: 0,
                     server_micros: 0,
+                    lsn: 0,
                     payload: Payload::Error { kind: ErrorKind::Protocol, message: e.to_string() },
                 };
                 let _ = write_response(&mut stream, &resp);
@@ -312,6 +333,7 @@ fn handle(shared: &Shared, id: u64, payload: &[u8]) -> Response {
             return Response {
                 id,
                 server_micros: 0,
+                lsn: 0,
                 payload: Payload::Error {
                     kind: ErrorKind::Protocol,
                     message: format!("undecodable request: {e}"),
@@ -324,10 +346,22 @@ fn handle(shared: &Shared, id: u64, payload: &[u8]) -> Response {
     // it bypasses admission.
     if req == Request::Shutdown {
         shared.begin_shutdown();
-        return Response { id, server_micros: 0, payload: Payload::Done };
+        return Response { id, server_micros: 0, lsn: 0, payload: Payload::Done };
     }
     if shared.draining() {
-        return Response { id, server_micros: 0, payload: Payload::ShuttingDown };
+        return Response { id, server_micros: 0, lsn: 0, payload: Payload::ShuttingDown };
+    }
+    if shared.read_only.load(Ordering::SeqCst) && is_write(&req) {
+        shared.metrics.incr("server.read_only_rejections", 1);
+        return Response {
+            id,
+            server_micros: 0,
+            lsn: 0,
+            payload: Payload::Error {
+                kind: ErrorKind::ReadOnly,
+                message: "replica is read-only; retry against the shard primary".into(),
+            },
+        };
     }
 
     // Admission: reserve a slot or reject explicitly.
@@ -335,18 +369,33 @@ fn handle(shared: &Shared, id: u64, payload: &[u8]) -> Response {
     if prev >= shared.cfg.max_in_flight {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.metrics.incr("server.overloaded", 1);
-        return Response { id, server_micros: 0, payload: Payload::Overloaded };
+        return Response { id, server_micros: 0, lsn: 0, payload: Payload::Overloaded };
     }
 
     let start = Instant::now();
-    let payload = execute(shared, &req);
+    let (payload, lsn) = execute(shared, &req);
     let elapsed = start.elapsed();
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     shared.metrics.observe("server.request_us", elapsed);
     if matches!(payload, Payload::Error { .. }) {
         shared.metrics.incr("server.request_errors", 1);
     }
-    Response { id, server_micros: elapsed.as_micros() as u64, payload }
+    Response { id, server_micros: elapsed.as_micros() as u64, lsn, payload }
+}
+
+/// True for requests that mutate the store and must be rejected on a
+/// read-only (replica) node. `Shutdown` stays allowed: it is a control
+/// frame, not a data write.
+fn is_write(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Qdl(_)
+            | Request::Checkpoint
+            | Request::CreateTable(_)
+            | Request::CreateIndex { .. }
+            | Request::InsertRows { .. }
+            | Request::DeleteRows { .. }
+    )
 }
 
 /// Invoke the test hook at a request's *execution point* — after a read
@@ -361,36 +410,40 @@ fn run_hook(shared: &Shared, req: &Request) {
     }
 }
 
-/// Execute an admitted request against the façade.
+/// Execute an admitted request against the façade, returning the payload
+/// and the write-clock LSN the response reflects: the snapshot LSN for
+/// reads, the post-commit LSN for writes.
 ///
 /// Reads capture an MVCC snapshot and never touch the writer lock;
 /// writes serialize through [`SharedQuarry::with_writer`].
-fn execute(shared: &Shared, req: &Request) -> Payload {
+fn execute(shared: &Shared, req: &Request) -> (Payload, u64) {
     match req {
         Request::Ping => {
             run_hook(shared, req);
-            Payload::Pong
+            (Payload::Pong, 0)
         }
         Request::Query(query) => {
             let snap = shared.quarry.snapshot();
             run_hook(shared, req);
-            match snap.query(query) {
+            let payload = match snap.query(query) {
                 Ok(r) => Payload::Rows { columns: r.columns, rows: r.rows },
                 Err(e) => error_payload(&e),
-            }
+            };
+            (payload, snap.lsn())
         }
         Request::Qdl(src) => shared.quarry.with_writer(|q| {
             run_hook(shared, req);
-            match q.run_pipeline(src) {
+            let payload = match q.run_pipeline(src) {
                 Ok(stats) => Payload::PipelineStats((&stats).into()),
                 Err(e) => error_payload(&e),
-            }
+            };
+            (payload, q.db.current_lsn())
         }),
         Request::KeywordSearch { query, k } => {
             let snap = shared.quarry.snapshot();
             run_hook(shared, req);
             let (hits, candidates) = snap.keyword(query, *k);
-            Payload::Hits {
+            let payload = Payload::Hits {
                 hits: hits.into_iter().map(|h| WireHit { doc: h.doc.0, score: h.score }).collect(),
                 candidates: candidates
                     .into_iter()
@@ -400,30 +453,91 @@ fn execute(shared: &Shared, req: &Request) -> Payload {
                         explanation: c.explanation,
                     })
                     .collect(),
-            }
+            };
+            (payload, snap.lsn())
         }
         Request::Explain(query) => {
             let snap = shared.quarry.snapshot();
             run_hook(shared, req);
-            match snap.explain_query(query) {
+            let payload = match snap.explain_query(query) {
                 Ok(plan) => Payload::Plan(plan),
                 Err(e) => error_payload(&e),
-            }
+            };
+            (payload, snap.lsn())
         }
         Request::Checkpoint => shared.quarry.with_writer(|q| {
             run_hook(shared, req);
-            match q.checkpoint() {
+            let payload = match q.checkpoint() {
                 Ok(()) => Payload::Done,
                 Err(e) => error_payload(&e),
-            }
+            };
+            (payload, q.db.current_lsn())
         }),
         Request::Stats => {
             let snap = shared.quarry.snapshot();
             run_hook(shared, req);
-            Payload::Metrics(snap.stats())
+            (Payload::Metrics(snap.stats()), snap.lsn())
         }
+        Request::CreateTable(schema) => shared.quarry.with_writer(|q| {
+            run_hook(shared, req);
+            let payload = match q.db.create_table(schema.clone()) {
+                Ok(()) => Payload::Done,
+                Err(e) => error_payload(&QuarryError::Storage(e)),
+            };
+            (payload, q.db.current_lsn())
+        }),
+        Request::CreateIndex { table, column } => shared.quarry.with_writer(|q| {
+            run_hook(shared, req);
+            let payload = match q.create_index(table, column) {
+                Ok(()) => Payload::Done,
+                Err(e) => error_payload(&e),
+            };
+            (payload, q.db.current_lsn())
+        }),
+        Request::InsertRows { table, rows } => shared.quarry.with_writer(|q| {
+            run_hook(shared, req);
+            (
+                apply_batch(q, table, rows, |db, tx, table, row| {
+                    db.insert(tx, table, row.clone()).map(|_| ())
+                }),
+                q.db.current_lsn(),
+            )
+        }),
+        Request::DeleteRows { table, keys } => shared.quarry.with_writer(|q| {
+            run_hook(shared, req);
+            (
+                apply_batch(q, table, keys, |db, tx, table, key| db.delete(tx, table, key)),
+                q.db.current_lsn(),
+            )
+        }),
         // Handled before admission; kept total for defensive completeness.
-        Request::Shutdown => Payload::Done,
+        Request::Shutdown => (Payload::Done, 0),
+    }
+}
+
+/// Apply one batch of row operations as a single transaction: all rows
+/// commit together or the transaction aborts and the error is returned.
+fn apply_batch(
+    q: &Quarry,
+    table: &str,
+    items: &[Vec<quarry_storage::Value>],
+    op: impl Fn(
+        &quarry_storage::Database,
+        quarry_storage::TxId,
+        &str,
+        &Vec<quarry_storage::Value>,
+    ) -> Result<(), quarry_storage::StorageError>,
+) -> Payload {
+    let tx = q.db.begin();
+    for item in items {
+        if let Err(e) = op(&q.db, tx, table, item) {
+            let _ = q.db.abort(tx);
+            return error_payload(&QuarryError::Storage(e));
+        }
+    }
+    match q.db.commit(tx) {
+        Ok(()) => Payload::Done,
+        Err(e) => error_payload(&QuarryError::Storage(e)),
     }
 }
 

@@ -38,11 +38,12 @@ pub use page::{Page, PageType, PAGE_CAPACITY, PAGE_SIZE};
 pub use pager::{Pager, PoolStats};
 pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use structured::{
-    CheckpointFormat, Column, Database, DbSnapshot, IndexStats, LockManager, LockMode, Row, RowId,
-    ScanAccess, TableSchema, TableView, TxId, WalCodec,
+    CheckpointFormat, Column, Database, DbSnapshot, IndexStats, LockManager, LockMode,
+    ReplicaApplier, ReplicaPosition, ReplicationSeed, Row, RowId, ScanAccess, TableSchema,
+    TableView, TxId, WalCodec,
 };
 pub use value::{DataType, Value};
-pub use wal::{CommitQueue, DurabilityMode, Wal, WalRecord};
+pub use wal::{parse_frames, CommitQueue, DurabilityMode, TailPoll, Wal, WalRecord, WalTail};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, StorageError>;

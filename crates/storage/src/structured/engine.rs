@@ -461,6 +461,14 @@ pub struct Database {
     image: Mutex<Option<Arc<CheckpointImage>>>,
     /// Layout the next [`Database::checkpoint`] writes.
     ckpt_format: CheckpointFormat,
+    /// Checkpoint epoch: bumped every time the WAL is truncated (a
+    /// checkpoint publishing, or a replica reseed). A WAL byte offset is
+    /// only meaningful *within* one epoch, so replication handshakes carry
+    /// `(epoch, offset)` pairs and any epoch mismatch forces a reseed.
+    /// Process-lifetime only — it restarts at zero on open, which is
+    /// always safe because a replica whose remembered epoch cannot be
+    /// matched simply reseeds (see `structured::replication`).
+    epoch: AtomicU64,
 }
 
 impl Database {
@@ -480,6 +488,7 @@ impl Database {
             wal_codec: WalCodec::BinaryV1,
             image: Mutex::new(None),
             ckpt_format: CheckpointFormat::default(),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -991,6 +1000,9 @@ impl Database {
         // zero). Safe to do only now: the image published by the rename
         // already covers everything pre-reset waiters were waiting for.
         self.commit_queue.reset();
+        // New epoch: replication offsets into the pre-truncation log are
+        // now meaningless, and any tailing replica must renegotiate.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         if self.ckpt_format == CheckpointFormat::BTreeV2 {
             // Swap every table onto the fresh image and drop the overlays:
             // from here on, reads fault base pages in on demand. Contents
@@ -1486,6 +1498,203 @@ impl Database {
             .get(table)
             .map(|t| t.live_rows as usize)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Replication support (see `structured::replication`)
+    // ------------------------------------------------------------------
+
+    /// The current checkpoint epoch (see the `epoch` field docs): a WAL
+    /// byte offset identifies a stream position only together with the
+    /// epoch it was read under.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Current WAL append offset in bytes (0 for in-memory databases).
+    /// At a transaction boundary under `Full`/`Normal` durability this
+    /// equals the flushed file length, which makes it the primary-side
+    /// target of the replication ack barrier (`docs/replication.md`).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.lock().as_ref().map(Wal::len).unwrap_or(0)
+    }
+
+    /// Path of the WAL file (`None` for in-memory databases).
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.wal.lock().as_ref().map(|w| w.path().to_path_buf())
+    }
+
+    /// The storage backend the WAL and checkpoints go through. A WAL
+    /// tail reader must read through this backend so fault injection
+    /// observes one consistent world: backend reads are not crash
+    /// points, but they do die with an injected crash — exactly the
+    /// "primary death" a replica must survive.
+    pub fn storage_backend(&self) -> Arc<dyn StorageBackend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The current write-clock value — the LSN a snapshot taken *now*
+    /// would pin to.
+    pub fn current_lsn(&self) -> u64 {
+        self.write_clock.load(Ordering::SeqCst)
+    }
+
+    /// Capture a reseed payload: the current epoch, the WAL offset
+    /// streaming resumes from, and a synthetic committed record stream
+    /// that recreates every table when replayed into an empty database.
+    /// Uncommitted changes of in-flight transactions are rolled back out
+    /// of the capture exactly like [`Database::snapshot`] does. The
+    /// offset is read under the same `tables` lock as the records, so
+    /// frames at `>= start_offset` may double-cover the seed's tail —
+    /// which is safe, because replaying committed records over state
+    /// that already contains them is convergent (the checkpoint-recovery
+    /// argument; see docs/durability.md).
+    pub fn seed_state(&self) -> Result<super::replication::ReplicationSeed> {
+        let tables = self.tables.lock();
+        let active = self.active.lock();
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let start_offset = self.wal.lock().as_ref().map(Wal::len).unwrap_or(0);
+        let tx = self.next_tx.fetch_add(1, Ordering::SeqCst);
+        let mut names: Vec<String> = tables.keys().cloned().collect();
+        names.sort();
+        let mut records = Vec::new();
+        for name in &names {
+            records.push(LogRecord::CreateTable { schema: tables[name].schema.clone() });
+        }
+        records.push(LogRecord::Begin { tx });
+        for name in &names {
+            let t = &tables[name];
+            let rolled_back;
+            let t = if t.version == t.stable_version {
+                t
+            } else {
+                // Dirty: subtract uncommitted in-flight changes from a
+                // private clone (strict 2PL makes undo entries of
+                // concurrent transactions row-disjoint).
+                let mut tmp = t.clone();
+                for st in active.values() {
+                    for undo in st.undo.iter().rev() {
+                        if undo.table() == name.as_str() {
+                            undo.apply_to(&mut tmp);
+                        }
+                    }
+                }
+                rolled_back = tmp;
+                &rolled_back
+            };
+            let overlay = Table::sorted_overlay(&t.heap);
+            paged::for_each_live_row(t.base.as_ref(), &overlay, &t.tombstones, &mut |id, row| {
+                records.push(LogRecord::Insert {
+                    tx,
+                    table: name.clone(),
+                    row_id: id,
+                    row: row.clone(),
+                });
+                Ok(())
+            })?;
+        }
+        records.push(LogRecord::Commit { tx });
+        Ok(super::replication::ReplicationSeed { epoch, start_offset, records })
+    }
+
+    /// Replication (replica side): append one already-encoded WAL frame
+    /// payload verbatim to this database's own log and flush it, so the
+    /// replica's log is a real recovery source for its applied history.
+    pub fn replicate_append(&self, payload: &[u8]) -> Result<()> {
+        let mut guard = self.wal.lock();
+        if let Some(wal) = guard.as_mut() {
+            wal.append(payload)?;
+            wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Replication (replica side): apply the DML records of one
+    /// *committed* transaction in log order. Stamps and stable versions
+    /// move exactly like recovery's redo pass, so the result is
+    /// bit-identical to a local replay of the same records.
+    pub fn replicate_apply_commit(&self, records: &[LogRecord]) -> Result<()> {
+        let mut tables = self.tables.lock();
+        for rec in records {
+            match rec {
+                LogRecord::Insert { table, row_id, row, .. } => {
+                    let stamp = self.stamp();
+                    if let Some(t) = tables.get_mut(table) {
+                        t.apply_insert(stamp, *row_id, row.clone())?;
+                    }
+                }
+                LogRecord::Update { table, row_id, row, .. } => {
+                    let stamp = self.stamp();
+                    if let Some(t) = tables.get_mut(table) {
+                        t.apply_update(stamp, *row_id, row.clone())?;
+                    }
+                }
+                LogRecord::Delete { table, row_id, .. } => {
+                    let stamp = self.stamp();
+                    if let Some(t) = tables.get_mut(table) {
+                        t.apply_delete(stamp, *row_id)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // The replica holds only committed history: every version it
+        // reaches is immediately stable.
+        for t in tables.values_mut() {
+            t.stable_version = t.version;
+        }
+        Ok(())
+    }
+
+    /// Replication (replica side): apply one auto-committed DDL record.
+    pub fn replicate_apply_ddl(&self, rec: &LogRecord) -> Result<()> {
+        let mut tables = self.tables.lock();
+        match rec {
+            LogRecord::CreateTable { schema } => {
+                let stamp = self.stamp();
+                tables.insert(schema.name.clone(), Table::new(schema.clone(), stamp));
+            }
+            LogRecord::DropTable { table } => {
+                tables.remove(table);
+            }
+            LogRecord::CreateIndex { table, column } => {
+                if let Some(t) = tables.get_mut(table) {
+                    t.build_index(column)?;
+                    t.version = self.stamp();
+                    t.stable_version = t.version;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Replication (replica side): discard every table, cached view, and
+    /// log byte ahead of a reseed. Any on-disk checkpoint image of *this*
+    /// database is removed too — after a reseed the local log is the only
+    /// recovery source until the next local checkpoint.
+    pub fn replicate_reset(&self) -> Result<()> {
+        let mut tables = self.tables.lock();
+        let mut wal = self.wal.lock();
+        tables.clear();
+        self.views.lock().clear();
+        if let Some(w) = wal.as_mut() {
+            let ckpt = Self::checkpoint_path(w.path());
+            w.reset()?;
+            let _ = self.backend.remove_file(&ckpt);
+        }
+        *self.image.lock() = None;
+        self.commit_queue.reset();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Replication (replica side): raise the transaction-id floor past
+    /// every id seen in shipped history. Called at promotion so the new
+    /// primary never reissues a transaction id that already appears in
+    /// its log.
+    pub fn adopt_tx_floor(&self, max_tx: u64) {
+        self.next_tx.fetch_max(max_tx + 1, Ordering::SeqCst);
     }
 
     // ------------------------------------------------------------------

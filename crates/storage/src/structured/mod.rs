@@ -18,11 +18,13 @@ pub mod index;
 pub mod lock;
 pub(crate) mod paged;
 pub mod recovery;
+pub mod replication;
 pub mod table;
 pub mod view;
 
 pub use engine::{CheckpointFormat, Database, IndexStats, ScanAccess, TxId};
 pub use lock::{LockManager, LockMode};
 pub use recovery::{LogRecord, WalCodec};
+pub use replication::{ReplicaApplier, ReplicaPosition, ReplicationSeed};
 pub use table::{Column, Row, RowId, TableSchema};
 pub use view::{DbSnapshot, TableView};

@@ -143,6 +143,171 @@ fn half_written_frame_that_stalls_is_timed_out() {
 }
 
 #[test]
+fn future_version_frame_with_valid_crc_gets_a_clean_id_zero_error() {
+    // A peer from a *newer* release speaks version VERSION+1 with an
+    // otherwise perfectly well-formed frame (real length, real checksum,
+    // decodable payload). The server must not guess at forward
+    // compatibility: it answers a clean id-0 Protocol error naming the
+    // version and closes, leaving the listener healthy.
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut s = raw(addr);
+
+    let mut frame = Vec::new();
+    write_request(&mut frame, 9, &Request::Ping).unwrap();
+    let future = VERSION + 1;
+    frame[4..6].copy_from_slice(&future.to_le_bytes());
+    s.write_all(&frame).unwrap();
+
+    let msg = expect_protocol_error(&mut s, 0);
+    assert!(msg.contains(&format!("unsupported protocol version {future}")), "got: {msg}");
+    // The session cannot trust anything after an unknown version…
+    assert!(read_response(&mut s, DEFAULT_MAX_FRAME).is_err());
+    // …and current-version peers are unaffected.
+    assert_alive(addr);
+}
+
+/// A scripted stand-in server: accepts connections, counts every request
+/// frame it reads, and replies from a fixed list of payloads (one per
+/// request, repeating the last). Lets the retry tests observe exactly
+/// how many times a client re-sent something.
+struct ScriptedServer {
+    addr: SocketAddr,
+    requests: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+enum ScriptStep {
+    Reply(Payload),
+    /// Read the request, then drop the connection without replying.
+    Hangup,
+}
+
+impl ScriptedServer {
+    fn start(script: Vec<ScriptStep>) -> ScriptedServer {
+        use quarry::serve::protocol::{read_frame, write_response};
+        use quarry::serve::Response;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let requests = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen = std::sync::Arc::clone(&requests);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stopped = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut steps = script.into_iter().peekable();
+            'conns: for conn in listener.incoming() {
+                if stopped.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(mut stream) = conn else { return };
+                loop {
+                    // Script exhausted: stop *before* blocking on a read
+                    // that no step will ever answer.
+                    if steps.peek().is_none() {
+                        return;
+                    }
+                    let Ok((id, _)) = read_frame(&mut stream, DEFAULT_MAX_FRAME) else {
+                        continue 'conns;
+                    };
+                    seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    match steps.next() {
+                        None | Some(ScriptStep::Hangup) => continue 'conns,
+                        Some(ScriptStep::Reply(payload)) => {
+                            let resp = Response { id, server_micros: 0, lsn: 0, payload };
+                            if write_response(&mut stream, &resp).is_err() {
+                                continue 'conns;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        ScriptedServer { addr, requests, stop, handle: Some(handle) }
+    }
+
+    fn requests(&self) -> u64 {
+        self.requests.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Drop for ScriptedServer {
+    fn drop(&mut self) {
+        // Unblock the accept loop if it is still waiting.
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[test]
+fn overloaded_and_shutting_down_are_never_retried() {
+    use quarry::serve::{ClientConfig, ClientError};
+    type Check = fn(&ClientError) -> bool;
+    // Even with a generous retry budget, server *rejections* must pass
+    // through untouched — retrying them would turn backpressure into
+    // more pressure, and a draining server into a hammered one.
+    let cases: [(Payload, Check); 2] = [
+        (Payload::Overloaded, |e| matches!(e, ClientError::Overloaded)),
+        (Payload::ShuttingDown, |e| matches!(e, ClientError::ShuttingDown)),
+    ];
+    for (step, check) in cases {
+        let fake = ScriptedServer::start(vec![ScriptStep::Reply(step)]);
+        let mut c = Client::connect_with_config(
+            fake.addr,
+            ClientConfig {
+                read_timeout: Duration::from_secs(5),
+                reconnect_attempts: 5,
+                backoff: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        let err = c.ping().unwrap_err();
+        assert!(check(&err), "rejection surfaced as the wrong error: {err:?}");
+        assert_eq!(fake.requests(), 1, "a server rejection was re-sent");
+    }
+}
+
+#[test]
+fn dead_connections_are_retried_up_to_the_configured_bound() {
+    use quarry::serve::ClientConfig;
+    // Two hangups then an answer: a client allowed 2 reconnects succeeds
+    // and the server saw exactly three sends.
+    let fake = ScriptedServer::start(vec![
+        ScriptStep::Hangup,
+        ScriptStep::Hangup,
+        ScriptStep::Reply(Payload::Pong),
+    ]);
+    let mut c = Client::connect_with_config(
+        fake.addr,
+        ClientConfig {
+            read_timeout: Duration::from_secs(5),
+            reconnect_attempts: 2,
+            backoff: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    c.ping().unwrap();
+    assert_eq!(fake.requests(), 3);
+
+    // Same script, zero reconnects allowed: the first hangup is final.
+    let fake = ScriptedServer::start(vec![ScriptStep::Hangup, ScriptStep::Reply(Payload::Pong)]);
+    let mut c = Client::connect_with_config(
+        fake.addr,
+        ClientConfig {
+            read_timeout: Duration::from_secs(5),
+            reconnect_attempts: 0,
+            backoff: Duration::ZERO,
+        },
+    )
+    .unwrap();
+    assert!(c.ping().is_err());
+    assert_eq!(fake.requests(), 1);
+}
+
+#[test]
 fn undecodable_payload_fails_the_request_but_keeps_the_connection() {
     let server = start_server(ServeConfig::default());
     let addr = server.local_addr();
